@@ -1,0 +1,70 @@
+// Shared helpers for the experiment benches (E1..E12 in DESIGN.md §5).
+//
+// Each bench binary prints one or more tables reproducing a claim of the
+// paper. Scale knob: NEOSI_BENCH_SCALE=<float> multiplies workload sizes
+// (default 1.0 keeps every bench in the seconds range).
+
+#ifndef NEOSI_BENCH_BENCH_COMMON_H_
+#define NEOSI_BENCH_BENCH_COMMON_H_
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "graph/graph_database.h"
+
+namespace neosi {
+namespace bench {
+
+inline double Scale() {
+  const char* env = std::getenv("NEOSI_BENCH_SCALE");
+  if (env == nullptr) return 1.0;
+  const double s = std::atof(env);
+  return s > 0 ? s : 1.0;
+}
+
+inline uint64_t Scaled(uint64_t n) {
+  return static_cast<uint64_t>(static_cast<double>(n) * Scale());
+}
+
+class Timer {
+ public:
+  Timer() : start_(std::chrono::steady_clock::now()) {}
+  double Seconds() const {
+    return std::chrono::duration_cast<std::chrono::duration<double>>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+  uint64_t Micros() const {
+    return static_cast<uint64_t>(Seconds() * 1e6);
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+inline void Banner(const std::string& experiment, const std::string& claim) {
+  std::printf("\n=== %s ===\n", experiment.c_str());
+  std::printf("paper claim: %s\n\n", claim.c_str());
+}
+
+inline std::unique_ptr<GraphDatabase> OpenDb(
+    ConflictPolicy policy = ConflictPolicy::kFirstUpdaterWinsWait,
+    uint64_t gc_every = 0) {
+  DatabaseOptions options;
+  options.in_memory = true;
+  options.conflict_policy = policy;
+  options.gc_every_n_commits = gc_every;
+  auto db = GraphDatabase::Open(options);
+  if (!db.ok()) {
+    std::fprintf(stderr, "open failed: %s\n", db.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(*db);
+}
+
+}  // namespace bench
+}  // namespace neosi
+
+#endif  // NEOSI_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,115 @@
+// Micro benchmarks: public-API hot paths (CRUD, adjacency, scans).
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "graph/graph_database.h"
+#include "workload/social_graph.h"
+
+namespace neosi {
+namespace {
+
+std::unique_ptr<GraphDatabase> OpenDb() {
+  DatabaseOptions options;
+  options.in_memory = true;
+  options.gc_every_n_commits = 4096;
+  return std::move(*GraphDatabase::Open(options));
+}
+
+void BM_GetNode(benchmark::State& state) {
+  auto db = OpenDb();
+  NodeId id;
+  {
+    auto txn = db->Begin();
+    id = *txn->CreateNode({"Person"}, {{"name", PropertyValue("alice")},
+                                       {"age", PropertyValue(int64_t{30})}});
+    (void)txn->Commit();
+  }
+  auto txn = db->Begin();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(txn->GetNode(id));
+  }
+}
+BENCHMARK(BM_GetNode);
+
+void BM_Adjacency(benchmark::State& state) {
+  auto db = OpenDb();
+  NodeId hub;
+  {
+    auto txn = db->Begin();
+    hub = *txn->CreateNode({});
+    for (int64_t i = 0; i < state.range(0); ++i) {
+      NodeId other = *txn->CreateNode({});
+      (void)txn->CreateRelationship(hub, other, "E");
+    }
+    (void)txn->Commit();
+  }
+  auto txn = db->Begin();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(txn->GetRelationships(hub));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Adjacency)->Arg(4)->Arg(32)->Arg(256);
+
+void BM_LabelScan(benchmark::State& state) {
+  auto db = OpenDb();
+  {
+    auto txn = db->Begin();
+    for (int64_t i = 0; i < state.range(0); ++i) {
+      (void)txn->CreateNode({"Member"});
+    }
+    (void)txn->Commit();
+  }
+  auto txn = db->Begin();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(txn->GetNodesByLabel("Member"));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_LabelScan)->Arg(100)->Arg(10000);
+
+void BM_TwoHopTraversal(benchmark::State& state) {
+  auto db = OpenDb();
+  SocialGraphSpec spec;
+  spec.people = 2000;
+  auto graph = *BuildSocialGraph(*db, spec);
+  auto txn = db->Begin();
+  Random rng(1);
+  for (auto _ : state) {
+    const NodeId start = graph.people[rng.Uniform(graph.people.size())];
+    auto neighbors = txn->GetNeighbors(start);
+    if (!neighbors.ok()) std::abort();
+    size_t total = 0;
+    for (NodeId n : *neighbors) {
+      auto second = txn->GetNeighbors(n);
+      if (second.ok()) total += second->size();
+    }
+    benchmark::DoNotOptimize(total);
+  }
+}
+BENCHMARK(BM_TwoHopTraversal);
+
+void BM_MixedTxn(benchmark::State& state) {
+  auto db = OpenDb();
+  SocialGraphSpec spec;
+  spec.people = 1000;
+  auto graph = *BuildSocialGraph(*db, spec);
+  Random rng(7);
+  for (auto _ : state) {
+    auto txn = db->Begin();
+    const NodeId person = graph.people[rng.Uniform(graph.people.size())];
+    auto age = txn->GetNodeProperty(person, "age");
+    if (age.ok()) {
+      (void)txn->SetNodeProperty(person, "age",
+                                 PropertyValue(age->AsInt() + 1));
+    }
+    benchmark::DoNotOptimize(txn->Commit());
+  }
+}
+BENCHMARK(BM_MixedTxn);
+
+}  // namespace
+}  // namespace neosi
+
+BENCHMARK_MAIN();

@@ -1,0 +1,103 @@
+// Micro benchmarks: versioned index operations.
+
+#include <benchmark/benchmark.h>
+
+#include "index/label_index.h"
+#include "index/property_index.h"
+
+namespace neosi {
+namespace {
+
+void BM_LabelIndexAddCommit(benchmark::State& state) {
+  LabelIndex index;
+  NodeId node = 0;
+  for (auto _ : state) {
+    index.AddPending(1, node, 7);
+    index.CommitAdd(1, node, 7, node + 1);
+    ++node;
+  }
+}
+BENCHMARK(BM_LabelIndexAddCommit);
+
+void BM_LabelIndexLookup(benchmark::State& state) {
+  LabelIndex index;
+  for (NodeId n = 0; n < static_cast<NodeId>(state.range(0)); ++n) {
+    index.AddPending(1, n, 7);
+    index.CommitAdd(1, n, 7, 5);
+  }
+  const Snapshot snap{100, kNoTxn};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.Lookup(1, snap));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_LabelIndexLookup)->Arg(100)->Arg(10000);
+
+void BM_LabelIndexLookupWithDeadEntries(benchmark::State& state) {
+  LabelIndex index;
+  // Half the entries are dead intervals (removed below any snapshot).
+  for (NodeId n = 0; n < static_cast<NodeId>(state.range(0)); ++n) {
+    index.AddPending(1, n, 7);
+    index.CommitAdd(1, n, 7, 5);
+    if (n % 2 == 0) {
+      index.RemovePending(1, n, 8);
+      index.CommitRemove(1, n, 8, 6);
+    }
+  }
+  const Snapshot snap{100, kNoTxn};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.Lookup(1, snap));
+  }
+}
+BENCHMARK(BM_LabelIndexLookupWithDeadEntries)->Arg(10000);
+
+void BM_PropertyIndexPointLookup(benchmark::State& state) {
+  PropertyIndex index;
+  for (int64_t v = 0; v < state.range(0); ++v) {
+    index.AddPending(1, PropertyValue(v), static_cast<uint64_t>(v), 7);
+    index.CommitAdd(1, PropertyValue(v), static_cast<uint64_t>(v), 7, 5);
+  }
+  const Snapshot snap{100, kNoTxn};
+  const PropertyValue needle(state.range(0) / 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.Lookup(1, needle, snap));
+  }
+}
+BENCHMARK(BM_PropertyIndexPointLookup)->Arg(1000)->Arg(100000);
+
+void BM_PropertyIndexRangeScan(benchmark::State& state) {
+  PropertyIndex index;
+  for (int64_t v = 0; v < 100000; ++v) {
+    index.AddPending(1, PropertyValue(v), static_cast<uint64_t>(v), 7);
+    index.CommitAdd(1, PropertyValue(v), static_cast<uint64_t>(v), 7, 5);
+  }
+  const Snapshot snap{100, kNoTxn};
+  const int64_t width = state.range(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.Scan(1, PropertyValue(int64_t{50000}),
+                                        PropertyValue(50000 + width), snap));
+  }
+  state.SetItemsProcessed(state.iterations() * width);
+}
+BENCHMARK(BM_PropertyIndexRangeScan)->Arg(10)->Arg(1000);
+
+void BM_IndexCompact(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    LabelIndex index;
+    for (NodeId n = 0; n < 10000; ++n) {
+      index.AddPending(1, n, 7);
+      index.CommitAdd(1, n, 7, 5);
+      index.RemovePending(1, n, 8);
+      index.CommitRemove(1, n, 8, 6);
+    }
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(index.Compact(100));
+  }
+}
+BENCHMARK(BM_IndexCompact);
+
+}  // namespace
+}  // namespace neosi
+
+BENCHMARK_MAIN();

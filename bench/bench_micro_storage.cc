@@ -1,0 +1,108 @@
+// Micro benchmarks: record store and property chain hot paths.
+
+#include <benchmark/benchmark.h>
+
+#include "storage/graph_store.h"
+
+namespace neosi {
+namespace {
+
+std::unique_ptr<GraphStore> MakeStore() {
+  DatabaseOptions options;
+  options.in_memory = true;
+  auto store = std::make_unique<GraphStore>(options);
+  if (!store->Open().ok()) std::abort();
+  return store;
+}
+
+void BM_NodeRecordEncodeDecode(benchmark::State& state) {
+  NodeRecord rec;
+  rec.in_use = true;
+  rec.first_rel = 42;
+  rec.first_prop = 7;
+  rec.commit_ts = 100;
+  char buf[NodeRecord::kSize];
+  for (auto _ : state) {
+    rec.EncodeTo(buf);
+    NodeRecord out;
+    benchmark::DoNotOptimize(
+        NodeRecord::DecodeFrom(Slice(buf, sizeof buf), &out));
+  }
+}
+BENCHMARK(BM_NodeRecordEncodeDecode);
+
+void BM_PersistNewNode(benchmark::State& state) {
+  auto store = MakeStore();
+  PropertyMap props{{1, PropertyValue(int64_t{5})},
+                    {2, PropertyValue("name-string")}};
+  uint64_t i = 0;
+  for (auto _ : state) {
+    const NodeId id = *store->AllocateNodeId();
+    benchmark::DoNotOptimize(store->PersistNewNode(id, {1}, props, ++i));
+  }
+}
+BENCHMARK(BM_PersistNewNode);
+
+void BM_ReadNodeState(benchmark::State& state) {
+  auto store = MakeStore();
+  const NodeId id = *store->AllocateNodeId();
+  PropertyMap props{{1, PropertyValue(int64_t{5})},
+                    {2, PropertyValue("name-string")}};
+  if (!store->PersistNewNode(id, {1, 2}, props, 1).ok()) std::abort();
+  for (auto _ : state) {
+    NodeState out;
+    benchmark::DoNotOptimize(store->ReadNodeState(id, &out));
+  }
+}
+BENCHMARK(BM_ReadNodeState);
+
+void BM_RelChainScan(benchmark::State& state) {
+  auto store = MakeStore();
+  const NodeId a = *store->AllocateNodeId();
+  const NodeId b = *store->AllocateNodeId();
+  if (!store->PersistNewNode(a, {}, {}, 1).ok()) std::abort();
+  if (!store->PersistNewNode(b, {}, {}, 1).ok()) std::abort();
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    const RelId r = *store->AllocateRelId();
+    if (!store->PersistNewRel(r, a, b, 0, {}, 2).ok()) std::abort();
+  }
+  std::vector<RelId> chain;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store->RelChainOf(a, &chain));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RelChainScan)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_WalAppend(benchmark::State& state) {
+  auto store = MakeStore();
+  WalRecord record;
+  record.txn_id = 1;
+  record.commit_ts = 1;
+  record.ops.push_back(
+      WalOp::CreateNode(1, {1}, {{1, PropertyValue(int64_t{5})}}));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store->wal().Append(record));
+  }
+}
+BENCHMARK(BM_WalAppend);
+
+void BM_PropertyChainRoundTrip(benchmark::State& state) {
+  auto store = MakeStore();
+  const NodeId id = *store->AllocateNodeId();
+  PropertyMap props;
+  for (int64_t k = 0; k < state.range(0); ++k) {
+    props[static_cast<PropertyKeyId>(k)] = PropertyValue(k);
+  }
+  uint64_t ts = 0;
+  if (!store->PersistNewNode(id, {}, props, ++ts).ok()) std::abort();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store->PersistNodeState(id, {}, props, ++ts));
+  }
+}
+BENCHMARK(BM_PropertyChainRoundTrip)->Arg(1)->Arg(8)->Arg(32);
+
+}  // namespace
+}  // namespace neosi
+
+BENCHMARK_MAIN();

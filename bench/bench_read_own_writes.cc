@@ -1,0 +1,119 @@
+// Experiment E5 — read-your-own-writes via the enriched iterator (paper
+// §3/§4): "versions of uncommitted data items should be kept private ... but
+// they should be read by the transaction that wrote them".
+//
+// A transaction creates M nodes (+ edges to a hub) and scans them BEFORE
+// committing: label scan, adjacency scan, full scan. We verify the counts
+// (correctness) and report the pre-commit scan cost vs the same scan
+// post-commit (the overhead of merging cached uncommitted versions).
+
+#include "bench/bench_common.h"
+
+namespace neosi {
+namespace bench {
+namespace {
+
+struct Row {
+  uint64_t m = 0;
+  uint64_t pre_label_us = 0;
+  uint64_t pre_adj_us = 0;
+  uint64_t pre_all_us = 0;
+  uint64_t post_label_us = 0;
+  uint64_t post_adj_us = 0;
+  uint64_t post_all_us = 0;
+  bool correct = true;
+};
+
+Row RunRow(uint64_t m) {
+  auto db = OpenDb();
+  NodeId hub;
+  {
+    auto txn = db->Begin();
+    hub = *txn->CreateNode({"Hub"});
+    txn->Commit();
+  }
+
+  Row row;
+  row.m = m;
+  auto txn = db->Begin();
+  for (uint64_t i = 0; i < m; ++i) {
+    auto node = txn->CreateNode(
+        {"Fresh"}, {{"i", PropertyValue(static_cast<int64_t>(i))}});
+    if (!node.ok()) std::abort();
+    if (!txn->CreateRelationship(hub, *node, "OWNS").ok()) std::abort();
+  }
+
+  {
+    Timer t;
+    auto scan = txn->GetNodesByLabel("Fresh");
+    row.pre_label_us = t.Micros();
+    row.correct &= scan.ok() && scan->size() == m;
+  }
+  {
+    Timer t;
+    auto adj = txn->GetRelationships(hub, Direction::kOutgoing);
+    row.pre_adj_us = t.Micros();
+    row.correct &= adj.ok() && adj->size() == m;
+  }
+  {
+    Timer t;
+    auto all = txn->AllNodes();
+    row.pre_all_us = t.Micros();
+    row.correct &= all.ok() && all->size() == m + 1;
+  }
+  if (!txn->Commit().ok()) std::abort();
+
+  auto reader = db->Begin();
+  {
+    Timer t;
+    auto scan = reader->GetNodesByLabel("Fresh");
+    row.post_label_us = t.Micros();
+    row.correct &= scan.ok() && scan->size() == m;
+  }
+  {
+    Timer t;
+    auto adj = reader->GetRelationships(hub, Direction::kOutgoing);
+    row.post_adj_us = t.Micros();
+    row.correct &= adj.ok() && adj->size() == m;
+  }
+  {
+    Timer t;
+    auto all = reader->AllNodes();
+    row.post_all_us = t.Micros();
+    row.correct &= all.ok() && all->size() == m + 1;
+  }
+  return row;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace neosi
+
+int main() {
+  using namespace neosi;
+  using namespace neosi::bench;
+
+  Banner("E5: read-your-own-writes",
+         "the enriched iterator merges the transaction's private cached "
+         "versions into every scan, at cost comparable to committed scans");
+
+  std::printf("%-8s %9s %14s %12s %12s %12s %12s %12s\n", "M", "correct",
+              "pre-label(us)", "pre-adj(us)", "pre-all(us)", "post-label",
+              "post-adj", "post-all");
+  for (uint64_t m : {16, 64, 256, 1024, 4096}) {
+    const Row row = RunRow(Scaled(m));
+    std::printf("%-8llu %9s %14llu %12llu %12llu %12llu %12llu %12llu\n",
+                static_cast<unsigned long long>(row.m),
+                row.correct ? "yes" : "NO",
+                static_cast<unsigned long long>(row.pre_label_us),
+                static_cast<unsigned long long>(row.pre_adj_us),
+                static_cast<unsigned long long>(row.pre_all_us),
+                static_cast<unsigned long long>(row.post_label_us),
+                static_cast<unsigned long long>(row.post_adj_us),
+                static_cast<unsigned long long>(row.post_all_us));
+  }
+  std::printf("\nexpected shape: every row correct=yes (uncommitted writes "
+              "visible to self, with exact counts); pre- and post-commit "
+              "scan costs within the same order of magnitude.\n");
+  return 0;
+}

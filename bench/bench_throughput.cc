@@ -1,0 +1,108 @@
+// Experiment E11 — end-to-end throughput & latency, read committed vs
+// snapshot isolation (paper §1: SI "provides an isolation very close to ...
+// serializability while avoiding read-write conflicts").
+//
+// Social-graph workload: read transactions do a 1-hop neighbourhood read
+// with property fetches; write transactions update a person and an edge.
+// Read/write mix and thread count are swept for both isolation levels.
+
+#include "bench/bench_common.h"
+#include "common/random.h"
+#include "workload/driver.h"
+#include "workload/social_graph.h"
+
+namespace neosi {
+namespace bench {
+namespace {
+
+struct Cell {
+  DriverResult result;
+};
+
+Cell RunCell(IsolationLevel isolation, double read_fraction, int threads,
+             uint64_t duration_ms, const SocialGraph& graph,
+             GraphDatabase& db) {
+  Cell cell;
+  cell.result = RunForDuration(threads, duration_ms, [&](int t, uint64_t op) {
+    Random rng(t * 104729 + op);
+    const NodeId person = graph.people[rng.Uniform(graph.people.size())];
+    auto txn = db.Begin(isolation);
+    if (rng.NextDouble() < read_fraction) {
+      // Read txn: neighbourhood + properties.
+      auto rels = txn->GetRelationships(person);
+      NEOSI_RETURN_IF_ERROR(rels.status());
+      auto name = txn->GetNodeProperty(person, "name");
+      NEOSI_RETURN_IF_ERROR(name.status());
+      for (RelId r : *rels) {
+        auto since = txn->GetRelProperty(r, "since");
+        if (!since.ok() && !since.status().IsNotFound()) {
+          return since.status();
+        }
+      }
+    } else {
+      // Write txn: bump the person's age, touch one incident edge.
+      auto age = txn->GetNodeProperty(person, "age");
+      NEOSI_RETURN_IF_ERROR(age.status());
+      NEOSI_RETURN_IF_ERROR(txn->SetNodeProperty(
+          person, "age", PropertyValue(age->AsInt() + 1)));
+      auto rels = txn->GetRelationships(person);
+      NEOSI_RETURN_IF_ERROR(rels.status());
+      if (!rels->empty()) {
+        NEOSI_RETURN_IF_ERROR(txn->SetRelProperty(
+            (*rels)[rng.Uniform(rels->size())], "since",
+            PropertyValue(static_cast<int64_t>(2000 + rng.Uniform(26)))));
+      }
+    }
+    return txn->Commit();
+  });
+  return cell;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace neosi
+
+int main() {
+  using namespace neosi;
+  using namespace neosi::bench;
+
+  Banner("E11: throughput & latency, RC vs SI",
+         "removing short read locks lets SI readers run through writers' "
+         "long write locks: higher throughput and flatter tail latency, "
+         "especially in mixed workloads");
+
+  const uint64_t duration_ms = static_cast<uint64_t>(250 * Scale());
+
+  std::printf("%-20s %7s %8s %10s %12s %10s %10s\n", "isolation", "read%",
+              "threads", "txn/s", "abort-rate", "p50(us)", "p99(us)");
+  for (double read_fraction : {0.95, 0.80, 0.50}) {
+    // A fresh database per mix keeps version chains comparable.
+    auto db = OpenDb(ConflictPolicy::kFirstUpdaterWinsWait,
+                     /*gc_every=*/1024);
+    SocialGraphSpec spec;
+    spec.people = Scaled(2000);
+    auto graph = *BuildSocialGraph(*db, spec);
+    for (IsolationLevel isolation : {IsolationLevel::kReadCommitted,
+                                     IsolationLevel::kSnapshotIsolation}) {
+      for (int threads : {1, 2, 4, 8}) {
+        const Cell cell =
+            RunCell(isolation, read_fraction, threads, duration_ms, graph,
+                    *db);
+        std::printf(
+            "%-20s %6.0f%% %8d %10.0f %11.2f%% %10llu %10llu\n",
+            std::string(IsolationLevelToString(isolation)).c_str(),
+            read_fraction * 100, threads, cell.result.Throughput(),
+            100.0 * cell.result.AbortRate(),
+            static_cast<unsigned long long>(
+                cell.result.latency_ns.Percentile(50) / 1000),
+            static_cast<unsigned long long>(
+                cell.result.latency_ns.Percentile(99) / 1000));
+      }
+    }
+  }
+  std::printf("\nexpected shape: SI >= RC throughput at every cell, with "
+              "the gap widening as the write fraction and thread count grow "
+              "(RC readers block on write locks and die under wait-die); SI "
+              "p99 stays flat while RC p99 inflates.\n");
+  return 0;
+}

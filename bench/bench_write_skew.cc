@@ -1,0 +1,140 @@
+// Experiment E10 — write skew, SI's one anomaly (paper §1), and the claim
+// that "TPC-C never observes an anomaly when running on an SI database".
+//
+// (a) Doctors-on-call: concurrent go-off-call transactions under SI break
+//     the ">= 1 on call" constraint with measurable frequency; promoting the
+//     read into a write (materialized conflict on a ward token) removes it.
+// (b) TPC-C-like order/payment mix: the warehouse stock invariant holds
+//     under SI across every trial.
+
+#include <thread>
+
+#include "bench/bench_common.h"
+#include "common/random.h"
+#include "workload/bank.h"
+#include "workload/driver.h"
+#include "workload/tpcc_graph.h"
+
+namespace neosi {
+namespace bench {
+namespace {
+
+// One trial: reset both doctors on-call, race two off-call transactions.
+// Returns true if the constraint broke (both off call).
+bool WardTrial(GraphDatabase& db, const OnCallWard& ward, NodeId ward_token,
+               bool materialize) {
+  {
+    auto reset = db.Begin();
+    (void)reset->SetNodeProperty(ward.doctor_a, "on_call",
+                                 PropertyValue(true));
+    (void)reset->SetNodeProperty(ward.doctor_b, "on_call",
+                                 PropertyValue(true));
+    (void)reset->Commit();
+  }
+  auto body = [&](bool is_a) {
+    auto txn = db.Begin(IsolationLevel::kSnapshotIsolation);
+    const NodeId self = is_a ? ward.doctor_a : ward.doctor_b;
+    const NodeId other = is_a ? ward.doctor_b : ward.doctor_a;
+    auto other_on = txn->GetNodeProperty(other, "on_call");
+    if (!other_on.ok()) return;
+    if (other_on->AsBool()) {
+      if (materialize) {
+        // Materialized conflict: both transactions write the ward token,
+        // so first-updater-wins serializes them.
+        if (!txn->SetNodeProperty(ward_token, "epoch",
+                                  PropertyValue(static_cast<int64_t>(
+                                      txn->start_ts() + 1)))
+                 .ok()) {
+          return;
+        }
+      }
+      if (!txn->SetNodeProperty(self, "on_call", PropertyValue(false)).ok()) {
+        return;
+      }
+    }
+    (void)txn->Commit();
+  };
+  std::thread t1(body, true);
+  std::thread t2(body, false);
+  t1.join();
+  t2.join();
+  return !*WardConstraintHolds(db, ward);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace neosi
+
+int main() {
+  using namespace neosi;
+  using namespace neosi::bench;
+
+  Banner("E10: write skew — SI's only anomaly",
+         "SI admits write skew on disjoint write sets (doctors-on-call); "
+         "materializing the conflict removes it; the TPC-C-style workload "
+         "never exhibits it");
+
+  const uint64_t trials = Scaled(300);
+
+  std::printf("--- (a) doctors-on-call, %llu racing trials each ---\n",
+              static_cast<unsigned long long>(trials));
+  std::printf("%-28s %12s %12s\n", "variant", "violations", "rate");
+  for (bool materialize : {false, true}) {
+    auto db = OpenDb();
+    auto ward = *BuildWard(*db);
+    NodeId token;
+    {
+      auto txn = db->Begin();
+      token = *txn->CreateNode({"Ward"},
+                               {{"epoch", PropertyValue(int64_t{0})}});
+      (void)txn->Commit();
+    }
+    uint64_t violations = 0;
+    for (uint64_t t = 0; t < trials; ++t) {
+      if (WardTrial(*db, ward, token, materialize)) ++violations;
+    }
+    std::printf("%-28s %12llu %11.2f%%\n",
+                materialize ? "SI + materialized conflict" : "plain SI",
+                static_cast<unsigned long long>(violations),
+                100.0 * violations / trials);
+  }
+
+  std::printf("\n--- (b) TPC-C-like mix under SI (stock invariant audits) "
+              "---\n");
+  {
+    auto db = OpenDb();
+    TpccSpec spec;
+    spec.warehouses = 1;
+    spec.items_per_warehouse = 50;
+    spec.customers_per_warehouse = 10;
+    auto graph = *BuildTpccGraph(*db, spec);
+    const int64_t expected = graph.ExpectedStockPlusOrdered(0);
+
+    uint64_t audits = 0, violations = 0;
+    for (int round = 0; round < 5; ++round) {
+      DriverResult result = RunForOps(4, Scaled(50), [&](int t, uint64_t op) {
+        Random rng(round * 1000 + t * 31 + op);
+        if (rng.Bernoulli(0.7)) {
+          std::vector<uint64_t> items;
+          for (int i = 0; i < 3; ++i) items.push_back(rng.Uniform(50));
+          return NewOrder(*db, graph, 0, rng.Uniform(10), items, 1,
+                          IsolationLevel::kSnapshotIsolation);
+        }
+        return Payment(*db, graph, 0, rng.Uniform(10),
+                       static_cast<int64_t>(rng.Uniform(100)),
+                       IsolationLevel::kSnapshotIsolation);
+      });
+      (void)result;
+      ++audits;
+      if (*AuditWarehouse(*db, graph, 0) != expected) ++violations;
+    }
+    std::printf("audits=%llu invariant-violations=%llu\n",
+                static_cast<unsigned long long>(audits),
+                static_cast<unsigned long long>(violations));
+  }
+
+  std::printf("\nexpected shape: plain SI violation rate > 0 (write skew "
+              "exists); materialized-conflict rate identically 0; TPC-C "
+              "invariant violations identically 0.\n");
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Bank audit example: why isolation level matters for money.
+//
+// Transfers move money between accounts while an auditor sweeps all
+// balances. The invariant: every audit must observe exactly the total that
+// exists. Under read committed the auditor reads each account at a
+// different time and can observe torn totals; under snapshot isolation the
+// sweep sees one instant.
+//
+// Also demonstrates SI's one weakness — write skew (§1) — with the classic
+// two-doctors-on-call constraint.
+//
+//   $ ./bank_audit
+
+#include <atomic>
+#include <cstdio>
+#include <thread>
+
+#include "common/random.h"
+#include "graph/graph_database.h"
+#include "workload/bank.h"
+#include "workload/driver.h"
+
+using namespace neosi;
+
+int main() {
+  DatabaseOptions options;
+  options.in_memory = true;
+  options.gc_every_n_commits = 512;
+  auto db = std::move(*GraphDatabase::Open(options));
+
+  auto bank = *BuildBank(*db, 64, 1000);
+  std::printf("bank: %zu accounts x 1000 = total %lld\n",
+              bank.accounts.size(), (long long)bank.ExpectedTotal());
+
+  for (IsolationLevel audit_isolation :
+       {IsolationLevel::kReadCommitted, IsolationLevel::kSnapshotIsolation}) {
+    std::atomic<bool> stop{false};
+    std::atomic<uint64_t> audits{0}, torn{0};
+    int64_t worst_delta = 0;
+
+    std::thread auditor([&] {
+      while (!stop.load()) {
+        auto total = Audit(*db, bank, audit_isolation);
+        if (!total.ok()) continue;
+        audits.fetch_add(1);
+        const int64_t delta = *total - bank.ExpectedTotal();
+        if (delta != 0) {
+          torn.fetch_add(1);
+          if (std::abs(delta) > std::abs(worst_delta)) worst_delta = delta;
+        }
+      }
+    });
+
+    DriverResult transfers = RunForDuration(4, 400, [&](int t, uint64_t op) {
+      Random rng(t * 7919 + op);
+      return Transfer(*db, bank, rng.Uniform(64), rng.Uniform(64),
+                      static_cast<int64_t>(rng.Uniform(100)),
+                      IsolationLevel::kSnapshotIsolation);
+    });
+    stop.store(true);
+    auditor.join();
+
+    std::printf(
+        "audit under %-18s: %6llu audits, %6llu torn totals (worst off by "
+        "%lld) against %llu committed transfers\n",
+        std::string(IsolationLevelToString(audit_isolation)).c_str(),
+        (unsigned long long)audits.load(), (unsigned long long)torn.load(),
+        (long long)worst_delta, (unsigned long long)transfers.committed);
+  }
+  // Money never vanishes for good: the final quiesced total is exact.
+  std::printf("final settled total: %lld (expected %lld)\n",
+              (long long)*Audit(*db, bank, IsolationLevel::kSnapshotIsolation),
+              (long long)bank.ExpectedTotal());
+
+  // --- Write skew: the anomaly SI does NOT prevent --------------------------
+  std::printf("\nwrite-skew demo (doctors on call):\n");
+  auto ward = *BuildWard(*db);
+  auto t1 = db->Begin(IsolationLevel::kSnapshotIsolation);
+  auto t2 = db->Begin(IsolationLevel::kSnapshotIsolation);
+  // Each doctor checks the OTHER is on call, then goes off call.
+  bool other_ok_1 = t1->GetNodeProperty(ward.doctor_b, "on_call")->AsBool();
+  bool other_ok_2 = t2->GetNodeProperty(ward.doctor_a, "on_call")->AsBool();
+  if (other_ok_1) {
+    (void)t1->SetNodeProperty(ward.doctor_a, "on_call", PropertyValue(false));
+  }
+  if (other_ok_2) {
+    (void)t2->SetNodeProperty(ward.doctor_b, "on_call", PropertyValue(false));
+  }
+  Status s1 = t1->Commit();
+  Status s2 = t2->Commit();
+  std::printf("  both commits: %s / %s (write sets are disjoint, so SI "
+              "sees no conflict)\n",
+              s1.ToString().c_str(), s2.ToString().c_str());
+  std::printf("  constraint '>= 1 doctor on call' holds: %s\n",
+              *WardConstraintHolds(*db, ward) ? "yes" : "NO (write skew!)");
+  std::printf("  (TPC-C-style workloads never hit this — see "
+              "bench_write_skew — and a materialized conflict on a shared "
+              "ward token removes it.)\n");
+  return 0;
+}

@@ -1,0 +1,129 @@
+// Social network example: friend-of-friend recommendations computed inside
+// one snapshot while the graph churns underneath.
+//
+// The recommendation job is the paper's "two-step graph algorithm" (§1):
+// step 1 collects friends, step 2 collects their friends. Under read
+// committed the friend list can change between the steps; under snapshot
+// isolation the whole computation sees one consistent graph.
+//
+//   $ ./social_network
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <map>
+#include <thread>
+
+#include "common/random.h"
+#include "graph/graph_database.h"
+#include "workload/social_graph.h"
+
+using namespace neosi;
+
+namespace {
+
+// Friend-of-friend recommendation: rank 2-hop neighbours by the number of
+// common friends; runs entirely inside `txn`'s snapshot.
+std::vector<std::pair<NodeId, int>> Recommend(Transaction& txn, NodeId who,
+                                              size_t k) {
+  auto friends = txn.GetNeighbors(who);
+  if (!friends.ok()) return {};
+  std::map<NodeId, int> counts;
+  for (NodeId f : *friends) {
+    auto theirs = txn.GetNeighbors(f);
+    if (!theirs.ok()) continue;
+    for (NodeId fof : *theirs) {
+      if (fof == who) continue;
+      if (std::find(friends->begin(), friends->end(), fof) != friends->end())
+        continue;
+      ++counts[fof];
+    }
+  }
+  std::vector<std::pair<NodeId, int>> ranked(counts.begin(), counts.end());
+  std::sort(ranked.begin(), ranked.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  if (ranked.size() > k) ranked.resize(k);
+  return ranked;
+}
+
+}  // namespace
+
+int main() {
+  DatabaseOptions options;
+  options.in_memory = true;
+  options.gc_every_n_commits = 512;
+  auto db = std::move(*GraphDatabase::Open(options));
+
+  SocialGraphSpec spec;
+  spec.people = 3000;
+  spec.extra_edges_per_person = 3;
+  auto graph = *BuildSocialGraph(*db, spec);
+  std::printf("built social graph: %zu people, %zu friendships\n",
+              graph.people.size(), graph.friendships.size());
+
+  // Churn: friendships form and dissolve concurrently.
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> churn_commits{0};
+  std::thread churn([&] {
+    Random rng(42);
+    while (!stop.load()) {
+      auto txn = db->Begin();
+      const NodeId a = graph.people[rng.Uniform(graph.people.size())];
+      if (rng.Bernoulli(0.5)) {
+        const NodeId b = graph.people[rng.Uniform(graph.people.size())];
+        if (a != b && txn->CreateRelationship(a, b, "KNOWS").ok() &&
+            txn->Commit().ok()) {
+          churn_commits.fetch_add(1);
+        }
+      } else {
+        auto rels = txn->GetRelationships(a);
+        if (rels.ok() && !rels->empty() &&
+            txn->DeleteRelationship((*rels)[rng.Uniform(rels->size())])
+                .ok() &&
+            txn->Commit().ok()) {
+          churn_commits.fetch_add(1);
+        }
+      }
+    }
+  });
+
+  // Recommendation jobs under snapshot isolation: each job's two steps see
+  // one frozen graph, so the rankings are internally consistent.
+  Random rng(7);
+  uint64_t jobs = 0, inconsistencies = 0;
+  for (int i = 0; i < 200; ++i) {
+    auto txn = db->Begin(IsolationLevel::kSnapshotIsolation);
+    const NodeId who = graph.people[rng.Uniform(graph.people.size())];
+    auto first = Recommend(*txn, who, 5);
+    // Re-running the job inside the same snapshot must give the identical
+    // answer, however fast the graph is churning outside.
+    auto second = Recommend(*txn, who, 5);
+    ++jobs;
+    if (first != second) ++inconsistencies;
+    if (i == 0 && !first.empty()) {
+      std::printf("sample recommendations for person %llu:\n",
+                  (unsigned long long)who);
+      for (const auto& [candidate, common] : first) {
+        auto name = txn->GetNodeProperty(candidate, "name");
+        std::printf("  %s (%d common friends)\n",
+                    name.ok() ? name->AsString().c_str() : "?", common);
+      }
+    }
+  }
+  stop.store(true);
+  churn.join();
+
+  std::printf("ran %llu recommendation jobs against %llu concurrent "
+              "friendship changes: %llu inconsistent re-runs\n",
+              (unsigned long long)jobs,
+              (unsigned long long)churn_commits.load(),
+              (unsigned long long)inconsistencies);
+  std::printf("(under read committed the re-runs would disagree whenever a "
+              "friendship changed mid-job)\n");
+
+  DatabaseStats stats = db->Stats();
+  std::printf("engine: %llu commits applied, gc reclaimed %llu versions\n",
+              (unsigned long long)stats.last_committed,
+              (unsigned long long)stats.gc_reclaimed);
+  return inconsistencies == 0 ? 0 : 1;
+}

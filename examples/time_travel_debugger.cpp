@@ -1,0 +1,108 @@
+// "Time-travel" example: long-lived snapshots as consistent views.
+//
+// An operations dashboard holds a snapshot open while the fleet state keeps
+// changing; the dashboard's drill-down queries all answer from the same
+// instant. Meanwhile the GC watermark honours the open snapshot (§3) and
+// reclaims everything the moment it closes.
+//
+//   $ ./time_travel_debugger
+
+#include <cstdio>
+
+#include "graph/graph_database.h"
+
+using namespace neosi;
+
+int main() {
+  DatabaseOptions options;
+  options.in_memory = true;
+  options.gc_every_n_commits = 0;  // Manual GC so the effect is visible.
+  auto db = std::move(*GraphDatabase::Open(options));
+
+  // Fleet: services with a status and DEPENDS_ON edges.
+  std::vector<NodeId> services;
+  {
+    auto txn = db->Begin();
+    const char* names[] = {"gateway", "auth",  "billing",
+                           "search",  "index", "storage"};
+    for (const char* name : names) {
+      services.push_back(*txn->CreateNode(
+          {"Service"}, {{"name", PropertyValue(name)},
+                        {"status", PropertyValue("healthy")}}));
+    }
+    (void)txn->CreateRelationship(services[0], services[1], "DEPENDS_ON");
+    (void)txn->CreateRelationship(services[0], services[3], "DEPENDS_ON");
+    (void)txn->CreateRelationship(services[3], services[4], "DEPENDS_ON");
+    (void)txn->CreateRelationship(services[4], services[5], "DEPENDS_ON");
+    (void)txn->CreateRelationship(services[2], services[1], "DEPENDS_ON");
+    (void)txn->Commit();
+  }
+
+  // The dashboard opens its consistent view NOW.
+  auto dashboard = db->Begin(IsolationLevel::kSnapshotIsolation);
+  std::printf("dashboard snapshot opened at ts=%llu\n",
+              (unsigned long long)dashboard->start_ts());
+
+  // ... while the world changes: an incident cascades.
+  {
+    auto incident = db->Begin();
+    (void)incident->SetNodeProperty(services[5], "status",
+                                    PropertyValue("down"));
+    (void)incident->SetNodeProperty(services[4], "status",
+                                    PropertyValue("degraded"));
+    (void)incident->Commit();
+  }
+  {
+    auto cascade = db->Begin();
+    (void)cascade->SetNodeProperty(services[3], "status",
+                                   PropertyValue("degraded"));
+    (void)cascade->Commit();
+  }
+  // A new service is deployed mid-incident.
+  {
+    auto deploy = db->Begin();
+    auto cache = deploy->CreateNode({"Service"},
+                                    {{"name", PropertyValue("cache")},
+                                     {"status", PropertyValue("healthy")}});
+    (void)deploy->CreateRelationship(services[3], *cache, "DEPENDS_ON");
+    (void)deploy->Commit();
+  }
+
+  // Dashboard drill-down: every query answers from the pre-incident world.
+  std::printf("\ndashboard view (pre-incident snapshot):\n");
+  auto dashboard_services = dashboard->GetNodesByLabel("Service");
+  for (NodeId service : *dashboard_services) {
+    auto view = dashboard->GetNode(service);
+    std::printf("  %-8s %s\n", view->props.at("name").AsString().c_str(),
+                view->props.at("status").AsString().c_str());
+  }
+  std::printf("  (the 'cache' service and every status change are "
+              "invisible: they committed after ts=%llu)\n",
+              (unsigned long long)dashboard->start_ts());
+
+  // Live view for contrast.
+  {
+    auto live = db->Begin();
+    std::printf("\nlive view:\n");
+    auto live_services = live->GetNodesByLabel("Service");
+    for (NodeId service : *live_services) {
+      auto view = live->GetNode(service);
+      std::printf("  %-8s %s\n", view->props.at("name").AsString().c_str(),
+                  view->props.at("status").AsString().c_str());
+    }
+  }
+
+  // GC respects the dashboard's snapshot...
+  GcStats pinned = db->RunGc();
+  std::printf("\ngc while dashboard open: reclaimed %llu versions "
+              "(watermark pinned at %llu)\n",
+              (unsigned long long)pinned.versions_pruned,
+              (unsigned long long)pinned.watermark);
+
+  // ... and reclaims everything the moment it closes.
+  (void)dashboard->Commit();
+  GcStats drained = db->RunGc();
+  std::printf("gc after dashboard closed: reclaimed %llu versions\n",
+              (unsigned long long)drained.versions_pruned);
+  return 0;
+}

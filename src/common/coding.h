@@ -1,0 +1,62 @@
+// Little-endian fixed-width and varint encoding helpers for record
+// serialization (store files, WAL).
+
+#ifndef NEOSI_COMMON_CODING_H_
+#define NEOSI_COMMON_CODING_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace neosi {
+
+inline void EncodeFixed16(char* dst, uint16_t v) { memcpy(dst, &v, 2); }
+inline void EncodeFixed32(char* dst, uint32_t v) { memcpy(dst, &v, 4); }
+inline void EncodeFixed64(char* dst, uint64_t v) { memcpy(dst, &v, 8); }
+
+inline uint16_t DecodeFixed16(const char* src) {
+  uint16_t v;
+  memcpy(&v, src, 2);
+  return v;
+}
+inline uint32_t DecodeFixed32(const char* src) {
+  uint32_t v;
+  memcpy(&v, src, 4);
+  return v;
+}
+inline uint64_t DecodeFixed64(const char* src) {
+  uint64_t v;
+  memcpy(&v, src, 8);
+  return v;
+}
+
+void PutFixed16(std::string* dst, uint16_t v);
+void PutFixed32(std::string* dst, uint32_t v);
+void PutFixed64(std::string* dst, uint64_t v);
+
+/// Appends a LEB128 varint (1..10 bytes for 64-bit values).
+void PutVarint32(std::string* dst, uint32_t v);
+void PutVarint64(std::string* dst, uint64_t v);
+/// Appends varint length followed by the bytes.
+void PutLengthPrefixedSlice(std::string* dst, const Slice& value);
+
+/// Parses from the front of *input, advancing it. Returns false on underflow
+/// or malformed varint.
+bool GetFixed16(Slice* input, uint16_t* value);
+bool GetFixed32(Slice* input, uint32_t* value);
+bool GetFixed64(Slice* input, uint64_t* value);
+bool GetVarint32(Slice* input, uint32_t* value);
+bool GetVarint64(Slice* input, uint64_t* value);
+bool GetLengthPrefixedSlice(Slice* input, Slice* result);
+
+/// CRC32 (Castagnoli polynomial, software table implementation) used for WAL
+/// record and store-header integrity.
+uint32_t Crc32c(const char* data, size_t n);
+inline uint32_t Crc32c(const Slice& s) { return Crc32c(s.data(), s.size()); }
+
+}  // namespace neosi
+
+#endif  // NEOSI_COMMON_CODING_H_

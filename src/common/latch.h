@@ -1,0 +1,42 @@
+// Lightweight synchronization primitives for internal engine state.
+//
+// These guard in-memory structures (cache buckets, version chains, index
+// shards) and are distinct from the transactional LockManager in src/txn,
+// which implements the user-visible locking protocol.
+
+#ifndef NEOSI_COMMON_LATCH_H_
+#define NEOSI_COMMON_LATCH_H_
+
+#include <atomic>
+#include <mutex>
+#include <shared_mutex>
+
+namespace neosi {
+
+/// Test-and-set spin latch for very short critical sections.
+class SpinLatch {
+ public:
+  SpinLatch() = default;
+  SpinLatch(const SpinLatch&) = delete;
+  SpinLatch& operator=(const SpinLatch&) = delete;
+
+  void lock() {
+    while (flag_.test_and_set(std::memory_order_acquire)) {
+      // Spin; short sections only.
+    }
+  }
+  bool try_lock() { return !flag_.test_and_set(std::memory_order_acquire); }
+  void unlock() { flag_.clear(std::memory_order_release); }
+
+ private:
+  std::atomic_flag flag_ = ATOMIC_FLAG_INIT;
+};
+
+/// Reader-writer latch; thin alias so call sites read as intent.
+using SharedLatch = std::shared_mutex;
+using ReadGuard = std::shared_lock<std::shared_mutex>;
+using WriteGuard = std::unique_lock<std::shared_mutex>;
+
+}  // namespace neosi
+
+#endif  // NEOSI_COMMON_LATCH_H_

@@ -1,0 +1,56 @@
+// Database-wide configuration.
+
+#ifndef NEOSI_COMMON_OPTIONS_H_
+#define NEOSI_COMMON_OPTIONS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/types.h"
+
+namespace neosi {
+
+/// Options controlling a GraphDatabase instance. Plain data; copyable.
+struct DatabaseOptions {
+  /// Directory for store files and the WAL. Ignored when in_memory is true.
+  std::string path;
+
+  /// When true, store files and WAL live in anonymous memory (no files are
+  /// created). Recovery tests and benches use on-disk mode.
+  bool in_memory = true;
+
+  /// Default isolation level for BeginTransaction() without an explicit one.
+  IsolationLevel default_isolation = IsolationLevel::kSnapshotIsolation;
+
+  /// Write-write conflict resolution policy under snapshot isolation.
+  ConflictPolicy conflict_policy = ConflictPolicy::kFirstUpdaterWinsWait;
+
+  /// Page size for store files, bytes.
+  size_t page_size = 8192;
+
+  /// Soft capacity of the object cache in cached objects; clean
+  /// single-version objects beyond this are evictable. 0 = unbounded.
+  size_t object_cache_capacity = 1 << 20;
+
+  /// Run the version garbage collector automatically every this many commits
+  /// (0 disables automatic GC; callers invoke GraphDatabase::RunGc()).
+  uint64_t gc_every_n_commits = 4096;
+
+  /// Run a background GC thread with this pass interval in milliseconds
+  /// (0 disables the daemon; foreground auto-GC still applies).
+  uint64_t background_gc_interval_ms = 0;
+
+  /// fsync the WAL on every commit. Off by default: the experiments measure
+  /// concurrency-control behaviour, not disk stalls.
+  bool sync_commits = false;
+
+  /// Lock wait timeout (milliseconds) for the waiting conflict policies; a
+  /// wait longer than this aborts the waiter with Status::Deadlock. Backstop
+  /// only: wait-die breaks cycles well before this fires.
+  uint64_t lock_timeout_ms = 10000;
+};
+
+}  // namespace neosi
+
+#endif  // NEOSI_COMMON_OPTIONS_H_

@@ -1,0 +1,103 @@
+// The dynamically-typed value attached to node / relationship properties.
+
+#ifndef NEOSI_COMMON_PROPERTY_VALUE_H_
+#define NEOSI_COMMON_PROPERTY_VALUE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <variant>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace neosi {
+
+/// Runtime type tag of a PropertyValue.
+enum class ValueKind : uint8_t {
+  kNull = 0,
+  kBool = 1,
+  kInt = 2,
+  kDouble = 3,
+  kString = 4,
+};
+
+std::string_view ValueKindToString(ValueKind kind);
+
+/// A property value: null, bool, int64, double, or string.
+///
+/// Values are totally ordered (by kind first, then by value within a kind) so
+/// they can key the ordered property index used for range scans.
+class PropertyValue {
+ public:
+  /// Null value.
+  PropertyValue() : value_(std::monostate{}) {}
+  PropertyValue(bool b) : value_(b) {}
+  PropertyValue(int64_t i) : value_(i) {}
+  PropertyValue(int i) : value_(static_cast<int64_t>(i)) {}
+  PropertyValue(double d) : value_(d) {}
+  PropertyValue(std::string s) : value_(std::move(s)) {}
+  PropertyValue(const char* s) : value_(std::string(s)) {}
+
+  ValueKind kind() const {
+    return static_cast<ValueKind>(value_.index());
+  }
+  bool is_null() const { return kind() == ValueKind::kNull; }
+  bool is_bool() const { return kind() == ValueKind::kBool; }
+  bool is_int() const { return kind() == ValueKind::kInt; }
+  bool is_double() const { return kind() == ValueKind::kDouble; }
+  bool is_string() const { return kind() == ValueKind::kString; }
+
+  /// Typed accessors; calling the wrong one is a programming error (asserts).
+  bool AsBool() const { return std::get<bool>(value_); }
+  int64_t AsInt() const { return std::get<int64_t>(value_); }
+  double AsDouble() const { return std::get<double>(value_); }
+  const std::string& AsString() const { return std::get<std::string>(value_); }
+
+  /// Human-readable rendering ("null", "true", "42", "3.5", "\"abc\"").
+  std::string ToString() const;
+
+  /// Appends the serialized form (kind byte + payload) to *dst.
+  void EncodeTo(std::string* dst) const;
+  /// Parses a value from the front of *input, advancing it.
+  static Status DecodeFrom(Slice* input, PropertyValue* out);
+
+  /// Total order: kind first, then value. Doubles compare by value; NaN sorts
+  /// after all other doubles.
+  int Compare(const PropertyValue& other) const;
+
+  bool operator==(const PropertyValue& o) const { return Compare(o) == 0; }
+  bool operator!=(const PropertyValue& o) const { return Compare(o) != 0; }
+  bool operator<(const PropertyValue& o) const { return Compare(o) < 0; }
+  bool operator<=(const PropertyValue& o) const { return Compare(o) <= 0; }
+  bool operator>(const PropertyValue& o) const { return Compare(o) > 0; }
+  bool operator>=(const PropertyValue& o) const { return Compare(o) >= 0; }
+
+  /// Stable hash consistent with operator==.
+  size_t Hash() const;
+
+  /// Approximate in-memory footprint in bytes (used by cache accounting and
+  /// the persistence experiment E9).
+  size_t ApproximateSize() const;
+
+ private:
+  std::variant<std::monostate, bool, int64_t, double, std::string> value_;
+};
+
+/// Materialized property set of one entity, ordered by key id for
+/// deterministic iteration and serialization.
+using PropertyMap = std::map<PropertyKeyId, PropertyValue>;
+
+}  // namespace neosi
+
+namespace std {
+template <>
+struct hash<neosi::PropertyValue> {
+  size_t operator()(const neosi::PropertyValue& v) const noexcept {
+    return v.Hash();
+  }
+};
+}  // namespace std
+
+#endif  // NEOSI_COMMON_PROPERTY_VALUE_H_

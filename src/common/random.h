@@ -1,0 +1,61 @@
+// Deterministic fast RNG used by tests, workload generators and benchmarks.
+
+#ifndef NEOSI_COMMON_RANDOM_H_
+#define NEOSI_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+namespace neosi {
+
+/// xorshift128+ generator: fast, seedable, and deterministic across
+/// platforms. Not cryptographically secure (nothing here needs that).
+class Random {
+ public:
+  explicit Random(uint64_t seed = 0x2545F4914F6CDD1DULL) {
+    // SplitMix64 seeding avoids weak all-zero states.
+    uint64_t z = seed;
+    s_[0] = SplitMix(&z);
+    s_[1] = SplitMix(&z);
+    if (s_[0] == 0 && s_[1] == 0) s_[0] = 1;
+  }
+
+  /// Uniform 64-bit value.
+  uint64_t Next() {
+    uint64_t x = s_[0];
+    const uint64_t y = s_[1];
+    s_[0] = y;
+    x ^= x << 23;
+    s_[1] = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s_[1] + y;
+  }
+
+  /// Uniform in [0, n); n must be > 0.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  /// Uniform in [lo, hi] inclusive.
+  uint64_t Range(uint64_t lo, uint64_t hi) {
+    return lo + Uniform(hi - lo + 1);
+  }
+
+  /// True with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return (Next() >> 11) * (1.0 / 9007199254740992.0);  // 2^53
+  }
+
+ private:
+  static uint64_t SplitMix(uint64_t* state) {
+    uint64_t z = (*state += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  uint64_t s_[2];
+};
+
+}  // namespace neosi
+
+#endif  // NEOSI_COMMON_RANDOM_H_

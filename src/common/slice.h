@@ -1,0 +1,65 @@
+// A non-owning byte view, RocksDB-style.
+
+#ifndef NEOSI_COMMON_SLICE_H_
+#define NEOSI_COMMON_SLICE_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace neosi {
+
+/// Non-owning pointer + length over contiguous bytes. The referenced storage
+/// must outlive the Slice.
+class Slice {
+ public:
+  Slice() : data_(""), size_(0) {}
+  Slice(const char* data, size_t size) : data_(data), size_(size) {}
+  Slice(const std::string& s) : data_(s.data()), size_(s.size()) {}
+  Slice(const char* s) : data_(s), size_(strlen(s)) {}
+  Slice(std::string_view sv) : data_(sv.data()), size_(sv.size()) {}
+
+  const char* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  char operator[](size_t i) const {
+    assert(i < size_);
+    return data_[i];
+  }
+
+  /// Drops the first n bytes.
+  void remove_prefix(size_t n) {
+    assert(n <= size_);
+    data_ += n;
+    size_ -= n;
+  }
+
+  std::string ToString() const { return std::string(data_, size_); }
+  std::string_view ToStringView() const {
+    return std::string_view(data_, size_);
+  }
+
+  int compare(const Slice& other) const {
+    const size_t min_len = size_ < other.size_ ? size_ : other.size_;
+    int r = memcmp(data_, other.data_, min_len);
+    if (r == 0) {
+      if (size_ < other.size_) r = -1;
+      else if (size_ > other.size_) r = +1;
+    }
+    return r;
+  }
+
+  bool operator==(const Slice& other) const { return compare(other) == 0; }
+  bool operator!=(const Slice& other) const { return compare(other) != 0; }
+
+ private:
+  const char* data_;
+  size_t size_;
+};
+
+}  // namespace neosi
+
+#endif  // NEOSI_COMMON_SLICE_H_

@@ -1,0 +1,202 @@
+// Status / Result error handling for the neosi public API.
+//
+// The public API never throws; every fallible operation returns a Status or a
+// Result<T>. Modeled on the RocksDB / Arrow conventions.
+
+#ifndef NEOSI_COMMON_STATUS_H_
+#define NEOSI_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace neosi {
+
+/// Error category carried by a Status.
+enum class StatusCode : int {
+  kOk = 0,
+  /// The requested entity (node, relationship, token, property) is absent or
+  /// not visible in the caller's snapshot.
+  kNotFound = 1,
+  /// Caller supplied an invalid id, name, or option.
+  kInvalidArgument = 2,
+  /// Transaction aborted: write-write conflict (first-updater-wins /
+  /// first-committer-wins) or explicit rollback.
+  kAborted = 3,
+  /// Lock wait would deadlock (wait-die victim).
+  kDeadlock = 4,
+  /// On-disk state failed validation (bad magic, CRC mismatch, torn record).
+  kCorruption = 5,
+  /// Underlying file read/write failed.
+  kIOError = 6,
+  /// Operation illegal in the current state (e.g. write on a finished txn).
+  kFailedPrecondition = 7,
+  /// Unique entity already exists (token re-creation races).
+  kAlreadyExists = 8,
+  /// Id or offset outside the valid range.
+  kOutOfRange = 9,
+  /// Feature intentionally unimplemented.
+  kNotSupported = 10,
+  /// Invariant violation inside the engine; always a bug.
+  kInternal = 11,
+};
+
+/// Returns a short human-readable name ("NotFound", ...) for a code.
+std::string_view StatusCodeToString(StatusCode code);
+
+/// Cheap value type describing the outcome of an operation.
+///
+/// An ok Status carries no allocation; error Statuses carry a message.
+class Status {
+ public:
+  /// Constructs an ok status.
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status Deadlock(std::string msg) {
+    return Status(StatusCode::kDeadlock, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsAborted() const { return code_ == StatusCode::kAborted; }
+  bool IsDeadlock() const { return code_ == StatusCode::kDeadlock; }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsIOError() const { return code_ == StatusCode::kIOError; }
+  bool IsFailedPrecondition() const {
+    return code_ == StatusCode::kFailedPrecondition;
+  }
+  bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
+  bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
+  bool IsNotSupported() const { return code_ == StatusCode::kNotSupported; }
+  bool IsInternal() const { return code_ == StatusCode::kInternal; }
+
+  /// True for the two transaction-retry outcomes (conflict abort / deadlock
+  /// victim); callers typically retry the whole transaction.
+  bool IsRetryable() const { return IsAborted() || IsDeadlock(); }
+
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const { return code_ == other.code_; }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// A Status plus a value of type T on success.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value: `return 42;`.
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}
+  /// Implicit from error status: `return Status::NotFound(...);`.
+  Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "Result from Status requires an error");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Value access; must only be called when ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the contained value or `fallback` if in error state.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace neosi
+
+/// Evaluates `expr` (a Status expression) and returns it from the enclosing
+/// function if it is not ok.
+#define NEOSI_RETURN_IF_ERROR(expr)                 \
+  do {                                              \
+    ::neosi::Status _neosi_status = (expr);         \
+    if (!_neosi_status.ok()) return _neosi_status;  \
+  } while (0)
+
+/// Evaluates `rexpr` (a Result<T> expression); on error returns its status,
+/// otherwise assigns the value to `lhs`.
+#define NEOSI_ASSIGN_OR_RETURN(lhs, rexpr)        \
+  NEOSI_ASSIGN_OR_RETURN_IMPL(                    \
+      NEOSI_STATUS_CONCAT(_neosi_res, __LINE__), lhs, rexpr)
+
+#define NEOSI_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).value();
+
+#define NEOSI_STATUS_CONCAT_IMPL(a, b) a##b
+#define NEOSI_STATUS_CONCAT(a, b) NEOSI_STATUS_CONCAT_IMPL(a, b)
+
+#endif  // NEOSI_COMMON_STATUS_H_

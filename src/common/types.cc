@@ -1,0 +1,57 @@
+#include "common/types.h"
+
+namespace neosi {
+
+std::string EntityKey::ToString() const {
+  std::string out(EntityTypeToString(type));
+  out += "(";
+  out += std::to_string(id);
+  out += ")";
+  return out;
+}
+
+std::string_view EntityTypeToString(EntityType type) {
+  switch (type) {
+    case EntityType::kNode:
+      return "Node";
+    case EntityType::kRelationship:
+      return "Relationship";
+  }
+  return "Unknown";
+}
+
+std::string_view DirectionToString(Direction direction) {
+  switch (direction) {
+    case Direction::kOutgoing:
+      return "OUTGOING";
+    case Direction::kIncoming:
+      return "INCOMING";
+    case Direction::kBoth:
+      return "BOTH";
+  }
+  return "Unknown";
+}
+
+std::string_view IsolationLevelToString(IsolationLevel level) {
+  switch (level) {
+    case IsolationLevel::kReadCommitted:
+      return "ReadCommitted";
+    case IsolationLevel::kSnapshotIsolation:
+      return "SnapshotIsolation";
+  }
+  return "Unknown";
+}
+
+std::string_view ConflictPolicyToString(ConflictPolicy policy) {
+  switch (policy) {
+    case ConflictPolicy::kFirstUpdaterWinsNoWait:
+      return "FirstUpdaterWinsNoWait";
+    case ConflictPolicy::kFirstUpdaterWinsWait:
+      return "FirstUpdaterWinsWait";
+    case ConflictPolicy::kFirstCommitterWins:
+      return "FirstCommitterWins";
+  }
+  return "Unknown";
+}
+
+}  // namespace neosi

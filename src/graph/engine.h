@@ -1,0 +1,69 @@
+// Internal component container shared by GraphDatabase, Transaction and the
+// garbage collectors. Not part of the stable public API (exposed for tests
+// and benches, which probe engine internals deliberately).
+
+#ifndef NEOSI_GRAPH_ENGINE_H_
+#define NEOSI_GRAPH_ENGINE_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+
+#include "cache/object_cache.h"
+#include "common/options.h"
+#include "index/label_index.h"
+#include "index/property_index.h"
+#include "mvcc/gc_list.h"
+#include "storage/graph_store.h"
+#include "txn/active_txn_table.h"
+#include "txn/lock_manager.h"
+#include "txn/timestamp_oracle.h"
+
+namespace neosi {
+
+/// Failure-injection switches used by the recovery / crash tests. All off by
+/// default; production paths never set them.
+struct TestHooks {
+  /// Commit appends the WAL record, then "crashes" before applying anything
+  /// to the stores (returns IOError; the database must be reopened).
+  std::atomic<bool> crash_before_store_apply{false};
+  /// Commit crashes after this many successful store-apply operations
+  /// (-1 = disabled).
+  std::atomic<int> crash_after_n_store_ops{-1};
+};
+
+/// Everything the engine is made of, wired once at Open().
+struct Engine {
+  explicit Engine(const DatabaseOptions& opts)
+      : options(opts),
+        store(opts),
+        lock_manager(opts.lock_timeout_ms) {}
+
+  DatabaseOptions options;
+
+  GraphStore store;
+  TimestampOracle oracle;
+  ActiveTxnTable active_txns;
+  LockManager lock_manager;
+  GcList gc_list;
+
+  // Constructed after store.Open() (needs the store pointer).
+  std::unique_ptr<ObjectCache> cache;
+
+  LabelIndex label_index;
+  PropertyIndex node_prop_index;
+  PropertyIndex rel_prop_index;
+
+  /// Serializes commit application so commit timestamps are published in
+  /// order and snapshots never observe half-applied commits.
+  std::mutex commit_mu;
+
+  /// Commits since the last automatic GC pass.
+  std::atomic<uint64_t> commits_since_gc{0};
+
+  TestHooks test_hooks;
+};
+
+}  // namespace neosi
+
+#endif  // NEOSI_GRAPH_ENGINE_H_

@@ -1,0 +1,48 @@
+// The paper's garbage collector (§4): reclamation driven by the global
+// timestamp-sorted list of obsolete versions, so each pass touches only the
+// versions it reclaims — never the whole store (contrast: VacuumGc).
+
+#ifndef NEOSI_GRAPH_GARBAGE_COLLECTOR_H_
+#define NEOSI_GRAPH_GARBAGE_COLLECTOR_H_
+
+#include <cstdint>
+#include <mutex>
+
+#include "common/status.h"
+#include "graph/engine.h"
+
+namespace neosi {
+
+/// Outcome of one collection pass (experiment E8 reads these).
+struct GcStats {
+  Timestamp watermark = kNoTimestamp;
+  uint64_t versions_pruned = 0;    ///< Superseded versions unlinked.
+  uint64_t tombstones_purged = 0;  ///< Entities physically removed.
+  uint64_t index_entries_dropped = 0;
+  uint64_t nanos = 0;              ///< Wall time of the pass.
+};
+
+/// Engine-level GC executor over the mvcc::GcList.
+class GcEngine {
+ public:
+  explicit GcEngine(Engine* engine) : engine_(engine) {}
+
+  GcEngine(const GcEngine&) = delete;
+  GcEngine& operator=(const GcEngine&) = delete;
+
+  /// One pass: computes the watermark, pops reclaimable entries, prunes
+  /// chains, purges tombstoned entities (relationships before nodes), and
+  /// compacts the indexes. Safe to call concurrently with transactions.
+  GcStats Collect();
+
+  /// Pass with an explicit watermark (tests).
+  GcStats CollectUpTo(Timestamp watermark);
+
+ private:
+  Engine* const engine_;
+  std::mutex mu_;  // One pass at a time.
+};
+
+}  // namespace neosi
+
+#endif  // NEOSI_GRAPH_GARBAGE_COLLECTOR_H_

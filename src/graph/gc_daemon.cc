@@ -1,0 +1,57 @@
+#include "graph/gc_daemon.h"
+
+#include <chrono>
+
+namespace neosi {
+
+GcDaemon::GcDaemon(GcEngine* gc, uint64_t interval_ms)
+    : gc_(gc), interval_ms_(interval_ms == 0 ? 10 : interval_ms) {}
+
+GcDaemon::~GcDaemon() { Stop(); }
+
+void GcDaemon::Start() {
+  std::lock_guard<std::mutex> guard(mu_);
+  if (thread_.joinable()) return;
+  stop_requested_ = false;
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void GcDaemon::Stop() {
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    if (!thread_.joinable()) return;
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  running_.store(false, std::memory_order_release);
+}
+
+void GcDaemon::Nudge() {
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    nudged_ = true;
+  }
+  cv_.notify_all();
+}
+
+void GcDaemon::Loop() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait_for(lock, std::chrono::milliseconds(interval_ms_),
+                   [this] { return stop_requested_ || nudged_; });
+      if (stop_requested_) return;
+      nudged_ = false;
+    }
+    GcStats stats = gc_->Collect();
+    passes_.fetch_add(1, std::memory_order_relaxed);
+    versions_pruned_.fetch_add(stats.versions_pruned,
+                               std::memory_order_relaxed);
+    tombstones_purged_.fetch_add(stats.tombstones_purged,
+                                 std::memory_order_relaxed);
+  }
+}
+
+}  // namespace neosi

@@ -1,0 +1,135 @@
+#include "graph/graph_database.h"
+
+namespace neosi {
+
+GraphDatabase::GraphDatabase(const DatabaseOptions& options)
+    : engine_(std::make_unique<Engine>(options)) {}
+
+GraphDatabase::~GraphDatabase() {
+  if (gc_daemon_) gc_daemon_->Stop();
+}
+
+Result<std::unique_ptr<GraphDatabase>> GraphDatabase::Open(
+    const DatabaseOptions& options) {
+  if (!options.in_memory && options.path.empty()) {
+    return Status::InvalidArgument(
+        "on-disk database requires options.path");
+  }
+  std::unique_ptr<GraphDatabase> db(new GraphDatabase(options));
+  Status s = db->OpenImpl();
+  if (!s.ok()) return s;
+  return db;
+}
+
+Status GraphDatabase::OpenImpl() {
+  NEOSI_RETURN_IF_ERROR(engine_->store.Open());
+
+  // Recovery: replay the WAL tail onto the stores and restart the oracle
+  // above the highest commit timestamp ever used.
+  auto max_ts = engine_->store.Recover();
+  if (!max_ts.ok()) return max_ts.status();
+  engine_->oracle.Restart(*max_ts);
+
+  engine_->cache = std::make_unique<ObjectCache>(
+      &engine_->store, engine_->options.object_cache_capacity);
+
+  NEOSI_RETURN_IF_ERROR(RebuildIndexes());
+
+  gc_ = std::make_unique<GcEngine>(engine_.get());
+  vacuum_ = std::make_unique<VacuumGc>(engine_.get());
+  if (engine_->options.background_gc_interval_ms > 0) {
+    gc_daemon_ = std::make_unique<GcDaemon>(
+        gc_.get(), engine_->options.background_gc_interval_ms);
+    gc_daemon_->Start();
+  }
+  return Status::OK();
+}
+
+Status GraphDatabase::RebuildIndexes() {
+  // Indexes are in-memory structures rebuilt from the persistent stores at
+  // open (the newest committed version of each entity). Association
+  // timestamps collapse to the record's commit timestamp, which is exact
+  // enough: no snapshot older than the restart can exist.
+  NEOSI_RETURN_IF_ERROR(engine_->store.ForEachNode([&](NodeId id) {
+    NodeState state;
+    NEOSI_RETURN_IF_ERROR(engine_->store.ReadNodeState(id, &state));
+    if (!state.in_use || state.deleted) return Status::OK();
+    for (LabelId label : state.labels) {
+      engine_->label_index.AddPending(label, id, kNoTxn);
+      engine_->label_index.CommitAdd(label, id, kNoTxn, state.commit_ts);
+    }
+    for (const auto& [key, value] : state.props) {
+      engine_->node_prop_index.AddPending(key, value, id, kNoTxn);
+      engine_->node_prop_index.CommitAdd(key, value, id, kNoTxn,
+                                         state.commit_ts);
+    }
+    return Status::OK();
+  }));
+  NEOSI_RETURN_IF_ERROR(engine_->store.ForEachRel([&](RelId id) {
+    RelState state;
+    NEOSI_RETURN_IF_ERROR(engine_->store.ReadRelState(id, &state));
+    if (!state.in_use || state.deleted) return Status::OK();
+    for (const auto& [key, value] : state.props) {
+      engine_->rel_prop_index.AddPending(key, value, id, kNoTxn);
+      engine_->rel_prop_index.CommitAdd(key, value, id, kNoTxn,
+                                        state.commit_ts);
+    }
+    return Status::OK();
+  }));
+  return Status::OK();
+}
+
+std::unique_ptr<Transaction> GraphDatabase::Begin() {
+  return Begin(engine_->options.default_isolation);
+}
+
+std::unique_ptr<Transaction> GraphDatabase::Begin(IsolationLevel isolation) {
+  const TxnId id = engine_->oracle.NextTxnId();
+  // Atomic w.r.t. watermark computation: the snapshot timestamp is taken
+  // and published to the active table in one step, so GC can never reclaim
+  // a version this snapshot still needs.
+  const Timestamp start_ts = engine_->active_txns.RegisterAtomic(
+      id, [this] { return engine_->oracle.ReadTs(); });
+  std::unique_ptr<Transaction> txn(
+      new Transaction(engine_.get(), isolation, id, start_ts));
+  MaybeAutoGc();
+  return txn;
+}
+
+void GraphDatabase::MaybeAutoGc() {
+  const uint64_t every = engine_->options.gc_every_n_commits;
+  if (every == 0) return;
+  if (engine_->commits_since_gc.load(std::memory_order_relaxed) >= every) {
+    engine_->commits_since_gc.store(0, std::memory_order_relaxed);
+    RunGc();
+    engine_->cache->EvictIfNeeded();
+  }
+}
+
+GcStats GraphDatabase::RunGc() { return gc_->Collect(); }
+
+VacuumStats GraphDatabase::RunVacuum() { return vacuum_->Run(); }
+
+Status GraphDatabase::Checkpoint() { return engine_->store.Checkpoint(); }
+
+Timestamp GraphDatabase::Watermark() const {
+  return engine_->active_txns.Watermark(engine_->oracle.ReadTs());
+}
+
+DatabaseStats GraphDatabase::Stats() const {
+  DatabaseStats stats;
+  stats.store = engine_->store.Stats();
+  stats.cache = engine_->cache->Stats();
+  stats.locks = engine_->lock_manager.Stats();
+  stats.label_index = engine_->label_index.Stats();
+  stats.node_prop_index = engine_->node_prop_index.Stats();
+  stats.rel_prop_index = engine_->rel_prop_index.Stats();
+  stats.gc_queue = engine_->gc_list.size();
+  stats.gc_appended = engine_->gc_list.total_appended();
+  stats.gc_reclaimed = engine_->gc_list.total_reclaimed();
+  stats.active_txns = engine_->active_txns.ActiveCount();
+  stats.last_committed = engine_->oracle.ReadTs();
+  return stats;
+}
+
+}  // namespace neosi

@@ -1,0 +1,103 @@
+// GraphDatabase: the top-level handle of the neosi library.
+//
+//   DatabaseOptions options;                       // in-memory by default
+//   auto db = GraphDatabase::Open(options);
+//   auto txn = (*db)->Begin(IsolationLevel::kSnapshotIsolation);
+//   auto alice = (*txn)->CreateNode({"Person"}, {{"name", "alice"}});
+//   (*txn)->Commit();
+//
+// Reproduces the architecture of the paper's Figure 1 (store files + object
+// cache + label/property indexes + lock manager) with the paper's MVCC
+// snapshot-isolation layer on top.
+
+#ifndef NEOSI_GRAPH_GRAPH_DATABASE_H_
+#define NEOSI_GRAPH_GRAPH_DATABASE_H_
+
+#include <memory>
+
+#include "common/options.h"
+#include "common/status.h"
+#include "graph/engine.h"
+#include "graph/garbage_collector.h"
+#include "graph/gc_daemon.h"
+#include "graph/transaction.h"
+#include "graph/vacuum_gc.h"
+
+namespace neosi {
+
+/// Aggregate observability snapshot.
+struct DatabaseStats {
+  GraphStoreStats store;
+  ObjectCacheStats cache;
+  LockManagerStats locks;
+  LabelIndexStats label_index;
+  PropertyIndexStats node_prop_index;
+  PropertyIndexStats rel_prop_index;
+  uint64_t gc_queue = 0;
+  uint64_t gc_appended = 0;
+  uint64_t gc_reclaimed = 0;
+  uint64_t active_txns = 0;
+  Timestamp last_committed = kNoTimestamp;
+};
+
+/// A single-process graph database instance. Thread-safe: any number of
+/// threads may Begin() and drive their own transactions concurrently.
+class GraphDatabase {
+ public:
+  /// Opens (or recovers) a database. For on-disk databases, `options.path`
+  /// must name a directory (created if missing); recovery replays the WAL
+  /// and rebuilds the in-memory indexes.
+  static Result<std::unique_ptr<GraphDatabase>> Open(
+      const DatabaseOptions& options);
+
+  ~GraphDatabase();
+
+  GraphDatabase(const GraphDatabase&) = delete;
+  GraphDatabase& operator=(const GraphDatabase&) = delete;
+
+  /// Starts a transaction at the configured default isolation level.
+  std::unique_ptr<Transaction> Begin();
+  std::unique_ptr<Transaction> Begin(IsolationLevel isolation);
+
+  /// Runs one pass of the paper's threaded garbage collector (§4): pops the
+  /// timestamp-sorted list up to the current watermark and reclaims exactly
+  /// those versions.
+  GcStats RunGc();
+
+  /// Runs the PostgreSQL-VACUUM-style baseline collector (full scan).
+  VacuumStats RunVacuum();
+
+  /// Syncs store files and truncates the WAL.
+  Status Checkpoint();
+
+  /// The minimum start timestamp any active transaction observes.
+  Timestamp Watermark() const;
+
+  DatabaseStats Stats() const;
+
+  /// Engine internals: tests and benchmarks probe these deliberately.
+  Engine& engine() { return *engine_; }
+  const Engine& engine() const { return *engine_; }
+
+  /// Background GC daemon (null unless options.background_gc_interval_ms
+  /// was set).
+  GcDaemon* gc_daemon() { return gc_daemon_.get(); }
+
+ private:
+  explicit GraphDatabase(const DatabaseOptions& options);
+
+  Status OpenImpl();
+  Status RebuildIndexes();
+  void MaybeAutoGc();
+
+  std::unique_ptr<Engine> engine_;
+  std::unique_ptr<GcEngine> gc_;
+  std::unique_ptr<VacuumGc> vacuum_;
+  std::unique_ptr<GcDaemon> gc_daemon_;
+
+  friend class Transaction;
+};
+
+}  // namespace neosi
+
+#endif  // NEOSI_GRAPH_GRAPH_DATABASE_H_

@@ -1,0 +1,39 @@
+#include "graph/iterators.h"
+
+namespace neosi {
+
+NodeIterator NodeIterator::All(Transaction& txn) {
+  return NodeIterator(&txn, txn.AllNodes());
+}
+
+NodeIterator NodeIterator::ByLabel(Transaction& txn,
+                                   const std::string& label) {
+  return NodeIterator(&txn, txn.GetNodesByLabel(label));
+}
+
+NodeIterator NodeIterator::ByProperty(Transaction& txn,
+                                      const std::string& key,
+                                      const PropertyValue& value) {
+  return NodeIterator(&txn, txn.GetNodesByProperty(key, value));
+}
+
+NodeIterator NodeIterator::ByPropertyRange(
+    Transaction& txn, const std::string& key,
+    const std::optional<PropertyValue>& lo,
+    const std::optional<PropertyValue>& hi) {
+  return NodeIterator(&txn, txn.GetNodesByPropertyRange(key, lo, hi));
+}
+
+RelationshipIterator RelationshipIterator::Of(
+    Transaction& txn, NodeId node, Direction direction,
+    const std::optional<std::string>& type) {
+  return RelationshipIterator(&txn, txn.GetRelationships(node, direction,
+                                                         type));
+}
+
+RelationshipIterator RelationshipIterator::ByProperty(
+    Transaction& txn, const std::string& key, const PropertyValue& value) {
+  return RelationshipIterator(&txn, txn.GetRelsByProperty(key, value));
+}
+
+}  // namespace neosi

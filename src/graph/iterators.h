@@ -1,0 +1,114 @@
+// Cursor-style iterators over scans and adjacency (RocksDB idiom: Valid() /
+// Next() / value accessors), layered over Transaction's snapshot reads.
+//
+// These are the public face of §4's "enriched iterators": the id sets are
+// materialized under the engine's latches at construction (merging the
+// persistent state with cached versions, honouring read-your-own-writes),
+// and per-item accessors re-resolve through the transaction so deleted or
+// invisible entities are never surfaced.
+
+#ifndef NEOSI_GRAPH_ITERATORS_H_
+#define NEOSI_GRAPH_ITERATORS_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "graph/transaction.h"
+#include "graph/views.h"
+
+namespace neosi {
+
+/// Iterates node ids. Obtain from NodeIterator::All / ByLabel / ByProperty.
+class NodeIterator {
+ public:
+  /// Every node visible to txn, ascending id.
+  static NodeIterator All(Transaction& txn);
+  /// Nodes carrying `label`.
+  static NodeIterator ByLabel(Transaction& txn, const std::string& label);
+  /// Nodes with property `key` == `value`.
+  static NodeIterator ByProperty(Transaction& txn, const std::string& key,
+                                 const PropertyValue& value);
+  /// Nodes with property `key` in [lo, hi].
+  static NodeIterator ByPropertyRange(Transaction& txn,
+                                      const std::string& key,
+                                      const std::optional<PropertyValue>& lo,
+                                      const std::optional<PropertyValue>& hi);
+
+  /// False once exhausted or if construction failed (check status()).
+  bool Valid() const { return ok_ && pos_ < ids_.size(); }
+  void Next() { ++pos_; }
+  /// Construction error, if any (OK while iterating).
+  const Status& status() const { return status_; }
+
+  /// Current node id; only when Valid().
+  NodeId id() const { return ids_[pos_]; }
+  /// Materializes the current node (labels + properties).
+  Result<NodeView> Get() { return txn_->GetNode(id()); }
+
+  size_t size() const { return ids_.size(); }
+
+ private:
+  NodeIterator(Transaction* txn, Result<std::vector<NodeId>> ids)
+      : txn_(txn) {
+    if (ids.ok()) {
+      ids_ = std::move(*ids);
+      ok_ = true;
+    } else {
+      status_ = ids.status();
+      ok_ = false;
+    }
+  }
+
+  Transaction* txn_;
+  std::vector<NodeId> ids_;
+  size_t pos_ = 0;
+  bool ok_ = false;
+  Status status_;
+};
+
+/// Iterates relationships incident to a node (or matching a property).
+class RelationshipIterator {
+ public:
+  /// Relationships of `node` in `direction`, optionally type-filtered.
+  static RelationshipIterator Of(
+      Transaction& txn, NodeId node, Direction direction = Direction::kBoth,
+      const std::optional<std::string>& type = std::nullopt);
+  /// Relationships with property `key` == `value`.
+  static RelationshipIterator ByProperty(Transaction& txn,
+                                         const std::string& key,
+                                         const PropertyValue& value);
+
+  bool Valid() const { return ok_ && pos_ < ids_.size(); }
+  void Next() { ++pos_; }
+  const Status& status() const { return status_; }
+
+  RelId id() const { return ids_[pos_]; }
+  Result<RelView> Get() { return txn_->GetRelationship(id()); }
+
+  size_t size() const { return ids_.size(); }
+
+ private:
+  RelationshipIterator(Transaction* txn, Result<std::vector<RelId>> ids)
+      : txn_(txn) {
+    if (ids.ok()) {
+      ids_ = std::move(*ids);
+      ok_ = true;
+    } else {
+      status_ = ids.status();
+      ok_ = false;
+    }
+  }
+
+  Transaction* txn_;
+  std::vector<RelId> ids_;
+  size_t pos_ = 0;
+  bool ok_ = false;
+  Status status_;
+};
+
+}  // namespace neosi
+
+#endif  // NEOSI_GRAPH_ITERATORS_H_

@@ -1,0 +1,183 @@
+#include "graph/query.h"
+
+#include <algorithm>
+
+namespace neosi {
+
+// ----------------------------------- Filter --------------------------------
+
+Filter Filter::Eq(std::string key, PropertyValue value) {
+  return Filter{std::move(key), Op::kEq, std::move(value), {}};
+}
+Filter Filter::Lt(std::string key, PropertyValue value) {
+  return Filter{std::move(key), Op::kLt, std::move(value), {}};
+}
+Filter Filter::Le(std::string key, PropertyValue value) {
+  return Filter{std::move(key), Op::kLe, std::move(value), {}};
+}
+Filter Filter::Gt(std::string key, PropertyValue value) {
+  return Filter{std::move(key), Op::kGt, std::move(value), {}};
+}
+Filter Filter::Ge(std::string key, PropertyValue value) {
+  return Filter{std::move(key), Op::kGe, std::move(value), {}};
+}
+Filter Filter::Between(std::string key, PropertyValue lo, PropertyValue hi) {
+  return Filter{std::move(key), Op::kBetween, std::move(lo), std::move(hi)};
+}
+Filter Filter::Exists(std::string key) {
+  return Filter{std::move(key), Op::kExists, {}, {}};
+}
+
+bool Filter::Matches(const NamedProperties& props) const {
+  auto it = props.find(key);
+  if (it == props.end()) return false;
+  const PropertyValue& v = it->second;
+  switch (op) {
+    case Op::kEq:
+      return v == a;
+    case Op::kLt:
+      return v < a;
+    case Op::kLe:
+      return v <= a;
+    case Op::kGt:
+      return v > a;
+    case Op::kGe:
+      return v >= a;
+    case Op::kBetween:
+      return a <= v && v <= b;
+    case Op::kExists:
+      return true;
+  }
+  return false;
+}
+
+// ------------------------------------ Query --------------------------------
+
+Query Query::Match(NodePattern pattern) {
+  Query q;
+  q.start_ = std::move(pattern);
+  return q;
+}
+
+Query& Query::Expand(Expansion expansion) {
+  expansions_.push_back(std::move(expansion));
+  return *this;
+}
+
+Query& Query::Limit(size_t limit) {
+  limit_ = limit;
+  return *this;
+}
+
+Query& Query::AllowRevisit(bool allow) {
+  allow_revisit_ = allow;
+  return *this;
+}
+
+Result<std::vector<NodeId>> Query::StartCandidates(Transaction& txn) const {
+  // Access-path choice: property equality (narrowest) > property range >
+  // label scan > full scan. Residual filters are verified per node later.
+  for (const Filter& filter : start_.filters()) {
+    if (filter.op == Filter::Op::kEq) {
+      return txn.GetNodesByProperty(filter.key, filter.a);
+    }
+  }
+  for (const Filter& filter : start_.filters()) {
+    switch (filter.op) {
+      case Filter::Op::kBetween:
+        return txn.GetNodesByPropertyRange(filter.key, filter.a, filter.b);
+      case Filter::Op::kLt:
+      case Filter::Op::kLe:
+        return txn.GetNodesByPropertyRange(filter.key, std::nullopt,
+                                           filter.a);
+      case Filter::Op::kGt:
+      case Filter::Op::kGe:
+        return txn.GetNodesByPropertyRange(filter.key, filter.a,
+                                           std::nullopt);
+      default:
+        break;
+    }
+  }
+  if (start_.label().has_value()) {
+    return txn.GetNodesByLabel(*start_.label());
+  }
+  return txn.AllNodes();
+}
+
+Result<bool> Query::MatchesPattern(Transaction& txn, NodeId node,
+                                   const NodePattern& pattern) {
+  auto view = txn.GetNode(node);
+  if (!view.ok()) {
+    if (view.status().IsNotFound()) return false;
+    return view.status();
+  }
+  if (pattern.label().has_value()) {
+    if (std::find(view->labels.begin(), view->labels.end(),
+                  *pattern.label()) == view->labels.end()) {
+      return false;
+    }
+  }
+  for (const Filter& filter : pattern.filters()) {
+    if (!filter.Matches(view->props)) return false;
+  }
+  return true;
+}
+
+Result<std::vector<QueryRow>> Query::Execute(Transaction& txn) const {
+  auto candidates = StartCandidates(txn);
+  if (!candidates.ok()) return candidates.status();
+
+  std::vector<QueryRow> frontier;
+  for (NodeId node : *candidates) {
+    auto matches = MatchesPattern(txn, node, start_);
+    if (!matches.ok()) return matches.status();
+    if (*matches) frontier.push_back({node});
+  }
+
+  for (const Expansion& expansion : expansions_) {
+    std::vector<QueryRow> next;
+    for (const QueryRow& row : frontier) {
+      auto neighbors =
+          txn.GetRelationships(row.back(), expansion.direction,
+                               expansion.type);
+      if (!neighbors.ok()) {
+        if (neighbors.status().IsNotFound()) continue;
+        return neighbors.status();
+      }
+      for (RelId rel_id : *neighbors) {
+        auto rel = txn.GetRelationship(rel_id);
+        if (!rel.ok()) continue;
+        const NodeId target = rel->OtherEnd(row.back());
+        if (!allow_revisit_ &&
+            std::find(row.begin(), row.end(), target) != row.end()) {
+          continue;
+        }
+        auto matches = MatchesPattern(txn, target, expansion.target);
+        if (!matches.ok()) return matches.status();
+        if (!*matches) continue;
+        QueryRow extended = row;
+        extended.push_back(target);
+        next.push_back(std::move(extended));
+      }
+    }
+    frontier = std::move(next);
+  }
+
+  if (limit_ != 0 && frontier.size() > limit_) {
+    frontier.resize(limit_);
+  }
+  return frontier;
+}
+
+Result<std::vector<NodeId>> Query::ExecuteEndpoints(Transaction& txn) const {
+  auto rows = Execute(txn);
+  if (!rows.ok()) return rows.status();
+  std::vector<NodeId> out;
+  out.reserve(rows->size());
+  for (const QueryRow& row : *rows) out.push_back(row.back());
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace neosi

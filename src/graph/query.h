@@ -1,0 +1,129 @@
+// A small declarative pattern-matching API over the transactional graph —
+// the "query language or API that enables traversing graphs, running the
+// whole query on the query engine" the paper's introduction motivates
+// graph databases with (§1).
+//
+//   // MATCH (p:Person {age in [30,40]})-[:KNOWS]->(q:Person) RETURN p,q
+//   auto rows = Query::Match(NodePattern("Person").Where(
+//                                Filter::Between("age", 30, 40)))
+//                   .Expand(Expansion("KNOWS", Direction::kOutgoing,
+//                                     NodePattern("Person")))
+//                   .Execute(txn);
+//
+// Execution plans pick the cheapest start point (property equality index >
+// label index > full scan), then expand step by step, filtering each bound
+// node against its pattern. The whole query runs inside one transaction,
+// so under snapshot isolation every step observes one consistent graph.
+
+#ifndef NEOSI_GRAPH_QUERY_H_
+#define NEOSI_GRAPH_QUERY_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/property_value.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "graph/transaction.h"
+
+namespace neosi {
+
+/// A predicate on one property of a bound node.
+struct Filter {
+  enum class Op : uint8_t { kEq, kLt, kLe, kGt, kGe, kBetween, kExists };
+
+  std::string key;
+  Op op = Op::kEq;
+  PropertyValue a;  ///< Operand (lower bound for kBetween).
+  PropertyValue b;  ///< Upper bound for kBetween.
+
+  static Filter Eq(std::string key, PropertyValue value);
+  static Filter Lt(std::string key, PropertyValue value);
+  static Filter Le(std::string key, PropertyValue value);
+  static Filter Gt(std::string key, PropertyValue value);
+  static Filter Ge(std::string key, PropertyValue value);
+  static Filter Between(std::string key, PropertyValue lo, PropertyValue hi);
+  static Filter Exists(std::string key);
+
+  /// Evaluates against a materialized property map.
+  bool Matches(const NamedProperties& props) const;
+};
+
+/// Constraints on one node position of the pattern.
+class NodePattern {
+ public:
+  NodePattern() = default;
+  explicit NodePattern(std::string label) : label_(std::move(label)) {}
+
+  NodePattern& Where(Filter filter) {
+    filters_.push_back(std::move(filter));
+    return *this;
+  }
+
+  const std::optional<std::string>& label() const { return label_; }
+  const std::vector<Filter>& filters() const { return filters_; }
+
+ private:
+  std::optional<std::string> label_;
+  std::vector<Filter> filters_;
+};
+
+/// One relationship hop of the pattern.
+struct Expansion {
+  Expansion(std::optional<std::string> type, Direction direction,
+            NodePattern target)
+      : type(std::move(type)),
+        direction(direction),
+        target(std::move(target)) {}
+
+  std::optional<std::string> type;
+  Direction direction = Direction::kOutgoing;
+  NodePattern target;
+};
+
+/// One result row: the node bound at each pattern position, in order.
+using QueryRow = std::vector<NodeId>;
+
+/// A linear MATCH ... EXPAND* query.
+class Query {
+ public:
+  /// Starts a query at nodes matching `pattern`.
+  static Query Match(NodePattern pattern);
+
+  /// Appends one hop.
+  Query& Expand(Expansion expansion);
+
+  /// Caps the number of result rows (0 = unlimited).
+  Query& Limit(size_t limit);
+
+  /// If set, bound nodes must be pairwise distinct within a row (no
+  /// revisiting; default true, mirroring Cypher's relationship isomorphism
+  /// closely enough for a linear pattern).
+  Query& AllowRevisit(bool allow);
+
+  /// Runs the query inside `txn`'s snapshot.
+  Result<std::vector<QueryRow>> Execute(Transaction& txn) const;
+
+  /// Convenience: the distinct node ids bound at the LAST position.
+  Result<std::vector<NodeId>> ExecuteEndpoints(Transaction& txn) const;
+
+ private:
+  Query() = default;
+
+  /// Candidate start set via the cheapest access path.
+  Result<std::vector<NodeId>> StartCandidates(Transaction& txn) const;
+
+  /// Verifies a node against a pattern (label + all filters).
+  static Result<bool> MatchesPattern(Transaction& txn, NodeId node,
+                                     const NodePattern& pattern);
+
+  NodePattern start_;
+  std::vector<Expansion> expansions_;
+  size_t limit_ = 0;
+  bool allow_revisit_ = false;
+};
+
+}  // namespace neosi
+
+#endif  // NEOSI_GRAPH_QUERY_H_

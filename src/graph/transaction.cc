@@ -1,0 +1,1206 @@
+#include "graph/transaction.h"
+
+#include <algorithm>
+
+#include "graph/graph_database.h"
+
+namespace neosi {
+
+Transaction::Transaction(Engine* engine, IsolationLevel isolation, TxnId id,
+                         Timestamp start_ts)
+    : engine_(engine), isolation_(isolation), id_(id), start_ts_(start_ts) {}
+
+Transaction::~Transaction() {
+  if (state_ == TxnState::kActive) {
+    Abort();
+  }
+}
+
+Status Transaction::CheckActive() const {
+  if (state_ == TxnState::kActive) return Status::OK();
+  return Status::FailedPrecondition(
+      state_ == TxnState::kCommitted ? "transaction already committed"
+                                     : "transaction already aborted");
+}
+
+// ---------------------------------------------------------------------------
+// Locking & conflict detection
+// ---------------------------------------------------------------------------
+
+Status Transaction::AcquireWriteLock(const EntityKey& key) {
+  bool wait = true;
+  if (isolation_ == IsolationLevel::kSnapshotIsolation &&
+      engine_->options.conflict_policy ==
+          ConflictPolicy::kFirstUpdaterWinsNoWait) {
+    wait = false;
+  }
+  Status s = engine_->lock_manager.AcquireExclusive(id_, key, wait);
+  if (!s.ok()) {
+    RollbackLocked();
+  }
+  return s;
+}
+
+Status Transaction::CheckWriteConflict(const VersionChain& chain) {
+  if (isolation_ != IsolationLevel::kSnapshotIsolation) return Status::OK();
+  if (engine_->options.conflict_policy == ConflictPolicy::kFirstCommitterWins) {
+    return Status::OK();  // Validated at commit instead.
+  }
+  // First-updater-wins (paper §4): the long write lock is held, so the only
+  // way the entity can be newer than our snapshot is a conflicting
+  // transaction that already committed -> we lose.
+  if (chain.NewestCommitTs() > start_ts_) {
+    RollbackLocked();
+    return Status::Aborted(
+        "write-write conflict: concurrent transaction committed a newer "
+        "version (first-updater-wins)");
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Token helpers
+// ---------------------------------------------------------------------------
+
+Result<LabelId> Transaction::LabelToken(const std::string& name, bool create) {
+  if (!create) {
+    return engine_->store.labels().Lookup(
+        name, isolation_ == IsolationLevel::kSnapshotIsolation
+                  ? start_ts_
+                  : kMaxTimestamp);
+  }
+  auto existing = engine_->store.labels().Lookup(name);
+  if (existing.ok()) return existing;
+  auto created = engine_->store.labels().GetOrCreate(name, start_ts_);
+  if (created.ok()) {
+    wal_ops_.push_back(WalOp::CreateToken(TokenKind::kLabel, *created, name));
+  }
+  return created;
+}
+
+Result<PropertyKeyId> Transaction::PropKeyToken(const std::string& name,
+                                                bool create) {
+  if (!create) {
+    return engine_->store.prop_keys().Lookup(
+        name, isolation_ == IsolationLevel::kSnapshotIsolation
+                  ? start_ts_
+                  : kMaxTimestamp);
+  }
+  auto existing = engine_->store.prop_keys().Lookup(name);
+  if (existing.ok()) return existing;
+  auto created = engine_->store.prop_keys().GetOrCreate(name, start_ts_);
+  if (created.ok()) {
+    wal_ops_.push_back(
+        WalOp::CreateToken(TokenKind::kPropertyKey, *created, name));
+  }
+  return created;
+}
+
+Result<RelTypeId> Transaction::RelTypeToken(const std::string& name,
+                                            bool create) {
+  if (!create) {
+    return engine_->store.rel_types().Lookup(
+        name, isolation_ == IsolationLevel::kSnapshotIsolation
+                  ? start_ts_
+                  : kMaxTimestamp);
+  }
+  auto existing = engine_->store.rel_types().Lookup(name);
+  if (existing.ok()) return existing;
+  auto created = engine_->store.rel_types().GetOrCreate(name, start_ts_);
+  if (created.ok()) {
+    wal_ops_.push_back(
+        WalOp::CreateToken(TokenKind::kRelType, *created, name));
+  }
+  return created;
+}
+
+Result<NamedProperties> Transaction::NameProps(const PropertyMap& props) const {
+  NamedProperties out;
+  for (const auto& [key, value] : props) {
+    auto name = engine_->store.prop_keys().NameOf(key);
+    if (!name.ok()) return name.status();
+    out[*name] = value;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Pending-version plumbing
+// ---------------------------------------------------------------------------
+
+Result<std::shared_ptr<Version>> Transaction::PendingNodeVersion(
+    NodeId id, std::shared_ptr<CachedNode>* node_out) {
+  NEOSI_RETURN_IF_ERROR(CheckActive());
+  const EntityKey key = EntityKey::Node(id);
+  auto it = writes_.find(key);
+  if (it != writes_.end()) {
+    if (node_out) *node_out = it->second.node;
+    return it->second.pending;
+  }
+
+  auto node = engine_->cache->GetNode(id);
+  if (!node.ok()) return node.status();
+
+  NEOSI_RETURN_IF_ERROR(AcquireWriteLock(key));
+  NEOSI_RETURN_IF_ERROR(CheckWriteConflict((*node)->chain));
+
+  auto visible = (*node)->chain.Visible(
+      isolation_ == IsolationLevel::kSnapshotIsolation ? start_ts_
+                                                       : kMaxTimestamp,
+      id_);
+  if (!visible || visible->data.deleted) {
+    return Status::NotFound("node " + std::to_string(id) +
+                            " is not visible to this transaction");
+  }
+
+  VersionData base = visible->data;  // Copy: the pending version starts here.
+  auto pending = (*node)->chain.InstallUncommitted(id_, std::move(base));
+  if (!pending.ok()) return pending.status();
+
+  WriteRecord record;
+  record.node = *node;
+  record.pending = *pending;
+  record.created = false;
+  writes_[key] = std::move(record);
+  if (node_out) *node_out = *node;
+  return *pending;
+}
+
+Result<std::shared_ptr<Version>> Transaction::PendingRelVersion(
+    RelId id, std::shared_ptr<CachedRel>* rel_out) {
+  NEOSI_RETURN_IF_ERROR(CheckActive());
+  const EntityKey key = EntityKey::Rel(id);
+  auto it = writes_.find(key);
+  if (it != writes_.end()) {
+    if (rel_out) *rel_out = it->second.rel;
+    return it->second.pending;
+  }
+
+  auto rel = engine_->cache->GetRel(id);
+  if (!rel.ok()) return rel.status();
+
+  NEOSI_RETURN_IF_ERROR(AcquireWriteLock(key));
+  NEOSI_RETURN_IF_ERROR(CheckWriteConflict((*rel)->chain));
+
+  auto visible = (*rel)->chain.Visible(
+      isolation_ == IsolationLevel::kSnapshotIsolation ? start_ts_
+                                                       : kMaxTimestamp,
+      id_);
+  if (!visible || visible->data.deleted) {
+    return Status::NotFound("relationship " + std::to_string(id) +
+                            " is not visible to this transaction");
+  }
+
+  VersionData base = visible->data;
+  auto pending = (*rel)->chain.InstallUncommitted(id_, std::move(base));
+  if (!pending.ok()) return pending.status();
+
+  WriteRecord record;
+  record.rel = *rel;
+  record.pending = *pending;
+  record.created = false;
+  writes_[key] = std::move(record);
+  if (rel_out) *rel_out = *rel;
+  return *pending;
+}
+
+// ---------------------------------------------------------------------------
+// Writes
+// ---------------------------------------------------------------------------
+
+Result<NodeId> Transaction::CreateNode(const std::vector<std::string>& labels,
+                                       const NamedProperties& props) {
+  NEOSI_RETURN_IF_ERROR(CheckActive());
+
+  std::vector<LabelId> label_ids;
+  label_ids.reserve(labels.size());
+  for (const std::string& name : labels) {
+    auto token = LabelToken(name, /*create=*/true);
+    if (!token.ok()) return token.status();
+    if (std::find(label_ids.begin(), label_ids.end(), *token) ==
+        label_ids.end()) {
+      label_ids.push_back(*token);
+    }
+  }
+  PropertyMap prop_map;
+  for (const auto& [name, value] : props) {
+    auto token = PropKeyToken(name, /*create=*/true);
+    if (!token.ok()) return token.status();
+    prop_map[*token] = value;
+  }
+
+  auto id = engine_->store.AllocateNodeId();
+  if (!id.ok()) return id.status();
+
+  auto node = engine_->cache->InsertNewNode(*id);
+  if (!node.ok()) return node.status();
+
+  NEOSI_RETURN_IF_ERROR(AcquireWriteLock(EntityKey::Node(*id)));
+
+  VersionData data;
+  data.labels = label_ids;
+  data.props = prop_map;
+  auto pending = (*node)->chain.InstallUncommitted(id_, std::move(data));
+  if (!pending.ok()) return pending.status();
+
+  WriteRecord record;
+  record.node = *node;
+  record.pending = *pending;
+  record.created = true;
+  writes_[EntityKey::Node(*id)] = std::move(record);
+  created_nodes_.push_back(*id);
+
+  for (LabelId label : label_ids) {
+    engine_->label_index.AddPending(label, *id, id_);
+    index_ops_.push_back(
+        {IndexOp::Kind::kLabelAdd, *id, label, kInvalidToken, {}});
+  }
+  for (const auto& [key, value] : prop_map) {
+    engine_->node_prop_index.AddPending(key, value, *id, id_);
+    index_ops_.push_back(
+        {IndexOp::Kind::kNodePropAdd, *id, kInvalidToken, key, value});
+  }
+
+  wal_ops_.push_back(WalOp::CreateNode(*id, label_ids, prop_map));
+  return *id;
+}
+
+Status Transaction::SetNodeProperty(NodeId id, const std::string& key,
+                                    PropertyValue value) {
+  auto token = PropKeyToken(key, /*create=*/true);
+  if (!token.ok()) return token.status();
+
+  auto pending = PendingNodeVersion(id, nullptr);
+  if (!pending.ok()) return pending.status();
+
+  auto& props = (*pending)->data.props;
+  auto it = props.find(*token);
+  if (it != props.end()) {
+    if (it->second == value) return Status::OK();  // No-op write.
+    engine_->node_prop_index.RemovePending(*token, it->second, id, id_);
+    index_ops_.push_back({IndexOp::Kind::kNodePropRemove, id, kInvalidToken,
+                          *token, it->second});
+  }
+  engine_->node_prop_index.AddPending(*token, value, id, id_);
+  index_ops_.push_back(
+      {IndexOp::Kind::kNodePropAdd, id, kInvalidToken, *token, value});
+  props[*token] = value;
+  wal_ops_.push_back(WalOp::SetNodeProperty(id, *token, std::move(value)));
+  return Status::OK();
+}
+
+Status Transaction::RemoveNodeProperty(NodeId id, const std::string& key) {
+  auto token = PropKeyToken(key, /*create=*/false);
+  if (!token.ok()) {
+    return token.status().IsNotFound() ? Status::OK() : token.status();
+  }
+  auto pending = PendingNodeVersion(id, nullptr);
+  if (!pending.ok()) return pending.status();
+
+  auto& props = (*pending)->data.props;
+  auto it = props.find(*token);
+  if (it == props.end()) return Status::OK();
+  engine_->node_prop_index.RemovePending(*token, it->second, id, id_);
+  index_ops_.push_back({IndexOp::Kind::kNodePropRemove, id, kInvalidToken,
+                        *token, it->second});
+  props.erase(it);
+  wal_ops_.push_back(WalOp::RemoveNodeProperty(id, *token));
+  return Status::OK();
+}
+
+Status Transaction::AddLabel(NodeId id, const std::string& label) {
+  auto token = LabelToken(label, /*create=*/true);
+  if (!token.ok()) return token.status();
+
+  auto pending = PendingNodeVersion(id, nullptr);
+  if (!pending.ok()) return pending.status();
+
+  auto& labels = (*pending)->data.labels;
+  if (std::find(labels.begin(), labels.end(), *token) != labels.end()) {
+    return Status::OK();
+  }
+  labels.push_back(*token);
+  engine_->label_index.AddPending(*token, id, id_);
+  index_ops_.push_back(
+      {IndexOp::Kind::kLabelAdd, id, *token, kInvalidToken, {}});
+  wal_ops_.push_back(WalOp::AddLabel(id, *token));
+  return Status::OK();
+}
+
+Status Transaction::RemoveLabel(NodeId id, const std::string& label) {
+  auto token = LabelToken(label, /*create=*/false);
+  if (!token.ok()) {
+    return token.status().IsNotFound() ? Status::OK() : token.status();
+  }
+  auto pending = PendingNodeVersion(id, nullptr);
+  if (!pending.ok()) return pending.status();
+
+  auto& labels = (*pending)->data.labels;
+  auto it = std::find(labels.begin(), labels.end(), *token);
+  if (it == labels.end()) return Status::OK();
+  labels.erase(it);
+  engine_->label_index.RemovePending(*token, id, id_);
+  index_ops_.push_back(
+      {IndexOp::Kind::kLabelRemove, id, *token, kInvalidToken, {}});
+  wal_ops_.push_back(WalOp::RemoveLabel(id, *token));
+  return Status::OK();
+}
+
+Result<RelId> Transaction::CreateRelationship(NodeId src, NodeId dst,
+                                              const std::string& type,
+                                              const NamedProperties& props) {
+  NEOSI_RETURN_IF_ERROR(CheckActive());
+
+  auto type_token = RelTypeToken(type, /*create=*/true);
+  if (!type_token.ok()) return type_token.status();
+  PropertyMap prop_map;
+  for (const auto& [name, value] : props) {
+    auto token = PropKeyToken(name, /*create=*/true);
+    if (!token.ok()) return token.status();
+    prop_map[*token] = value;
+  }
+
+  // Endpoints must be visible in our snapshot.
+  auto src_version = VisibleNodeVersion(src);
+  if (!src_version.ok()) return src_version.status();
+  auto dst_version = VisibleNodeVersion(dst);
+  if (!dst_version.ok()) return dst_version.status();
+
+  // Long write locks on both endpoint nodes, smaller id first (as Neo4j
+  // does: relationship creation mutates both nodes' chains). These always
+  // wait (wait-die breaks cycles); the no-wait conflict policy applies to
+  // data writes, not structural endpoint locks.
+  const NodeId lo = std::min(src, dst), hi = std::max(src, dst);
+  Status s = engine_->lock_manager.AcquireExclusive(id_, EntityKey::Node(lo),
+                                                    /*wait=*/true);
+  if (!s.ok()) {
+    RollbackLocked();
+    return s;
+  }
+  if (hi != lo) {
+    s = engine_->lock_manager.AcquireExclusive(id_, EntityKey::Node(hi),
+                                               /*wait=*/true);
+    if (!s.ok()) {
+      RollbackLocked();
+      return s;
+    }
+  }
+
+  // Re-check after acquiring the locks: a concurrent transaction may have
+  // deleted an endpoint and committed while we waited. Creating the edge
+  // anyway would dangle, so this is treated as a write-write conflict.
+  for (NodeId endpoint : {src, dst}) {
+    const EntityKey ekey = EntityKey::Node(endpoint);
+    auto wit = writes_.find(ekey);
+    if (wit != writes_.end()) {
+      if (wit->second.pending->data.deleted) {
+        RollbackLocked();
+        return Status::Aborted("endpoint node deleted by this transaction");
+      }
+      continue;
+    }
+    auto cached = engine_->cache->GetNode(endpoint);
+    if (!cached.ok()) {
+      RollbackLocked();
+      return Status::Aborted("endpoint node vanished concurrently");
+    }
+    auto latest = (*cached)->chain.LatestCommitted();
+    if (!latest || latest->data.deleted) {
+      RollbackLocked();
+      return Status::Aborted(
+          "endpoint node deleted by a concurrent transaction");
+    }
+    if (isolation_ == IsolationLevel::kSnapshotIsolation &&
+        latest->commit_ts > start_ts_ && latest->data.deleted) {
+      RollbackLocked();
+      return Status::Aborted("endpoint deleted after snapshot");
+    }
+  }
+
+  auto rel_id = engine_->store.AllocateRelId();
+  if (!rel_id.ok()) return rel_id.status();
+
+  auto rel = engine_->cache->InsertNewRel(*rel_id, src, dst, *type_token);
+  if (!rel.ok()) return rel.status();
+
+  NEOSI_RETURN_IF_ERROR(AcquireWriteLock(EntityKey::Rel(*rel_id)));
+
+  VersionData data;
+  data.props = prop_map;
+  auto pending = (*rel)->chain.InstallUncommitted(id_, std::move(data));
+  if (!pending.ok()) return pending.status();
+
+  WriteRecord record;
+  record.rel = *rel;
+  record.pending = *pending;
+  record.created = true;
+  writes_[EntityKey::Rel(*rel_id)] = std::move(record);
+
+  created_rels_by_node_[src].push_back(*rel_id);
+  if (dst != src) created_rels_by_node_[dst].push_back(*rel_id);
+
+  for (const auto& [key, value] : prop_map) {
+    engine_->rel_prop_index.AddPending(key, value, *rel_id, id_);
+    index_ops_.push_back(
+        {IndexOp::Kind::kRelPropAdd, *rel_id, kInvalidToken, key, value});
+  }
+
+  wal_ops_.push_back(
+      WalOp::CreateRel(*rel_id, src, dst, *type_token, prop_map));
+  return *rel_id;
+}
+
+Status Transaction::DeleteRelationship(RelId id) {
+  std::shared_ptr<CachedRel> rel;
+  auto pending = PendingRelVersion(id, &rel);
+  if (!pending.ok()) return pending.status();
+  if ((*pending)->data.deleted) {
+    return Status::NotFound("relationship already deleted");
+  }
+
+  // Lock endpoints (Neo4j semantics: structural change on both nodes).
+  const NodeId lo = std::min(rel->src, rel->dst);
+  const NodeId hi = std::max(rel->src, rel->dst);
+  Status s = engine_->lock_manager.AcquireExclusive(id_, EntityKey::Node(lo),
+                                                    /*wait=*/true);
+  if (!s.ok()) {
+    RollbackLocked();
+    return s;
+  }
+  if (hi != lo) {
+    s = engine_->lock_manager.AcquireExclusive(id_, EntityKey::Node(hi),
+                                               /*wait=*/true);
+    if (!s.ok()) {
+      RollbackLocked();
+      return s;
+    }
+  }
+
+  for (const auto& [key, value] : (*pending)->data.props) {
+    engine_->rel_prop_index.RemovePending(key, value, id, id_);
+    index_ops_.push_back(
+        {IndexOp::Kind::kRelPropRemove, id, kInvalidToken, key, value});
+  }
+  (*pending)->data.deleted = true;
+  (*pending)->data.props.clear();
+  wal_ops_.push_back(WalOp::DeleteRel(id));
+  return Status::OK();
+}
+
+Status Transaction::SetRelProperty(RelId id, const std::string& key,
+                                   PropertyValue value) {
+  auto token = PropKeyToken(key, /*create=*/true);
+  if (!token.ok()) return token.status();
+
+  auto pending = PendingRelVersion(id, nullptr);
+  if (!pending.ok()) return pending.status();
+
+  auto& props = (*pending)->data.props;
+  auto it = props.find(*token);
+  if (it != props.end()) {
+    if (it->second == value) return Status::OK();
+    engine_->rel_prop_index.RemovePending(*token, it->second, id, id_);
+    index_ops_.push_back({IndexOp::Kind::kRelPropRemove, id, kInvalidToken,
+                          *token, it->second});
+  }
+  engine_->rel_prop_index.AddPending(*token, value, id, id_);
+  index_ops_.push_back(
+      {IndexOp::Kind::kRelPropAdd, id, kInvalidToken, *token, value});
+  props[*token] = value;
+  wal_ops_.push_back(WalOp::SetRelProperty(id, *token, std::move(value)));
+  return Status::OK();
+}
+
+Status Transaction::RemoveRelProperty(RelId id, const std::string& key) {
+  auto token = PropKeyToken(key, /*create=*/false);
+  if (!token.ok()) {
+    return token.status().IsNotFound() ? Status::OK() : token.status();
+  }
+  auto pending = PendingRelVersion(id, nullptr);
+  if (!pending.ok()) return pending.status();
+
+  auto& props = (*pending)->data.props;
+  auto it = props.find(*token);
+  if (it == props.end()) return Status::OK();
+  engine_->rel_prop_index.RemovePending(*token, it->second, id, id_);
+  index_ops_.push_back({IndexOp::Kind::kRelPropRemove, id, kInvalidToken,
+                        *token, it->second});
+  props.erase(it);
+  wal_ops_.push_back(WalOp::RemoveRelProperty(id, *token));
+  return Status::OK();
+}
+
+Status Transaction::DeleteNode(NodeId id) {
+  NEOSI_RETURN_IF_ERROR(CheckActive());
+
+  // Visible relationships must be removed first (Neo4j semantics).
+  auto visible_rels = GetRelationships(id, Direction::kBoth);
+  if (!visible_rels.ok()) return visible_rels.status();
+  if (!visible_rels->empty()) {
+    return Status::FailedPrecondition(
+        "node " + std::to_string(id) + " still has " +
+        std::to_string(visible_rels->size()) + " relationship(s)");
+  }
+
+  std::shared_ptr<CachedNode> node;
+  auto pending = PendingNodeVersion(id, &node);
+  if (!pending.ok()) return pending.status();
+
+  // Adjacency conflict check at latest-committed state: a relationship
+  // added by a concurrent committed transaction (invisible to our snapshot)
+  // would dangle if we deleted the node -> first-updater-wins abort. We hold
+  // the node's write lock, so no new attachment can race this check.
+  std::vector<RelId> chain_ids;
+  Status chain_status = engine_->store.RelChainOf(id, &chain_ids);
+  if (!chain_status.ok()) return chain_status;
+  for (RelId rel_id : chain_ids) {
+    auto wit = writes_.find(EntityKey::Rel(rel_id));
+    if (wit != writes_.end() && wit->second.pending->data.deleted) {
+      continue;  // We are deleting it in this transaction.
+    }
+    auto rel = engine_->cache->GetRel(rel_id);
+    if (!rel.ok()) continue;  // Purged: certainly not live.
+    auto latest = (*rel)->chain.LatestCommitted();
+    if (latest && !latest->data.deleted) {
+      RollbackLocked();
+      return Status::Aborted(
+          "node " + std::to_string(id) +
+          " gained a relationship from a concurrent transaction");
+    }
+  }
+
+  for (LabelId label : (*pending)->data.labels) {
+    engine_->label_index.RemovePending(label, id, id_);
+    index_ops_.push_back(
+        {IndexOp::Kind::kLabelRemove, id, label, kInvalidToken, {}});
+  }
+  for (const auto& [key, value] : (*pending)->data.props) {
+    engine_->node_prop_index.RemovePending(key, value, id, id_);
+    index_ops_.push_back(
+        {IndexOp::Kind::kNodePropRemove, id, kInvalidToken, key, value});
+  }
+  (*pending)->data.deleted = true;
+  (*pending)->data.labels.clear();
+  (*pending)->data.props.clear();
+  wal_ops_.push_back(WalOp::DeleteNode(id));
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Reads
+// ---------------------------------------------------------------------------
+
+Result<std::shared_ptr<const Version>> Transaction::VisibleNodeVersion(
+    NodeId id) {
+  NEOSI_RETURN_IF_ERROR(CheckActive());
+  const EntityKey key = EntityKey::Node(id);
+
+  // Stock Neo4j read committed: short shared read lock around the read.
+  const bool short_lock = isolation_ == IsolationLevel::kReadCommitted;
+  if (short_lock) {
+    Status s = engine_->lock_manager.AcquireShared(id_, key);
+    if (!s.ok()) {
+      RollbackLocked();
+      return s;
+    }
+  }
+  auto release = [&] {
+    if (short_lock) engine_->lock_manager.Release(id_, key);
+  };
+
+  auto node = engine_->cache->GetNode(id);
+  if (!node.ok()) {
+    release();
+    return node.status();
+  }
+  auto version = (*node)->chain.Visible(
+      isolation_ == IsolationLevel::kSnapshotIsolation ? start_ts_
+                                                       : kMaxTimestamp,
+      id_);
+  release();
+  if (!version || version->data.deleted) {
+    return Status::NotFound("node " + std::to_string(id) + " not visible");
+  }
+  return version;
+}
+
+Result<std::shared_ptr<const Version>> Transaction::VisibleRelVersion(
+    RelId id) {
+  NEOSI_RETURN_IF_ERROR(CheckActive());
+  const EntityKey key = EntityKey::Rel(id);
+  const bool short_lock = isolation_ == IsolationLevel::kReadCommitted;
+  if (short_lock) {
+    Status s = engine_->lock_manager.AcquireShared(id_, key);
+    if (!s.ok()) {
+      RollbackLocked();
+      return s;
+    }
+  }
+  auto release = [&] {
+    if (short_lock) engine_->lock_manager.Release(id_, key);
+  };
+
+  auto rel = engine_->cache->GetRel(id);
+  if (!rel.ok()) {
+    release();
+    return rel.status();
+  }
+  auto version = (*rel)->chain.Visible(
+      isolation_ == IsolationLevel::kSnapshotIsolation ? start_ts_
+                                                       : kMaxTimestamp,
+      id_);
+  release();
+  if (!version || version->data.deleted) {
+    return Status::NotFound("relationship " + std::to_string(id) +
+                            " not visible");
+  }
+  return version;
+}
+
+Result<NodeView> Transaction::GetNode(NodeId id) {
+  auto version = VisibleNodeVersion(id);
+  if (!version.ok()) return version.status();
+
+  NodeView view;
+  view.id = id;
+  for (LabelId label : (*version)->data.labels) {
+    auto name = engine_->store.labels().NameOf(label);
+    if (!name.ok()) return name.status();
+    view.labels.push_back(*name);
+  }
+  auto props = NameProps((*version)->data.props);
+  if (!props.ok()) return props.status();
+  view.props = std::move(*props);
+  return view;
+}
+
+Result<RelView> Transaction::GetRelationship(RelId id) {
+  auto version = VisibleRelVersion(id);
+  if (!version.ok()) return version.status();
+  auto rel = engine_->cache->GetRel(id);
+  if (!rel.ok()) return rel.status();
+
+  RelView view;
+  view.id = id;
+  view.src = (*rel)->src;
+  view.dst = (*rel)->dst;
+  auto type_name = engine_->store.rel_types().NameOf((*rel)->type);
+  if (!type_name.ok()) return type_name.status();
+  view.type = *type_name;
+  auto props = NameProps((*version)->data.props);
+  if (!props.ok()) return props.status();
+  view.props = std::move(*props);
+  return view;
+}
+
+Result<PropertyValue> Transaction::GetNodeProperty(NodeId id,
+                                                   const std::string& key) {
+  auto token = PropKeyToken(key, /*create=*/false);
+  if (!token.ok()) return token.status();
+  auto version = VisibleNodeVersion(id);
+  if (!version.ok()) return version.status();
+  auto it = (*version)->data.props.find(*token);
+  if (it == (*version)->data.props.end()) {
+    return Status::NotFound("node has no property \"" + key + "\"");
+  }
+  return it->second;
+}
+
+Result<PropertyValue> Transaction::GetRelProperty(RelId id,
+                                                  const std::string& key) {
+  auto token = PropKeyToken(key, /*create=*/false);
+  if (!token.ok()) return token.status();
+  auto version = VisibleRelVersion(id);
+  if (!version.ok()) return version.status();
+  auto it = (*version)->data.props.find(*token);
+  if (it == (*version)->data.props.end()) {
+    return Status::NotFound("relationship has no property \"" + key + "\"");
+  }
+  return it->second;
+}
+
+Result<bool> Transaction::NodeHasLabel(NodeId id, const std::string& label) {
+  auto token = LabelToken(label, /*create=*/false);
+  if (!token.ok()) {
+    if (token.status().IsNotFound()) return false;
+    return token.status();
+  }
+  auto version = VisibleNodeVersion(id);
+  if (!version.ok()) return version.status();
+  const auto& labels = (*version)->data.labels;
+  return std::find(labels.begin(), labels.end(), *token) != labels.end();
+}
+
+bool Transaction::NodeExists(NodeId id) {
+  return VisibleNodeVersion(id).ok();
+}
+
+bool Transaction::RelExists(RelId id) { return VisibleRelVersion(id).ok(); }
+
+Result<std::vector<NodeId>> Transaction::AllNodes() {
+  NEOSI_RETURN_IF_ERROR(CheckActive());
+  std::vector<NodeId> out;
+  const Snapshot snap = ReadSnapshot();
+
+  // Persistent store scan merged with cached versions: the enriched
+  // iterator of §4. Tombstoned records are still in the store; visibility
+  // filters them.
+  Status s = engine_->store.ForEachNode([&](NodeId id) {
+    auto node = engine_->cache->GetNode(id);
+    if (!node.ok()) return Status::OK();  // Purged between scan and resolve.
+    auto version = (*node)->chain.Visible(snap.start_ts, snap.txn_id);
+    if (version && !version->data.deleted) out.push_back(id);
+    return Status::OK();
+  });
+  NEOSI_RETURN_IF_ERROR(s);
+
+  // Own created (still uncommitted) nodes are not in the store yet.
+  for (NodeId id : created_nodes_) {
+    auto it = writes_.find(EntityKey::Node(id));
+    if (it != writes_.end() && !it->second.pending->data.deleted) {
+      out.push_back(id);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+Result<std::vector<NodeId>> Transaction::GetNodesByLabel(
+    const std::string& label) {
+  NEOSI_RETURN_IF_ERROR(CheckActive());
+  auto token = LabelToken(label, /*create=*/false);
+  if (!token.ok()) {
+    if (token.status().IsNotFound()) return std::vector<NodeId>{};
+    return token.status();
+  }
+  std::vector<NodeId> out = engine_->label_index.Lookup(*token,
+                                                        ReadSnapshot());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Result<std::vector<NodeId>> Transaction::GetNodesByProperty(
+    const std::string& key, const PropertyValue& value) {
+  NEOSI_RETURN_IF_ERROR(CheckActive());
+  auto token = PropKeyToken(key, /*create=*/false);
+  if (!token.ok()) {
+    if (token.status().IsNotFound()) return std::vector<NodeId>{};
+    return token.status();
+  }
+  std::vector<NodeId> out =
+      engine_->node_prop_index.Lookup(*token, value, ReadSnapshot());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Result<std::vector<NodeId>> Transaction::GetNodesByPropertyRange(
+    const std::string& key, const std::optional<PropertyValue>& lo,
+    const std::optional<PropertyValue>& hi) {
+  NEOSI_RETURN_IF_ERROR(CheckActive());
+  auto token = PropKeyToken(key, /*create=*/false);
+  if (!token.ok()) {
+    if (token.status().IsNotFound()) return std::vector<NodeId>{};
+    return token.status();
+  }
+  std::vector<NodeId> out =
+      engine_->node_prop_index.Scan(*token, lo, hi, ReadSnapshot());
+  return out;
+}
+
+Result<std::vector<RelId>> Transaction::GetRelsByProperty(
+    const std::string& key, const PropertyValue& value) {
+  NEOSI_RETURN_IF_ERROR(CheckActive());
+  auto token = PropKeyToken(key, /*create=*/false);
+  if (!token.ok()) {
+    if (token.status().IsNotFound()) return std::vector<RelId>{};
+    return token.status();
+  }
+  std::vector<RelId> out =
+      engine_->rel_prop_index.Lookup(*token, value, ReadSnapshot());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Result<std::vector<RelId>> Transaction::GetRelationships(
+    NodeId node, Direction direction,
+    const std::optional<std::string>& type) {
+  NEOSI_RETURN_IF_ERROR(CheckActive());
+
+  // The anchor node must itself be visible.
+  auto anchor = VisibleNodeVersion(node);
+  if (!anchor.ok()) return anchor.status();
+
+  RelTypeId type_token = kInvalidToken;
+  if (type.has_value()) {
+    auto token = RelTypeToken(*type, /*create=*/false);
+    if (!token.ok()) {
+      if (token.status().IsNotFound()) return std::vector<RelId>{};
+      return token.status();
+    }
+    type_token = *token;
+  }
+
+  // Enriched iterator (§4): persistent relationship chain merged with the
+  // transaction's own in-cache, not-yet-committed relationships.
+  std::vector<RelId> candidates;
+  Status s = engine_->store.RelChainOf(node, &candidates);
+  if (!s.ok() && !s.IsOutOfRange()) return s;
+  auto created_it = created_rels_by_node_.find(node);
+  if (created_it != created_rels_by_node_.end()) {
+    candidates.insert(candidates.end(), created_it->second.begin(),
+                      created_it->second.end());
+  }
+
+  const Snapshot snap = ReadSnapshot();
+  std::vector<RelId> out;
+  for (RelId rel_id : candidates) {
+    auto rel = engine_->cache->GetRel(rel_id);
+    if (!rel.ok()) continue;  // Purged concurrently: invisible regardless.
+    auto version = (*rel)->chain.Visible(snap.start_ts, snap.txn_id);
+    if (!version || version->data.deleted) continue;
+
+    const bool outgoing = (*rel)->src == node;
+    const bool incoming = (*rel)->dst == node;
+    if (direction == Direction::kOutgoing && !outgoing) continue;
+    if (direction == Direction::kIncoming && !incoming) continue;
+    if (type_token != kInvalidToken && (*rel)->type != type_token) continue;
+    out.push_back(rel_id);
+  }
+  return out;
+}
+
+Result<std::vector<NodeId>> Transaction::GetNeighbors(
+    NodeId node, Direction direction,
+    const std::optional<std::string>& type) {
+  auto rels = GetRelationships(node, direction, type);
+  if (!rels.ok()) return rels.status();
+  std::vector<NodeId> out;
+  out.reserve(rels->size());
+  for (RelId rel_id : *rels) {
+    auto rel = engine_->cache->GetRel(rel_id);
+    if (!rel.ok()) continue;
+    out.push_back((*rel)->src == node ? (*rel)->dst : (*rel)->src);
+  }
+  return out;
+}
+
+Result<size_t> Transaction::Degree(NodeId node, Direction direction) {
+  auto rels = GetRelationships(node, direction);
+  if (!rels.ok()) return rels.status();
+  return rels->size();
+}
+
+// ---------------------------------------------------------------------------
+// Commit / abort
+// ---------------------------------------------------------------------------
+
+Status Transaction::Commit() {
+  NEOSI_RETURN_IF_ERROR(CheckActive());
+
+  // Entities created AND deleted inside this transaction cancel out: they
+  // were never visible to anyone and leave no trace (no WAL, no store).
+  std::vector<EntityKey> annihilated;
+  for (auto& [key, w] : writes_) {
+    if (w.created && w.pending->data.deleted) annihilated.push_back(key);
+  }
+  for (const EntityKey& key : annihilated) {
+    auto& w = writes_[key];
+    if (w.node) {
+      w.node->chain.AbortHead(id_);
+      engine_->cache->EraseNode(key.id);
+      engine_->store.ReleaseNodeId(key.id);
+    } else {
+      w.rel->chain.AbortHead(id_);
+      engine_->cache->EraseRel(key.id);
+      engine_->store.ReleaseRelId(key.id);
+    }
+    const bool is_node = w.node != nullptr;
+    // Cancel this entity's pending index entries and drop its ops.
+    for (auto it = index_ops_.begin(); it != index_ops_.end();) {
+      const bool entity_matches =
+          it->entity == key.id &&
+          (is_node ? (it->kind == IndexOp::Kind::kLabelAdd ||
+                      it->kind == IndexOp::Kind::kLabelRemove ||
+                      it->kind == IndexOp::Kind::kNodePropAdd ||
+                      it->kind == IndexOp::Kind::kNodePropRemove)
+                   : (it->kind == IndexOp::Kind::kRelPropAdd ||
+                      it->kind == IndexOp::Kind::kRelPropRemove));
+      if (entity_matches) {
+        switch (it->kind) {
+          case IndexOp::Kind::kLabelAdd:
+            engine_->label_index.AbortAdd(it->label, it->entity, id_);
+            break;
+          case IndexOp::Kind::kLabelRemove:
+            engine_->label_index.AbortRemove(it->label, it->entity, id_);
+            break;
+          case IndexOp::Kind::kNodePropAdd:
+            engine_->node_prop_index.AbortAdd(it->key, it->value, it->entity,
+                                              id_);
+            break;
+          case IndexOp::Kind::kNodePropRemove:
+            engine_->node_prop_index.AbortRemove(it->key, it->value,
+                                                 it->entity, id_);
+            break;
+          case IndexOp::Kind::kRelPropAdd:
+            engine_->rel_prop_index.AbortAdd(it->key, it->value, it->entity,
+                                             id_);
+            break;
+          case IndexOp::Kind::kRelPropRemove:
+            engine_->rel_prop_index.AbortRemove(it->key, it->value,
+                                                it->entity, id_);
+            break;
+        }
+        it = index_ops_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    // Drop its WAL ops.
+    auto node_op = [](WalOpType t) {
+      return t == WalOpType::kCreateNode || t == WalOpType::kDeleteNode ||
+             t == WalOpType::kSetNodeProperty ||
+             t == WalOpType::kRemoveNodeProperty ||
+             t == WalOpType::kAddLabel || t == WalOpType::kRemoveLabel;
+    };
+    auto rel_op = [](WalOpType t) {
+      return t == WalOpType::kCreateRel || t == WalOpType::kDeleteRel ||
+             t == WalOpType::kSetRelProperty ||
+             t == WalOpType::kRemoveRelProperty;
+    };
+    wal_ops_.erase(
+        std::remove_if(wal_ops_.begin(), wal_ops_.end(),
+                       [&](const WalOp& op) {
+                         return op.id == key.id &&
+                                (is_node ? node_op(op.type) : rel_op(op.type));
+                       }),
+        wal_ops_.end());
+    writes_.erase(key);
+  }
+
+  if (writes_.empty()) {
+    // Read-only (or fully annihilated): nothing to apply or log, but token
+    // creations (never rolled back) may still need to reach the WAL.
+    if (!wal_ops_.empty()) {
+      WalRecord record;
+      record.txn_id = id_;
+      record.commit_ts = engine_->oracle.ReadTs();
+      record.ops = std::move(wal_ops_);
+      auto lsn = engine_->store.wal().Append(record);
+      if (!lsn.ok()) {
+        RollbackLocked();
+        return lsn.status();
+      }
+    }
+    engine_->lock_manager.ReleaseAll(id_);
+    engine_->active_txns.Unregister(id_);
+    state_ = TxnState::kCommitted;
+    return Status::OK();
+  }
+
+  std::unique_lock<std::mutex> commit_guard(engine_->commit_mu);
+
+  // First-committer-wins validation (§3's alternative write rule).
+  if (isolation_ == IsolationLevel::kSnapshotIsolation &&
+      engine_->options.conflict_policy == ConflictPolicy::kFirstCommitterWins) {
+    for (const auto& [key, w] : writes_) {
+      if (w.created) continue;
+      const Timestamp newest =
+          w.node ? w.node->chain.NewestCommitTs() : w.rel->chain.NewestCommitTs();
+      if (newest > start_ts_) {
+        commit_guard.unlock();
+        RollbackLocked();
+        return Status::Aborted(
+            "write-write conflict detected at commit "
+            "(first-committer-wins)");
+      }
+    }
+  }
+
+  const Timestamp ts = engine_->oracle.NextCommitTs();
+
+  // 1. WAL append (commit durability point).
+  WalRecord record;
+  record.txn_id = id_;
+  record.commit_ts = ts;
+  record.ops = std::move(wal_ops_);
+  auto lsn = engine_->store.wal().Append(record);
+  if (!lsn.ok()) {
+    commit_guard.unlock();
+    RollbackLocked();
+    return lsn.status();
+  }
+  if (engine_->options.sync_commits) {
+    Status s = engine_->store.wal().Sync();
+    if (!s.ok()) {
+      commit_guard.unlock();
+      RollbackLocked();
+      return s;
+    }
+  }
+
+  // Failure injection: crash after WAL append, before store apply.
+  if (engine_->test_hooks.crash_before_store_apply.load()) {
+    commit_guard.unlock();
+    return Status::IOError("simulated crash before store apply");
+  }
+
+  // 2. Store apply: persist the newest committed version of every written
+  //    entity (§4 — older versions remain in memory only).
+  int ops_budget = engine_->test_hooks.crash_after_n_store_ops.load();
+  auto tick_budget = [&]() -> bool {
+    if (ops_budget < 0) return false;
+    if (ops_budget == 0) return true;
+    --ops_budget;
+    return false;
+  };
+  for (const auto& [key, w] : writes_) {
+    if (tick_budget()) {
+      commit_guard.unlock();
+      return Status::IOError("simulated crash during store apply");
+    }
+    Status s;
+    const VersionData& data = w.pending->data;
+    if (w.node) {
+      if (w.created) {
+        s = engine_->store.PersistNewNode(key.id, data.labels, data.props, ts);
+      } else if (data.deleted) {
+        s = engine_->store.PersistNodeTombstone(key.id, ts);
+      } else {
+        s = engine_->store.PersistNodeState(key.id, data.labels, data.props,
+                                            ts);
+      }
+    } else {
+      if (w.created) {
+        s = engine_->store.PersistNewRel(key.id, w.rel->src, w.rel->dst,
+                                         w.rel->type, data.props, ts);
+      } else if (data.deleted) {
+        s = engine_->store.PersistRelTombstone(key.id, ts);
+      } else {
+        s = engine_->store.PersistRelState(key.id, data.props, ts);
+      }
+    }
+    if (!s.ok()) {
+      commit_guard.unlock();
+      return s;  // Store apply failure: recovery will repair from the WAL.
+    }
+  }
+
+  // 3. Stamp versions with the commit timestamp and thread superseded
+  //    versions (and tombstones) onto the GC list (§4).
+  for (const auto& [key, w] : writes_) {
+    auto superseded = w.node ? w.node->chain.CommitHead(id_, ts)
+                             : w.rel->chain.CommitHead(id_, ts);
+    if (!superseded.ok()) {
+      commit_guard.unlock();
+      return superseded.status();
+    }
+    if (*superseded) {
+      (*superseded)->obsolete_since = ts;
+      engine_->gc_list.Append({key, *superseded, ts});
+    }
+    if (w.pending->data.deleted) {
+      w.pending->obsolete_since = ts;
+      engine_->gc_list.Append({key, w.pending, ts});
+    }
+  }
+
+  // 4. Stamp index entries.
+  for (const IndexOp& op : index_ops_) {
+    switch (op.kind) {
+      case IndexOp::Kind::kLabelAdd:
+        engine_->label_index.CommitAdd(op.label, op.entity, id_, ts);
+        break;
+      case IndexOp::Kind::kLabelRemove:
+        engine_->label_index.CommitRemove(op.label, op.entity, id_, ts);
+        break;
+      case IndexOp::Kind::kNodePropAdd:
+        engine_->node_prop_index.CommitAdd(op.key, op.value, op.entity, id_,
+                                           ts);
+        break;
+      case IndexOp::Kind::kNodePropRemove:
+        engine_->node_prop_index.CommitRemove(op.key, op.value, op.entity,
+                                              id_, ts);
+        break;
+      case IndexOp::Kind::kRelPropAdd:
+        engine_->rel_prop_index.CommitAdd(op.key, op.value, op.entity, id_,
+                                          ts);
+        break;
+      case IndexOp::Kind::kRelPropRemove:
+        engine_->rel_prop_index.CommitRemove(op.key, op.value, op.entity,
+                                             id_, ts);
+        break;
+    }
+  }
+
+  // 5. Publish: snapshots taken from here on observe this commit.
+  engine_->oracle.PublishCommit(ts);
+  commit_guard.unlock();
+
+  engine_->lock_manager.ReleaseAll(id_);
+  engine_->active_txns.Unregister(id_);
+  state_ = TxnState::kCommitted;
+
+  engine_->commits_since_gc.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+void Transaction::RollbackLocked() {
+  for (auto& [key, w] : writes_) {
+    if (w.node) {
+      w.node->chain.AbortHead(id_);
+      if (w.created) {
+        engine_->cache->EraseNode(key.id);
+        engine_->store.ReleaseNodeId(key.id);
+      }
+    } else if (w.rel) {
+      w.rel->chain.AbortHead(id_);
+      if (w.created) {
+        engine_->cache->EraseRel(key.id);
+        engine_->store.ReleaseRelId(key.id);
+      }
+    }
+  }
+  writes_.clear();
+  created_nodes_.clear();
+  created_rels_by_node_.clear();
+
+  for (auto it = index_ops_.rbegin(); it != index_ops_.rend(); ++it) {
+    switch (it->kind) {
+      case IndexOp::Kind::kLabelAdd:
+        engine_->label_index.AbortAdd(it->label, it->entity, id_);
+        break;
+      case IndexOp::Kind::kLabelRemove:
+        engine_->label_index.AbortRemove(it->label, it->entity, id_);
+        break;
+      case IndexOp::Kind::kNodePropAdd:
+        engine_->node_prop_index.AbortAdd(it->key, it->value, it->entity, id_);
+        break;
+      case IndexOp::Kind::kNodePropRemove:
+        engine_->node_prop_index.AbortRemove(it->key, it->value, it->entity,
+                                             id_);
+        break;
+      case IndexOp::Kind::kRelPropAdd:
+        engine_->rel_prop_index.AbortAdd(it->key, it->value, it->entity, id_);
+        break;
+      case IndexOp::Kind::kRelPropRemove:
+        engine_->rel_prop_index.AbortRemove(it->key, it->value, it->entity,
+                                            id_);
+        break;
+    }
+  }
+  index_ops_.clear();
+  wal_ops_.clear();
+
+  engine_->lock_manager.ReleaseAll(id_);
+  engine_->active_txns.Unregister(id_);
+  state_ = TxnState::kAborted;
+}
+
+Status Transaction::Abort() {
+  NEOSI_RETURN_IF_ERROR(CheckActive());
+  RollbackLocked();
+  return Status::OK();
+}
+
+}  // namespace neosi

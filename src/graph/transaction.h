@@ -1,0 +1,232 @@
+// The public transaction handle: every read and write goes through one of
+// these. Obtained from GraphDatabase::Begin().
+//
+// Under kSnapshotIsolation a transaction observes the newest committed state
+// as of its start timestamp plus its own writes (paper §3 read rule), and
+// detects write-write conflicts on its long write locks (write rule, §4).
+// Under kReadCommitted it reproduces stock Neo4j: short shared read locks,
+// long exclusive write locks, reads always see the newest committed state —
+// including the unrepeatable-read and phantom anomalies the paper motivates
+// with.
+
+#ifndef NEOSI_GRAPH_TRANSACTION_H_
+#define NEOSI_GRAPH_TRANSACTION_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/options.h"
+#include "common/property_value.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "graph/engine.h"
+#include "graph/views.h"
+#include "mvcc/snapshot.h"
+#include "storage/wal_ops.h"
+
+namespace neosi {
+
+/// Transaction lifecycle state.
+enum class TxnState : uint8_t {
+  kActive = 0,
+  kCommitted = 1,
+  kAborted = 2,
+};
+
+/// A single-threaded transaction handle (one thread uses a Transaction at a
+/// time; different transactions run fully concurrently).
+class Transaction {
+ public:
+  ~Transaction();
+
+  Transaction(const Transaction&) = delete;
+  Transaction& operator=(const Transaction&) = delete;
+
+  TxnId id() const { return id_; }
+  Timestamp start_ts() const { return start_ts_; }
+  IsolationLevel isolation() const { return isolation_; }
+  TxnState state() const { return state_; }
+  bool IsActive() const { return state_ == TxnState::kActive; }
+
+  // --- writes --------------------------------------------------------------
+
+  /// Creates a node with the given label names and properties.
+  Result<NodeId> CreateNode(const std::vector<std::string>& labels,
+                            const NamedProperties& props = {});
+
+  /// Deletes a node. Fails with FailedPrecondition while the node still has
+  /// relationships visible to this transaction, and with Aborted if any
+  /// relationship was attached by a concurrent transaction (adjacency
+  /// write-write conflict).
+  Status DeleteNode(NodeId id);
+
+  Status SetNodeProperty(NodeId id, const std::string& key,
+                         PropertyValue value);
+  Status RemoveNodeProperty(NodeId id, const std::string& key);
+  Status AddLabel(NodeId id, const std::string& label);
+  Status RemoveLabel(NodeId id, const std::string& label);
+
+  /// Creates a relationship src -[type]-> dst.
+  Result<RelId> CreateRelationship(NodeId src, NodeId dst,
+                                   const std::string& type,
+                                   const NamedProperties& props = {});
+  Status DeleteRelationship(RelId id);
+  Status SetRelProperty(RelId id, const std::string& key, PropertyValue value);
+  Status RemoveRelProperty(RelId id, const std::string& key);
+
+  // --- point reads ---------------------------------------------------------
+
+  Result<NodeView> GetNode(NodeId id);
+  Result<RelView> GetRelationship(RelId id);
+  Result<PropertyValue> GetNodeProperty(NodeId id, const std::string& key);
+  Result<PropertyValue> GetRelProperty(RelId id, const std::string& key);
+  Result<bool> NodeHasLabel(NodeId id, const std::string& label);
+  /// True if the node exists (is visible) in this transaction's snapshot.
+  bool NodeExists(NodeId id);
+  bool RelExists(RelId id);
+
+  // --- scans (the "enriched iterators" of §4: persistent state merged with
+  //     cached versions, honouring read-your-own-writes) -------------------
+
+  /// All nodes visible to this transaction, ascending id.
+  Result<std::vector<NodeId>> AllNodes();
+
+  /// Nodes carrying the label (label index).
+  Result<std::vector<NodeId>> GetNodesByLabel(const std::string& label);
+
+  /// Nodes whose property `key` equals `value` (property index).
+  Result<std::vector<NodeId>> GetNodesByProperty(const std::string& key,
+                                                 const PropertyValue& value);
+
+  /// Nodes whose property `key` falls in [lo, hi] (inclusive; either bound
+  /// optional). The predicate-scan path of experiment E2.
+  Result<std::vector<NodeId>> GetNodesByPropertyRange(
+      const std::string& key, const std::optional<PropertyValue>& lo,
+      const std::optional<PropertyValue>& hi);
+
+  /// Relationships whose property `key` equals `value`.
+  Result<std::vector<RelId>> GetRelsByProperty(const std::string& key,
+                                               const PropertyValue& value);
+
+  /// Relationship ids incident to `node` in the given direction, optionally
+  /// filtered by type name.
+  Result<std::vector<RelId>> GetRelationships(
+      NodeId node, Direction direction = Direction::kBoth,
+      const std::optional<std::string>& type = std::nullopt);
+
+  /// Neighbour node ids (may contain duplicates for parallel edges).
+  Result<std::vector<NodeId>> GetNeighbors(
+      NodeId node, Direction direction = Direction::kBoth,
+      const std::optional<std::string>& type = std::nullopt);
+
+  /// Number of visible relationships of a node.
+  Result<size_t> Degree(NodeId node, Direction direction = Direction::kBoth);
+
+  // --- lifecycle -----------------------------------------------------------
+
+  /// Commits; on any failure the transaction is rolled back and the error
+  /// returned (Status::IsRetryable() distinguishes conflict aborts).
+  Status Commit();
+
+  /// Rolls back all effects.
+  Status Abort();
+
+  /// Number of entities written by this transaction so far.
+  size_t WriteSetSize() const { return writes_.size(); }
+
+ private:
+  friend class GraphDatabase;
+
+  Transaction(Engine* engine, IsolationLevel isolation, TxnId id,
+              Timestamp start_ts);
+
+  /// One pending index mutation, replayed as commit/abort stamps.
+  struct IndexOp {
+    enum class Kind : uint8_t {
+      kLabelAdd,
+      kLabelRemove,
+      kNodePropAdd,
+      kNodePropRemove,
+      kRelPropAdd,
+      kRelPropRemove,
+    };
+    Kind kind;
+    uint64_t entity;
+    LabelId label = kInvalidToken;
+    PropertyKeyId key = kInvalidToken;
+    PropertyValue value;
+  };
+
+  /// Book-keeping for one written entity.
+  struct WriteRecord {
+    std::shared_ptr<CachedNode> node;  // exactly one of node/rel set
+    std::shared_ptr<CachedRel> rel;
+    std::shared_ptr<Version> pending;  // the uncommitted version
+    bool created = false;
+  };
+
+  Snapshot ReadSnapshot() const {
+    return isolation_ == IsolationLevel::kSnapshotIsolation
+               ? Snapshot{start_ts_, id_}
+               : Snapshot::Latest(id_);
+  }
+
+  Status CheckActive() const;
+
+  /// Acquires the long write lock on `key` per the isolation level and
+  /// conflict policy; on conflict rolls the transaction back and returns
+  /// Aborted/Deadlock.
+  Status AcquireWriteLock(const EntityKey& key);
+
+  /// SI write rule: aborts if a concurrent transaction committed a newer
+  /// version of the entity than this snapshot (first-updater-wins check;
+  /// skipped for first-committer-wins, which validates at commit).
+  Status CheckWriteConflict(const VersionChain& chain);
+
+  /// Returns (creating if absent) this transaction's pending version for a
+  /// node/rel, basing it on the version visible to the snapshot.
+  Result<std::shared_ptr<Version>> PendingNodeVersion(
+      NodeId id, std::shared_ptr<CachedNode>* node_out);
+  Result<std::shared_ptr<Version>> PendingRelVersion(
+      RelId id, std::shared_ptr<CachedRel>* rel_out);
+
+  /// Resolves the version of a node visible to this transaction (shared
+  /// short read lock under read committed). Null result -> NotFound mapped
+  /// by callers.
+  Result<std::shared_ptr<const Version>> VisibleNodeVersion(NodeId id);
+  Result<std::shared_ptr<const Version>> VisibleRelVersion(RelId id);
+
+  /// Token helpers (log creation to the WAL set; §4 token versioning).
+  Result<LabelId> LabelToken(const std::string& name, bool create);
+  Result<PropertyKeyId> PropKeyToken(const std::string& name, bool create);
+  Result<RelTypeId> RelTypeToken(const std::string& name, bool create);
+
+  /// Maps internal (token) properties to named properties for views.
+  Result<NamedProperties> NameProps(const PropertyMap& props) const;
+
+  /// Abort internals shared by Abort() and failed Commit().
+  void RollbackLocked();
+
+  Engine* const engine_;
+  const IsolationLevel isolation_;
+  const TxnId id_;
+  const Timestamp start_ts_;
+  TxnState state_ = TxnState::kActive;
+
+  std::map<EntityKey, WriteRecord> writes_;
+  std::vector<IndexOp> index_ops_;
+  std::vector<WalOp> wal_ops_;
+  /// Rels created by this txn, per endpoint (merged into adjacency scans so
+  /// the transaction reads its own structural writes).
+  std::unordered_map<NodeId, std::vector<RelId>> created_rels_by_node_;
+  /// Nodes created by this txn (merged into AllNodes()).
+  std::vector<NodeId> created_nodes_;
+};
+
+}  // namespace neosi
+
+#endif  // NEOSI_GRAPH_TRANSACTION_H_

@@ -1,0 +1,99 @@
+#include "graph/traversal.h"
+
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace neosi {
+namespace traversal {
+
+Result<std::vector<NodeId>> KHopNeighborhood(
+    Transaction& txn, NodeId start, int depth, Direction direction,
+    const std::optional<std::string>& type) {
+  std::vector<NodeId> out;
+  std::unordered_set<NodeId> seen{start};
+  std::deque<std::pair<NodeId, int>> frontier{{start, 0}};
+  while (!frontier.empty()) {
+    auto [node, dist] = frontier.front();
+    frontier.pop_front();
+    if (dist == depth) continue;
+    auto neighbors = txn.GetNeighbors(node, direction, type);
+    if (!neighbors.ok()) {
+      if (neighbors.status().IsNotFound()) continue;  // Vanished under RC.
+      return neighbors.status();
+    }
+    for (NodeId next : *neighbors) {
+      if (seen.insert(next).second) {
+        out.push_back(next);
+        frontier.emplace_back(next, dist + 1);
+      }
+    }
+  }
+  return out;
+}
+
+Result<std::optional<std::vector<NodeId>>> ShortestPath(
+    Transaction& txn, NodeId from, NodeId to, int max_depth,
+    Direction direction, const std::optional<std::string>& type) {
+  if (from == to) {
+    return std::optional<std::vector<NodeId>>(std::vector<NodeId>{from});
+  }
+  std::unordered_map<NodeId, NodeId> parent;
+  std::deque<std::pair<NodeId, int>> frontier{{from, 0}};
+  parent[from] = from;
+  while (!frontier.empty()) {
+    auto [node, dist] = frontier.front();
+    frontier.pop_front();
+    if (dist >= max_depth) continue;
+    auto neighbors = txn.GetNeighbors(node, direction, type);
+    if (!neighbors.ok()) {
+      if (neighbors.status().IsNotFound()) continue;
+      return neighbors.status();
+    }
+    for (NodeId next : *neighbors) {
+      if (parent.count(next)) continue;
+      parent[next] = node;
+      if (next == to) {
+        std::vector<NodeId> path{to};
+        NodeId cur = to;
+        while (cur != from) {
+          cur = parent[cur];
+          path.push_back(cur);
+        }
+        std::reverse(path.begin(), path.end());
+        return std::optional<std::vector<NodeId>>(std::move(path));
+      }
+      frontier.emplace_back(next, dist + 1);
+    }
+  }
+  return std::optional<std::vector<NodeId>>(std::nullopt);
+}
+
+Result<bool> PathExists(Transaction& txn, NodeId from, NodeId to,
+                        int max_depth, Direction direction) {
+  auto path = ShortestPath(txn, from, to, max_depth, direction);
+  if (!path.ok()) return path.status();
+  return path->has_value();
+}
+
+Result<size_t> ComponentSize(Transaction& txn, NodeId seed, size_t max_nodes) {
+  std::unordered_set<NodeId> seen{seed};
+  std::deque<NodeId> frontier{seed};
+  while (!frontier.empty() && seen.size() < max_nodes) {
+    NodeId node = frontier.front();
+    frontier.pop_front();
+    auto neighbors = txn.GetNeighbors(node, Direction::kBoth);
+    if (!neighbors.ok()) {
+      if (neighbors.status().IsNotFound()) continue;
+      return neighbors.status();
+    }
+    for (NodeId next : *neighbors) {
+      if (seen.size() >= max_nodes) break;
+      if (seen.insert(next).second) frontier.push_back(next);
+    }
+  }
+  return seen.size();
+}
+
+}  // namespace traversal
+}  // namespace neosi

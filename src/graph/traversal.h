@@ -1,0 +1,46 @@
+// Graph traversal utilities over the transactional API. Every traversal runs
+// inside the caller's transaction and therefore observes one snapshot — the
+// paper's motivating example (§1) is a two-step algorithm whose first step's
+// path must still exist in the second step, which holds under SI and fails
+// under read committed (experiment E3).
+
+#ifndef NEOSI_GRAPH_TRAVERSAL_H_
+#define NEOSI_GRAPH_TRAVERSAL_H_
+
+#include <optional>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "graph/transaction.h"
+
+namespace neosi {
+namespace traversal {
+
+/// Nodes reachable within exactly <= depth hops of start (start excluded),
+/// deduplicated, BFS order.
+Result<std::vector<NodeId>> KHopNeighborhood(
+    Transaction& txn, NodeId start, int depth,
+    Direction direction = Direction::kBoth,
+    const std::optional<std::string>& type = std::nullopt);
+
+/// Unweighted shortest path (sequence of node ids, inclusive of endpoints).
+/// Empty optional when no path exists within max_depth.
+Result<std::optional<std::vector<NodeId>>> ShortestPath(
+    Transaction& txn, NodeId from, NodeId to, int max_depth = 16,
+    Direction direction = Direction::kBoth,
+    const std::optional<std::string>& type = std::nullopt);
+
+/// True when `to` is reachable from `from` within max_depth hops.
+Result<bool> PathExists(Transaction& txn, NodeId from, NodeId to,
+                        int max_depth = 16,
+                        Direction direction = Direction::kBoth);
+
+/// Connected-component size from a seed (bounded by max_nodes).
+Result<size_t> ComponentSize(Transaction& txn, NodeId seed,
+                             size_t max_nodes = SIZE_MAX);
+
+}  // namespace traversal
+}  // namespace neosi
+
+#endif  // NEOSI_GRAPH_TRAVERSAL_H_

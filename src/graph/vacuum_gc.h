@@ -1,0 +1,47 @@
+// PostgreSQL-VACUUM-style baseline collector (paper §4's foil: "it traverses
+// all the pages in the persistent storage and rewrites them after removing
+// the obsolete versions", stalling processing). Scans EVERY record and every
+// cached chain regardless of how little garbage exists; experiment E8
+// contrasts its pause times with GcEngine.
+
+#ifndef NEOSI_GRAPH_VACUUM_GC_H_
+#define NEOSI_GRAPH_VACUUM_GC_H_
+
+#include <cstdint>
+#include <mutex>
+
+#include "common/status.h"
+#include "graph/engine.h"
+
+namespace neosi {
+
+/// Outcome of one vacuum pass.
+struct VacuumStats {
+  Timestamp watermark = kNoTimestamp;
+  uint64_t records_scanned = 0;   ///< Store records visited (the full scan).
+  uint64_t records_rewritten = 0; ///< Records read + written back.
+  uint64_t versions_pruned = 0;
+  uint64_t tombstones_purged = 0;
+  uint64_t nanos = 0;
+};
+
+/// Full-scan collector; functionally equivalent garbage removal to GcEngine,
+/// with the cost model of a vacuum.
+class VacuumGc {
+ public:
+  explicit VacuumGc(Engine* engine) : engine_(engine) {}
+
+  VacuumGc(const VacuumGc&) = delete;
+  VacuumGc& operator=(const VacuumGc&) = delete;
+
+  VacuumStats Run();
+  VacuumStats RunUpTo(Timestamp watermark);
+
+ private:
+  Engine* const engine_;
+  std::mutex mu_;
+};
+
+}  // namespace neosi
+
+#endif  // NEOSI_GRAPH_VACUUM_GC_H_

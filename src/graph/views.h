@@ -1,0 +1,40 @@
+// Materialized read results returned by the public Transaction API.
+
+#ifndef NEOSI_GRAPH_VIEWS_H_
+#define NEOSI_GRAPH_VIEWS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/property_value.h"
+#include "common/types.h"
+
+namespace neosi {
+
+/// Property map keyed by property-key NAME (the public API speaks names;
+/// token ids are internal).
+using NamedProperties = std::map<std::string, PropertyValue>;
+
+/// A node as observed by a transaction's snapshot.
+struct NodeView {
+  NodeId id = kInvalidNodeId;
+  std::vector<std::string> labels;
+  NamedProperties props;
+};
+
+/// A relationship as observed by a transaction's snapshot.
+struct RelView {
+  RelId id = kInvalidRelId;
+  NodeId src = kInvalidNodeId;
+  NodeId dst = kInvalidNodeId;
+  std::string type;
+  NamedProperties props;
+
+  /// The endpoint opposite to `node` (== node for self-loops).
+  NodeId OtherEnd(NodeId node) const { return node == src ? dst : src; }
+};
+
+}  // namespace neosi
+
+#endif  // NEOSI_GRAPH_VIEWS_H_

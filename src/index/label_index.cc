@@ -1,0 +1,87 @@
+#include "index/label_index.h"
+
+namespace neosi {
+
+VersionedEntrySet* LabelIndex::SetFor(LabelId label) {
+  {
+    ReadGuard guard(latch_);
+    auto it = sets_.find(label);
+    if (it != sets_.end()) return it->second.get();
+  }
+  WriteGuard guard(latch_);
+  auto& slot = sets_[label];
+  if (!slot) slot = std::make_unique<VersionedEntrySet>();
+  return slot.get();
+}
+
+const VersionedEntrySet* LabelIndex::FindSet(LabelId label) const {
+  ReadGuard guard(latch_);
+  auto it = sets_.find(label);
+  return it == sets_.end() ? nullptr : it->second.get();
+}
+
+void LabelIndex::AddPending(LabelId label, NodeId node, TxnId txn) {
+  SetFor(label)->AddPending(node, txn);
+}
+
+void LabelIndex::RemovePending(LabelId label, NodeId node, TxnId txn) {
+  SetFor(label)->RemovePending(node, txn);
+}
+
+void LabelIndex::CommitAdd(LabelId label, NodeId node, TxnId txn,
+                           Timestamp ts) {
+  SetFor(label)->CommitAdd(node, txn, ts);
+}
+
+void LabelIndex::AbortAdd(LabelId label, NodeId node, TxnId txn) {
+  SetFor(label)->AbortAdd(node, txn);
+}
+
+void LabelIndex::CommitRemove(LabelId label, NodeId node, TxnId txn,
+                              Timestamp ts) {
+  SetFor(label)->CommitRemove(node, txn, ts);
+}
+
+void LabelIndex::AbortRemove(LabelId label, NodeId node, TxnId txn) {
+  SetFor(label)->AbortRemove(node, txn);
+}
+
+std::vector<NodeId> LabelIndex::Lookup(LabelId label,
+                                       const Snapshot& snap) const {
+  std::vector<NodeId> out;
+  const VersionedEntrySet* set = FindSet(label);
+  if (set != nullptr) set->CollectVisible(snap, &out);
+  return out;
+}
+
+bool LabelIndex::Has(LabelId label, NodeId node, const Snapshot& snap) const {
+  const VersionedEntrySet* set = FindSet(label);
+  return set != nullptr && set->Contains(node, snap);
+}
+
+size_t LabelIndex::Compact(Timestamp watermark) {
+  std::vector<VersionedEntrySet*> sets;
+  {
+    ReadGuard guard(latch_);
+    sets.reserve(sets_.size());
+    for (auto& [label, set] : sets_) sets.push_back(set.get());
+  }
+  size_t dropped = 0;
+  for (VersionedEntrySet* set : sets) dropped += set->Compact(watermark);
+  WriteGuard guard(latch_);
+  compacted_total_ += dropped;
+  return dropped;
+}
+
+LabelIndexStats LabelIndex::Stats() const {
+  ReadGuard guard(latch_);
+  LabelIndexStats stats;
+  stats.keys = sets_.size();
+  for (const auto& [label, set] : sets_) {
+    stats.entries_total += set->SizeIncludingDead();
+  }
+  stats.compacted = compacted_total_;
+  return stats;
+}
+
+}  // namespace neosi

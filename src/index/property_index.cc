@@ -1,0 +1,103 @@
+#include "index/property_index.h"
+
+namespace neosi {
+
+VersionedEntrySet* PropertyIndex::SetFor(const PropIndexKey& key) {
+  {
+    ReadGuard guard(latch_);
+    auto it = sets_.find(key);
+    if (it != sets_.end()) return it->second.get();
+  }
+  WriteGuard guard(latch_);
+  auto& slot = sets_[key];
+  if (!slot) slot = std::make_unique<VersionedEntrySet>();
+  return slot.get();
+}
+
+const VersionedEntrySet* PropertyIndex::FindSet(const PropIndexKey& key) const {
+  ReadGuard guard(latch_);
+  auto it = sets_.find(key);
+  return it == sets_.end() ? nullptr : it->second.get();
+}
+
+void PropertyIndex::AddPending(PropertyKeyId key, const PropertyValue& value,
+                               uint64_t entity, TxnId txn) {
+  SetFor({key, value})->AddPending(entity, txn);
+}
+
+void PropertyIndex::RemovePending(PropertyKeyId key,
+                                  const PropertyValue& value, uint64_t entity,
+                                  TxnId txn) {
+  SetFor({key, value})->RemovePending(entity, txn);
+}
+
+void PropertyIndex::CommitAdd(PropertyKeyId key, const PropertyValue& value,
+                              uint64_t entity, TxnId txn, Timestamp ts) {
+  SetFor({key, value})->CommitAdd(entity, txn, ts);
+}
+
+void PropertyIndex::AbortAdd(PropertyKeyId key, const PropertyValue& value,
+                             uint64_t entity, TxnId txn) {
+  SetFor({key, value})->AbortAdd(entity, txn);
+}
+
+void PropertyIndex::CommitRemove(PropertyKeyId key, const PropertyValue& value,
+                                 uint64_t entity, TxnId txn, Timestamp ts) {
+  SetFor({key, value})->CommitRemove(entity, txn, ts);
+}
+
+void PropertyIndex::AbortRemove(PropertyKeyId key, const PropertyValue& value,
+                                uint64_t entity, TxnId txn) {
+  SetFor({key, value})->AbortRemove(entity, txn);
+}
+
+std::vector<uint64_t> PropertyIndex::Lookup(PropertyKeyId key,
+                                            const PropertyValue& value,
+                                            const Snapshot& snap) const {
+  std::vector<uint64_t> out;
+  const VersionedEntrySet* set = FindSet({key, value});
+  if (set != nullptr) set->CollectVisible(snap, &out);
+  return out;
+}
+
+std::vector<uint64_t> PropertyIndex::Scan(
+    PropertyKeyId key, const std::optional<PropertyValue>& lo,
+    const std::optional<PropertyValue>& hi, const Snapshot& snap) const {
+  std::vector<uint64_t> out;
+  ReadGuard guard(latch_);
+  auto it = lo.has_value() ? sets_.lower_bound({key, *lo})
+                           : sets_.lower_bound({key, PropertyValue()});
+  for (; it != sets_.end(); ++it) {
+    if (it->first.key != key) break;
+    if (hi.has_value() && *hi < it->first.value) break;
+    it->second->CollectVisible(snap, &out);
+  }
+  return out;
+}
+
+size_t PropertyIndex::Compact(Timestamp watermark) {
+  std::vector<VersionedEntrySet*> sets;
+  {
+    ReadGuard guard(latch_);
+    sets.reserve(sets_.size());
+    for (auto& [key, set] : sets_) sets.push_back(set.get());
+  }
+  size_t dropped = 0;
+  for (VersionedEntrySet* set : sets) dropped += set->Compact(watermark);
+  WriteGuard guard(latch_);
+  compacted_total_ += dropped;
+  return dropped;
+}
+
+PropertyIndexStats PropertyIndex::Stats() const {
+  ReadGuard guard(latch_);
+  PropertyIndexStats stats;
+  stats.keys = sets_.size();
+  for (const auto& [key, set] : sets_) {
+    stats.entries_total += set->SizeIncludingDead();
+  }
+  stats.compacted = compacted_total_;
+  return stats;
+}
+
+}  // namespace neosi

@@ -1,0 +1,85 @@
+// Versioned (property key, value) -> entities index with range scans.
+//
+// Backs both the node property index and the relationship property index of
+// Figure 1. Keys are ordered (PropertyValue has a total order), so predicate
+// scans — the operation vulnerable to phantoms under read committed — run as
+// range scans over this index (experiments E2/E7).
+
+#ifndef NEOSI_INDEX_PROPERTY_INDEX_H_
+#define NEOSI_INDEX_PROPERTY_INDEX_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/latch.h"
+#include "common/property_value.h"
+#include "common/types.h"
+#include "index/versioned_entry_set.h"
+#include "mvcc/snapshot.h"
+
+namespace neosi {
+
+/// Composite index key.
+struct PropIndexKey {
+  PropertyKeyId key = kInvalidToken;
+  PropertyValue value;
+
+  bool operator<(const PropIndexKey& other) const {
+    if (key != other.key) return key < other.key;
+    return value < other.value;
+  }
+};
+
+struct PropertyIndexStats {
+  uint64_t keys = 0;
+  uint64_t entries_total = 0;
+  uint64_t compacted = 0;
+};
+
+/// Thread-safe versioned property index (used for nodes and, in a second
+/// instance, for relationships).
+class PropertyIndex {
+ public:
+  void AddPending(PropertyKeyId key, const PropertyValue& value,
+                  uint64_t entity, TxnId txn);
+  void RemovePending(PropertyKeyId key, const PropertyValue& value,
+                     uint64_t entity, TxnId txn);
+
+  void CommitAdd(PropertyKeyId key, const PropertyValue& value,
+                 uint64_t entity, TxnId txn, Timestamp ts);
+  void AbortAdd(PropertyKeyId key, const PropertyValue& value,
+                uint64_t entity, TxnId txn);
+  void CommitRemove(PropertyKeyId key, const PropertyValue& value,
+                    uint64_t entity, TxnId txn, Timestamp ts);
+  void AbortRemove(PropertyKeyId key, const PropertyValue& value,
+                   uint64_t entity, TxnId txn);
+
+  /// Exact-match lookup.
+  std::vector<uint64_t> Lookup(PropertyKeyId key, const PropertyValue& value,
+                               const Snapshot& snap) const;
+
+  /// Range scan over values of `key` in [lo, hi] (either bound optional;
+  /// inclusive). Results are in value order.
+  std::vector<uint64_t> Scan(PropertyKeyId key,
+                             const std::optional<PropertyValue>& lo,
+                             const std::optional<PropertyValue>& hi,
+                             const Snapshot& snap) const;
+
+  size_t Compact(Timestamp watermark);
+
+  PropertyIndexStats Stats() const;
+
+ private:
+  VersionedEntrySet* SetFor(const PropIndexKey& key);
+  const VersionedEntrySet* FindSet(const PropIndexKey& key) const;
+
+  mutable SharedLatch latch_;
+  std::map<PropIndexKey, std::unique_ptr<VersionedEntrySet>> sets_;
+  uint64_t compacted_total_ = 0;
+};
+
+}  // namespace neosi
+
+#endif  // NEOSI_INDEX_PROPERTY_INDEX_H_

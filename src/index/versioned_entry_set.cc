@@ -1,0 +1,115 @@
+#include "index/versioned_entry_set.h"
+
+#include <algorithm>
+
+namespace neosi {
+
+void VersionedEntrySet::AddPending(uint64_t entity, TxnId txn) {
+  std::lock_guard<SpinLatch> guard(latch_);
+  IndexEntry entry;
+  entry.entity = entity;
+  entry.added_by = txn;
+  entries_.push_back(entry);
+}
+
+void VersionedEntrySet::RemovePending(uint64_t entity, TxnId txn) {
+  std::lock_guard<SpinLatch> guard(latch_);
+  // Mark the newest committed, not-yet-removed interval (or this txn's own
+  // pending add, which is simply cancelled at commit-time by the engine
+  // issuing AbortAdd — but handle it here defensively too).
+  for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+    if (it->entity != entity) continue;
+    if (it->removed_ts != kMaxTimestamp || it->removed_by != kNoTxn) continue;
+    it->removed_by = txn;
+    return;
+  }
+}
+
+void VersionedEntrySet::CommitAdd(uint64_t entity, TxnId txn, Timestamp ts) {
+  std::lock_guard<SpinLatch> guard(latch_);
+  for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+    if (it->entity == entity && it->added_by == txn &&
+        it->added_ts == kNoTimestamp) {
+      it->added_ts = ts;
+      it->added_by = kNoTxn;
+      return;
+    }
+  }
+}
+
+void VersionedEntrySet::AbortAdd(uint64_t entity, TxnId txn) {
+  std::lock_guard<SpinLatch> guard(latch_);
+  entries_.erase(
+      std::remove_if(entries_.begin(), entries_.end(),
+                     [&](const IndexEntry& e) {
+                       return e.entity == entity && e.added_by == txn &&
+                              e.added_ts == kNoTimestamp;
+                     }),
+      entries_.end());
+}
+
+void VersionedEntrySet::CommitRemove(uint64_t entity, TxnId txn,
+                                     Timestamp ts) {
+  std::lock_guard<SpinLatch> guard(latch_);
+  for (auto& entry : entries_) {
+    if (entry.entity == entity && entry.removed_by == txn) {
+      entry.removed_ts = ts;
+      entry.removed_by = kNoTxn;
+      return;
+    }
+  }
+}
+
+void VersionedEntrySet::AbortRemove(uint64_t entity, TxnId txn) {
+  std::lock_guard<SpinLatch> guard(latch_);
+  for (auto& entry : entries_) {
+    if (entry.entity == entity && entry.removed_by == txn) {
+      entry.removed_by = kNoTxn;
+      return;
+    }
+  }
+}
+
+void VersionedEntrySet::CollectVisible(const Snapshot& snap,
+                                       std::vector<uint64_t>* out) const {
+  std::lock_guard<SpinLatch> guard(latch_);
+  for (const IndexEntry& entry : entries_) {
+    if (entry.VisibleAt(snap)) out->push_back(entry.entity);
+  }
+}
+
+bool VersionedEntrySet::Contains(uint64_t entity, const Snapshot& snap) const {
+  std::lock_guard<SpinLatch> guard(latch_);
+  for (const IndexEntry& entry : entries_) {
+    if (entry.entity == entity && entry.VisibleAt(snap)) return true;
+  }
+  return false;
+}
+
+size_t VersionedEntrySet::Compact(Timestamp watermark) {
+  std::lock_guard<SpinLatch> guard(latch_);
+  const size_t before = entries_.size();
+  entries_.erase(
+      std::remove_if(entries_.begin(), entries_.end(),
+                     [&](const IndexEntry& e) {
+                       // Removal committed and no active snapshot can still
+                       // fall inside the [added, removed) interval.
+                       return e.removed_by == kNoTxn &&
+                              e.removed_ts != kMaxTimestamp &&
+                              e.removed_ts <= watermark;
+                     }),
+      entries_.end());
+  return before - entries_.size();
+}
+
+size_t VersionedEntrySet::SizeIncludingDead() const {
+  std::lock_guard<SpinLatch> guard(latch_);
+  return entries_.size();
+}
+
+bool VersionedEntrySet::Empty() const {
+  std::lock_guard<SpinLatch> guard(latch_);
+  return entries_.empty();
+}
+
+}  // namespace neosi

@@ -1,0 +1,96 @@
+// Versioned index entries (paper §4).
+//
+// "The nodes/relationships are tagged with the commit timestamp of the
+// transaction that associated the label/property to the node/relationship.
+// In this way, it is possible to discard those nodes/relationships that do
+// not correspond to the snapshot to be observed by the transaction."
+//
+// Each (index key -> entity) association is an entry carrying the commit
+// timestamp of the transaction that ADDED it and, once dissociated, the
+// commit timestamp of the transaction that REMOVED it. Uncommitted entries
+// are private to their writer (read-your-own-writes applies to index scans
+// too). Entries whose removal timestamp falls below the GC watermark are
+// compacted away.
+
+#ifndef NEOSI_INDEX_VERSIONED_ENTRY_SET_H_
+#define NEOSI_INDEX_VERSIONED_ENTRY_SET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/latch.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "mvcc/snapshot.h"
+
+namespace neosi {
+
+/// One entity's membership interval for one index key.
+struct IndexEntry {
+  uint64_t entity = kInvalidId;
+
+  /// Commit ts of the adding transaction; kNoTimestamp while uncommitted.
+  Timestamp added_ts = kNoTimestamp;
+  /// Writer while the add is uncommitted.
+  TxnId added_by = kNoTxn;
+
+  /// Commit ts of the removing transaction; kMaxTimestamp while present.
+  Timestamp removed_ts = kMaxTimestamp;
+  /// Writer while the removal is uncommitted.
+  TxnId removed_by = kNoTxn;
+
+  /// Snapshot visibility (§4): the association is visible iff it was added
+  /// at or before the snapshot (or by the reader itself) and not removed at
+  /// or before the snapshot (nor pending-removed by the reader).
+  bool VisibleAt(const Snapshot& snap) const {
+    const bool added_visible =
+        (added_ts != kNoTimestamp && added_ts <= snap.start_ts) ||
+        (added_by != kNoTxn && added_by == snap.txn_id);
+    if (!added_visible) return false;
+    if (removed_by != kNoTxn && removed_by == snap.txn_id) return false;
+    // Live entries (removed_ts == kMaxTimestamp) are visible to every
+    // snapshot, including the read-committed "latest" snapshot whose
+    // start_ts is itself kMaxTimestamp.
+    return removed_ts == kMaxTimestamp || removed_ts > snap.start_ts;
+  }
+};
+
+/// Thread-safe list of membership intervals for one index key.
+class VersionedEntrySet {
+ public:
+  /// Records an uncommitted association by `txn`.
+  void AddPending(uint64_t entity, TxnId txn);
+
+  /// Marks the current visible association of `entity` as pending removal
+  /// by `txn`. No-op if none (engine guards).
+  void RemovePending(uint64_t entity, TxnId txn);
+
+  /// Commit / abort of the pending ops performed by `txn` on `entity`.
+  void CommitAdd(uint64_t entity, TxnId txn, Timestamp ts);
+  void AbortAdd(uint64_t entity, TxnId txn);
+  void CommitRemove(uint64_t entity, TxnId txn, Timestamp ts);
+  void AbortRemove(uint64_t entity, TxnId txn);
+
+  /// Appends every entity visible at `snap` to *out.
+  void CollectVisible(const Snapshot& snap, std::vector<uint64_t>* out) const;
+
+  /// True if `entity` is visible at `snap`.
+  bool Contains(uint64_t entity, const Snapshot& snap) const;
+
+  /// Drops entries whose removal committed at or before the watermark, and
+  /// fully-superseded duplicates. Returns the number of entries dropped.
+  size_t Compact(Timestamp watermark);
+
+  /// Total entries including dead ones (experiment E7's dead fraction).
+  size_t SizeIncludingDead() const;
+
+  bool Empty() const;
+
+ private:
+  mutable SpinLatch latch_;
+  std::vector<IndexEntry> entries_;
+};
+
+}  // namespace neosi
+
+#endif  // NEOSI_INDEX_VERSIONED_ENTRY_SET_H_

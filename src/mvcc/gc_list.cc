@@ -1,0 +1,49 @@
+#include "mvcc/gc_list.h"
+
+#include <cassert>
+
+namespace neosi {
+
+void GcList::Append(GcEntry entry) {
+  std::lock_guard<std::mutex> guard(mu_);
+  assert(entries_.empty() ||
+         entries_.back().obsolete_since <= entry.obsolete_since);
+  entries_.push_back(std::move(entry));
+  ++total_appended_;
+}
+
+std::vector<GcEntry> GcList::PopReclaimable(Timestamp watermark,
+                                            size_t max_batch) {
+  std::vector<GcEntry> out;
+  std::lock_guard<std::mutex> guard(mu_);
+  while (!entries_.empty() &&
+         entries_.front().obsolete_since <= watermark &&
+         (max_batch == 0 || out.size() < max_batch)) {
+    out.push_back(std::move(entries_.front()));
+    entries_.pop_front();
+  }
+  total_reclaimed_ += out.size();
+  return out;
+}
+
+size_t GcList::size() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return entries_.size();
+}
+
+Timestamp GcList::OldestObsoleteSince() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return entries_.empty() ? kMaxTimestamp : entries_.front().obsolete_since;
+}
+
+uint64_t GcList::total_appended() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return total_appended_;
+}
+
+uint64_t GcList::total_reclaimed() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return total_reclaimed_;
+}
+
+}  // namespace neosi

@@ -1,0 +1,67 @@
+// The paper's garbage-collection structure (§4): obsolete versions are
+// "threaded with a double linked list sorted by timestamp to enable to
+// perform the garbage collection just traversing those versions that must be
+// garbage collected".
+//
+// Commit timestamps are handed out monotonically, so appending at the tail
+// keeps the list sorted in O(1); reclamation pops from the head while the
+// head is reclaimable, touching nothing else. This is what makes GC cost
+// proportional to the number of versions reclaimed (experiment E8), in
+// contrast with the full-scan vacuum baseline.
+
+#ifndef NEOSI_MVCC_GC_LIST_H_
+#define NEOSI_MVCC_GC_LIST_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/types.h"
+#include "mvcc/version.h"
+
+namespace neosi {
+
+/// One obsolete version awaiting reclamation.
+struct GcEntry {
+  EntityKey key;
+  std::shared_ptr<Version> version;
+  /// The sort key: commit timestamp of the superseding version (a
+  /// tombstone's own timestamp for tombstones). The version is reclaimable
+  /// once every active transaction's start timestamp >= this.
+  Timestamp obsolete_since = kNoTimestamp;
+};
+
+/// Thread-safe timestamp-sorted reclamation queue.
+class GcList {
+ public:
+  /// Appends at the tail. Entries must arrive in non-decreasing
+  /// obsolete_since order (guaranteed by monotonic commit timestamps).
+  void Append(GcEntry entry);
+
+  /// Pops and returns every head entry with obsolete_since <= watermark
+  /// (up to max_batch; 0 = unlimited). Cost is O(#returned).
+  std::vector<GcEntry> PopReclaimable(Timestamp watermark,
+                                      size_t max_batch = 0);
+
+  /// Entries currently queued.
+  size_t size() const;
+
+  /// obsolete_since of the head entry (kMaxTimestamp when empty).
+  Timestamp OldestObsoleteSince() const;
+
+  /// Total entries ever appended / reclaimed (stats for E8).
+  uint64_t total_appended() const;
+  uint64_t total_reclaimed() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::list<GcEntry> entries_;
+  uint64_t total_appended_ = 0;
+  uint64_t total_reclaimed_ = 0;
+};
+
+}  // namespace neosi
+
+#endif  // NEOSI_MVCC_GC_LIST_H_

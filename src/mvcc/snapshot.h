@@ -1,0 +1,23 @@
+// A transaction's read snapshot.
+
+#ifndef NEOSI_MVCC_SNAPSHOT_H_
+#define NEOSI_MVCC_SNAPSHOT_H_
+
+#include "common/types.h"
+
+namespace neosi {
+
+/// Identifies what a transaction is allowed to observe: everything committed
+/// at or before start_ts, plus its own uncommitted writes (txn_id).
+struct Snapshot {
+  Timestamp start_ts = kNoTimestamp;
+  TxnId txn_id = kNoTxn;
+
+  /// A read-committed "snapshot": sees every committed version. Used to run
+  /// the stock-Neo4j baseline through the same read paths.
+  static Snapshot Latest(TxnId txn_id) { return {kMaxTimestamp, txn_id}; }
+};
+
+}  // namespace neosi
+
+#endif  // NEOSI_MVCC_SNAPSHOT_H_

@@ -1,0 +1,63 @@
+// In-memory version records (paper §3/§4).
+//
+// Each node / relationship cached in the Object Cache owns a list of
+// versions. A version is immutable once committed; uncommitted versions are
+// private to their writer transaction (visible to nobody else, but readable
+// by the writer itself: read-your-own-writes).
+
+#ifndef NEOSI_MVCC_VERSION_H_
+#define NEOSI_MVCC_VERSION_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/property_value.h"
+#include "common/types.h"
+
+namespace neosi {
+
+/// The logical content of one version of a node or relationship.
+///
+/// Relationship topology (src/dst/type) is immutable and lives on the cached
+/// object, not in versions; versions carry the mutable state: labels,
+/// properties and existence.
+struct VersionData {
+  /// Tombstone flag (paper §4): the entity is deleted as of this version but
+  /// the version is retained until no active transaction can read an older
+  /// one.
+  bool deleted = false;
+  /// Node labels (empty for relationships).
+  std::vector<LabelId> labels;
+  PropertyMap props;
+
+  /// Approximate heap footprint, for cache accounting and experiment E9.
+  size_t ApproximateSize() const {
+    size_t n = sizeof(VersionData) + labels.capacity() * sizeof(LabelId);
+    for (const auto& [k, v] : props) {
+      n += sizeof(k) + v.ApproximateSize();
+    }
+    return n;
+  }
+};
+
+/// One version in an entity's version list.
+struct Version {
+  /// Commit timestamp; kNoTimestamp while the writing transaction is active.
+  Timestamp commit_ts = kNoTimestamp;
+  /// Writer transaction (used for read-your-own-writes while uncommitted).
+  TxnId writer = kNoTxn;
+  VersionData data;
+  /// Next-older version (newest-first chain).
+  std::shared_ptr<Version> older;
+
+  /// Commit timestamp of the version that superseded this one; set when the
+  /// version is threaded onto the garbage-collection list (paper §4). For a
+  /// tombstone this is its own commit timestamp.
+  Timestamp obsolete_since = kNoTimestamp;
+
+  bool committed() const { return commit_ts != kNoTimestamp; }
+};
+
+}  // namespace neosi
+
+#endif  // NEOSI_MVCC_VERSION_H_

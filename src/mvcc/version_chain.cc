@@ -1,0 +1,131 @@
+#include "mvcc/version_chain.h"
+
+namespace neosi {
+
+VersionChain::~VersionChain() {
+  // Unwind the chain iteratively; a long shared_ptr chain would otherwise
+  // destruct recursively and can overflow the stack (E6 builds 1k+ chains).
+  std::shared_ptr<Version> cur = std::move(head_);
+  while (cur) {
+    std::shared_ptr<Version> next = std::move(cur->older);
+    cur.reset();
+    cur = std::move(next);
+  }
+}
+
+Result<std::shared_ptr<Version>> VersionChain::InstallUncommitted(
+    TxnId writer, VersionData data) {
+  auto version = std::make_shared<Version>();
+  version->writer = writer;
+  version->data = std::move(data);
+  std::lock_guard<SpinLatch> guard(latch_);
+  if (head_ && !head_->committed()) {
+    if (head_->writer == writer) {
+      // Same transaction writing again: collapse into one pending version
+      // (a transaction has exactly one private version per entity).
+      head_->data = std::move(version->data);
+      return head_;
+    }
+    return Status::Internal(
+        "version chain: concurrent uncommitted writers (lock bug)");
+  }
+  version->older = head_;
+  head_ = version;
+  return version;
+}
+
+Result<std::shared_ptr<Version>> VersionChain::CommitHead(TxnId writer,
+                                                          Timestamp ts) {
+  std::lock_guard<SpinLatch> guard(latch_);
+  if (!head_ || head_->committed() || head_->writer != writer) {
+    return Status::Internal("version chain: commit without pending version");
+  }
+  head_->commit_ts = ts;
+  return head_->older;  // May be null (first version of the entity).
+}
+
+void VersionChain::AbortHead(TxnId writer) {
+  std::lock_guard<SpinLatch> guard(latch_);
+  if (head_ && !head_->committed() && head_->writer == writer) {
+    head_ = head_->older;
+  }
+}
+
+std::shared_ptr<const Version> VersionChain::Visible(Timestamp start_ts,
+                                                     TxnId self) const {
+  std::lock_guard<SpinLatch> guard(latch_);
+  for (std::shared_ptr<Version> v = head_; v; v = v->older) {
+    if (!v->committed()) {
+      if (self != kNoTxn && v->writer == self) return v;  // Own write.
+      continue;  // Private to another transaction.
+    }
+    if (v->commit_ts <= start_ts) return v;
+  }
+  return nullptr;
+}
+
+std::shared_ptr<const Version> VersionChain::LatestCommitted() const {
+  std::lock_guard<SpinLatch> guard(latch_);
+  for (std::shared_ptr<Version> v = head_; v; v = v->older) {
+    if (v->committed()) return v;
+  }
+  return nullptr;
+}
+
+std::shared_ptr<Version> VersionChain::Head() const {
+  std::lock_guard<SpinLatch> guard(latch_);
+  return head_;
+}
+
+bool VersionChain::HasUncommitted() const {
+  std::lock_guard<SpinLatch> guard(latch_);
+  return head_ && !head_->committed();
+}
+
+Timestamp VersionChain::NewestCommitTs() const {
+  std::lock_guard<SpinLatch> guard(latch_);
+  for (std::shared_ptr<Version> v = head_; v; v = v->older) {
+    if (v->committed()) return v->commit_ts;
+  }
+  return kNoTimestamp;
+}
+
+bool VersionChain::Remove(const std::shared_ptr<Version>& target) {
+  std::lock_guard<SpinLatch> guard(latch_);
+  if (!head_) return false;
+  if (head_ == target) {
+    head_ = head_->older;
+    return true;
+  }
+  for (std::shared_ptr<Version> v = head_; v->older; v = v->older) {
+    if (v->older == target) {
+      v->older = target->older;
+      return true;
+    }
+  }
+  return false;
+}
+
+size_t VersionChain::PruneSupersededUpTo(Timestamp watermark) {
+  std::lock_guard<SpinLatch> guard(latch_);
+  // Find the newest committed version visible at the watermark; everything
+  // older is unreachable by any current or future snapshot.
+  std::shared_ptr<Version> keep;
+  for (keep = head_; keep; keep = keep->older) {
+    if (keep->committed() && keep->commit_ts <= watermark) break;
+  }
+  if (!keep) return 0;
+  size_t dropped = 0;
+  for (std::shared_ptr<Version> v = keep->older; v; v = v->older) ++dropped;
+  keep->older = nullptr;
+  return dropped;
+}
+
+size_t VersionChain::Length() const {
+  std::lock_guard<SpinLatch> guard(latch_);
+  size_t n = 0;
+  for (std::shared_ptr<Version> v = head_; v; v = v->older) ++n;
+  return n;
+}
+
+}  // namespace neosi

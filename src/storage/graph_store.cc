@@ -1,0 +1,768 @@
+#include "storage/graph_store.h"
+
+#include <algorithm>
+#include <map>
+#include <sys/stat.h>
+
+#include "common/coding.h"
+
+namespace neosi {
+
+namespace {
+
+/// Encodes a label id list as a dynamic-store blob.
+std::string EncodeLabelBlob(const std::vector<LabelId>& labels) {
+  std::string blob;
+  PutVarint64(&blob, labels.size());
+  for (LabelId label : labels) PutVarint32(&blob, label);
+  return blob;
+}
+
+Status DecodeLabelBlob(Slice input, std::vector<LabelId>* out) {
+  uint64_t n;
+  if (!GetVarint64(&input, &n)) {
+    return Status::Corruption("label blob: count");
+  }
+  out->resize(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    if (!GetVarint32(&input, &(*out)[i])) {
+      return Status::Corruption("label blob: id");
+    }
+  }
+  return Status::OK();
+}
+
+bool LabelsFitInline(const std::vector<LabelId>& labels) {
+  if (labels.size() > static_cast<size_t>(kInlineLabels)) return false;
+  for (LabelId label : labels) {
+    if (label >= kEmptyLabelSlot) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+GraphStore::GraphStore(const DatabaseOptions& options) : options_(options) {}
+
+Status GraphStore::Open() {
+  const bool mem = options_.in_memory;
+  const std::string& dir = options_.path;
+  if (!mem) {
+    // Best-effort directory creation; Open of the files reports real errors.
+    ::mkdir(dir.c_str(), 0755);
+  }
+  auto open_file = [&](const std::string& name,
+                       std::unique_ptr<PagedFile>* out) {
+    return OpenPagedFile(dir + "/" + name, mem, out);
+  };
+
+  std::unique_ptr<PagedFile> f;
+  NEOSI_RETURN_IF_ERROR(open_file("nodes.store", &f));
+  nodes_ = std::make_unique<RecordStore>(std::move(f), NodeRecord::kSize,
+                                         NodeRecord::kMagic, "node-store");
+  NEOSI_RETURN_IF_ERROR(nodes_->Open());
+
+  NEOSI_RETURN_IF_ERROR(open_file("rels.store", &f));
+  rels_ = std::make_unique<RecordStore>(std::move(f), RelationshipRecord::kSize,
+                                        RelationshipRecord::kMagic,
+                                        "relationship-store");
+  NEOSI_RETURN_IF_ERROR(rels_->Open());
+
+  std::unique_ptr<PagedFile> props_file, strings_file;
+  NEOSI_RETURN_IF_ERROR(open_file("props.store", &props_file));
+  NEOSI_RETURN_IF_ERROR(open_file("strings.store", &strings_file));
+  props_ = std::make_unique<PropertyStore>(std::move(props_file),
+                                           std::move(strings_file));
+  NEOSI_RETURN_IF_ERROR(props_->Open());
+
+  NEOSI_RETURN_IF_ERROR(open_file("labels.store", &f));
+  label_dyn_ = std::make_unique<DynamicStore>(std::move(f), "label-store");
+  NEOSI_RETURN_IF_ERROR(label_dyn_->Open());
+
+  NEOSI_RETURN_IF_ERROR(open_file("tokens_label.store", &f));
+  label_tokens_ = std::make_unique<TokenStore>(std::move(f), "label-tokens");
+  NEOSI_RETURN_IF_ERROR(label_tokens_->Open());
+
+  NEOSI_RETURN_IF_ERROR(open_file("tokens_propkey.store", &f));
+  prop_key_tokens_ =
+      std::make_unique<TokenStore>(std::move(f), "prop-key-tokens");
+  NEOSI_RETURN_IF_ERROR(prop_key_tokens_->Open());
+
+  NEOSI_RETURN_IF_ERROR(open_file("tokens_reltype.store", &f));
+  rel_type_tokens_ =
+      std::make_unique<TokenStore>(std::move(f), "rel-type-tokens");
+  NEOSI_RETURN_IF_ERROR(rel_type_tokens_->Open());
+
+  NEOSI_RETURN_IF_ERROR(open_file("wal.log", &f));
+  wal_ = std::make_unique<Wal>(std::move(f));
+  return wal_->Open();
+}
+
+Status GraphStore::SyncAll() {
+  NEOSI_RETURN_IF_ERROR(nodes_->Sync());
+  NEOSI_RETURN_IF_ERROR(rels_->Sync());
+  NEOSI_RETURN_IF_ERROR(props_->Sync());
+  NEOSI_RETURN_IF_ERROR(label_dyn_->Sync());
+  NEOSI_RETURN_IF_ERROR(label_tokens_->Sync());
+  NEOSI_RETURN_IF_ERROR(prop_key_tokens_->Sync());
+  NEOSI_RETURN_IF_ERROR(rel_type_tokens_->Sync());
+  return Status::OK();
+}
+
+std::vector<WriteGuard> GraphStore::LockNodePair(NodeId a, NodeId b) const {
+  const size_t sa = a % kShards, sb = b % kShards;
+  std::vector<WriteGuard> guards;
+  if (sa == sb) {
+    guards.emplace_back(node_shards_[sa]);
+  } else if (sa < sb) {
+    guards.emplace_back(node_shards_[sa]);
+    guards.emplace_back(node_shards_[sb]);
+  } else {
+    guards.emplace_back(node_shards_[sb]);
+    guards.emplace_back(node_shards_[sa]);
+  }
+  return guards;
+}
+
+Status GraphStore::ReadNodeRecord(NodeId id, NodeRecord* out) const {
+  std::string buf;
+  NEOSI_RETURN_IF_ERROR(nodes_->Read(id, &buf));
+  return NodeRecord::DecodeFrom(Slice(buf), out);
+}
+
+Status GraphStore::WriteNodeRecord(NodeId id, const NodeRecord& rec) {
+  char buf[NodeRecord::kSize];
+  rec.EncodeTo(buf);
+  return nodes_->Write(id, Slice(buf, NodeRecord::kSize));
+}
+
+Status GraphStore::ReadRelRecord(RelId id, RelationshipRecord* out) const {
+  std::string buf;
+  NEOSI_RETURN_IF_ERROR(rels_->Read(id, &buf));
+  return RelationshipRecord::DecodeFrom(Slice(buf), out);
+}
+
+Status GraphStore::WriteRelRecord(RelId id, const RelationshipRecord& rec) {
+  char buf[RelationshipRecord::kSize];
+  rec.EncodeTo(buf);
+  return rels_->Write(id, Slice(buf, RelationshipRecord::kSize));
+}
+
+Status GraphStore::StoreLabels(NodeRecord* rec,
+                               const std::vector<LabelId>& labels) {
+  if (rec->label_overflow != kInvalidDynId) {
+    NEOSI_RETURN_IF_ERROR(label_dyn_->FreeBlob(rec->label_overflow));
+    rec->label_overflow = kInvalidDynId;
+  }
+  rec->inline_labels.fill(kEmptyLabelSlot);
+  if (LabelsFitInline(labels)) {
+    for (size_t i = 0; i < labels.size(); ++i) {
+      rec->inline_labels[i] = static_cast<uint16_t>(labels[i]);
+    }
+    return Status::OK();
+  }
+  auto blob = label_dyn_->WriteBlob(Slice(EncodeLabelBlob(labels)));
+  if (!blob.ok()) return blob.status();
+  rec->label_overflow = *blob;
+  return Status::OK();
+}
+
+Status GraphStore::LoadLabels(const NodeRecord& rec,
+                              std::vector<LabelId>* out) const {
+  out->clear();
+  if (rec.label_overflow != kInvalidDynId) {
+    std::string blob;
+    NEOSI_RETURN_IF_ERROR(label_dyn_->ReadBlob(rec.label_overflow, &blob));
+    return DecodeLabelBlob(Slice(blob), out);
+  }
+  for (uint16_t slot : rec.inline_labels) {
+    if (slot != kEmptyLabelSlot) out->push_back(slot);
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Commit-time persistence
+// ---------------------------------------------------------------------------
+
+Status GraphStore::PersistNewNode(NodeId id, const std::vector<LabelId>& labels,
+                                  const PropertyMap& props, Timestamp ts) {
+  WriteGuard guard(NodeShard(id));
+  NodeRecord rec;
+  rec.in_use = true;
+  rec.deleted = false;
+  rec.first_rel = kInvalidRelId;
+  rec.commit_ts = ts;
+  NEOSI_RETURN_IF_ERROR(StoreLabels(&rec, labels));
+  auto chain = props_->WriteChain(props);
+  if (!chain.ok()) return chain.status();
+  rec.first_prop = *chain;
+  return WriteNodeRecord(id, rec);
+}
+
+Status GraphStore::PersistNodeState(NodeId id,
+                                    const std::vector<LabelId>& labels,
+                                    const PropertyMap& props, Timestamp ts) {
+  WriteGuard guard(NodeShard(id));
+  NodeRecord rec;
+  NEOSI_RETURN_IF_ERROR(ReadNodeRecord(id, &rec));
+  if (!rec.in_use) {
+    // Crash-recovery path: the record vanished; recreate it.
+    rec = NodeRecord();
+    rec.first_rel = kInvalidRelId;
+    rec.first_prop = kInvalidPropId;
+  }
+  rec.in_use = true;
+  rec.deleted = false;
+  rec.commit_ts = ts;
+  if (rec.first_prop != kInvalidPropId) {
+    NEOSI_RETURN_IF_ERROR(props_->FreeChain(rec.first_prop));
+  }
+  auto chain = props_->WriteChain(props);
+  if (!chain.ok()) return chain.status();
+  rec.first_prop = *chain;
+  NEOSI_RETURN_IF_ERROR(StoreLabels(&rec, labels));
+  return WriteNodeRecord(id, rec);
+}
+
+Status GraphStore::PersistNodeTombstone(NodeId id, Timestamp ts) {
+  WriteGuard guard(NodeShard(id));
+  NodeRecord rec;
+  NEOSI_RETURN_IF_ERROR(ReadNodeRecord(id, &rec));
+  if (!rec.in_use) {
+    return Status::Internal("tombstone of free node record " +
+                            std::to_string(id));
+  }
+  // The final committed state of a deleted node has no labels/properties;
+  // older versions (with them) live in the object cache until GC.
+  if (rec.first_prop != kInvalidPropId) {
+    NEOSI_RETURN_IF_ERROR(props_->FreeChain(rec.first_prop));
+    rec.first_prop = kInvalidPropId;
+  }
+  NEOSI_RETURN_IF_ERROR(StoreLabels(&rec, {}));
+  rec.deleted = true;
+  rec.commit_ts = ts;
+  return WriteNodeRecord(id, rec);
+}
+
+Status GraphStore::LinkIntoChain(RelId id, RelationshipRecord* rec,
+                                 NodeId node) {
+  NodeRecord node_rec;
+  NEOSI_RETURN_IF_ERROR(ReadNodeRecord(node, &node_rec));
+  const RelId old_head = node_rec.first_rel;
+
+  if (node == rec->src) {
+    rec->src_prev = kInvalidRelId;
+    rec->src_next = old_head;
+  } else {
+    rec->dst_prev = kInvalidRelId;
+    rec->dst_next = old_head;
+  }
+  NEOSI_RETURN_IF_ERROR(WriteRelRecord(id, *rec));
+
+  if (old_head != kInvalidRelId) {
+    // Field-granular write: the old head's OTHER chain (its other endpoint)
+    // may be under surgery concurrently beneath a different node latch.
+    RelationshipRecord head;
+    NEOSI_RETURN_IF_ERROR(ReadRelRecord(old_head, &head));
+    const size_t offset = head.src == node
+                              ? RelationshipRecord::kSrcPrevOffset
+                              : RelationshipRecord::kDstPrevOffset;
+    NEOSI_RETURN_IF_ERROR(rels_->WriteField64(old_head, offset, id));
+  }
+
+  node_rec.first_rel = id;
+  return WriteNodeRecord(node, node_rec);
+}
+
+Status GraphStore::PersistNewRel(RelId id, NodeId src, NodeId dst,
+                                 RelTypeId type, const PropertyMap& props,
+                                 Timestamp ts) {
+  auto guards = LockNodePair(src, dst);
+  WriteGuard rel_guard(RelShard(id));
+
+  RelationshipRecord rec;
+  rec.in_use = true;
+  rec.deleted = false;
+  rec.src = src;
+  rec.dst = dst;
+  rec.type = type;
+  rec.commit_ts = ts;
+  auto chain = props_->WriteChain(props);
+  if (!chain.ok()) return chain.status();
+  rec.first_prop = *chain;
+
+  // Link at the head of the source chain, then (unless a self-loop, which
+  // participates in the chain once via its src pointers) the destination's.
+  NEOSI_RETURN_IF_ERROR(LinkIntoChain(id, &rec, src));
+  if (src != dst) {
+    NEOSI_RETURN_IF_ERROR(LinkIntoChain(id, &rec, dst));
+  }
+  return Status::OK();
+}
+
+Status GraphStore::PersistRelState(RelId id, const PropertyMap& props,
+                                   Timestamp ts) {
+  // The full record is rewritten, and its chain pointers are owned by the
+  // endpoint node latches (concurrent neighbour link/unlink surgery mutates
+  // them) — so take the node pair first, then the rel latch.
+  RelationshipRecord peek;
+  NEOSI_RETURN_IF_ERROR(ReadRelRecord(id, &peek));
+  auto guards = LockNodePair(peek.src, peek.dst);
+  WriteGuard guard(RelShard(id));
+  RelationshipRecord rec;
+  NEOSI_RETURN_IF_ERROR(ReadRelRecord(id, &rec));
+  if (!rec.in_use) {
+    return Status::Internal("state write to free relationship record " +
+                            std::to_string(id));
+  }
+  if (rec.first_prop != kInvalidPropId) {
+    NEOSI_RETURN_IF_ERROR(props_->FreeChain(rec.first_prop));
+  }
+  auto chain = props_->WriteChain(props);
+  if (!chain.ok()) return chain.status();
+  rec.first_prop = *chain;
+  rec.deleted = false;
+  rec.commit_ts = ts;
+  return WriteRelRecord(id, rec);
+}
+
+Status GraphStore::PersistRelTombstone(RelId id, Timestamp ts) {
+  RelationshipRecord peek;
+  NEOSI_RETURN_IF_ERROR(ReadRelRecord(id, &peek));
+  auto guards = LockNodePair(peek.src, peek.dst);
+  WriteGuard guard(RelShard(id));
+  RelationshipRecord rec;
+  NEOSI_RETURN_IF_ERROR(ReadRelRecord(id, &rec));
+  if (!rec.in_use) {
+    return Status::Internal("tombstone of free relationship record " +
+                            std::to_string(id));
+  }
+  if (rec.first_prop != kInvalidPropId) {
+    NEOSI_RETURN_IF_ERROR(props_->FreeChain(rec.first_prop));
+    rec.first_prop = kInvalidPropId;
+  }
+  rec.deleted = true;
+  rec.commit_ts = ts;
+  return WriteRelRecord(id, rec);
+}
+
+// ---------------------------------------------------------------------------
+// GC purge
+// ---------------------------------------------------------------------------
+
+Status GraphStore::PurgeNode(NodeId id) {
+  WriteGuard guard(NodeShard(id));
+  NodeRecord rec;
+  NEOSI_RETURN_IF_ERROR(ReadNodeRecord(id, &rec));
+  if (!rec.in_use) return Status::OK();  // Already purged (recovery replay).
+  if (rec.first_rel != kInvalidRelId) {
+    return Status::Internal(
+        "purge of node with live relationship chain: node " +
+        std::to_string(id));
+  }
+  if (rec.first_prop != kInvalidPropId) {
+    NEOSI_RETURN_IF_ERROR(props_->FreeChain(rec.first_prop));
+  }
+  if (rec.label_overflow != kInvalidDynId) {
+    NEOSI_RETURN_IF_ERROR(label_dyn_->FreeBlob(rec.label_overflow));
+  }
+  return nodes_->Free(id);
+}
+
+Status GraphStore::UnlinkFromChain(RelId id, const RelationshipRecord& rec,
+                                   NodeId node) {
+  const RelId prev = rec.PrevFor(node);
+  const RelId next = rec.NextFor(node);
+
+  // Every rewrite below checks that the neighbour still points at `id`
+  // before touching it, which makes the surgery idempotent: crash-recovery
+  // replays it with the pointers logged in the kPurgeRel WAL op.
+  if (prev == kInvalidRelId) {
+    NodeRecord node_rec;
+    NEOSI_RETURN_IF_ERROR(ReadNodeRecord(node, &node_rec));
+    if (node_rec.first_rel == id) {
+      node_rec.first_rel = next;
+      NEOSI_RETURN_IF_ERROR(WriteNodeRecord(node, node_rec));
+    }
+  } else if (rels_->InUse(prev)) {
+    // Field-granular writes: only this endpoint's pointer pair belongs to
+    // the latch we hold; the neighbour's other chain may be mutated
+    // concurrently under a different node latch.
+    RelationshipRecord prev_rec;
+    NEOSI_RETURN_IF_ERROR(ReadRelRecord(prev, &prev_rec));
+    if (prev_rec.src == node && prev_rec.src_next == id) {
+      NEOSI_RETURN_IF_ERROR(rels_->WriteField64(
+          prev, RelationshipRecord::kSrcNextOffset, next));
+    } else if (prev_rec.src != node && prev_rec.dst_next == id) {
+      NEOSI_RETURN_IF_ERROR(rels_->WriteField64(
+          prev, RelationshipRecord::kDstNextOffset, next));
+    }
+  }
+
+  if (next != kInvalidRelId && rels_->InUse(next)) {
+    RelationshipRecord next_rec;
+    NEOSI_RETURN_IF_ERROR(ReadRelRecord(next, &next_rec));
+    if (next_rec.src == node && next_rec.src_prev == id) {
+      NEOSI_RETURN_IF_ERROR(rels_->WriteField64(
+          next, RelationshipRecord::kSrcPrevOffset, prev));
+    } else if (next_rec.src != node && next_rec.dst_prev == id) {
+      NEOSI_RETURN_IF_ERROR(rels_->WriteField64(
+          next, RelationshipRecord::kDstPrevOffset, prev));
+    }
+  }
+  return Status::OK();
+}
+
+Status GraphStore::PurgeRel(RelId id) {
+  RelationshipRecord rec;
+  {
+    // Peek at the endpoints without holding latches, then lock in order.
+    std::string buf;
+    NEOSI_RETURN_IF_ERROR(rels_->Read(id, &buf));
+    NEOSI_RETURN_IF_ERROR(RelationshipRecord::DecodeFrom(Slice(buf), &rec));
+  }
+  if (!rec.in_use) return Status::OK();  // Already purged.
+
+  auto guards = LockNodePair(rec.src, rec.dst);
+  WriteGuard rel_guard(RelShard(id));
+  // Re-read under the latches (the unlatched peek could have raced).
+  NEOSI_RETURN_IF_ERROR(ReadRelRecord(id, &rec));
+  if (!rec.in_use) return Status::OK();
+
+  NEOSI_RETURN_IF_ERROR(UnlinkFromChain(id, rec, rec.src));
+  if (rec.dst != rec.src) {
+    NEOSI_RETURN_IF_ERROR(UnlinkFromChain(id, rec, rec.dst));
+  }
+  if (rec.first_prop != kInvalidPropId) {
+    NEOSI_RETURN_IF_ERROR(props_->FreeChain(rec.first_prop));
+  }
+  return rels_->Free(id);
+}
+
+// ---------------------------------------------------------------------------
+// Reads
+// ---------------------------------------------------------------------------
+
+Status GraphStore::ReadNodeState(NodeId id, NodeState* out) const {
+  ReadGuard guard(NodeShard(id));
+  NodeRecord rec;
+  NEOSI_RETURN_IF_ERROR(ReadNodeRecord(id, &rec));
+  out->in_use = rec.in_use;
+  out->deleted = rec.deleted;
+  out->commit_ts = rec.commit_ts;
+  out->first_rel = rec.first_rel;
+  out->labels.clear();
+  out->props.clear();
+  if (!rec.in_use) return Status::OK();
+  NEOSI_RETURN_IF_ERROR(LoadLabels(rec, &out->labels));
+  if (rec.first_prop != kInvalidPropId) {
+    NEOSI_RETURN_IF_ERROR(props_->ReadChain(rec.first_prop, &out->props));
+  }
+  return Status::OK();
+}
+
+Status GraphStore::ReadRelState(RelId id, RelState* out) const {
+  ReadGuard guard(RelShard(id));
+  RelationshipRecord rec;
+  NEOSI_RETURN_IF_ERROR(ReadRelRecord(id, &rec));
+  out->in_use = rec.in_use;
+  out->deleted = rec.deleted;
+  out->src = rec.src;
+  out->dst = rec.dst;
+  out->type = rec.type;
+  out->commit_ts = rec.commit_ts;
+  out->props.clear();
+  if (!rec.in_use) return Status::OK();
+  if (rec.first_prop != kInvalidPropId) {
+    NEOSI_RETURN_IF_ERROR(props_->ReadChain(rec.first_prop, &out->props));
+  }
+  return Status::OK();
+}
+
+Status GraphStore::RelChainOf(NodeId id, std::vector<RelId>* out) const {
+  ReadGuard guard(NodeShard(id));
+  out->clear();
+  NodeRecord node_rec;
+  NEOSI_RETURN_IF_ERROR(ReadNodeRecord(id, &node_rec));
+  if (!node_rec.in_use) return Status::OK();
+
+  RelId cur = node_rec.first_rel;
+  uint64_t steps = 0;
+  const uint64_t max_steps = rels_->high_id() + 1;
+  while (cur != kInvalidRelId) {
+    if (++steps > max_steps) {
+      return Status::Corruption("relationship chain cycle at node " +
+                                std::to_string(id));
+    }
+    out->push_back(cur);
+    RelationshipRecord rec;
+    NEOSI_RETURN_IF_ERROR(ReadRelRecord(cur, &rec));
+    cur = rec.NextFor(id);
+  }
+  return Status::OK();
+}
+
+Status GraphStore::ApplyRewrite(const EntityKey& key) {
+  std::string buf;
+  if (key.type == EntityType::kNode) {
+    WriteGuard guard(NodeShard(key.id));
+    NEOSI_RETURN_IF_ERROR(nodes_->Read(key.id, &buf));
+    return nodes_->Write(key.id, Slice(buf));
+  }
+  // Relationship records' chain pointers are owned by the endpoint node
+  // latches; a blind read+write-back must exclude concurrent surgery.
+  RelationshipRecord peek;
+  NEOSI_RETURN_IF_ERROR(ReadRelRecord(key.id, &peek));
+  auto guards = LockNodePair(peek.src, peek.dst);
+  WriteGuard guard(RelShard(key.id));
+  NEOSI_RETURN_IF_ERROR(rels_->Read(key.id, &buf));
+  return rels_->Write(key.id, Slice(buf));
+}
+
+Status GraphStore::ForEachNode(const std::function<Status(NodeId)>& fn) const {
+  return nodes_->ForEach([&](uint64_t id, const std::string&) {
+    return fn(static_cast<NodeId>(id));
+  });
+}
+
+Status GraphStore::ForEachRel(const std::function<Status(RelId)>& fn) const {
+  return rels_->ForEach([&](uint64_t id, const std::string&) {
+    return fn(static_cast<RelId>(id));
+  });
+}
+
+// ---------------------------------------------------------------------------
+// WAL replay & recovery
+// ---------------------------------------------------------------------------
+
+Status GraphStore::EnsureRelLinked(RelId id) {
+  RelationshipRecord rec;
+  NEOSI_RETURN_IF_ERROR(ReadRelRecord(id, &rec));
+  if (!rec.in_use) {
+    return Status::Internal("EnsureRelLinked on free record");
+  }
+  auto guards = LockNodePair(rec.src, rec.dst);
+  WriteGuard rel_guard(RelShard(id));
+  NEOSI_RETURN_IF_ERROR(ReadRelRecord(id, &rec));
+
+  auto linked_in = [&](NodeId node) -> Result<bool> {
+    NodeRecord node_rec;
+    NEOSI_RETURN_IF_ERROR(ReadNodeRecord(node, &node_rec));
+    RelId cur = node_rec.first_rel;
+    uint64_t steps = 0;
+    const uint64_t max_steps = rels_->high_id() + 1;
+    while (cur != kInvalidRelId) {
+      if (cur == id) return true;
+      if (++steps > max_steps) {
+        return Status::Corruption("chain cycle during link repair");
+      }
+      RelationshipRecord r;
+      NEOSI_RETURN_IF_ERROR(ReadRelRecord(cur, &r));
+      cur = r.NextFor(node);
+    }
+    return false;
+  };
+
+  auto check = linked_in(rec.src);
+  if (!check.ok()) return check.status();
+  if (!*check) {
+    NEOSI_RETURN_IF_ERROR(LinkIntoChain(id, &rec, rec.src));
+  }
+  if (rec.dst != rec.src) {
+    check = linked_in(rec.dst);
+    if (!check.ok()) return check.status();
+    if (!*check) {
+      NEOSI_RETURN_IF_ERROR(LinkIntoChain(id, &rec, rec.dst));
+    }
+  }
+  return Status::OK();
+}
+
+Status GraphStore::ApplyWalOp(const WalOp& op, Timestamp commit_ts) {
+  switch (op.type) {
+    case WalOpType::kCreateToken: {
+      TokenStore* store = nullptr;
+      switch (op.token_kind) {
+        case TokenKind::kLabel:
+          store = label_tokens_.get();
+          break;
+        case TokenKind::kPropertyKey:
+          store = prop_key_tokens_.get();
+          break;
+        case TokenKind::kRelType:
+          store = rel_type_tokens_.get();
+          break;
+      }
+      auto r = store->GetOrCreate(op.name, commit_ts);
+      return r.ok() ? Status::OK() : r.status();
+    }
+
+    case WalOpType::kCreateNode: {
+      NEOSI_RETURN_IF_ERROR(nodes_->EnsureAllocated(op.id));
+      NodeRecord rec;
+      NEOSI_RETURN_IF_ERROR(ReadNodeRecord(op.id, &rec));
+      if (rec.in_use && rec.commit_ts >= commit_ts) return Status::OK();
+      return PersistNewNode(op.id, op.labels, op.props, commit_ts);
+    }
+
+    case WalOpType::kDeleteNode: {
+      NodeRecord rec;
+      NEOSI_RETURN_IF_ERROR(ReadNodeRecord(op.id, &rec));
+      if (!rec.in_use || (rec.deleted && rec.commit_ts >= commit_ts)) {
+        return Status::OK();
+      }
+      return PersistNodeTombstone(op.id, commit_ts);
+    }
+
+    case WalOpType::kSetNodeProperty:
+    case WalOpType::kRemoveNodeProperty:
+    case WalOpType::kAddLabel:
+    case WalOpType::kRemoveLabel: {
+      NodeState state;
+      NEOSI_RETURN_IF_ERROR(ReadNodeState(op.id, &state));
+      if (!state.in_use) {
+        return Status::Corruption("wal replay: node missing for delta op");
+      }
+      if (state.commit_ts >= commit_ts) return Status::OK();
+      switch (op.type) {
+        case WalOpType::kSetNodeProperty:
+          state.props[op.token] = op.value;
+          break;
+        case WalOpType::kRemoveNodeProperty:
+          state.props.erase(op.token);
+          break;
+        case WalOpType::kAddLabel:
+          if (std::find(state.labels.begin(), state.labels.end(), op.token) ==
+              state.labels.end()) {
+            state.labels.push_back(op.token);
+          }
+          break;
+        case WalOpType::kRemoveLabel:
+          state.labels.erase(std::remove(state.labels.begin(),
+                                         state.labels.end(), op.token),
+                             state.labels.end());
+          break;
+        default:
+          break;
+      }
+      return PersistNodeState(op.id, state.labels, state.props, commit_ts);
+    }
+
+    case WalOpType::kCreateRel: {
+      NEOSI_RETURN_IF_ERROR(rels_->EnsureAllocated(op.id));
+      RelationshipRecord rec;
+      NEOSI_RETURN_IF_ERROR(ReadRelRecord(op.id, &rec));
+      if (rec.in_use && rec.commit_ts >= commit_ts) {
+        // Record present; repair the chain links if the crash interrupted
+        // the surgery between record write and chain rewiring.
+        return EnsureRelLinked(op.id);
+      }
+      return PersistNewRel(op.id, op.src, op.dst, op.rel_type, op.props,
+                           commit_ts);
+    }
+
+    case WalOpType::kDeleteRel: {
+      RelationshipRecord rec;
+      NEOSI_RETURN_IF_ERROR(ReadRelRecord(op.id, &rec));
+      if (!rec.in_use || (rec.deleted && rec.commit_ts >= commit_ts)) {
+        return Status::OK();
+      }
+      return PersistRelTombstone(op.id, commit_ts);
+    }
+
+    case WalOpType::kSetRelProperty:
+    case WalOpType::kRemoveRelProperty: {
+      RelState state;
+      NEOSI_RETURN_IF_ERROR(ReadRelState(op.id, &state));
+      if (!state.in_use) {
+        return Status::Corruption("wal replay: rel missing for delta op");
+      }
+      if (state.commit_ts >= commit_ts) return Status::OK();
+      if (op.type == WalOpType::kSetRelProperty) {
+        state.props[op.token] = op.value;
+      } else {
+        state.props.erase(op.token);
+      }
+      return PersistRelState(op.id, state.props, commit_ts);
+    }
+
+    case WalOpType::kPurgeNode:
+      if (op.id >= nodes_->high_id()) return Status::OK();
+      return PurgeNode(op.id);
+
+    case WalOpType::kPurgeRel: {
+      if (op.id >= rels_->high_id()) return Status::OK();
+      RelationshipRecord rec;
+      NEOSI_RETURN_IF_ERROR(ReadRelRecord(op.id, &rec));
+      if (!rec.in_use) {
+        // Record already freed; redo the neighbour surgery idempotently
+        // using the pointers logged at purge time.
+        auto guards = LockNodePair(op.src, op.dst);
+        RelationshipRecord ghost;
+        ghost.src = op.src;
+        ghost.dst = op.dst;
+        ghost.src_prev = op.src_prev;
+        ghost.src_next = op.src_next;
+        ghost.dst_prev = op.dst_prev;
+        ghost.dst_next = op.dst_next;
+        NEOSI_RETURN_IF_ERROR(UnlinkFromChain(op.id, ghost, op.src));
+        if (op.dst != op.src) {
+          NEOSI_RETURN_IF_ERROR(UnlinkFromChain(op.id, ghost, op.dst));
+        }
+        return Status::OK();
+      }
+      return PurgeRel(op.id);
+    }
+  }
+  return Status::Corruption("wal replay: unknown op");
+}
+
+Result<Timestamp> GraphStore::Recover() {
+  Timestamp max_ts = kNoTimestamp;
+
+  // Highest timestamp already persisted in the stores.
+  Status s = ForEachNode([&](NodeId id) {
+    NodeRecord rec;
+    NEOSI_RETURN_IF_ERROR(ReadNodeRecord(id, &rec));
+    max_ts = std::max(max_ts, rec.commit_ts);
+    return Status::OK();
+  });
+  if (!s.ok()) return s;
+  s = ForEachRel([&](RelId id) {
+    RelationshipRecord rec;
+    NEOSI_RETURN_IF_ERROR(ReadRelRecord(id, &rec));
+    max_ts = std::max(max_ts, rec.commit_ts);
+    return Status::OK();
+  });
+  if (!s.ok()) return s;
+
+  // Replay the WAL tail.
+  s = wal_->ReadAll([&](const WalRecord& record) {
+    for (const WalOp& op : record.ops) {
+      NEOSI_RETURN_IF_ERROR(ApplyWalOp(op, record.commit_ts));
+    }
+    max_ts = std::max(max_ts, record.commit_ts);
+    return Status::OK();
+  });
+  if (!s.ok()) return s;
+  return max_ts;
+}
+
+Status GraphStore::Checkpoint() {
+  NEOSI_RETURN_IF_ERROR(SyncAll());
+  return wal_->Reset();
+}
+
+GraphStoreStats GraphStore::Stats() const {
+  GraphStoreStats stats;
+  stats.nodes = nodes_->Stats();
+  stats.rels = rels_->Stats();
+  stats.props = props_->PropStats();
+  stats.strings = props_->DynStats();
+  stats.label_dyn = label_dyn_->Stats();
+  stats.wal_bytes = wal_->SizeBytes();
+  return stats;
+}
+
+}  // namespace neosi

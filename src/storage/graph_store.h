@@ -1,0 +1,231 @@
+// Physical graph storage facade: the Neo4j store-file layer of Figure 1.
+//
+// Owns the node / relationship / property / dynamic / token store files plus
+// the WAL, and exposes typed physical operations used by the transaction
+// engine at commit time, by the garbage collector at purge time, and by
+// recovery. This layer knows nothing about versions or visibility: it always
+// holds exactly the NEWEST COMMITTED version of each entity (paper §4 —
+// older versions live only in the object cache).
+//
+// Concurrency: per-entity sharded reader/writer latches. Mutators follow a
+// strict acquisition order (node shards ascending, then the relationship
+// shard) so they cannot deadlock; readers take a single latch.
+
+#ifndef NEOSI_STORAGE_GRAPH_STORE_H_
+#define NEOSI_STORAGE_GRAPH_STORE_H_
+
+#include <array>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/latch.h"
+#include "common/options.h"
+#include "common/property_value.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "storage/dynamic_store.h"
+#include "storage/property_store.h"
+#include "storage/record_store.h"
+#include "storage/records.h"
+#include "storage/token_store.h"
+#include "storage/wal.h"
+
+namespace neosi {
+
+/// Materialized persistent state of a node (newest committed version).
+struct NodeState {
+  bool in_use = false;
+  bool deleted = false;
+  std::vector<LabelId> labels;
+  PropertyMap props;
+  Timestamp commit_ts = kNoTimestamp;
+  RelId first_rel = kInvalidRelId;
+};
+
+/// Materialized persistent state of a relationship.
+struct RelState {
+  bool in_use = false;
+  bool deleted = false;
+  NodeId src = kInvalidNodeId;
+  NodeId dst = kInvalidNodeId;
+  RelTypeId type = kInvalidToken;
+  PropertyMap props;
+  Timestamp commit_ts = kNoTimestamp;
+};
+
+/// Aggregate store statistics (experiments E8/E9).
+struct GraphStoreStats {
+  RecordStoreStats nodes;
+  RecordStoreStats rels;
+  RecordStoreStats props;
+  RecordStoreStats strings;
+  RecordStoreStats label_dyn;
+  uint64_t wal_bytes = 0;
+};
+
+/// The persistent half of the engine. Thread-safe.
+class GraphStore {
+ public:
+  explicit GraphStore(const DatabaseOptions& options);
+  ~GraphStore() = default;
+
+  GraphStore(const GraphStore&) = delete;
+  GraphStore& operator=(const GraphStore&) = delete;
+
+  /// Opens or creates every store file and the WAL.
+  Status Open();
+
+  /// fsyncs every store file.
+  Status SyncAll();
+
+  // --- id allocation (ids are assigned at operation time so uncommitted
+  // entities have stable ids; released again if the transaction aborts) ----
+  Result<NodeId> AllocateNodeId() { return nodes_->Allocate(); }
+  Result<RelId> AllocateRelId() { return rels_->Allocate(); }
+  Status ReleaseNodeId(NodeId id) { return nodes_->Free(id); }
+  Status ReleaseRelId(RelId id) { return rels_->Free(id); }
+
+  // --- commit-time persistence (newest committed version only) ------------
+
+  /// Writes a brand-new node record (labels + property chain + commit ts).
+  Status PersistNewNode(NodeId id, const std::vector<LabelId>& labels,
+                        const PropertyMap& props, Timestamp ts);
+
+  /// Rewrites an existing node's labels/properties/commit ts in place
+  /// (fresh property chain; the old chain is freed). Keeps first_rel.
+  Status PersistNodeState(NodeId id, const std::vector<LabelId>& labels,
+                          const PropertyMap& props, Timestamp ts);
+
+  /// Marks a node deleted (tombstone, §4): record retained until purge.
+  Status PersistNodeTombstone(NodeId id, Timestamp ts);
+
+  /// Writes a brand-new relationship record and links it at the head of both
+  /// endpoints' relationship chains.
+  Status PersistNewRel(RelId id, NodeId src, NodeId dst, RelTypeId type,
+                       const PropertyMap& props, Timestamp ts);
+
+  /// Rewrites an existing relationship's properties/commit ts.
+  Status PersistRelState(RelId id, const PropertyMap& props, Timestamp ts);
+
+  /// Marks a relationship deleted (tombstone). Chain links stay intact so
+  /// concurrent chain scans remain well-formed; purge performs the unlink.
+  Status PersistRelTombstone(RelId id, Timestamp ts);
+
+  // --- GC purge (physical reclamation of tombstones) ----------------------
+
+  /// Frees a tombstoned node record and its chains. The node's relationship
+  /// chain must already be empty (all rels purged first).
+  Status PurgeNode(NodeId id);
+
+  /// Unlinks a tombstoned relationship from both endpoint chains and frees
+  /// its record + property chain.
+  Status PurgeRel(RelId id);
+
+  // --- reads ---------------------------------------------------------------
+
+  /// Materializes the newest committed state of a node.
+  Status ReadNodeState(NodeId id, NodeState* out) const;
+
+  /// Materializes the newest committed state of a relationship.
+  Status ReadRelState(RelId id, RelState* out) const;
+
+  /// Collects the relationship ids in a node's chain (tombstones included;
+  /// callers filter by visibility). Snapshot under the node's shared latch.
+  Status RelChainOf(NodeId id, std::vector<RelId>* out) const;
+
+  /// Raw record reads (tests, vacuum baseline).
+  Status ReadNodeRecord(NodeId id, NodeRecord* out) const;
+  Status ReadRelRecord(RelId id, RelationshipRecord* out) const;
+
+  /// Reads a record and writes it back unchanged — the per-record "page
+  /// rewrite" cost of the vacuum-style baseline collector (E8).
+  Status ApplyRewrite(const EntityKey& key);
+
+  /// Iterates all in-use node ids (including tombstones).
+  Status ForEachNode(const std::function<Status(NodeId)>& fn) const;
+  /// Iterates all in-use relationship ids (including tombstones).
+  Status ForEachRel(const std::function<Status(RelId)>& fn) const;
+
+  uint64_t NodeHighId() const { return nodes_->high_id(); }
+  uint64_t RelHighId() const { return rels_->high_id(); }
+  bool NodeInUse(NodeId id) const { return nodes_->InUse(id); }
+  bool RelInUse(RelId id) const { return rels_->InUse(id); }
+
+  /// Recovery helper: verifies a relationship record is reachable from both
+  /// endpoint chains, redoing the link surgery if a crash interrupted it.
+  Status EnsureRelLinked(RelId id);
+
+  // --- WAL & recovery ------------------------------------------------------
+
+  Wal& wal() { return *wal_; }
+
+  /// Replays one logical op onto the stores, idempotently: an op whose
+  /// entity already carries commit_ts >= op's record ts is repaired rather
+  /// than blindly re-applied (see DESIGN.md recovery notes).
+  Status ApplyWalOp(const WalOp& op, Timestamp commit_ts);
+
+  /// Replays the whole WAL through ApplyWalOp. Returns the highest commit
+  /// timestamp seen (stores + WAL), used to restart the timestamp oracle.
+  Result<Timestamp> Recover();
+
+  /// Checkpoint: sync all stores, then truncate the WAL (§4: the persistent
+  /// store holds newest committed versions, so the log can be dropped).
+  Status Checkpoint();
+
+  // --- tokens --------------------------------------------------------------
+  TokenStore& labels() { return *label_tokens_; }
+  TokenStore& prop_keys() { return *prop_key_tokens_; }
+  TokenStore& rel_types() { return *rel_type_tokens_; }
+  const TokenStore& labels() const { return *label_tokens_; }
+  const TokenStore& prop_keys() const { return *prop_key_tokens_; }
+  const TokenStore& rel_types() const { return *rel_type_tokens_; }
+
+  GraphStoreStats Stats() const;
+
+ private:
+  static constexpr size_t kShards = 128;
+
+  SharedLatch& NodeShard(NodeId id) const {
+    return node_shards_[id % kShards];
+  }
+  SharedLatch& RelShard(RelId id) const { return rel_shards_[id % kShards]; }
+
+  /// Locks the shards of (a, b) uniquely in ascending order (once if equal).
+  /// Returned guards unlock in destruction order.
+  std::vector<WriteGuard> LockNodePair(NodeId a, NodeId b) const;
+
+  Status WriteNodeRecord(NodeId id, const NodeRecord& rec);
+  Status WriteRelRecord(RelId id, const RelationshipRecord& rec);
+
+  /// Encodes labels into the record (inline or overflow blob). Frees any
+  /// previous overflow blob first.
+  Status StoreLabels(NodeRecord* rec, const std::vector<LabelId>& labels);
+  Status LoadLabels(const NodeRecord& rec, std::vector<LabelId>* out) const;
+
+  /// Links `rec` (already populated, id `id`) at the head of `node`'s chain.
+  /// Caller holds the node-pair latches.
+  Status LinkIntoChain(RelId id, RelationshipRecord* rec, NodeId node);
+
+  /// Unlink surgery for one endpoint. Caller holds the node-pair latches.
+  Status UnlinkFromChain(RelId id, const RelationshipRecord& rec, NodeId node);
+
+  DatabaseOptions options_;
+
+  std::unique_ptr<RecordStore> nodes_;
+  std::unique_ptr<RecordStore> rels_;
+  std::unique_ptr<PropertyStore> props_;
+  std::unique_ptr<DynamicStore> label_dyn_;
+  std::unique_ptr<TokenStore> label_tokens_;
+  std::unique_ptr<TokenStore> prop_key_tokens_;
+  std::unique_ptr<TokenStore> rel_type_tokens_;
+  std::unique_ptr<Wal> wal_;
+
+  mutable std::array<SharedLatch, kShards> node_shards_;
+  mutable std::array<SharedLatch, kShards> rel_shards_;
+};
+
+}  // namespace neosi
+
+#endif  // NEOSI_STORAGE_GRAPH_STORE_H_

@@ -1,0 +1,119 @@
+#include "storage/paged_file.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace neosi {
+
+// ----------------------------- InMemoryFile -------------------------------
+
+Status InMemoryFile::ReadAt(uint64_t offset, size_t n, char* buf) const {
+  ReadGuard guard(latch_);
+  if (offset + n > buf_.size()) {
+    return Status::OutOfRange("read past end of in-memory file");
+  }
+  memcpy(buf, buf_.data() + offset, n);
+  return Status::OK();
+}
+
+Status InMemoryFile::WriteAt(uint64_t offset, const char* data, size_t n) {
+  WriteGuard guard(latch_);
+  if (offset + n > buf_.size()) {
+    buf_.resize(offset + n, '\0');
+  }
+  memcpy(buf_.data() + offset, data, n);
+  return Status::OK();
+}
+
+Status InMemoryFile::Truncate(uint64_t size) {
+  WriteGuard guard(latch_);
+  buf_.resize(size, '\0');
+  return Status::OK();
+}
+
+uint64_t InMemoryFile::Size() const {
+  ReadGuard guard(latch_);
+  return buf_.size();
+}
+
+// ------------------------------- PosixFile --------------------------------
+
+PosixFile::~PosixFile() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status PosixFile::Open(const std::string& path,
+                       std::unique_ptr<PagedFile>* out) {
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd < 0) {
+    return Status::IOError("open " + path + ": " + strerror(errno));
+  }
+  out->reset(new PosixFile(fd, path));
+  return Status::OK();
+}
+
+Status PosixFile::ReadAt(uint64_t offset, size_t n, char* buf) const {
+  size_t done = 0;
+  while (done < n) {
+    ssize_t r = ::pread(fd_, buf + done, n - done,
+                        static_cast<off_t>(offset + done));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("pread " + path_ + ": " + strerror(errno));
+    }
+    if (r == 0) {
+      return Status::OutOfRange("read past end of file " + path_);
+    }
+    done += static_cast<size_t>(r);
+  }
+  return Status::OK();
+}
+
+Status PosixFile::WriteAt(uint64_t offset, const char* data, size_t n) {
+  size_t done = 0;
+  while (done < n) {
+    ssize_t w = ::pwrite(fd_, data + done, n - done,
+                         static_cast<off_t>(offset + done));
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("pwrite " + path_ + ": " + strerror(errno));
+    }
+    done += static_cast<size_t>(w);
+  }
+  return Status::OK();
+}
+
+Status PosixFile::Truncate(uint64_t size) {
+  if (::ftruncate(fd_, static_cast<off_t>(size)) != 0) {
+    return Status::IOError("ftruncate " + path_ + ": " + strerror(errno));
+  }
+  return Status::OK();
+}
+
+uint64_t PosixFile::Size() const {
+  struct stat st;
+  if (::fstat(fd_, &st) != 0) return 0;
+  return static_cast<uint64_t>(st.st_size);
+}
+
+Status PosixFile::Sync() {
+  if (::fdatasync(fd_) != 0) {
+    return Status::IOError("fdatasync " + path_ + ": " + strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status OpenPagedFile(const std::string& path, bool in_memory,
+                     std::unique_ptr<PagedFile>* out) {
+  if (in_memory) {
+    out->reset(new InMemoryFile());
+    return Status::OK();
+  }
+  return PosixFile::Open(path, out);
+}
+
+}  // namespace neosi

@@ -1,0 +1,79 @@
+// Byte-addressable file abstraction backing the record stores and the WAL.
+//
+// Two implementations: an anonymous in-memory buffer (default; experiments
+// measure concurrency control, not disks) and a POSIX pread/pwrite file used
+// by the durability / recovery tests and the persistence benches.
+
+#ifndef NEOSI_STORAGE_PAGED_FILE_H_
+#define NEOSI_STORAGE_PAGED_FILE_H_
+
+#include <memory>
+#include <string>
+
+#include "common/latch.h"
+#include "common/status.h"
+
+namespace neosi {
+
+/// Random-access byte file. Implementations must support concurrent reads
+/// and serialized writes (callers coordinate writer exclusion per region).
+class PagedFile {
+ public:
+  virtual ~PagedFile() = default;
+
+  /// Reads exactly n bytes at offset into buf; OutOfRange on short read.
+  virtual Status ReadAt(uint64_t offset, size_t n, char* buf) const = 0;
+  /// Writes n bytes at offset, extending the file as needed.
+  virtual Status WriteAt(uint64_t offset, const char* data, size_t n) = 0;
+  /// Shrinks or grows the file to exactly `size` bytes.
+  virtual Status Truncate(uint64_t size) = 0;
+  /// Current size in bytes.
+  virtual uint64_t Size() const = 0;
+  /// Flushes to stable storage (no-op for the in-memory backend).
+  virtual Status Sync() = 0;
+};
+
+/// Heap-backed file; contents are lost when the object dies.
+class InMemoryFile final : public PagedFile {
+ public:
+  Status ReadAt(uint64_t offset, size_t n, char* buf) const override;
+  Status WriteAt(uint64_t offset, const char* data, size_t n) override;
+  Status Truncate(uint64_t size) override;
+  uint64_t Size() const override;
+  Status Sync() override { return Status::OK(); }
+
+ private:
+  mutable SharedLatch latch_;
+  std::string buf_;
+};
+
+/// POSIX file using pread/pwrite; created if absent.
+class PosixFile final : public PagedFile {
+ public:
+  ~PosixFile() override;
+
+  /// Opens (creating if needed) the file at path.
+  static Status Open(const std::string& path, std::unique_ptr<PagedFile>* out);
+
+  Status ReadAt(uint64_t offset, size_t n, char* buf) const override;
+  Status WriteAt(uint64_t offset, const char* data, size_t n) override;
+  Status Truncate(uint64_t size) override;
+  uint64_t Size() const override;
+  Status Sync() override;
+
+ private:
+  explicit PosixFile(int fd, std::string path)
+      : fd_(fd), path_(std::move(path)) {}
+
+  int fd_;
+  std::string path_;
+};
+
+/// Opens an in-memory file when in_memory is true, otherwise a POSIX file at
+/// `path` (parent directory must exist).
+Status OpenPagedFile(const std::string& path, bool in_memory,
+                     std::unique_ptr<PagedFile>* out);
+
+}  // namespace neosi
+
+#endif  // NEOSI_STORAGE_PAGED_FILE_H_

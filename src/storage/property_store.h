@@ -1,0 +1,52 @@
+// Property chain storage: materializes / persists a PropertyMap as a
+// singly-linked chain of fixed PropertyRecords, spilling long values to a
+// DynamicStore (the Neo4j property file + dynamic string file pair).
+
+#ifndef NEOSI_STORAGE_PROPERTY_STORE_H_
+#define NEOSI_STORAGE_PROPERTY_STORE_H_
+
+#include <memory>
+#include <string>
+
+#include "common/property_value.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "storage/dynamic_store.h"
+#include "storage/record_store.h"
+
+namespace neosi {
+
+/// Thread-compatible property-chain manager. Chains are immutable once
+/// written: updating an entity's properties writes a fresh chain and frees
+/// the old one (the caller swaps the entity's first_prop pointer). This is
+/// exactly the "persist only the newest committed version" model of §4.
+class PropertyStore {
+ public:
+  PropertyStore(std::unique_ptr<PagedFile> prop_file,
+                std::unique_ptr<PagedFile> dyn_file);
+
+  Status Open();
+
+  /// Writes `props` as a fresh chain; returns its head (kInvalidPropId for
+  /// an empty map).
+  Result<PropId> WriteChain(const PropertyMap& props);
+
+  /// Reads the chain starting at `head` into *out (cleared first).
+  Status ReadChain(PropId head, PropertyMap* out) const;
+
+  /// Frees every record (and overflow blob) in the chain at `head`.
+  /// kInvalidPropId is a no-op.
+  Status FreeChain(PropId head);
+
+  RecordStoreStats PropStats() const { return props_.Stats(); }
+  RecordStoreStats DynStats() const { return dyn_.Stats(); }
+  Status Sync();
+
+ private:
+  RecordStore props_;
+  DynamicStore dyn_;
+};
+
+}  // namespace neosi
+
+#endif  // NEOSI_STORAGE_PROPERTY_STORE_H_

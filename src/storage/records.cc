@@ -1,0 +1,203 @@
+#include "storage/records.h"
+
+#include <cstring>
+
+#include "common/coding.h"
+
+namespace neosi {
+
+namespace {
+
+uint8_t MakeFlags(bool in_use, bool deleted) {
+  uint8_t f = 0;
+  if (in_use) f |= kRecordInUse;
+  if (deleted) f |= kRecordDeleted;
+  return f;
+}
+
+}  // namespace
+
+// --------------------------------------------------------------------------
+// NodeRecord layout (48 bytes):
+//   [0]     flags
+//   [1,9)   first_rel
+//   [9,17)  first_prop
+//   [17,23) inline_labels (3 x u16)
+//   [23,31) label_overflow
+//   [31,39) commit_ts
+//   [39,48) reserved
+// --------------------------------------------------------------------------
+
+void NodeRecord::EncodeTo(char* dst) const {
+  memset(dst, 0, kSize);
+  dst[0] = static_cast<char>(MakeFlags(in_use, deleted));
+  EncodeFixed64(dst + 1, first_rel);
+  EncodeFixed64(dst + 9, first_prop);
+  for (int i = 0; i < kInlineLabels; ++i) {
+    EncodeFixed16(dst + 17 + 2 * i, inline_labels[i]);
+  }
+  EncodeFixed64(dst + 23, label_overflow);
+  EncodeFixed64(dst + 31, commit_ts);
+}
+
+Status NodeRecord::DecodeFrom(Slice input, NodeRecord* out) {
+  if (input.size() < kSize) {
+    return Status::Corruption("node record too short");
+  }
+  const char* p = input.data();
+  const uint8_t flags = static_cast<uint8_t>(p[0]);
+  out->in_use = (flags & kRecordInUse) != 0;
+  out->deleted = (flags & kRecordDeleted) != 0;
+  out->first_rel = DecodeFixed64(p + 1);
+  out->first_prop = DecodeFixed64(p + 9);
+  for (int i = 0; i < kInlineLabels; ++i) {
+    out->inline_labels[i] = DecodeFixed16(p + 17 + 2 * i);
+  }
+  out->label_overflow = DecodeFixed64(p + 23);
+  out->commit_ts = DecodeFixed64(p + 31);
+  return Status::OK();
+}
+
+// --------------------------------------------------------------------------
+// RelationshipRecord layout (88 bytes):
+//   [0]     flags
+//   [1,9)   src
+//   [9,17)  dst
+//   [17,21) type
+//   [21,29) src_prev
+//   [29,37) src_next
+//   [37,45) dst_prev
+//   [45,53) dst_next
+//   [53,61) first_prop
+//   [61,69) commit_ts
+//   [69,88) reserved
+// --------------------------------------------------------------------------
+
+void RelationshipRecord::EncodeTo(char* out) const {
+  memset(out, 0, kSize);
+  out[0] = static_cast<char>(MakeFlags(in_use, deleted));
+  EncodeFixed64(out + 1, src);
+  EncodeFixed64(out + 9, dst);
+  EncodeFixed32(out + 17, type);
+  EncodeFixed64(out + 21, src_prev);
+  EncodeFixed64(out + 29, src_next);
+  EncodeFixed64(out + 37, dst_prev);
+  EncodeFixed64(out + 45, dst_next);
+  EncodeFixed64(out + 53, first_prop);
+  EncodeFixed64(out + 61, commit_ts);
+}
+
+Status RelationshipRecord::DecodeFrom(Slice input, RelationshipRecord* out) {
+  if (input.size() < kSize) {
+    return Status::Corruption("relationship record too short");
+  }
+  const char* p = input.data();
+  const uint8_t flags = static_cast<uint8_t>(p[0]);
+  out->in_use = (flags & kRecordInUse) != 0;
+  out->deleted = (flags & kRecordDeleted) != 0;
+  out->src = DecodeFixed64(p + 1);
+  out->dst = DecodeFixed64(p + 9);
+  out->type = DecodeFixed32(p + 17);
+  out->src_prev = DecodeFixed64(p + 21);
+  out->src_next = DecodeFixed64(p + 29);
+  out->dst_prev = DecodeFixed64(p + 37);
+  out->dst_next = DecodeFixed64(p + 45);
+  out->first_prop = DecodeFixed64(p + 53);
+  out->commit_ts = DecodeFixed64(p + 61);
+  return Status::OK();
+}
+
+// --------------------------------------------------------------------------
+// PropertyRecord layout (40 bytes):
+//   [0]     flags
+//   [1,5)   key
+//   [5]     inline_len
+//   [6,22)  inline_payload
+//   [22,30) overflow
+//   [30,38) next
+//   [38,40) reserved
+// --------------------------------------------------------------------------
+
+void PropertyRecord::EncodeTo(char* dst) const {
+  memset(dst, 0, kSize);
+  dst[0] = static_cast<char>(MakeFlags(in_use, false));
+  EncodeFixed32(dst + 1, key);
+  dst[5] = static_cast<char>(inline_len);
+  memcpy(dst + 6, inline_payload.data(), kInlinePayload);
+  EncodeFixed64(dst + 22, overflow);
+  EncodeFixed64(dst + 30, next);
+}
+
+Status PropertyRecord::DecodeFrom(Slice input, PropertyRecord* out) {
+  if (input.size() < kSize) {
+    return Status::Corruption("property record too short");
+  }
+  const char* p = input.data();
+  out->in_use = (static_cast<uint8_t>(p[0]) & kRecordInUse) != 0;
+  out->key = DecodeFixed32(p + 1);
+  out->inline_len = static_cast<uint8_t>(p[5]);
+  if (out->inline_len > kInlinePayload) {
+    return Status::Corruption("property record: bad inline length");
+  }
+  memcpy(out->inline_payload.data(), p + 6, kInlinePayload);
+  out->overflow = DecodeFixed64(p + 22);
+  out->next = DecodeFixed64(p + 30);
+  return Status::OK();
+}
+
+// --------------------------------------------------------------------------
+// DynRecord layout (64 bytes): flags, next, used, data.
+// --------------------------------------------------------------------------
+
+void DynRecord::EncodeTo(char* dst) const {
+  memset(dst, 0, kSize);
+  dst[0] = static_cast<char>(MakeFlags(in_use, false));
+  EncodeFixed64(dst + 1, next);
+  dst[9] = static_cast<char>(used);
+  memcpy(dst + 10, data.data(), kDataCapacity);
+}
+
+Status DynRecord::DecodeFrom(Slice input, DynRecord* out) {
+  if (input.size() < kSize) {
+    return Status::Corruption("dynamic record too short");
+  }
+  const char* p = input.data();
+  out->in_use = (static_cast<uint8_t>(p[0]) & kRecordInUse) != 0;
+  out->next = DecodeFixed64(p + 1);
+  out->used = static_cast<uint8_t>(p[9]);
+  if (out->used > kDataCapacity) {
+    return Status::Corruption("dynamic record: bad used length");
+  }
+  memcpy(out->data.data(), p + 10, kDataCapacity);
+  return Status::OK();
+}
+
+// --------------------------------------------------------------------------
+// TokenRecord layout (64 bytes): flags, created_ts, name_len, name.
+// --------------------------------------------------------------------------
+
+void TokenRecord::EncodeTo(char* dst) const {
+  memset(dst, 0, kSize);
+  dst[0] = static_cast<char>(MakeFlags(in_use, false));
+  EncodeFixed64(dst + 1, created_ts);
+  const size_t len = name.size() > kMaxNameLen ? kMaxNameLen : name.size();
+  dst[9] = static_cast<char>(len);
+  memcpy(dst + 10, name.data(), len);
+}
+
+Status TokenRecord::DecodeFrom(Slice input, TokenRecord* out) {
+  if (input.size() < kSize) {
+    return Status::Corruption("token record too short");
+  }
+  const char* p = input.data();
+  out->in_use = (static_cast<uint8_t>(p[0]) & kRecordInUse) != 0;
+  out->created_ts = DecodeFixed64(p + 1);
+  const uint8_t len = static_cast<uint8_t>(p[9]);
+  if (len > kMaxNameLen) {
+    return Status::Corruption("token record: bad name length");
+  }
+  out->name.assign(p + 10, len);
+  return Status::OK();
+}
+
+}  // namespace neosi

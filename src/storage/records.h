@@ -1,0 +1,162 @@
+// On-disk record formats for the Neo4j-style store files.
+//
+// Mirrors the layout sketched in Figure 1 of the paper: nodes live in a file
+// addressed by node id; each node record points at its first relationship and
+// first property. Relationships live in their own file and carry the source
+// and destination node plus per-endpoint doubly-linked chain pointers (as in
+// Neo4j's relationship chains). Properties form a singly-linked chain of
+// records in the property file, with long strings spilled to a dynamic store.
+//
+// Two fields are additions from the paper (§4): every node and relationship
+// record carries the COMMIT TIMESTAMP of the transaction that produced this
+// (newest committed) version, and a DELETED flag implementing tombstones.
+// Only the newest committed version is ever persisted; older versions exist
+// in the object cache only.
+
+#ifndef NEOSI_STORAGE_RECORDS_H_
+#define NEOSI_STORAGE_RECORDS_H_
+
+#include <array>
+#include <cstdint>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace neosi {
+
+/// Record flag bits shared by all record kinds.
+inline constexpr uint8_t kRecordInUse = 0x01;
+/// Tombstone: entity deleted at commit_ts but retained while older versions
+/// may still be read by active transactions (paper §4).
+inline constexpr uint8_t kRecordDeleted = 0x02;
+
+/// Number of label ids stored inline in a node record before spilling to the
+/// dynamic label store.
+inline constexpr int kInlineLabels = 3;
+/// Sentinel for an empty inline label slot.
+inline constexpr uint16_t kEmptyLabelSlot = 0xFFFF;
+
+/// Node store record. Fixed size kNodeRecordSize.
+struct NodeRecord {
+  static constexpr uint32_t kSize = 48;
+  static constexpr uint32_t kMagic = 0x4E4F4445;  // "NODE"
+
+  bool in_use = false;
+  bool deleted = false;
+  /// Head of this node's relationship chain (kInvalidRelId if none).
+  RelId first_rel = kInvalidRelId;
+  /// Head of this node's property chain (kInvalidPropId if none).
+  PropId first_prop = kInvalidPropId;
+  /// Up to kInlineLabels label ids stored inline (kEmptyLabelSlot = empty).
+  std::array<uint16_t, kInlineLabels> inline_labels{
+      kEmptyLabelSlot, kEmptyLabelSlot, kEmptyLabelSlot};
+  /// Overflow blob of label ids in the dynamic label store, or kInvalidDynId.
+  DynId label_overflow = kInvalidDynId;
+  /// Commit timestamp of the persisted (newest committed) version.
+  Timestamp commit_ts = kNoTimestamp;
+
+  /// Serializes into exactly kSize bytes at dst.
+  void EncodeTo(char* dst) const;
+  /// Parses from exactly kSize bytes.
+  static Status DecodeFrom(Slice input, NodeRecord* out);
+};
+
+/// Relationship store record. Fixed size kSize.
+struct RelationshipRecord {
+  static constexpr uint32_t kSize = 88;
+  static constexpr uint32_t kMagic = 0x52454C53;  // "RELS"
+
+  bool in_use = false;
+  bool deleted = false;
+  NodeId src = kInvalidNodeId;
+  NodeId dst = kInvalidNodeId;
+  RelTypeId type = kInvalidToken;
+  /// Chain pointers within the source node's relationship chain.
+  RelId src_prev = kInvalidRelId;
+  RelId src_next = kInvalidRelId;
+  /// Chain pointers within the destination node's relationship chain.
+  RelId dst_prev = kInvalidRelId;
+  RelId dst_next = kInvalidRelId;
+  PropId first_prop = kInvalidPropId;
+  Timestamp commit_ts = kNoTimestamp;
+
+  void EncodeTo(char* dst) const;
+  static Status DecodeFrom(Slice input, RelationshipRecord* out);
+
+  /// Byte offsets of the chain-pointer fields within the encoded record.
+  /// Chain surgery writes these fields individually: a record participates
+  /// in TWO chains (source's and destination's) whose updates are guarded
+  /// by two different node latches, so whole-record read-modify-writes from
+  /// the two sides would clobber each other's pointer fields.
+  static constexpr size_t kSrcPrevOffset = 21;
+  static constexpr size_t kSrcNextOffset = 29;
+  static constexpr size_t kDstPrevOffset = 37;
+  static constexpr size_t kDstNextOffset = 45;
+
+  /// Chain navigation relative to an endpoint node (which may be src, dst, or
+  /// both for self-loops; self-loops use the src chain pointers).
+  RelId NextFor(NodeId node) const { return node == src ? src_next : dst_next; }
+  RelId PrevFor(NodeId node) const { return node == src ? src_prev : dst_prev; }
+};
+
+/// Property store record: one key/value pair in a singly-linked chain.
+struct PropertyRecord {
+  static constexpr uint32_t kSize = 40;
+  static constexpr uint32_t kMagic = 0x50524F50;  // "PROP"
+
+  /// Inline payload capacity: values whose encoded form exceeds this spill to
+  /// the dynamic string store.
+  static constexpr size_t kInlinePayload = 16;
+
+  bool in_use = false;
+  PropertyKeyId key = kInvalidToken;
+  /// Encoded PropertyValue bytes when short enough to inline.
+  uint8_t inline_len = 0;
+  std::array<char, kInlinePayload> inline_payload{};
+  /// Dynamic-store blob holding the encoded value when too long to inline.
+  DynId overflow = kInvalidDynId;
+  /// Next property record in the chain (kInvalidPropId terminates).
+  PropId next = kInvalidPropId;
+
+  void EncodeTo(char* dst) const;
+  static Status DecodeFrom(Slice input, PropertyRecord* out);
+};
+
+/// Dynamic store block: chained storage for long byte strings (label
+/// overflow lists, long property values, token names).
+struct DynRecord {
+  static constexpr uint32_t kSize = 64;
+  static constexpr uint32_t kMagic = 0x44594E53;  // "DYNS"
+  static constexpr size_t kDataCapacity = kSize - 1 /*flags*/ - 8 /*next*/ -
+                                          1 /*used*/;
+
+  bool in_use = false;
+  DynId next = kInvalidDynId;
+  uint8_t used = 0;
+  std::array<char, kDataCapacity> data{};
+
+  void EncodeTo(char* dst) const;
+  static Status DecodeFrom(Slice input, DynRecord* out);
+};
+
+/// Token store record: interned label / property-key / relationship-type
+/// names. Tokens are never deleted (Neo4j semantics); they are versioned by
+/// creation timestamp so snapshots older than the token ignore it (paper §4).
+struct TokenRecord {
+  static constexpr uint32_t kSize = 64;
+  static constexpr uint32_t kMagic = 0x544F4B4E;  // "TOKN"
+  static constexpr size_t kMaxNameLen = kSize - 1 /*flags*/ - 8 /*ts*/ -
+                                        1 /*len*/;
+
+  bool in_use = false;
+  Timestamp created_ts = kNoTimestamp;
+  std::string name;
+
+  void EncodeTo(char* dst) const;
+  static Status DecodeFrom(Slice input, TokenRecord* out);
+};
+
+}  // namespace neosi
+
+#endif  // NEOSI_STORAGE_RECORDS_H_

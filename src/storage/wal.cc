@@ -1,0 +1,93 @@
+#include "storage/wal.h"
+
+#include <vector>
+
+#include "common/coding.h"
+
+namespace neosi {
+
+namespace {
+constexpr size_t kFrameHeader = 8;  // u32 length + u32 crc
+}  // namespace
+
+Wal::Wal(std::unique_ptr<PagedFile> file) : file_(std::move(file)) {}
+
+Status Wal::Open() {
+  // Find the end of the valid prefix by walking frames.
+  const uint64_t size = file_->Size();
+  uint64_t offset = 0;
+  std::vector<char> buf;
+  while (offset + kFrameHeader <= size) {
+    char header[kFrameHeader];
+    NEOSI_RETURN_IF_ERROR(file_->ReadAt(offset, kFrameHeader, header));
+    const uint32_t len = DecodeFixed32(header);
+    const uint32_t crc = DecodeFixed32(header + 4);
+    if (len == 0 || offset + kFrameHeader + len > size) break;
+    buf.resize(len);
+    NEOSI_RETURN_IF_ERROR(file_->ReadAt(offset + kFrameHeader, len,
+                                        buf.data()));
+    if (Crc32c(buf.data(), len) != crc) break;
+    offset += kFrameHeader + len;
+  }
+  append_offset_ = offset;
+  return Status::OK();
+}
+
+Result<Lsn> Wal::Append(const WalRecord& record) {
+  std::string payload;
+  record.EncodeTo(&payload);
+
+  std::string frame;
+  frame.reserve(kFrameHeader + payload.size());
+  PutFixed32(&frame, static_cast<uint32_t>(payload.size()));
+  PutFixed32(&frame, Crc32c(payload.data(), payload.size()));
+  frame.append(payload);
+
+  std::lock_guard<SpinLatch> guard(latch_);
+  const Lsn lsn = append_offset_;
+  Status s = file_->WriteAt(append_offset_, frame.data(), frame.size());
+  if (!s.ok()) return s;
+  append_offset_ += frame.size();
+  return lsn;
+}
+
+Status Wal::Sync() { return file_->Sync(); }
+
+Status Wal::ReadAll(const std::function<Status(const WalRecord&)>& fn) {
+  const uint64_t size = file_->Size();
+  uint64_t offset = 0;
+  std::vector<char> buf;
+  while (offset + kFrameHeader <= size) {
+    char header[kFrameHeader];
+    NEOSI_RETURN_IF_ERROR(file_->ReadAt(offset, kFrameHeader, header));
+    const uint32_t len = DecodeFixed32(header);
+    const uint32_t crc = DecodeFixed32(header + 4);
+    if (len == 0 || offset + kFrameHeader + len > size) break;  // torn tail
+    buf.resize(len);
+    NEOSI_RETURN_IF_ERROR(file_->ReadAt(offset + kFrameHeader, len,
+                                        buf.data()));
+    if (Crc32c(buf.data(), len) != crc) break;  // torn / corrupt tail
+
+    WalRecord record;
+    NEOSI_RETURN_IF_ERROR(
+        WalRecord::DecodeFrom(Slice(buf.data(), len), &record));
+    NEOSI_RETURN_IF_ERROR(fn(record));
+    offset += kFrameHeader + len;
+  }
+  // Drop any torn tail so subsequent appends extend a clean log.
+  if (offset < size) {
+    NEOSI_RETURN_IF_ERROR(file_->Truncate(offset));
+  }
+  std::lock_guard<SpinLatch> guard(latch_);
+  append_offset_ = offset;
+  return Status::OK();
+}
+
+Status Wal::Reset() {
+  std::lock_guard<SpinLatch> guard(latch_);
+  NEOSI_RETURN_IF_ERROR(file_->Truncate(0));
+  append_offset_ = 0;
+  return Status::OK();
+}
+
+}  // namespace neosi

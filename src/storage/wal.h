@@ -1,0 +1,53 @@
+// Framed write-ahead log.
+//
+// Frame format: [payload_len u32][crc32c u32][payload bytes]. The reader
+// stops at the first frame whose length or checksum is invalid and reports
+// how many bytes were valid, so a torn tail write (crash mid-append) is
+// detected and truncated rather than propagated.
+
+#ifndef NEOSI_STORAGE_WAL_H_
+#define NEOSI_STORAGE_WAL_H_
+
+#include <functional>
+#include <memory>
+
+#include "common/latch.h"
+#include "common/status.h"
+#include "storage/paged_file.h"
+#include "storage/wal_ops.h"
+
+namespace neosi {
+
+/// Append-only log of WalRecords over a PagedFile.
+class Wal {
+ public:
+  explicit Wal(std::unique_ptr<PagedFile> file);
+
+  /// Positions the append cursor at the end of the valid prefix.
+  Status Open();
+
+  /// Appends one record; returns its LSN (byte offset of the frame).
+  Result<Lsn> Append(const WalRecord& record);
+
+  /// Forces the log to stable storage.
+  Status Sync();
+
+  /// Replays every valid record in order. Stops cleanly at a torn tail
+  /// (which is then truncated so later appends start from a clean state).
+  Status ReadAll(const std::function<Status(const WalRecord&)>& fn);
+
+  /// Truncates the log to empty (after a checkpoint).
+  Status Reset();
+
+  /// Bytes in the valid prefix.
+  uint64_t SizeBytes() const { return append_offset_; }
+
+ private:
+  std::unique_ptr<PagedFile> file_;
+  SpinLatch latch_;          // serializes appends
+  uint64_t append_offset_ = 0;
+};
+
+}  // namespace neosi
+
+#endif  // NEOSI_STORAGE_WAL_H_

@@ -1,0 +1,111 @@
+// Logical redo operations recorded in the write-ahead log.
+//
+// The WAL is logical: each committed transaction appends one record holding
+// the list of graph mutations it performed, and recovery replays them
+// through the physical GraphStore. Replay is idempotent (creates of in-use
+// records and deletes of freed records are skipped) so a crash between WAL
+// append and store write is always repairable.
+
+#ifndef NEOSI_STORAGE_WAL_OPS_H_
+#define NEOSI_STORAGE_WAL_OPS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/property_value.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace neosi {
+
+/// Kind of logical mutation.
+enum class WalOpType : uint8_t {
+  kCreateNode = 1,
+  kDeleteNode = 2,
+  kSetNodeProperty = 3,
+  kRemoveNodeProperty = 4,
+  kAddLabel = 5,
+  kRemoveLabel = 6,
+  kCreateRel = 7,
+  kDeleteRel = 8,
+  kSetRelProperty = 9,
+  kRemoveRelProperty = 10,
+  kCreateToken = 11,
+  /// GC physical reclamation of a node record (paper §4 tombstone removal).
+  kPurgeNode = 12,
+  /// GC physical reclamation of a relationship record, including the chain
+  /// pointers observed at purge time so crash recovery can redo the unlink
+  /// surgery on the neighbour records idempotently.
+  kPurgeRel = 13,
+};
+
+/// Token family for kCreateToken ops.
+enum class TokenKind : uint8_t {
+  kLabel = 0,
+  kPropertyKey = 1,
+  kRelType = 2,
+};
+
+/// One logical mutation. Fields beyond `type` and `id` are populated per
+/// op kind (see the encoders in wal_ops.cc).
+struct WalOp {
+  WalOpType type = WalOpType::kCreateNode;
+  uint64_t id = kInvalidId;  ///< Node / relationship / token id.
+
+  NodeId src = kInvalidNodeId;       ///< kCreateRel / kPurgeRel
+  NodeId dst = kInvalidNodeId;       ///< kCreateRel / kPurgeRel
+  RelTypeId rel_type = kInvalidToken;  ///< kCreateRel
+
+  /// Chain pointers at purge time (kPurgeRel only).
+  RelId src_prev = kInvalidRelId;
+  RelId src_next = kInvalidRelId;
+  RelId dst_prev = kInvalidRelId;
+  RelId dst_next = kInvalidRelId;
+
+  uint32_t token = kInvalidToken;  ///< label id / property key id
+  PropertyValue value;             ///< kSet*Property
+
+  std::vector<LabelId> labels;  ///< kCreateNode
+  PropertyMap props;            ///< kCreateNode / kCreateRel
+
+  TokenKind token_kind = TokenKind::kLabel;  ///< kCreateToken
+  std::string name;                          ///< kCreateToken
+
+  // Convenience constructors -------------------------------------------------
+  static WalOp CreateNode(NodeId id, std::vector<LabelId> labels,
+                          PropertyMap props);
+  static WalOp DeleteNode(NodeId id);
+  static WalOp SetNodeProperty(NodeId id, PropertyKeyId key,
+                               PropertyValue value);
+  static WalOp RemoveNodeProperty(NodeId id, PropertyKeyId key);
+  static WalOp AddLabel(NodeId id, LabelId label);
+  static WalOp RemoveLabel(NodeId id, LabelId label);
+  static WalOp CreateRel(RelId id, NodeId src, NodeId dst, RelTypeId type,
+                         PropertyMap props);
+  static WalOp DeleteRel(RelId id);
+  static WalOp SetRelProperty(RelId id, PropertyKeyId key,
+                              PropertyValue value);
+  static WalOp RemoveRelProperty(RelId id, PropertyKeyId key);
+  static WalOp CreateToken(TokenKind kind, uint32_t id, std::string name);
+  static WalOp PurgeNode(NodeId id);
+  static WalOp PurgeRel(RelId id, NodeId src, NodeId dst, RelId src_prev,
+                        RelId src_next, RelId dst_prev, RelId dst_next);
+
+  void EncodeTo(std::string* dst) const;
+  static Status DecodeFrom(Slice* input, WalOp* out);
+};
+
+/// One WAL entry: everything a transaction committed, or a standalone token
+/// creation (txn_id == kNoTxn).
+struct WalRecord {
+  TxnId txn_id = kNoTxn;
+  Timestamp commit_ts = kNoTimestamp;
+  std::vector<WalOp> ops;
+
+  void EncodeTo(std::string* dst) const;
+  static Status DecodeFrom(Slice input, WalRecord* out);
+};
+
+}  // namespace neosi
+
+#endif  // NEOSI_STORAGE_WAL_OPS_H_

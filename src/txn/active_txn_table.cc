@@ -1,0 +1,54 @@
+#include "txn/active_txn_table.h"
+
+#include <algorithm>
+
+namespace neosi {
+
+void ActiveTxnTable::Register(TxnId txn, Timestamp start_ts) {
+  std::lock_guard<std::mutex> guard(mu_);
+  active_[txn] = start_ts;
+}
+
+Timestamp ActiveTxnTable::RegisterAtomic(
+    TxnId txn, const std::function<Timestamp()>& ts_source) {
+  std::lock_guard<std::mutex> guard(mu_);
+  const Timestamp start_ts = ts_source();
+  active_[txn] = start_ts;
+  return start_ts;
+}
+
+void ActiveTxnTable::Unregister(TxnId txn) {
+  std::lock_guard<std::mutex> guard(mu_);
+  active_.erase(txn);
+}
+
+Timestamp ActiveTxnTable::Watermark(Timestamp fallback) const {
+  std::lock_guard<std::mutex> guard(mu_);
+  if (active_.empty()) return fallback;
+  Timestamp min_ts = kMaxTimestamp;
+  for (const auto& [txn, start_ts] : active_) {
+    min_ts = std::min(min_ts, start_ts);
+  }
+  return min_ts;
+}
+
+size_t ActiveTxnTable::ActiveCount() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return active_.size();
+}
+
+std::vector<TxnId> ActiveTxnTable::ActiveTxnIds() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  std::vector<TxnId> out;
+  out.reserve(active_.size());
+  for (const auto& [txn, start_ts] : active_) out.push_back(txn);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool ActiveTxnTable::IsActive(TxnId txn) const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return active_.count(txn) != 0;
+}
+
+}  // namespace neosi

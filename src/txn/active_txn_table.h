@@ -1,0 +1,50 @@
+// Registry of in-flight transactions; provides the GC watermark (paper §3:
+// versions older than what the oldest active transaction can read are
+// garbage).
+
+#ifndef NEOSI_TXN_ACTIVE_TXN_TABLE_H_
+#define NEOSI_TXN_ACTIVE_TXN_TABLE_H_
+
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+
+namespace neosi {
+
+/// Thread-safe active-transaction table.
+class ActiveTxnTable {
+ public:
+  void Register(TxnId txn, Timestamp start_ts);
+
+  /// Obtains a start timestamp from `ts_source` and registers the
+  /// transaction in one critical section. This closes the begin/GC race: a
+  /// watermark computed under the same lock either includes this
+  /// transaction or is guaranteed not to exceed its start timestamp.
+  Timestamp RegisterAtomic(TxnId txn,
+                           const std::function<Timestamp()>& ts_source);
+
+  void Unregister(TxnId txn);
+
+  /// The reclamation watermark: the minimum start timestamp among active
+  /// transactions, or `fallback` (the oracle's current read timestamp) when
+  /// none are active. Any version superseded at or before this timestamp can
+  /// never be read again (paper §3's example: versions 40 and 56 are dead
+  /// once the oldest active start timestamp is 100).
+  Timestamp Watermark(Timestamp fallback) const;
+
+  size_t ActiveCount() const;
+  std::vector<TxnId> ActiveTxnIds() const;
+  bool IsActive(TxnId txn) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<TxnId, Timestamp> active_;
+};
+
+}  // namespace neosi
+
+#endif  // NEOSI_TXN_ACTIVE_TXN_TABLE_H_

@@ -1,0 +1,162 @@
+#include "txn/lock_manager.h"
+
+#include <chrono>
+
+namespace neosi {
+
+LockManager::LockManager(uint64_t timeout_ms)
+    : shards_(kShardCount), timeout_ms_(timeout_ms) {}
+
+bool LockManager::MustDie(TxnId txn, const LockState& state) {
+  // Wait-die: a requester may only wait for YOUNGER holders (larger ids).
+  // If any conflicting holder is older, the requester dies.
+  if (state.exclusive != kNoTxn && state.exclusive < txn) return true;
+  for (const auto& [holder, depth] : state.shared) {
+    if (holder != txn && holder < txn) return true;
+  }
+  return false;
+}
+
+Status LockManager::AcquireShared(TxnId txn, const EntityKey& key) {
+  Shard& shard = ShardFor(key);
+  std::unique_lock<std::mutex> lock(shard.mu);
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms_);
+  bool waited = false;
+  for (;;) {
+    LockState& state = shard.locks[key];
+    if (state.exclusive == kNoTxn || state.exclusive == txn) {
+      ++state.shared[txn];
+      ++shard.held[txn][key];
+      std::lock_guard<std::mutex> sg(stats_mu_);
+      ++stats_.shared_acquired;
+      if (waited) ++stats_.waits;
+      return Status::OK();
+    }
+    if (state.exclusive < txn) {
+      std::lock_guard<std::mutex> sg(stats_mu_);
+      ++stats_.wait_die_aborts;
+      return Status::Deadlock("wait-die: shared lock on " + key.ToString() +
+                              " held by older txn " +
+                              std::to_string(state.exclusive));
+    }
+    waited = true;
+    if (shard.cv.wait_until(lock, deadline) == std::cv_status::timeout) {
+      std::lock_guard<std::mutex> sg(stats_mu_);
+      ++stats_.timeouts;
+      return Status::Deadlock("lock timeout (shared) on " + key.ToString());
+    }
+  }
+}
+
+Status LockManager::AcquireExclusive(TxnId txn, const EntityKey& key,
+                                     bool wait) {
+  Shard& shard = ShardFor(key);
+  std::unique_lock<std::mutex> lock(shard.mu);
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms_);
+  bool waited = false;
+  for (;;) {
+    LockState& state = shard.locks[key];
+    const bool reentrant = state.exclusive == txn;
+    const bool free_for_txn =
+        state.Free() || reentrant || state.OnlySharedHolderIs(txn);
+    if (free_for_txn) {
+      if (!reentrant && state.OnlySharedHolderIs(txn)) {
+        // Upgrade: drop the shared holding, keep bookkeeping depth.
+        state.shared.clear();
+      }
+      state.exclusive = txn;
+      ++state.exclusive_count;
+      ++shard.held[txn][key];
+      std::lock_guard<std::mutex> sg(stats_mu_);
+      ++stats_.exclusive_acquired;
+      if (waited) ++stats_.waits;
+      return Status::OK();
+    }
+
+    if (!wait) {
+      std::lock_guard<std::mutex> sg(stats_mu_);
+      ++stats_.nowait_conflicts;
+      return Status::Aborted("write-write conflict on " + key.ToString() +
+                             " (first-updater-wins, no-wait)");
+    }
+    if (MustDie(txn, state)) {
+      std::lock_guard<std::mutex> sg(stats_mu_);
+      ++stats_.wait_die_aborts;
+      return Status::Deadlock("wait-die: exclusive lock on " +
+                              key.ToString() + " held by older txn");
+    }
+    waited = true;
+    if (shard.cv.wait_until(lock, deadline) == std::cv_status::timeout) {
+      std::lock_guard<std::mutex> sg(stats_mu_);
+      ++stats_.timeouts;
+      return Status::Deadlock("lock timeout (exclusive) on " +
+                              key.ToString());
+    }
+  }
+}
+
+void LockManager::Release(TxnId txn, const EntityKey& key) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.locks.find(key);
+  if (it == shard.locks.end()) return;
+  LockState& state = it->second;
+
+  if (state.exclusive == txn) {
+    if (--state.exclusive_count == 0) state.exclusive = kNoTxn;
+  } else {
+    auto sh = state.shared.find(txn);
+    if (sh != state.shared.end() && --sh->second == 0) {
+      state.shared.erase(sh);
+    }
+  }
+
+  auto held_it = shard.held.find(txn);
+  if (held_it != shard.held.end()) {
+    auto key_it = held_it->second.find(key);
+    if (key_it != held_it->second.end() && --key_it->second == 0) {
+      held_it->second.erase(key_it);
+      if (held_it->second.empty()) shard.held.erase(held_it);
+    }
+  }
+
+  if (state.Free()) shard.locks.erase(it);
+  shard.cv.notify_all();
+}
+
+void LockManager::ReleaseAll(TxnId txn) {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto held_it = shard.held.find(txn);
+    if (held_it == shard.held.end()) continue;
+    for (const auto& [key, depth] : held_it->second) {
+      auto it = shard.locks.find(key);
+      if (it == shard.locks.end()) continue;
+      LockState& state = it->second;
+      if (state.exclusive == txn) {
+        state.exclusive = kNoTxn;
+        state.exclusive_count = 0;
+      }
+      state.shared.erase(txn);
+      if (state.Free()) shard.locks.erase(it);
+    }
+    shard.held.erase(held_it);
+    shard.cv.notify_all();
+  }
+}
+
+TxnId LockManager::ExclusiveHolder(const EntityKey& key) const {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.locks.find(key);
+  return it == shard.locks.end() ? kNoTxn : it->second.exclusive;
+}
+
+LockManagerStats LockManager::Stats() const {
+  std::lock_guard<std::mutex> guard(stats_mu_);
+  return stats_;
+}
+
+}  // namespace neosi

@@ -1,0 +1,62 @@
+// Monotonic timestamp allocation (paper §3: "the most common way to enforce
+// the read rule of snapshot isolation is to associate a commit timestamp to
+// versions ... a kind of serialization order").
+
+#ifndef NEOSI_TXN_TIMESTAMP_ORACLE_H_
+#define NEOSI_TXN_TIMESTAMP_ORACLE_H_
+
+#include <atomic>
+
+#include "common/types.h"
+
+namespace neosi {
+
+/// Hands out transaction ids, start timestamps and commit timestamps.
+///
+/// Start timestamp = the newest commit timestamp whose transaction has fully
+/// applied (so a snapshot never observes a half-applied commit). The engine
+/// serializes commit application, advancing last_committed in commit order.
+class TimestampOracle {
+ public:
+  TimestampOracle() = default;
+
+  /// Snapshot timestamp for a beginning transaction.
+  Timestamp ReadTs() const {
+    return last_committed_.load(std::memory_order_acquire);
+  }
+
+  /// Allocates the next commit timestamp (monotonically increasing).
+  Timestamp NextCommitTs() {
+    return next_commit_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Publishes `ts` as fully applied. Must be called in commit-ts order
+  /// (the engine's commit critical section guarantees this).
+  void PublishCommit(Timestamp ts) {
+    last_committed_.store(ts, std::memory_order_release);
+  }
+
+  /// Fresh transaction id (distinct space from timestamps; ids order
+  /// transactions by age for wait-die).
+  TxnId NextTxnId() { return next_txn_.fetch_add(1, std::memory_order_relaxed); }
+
+  /// Restores state after recovery: timestamps resume above max_committed.
+  void Restart(Timestamp max_committed) {
+    last_committed_.store(max_committed, std::memory_order_release);
+    next_commit_.store(max_committed + 1, std::memory_order_relaxed);
+  }
+
+  /// Newest commit timestamp handed out (>= ReadTs()).
+  Timestamp LastAllocatedCommitTs() const {
+    return next_commit_.load(std::memory_order_relaxed) - 1;
+  }
+
+ private:
+  std::atomic<Timestamp> last_committed_{0};
+  std::atomic<Timestamp> next_commit_{1};
+  std::atomic<TxnId> next_txn_{1};
+};
+
+}  // namespace neosi
+
+#endif  // NEOSI_TXN_TIMESTAMP_ORACLE_H_

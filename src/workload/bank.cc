@@ -1,0 +1,98 @@
+#include "workload/bank.h"
+
+namespace neosi {
+
+Result<Bank> BuildBank(GraphDatabase& db, uint64_t n, int64_t balance) {
+  Bank bank;
+  bank.initial_balance_each = balance;
+  auto txn = db.Begin(IsolationLevel::kSnapshotIsolation);
+  for (uint64_t i = 0; i < n; ++i) {
+    auto node = txn->CreateNode(
+        {"Account"}, {{"balance", PropertyValue(balance)},
+                      {"number", PropertyValue(static_cast<int64_t>(i))}});
+    if (!node.ok()) return node.status();
+    bank.accounts.push_back(*node);
+    if ((i + 1) % 512 == 0) {
+      NEOSI_RETURN_IF_ERROR(txn->Commit());
+      txn = db.Begin(IsolationLevel::kSnapshotIsolation);
+    }
+  }
+  NEOSI_RETURN_IF_ERROR(txn->Commit());
+  return bank;
+}
+
+Status Transfer(GraphDatabase& db, const Bank& bank, uint64_t a, uint64_t b,
+                int64_t amount, IsolationLevel isolation) {
+  if (a == b) return Status::OK();
+  auto txn = db.Begin(isolation);
+  const NodeId from = bank.accounts[a % bank.accounts.size()];
+  const NodeId to = bank.accounts[b % bank.accounts.size()];
+
+  auto from_balance = txn->GetNodeProperty(from, "balance");
+  NEOSI_RETURN_IF_ERROR(from_balance.status());
+  auto to_balance = txn->GetNodeProperty(to, "balance");
+  NEOSI_RETURN_IF_ERROR(to_balance.status());
+
+  NEOSI_RETURN_IF_ERROR(txn->SetNodeProperty(
+      from, "balance", PropertyValue(from_balance->AsInt() - amount)));
+  NEOSI_RETURN_IF_ERROR(txn->SetNodeProperty(
+      to, "balance", PropertyValue(to_balance->AsInt() + amount)));
+  return txn->Commit();
+}
+
+Result<int64_t> Audit(GraphDatabase& db, const Bank& bank,
+                      IsolationLevel isolation) {
+  auto txn = db.Begin(isolation);
+  int64_t total = 0;
+  for (NodeId account : bank.accounts) {
+    auto balance = txn->GetNodeProperty(account, "balance");
+    if (!balance.ok()) return balance.status();
+    total += balance->AsInt();
+  }
+  NEOSI_RETURN_IF_ERROR(txn->Commit());
+  return total;
+}
+
+Result<OnCallWard> BuildWard(GraphDatabase& db) {
+  auto txn = db.Begin(IsolationLevel::kSnapshotIsolation);
+  OnCallWard ward;
+  auto a = txn->CreateNode({"Doctor"}, {{"name", PropertyValue("alice")},
+                                        {"on_call", PropertyValue(true)}});
+  if (!a.ok()) return a.status();
+  auto b = txn->CreateNode({"Doctor"}, {{"name", PropertyValue("bob")},
+                                        {"on_call", PropertyValue(true)}});
+  if (!b.ok()) return b.status();
+  ward.doctor_a = *a;
+  ward.doctor_b = *b;
+  NEOSI_RETURN_IF_ERROR(txn->Commit());
+  return ward;
+}
+
+Status TryGoOffCall(GraphDatabase& db, const OnCallWard& ward, bool doctor_a,
+                    IsolationLevel isolation) {
+  auto txn = db.Begin(isolation);
+  const NodeId self = doctor_a ? ward.doctor_a : ward.doctor_b;
+  const NodeId other = doctor_a ? ward.doctor_b : ward.doctor_a;
+
+  // Read the OTHER doctor's status (this read is what write skew exploits:
+  // it is not protected by any write lock under SI).
+  auto other_on_call = txn->GetNodeProperty(other, "on_call");
+  NEOSI_RETURN_IF_ERROR(other_on_call.status());
+  if (other_on_call->AsBool()) {
+    NEOSI_RETURN_IF_ERROR(
+        txn->SetNodeProperty(self, "on_call", PropertyValue(false)));
+  }
+  return txn->Commit();
+}
+
+Result<bool> WardConstraintHolds(GraphDatabase& db, const OnCallWard& ward) {
+  auto txn = db.Begin(IsolationLevel::kSnapshotIsolation);
+  auto a = txn->GetNodeProperty(ward.doctor_a, "on_call");
+  if (!a.ok()) return a.status();
+  auto b = txn->GetNodeProperty(ward.doctor_b, "on_call");
+  if (!b.ok()) return b.status();
+  NEOSI_RETURN_IF_ERROR(txn->Commit());
+  return a->AsBool() || b->AsBool();
+}
+
+}  // namespace neosi

@@ -1,0 +1,63 @@
+// Bank workload: Account nodes with balances, transfer transactions and a
+// full-sweep audit. Under snapshot isolation the audit always observes the
+// invariant total; under read committed it can observe torn totals
+// (unrepeatable reads across the sweep). Also provides the classic
+// doctors-on-call WRITE SKEW workload — the one anomaly SI admits (§1) —
+// for experiment E10.
+
+#ifndef NEOSI_WORKLOAD_BANK_H_
+#define NEOSI_WORKLOAD_BANK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/graph_database.h"
+
+namespace neosi {
+
+/// A set of accounts with a conserved total balance.
+struct Bank {
+  std::vector<NodeId> accounts;
+  int64_t initial_balance_each = 0;
+
+  int64_t ExpectedTotal() const {
+    return static_cast<int64_t>(accounts.size()) * initial_balance_each;
+  }
+};
+
+/// Creates `n` Account nodes, each holding `balance` units.
+Result<Bank> BuildBank(GraphDatabase& db, uint64_t n, int64_t balance);
+
+/// Transfers `amount` from one random-ish account pair (a -> b) in its own
+/// transaction at `isolation`. Conserves the total on commit.
+Status Transfer(GraphDatabase& db, const Bank& bank, uint64_t a, uint64_t b,
+                int64_t amount, IsolationLevel isolation);
+
+/// Sweeps all accounts in one transaction and returns the observed total.
+Result<int64_t> Audit(GraphDatabase& db, const Bank& bank,
+                      IsolationLevel isolation);
+
+/// Doctors-on-call write-skew workload (E10): two doctors per ward, the
+/// constraint "at least one on call" enforced by read-then-write inside each
+/// transaction. SI permits both doctors to go off call concurrently (write
+/// skew); serializable would not.
+struct OnCallWard {
+  NodeId doctor_a = kInvalidNodeId;
+  NodeId doctor_b = kInvalidNodeId;
+};
+
+Result<OnCallWard> BuildWard(GraphDatabase& db);
+
+/// One "go off call if the other doctor is still on call" transaction for
+/// the given doctor. Returns OK on commit (whether or not it went off call);
+/// retryable status on conflict.
+Status TryGoOffCall(GraphDatabase& db, const OnCallWard& ward, bool doctor_a,
+                    IsolationLevel isolation);
+
+/// True if the ward constraint (>= 1 doctor on call) holds.
+Result<bool> WardConstraintHolds(GraphDatabase& db, const OnCallWard& ward);
+
+}  // namespace neosi
+
+#endif  // NEOSI_WORKLOAD_BANK_H_

@@ -1,0 +1,94 @@
+#include "workload/driver.h"
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace neosi {
+
+namespace {
+
+struct ThreadTally {
+  uint64_t committed = 0;
+  uint64_t aborted = 0;
+  uint64_t errors = 0;
+  Histogram latency;
+};
+
+DriverResult Run(int threads, const std::function<bool(uint64_t)>& keep_going,
+                 const TxnBody& body, bool per_thread_quota,
+                 uint64_t quota) {
+  std::vector<ThreadTally> tallies(threads);
+  std::atomic<bool> stop{false};
+  const auto t0 = std::chrono::steady_clock::now();
+
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      ThreadTally& tally = tallies[t];
+      uint64_t op = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        if (per_thread_quota) {
+          if (tally.committed >= quota) break;
+        } else if (!keep_going(op)) {
+          break;
+        }
+        const auto op_start = std::chrono::steady_clock::now();
+        Status s = body(t, op);
+        const auto op_end = std::chrono::steady_clock::now();
+        if (s.ok()) {
+          ++tally.committed;
+          tally.latency.Record(static_cast<uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(op_end -
+                                                                   op_start)
+                  .count()));
+        } else if (s.IsRetryable()) {
+          ++tally.aborted;
+        } else {
+          ++tally.errors;
+        }
+        ++op;
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  const auto t1 = std::chrono::steady_clock::now();
+
+  DriverResult result;
+  for (const ThreadTally& tally : tallies) {
+    result.committed += tally.committed;
+    result.aborted += tally.aborted;
+    result.errors += tally.errors;
+    result.latency_ns.Merge(tally.latency);
+  }
+  result.seconds =
+      std::chrono::duration_cast<std::chrono::duration<double>>(t1 - t0)
+          .count();
+  return result;
+}
+
+}  // namespace
+
+DriverResult RunForDuration(int threads, uint64_t duration_ms,
+                            const TxnBody& body) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(duration_ms);
+  return Run(
+      threads,
+      [deadline](uint64_t) {
+        return std::chrono::steady_clock::now() < deadline;
+      },
+      body, /*per_thread_quota=*/false, 0);
+}
+
+DriverResult RunForOps(int threads, uint64_t ops_per_thread,
+                       const TxnBody& body) {
+  return Run(
+      threads, [](uint64_t) { return true; }, body,
+      /*per_thread_quota=*/true, ops_per_thread);
+}
+
+}  // namespace neosi

@@ -1,0 +1,52 @@
+// Multithreaded transaction driver for experiments: runs a per-thread body
+// for a fixed wall-clock duration or operation count, tallying commits,
+// retryable aborts and latency percentiles.
+
+#ifndef NEOSI_WORKLOAD_DRIVER_H_
+#define NEOSI_WORKLOAD_DRIVER_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "common/status.h"
+#include "workload/histogram.h"
+
+namespace neosi {
+
+/// Aggregate outcome of a driver run.
+struct DriverResult {
+  uint64_t committed = 0;
+  uint64_t aborted = 0;     ///< Retryable aborts (conflict / deadlock).
+  uint64_t errors = 0;      ///< Non-retryable failures (bugs in the workload).
+  double seconds = 0;
+  Histogram latency_ns;     ///< Latency of committed operations.
+
+  double Throughput() const {
+    return seconds > 0 ? static_cast<double>(committed) / seconds : 0;
+  }
+  double AbortRate() const {
+    const uint64_t attempts = committed + aborted;
+    return attempts ? static_cast<double>(aborted) /
+                          static_cast<double>(attempts)
+                    : 0;
+  }
+};
+
+/// The per-attempt body: executes one transaction attempt and returns its
+/// status. `thread` is the worker index, `op` the per-thread attempt count.
+using TxnBody = std::function<Status(int thread, uint64_t op)>;
+
+/// Runs `body` on `threads` workers for `duration_ms` wall-clock
+/// milliseconds. Retryable aborts are counted and the op retried (as a new
+/// attempt).
+DriverResult RunForDuration(int threads, uint64_t duration_ms,
+                            const TxnBody& body);
+
+/// Runs `body` until each worker completes `ops_per_thread` committed
+/// operations (aborts retry and are tallied).
+DriverResult RunForOps(int threads, uint64_t ops_per_thread,
+                       const TxnBody& body);
+
+}  // namespace neosi
+
+#endif  // NEOSI_WORKLOAD_DRIVER_H_

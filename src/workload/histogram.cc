@@ -1,0 +1,63 @@
+#include "workload/histogram.h"
+
+#include <bit>
+#include <cstddef>
+
+namespace neosi {
+
+int Histogram::BucketFor(uint64_t value) {
+  if (value < kSubBuckets) return static_cast<int>(value);
+  const int log = 63 - std::countl_zero(value);
+  const int base = (log - 3) * kSubBuckets;  // log >= 4 here.
+  const int sub =
+      static_cast<int>((value >> (log - 4)) & (kSubBuckets - 1));
+  const int idx = base + sub;
+  return idx < kLogBuckets * kSubBuckets ? idx : kLogBuckets * kSubBuckets - 1;
+}
+
+uint64_t Histogram::BucketMidpoint(int bucket) {
+  if (bucket < kSubBuckets) return static_cast<uint64_t>(bucket);
+  const int log = bucket / kSubBuckets + 3;
+  const int sub = bucket % kSubBuckets;
+  const uint64_t base = 1ULL << log;
+  const uint64_t width = base / kSubBuckets;
+  return base + width * sub + width / 2;
+}
+
+void Histogram::Record(uint64_t value) {
+  ++buckets_[BucketFor(value)];
+  ++count_;
+  sum_ += value;
+  if (value < min_) min_ = value;
+  if (value > max_) max_ = value;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  if (other.min_ < min_) min_ = other.min_;
+  if (other.max_ > max_) max_ = other.max_;
+}
+
+uint64_t Histogram::Percentile(double p) const {
+  if (count_ == 0) return 0;
+  const uint64_t target =
+      static_cast<uint64_t>(p / 100.0 * static_cast<double>(count_ - 1)) + 1;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= target) return BucketMidpoint(static_cast<int>(i));
+  }
+  return max_;
+}
+
+void Histogram::Reset() {
+  buckets_.fill(0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = UINT64_MAX;
+  max_ = 0;
+}
+
+}  // namespace neosi

@@ -1,0 +1,49 @@
+// Log-bucketed latency histogram (fixed memory, lock-free merge-friendly).
+
+#ifndef NEOSI_WORKLOAD_HISTOGRAM_H_
+#define NEOSI_WORKLOAD_HISTOGRAM_H_
+
+#include <array>
+#include <cstdint>
+
+namespace neosi {
+
+/// Records values (nanoseconds, counts, bytes...) into 2^k log buckets with
+/// 16 linear sub-buckets each; percentile error < ~6%.
+class Histogram {
+ public:
+  void Record(uint64_t value);
+
+  /// Merges another histogram into this one (thread-local then merge).
+  void Merge(const Histogram& other);
+
+  uint64_t Count() const { return count_; }
+  uint64_t Min() const { return count_ ? min_ : 0; }
+  uint64_t Max() const { return max_; }
+  double Mean() const {
+    return count_ ? static_cast<double>(sum_) / static_cast<double>(count_)
+                  : 0.0;
+  }
+
+  /// Approximate value at percentile p in [0, 100].
+  uint64_t Percentile(double p) const;
+
+  void Reset();
+
+ private:
+  static constexpr int kLogBuckets = 40;
+  static constexpr int kSubBuckets = 16;
+
+  static int BucketFor(uint64_t value);
+  static uint64_t BucketMidpoint(int bucket);
+
+  std::array<uint64_t, kLogBuckets * kSubBuckets> buckets_{};
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t min_ = UINT64_MAX;
+  uint64_t max_ = 0;
+};
+
+}  // namespace neosi
+
+#endif  // NEOSI_WORKLOAD_HISTOGRAM_H_

@@ -1,0 +1,68 @@
+#include "workload/social_graph.h"
+
+#include "common/random.h"
+
+namespace neosi {
+
+Result<SocialGraph> BuildSocialGraph(GraphDatabase& db,
+                                     const SocialGraphSpec& spec) {
+  SocialGraph graph;
+  graph.people.reserve(spec.people);
+  Random rng(spec.seed);
+
+  // People.
+  {
+    auto txn = db.Begin(IsolationLevel::kSnapshotIsolation);
+    uint64_t in_batch = 0;
+    for (uint64_t i = 0; i < spec.people; ++i) {
+      auto node = txn->CreateNode(
+          {"Person"},
+          {{"name", PropertyValue("person-" + std::to_string(i))},
+           {"age", PropertyValue(static_cast<int64_t>(18 + rng.Uniform(60)))}});
+      if (!node.ok()) return node.status();
+      graph.people.push_back(*node);
+      if (++in_batch >= spec.batch_size) {
+        NEOSI_RETURN_IF_ERROR(txn->Commit());
+        txn = db.Begin(IsolationLevel::kSnapshotIsolation);
+        in_batch = 0;
+      }
+    }
+    NEOSI_RETURN_IF_ERROR(txn->Commit());
+  }
+
+  // Ring edges (guarantee connectivity) + random chords.
+  {
+    auto txn = db.Begin(IsolationLevel::kSnapshotIsolation);
+    uint64_t in_batch = 0;
+    auto add_edge = [&](NodeId a, NodeId b) -> Status {
+      auto rel = txn->CreateRelationship(
+          a, b, "KNOWS",
+          {{"since", PropertyValue(static_cast<int64_t>(
+                         2000 + rng.Uniform(26)))}});
+      if (!rel.ok()) return rel.status();
+      graph.friendships.push_back(*rel);
+      if (++in_batch >= spec.batch_size) {
+        NEOSI_RETURN_IF_ERROR(txn->Commit());
+        txn = db.Begin(IsolationLevel::kSnapshotIsolation);
+        in_batch = 0;
+      }
+      return Status::OK();
+    };
+
+    for (uint64_t i = 0; i < spec.people; ++i) {
+      NEOSI_RETURN_IF_ERROR(
+          add_edge(graph.people[i], graph.people[(i + 1) % spec.people]));
+    }
+    for (uint64_t i = 0; i < spec.people; ++i) {
+      for (uint64_t e = 0; e < spec.extra_edges_per_person; ++e) {
+        uint64_t j = rng.Uniform(spec.people);
+        if (j == i) j = (j + 1) % spec.people;
+        NEOSI_RETURN_IF_ERROR(add_edge(graph.people[i], graph.people[j]));
+      }
+    }
+    NEOSI_RETURN_IF_ERROR(txn->Commit());
+  }
+  return graph;
+}
+
+}  // namespace neosi

@@ -1,0 +1,40 @@
+// Social-network workload generator: Person nodes on a ring with random
+// chords (connected, bounded degree) — the graph substrate for experiments
+// E3 / E5 / E11 and the social_network example.
+
+#ifndef NEOSI_WORKLOAD_SOCIAL_GRAPH_H_
+#define NEOSI_WORKLOAD_SOCIAL_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/graph_database.h"
+
+namespace neosi {
+
+/// Shape parameters for the generated graph.
+struct SocialGraphSpec {
+  uint64_t people = 1000;
+  /// Random chord edges per person in addition to the ring edge.
+  uint64_t extra_edges_per_person = 2;
+  uint64_t seed = 42;
+  /// Commit every this many created entities (bounds txn sizes).
+  uint64_t batch_size = 512;
+};
+
+/// The generated handles.
+struct SocialGraph {
+  std::vector<NodeId> people;
+  std::vector<RelId> friendships;
+};
+
+/// Builds the graph inside `db` (labels: Person; relationship type: KNOWS;
+/// properties: name, age on nodes, since on edges).
+Result<SocialGraph> BuildSocialGraph(GraphDatabase& db,
+                                     const SocialGraphSpec& spec);
+
+}  // namespace neosi
+
+#endif  // NEOSI_WORKLOAD_SOCIAL_GRAPH_H_

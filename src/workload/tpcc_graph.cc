@@ -1,0 +1,130 @@
+#include "workload/tpcc_graph.h"
+
+#include <string>
+
+namespace neosi {
+
+Result<TpccGraph> BuildTpccGraph(GraphDatabase& db, const TpccSpec& spec) {
+  TpccGraph graph;
+  graph.spec = spec;
+  graph.items.resize(spec.warehouses);
+  graph.customers.resize(spec.warehouses);
+
+  auto txn = db.Begin(IsolationLevel::kSnapshotIsolation);
+  uint64_t in_batch = 0;
+  auto maybe_commit = [&]() -> Status {
+    if (++in_batch >= 256) {
+      NEOSI_RETURN_IF_ERROR(txn->Commit());
+      txn = db.Begin(IsolationLevel::kSnapshotIsolation);
+      in_batch = 0;
+    }
+    return Status::OK();
+  };
+
+  for (uint64_t w = 0; w < spec.warehouses; ++w) {
+    auto warehouse = txn->CreateNode(
+        {"Warehouse"}, {{"wid", PropertyValue(static_cast<int64_t>(w))},
+                        {"ytd", PropertyValue(static_cast<int64_t>(0))}});
+    if (!warehouse.ok()) return warehouse.status();
+    graph.warehouses.push_back(*warehouse);
+    NEOSI_RETURN_IF_ERROR(maybe_commit());
+
+    for (uint64_t i = 0; i < spec.items_per_warehouse; ++i) {
+      auto item = txn->CreateNode(
+          {"Item"}, {{"iid", PropertyValue(static_cast<int64_t>(i))},
+                     {"stock", PropertyValue(spec.initial_stock)}});
+      if (!item.ok()) return item.status();
+      auto stocks = txn->CreateRelationship(*warehouse, *item, "STOCKS");
+      if (!stocks.ok()) return stocks.status();
+      graph.items[w].push_back(*item);
+      NEOSI_RETURN_IF_ERROR(maybe_commit());
+    }
+    for (uint64_t c = 0; c < spec.customers_per_warehouse; ++c) {
+      auto customer = txn->CreateNode(
+          {"Customer"},
+          {{"cid", PropertyValue(static_cast<int64_t>(c))},
+           {"balance", PropertyValue(static_cast<int64_t>(0))}});
+      if (!customer.ok()) return customer.status();
+      auto in_wh = txn->CreateRelationship(*customer, *warehouse, "SHOPS_AT");
+      if (!in_wh.ok()) return in_wh.status();
+      graph.customers[w].push_back(*customer);
+      NEOSI_RETURN_IF_ERROR(maybe_commit());
+    }
+  }
+  NEOSI_RETURN_IF_ERROR(txn->Commit());
+  return graph;
+}
+
+Status NewOrder(GraphDatabase& db, const TpccGraph& graph, uint64_t w,
+                uint64_t customer, const std::vector<uint64_t>& item_indices,
+                int64_t quantity, IsolationLevel isolation) {
+  auto txn = db.Begin(isolation);
+  const NodeId customer_node =
+      graph.customers[w][customer % graph.customers[w].size()];
+
+  auto order = txn->CreateNode(
+      {"Order"}, {{"qty_total",
+                   PropertyValue(static_cast<int64_t>(item_indices.size()) *
+                                 quantity)}});
+  if (!order.ok()) return order.status();
+  auto placed = txn->CreateRelationship(customer_node, *order, "PLACED");
+  if (!placed.ok()) return placed.status();
+
+  for (uint64_t idx : item_indices) {
+    const NodeId item = graph.items[w][idx % graph.items[w].size()];
+    auto stock = txn->GetNodeProperty(item, "stock");
+    NEOSI_RETURN_IF_ERROR(stock.status());
+    NEOSI_RETURN_IF_ERROR(txn->SetNodeProperty(
+        item, "stock", PropertyValue(stock->AsInt() - quantity)));
+    auto line = txn->CreateRelationship(
+        *order, item, "CONTAINS", {{"qty", PropertyValue(quantity)}});
+    if (!line.ok()) return line.status();
+  }
+  return txn->Commit();
+}
+
+Status Payment(GraphDatabase& db, const TpccGraph& graph, uint64_t w,
+               uint64_t customer, int64_t amount, IsolationLevel isolation) {
+  auto txn = db.Begin(isolation);
+  const NodeId warehouse = graph.warehouses[w];
+  const NodeId customer_node =
+      graph.customers[w][customer % graph.customers[w].size()];
+
+  auto ytd = txn->GetNodeProperty(warehouse, "ytd");
+  NEOSI_RETURN_IF_ERROR(ytd.status());
+  NEOSI_RETURN_IF_ERROR(txn->SetNodeProperty(
+      warehouse, "ytd", PropertyValue(ytd->AsInt() + amount)));
+
+  auto balance = txn->GetNodeProperty(customer_node, "balance");
+  NEOSI_RETURN_IF_ERROR(balance.status());
+  NEOSI_RETURN_IF_ERROR(txn->SetNodeProperty(
+      customer_node, "balance", PropertyValue(balance->AsInt() - amount)));
+  return txn->Commit();
+}
+
+Result<int64_t> AuditWarehouse(GraphDatabase& db, const TpccGraph& graph,
+                               uint64_t w) {
+  auto txn = db.Begin(IsolationLevel::kSnapshotIsolation);
+  int64_t total = 0;
+  // Sum remaining stock.
+  for (NodeId item : graph.items[w]) {
+    auto stock = txn->GetNodeProperty(item, "stock");
+    if (!stock.ok()) return stock.status();
+    total += stock->AsInt();
+  }
+  // Sum committed order lines against this warehouse's items.
+  for (NodeId item : graph.items[w]) {
+    auto lines = txn->GetRelationships(item, Direction::kIncoming,
+                                       std::string("CONTAINS"));
+    if (!lines.ok()) return lines.status();
+    for (RelId line : *lines) {
+      auto qty = txn->GetRelProperty(line, "qty");
+      if (!qty.ok()) return qty.status();
+      total += qty->AsInt();
+    }
+  }
+  NEOSI_RETURN_IF_ERROR(txn->Commit());
+  return total;
+}
+
+}  // namespace neosi

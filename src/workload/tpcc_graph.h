@@ -1,0 +1,66 @@
+// A TPC-C-flavoured order-processing workload on the graph model, for
+// experiment E10: the paper notes (§1) that "TPC-C never observes an
+// anomaly when running on an SI database" — its transactions' read and
+// write sets overlap in ways first-updater-wins already serializes, so SI
+// produces serializable executions for it.
+//
+// Model: Warehouse -[STOCKS]-> Item nodes with quantity; Customer nodes;
+// NewOrder creates an Order node linked to the customer and decrements the
+// stock of its items; Payment updates a customer's balance and the
+// warehouse YTD.
+
+#ifndef NEOSI_WORKLOAD_TPCC_GRAPH_H_
+#define NEOSI_WORKLOAD_TPCC_GRAPH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/graph_database.h"
+
+namespace neosi {
+
+struct TpccSpec {
+  uint64_t warehouses = 2;
+  uint64_t items_per_warehouse = 100;
+  uint64_t customers_per_warehouse = 20;
+  int64_t initial_stock = 1000;
+  uint64_t seed = 7;
+};
+
+struct TpccGraph {
+  std::vector<NodeId> warehouses;
+  // items[w] and customers[w] belong to warehouse w.
+  std::vector<std::vector<NodeId>> items;
+  std::vector<std::vector<NodeId>> customers;
+  TpccSpec spec;
+
+  /// Conserved invariant: for each warehouse, sum(stock) + sum(ordered
+  /// quantities over committed orders) == items * initial_stock.
+  int64_t ExpectedStockPlusOrdered(uint64_t /*warehouse*/) const {
+    return static_cast<int64_t>(spec.items_per_warehouse) *
+           spec.initial_stock;
+  }
+};
+
+Result<TpccGraph> BuildTpccGraph(GraphDatabase& db, const TpccSpec& spec);
+
+/// NewOrder: picks `lines` random items of warehouse `w`, decrements each
+/// stock, creates an Order node linked to the customer and the items.
+Status NewOrder(GraphDatabase& db, const TpccGraph& graph, uint64_t w,
+                uint64_t customer, const std::vector<uint64_t>& item_indices,
+                int64_t quantity, IsolationLevel isolation);
+
+/// Payment: adds `amount` to a customer's balance and the warehouse YTD.
+Status Payment(GraphDatabase& db, const TpccGraph& graph, uint64_t w,
+               uint64_t customer, int64_t amount, IsolationLevel isolation);
+
+/// Audits the stock + ordered invariant for warehouse `w`; returns the
+/// observed total (== ExpectedStockPlusOrdered(w) in a serializable
+/// execution).
+Result<int64_t> AuditWarehouse(GraphDatabase& db, const TpccGraph& graph,
+                               uint64_t w);
+
+}  // namespace neosi
+
+#endif  // NEOSI_WORKLOAD_TPCC_GRAPH_H_

@@ -1,0 +1,50 @@
+// Zipfian key sampler for skewed-contention workloads (experiment E4).
+
+#ifndef NEOSI_WORKLOAD_ZIPF_H_
+#define NEOSI_WORKLOAD_ZIPF_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+
+namespace neosi {
+
+/// Samples from {0..n-1} with P(k) proportional to 1/(k+1)^theta.
+/// theta = 0 is uniform; 0.99 is the YCSB default "heavy skew".
+class ZipfSampler {
+ public:
+  ZipfSampler(uint64_t n, double theta, uint64_t seed = 42)
+      : rng_(seed), cdf_(n) {
+    double sum = 0;
+    for (uint64_t k = 0; k < n; ++k) {
+      sum += 1.0 / std::pow(static_cast<double>(k + 1), theta);
+      cdf_[k] = sum;
+    }
+    for (uint64_t k = 0; k < n; ++k) cdf_[k] /= sum;
+  }
+
+  uint64_t Next() {
+    const double u = rng_.NextDouble();
+    // Binary search the CDF.
+    size_t lo = 0, hi = cdf_.size() - 1;
+    while (lo < hi) {
+      const size_t mid = (lo + hi) / 2;
+      if (cdf_[mid] < u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+ private:
+  Random rng_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace neosi
+
+#endif  // NEOSI_WORKLOAD_ZIPF_H_

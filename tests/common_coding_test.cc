@@ -1,0 +1,133 @@
+// Encoding primitives: fixed/varint round-trips, CRC32C vectors.
+
+#include <gtest/gtest.h>
+
+#include "common/coding.h"
+#include "common/random.h"
+
+namespace neosi {
+namespace {
+
+TEST(Coding, Fixed64RoundTrip) {
+  for (uint64_t v : {uint64_t{0}, uint64_t{1}, uint64_t{255}, uint64_t{65536}, UINT64_MAX}) {
+    std::string buf;
+    PutFixed64(&buf, v);
+    ASSERT_EQ(buf.size(), 8u);
+    Slice input(buf);
+    uint64_t out;
+    ASSERT_TRUE(GetFixed64(&input, &out));
+    EXPECT_EQ(out, v);
+    EXPECT_TRUE(input.empty());
+  }
+}
+
+TEST(Coding, Fixed32And16RoundTrip) {
+  std::string buf;
+  PutFixed32(&buf, 0xDEADBEEF);
+  PutFixed16(&buf, 0xCAFE);
+  Slice input(buf);
+  uint32_t v32;
+  uint16_t v16;
+  ASSERT_TRUE(GetFixed32(&input, &v32));
+  ASSERT_TRUE(GetFixed16(&input, &v16));
+  EXPECT_EQ(v32, 0xDEADBEEFu);
+  EXPECT_EQ(v16, 0xCAFEu);
+}
+
+TEST(Coding, VarintRoundTripBoundaries) {
+  std::vector<uint64_t> values = {0, 1, 127, 128, 16383, 16384};
+  for (int shift = 0; shift < 64; shift += 7) {
+    values.push_back(1ULL << shift);
+    values.push_back((1ULL << shift) - 1);
+  }
+  values.push_back(UINT64_MAX);
+  std::string buf;
+  for (uint64_t v : values) PutVarint64(&buf, v);
+  Slice input(buf);
+  for (uint64_t v : values) {
+    uint64_t out;
+    ASSERT_TRUE(GetVarint64(&input, &out));
+    EXPECT_EQ(out, v);
+  }
+  EXPECT_TRUE(input.empty());
+}
+
+TEST(Coding, VarintRandomRoundTrip) {
+  Random rng(7);
+  std::vector<uint64_t> values;
+  std::string buf;
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t v = rng.Next() >> (rng.Uniform(64));
+    values.push_back(v);
+    PutVarint64(&buf, v);
+  }
+  Slice input(buf);
+  for (uint64_t v : values) {
+    uint64_t out;
+    ASSERT_TRUE(GetVarint64(&input, &out));
+    EXPECT_EQ(out, v);
+  }
+}
+
+TEST(Coding, Varint32RejectsOverflow) {
+  std::string buf;
+  PutVarint64(&buf, 1ULL << 33);
+  Slice input(buf);
+  uint32_t out;
+  EXPECT_FALSE(GetVarint32(&input, &out));
+}
+
+TEST(Coding, TruncatedInputFails) {
+  std::string buf;
+  PutVarint64(&buf, 300);  // Two bytes.
+  Slice input(buf.data(), 1);
+  uint64_t out;
+  EXPECT_FALSE(GetVarint64(&input, &out));
+
+  Slice short_fixed("abc", 3);
+  uint32_t v32;
+  EXPECT_FALSE(GetFixed32(&short_fixed, &v32));
+}
+
+TEST(Coding, LengthPrefixedSlice) {
+  std::string buf;
+  PutLengthPrefixedSlice(&buf, Slice("hello"));
+  PutLengthPrefixedSlice(&buf, Slice(""));
+  PutLengthPrefixedSlice(&buf, Slice(std::string(1000, 'x')));
+  Slice input(buf);
+  Slice a, b, c;
+  ASSERT_TRUE(GetLengthPrefixedSlice(&input, &a));
+  ASSERT_TRUE(GetLengthPrefixedSlice(&input, &b));
+  ASSERT_TRUE(GetLengthPrefixedSlice(&input, &c));
+  EXPECT_EQ(a.ToString(), "hello");
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(c.size(), 1000u);
+}
+
+TEST(Coding, Crc32cKnownVectors) {
+  // Standard CRC-32C test vector: "123456789" -> 0xE3069283.
+  EXPECT_EQ(Crc32c("123456789", 9), 0xE3069283u);
+  // Empty input.
+  EXPECT_EQ(Crc32c("", 0), 0u);
+}
+
+TEST(Coding, Crc32cDetectsCorruption) {
+  std::string data = "the quick brown fox";
+  const uint32_t crc = Crc32c(data.data(), data.size());
+  data[3] ^= 0x01;
+  EXPECT_NE(Crc32c(data.data(), data.size()), crc);
+}
+
+TEST(Slice, CompareAndPrefix) {
+  Slice a("abc"), b("abd"), c("ab");
+  EXPECT_LT(a.compare(b), 0);
+  EXPECT_GT(b.compare(a), 0);
+  EXPECT_GT(a.compare(c), 0);
+  EXPECT_EQ(a.compare(Slice("abc")), 0);
+  Slice d("hello world");
+  d.remove_prefix(6);
+  EXPECT_EQ(d.ToString(), "world");
+}
+
+}  // namespace
+}  // namespace neosi

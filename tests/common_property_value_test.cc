@@ -1,0 +1,112 @@
+// PropertyValue: typing, total order, serialization, hashing.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/property_value.h"
+
+namespace neosi {
+namespace {
+
+TEST(PropertyValue, KindsAndAccessors) {
+  EXPECT_TRUE(PropertyValue().is_null());
+  EXPECT_TRUE(PropertyValue(true).is_bool());
+  EXPECT_TRUE(PropertyValue(int64_t{5}).is_int());
+  EXPECT_TRUE(PropertyValue(3.5).is_double());
+  EXPECT_TRUE(PropertyValue("x").is_string());
+  EXPECT_EQ(PropertyValue(false).AsBool(), false);
+  EXPECT_EQ(PropertyValue(int64_t{-7}).AsInt(), -7);
+  EXPECT_DOUBLE_EQ(PropertyValue(2.25).AsDouble(), 2.25);
+  EXPECT_EQ(PropertyValue("abc").AsString(), "abc");
+  // int literal convenience.
+  EXPECT_TRUE(PropertyValue(5).is_int());
+}
+
+TEST(PropertyValue, TotalOrderAcrossKinds) {
+  // null < bool < int < double < string (kind-major order).
+  PropertyValue null_v;
+  PropertyValue bool_v(true);
+  PropertyValue int_v(int64_t{0});
+  PropertyValue double_v(0.0);
+  PropertyValue string_v("");
+  EXPECT_LT(null_v, bool_v);
+  EXPECT_LT(bool_v, int_v);
+  EXPECT_LT(int_v, double_v);
+  EXPECT_LT(double_v, string_v);
+}
+
+TEST(PropertyValue, OrderWithinKind) {
+  EXPECT_LT(PropertyValue(int64_t{1}), PropertyValue(int64_t{2}));
+  EXPECT_LT(PropertyValue(int64_t{-5}), PropertyValue(int64_t{0}));
+  EXPECT_LT(PropertyValue(1.5), PropertyValue(2.5));
+  EXPECT_LT(PropertyValue("abc"), PropertyValue("abd"));
+  EXPECT_LT(PropertyValue(false), PropertyValue(true));
+  EXPECT_EQ(PropertyValue("same"), PropertyValue("same"));
+  EXPECT_NE(PropertyValue(int64_t{1}), PropertyValue(int64_t{2}));
+}
+
+TEST(PropertyValue, NanSortsLast) {
+  const double nan = std::nan("");
+  EXPECT_LT(PropertyValue(1e308), PropertyValue(nan));
+  EXPECT_EQ(PropertyValue(nan).Compare(PropertyValue(nan)), 0);
+}
+
+TEST(PropertyValue, EncodeDecodeRoundTrip) {
+  const PropertyValue values[] = {
+      PropertyValue(),
+      PropertyValue(true),
+      PropertyValue(false),
+      PropertyValue(int64_t{0}),
+      PropertyValue(int64_t{-123456789}),
+      PropertyValue(int64_t{INT64_MAX}),
+      PropertyValue(0.0),
+      PropertyValue(-1.5e300),
+      PropertyValue(""),
+      PropertyValue("short"),
+      PropertyValue(std::string(10000, 'z')),
+  };
+  for (const PropertyValue& v : values) {
+    std::string buf;
+    v.EncodeTo(&buf);
+    Slice input(buf);
+    PropertyValue out;
+    ASSERT_TRUE(PropertyValue::DecodeFrom(&input, &out).ok());
+    EXPECT_EQ(out, v) << v.ToString();
+    EXPECT_TRUE(input.empty());
+  }
+}
+
+TEST(PropertyValue, DecodeRejectsGarbage) {
+  PropertyValue out;
+  Slice empty("", 0);
+  EXPECT_TRUE(PropertyValue::DecodeFrom(&empty, &out).IsCorruption());
+  std::string bad_kind = "\x7F";
+  Slice bad(bad_kind);
+  EXPECT_TRUE(PropertyValue::DecodeFrom(&bad, &out).IsCorruption());
+  std::string truncated_int = "\x02\x01\x02";  // kInt + 3 bytes only.
+  Slice trunc(truncated_int);
+  EXPECT_TRUE(PropertyValue::DecodeFrom(&trunc, &out).IsCorruption());
+}
+
+TEST(PropertyValue, HashConsistentWithEquality) {
+  EXPECT_EQ(PropertyValue("abc").Hash(), PropertyValue("abc").Hash());
+  EXPECT_EQ(PropertyValue(int64_t{7}).Hash(), PropertyValue(int64_t{7}).Hash());
+  // Different kinds with "same" value should not collide trivially.
+  EXPECT_NE(PropertyValue(int64_t{0}).Hash(), PropertyValue(0.0).Hash());
+}
+
+TEST(PropertyValue, ToString) {
+  EXPECT_EQ(PropertyValue().ToString(), "null");
+  EXPECT_EQ(PropertyValue(true).ToString(), "true");
+  EXPECT_EQ(PropertyValue(int64_t{42}).ToString(), "42");
+  EXPECT_EQ(PropertyValue("hi").ToString(), "\"hi\"");
+}
+
+TEST(PropertyValue, ApproximateSizeGrowsWithStrings) {
+  EXPECT_GT(PropertyValue(std::string(1000, 'a')).ApproximateSize(),
+            PropertyValue(int64_t{1}).ApproximateSize() + 900);
+}
+
+}  // namespace
+}  // namespace neosi

@@ -1,0 +1,90 @@
+// Status / Result plumbing.
+
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+
+namespace neosi {
+namespace {
+
+TEST(Status, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("node 7");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.message(), "node 7");
+  EXPECT_EQ(s.ToString(), "NotFound: node 7");
+}
+
+TEST(Status, EveryConstructorMapsToItsPredicate) {
+  EXPECT_TRUE(Status::InvalidArgument("").IsInvalidArgument());
+  EXPECT_TRUE(Status::Aborted("").IsAborted());
+  EXPECT_TRUE(Status::Deadlock("").IsDeadlock());
+  EXPECT_TRUE(Status::Corruption("").IsCorruption());
+  EXPECT_TRUE(Status::IOError("").IsIOError());
+  EXPECT_TRUE(Status::FailedPrecondition("").IsFailedPrecondition());
+  EXPECT_TRUE(Status::AlreadyExists("").IsAlreadyExists());
+  EXPECT_TRUE(Status::OutOfRange("").IsOutOfRange());
+  EXPECT_TRUE(Status::NotSupported("").IsNotSupported());
+  EXPECT_TRUE(Status::Internal("").IsInternal());
+}
+
+TEST(Status, RetryablePredicateCoversConflictAndDeadlock) {
+  EXPECT_TRUE(Status::Aborted("").IsRetryable());
+  EXPECT_TRUE(Status::Deadlock("").IsRetryable());
+  EXPECT_FALSE(Status::NotFound("").IsRetryable());
+  EXPECT_FALSE(Status::OK().IsRetryable());
+}
+
+TEST(Status, CodeToString) {
+  EXPECT_EQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kDeadlock), "Deadlock");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kCorruption), "Corruption");
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(0), 42);
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r(Status::NotFound("x"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(Result, MoveOnlyTypes) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(5));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 5);
+}
+
+Status Fails() { return Status::IOError("boom"); }
+Status Chained() {
+  NEOSI_RETURN_IF_ERROR(Fails());
+  return Status::OK();
+}
+Result<int> Five() { return 5; }
+Status UsesAssign() {
+  int v = 0;
+  NEOSI_ASSIGN_OR_RETURN(v, Five());
+  return v == 5 ? Status::OK() : Status::Internal("wrong");
+}
+
+TEST(Result, Macros) {
+  EXPECT_TRUE(Chained().IsIOError());
+  EXPECT_TRUE(UsesAssign().ok());
+}
+
+}  // namespace
+}  // namespace neosi

@@ -1,0 +1,246 @@
+// The anomalies that motivate the paper (§1): unrepeatable reads and
+// phantom reads occur under read committed and are eliminated by snapshot
+// isolation. These tests construct each anomaly deterministically.
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_database.h"
+
+namespace neosi {
+namespace {
+
+std::unique_ptr<GraphDatabase> OpenDb() {
+  DatabaseOptions options;
+  options.in_memory = true;
+  auto db = GraphDatabase::Open(options);
+  EXPECT_TRUE(db.ok()) << db.status();
+  return std::move(*db);
+}
+
+// --- Unrepeatable reads ----------------------------------------------------
+
+TEST(Anomalies, UnrepeatableReadUnderReadCommitted) {
+  auto db = OpenDb();
+  NodeId id;
+  {
+    auto txn = db->Begin();
+    id = *txn->CreateNode({}, {{"v", PropertyValue(int64_t{1})}});
+    ASSERT_TRUE(txn->Commit().ok());
+  }
+  auto reader = db->Begin(IsolationLevel::kReadCommitted);
+  const int64_t first = reader->GetNodeProperty(id, "v")->AsInt();
+  {
+    auto writer = db->Begin();
+    ASSERT_TRUE(writer->SetNodeProperty(id, "v", PropertyValue(int64_t{2})).ok());
+    ASSERT_TRUE(writer->Commit().ok());
+  }
+  const int64_t second = reader->GetNodeProperty(id, "v")->AsInt();
+  EXPECT_NE(first, second) << "read committed must expose the new value";
+  EXPECT_EQ(first, 1);
+  EXPECT_EQ(second, 2);
+}
+
+TEST(Anomalies, RepeatableReadUnderSnapshotIsolation) {
+  auto db = OpenDb();
+  NodeId id;
+  {
+    auto txn = db->Begin();
+    id = *txn->CreateNode({}, {{"v", PropertyValue(int64_t{1})}});
+    ASSERT_TRUE(txn->Commit().ok());
+  }
+  auto reader = db->Begin(IsolationLevel::kSnapshotIsolation);
+  const int64_t first = reader->GetNodeProperty(id, "v")->AsInt();
+  {
+    auto writer = db->Begin();
+    ASSERT_TRUE(writer->SetNodeProperty(id, "v", PropertyValue(int64_t{2})).ok());
+    ASSERT_TRUE(writer->Commit().ok());
+  }
+  const int64_t second = reader->GetNodeProperty(id, "v")->AsInt();
+  EXPECT_EQ(first, second) << "snapshot isolation must be repeatable";
+}
+
+// --- Phantom reads (label predicate) ---------------------------------------
+
+TEST(Anomalies, PhantomInLabelScanUnderReadCommitted) {
+  auto db = OpenDb();
+  {
+    auto txn = db->Begin();
+    ASSERT_TRUE(txn->CreateNode({"Person"}).ok());
+    ASSERT_TRUE(txn->Commit().ok());
+  }
+  auto reader = db->Begin(IsolationLevel::kReadCommitted);
+  const size_t first = reader->GetNodesByLabel("Person")->size();
+  {
+    auto writer = db->Begin();
+    ASSERT_TRUE(writer->CreateNode({"Person"}).ok());
+    ASSERT_TRUE(writer->Commit().ok());
+  }
+  const size_t second = reader->GetNodesByLabel("Person")->size();
+  EXPECT_EQ(first, 1u);
+  EXPECT_EQ(second, 2u) << "phantom row must appear under read committed";
+}
+
+TEST(Anomalies, NoPhantomInLabelScanUnderSnapshotIsolation) {
+  auto db = OpenDb();
+  {
+    auto txn = db->Begin();
+    ASSERT_TRUE(txn->CreateNode({"Person"}).ok());
+    ASSERT_TRUE(txn->Commit().ok());
+  }
+  auto reader = db->Begin(IsolationLevel::kSnapshotIsolation);
+  const size_t first = reader->GetNodesByLabel("Person")->size();
+  {
+    auto writer = db->Begin();
+    ASSERT_TRUE(writer->CreateNode({"Person"}).ok());
+    ASSERT_TRUE(writer->Commit().ok());
+  }
+  const size_t second = reader->GetNodesByLabel("Person")->size();
+  EXPECT_EQ(first, second) << "snapshot isolation must not admit phantoms";
+}
+
+// --- Phantom reads (property range predicate) ------------------------------
+
+TEST(Anomalies, PhantomInRangeScanUnderReadCommitted) {
+  auto db = OpenDb();
+  {
+    auto txn = db->Begin();
+    ASSERT_TRUE(
+        txn->CreateNode({"P"}, {{"age", PropertyValue(int64_t{30})}}).ok());
+    ASSERT_TRUE(txn->Commit().ok());
+  }
+  auto reader = db->Begin(IsolationLevel::kReadCommitted);
+  auto scan = [&] {
+    return reader
+        ->GetNodesByPropertyRange("age", PropertyValue(int64_t{18}),
+                                  PropertyValue(int64_t{65}))
+        ->size();
+  };
+  const size_t first = scan();
+  {
+    auto writer = db->Begin();
+    ASSERT_TRUE(
+        writer->CreateNode({"P"}, {{"age", PropertyValue(int64_t{40})}}).ok());
+    ASSERT_TRUE(writer->Commit().ok());
+  }
+  EXPECT_EQ(first, 1u);
+  EXPECT_EQ(scan(), 2u);
+}
+
+TEST(Anomalies, NoPhantomInRangeScanUnderSnapshotIsolation) {
+  auto db = OpenDb();
+  {
+    auto txn = db->Begin();
+    ASSERT_TRUE(
+        txn->CreateNode({"P"}, {{"age", PropertyValue(int64_t{30})}}).ok());
+    ASSERT_TRUE(txn->Commit().ok());
+  }
+  auto reader = db->Begin(IsolationLevel::kSnapshotIsolation);
+  auto scan = [&] {
+    return reader
+        ->GetNodesByPropertyRange("age", PropertyValue(int64_t{18}),
+                                  PropertyValue(int64_t{65}))
+        ->size();
+  };
+  const size_t first = scan();
+  {
+    auto writer = db->Begin();
+    ASSERT_TRUE(
+        writer->CreateNode({"P"}, {{"age", PropertyValue(int64_t{40})}}).ok());
+    ASSERT_TRUE(writer->Commit().ok());
+  }
+  EXPECT_EQ(scan(), first);
+}
+
+// --- Vanishing path (the paper's two-step traversal example, §1) -----------
+
+TEST(Anomalies, PathVanishesMidTransactionUnderReadCommitted) {
+  auto db = OpenDb();
+  NodeId a, b;
+  RelId edge;
+  {
+    auto txn = db->Begin();
+    a = *txn->CreateNode({});
+    b = *txn->CreateNode({});
+    edge = *txn->CreateRelationship(a, b, "ROAD");
+    ASSERT_TRUE(txn->Commit().ok());
+  }
+  auto walker = db->Begin(IsolationLevel::kReadCommitted);
+  // Step 1: the path a->b is observed.
+  ASSERT_EQ(walker->GetRelationships(a, Direction::kOutgoing)->size(), 1u);
+  // A concurrent transaction removes the edge.
+  {
+    auto vandal = db->Begin();
+    ASSERT_TRUE(vandal->DeleteRelationship(edge).ok());
+    ASSERT_TRUE(vandal->Commit().ok());
+  }
+  // Step 2: the traversed path no longer exists.
+  EXPECT_TRUE(walker->GetRelationships(a, Direction::kOutgoing)->empty());
+}
+
+TEST(Anomalies, PathStableMidTransactionUnderSnapshotIsolation) {
+  auto db = OpenDb();
+  NodeId a, b;
+  RelId edge;
+  {
+    auto txn = db->Begin();
+    a = *txn->CreateNode({});
+    b = *txn->CreateNode({});
+    edge = *txn->CreateRelationship(a, b, "ROAD");
+    ASSERT_TRUE(txn->Commit().ok());
+  }
+  auto walker = db->Begin(IsolationLevel::kSnapshotIsolation);
+  ASSERT_EQ(walker->GetRelationships(a, Direction::kOutgoing)->size(), 1u);
+  {
+    auto vandal = db->Begin();
+    ASSERT_TRUE(vandal->DeleteRelationship(edge).ok());
+    ASSERT_TRUE(vandal->Commit().ok());
+  }
+  // The snapshot still contains the edge (tombstone retained, §4).
+  auto rels = walker->GetRelationships(a, Direction::kOutgoing);
+  ASSERT_TRUE(rels.ok());
+  EXPECT_EQ(rels->size(), 1u);
+  EXPECT_TRUE(walker->RelExists(edge));
+}
+
+// --- Read committed blocks readers on writers; SI does not ------------------
+
+TEST(Anomalies, SiReadsDoNotBlockOnWriteLocks) {
+  auto db = OpenDb();
+  NodeId id;
+  {
+    auto txn = db->Begin();
+    id = *txn->CreateNode({}, {{"v", PropertyValue(int64_t{1})}});
+    ASSERT_TRUE(txn->Commit().ok());
+  }
+  auto writer = db->Begin();
+  ASSERT_TRUE(writer->SetNodeProperty(id, "v", PropertyValue(int64_t{2})).ok());
+  // Writer holds the long write lock. An SI reader must not block (and must
+  // see the old committed value, not the dirty one).
+  auto reader = db->Begin(IsolationLevel::kSnapshotIsolation);
+  auto v = reader->GetNodeProperty(id, "v");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->AsInt(), 1);
+  ASSERT_TRUE(writer->Commit().ok());
+}
+
+TEST(Anomalies, NoDirtyReadsUnderEitherIsolation) {
+  auto db = OpenDb();
+  NodeId id;
+  {
+    auto txn = db->Begin();
+    id = *txn->CreateNode({}, {{"v", PropertyValue(int64_t{1})}});
+    ASSERT_TRUE(txn->Commit().ok());
+  }
+  auto writer = db->Begin();
+  ASSERT_TRUE(writer->SetNodeProperty(id, "v", PropertyValue(int64_t{99})).ok());
+  // SI reader: sees committed value.
+  auto si_reader = db->Begin(IsolationLevel::kSnapshotIsolation);
+  EXPECT_EQ(si_reader->GetNodeProperty(id, "v")->AsInt(), 1);
+  ASSERT_TRUE(writer->Abort().ok());
+  // After the abort, nobody ever saw 99.
+  auto rc_reader = db->Begin(IsolationLevel::kReadCommitted);
+  EXPECT_EQ(rc_reader->GetNodeProperty(id, "v")->AsInt(), 1);
+}
+
+}  // namespace
+}  // namespace neosi

@@ -1,0 +1,341 @@
+// End-to-end CRUD through the public GraphDatabase / Transaction API.
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_database.h"
+
+namespace neosi {
+namespace {
+
+std::unique_ptr<GraphDatabase> OpenDb() {
+  DatabaseOptions options;
+  options.in_memory = true;
+  auto db = GraphDatabase::Open(options);
+  EXPECT_TRUE(db.ok()) << db.status();
+  return std::move(*db);
+}
+
+TEST(GraphBasic, CreateAndReadNode) {
+  auto db = OpenDb();
+  auto txn = db->Begin();
+  auto id = txn->CreateNode({"Person", "Admin"},
+                            {{"name", PropertyValue("alice")},
+                             {"age", PropertyValue(int64_t{30})}});
+  ASSERT_TRUE(id.ok()) << id.status();
+  ASSERT_TRUE(txn->Commit().ok());
+
+  auto reader = db->Begin();
+  auto view = reader->GetNode(*id);
+  ASSERT_TRUE(view.ok()) << view.status();
+  EXPECT_EQ(view->id, *id);
+  ASSERT_EQ(view->labels.size(), 2u);
+  EXPECT_EQ(view->props.at("name").AsString(), "alice");
+  EXPECT_EQ(view->props.at("age").AsInt(), 30);
+}
+
+TEST(GraphBasic, GetMissingNodeIsNotFound) {
+  auto db = OpenDb();
+  auto txn = db->Begin();
+  EXPECT_TRUE(txn->GetNode(12345).status().IsNotFound());
+}
+
+TEST(GraphBasic, SetAndRemoveProperty) {
+  auto db = OpenDb();
+  NodeId id;
+  {
+    auto txn = db->Begin();
+    id = *txn->CreateNode({"Person"}, {{"name", PropertyValue("bob")}});
+    ASSERT_TRUE(txn->Commit().ok());
+  }
+  {
+    auto txn = db->Begin();
+    ASSERT_TRUE(
+        txn->SetNodeProperty(id, "city", PropertyValue("madrid")).ok());
+    ASSERT_TRUE(txn->RemoveNodeProperty(id, "name").ok());
+    ASSERT_TRUE(txn->Commit().ok());
+  }
+  auto reader = db->Begin();
+  auto view = reader->GetNode(id);
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(view->props.count("name"), 0u);
+  EXPECT_EQ(view->props.at("city").AsString(), "madrid");
+}
+
+TEST(GraphBasic, AddRemoveLabel) {
+  auto db = OpenDb();
+  NodeId id;
+  {
+    auto txn = db->Begin();
+    id = *txn->CreateNode({"Person"});
+    ASSERT_TRUE(txn->Commit().ok());
+  }
+  {
+    auto txn = db->Begin();
+    ASSERT_TRUE(txn->AddLabel(id, "Admin").ok());
+    ASSERT_TRUE(txn->RemoveLabel(id, "Person").ok());
+    ASSERT_TRUE(txn->Commit().ok());
+  }
+  auto reader = db->Begin();
+  EXPECT_TRUE(*reader->NodeHasLabel(id, "Admin"));
+  EXPECT_FALSE(*reader->NodeHasLabel(id, "Person"));
+}
+
+TEST(GraphBasic, CreateRelationshipAndTraverse) {
+  auto db = OpenDb();
+  NodeId a, b;
+  RelId rel;
+  {
+    auto txn = db->Begin();
+    a = *txn->CreateNode({"Person"}, {{"name", PropertyValue("a")}});
+    b = *txn->CreateNode({"Person"}, {{"name", PropertyValue("b")}});
+    auto r = txn->CreateRelationship(a, b, "KNOWS",
+                                     {{"since", PropertyValue(int64_t{2020})}});
+    ASSERT_TRUE(r.ok()) << r.status();
+    rel = *r;
+    ASSERT_TRUE(txn->Commit().ok());
+  }
+  auto reader = db->Begin();
+  auto view = reader->GetRelationship(rel);
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(view->src, a);
+  EXPECT_EQ(view->dst, b);
+  EXPECT_EQ(view->type, "KNOWS");
+  EXPECT_EQ(view->props.at("since").AsInt(), 2020);
+
+  auto out = reader->GetRelationships(a, Direction::kOutgoing);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->size(), 1u);
+  EXPECT_EQ((*out)[0], rel);
+
+  auto in = reader->GetRelationships(b, Direction::kIncoming);
+  ASSERT_TRUE(in.ok());
+  ASSERT_EQ(in->size(), 1u);
+
+  auto none = reader->GetRelationships(b, Direction::kOutgoing);
+  ASSERT_TRUE(none.ok());
+  EXPECT_TRUE(none->empty());
+
+  auto neighbors = reader->GetNeighbors(a);
+  ASSERT_TRUE(neighbors.ok());
+  ASSERT_EQ(neighbors->size(), 1u);
+  EXPECT_EQ((*neighbors)[0], b);
+}
+
+TEST(GraphBasic, SelfLoop) {
+  auto db = OpenDb();
+  auto txn = db->Begin();
+  NodeId n = *txn->CreateNode({"Node"});
+  auto rel = txn->CreateRelationship(n, n, "SELF");
+  ASSERT_TRUE(rel.ok()) << rel.status();
+  ASSERT_TRUE(txn->Commit().ok());
+
+  auto reader = db->Begin();
+  auto rels = reader->GetRelationships(n, Direction::kBoth);
+  ASSERT_TRUE(rels.ok());
+  EXPECT_EQ(rels->size(), 1u);  // Counted once.
+  auto outgoing = reader->GetRelationships(n, Direction::kOutgoing);
+  EXPECT_EQ(outgoing->size(), 1u);
+  auto incoming = reader->GetRelationships(n, Direction::kIncoming);
+  EXPECT_EQ(incoming->size(), 1u);
+}
+
+TEST(GraphBasic, TypeFilteredAdjacency) {
+  auto db = OpenDb();
+  auto txn = db->Begin();
+  NodeId a = *txn->CreateNode({});
+  NodeId b = *txn->CreateNode({});
+  NodeId c = *txn->CreateNode({});
+  ASSERT_TRUE(txn->CreateRelationship(a, b, "KNOWS").ok());
+  ASSERT_TRUE(txn->CreateRelationship(a, c, "WORKS_WITH").ok());
+  ASSERT_TRUE(txn->Commit().ok());
+
+  auto reader = db->Begin();
+  auto knows =
+      reader->GetRelationships(a, Direction::kOutgoing, std::string("KNOWS"));
+  ASSERT_TRUE(knows.ok());
+  EXPECT_EQ(knows->size(), 1u);
+  auto missing_type = reader->GetRelationships(a, Direction::kBoth,
+                                               std::string("NO_SUCH_TYPE"));
+  ASSERT_TRUE(missing_type.ok());
+  EXPECT_TRUE(missing_type->empty());
+}
+
+TEST(GraphBasic, DeleteRelationship) {
+  auto db = OpenDb();
+  NodeId a, b;
+  RelId rel;
+  {
+    auto txn = db->Begin();
+    a = *txn->CreateNode({});
+    b = *txn->CreateNode({});
+    rel = *txn->CreateRelationship(a, b, "KNOWS");
+    ASSERT_TRUE(txn->Commit().ok());
+  }
+  {
+    auto txn = db->Begin();
+    ASSERT_TRUE(txn->DeleteRelationship(rel).ok());
+    ASSERT_TRUE(txn->Commit().ok());
+  }
+  auto reader = db->Begin();
+  EXPECT_TRUE(reader->GetRelationship(rel).status().IsNotFound());
+  EXPECT_TRUE(reader->GetRelationships(a)->empty());
+}
+
+TEST(GraphBasic, DeleteNodeRequiresNoRelationships) {
+  auto db = OpenDb();
+  NodeId a, b;
+  RelId rel;
+  {
+    auto txn = db->Begin();
+    a = *txn->CreateNode({});
+    b = *txn->CreateNode({});
+    rel = *txn->CreateRelationship(a, b, "KNOWS");
+    ASSERT_TRUE(txn->Commit().ok());
+  }
+  {
+    auto txn = db->Begin();
+    EXPECT_TRUE(txn->DeleteNode(a).IsFailedPrecondition());
+    ASSERT_TRUE(txn->DeleteRelationship(rel).ok());
+    EXPECT_TRUE(txn->DeleteNode(a).ok());  // Now allowed.
+    ASSERT_TRUE(txn->Commit().ok());
+  }
+  auto reader = db->Begin();
+  EXPECT_TRUE(reader->GetNode(a).status().IsNotFound());
+  EXPECT_TRUE(reader->GetNode(b).ok());
+}
+
+TEST(GraphBasic, AbortRollsBackEverything) {
+  auto db = OpenDb();
+  NodeId keep;
+  {
+    auto txn = db->Begin();
+    keep = *txn->CreateNode({"Keep"}, {{"v", PropertyValue(int64_t{1})}});
+    ASSERT_TRUE(txn->Commit().ok());
+  }
+  {
+    auto txn = db->Begin();
+    auto temp = txn->CreateNode({"Temp"});
+    ASSERT_TRUE(temp.ok());
+    ASSERT_TRUE(txn->SetNodeProperty(keep, "v", PropertyValue(int64_t{2})).ok());
+    ASSERT_TRUE(txn->CreateRelationship(keep, *temp, "R").ok());
+    ASSERT_TRUE(txn->Abort().ok());
+  }
+  auto reader = db->Begin();
+  EXPECT_EQ(reader->GetNodeProperty(keep, "v")->AsInt(), 1);
+  EXPECT_TRUE(reader->GetNodesByLabel("Temp")->empty());
+  EXPECT_TRUE(reader->GetRelationships(keep)->empty());
+}
+
+TEST(GraphBasic, DestructorAborts) {
+  auto db = OpenDb();
+  {
+    auto txn = db->Begin();
+    ASSERT_TRUE(txn->CreateNode({"Ghost"}).ok());
+    // No commit: destructor must roll back.
+  }
+  auto reader = db->Begin();
+  EXPECT_TRUE(reader->GetNodesByLabel("Ghost")->empty());
+  EXPECT_EQ(db->engine().active_txns.ActiveCount(), 1u);  // Only reader.
+}
+
+TEST(GraphBasic, OperationsOnFinishedTxnFail) {
+  auto db = OpenDb();
+  auto txn = db->Begin();
+  ASSERT_TRUE(txn->Commit().ok());
+  EXPECT_TRUE(txn->CreateNode({}).status().IsFailedPrecondition());
+  EXPECT_TRUE(txn->Commit().IsFailedPrecondition());
+  EXPECT_TRUE(txn->Abort().IsFailedPrecondition());
+}
+
+TEST(GraphBasic, LabelScan) {
+  auto db = OpenDb();
+  std::vector<NodeId> people;
+  {
+    auto txn = db->Begin();
+    for (int i = 0; i < 10; ++i) {
+      people.push_back(*txn->CreateNode({"Person"}));
+    }
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_TRUE(txn->CreateNode({"Robot"}).ok());
+    }
+    ASSERT_TRUE(txn->Commit().ok());
+  }
+  auto reader = db->Begin();
+  auto persons = reader->GetNodesByLabel("Person");
+  ASSERT_TRUE(persons.ok());
+  EXPECT_EQ(persons->size(), 10u);
+  EXPECT_EQ(reader->GetNodesByLabel("Robot")->size(), 5u);
+  EXPECT_TRUE(reader->GetNodesByLabel("Unicorn")->empty());
+}
+
+TEST(GraphBasic, PropertyLookupAndRangeScan) {
+  auto db = OpenDb();
+  {
+    auto txn = db->Begin();
+    for (int i = 0; i < 20; ++i) {
+      ASSERT_TRUE(txn->CreateNode({"P"}, {{"age", PropertyValue(int64_t{i})}})
+                      .ok());
+    }
+    ASSERT_TRUE(txn->Commit().ok());
+  }
+  auto reader = db->Begin();
+  EXPECT_EQ(
+      reader->GetNodesByProperty("age", PropertyValue(int64_t{7}))->size(),
+      1u);
+  auto range = reader->GetNodesByPropertyRange(
+      "age", PropertyValue(int64_t{5}), PropertyValue(int64_t{9}));
+  ASSERT_TRUE(range.ok());
+  EXPECT_EQ(range->size(), 5u);
+  auto open_low = reader->GetNodesByPropertyRange("age", std::nullopt,
+                                                  PropertyValue(int64_t{3}));
+  ASSERT_TRUE(open_low.ok());
+  EXPECT_EQ(open_low->size(), 4u);  // 0,1,2,3
+}
+
+TEST(GraphBasic, AllNodes) {
+  auto db = OpenDb();
+  {
+    auto txn = db->Begin();
+    for (int i = 0; i < 7; ++i) ASSERT_TRUE(txn->CreateNode({}).ok());
+    ASSERT_TRUE(txn->Commit().ok());
+  }
+  auto reader = db->Begin();
+  EXPECT_EQ(reader->AllNodes()->size(), 7u);
+}
+
+TEST(GraphBasic, RelPropertyIndex) {
+  auto db = OpenDb();
+  {
+    auto txn = db->Begin();
+    NodeId a = *txn->CreateNode({});
+    NodeId b = *txn->CreateNode({});
+    ASSERT_TRUE(txn->CreateRelationship(
+                        a, b, "EDGE", {{"weight", PropertyValue(int64_t{10})}})
+                    .ok());
+    ASSERT_TRUE(txn->CreateRelationship(
+                        b, a, "EDGE", {{"weight", PropertyValue(int64_t{20})}})
+                    .ok());
+    ASSERT_TRUE(txn->Commit().ok());
+  }
+  auto reader = db->Begin();
+  EXPECT_EQ(
+      reader->GetRelsByProperty("weight", PropertyValue(int64_t{10}))->size(),
+      1u);
+}
+
+TEST(GraphBasic, CreatedAndDeletedInSameTxnLeavesNoTrace) {
+  auto db = OpenDb();
+  auto txn = db->Begin();
+  NodeId n = *txn->CreateNode({"Fleeting"});
+  ASSERT_TRUE(txn->DeleteNode(n).ok());
+  ASSERT_TRUE(txn->Commit().ok());
+
+  auto reader = db->Begin();
+  EXPECT_TRUE(reader->GetNode(n).status().IsNotFound());
+  EXPECT_TRUE(reader->GetNodesByLabel("Fleeting")->empty());
+  // The record id was recycled: no tombstone lingers in the store.
+  EXPECT_FALSE(db->engine().store.NodeInUse(n));
+}
+
+}  // namespace
+}  // namespace neosi

@@ -1,0 +1,327 @@
+// Edge cases and odd corners of the public API.
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_database.h"
+#include "graph/traversal.h"
+
+namespace neosi {
+namespace {
+
+std::unique_ptr<GraphDatabase> OpenDb() {
+  DatabaseOptions options;
+  options.in_memory = true;
+  return std::move(*GraphDatabase::Open(options));
+}
+
+TEST(EdgeCases, EmptyDatabaseScans) {
+  auto db = OpenDb();
+  auto txn = db->Begin();
+  EXPECT_TRUE(txn->AllNodes()->empty());
+  EXPECT_TRUE(txn->GetNodesByLabel("Anything")->empty());
+  EXPECT_TRUE(
+      txn->GetNodesByProperty("k", PropertyValue(int64_t{1}))->empty());
+  EXPECT_TRUE(txn->GetRelationships(0).status().IsNotFound());
+  GcStats gc = db->RunGc();
+  EXPECT_EQ(gc.versions_pruned, 0u);
+  VacuumStats vac = db->RunVacuum();
+  EXPECT_EQ(vac.records_scanned, 0u);
+}
+
+TEST(EdgeCases, NodeWithNoLabelsAndNoProps) {
+  auto db = OpenDb();
+  auto txn = db->Begin();
+  NodeId id = *txn->CreateNode({});
+  ASSERT_TRUE(txn->Commit().ok());
+  auto view = db->Begin()->GetNode(id);
+  ASSERT_TRUE(view.ok());
+  EXPECT_TRUE(view->labels.empty());
+  EXPECT_TRUE(view->props.empty());
+}
+
+TEST(EdgeCases, ManyLabelsSpillToOverflow) {
+  auto db = OpenDb();
+  auto txn = db->Begin();
+  std::vector<std::string> labels;
+  for (int i = 0; i < 30; ++i) labels.push_back("Label" + std::to_string(i));
+  NodeId id = *txn->CreateNode(labels);
+  ASSERT_TRUE(txn->Commit().ok());
+  auto view = db->Begin()->GetNode(id);
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(view->labels.size(), 30u);
+  // Every label's index finds the node.
+  auto reader = db->Begin();
+  for (const auto& label : labels) {
+    EXPECT_EQ(reader->GetNodesByLabel(label)->size(), 1u) << label;
+  }
+}
+
+TEST(EdgeCases, DuplicateLabelsCollapse) {
+  auto db = OpenDb();
+  auto txn = db->Begin();
+  NodeId id = *txn->CreateNode({"Dup", "Dup", "Dup"});
+  ASSERT_TRUE(txn->Commit().ok());
+  auto view = db->Begin()->GetNode(id);
+  EXPECT_EQ(view->labels.size(), 1u);
+  EXPECT_EQ(db->Begin()->GetNodesByLabel("Dup")->size(), 1u);
+}
+
+TEST(EdgeCases, HugePropertyValues) {
+  auto db = OpenDb();
+  const std::string huge(100000, 'q');
+  NodeId id;
+  {
+    auto txn = db->Begin();
+    id = *txn->CreateNode({}, {{"blob", PropertyValue(huge)}});
+    ASSERT_TRUE(txn->Commit().ok());
+  }
+  auto got = db->Begin()->GetNodeProperty(id, "blob");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->AsString(), huge);
+}
+
+TEST(EdgeCases, AllValueKindsRoundTripThroughEngine) {
+  auto db = OpenDb();
+  NodeId id;
+  {
+    auto txn = db->Begin();
+    id = *txn->CreateNode({}, {{"null", PropertyValue()},
+                               {"bool", PropertyValue(true)},
+                               {"int", PropertyValue(int64_t{-42})},
+                               {"double", PropertyValue(2.5)},
+                               {"string", PropertyValue("text")}});
+    ASSERT_TRUE(txn->Commit().ok());
+  }
+  auto view = db->Begin()->GetNode(id);
+  ASSERT_TRUE(view.ok());
+  EXPECT_TRUE(view->props.at("null").is_null());
+  EXPECT_EQ(view->props.at("bool").AsBool(), true);
+  EXPECT_EQ(view->props.at("int").AsInt(), -42);
+  EXPECT_DOUBLE_EQ(view->props.at("double").AsDouble(), 2.5);
+  EXPECT_EQ(view->props.at("string").AsString(), "text");
+}
+
+TEST(EdgeCases, ParallelEdgesBetweenSamePair) {
+  auto db = OpenDb();
+  NodeId a, b;
+  {
+    auto txn = db->Begin();
+    a = *txn->CreateNode({});
+    b = *txn->CreateNode({});
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_TRUE(txn->CreateRelationship(a, b, "E").ok());
+    }
+    ASSERT_TRUE(txn->Commit().ok());
+  }
+  auto reader = db->Begin();
+  EXPECT_EQ(reader->GetRelationships(a, Direction::kOutgoing)->size(), 5u);
+  EXPECT_EQ(reader->GetNeighbors(a)->size(), 5u);  // Duplicates allowed.
+  EXPECT_EQ(*reader->Degree(a), 5u);
+}
+
+TEST(EdgeCases, SelfLoopWithParallelNormalEdges) {
+  auto db = OpenDb();
+  NodeId a, b;
+  {
+    auto txn = db->Begin();
+    a = *txn->CreateNode({});
+    b = *txn->CreateNode({});
+    ASSERT_TRUE(txn->CreateRelationship(a, a, "SELF").ok());
+    ASSERT_TRUE(txn->CreateRelationship(a, b, "OUT").ok());
+    ASSERT_TRUE(txn->CreateRelationship(b, a, "IN").ok());
+    ASSERT_TRUE(txn->Commit().ok());
+  }
+  auto reader = db->Begin();
+  EXPECT_EQ(reader->GetRelationships(a, Direction::kBoth)->size(), 3u);
+  EXPECT_EQ(reader->GetRelationships(a, Direction::kOutgoing)->size(), 2u);
+  EXPECT_EQ(reader->GetRelationships(a, Direction::kIncoming)->size(), 2u);
+}
+
+TEST(EdgeCases, RelationshipToSelfCreatedNodeInSameTxn) {
+  auto db = OpenDb();
+  auto txn = db->Begin();
+  NodeId a = *txn->CreateNode({});
+  NodeId b = *txn->CreateNode({});
+  auto rel = txn->CreateRelationship(a, b, "E");
+  ASSERT_TRUE(rel.ok()) << rel.status();
+  ASSERT_TRUE(txn->Commit().ok());
+  EXPECT_EQ(db->Begin()->GetRelationships(a)->size(), 1u);
+}
+
+TEST(EdgeCases, CreateRelationshipToMissingNodeFails) {
+  auto db = OpenDb();
+  auto txn = db->Begin();
+  NodeId a = *txn->CreateNode({});
+  EXPECT_TRUE(txn->CreateRelationship(a, 999, "E").status().IsNotFound());
+  EXPECT_TRUE(txn->CreateRelationship(998, a, "E").status().IsNotFound());
+}
+
+TEST(EdgeCases, RemoveMissingPropertyAndLabelAreNoOps) {
+  auto db = OpenDb();
+  auto txn = db->Begin();
+  NodeId id = *txn->CreateNode({});
+  EXPECT_TRUE(txn->RemoveNodeProperty(id, "missing").ok());
+  EXPECT_TRUE(txn->RemoveLabel(id, "Missing").ok());
+  EXPECT_TRUE(txn->Commit().ok());
+}
+
+TEST(EdgeCases, SetSamePropertyValueIsNoOpWrite) {
+  auto db = OpenDb();
+  NodeId id;
+  {
+    auto txn = db->Begin();
+    id = *txn->CreateNode({}, {{"v", PropertyValue(int64_t{5})}});
+    ASSERT_TRUE(txn->Commit().ok());
+  }
+  auto txn = db->Begin();
+  // First set creates the pending version...
+  ASSERT_TRUE(txn->SetNodeProperty(id, "v", PropertyValue(int64_t{5})).ok());
+  ASSERT_TRUE(txn->Commit().ok());
+  // ...but the value is unchanged and the index holds a single entry.
+  EXPECT_EQ(db->engine().node_prop_index.Stats().entries_total, 1u);
+}
+
+TEST(EdgeCases, PropertyUpdateMovesIndexEntry) {
+  auto db = OpenDb();
+  NodeId id;
+  {
+    auto txn = db->Begin();
+    id = *txn->CreateNode({}, {{"v", PropertyValue(int64_t{1})}});
+    ASSERT_TRUE(txn->Commit().ok());
+  }
+  {
+    auto txn = db->Begin();
+    ASSERT_TRUE(txn->SetNodeProperty(id, "v", PropertyValue(int64_t{2})).ok());
+    ASSERT_TRUE(txn->Commit().ok());
+  }
+  auto reader = db->Begin();
+  EXPECT_TRUE(reader->GetNodesByProperty("v", PropertyValue(int64_t{1}))
+                  ->empty());
+  EXPECT_EQ(
+      reader->GetNodesByProperty("v", PropertyValue(int64_t{2}))->size(), 1u);
+}
+
+TEST(EdgeCases, PropertyValueKindChangeIsIndexedCorrectly) {
+  auto db = OpenDb();
+  NodeId id;
+  {
+    auto txn = db->Begin();
+    id = *txn->CreateNode({}, {{"v", PropertyValue(int64_t{1})}});
+    ASSERT_TRUE(txn->Commit().ok());
+  }
+  {
+    auto txn = db->Begin();
+    ASSERT_TRUE(txn->SetNodeProperty(id, "v", PropertyValue("one")).ok());
+    ASSERT_TRUE(txn->Commit().ok());
+  }
+  auto reader = db->Begin();
+  EXPECT_TRUE(
+      reader->GetNodesByProperty("v", PropertyValue(int64_t{1}))->empty());
+  EXPECT_EQ(reader->GetNodesByProperty("v", PropertyValue("one"))->size(),
+            1u);
+}
+
+TEST(EdgeCases, AbortedTokenRemainsUsable) {
+  // Tokens are never rolled back (Neo4j semantics): a label created by an
+  // aborted transaction still exists and is usable later.
+  auto db = OpenDb();
+  {
+    auto txn = db->Begin();
+    ASSERT_TRUE(txn->CreateNode({"Phoenix"}).ok());
+    ASSERT_TRUE(txn->Abort().ok());
+  }
+  EXPECT_TRUE(db->engine().store.labels().Lookup("Phoenix").ok());
+  {
+    auto txn = db->Begin();
+    ASSERT_TRUE(txn->CreateNode({"Phoenix"}).ok());
+    ASSERT_TRUE(txn->Commit().ok());
+  }
+  EXPECT_EQ(db->Begin()->GetNodesByLabel("Phoenix")->size(), 1u);
+}
+
+TEST(EdgeCases, DeleteNodeThenRecreateRecyclesId) {
+  auto db = OpenDb();
+  NodeId id;
+  {
+    auto txn = db->Begin();
+    id = *txn->CreateNode({"Old"}, {{"gen", PropertyValue(int64_t{1})}});
+    ASSERT_TRUE(txn->Commit().ok());
+  }
+  {
+    auto txn = db->Begin();
+    ASSERT_TRUE(txn->DeleteNode(id).ok());
+    ASSERT_TRUE(txn->Commit().ok());
+  }
+  db->RunGc();
+  NodeId recycled;
+  {
+    auto txn = db->Begin();
+    recycled = *txn->CreateNode({"New"}, {{"gen", PropertyValue(int64_t{2})}});
+    ASSERT_TRUE(txn->Commit().ok());
+  }
+  EXPECT_EQ(recycled, id);
+  auto view = db->Begin()->GetNode(recycled);
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(view->labels, (std::vector<std::string>{"New"}));
+  EXPECT_EQ(view->props.at("gen").AsInt(), 2);
+  // No leakage from the previous occupant.
+  EXPECT_TRUE(db->Begin()->GetNodesByLabel("Old")->empty());
+}
+
+TEST(EdgeCases, LargeTransaction) {
+  auto db = OpenDb();
+  auto txn = db->Begin();
+  NodeId prev = *txn->CreateNode({"Chain"});
+  for (int i = 1; i < 3000; ++i) {
+    NodeId next = *txn->CreateNode({"Chain"});
+    ASSERT_TRUE(txn->CreateRelationship(prev, next, "NEXT").ok());
+    prev = next;
+  }
+  ASSERT_TRUE(txn->Commit().ok());
+  auto reader = db->Begin();
+  EXPECT_EQ(reader->GetNodesByLabel("Chain")->size(), 3000u);
+  // The chain is fully traversable.
+  auto chain_nodes = reader->GetNodesByLabel("Chain");
+  auto size = traversal::ComponentSize(*reader, (*chain_nodes)[0]);
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(*size, 3000u);
+}
+
+TEST(EdgeCases, EmptyStringAndUnicodePropertyValues) {
+  auto db = OpenDb();
+  NodeId id;
+  {
+    auto txn = db->Begin();
+    id = *txn->CreateNode({}, {{"empty", PropertyValue("")},
+                               {"utf8", PropertyValue("héllo wörld ✓")}});
+    ASSERT_TRUE(txn->Commit().ok());
+  }
+  auto view = db->Begin()->GetNode(id);
+  EXPECT_EQ(view->props.at("empty").AsString(), "");
+  EXPECT_EQ(view->props.at("utf8").AsString(), "héllo wörld ✓");
+}
+
+TEST(EdgeCases, DegreeByDirection) {
+  auto db = OpenDb();
+  NodeId hub;
+  {
+    auto txn = db->Begin();
+    hub = *txn->CreateNode({});
+    for (int i = 0; i < 3; ++i) {
+      NodeId n = *txn->CreateNode({});
+      ASSERT_TRUE(txn->CreateRelationship(hub, n, "OUT").ok());
+    }
+    for (int i = 0; i < 2; ++i) {
+      NodeId n = *txn->CreateNode({});
+      ASSERT_TRUE(txn->CreateRelationship(n, hub, "IN").ok());
+    }
+    ASSERT_TRUE(txn->Commit().ok());
+  }
+  auto reader = db->Begin();
+  EXPECT_EQ(*reader->Degree(hub, Direction::kOutgoing), 3u);
+  EXPECT_EQ(*reader->Degree(hub, Direction::kIncoming), 2u);
+  EXPECT_EQ(*reader->Degree(hub, Direction::kBoth), 5u);
+}
+
+}  // namespace
+}  // namespace neosi

@@ -1,0 +1,129 @@
+// Background GC daemon.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "graph/graph_database.h"
+
+namespace neosi {
+namespace {
+
+TEST(GcDaemon, CollectsInBackground) {
+  DatabaseOptions options;
+  options.in_memory = true;
+  options.gc_every_n_commits = 0;          // No foreground GC.
+  options.background_gc_interval_ms = 5;   // Fast daemon.
+  auto db = std::move(*GraphDatabase::Open(options));
+  ASSERT_NE(db->gc_daemon(), nullptr);
+  EXPECT_TRUE(db->gc_daemon()->running());
+
+  NodeId id;
+  {
+    auto txn = db->Begin();
+    id = *txn->CreateNode({}, {{"v", PropertyValue(int64_t{0})}});
+    ASSERT_TRUE(txn->Commit().ok());
+  }
+  for (int i = 1; i <= 50; ++i) {
+    auto txn = db->Begin();
+    ASSERT_TRUE(txn->SetNodeProperty(id, "v", PropertyValue(int64_t{i})).ok());
+    ASSERT_TRUE(txn->Commit().ok());
+  }
+  // The daemon reclaims the superseded versions without any explicit call.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (db->engine().gc_list.size() > 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(db->engine().gc_list.size(), 0u);
+  EXPECT_GT(db->gc_daemon()->passes(), 0u);
+  EXPECT_GE(db->gc_daemon()->versions_pruned(), 50u);
+  auto node = db->engine().cache->PeekNode(id);
+  ASSERT_NE(node, nullptr);
+  EXPECT_EQ(node->chain.Length(), 1u);
+}
+
+TEST(GcDaemon, NudgeTriggersImmediatePass) {
+  DatabaseOptions options;
+  options.in_memory = true;
+  options.gc_every_n_commits = 0;
+  options.background_gc_interval_ms = 60000;  // Effectively never on its own.
+  auto db = std::move(*GraphDatabase::Open(options));
+  NodeId id;
+  {
+    auto txn = db->Begin();
+    id = *txn->CreateNode({}, {{"v", PropertyValue(int64_t{0})}});
+    ASSERT_TRUE(txn->Commit().ok());
+  }
+  {
+    auto txn = db->Begin();
+    ASSERT_TRUE(txn->SetNodeProperty(id, "v", PropertyValue(int64_t{1})).ok());
+    ASSERT_TRUE(txn->Commit().ok());
+  }
+  ASSERT_EQ(db->engine().gc_list.size(), 1u);
+  db->gc_daemon()->Nudge();
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (db->engine().gc_list.size() > 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_EQ(db->engine().gc_list.size(), 0u);
+}
+
+TEST(GcDaemon, StopIsIdempotentAndDestructorSafe) {
+  DatabaseOptions options;
+  options.in_memory = true;
+  options.background_gc_interval_ms = 5;
+  auto db = std::move(*GraphDatabase::Open(options));
+  db->gc_daemon()->Stop();
+  db->gc_daemon()->Stop();
+  EXPECT_FALSE(db->gc_daemon()->running());
+  db->gc_daemon()->Start();
+  EXPECT_TRUE(db->gc_daemon()->running());
+  // Destructor stops it again.
+}
+
+TEST(GcDaemon, OffByDefault) {
+  DatabaseOptions options;
+  options.in_memory = true;
+  auto db = std::move(*GraphDatabase::Open(options));
+  EXPECT_EQ(db->gc_daemon(), nullptr);
+}
+
+TEST(GcDaemon, SafeUnderConcurrentLoad) {
+  DatabaseOptions options;
+  options.in_memory = true;
+  options.gc_every_n_commits = 0;
+  options.background_gc_interval_ms = 1;  // Aggressive.
+  auto db = std::move(*GraphDatabase::Open(options));
+  std::vector<NodeId> nodes;
+  {
+    auto txn = db->Begin();
+    for (int i = 0; i < 8; ++i) {
+      nodes.push_back(
+          *txn->CreateNode({}, {{"v", PropertyValue(int64_t{0})}}));
+    }
+    ASSERT_TRUE(txn->Commit().ok());
+  }
+  std::atomic<int> failures{0};
+  std::vector<std::thread> workers;
+  for (int w = 0; w < 4; ++w) {
+    workers.emplace_back([&, w] {
+      for (int i = 0; i < 300; ++i) {
+        auto txn = db->Begin();
+        Status s = txn->SetNodeProperty(nodes[(w * 300 + i) % nodes.size()],
+                                        "v", PropertyValue(int64_t{i}));
+        if (s.ok()) s = txn->Commit();
+        if (!s.ok() && !s.IsRetryable()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : workers) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+}  // namespace
+}  // namespace neosi

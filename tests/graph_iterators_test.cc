@@ -1,0 +1,138 @@
+// Cursor-style iterator API.
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_database.h"
+#include "graph/iterators.h"
+
+namespace neosi {
+namespace {
+
+class IteratorsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    DatabaseOptions options;
+    options.in_memory = true;
+    db_ = std::move(*GraphDatabase::Open(options));
+    auto txn = db_->Begin();
+    for (int i = 0; i < 10; ++i) {
+      people_.push_back(*txn->CreateNode(
+          {"Person"}, {{"age", PropertyValue(static_cast<int64_t>(20 + i))}}));
+    }
+    hub_ = *txn->CreateNode({"Hub"});
+    for (int i = 0; i < 5; ++i) {
+      rels_.push_back(*txn->CreateRelationship(
+          hub_, people_[i], "OWNS",
+          {{"w", PropertyValue(static_cast<int64_t>(i))}}));
+    }
+    ASSERT_TRUE(txn->Commit().ok());
+  }
+
+  std::unique_ptr<GraphDatabase> db_;
+  std::vector<NodeId> people_;
+  std::vector<RelId> rels_;
+  NodeId hub_ = kInvalidNodeId;
+};
+
+TEST_F(IteratorsTest, AllNodesIteration) {
+  auto txn = db_->Begin();
+  auto it = NodeIterator::All(*txn);
+  EXPECT_TRUE(it.status().ok());
+  size_t count = 0;
+  NodeId prev = 0;
+  for (; it.Valid(); it.Next()) {
+    if (count > 0) {
+      EXPECT_GT(it.id(), prev);
+    }
+    prev = it.id();
+    ++count;
+  }
+  EXPECT_EQ(count, 11u);
+  EXPECT_EQ(it.size(), 11u);
+}
+
+TEST_F(IteratorsTest, ByLabelWithViews) {
+  auto txn = db_->Begin();
+  auto it = NodeIterator::ByLabel(*txn, "Person");
+  size_t count = 0;
+  for (; it.Valid(); it.Next()) {
+    auto view = it.Get();
+    ASSERT_TRUE(view.ok());
+    EXPECT_EQ(view->labels, (std::vector<std::string>{"Person"}));
+    EXPECT_GE(view->props.at("age").AsInt(), 20);
+    ++count;
+  }
+  EXPECT_EQ(count, 10u);
+}
+
+TEST_F(IteratorsTest, ByPropertyAndRange) {
+  auto txn = db_->Begin();
+  auto exact =
+      NodeIterator::ByProperty(*txn, "age", PropertyValue(int64_t{25}));
+  EXPECT_EQ(exact.size(), 1u);
+  auto range = NodeIterator::ByPropertyRange(
+      *txn, "age", PropertyValue(int64_t{22}), PropertyValue(int64_t{26}));
+  EXPECT_EQ(range.size(), 5u);
+  auto none =
+      NodeIterator::ByProperty(*txn, "nope", PropertyValue(int64_t{0}));
+  EXPECT_TRUE(none.status().ok());
+  EXPECT_FALSE(none.Valid());
+}
+
+TEST_F(IteratorsTest, RelationshipsOfNode) {
+  auto txn = db_->Begin();
+  auto it = RelationshipIterator::Of(*txn, hub_, Direction::kOutgoing);
+  size_t count = 0;
+  for (; it.Valid(); it.Next()) {
+    auto view = it.Get();
+    ASSERT_TRUE(view.ok());
+    EXPECT_EQ(view->src, hub_);
+    EXPECT_EQ(view->type, "OWNS");
+    ++count;
+  }
+  EXPECT_EQ(count, 5u);
+  auto typed = RelationshipIterator::Of(*txn, hub_, Direction::kBoth,
+                                        std::string("MISSING"));
+  EXPECT_FALSE(typed.Valid());
+}
+
+TEST_F(IteratorsTest, RelationshipsByProperty) {
+  auto txn = db_->Begin();
+  auto it =
+      RelationshipIterator::ByProperty(*txn, "w", PropertyValue(int64_t{3}));
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(it.id(), rels_[3]);
+  it.Next();
+  EXPECT_FALSE(it.Valid());
+}
+
+TEST_F(IteratorsTest, IteratorHonoursSnapshot) {
+  auto reader = db_->Begin(IsolationLevel::kSnapshotIsolation);
+  // Pin the snapshot, then commit a new Person.
+  EXPECT_EQ(NodeIterator::ByLabel(*reader, "Person").size(), 10u);
+  {
+    auto writer = db_->Begin();
+    ASSERT_TRUE(writer->CreateNode({"Person"}).ok());
+    ASSERT_TRUE(writer->Commit().ok());
+  }
+  EXPECT_EQ(NodeIterator::ByLabel(*reader, "Person").size(), 10u);
+  auto fresh = db_->Begin();
+  EXPECT_EQ(NodeIterator::ByLabel(*fresh, "Person").size(), 11u);
+}
+
+TEST_F(IteratorsTest, IteratorSeesOwnWrites) {
+  auto txn = db_->Begin();
+  ASSERT_TRUE(txn->CreateNode({"Person"}).ok());
+  EXPECT_EQ(NodeIterator::ByLabel(*txn, "Person").size(), 11u);
+}
+
+TEST_F(IteratorsTest, InvalidAfterExhaustion) {
+  auto txn = db_->Begin();
+  auto it = NodeIterator::ByLabel(*txn, "Hub");
+  ASSERT_TRUE(it.Valid());
+  it.Next();
+  EXPECT_FALSE(it.Valid());
+}
+
+}  // namespace
+}  // namespace neosi

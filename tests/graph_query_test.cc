@@ -1,0 +1,210 @@
+// Declarative pattern-matching queries.
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_database.h"
+#include "graph/query.h"
+
+namespace neosi {
+namespace {
+
+class QueryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    DatabaseOptions options;
+    options.in_memory = true;
+    db_ = std::move(*GraphDatabase::Open(options));
+    auto txn = db_->Begin();
+    // People with ages, companies, employment and friendship edges.
+    auto person = [&](const char* name, int64_t age) {
+      return *txn->CreateNode({"Person"}, {{"name", PropertyValue(name)},
+                                           {"age", PropertyValue(age)}});
+    };
+    alice_ = person("alice", 34);
+    bob_ = person("bob", 29);
+    carol_ = person("carol", 41);
+    dave_ = person("dave", 25);
+    acme_ = *txn->CreateNode({"Company"}, {{"name", PropertyValue("acme")}});
+    globex_ =
+        *txn->CreateNode({"Company"}, {{"name", PropertyValue("globex")}});
+    (void)*txn->CreateRelationship(alice_, acme_, "WORKS_AT");
+    (void)*txn->CreateRelationship(bob_, acme_, "WORKS_AT");
+    (void)*txn->CreateRelationship(carol_, globex_, "WORKS_AT");
+    (void)*txn->CreateRelationship(alice_, bob_, "KNOWS");
+    (void)*txn->CreateRelationship(bob_, carol_, "KNOWS");
+    (void)*txn->CreateRelationship(carol_, dave_, "KNOWS");
+    ASSERT_TRUE(txn->Commit().ok());
+  }
+
+  std::unique_ptr<GraphDatabase> db_;
+  NodeId alice_, bob_, carol_, dave_, acme_, globex_;
+};
+
+TEST_F(QueryTest, MatchByLabel) {
+  auto txn = db_->Begin();
+  auto rows = Query::Match(NodePattern("Person")).Execute(*txn);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 4u);
+  auto companies = Query::Match(NodePattern("Company")).Execute(*txn);
+  EXPECT_EQ(companies->size(), 2u);
+}
+
+TEST_F(QueryTest, MatchWithFilters) {
+  auto txn = db_->Begin();
+  auto over30 = Query::Match(NodePattern("Person").Where(
+                                 Filter::Gt("age", PropertyValue(int64_t{30}))))
+                    .Execute(*txn);
+  ASSERT_TRUE(over30.ok());
+  EXPECT_EQ(over30->size(), 2u);  // alice (34), carol (41).
+
+  auto exact = Query::Match(NodePattern("Person").Where(
+                                Filter::Eq("name", PropertyValue("bob"))))
+                   .Execute(*txn);
+  ASSERT_TRUE(exact.ok());
+  ASSERT_EQ(exact->size(), 1u);
+  EXPECT_EQ((*exact)[0][0], bob_);
+
+  auto between =
+      Query::Match(NodePattern("Person").Where(Filter::Between(
+                       "age", PropertyValue(int64_t{26}),
+                       PropertyValue(int64_t{35}))))
+          .Execute(*txn);
+  EXPECT_EQ(between->size(), 2u);  // alice, bob.
+
+  auto has_age =
+      Query::Match(NodePattern("Company").Where(Filter::Exists("age")))
+          .Execute(*txn);
+  EXPECT_TRUE(has_age->empty());
+}
+
+TEST_F(QueryTest, SingleExpansion) {
+  auto txn = db_->Begin();
+  // MATCH (p:Person)-[:WORKS_AT]->(c:Company {name:"acme"}) RETURN p,c
+  auto rows =
+      Query::Match(NodePattern("Person"))
+          .Expand(Expansion("WORKS_AT", Direction::kOutgoing,
+                            NodePattern("Company").Where(
+                                Filter::Eq("name", PropertyValue("acme")))))
+          .Execute(*txn);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 2u);  // alice and bob.
+  for (const QueryRow& row : *rows) {
+    ASSERT_EQ(row.size(), 2u);
+    EXPECT_EQ(row[1], acme_);
+  }
+}
+
+TEST_F(QueryTest, MultiHopChain) {
+  auto txn = db_->Begin();
+  // MATCH (a)-[:KNOWS]->(b)-[:KNOWS]->(c): alice->bob->carol, bob->carol->dave
+  auto rows = Query::Match(NodePattern("Person"))
+                  .Expand(Expansion("KNOWS", Direction::kOutgoing,
+                                    NodePattern("Person")))
+                  .Expand(Expansion("KNOWS", Direction::kOutgoing,
+                                    NodePattern("Person")))
+                  .Execute(*txn);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 2u);
+}
+
+TEST_F(QueryTest, IncomingDirection) {
+  auto txn = db_->Begin();
+  // Who is known BY someone? (incoming KNOWS)
+  auto rows = Query::Match(NodePattern("Person").Where(
+                               Filter::Eq("name", PropertyValue("carol"))))
+                  .Expand(Expansion("KNOWS", Direction::kIncoming,
+                                    NodePattern("Person")))
+                  .Execute(*txn);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0][1], bob_);
+}
+
+TEST_F(QueryTest, EndpointsDeduplicated) {
+  auto txn = db_->Begin();
+  // Colleagues of anyone at acme (the company node, from two employees).
+  auto endpoints = Query::Match(NodePattern("Person"))
+                       .Expand(Expansion("WORKS_AT", Direction::kOutgoing,
+                                         NodePattern("Company")))
+                       .ExecuteEndpoints(*txn);
+  ASSERT_TRUE(endpoints.ok());
+  EXPECT_EQ(endpoints->size(), 2u);  // acme, globex (deduped).
+}
+
+TEST_F(QueryTest, LimitCapsRows) {
+  auto txn = db_->Begin();
+  auto rows = Query::Match(NodePattern("Person")).Limit(2).Execute(*txn);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 2u);
+}
+
+TEST_F(QueryTest, NoRevisitByDefault) {
+  auto txn = db_->Begin();
+  // alice->bob->alice would revisit; KNOWS is directed alice->bob only, so
+  // use kBoth to make the bounce possible.
+  auto rows = Query::Match(NodePattern("Person").Where(
+                               Filter::Eq("name", PropertyValue("alice"))))
+                  .Expand(Expansion("KNOWS", Direction::kBoth,
+                                    NodePattern("Person")))
+                  .Expand(Expansion("KNOWS", Direction::kBoth,
+                                    NodePattern("Person")))
+                  .Execute(*txn);
+  ASSERT_TRUE(rows.ok());
+  // alice-KNOWS-bob-KNOWS-carol only (bounce back to alice suppressed).
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0][2], carol_);
+
+  auto with_revisit =
+      Query::Match(NodePattern("Person").Where(
+                       Filter::Eq("name", PropertyValue("alice"))))
+          .Expand(Expansion("KNOWS", Direction::kBoth, NodePattern("Person")))
+          .Expand(Expansion("KNOWS", Direction::kBoth, NodePattern("Person")))
+          .AllowRevisit(true)
+          .Execute(*txn);
+  EXPECT_EQ(with_revisit->size(), 2u);  // + alice-bob-alice.
+}
+
+TEST_F(QueryTest, QueryInsideSnapshotIsStable) {
+  auto reader = db_->Begin(IsolationLevel::kSnapshotIsolation);
+  auto query = Query::Match(NodePattern("Person").Where(
+                                Filter::Ge("age", PropertyValue(int64_t{30}))))
+                   .Expand(Expansion("WORKS_AT", Direction::kOutgoing,
+                                     NodePattern("Company")));
+  auto before = query.Execute(*reader);
+  ASSERT_TRUE(before.ok());
+  {
+    auto writer = db_->Begin();
+    NodeId eve = *writer->CreateNode(
+        {"Person"}, {{"name", PropertyValue("eve")},
+                     {"age", PropertyValue(int64_t{50})}});
+    ASSERT_TRUE(writer->CreateRelationship(eve, acme_, "WORKS_AT").ok());
+    ASSERT_TRUE(writer->Commit().ok());
+  }
+  auto after = query.Execute(*reader);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(*after, *before) << "query result changed inside one snapshot";
+
+  auto fresh = db_->Begin();
+  auto latest = query.Execute(*fresh);
+  EXPECT_EQ(latest->size(), before->size() + 1);
+}
+
+TEST_F(QueryTest, QuerySeesOwnWrites) {
+  auto txn = db_->Begin();
+  NodeId eve = *txn->CreateNode({"Person"},
+                                {{"name", PropertyValue("eve")},
+                                 {"age", PropertyValue(int64_t{31})}});
+  ASSERT_TRUE(txn->CreateRelationship(eve, globex_, "WORKS_AT").ok());
+  auto rows =
+      Query::Match(NodePattern("Person").Where(
+                       Filter::Eq("name", PropertyValue("eve"))))
+          .Expand(Expansion("WORKS_AT", Direction::kOutgoing,
+                            NodePattern("Company")))
+          .Execute(*txn);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0][1], globex_);
+}
+
+}  // namespace
+}  // namespace neosi

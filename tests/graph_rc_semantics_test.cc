@@ -1,0 +1,186 @@
+// Read-committed baseline semantics (stock Neo4j, §2): short shared read
+// locks + long exclusive write locks. The paper keeps RC as the point of
+// comparison; these tests pin down exactly what our baseline does.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "graph/graph_database.h"
+
+namespace neosi {
+namespace {
+
+std::unique_ptr<GraphDatabase> OpenDb() {
+  DatabaseOptions options;
+  options.in_memory = true;
+  return std::move(*GraphDatabase::Open(options));
+}
+
+TEST(RcSemantics, ReadsSeeLatestCommitted) {
+  auto db = OpenDb();
+  NodeId id;
+  {
+    auto txn = db->Begin();
+    id = *txn->CreateNode({}, {{"v", PropertyValue(int64_t{1})}});
+    ASSERT_TRUE(txn->Commit().ok());
+  }
+  auto reader = db->Begin(IsolationLevel::kReadCommitted);
+  EXPECT_EQ(reader->GetNodeProperty(id, "v")->AsInt(), 1);
+  for (int i = 2; i <= 4; ++i) {
+    auto writer = db->Begin();
+    ASSERT_TRUE(writer->SetNodeProperty(id, "v", PropertyValue(int64_t{i})).ok());
+    ASSERT_TRUE(writer->Commit().ok());
+    // RC follows the newest committed value immediately.
+    EXPECT_EQ(reader->GetNodeProperty(id, "v")->AsInt(), i);
+  }
+}
+
+TEST(RcSemantics, NeverSeesUncommittedData) {
+  auto db = OpenDb();
+  NodeId id;
+  {
+    auto txn = db->Begin();
+    id = *txn->CreateNode({}, {{"v", PropertyValue(int64_t{1})}});
+    ASSERT_TRUE(txn->Commit().ok());
+  }
+  // Writer holds a dirty value (no commit). Use an SI writer so the RC
+  // reader's short read lock is the only blocking interaction we test.
+  auto writer = db->Begin(IsolationLevel::kSnapshotIsolation);
+  ASSERT_TRUE(writer->SetNodeProperty(id, "v", PropertyValue(int64_t{99})).ok());
+
+  // RC reader with an OLDER txn id would wait on the lock; use wait-die
+  // semantics to observe blocking instead: spawn the reader in a thread and
+  // let the writer commit.
+  std::atomic<int64_t> observed{-1};
+  std::thread reader_thread([&] {
+    // This transaction is younger than `writer`, so wait-die would kill it
+    // rather than block; retry until the read succeeds post-commit.
+    for (;;) {
+      auto reader = db->Begin(IsolationLevel::kReadCommitted);
+      auto v = reader->GetNodeProperty(id, "v");
+      if (v.ok()) {
+        observed.store(v->AsInt());
+        return;
+      }
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  ASSERT_TRUE(writer->Commit().ok());
+  reader_thread.join();
+  // Whatever was observed, it was a committed value: 1 or 99, never torn.
+  EXPECT_TRUE(observed.load() == 1 || observed.load() == 99);
+}
+
+TEST(RcSemantics, OlderReaderBlocksOnWriterUntilCommit) {
+  auto db = OpenDb();
+  NodeId id;
+  {
+    auto txn = db->Begin();
+    id = *txn->CreateNode({}, {{"v", PropertyValue(int64_t{1})}});
+    ASSERT_TRUE(txn->Commit().ok());
+  }
+  // Begin the READER first (older), then the writer (younger): wait-die
+  // lets the older reader wait for the younger writer's long lock.
+  auto reader = db->Begin(IsolationLevel::kReadCommitted);
+  auto writer = db->Begin(IsolationLevel::kSnapshotIsolation);
+  ASSERT_TRUE(writer->SetNodeProperty(id, "v", PropertyValue(int64_t{2})).ok());
+
+  std::atomic<bool> read_done{false};
+  std::atomic<int64_t> observed{-1};
+  std::thread reader_thread([&] {
+    auto v = reader->GetNodeProperty(id, "v");  // Blocks on the write lock.
+    if (v.ok()) observed.store(v->AsInt());
+    read_done.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_FALSE(read_done.load()) << "RC read must block on the write lock";
+  ASSERT_TRUE(writer->Commit().ok());
+  reader_thread.join();
+  EXPECT_EQ(observed.load(), 2) << "after the commit, RC sees the new value";
+}
+
+TEST(RcSemantics, SiReaderDoesNotBlockWhereRcDoes) {
+  auto db = OpenDb();
+  NodeId id;
+  {
+    auto txn = db->Begin();
+    id = *txn->CreateNode({}, {{"v", PropertyValue(int64_t{1})}});
+    ASSERT_TRUE(txn->Commit().ok());
+  }
+  auto si_reader = db->Begin(IsolationLevel::kSnapshotIsolation);
+  auto writer = db->Begin(IsolationLevel::kSnapshotIsolation);
+  ASSERT_TRUE(writer->SetNodeProperty(id, "v", PropertyValue(int64_t{2})).ok());
+  // The exact scenario that blocks the RC reader above completes instantly
+  // under SI (the paper's "avoiding read-write conflicts").
+  auto v = si_reader->GetNodeProperty(id, "v");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->AsInt(), 1);
+  ASSERT_TRUE(writer->Commit().ok());
+}
+
+TEST(RcSemantics, WriteLocksStillExcludeWriters) {
+  // RC writers conflict exactly like SI writers on the long lock (but the
+  // wait ends in proceeding, not an SI timestamp abort).
+  auto db = OpenDb();
+  NodeId id;
+  {
+    auto txn = db->Begin();
+    id = *txn->CreateNode({}, {{"v", PropertyValue(int64_t{0})}});
+    ASSERT_TRUE(txn->Commit().ok());
+  }
+  auto t1 = db->Begin(IsolationLevel::kReadCommitted);
+  ASSERT_TRUE(t1->SetNodeProperty(id, "v", PropertyValue(int64_t{1})).ok());
+
+  std::atomic<bool> t2_done{false};
+  std::thread t2_thread([&] {
+    // t1 is older; t2 (younger) dies under wait-die and retries until t1
+    // commits and releases.
+    for (;;) {
+      auto t2 = db->Begin(IsolationLevel::kReadCommitted);
+      Status s = t2->SetNodeProperty(id, "v", PropertyValue(int64_t{2}));
+      if (s.ok()) {
+        ASSERT_TRUE(t2->Commit().ok());
+        t2_done.store(true);
+        return;
+      }
+      ASSERT_TRUE(s.IsRetryable()) << s;
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(t2_done.load());
+  ASSERT_TRUE(t1->Commit().ok());
+  t2_thread.join();
+  // Last writer wins under RC: no timestamp validation aborts it.
+  auto reader = db->Begin();
+  EXPECT_EQ(reader->GetNodeProperty(id, "v")->AsInt(), 2);
+}
+
+TEST(RcSemantics, RcUpdateAfterConcurrentCommitSucceeds) {
+  // The defining RC-vs-SI write difference: an RC transaction may update an
+  // entity that a concurrent transaction changed since it began (no
+  // first-updater-wins timestamp check).
+  auto db = OpenDb();
+  NodeId id;
+  {
+    auto txn = db->Begin();
+    id = *txn->CreateNode({}, {{"v", PropertyValue(int64_t{0})}});
+    ASSERT_TRUE(txn->Commit().ok());
+  }
+  auto rc = db->Begin(IsolationLevel::kReadCommitted);
+  ASSERT_EQ(rc->GetNodeProperty(id, "v")->AsInt(), 0);
+  {
+    auto other = db->Begin();
+    ASSERT_TRUE(other->SetNodeProperty(id, "v", PropertyValue(int64_t{5})).ok());
+    ASSERT_TRUE(other->Commit().ok());
+  }
+  // SI would abort here; RC happily overwrites.
+  EXPECT_TRUE(rc->SetNodeProperty(id, "v", PropertyValue(int64_t{6})).ok());
+  EXPECT_TRUE(rc->Commit().ok());
+  auto reader = db->Begin();
+  EXPECT_EQ(reader->GetNodeProperty(id, "v")->AsInt(), 6);
+}
+
+}  // namespace
+}  // namespace neosi

@@ -1,0 +1,346 @@
+// Parameterized property sweeps: randomized operation sequences checked
+// against a simple in-memory oracle model, swept over seeds, isolation
+// levels and conflict policies (TEST_P / INSTANTIATE_TEST_SUITE_P).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <map>
+#include <set>
+#include <thread>
+
+#include "common/random.h"
+#include "graph/graph_database.h"
+#include "workload/driver.h"
+
+namespace neosi {
+namespace {
+
+// --------------------------------------------------------------------------
+// Sweep 1: serial equivalence. A single-threaded stream of random
+// transactions (some committed, some aborted) must leave the database in
+// exactly the state of an oracle model that applies only the committed ones.
+// --------------------------------------------------------------------------
+
+struct ModelNode {
+  std::set<std::string> labels;
+  std::map<std::string, int64_t> props;
+};
+
+class SerialEquivalenceSweep
+    : public ::testing::TestWithParam<std::tuple<uint64_t, ConflictPolicy>> {
+};
+
+TEST_P(SerialEquivalenceSweep, CommittedStateMatchesOracle) {
+  const uint64_t seed = std::get<0>(GetParam());
+  const ConflictPolicy policy = std::get<1>(GetParam());
+
+  DatabaseOptions options;
+  options.in_memory = true;
+  options.conflict_policy = policy;
+  options.gc_every_n_commits = 16;  // Exercise GC during the sweep.
+  auto db = std::move(*GraphDatabase::Open(options));
+
+  std::map<NodeId, ModelNode> model;
+  std::vector<NodeId> live;
+  Random rng(seed);
+  const std::vector<std::string> label_pool = {"A", "B", "C"};
+  const std::vector<std::string> key_pool = {"x", "y", "z"};
+
+  for (int round = 0; round < 200; ++round) {
+    auto txn = db->Begin(IsolationLevel::kSnapshotIsolation);
+    // Stage 1..3 random mutations, mirrored into a candidate model.
+    std::map<NodeId, ModelNode> candidate = model;
+    std::vector<NodeId> candidate_live = live;
+    bool ok = true;
+    const int ops = 1 + rng.Uniform(3);
+    for (int op = 0; op < ops && ok; ++op) {
+      const uint64_t kind = rng.Uniform(4);
+      if (kind == 0 || candidate_live.empty()) {
+        const std::string& label = label_pool[rng.Uniform(label_pool.size())];
+        auto id = txn->CreateNode({label});
+        ASSERT_TRUE(id.ok()) << id.status();
+        candidate[*id].labels.insert(label);
+        candidate_live.push_back(*id);
+      } else if (kind == 1) {
+        const NodeId id = candidate_live[rng.Uniform(candidate_live.size())];
+        const std::string& key = key_pool[rng.Uniform(key_pool.size())];
+        const int64_t value = static_cast<int64_t>(rng.Uniform(1000));
+        ASSERT_TRUE(txn->SetNodeProperty(id, key, PropertyValue(value)).ok());
+        candidate[id].props[key] = value;
+      } else if (kind == 2) {
+        const NodeId id = candidate_live[rng.Uniform(candidate_live.size())];
+        const std::string& label = label_pool[rng.Uniform(label_pool.size())];
+        ASSERT_TRUE(txn->AddLabel(id, label).ok());
+        candidate[id].labels.insert(label);
+      } else {
+        const size_t idx = rng.Uniform(candidate_live.size());
+        const NodeId id = candidate_live[idx];
+        Status s = txn->DeleteNode(id);
+        ASSERT_TRUE(s.ok()) << s;
+        candidate.erase(id);
+        candidate_live.erase(candidate_live.begin() + idx);
+      }
+    }
+    // Commit ~70% of rounds; abort the rest.
+    if (rng.Bernoulli(0.7)) {
+      ASSERT_TRUE(txn->Commit().ok());
+      model = std::move(candidate);
+      live = std::move(candidate_live);
+    } else {
+      ASSERT_TRUE(txn->Abort().ok());
+    }
+  }
+
+  // Final state must equal the oracle: same node set, labels, properties.
+  auto reader = db->Begin();
+  auto all = reader->AllNodes();
+  ASSERT_TRUE(all.ok());
+  std::vector<NodeId> expected_ids;
+  for (const auto& [id, node] : model) expected_ids.push_back(id);
+  std::sort(expected_ids.begin(), expected_ids.end());
+  EXPECT_EQ(*all, expected_ids);
+
+  for (const auto& [id, node] : model) {
+    auto view = reader->GetNode(id);
+    ASSERT_TRUE(view.ok()) << "node " << id << ": " << view.status();
+    std::set<std::string> got_labels(view->labels.begin(),
+                                     view->labels.end());
+    EXPECT_EQ(got_labels, node.labels) << "node " << id;
+    ASSERT_EQ(view->props.size(), node.props.size()) << "node " << id;
+    for (const auto& [key, value] : node.props) {
+      ASSERT_TRUE(view->props.count(key));
+      EXPECT_EQ(view->props.at(key).AsInt(), value);
+    }
+    // Index consistency: every label lookup contains the node.
+    for (const std::string& label : node.labels) {
+      auto by_label = reader->GetNodesByLabel(label);
+      ASSERT_TRUE(by_label.ok());
+      EXPECT_TRUE(std::find(by_label->begin(), by_label->end(), id) !=
+                  by_label->end())
+          << "label index lost node " << id << " label " << label;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, SerialEquivalenceSweep,
+    ::testing::Combine(
+        ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u),
+        ::testing::Values(ConflictPolicy::kFirstUpdaterWinsWait,
+                          ConflictPolicy::kFirstUpdaterWinsNoWait,
+                          ConflictPolicy::kFirstCommitterWins)));
+
+// --------------------------------------------------------------------------
+// Sweep 2: snapshot stability under concurrent churn, parameterized by
+// (seed, reader count). Every repeated read inside an SI transaction must
+// be identical.
+// --------------------------------------------------------------------------
+
+class SnapshotStabilitySweep
+    : public ::testing::TestWithParam<std::tuple<uint64_t, int>> {};
+
+TEST_P(SnapshotStabilitySweep, RepeatedReadsIdentical) {
+  const uint64_t seed = std::get<0>(GetParam());
+  const int readers = std::get<1>(GetParam());
+
+  DatabaseOptions options;
+  options.in_memory = true;
+  options.gc_every_n_commits = 8;
+  auto db = std::move(*GraphDatabase::Open(options));
+  std::vector<NodeId> nodes;
+  {
+    auto txn = db->Begin();
+    for (int i = 0; i < 16; ++i) {
+      nodes.push_back(
+          *txn->CreateNode({"S"}, {{"v", PropertyValue(int64_t{0})}}));
+    }
+    ASSERT_TRUE(txn->Commit().ok());
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> violations{0};
+  std::vector<std::thread> threads;
+  for (int r = 0; r < readers; ++r) {
+    threads.emplace_back([&, r] {
+      Random rng(seed * 100 + r);
+      while (!stop.load()) {
+        auto txn = db->Begin(IsolationLevel::kSnapshotIsolation);
+        const NodeId id = nodes[rng.Uniform(nodes.size())];
+        auto v1 = txn->GetNodeProperty(id, "v");
+        auto l1 = txn->GetNodesByLabel("S");
+        if (!v1.ok() || !l1.ok()) continue;
+        for (int i = 0; i < 3; ++i) {
+          auto v2 = txn->GetNodeProperty(id, "v");
+          auto l2 = txn->GetNodesByLabel("S");
+          if (!v2.ok() || v2->AsInt() != v1->AsInt()) violations.fetch_add(1);
+          if (!l2.ok() || *l2 != *l1) violations.fetch_add(1);
+        }
+      }
+    });
+  }
+
+  RunForOps(2, 200, [&](int t, uint64_t op) {
+    Random rng(seed * 7919 + t * 31 + op);
+    auto txn = db->Begin();
+    const NodeId id = nodes[rng.Uniform(nodes.size())];
+    NEOSI_RETURN_IF_ERROR(txn->SetNodeProperty(
+        id, "v", PropertyValue(static_cast<int64_t>(op))));
+    return txn->Commit();
+  });
+  stop.store(true);
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(violations.load(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SnapshotStabilitySweep,
+                         ::testing::Combine(::testing::Values(11u, 22u, 33u),
+                                            ::testing::Values(1, 4)));
+
+// --------------------------------------------------------------------------
+// Sweep 3: crash-recovery equivalence, parameterized by seed and crash
+// point. Commits up to the crash must survive; the crashed transaction must
+// be atomic (all-or-nothing).
+// --------------------------------------------------------------------------
+
+class RecoverySweep
+    : public ::testing::TestWithParam<std::tuple<uint64_t, int>> {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("neosi_sweep_" + std::to_string(std::get<0>(GetParam())) + "_" +
+            std::to_string(std::get<1>(GetParam())));
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  DatabaseOptions DiskOptions() {
+    DatabaseOptions options;
+    options.in_memory = false;
+    options.path = dir_.string();
+    return options;
+  }
+  std::filesystem::path dir_;
+};
+
+TEST_P(RecoverySweep, CommittedSurvivesCrashedIsAtomic) {
+  const uint64_t seed = std::get<0>(GetParam());
+  const int crash_after_ops = std::get<1>(GetParam());
+
+  std::map<NodeId, int64_t> committed_model;
+  std::vector<NodeId> crash_txn_nodes;
+  {
+    auto db = std::move(*GraphDatabase::Open(DiskOptions()));
+    Random rng(seed);
+    for (int round = 0; round < 30; ++round) {
+      auto txn = db->Begin();
+      auto id = txn->CreateNode(
+          {"R"}, {{"v", PropertyValue(static_cast<int64_t>(round))}});
+      ASSERT_TRUE(id.ok());
+      ASSERT_TRUE(txn->Commit().ok());
+      committed_model[*id] = round;
+    }
+    // The crashing transaction writes several nodes; the store apply is cut
+    // short after `crash_after_ops` record writes.
+    db->engine().test_hooks.crash_after_n_store_ops.store(crash_after_ops);
+    auto txn = db->Begin();
+    for (int i = 0; i < 5; ++i) {
+      auto id = txn->CreateNode(
+          {"Crash"}, {{"v", PropertyValue(static_cast<int64_t>(100 + i))}});
+      ASSERT_TRUE(id.ok());
+      crash_txn_nodes.push_back(*id);
+    }
+    Status s = txn->Commit();
+    EXPECT_TRUE(s.IsIOError()) << s;
+  }
+
+  auto db = std::move(*GraphDatabase::Open(DiskOptions()));
+  auto reader = db->Begin();
+  // Every pre-crash commit intact.
+  for (const auto& [id, v] : committed_model) {
+    auto got = reader->GetNodeProperty(id, "v");
+    ASSERT_TRUE(got.ok()) << "node " << id;
+    EXPECT_EQ(got->AsInt(), v);
+  }
+  // The crashed transaction is atomic: ALL its nodes recovered (the WAL
+  // record was durable before the store apply began).
+  auto crash_nodes = reader->GetNodesByLabel("Crash");
+  ASSERT_TRUE(crash_nodes.ok());
+  EXPECT_EQ(crash_nodes->size(), crash_txn_nodes.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, RecoverySweep,
+                         ::testing::Combine(::testing::Values(5u, 6u, 7u),
+                                            ::testing::Values(0, 1, 3)));
+
+// --------------------------------------------------------------------------
+// Sweep 4: GC equivalence — running GC at random points must never change
+// any observable state, across seeds and collector kinds.
+// --------------------------------------------------------------------------
+
+class GcEquivalenceSweep
+    : public ::testing::TestWithParam<std::tuple<uint64_t, bool>> {};
+
+TEST_P(GcEquivalenceSweep, GcNeverChangesObservableState) {
+  const uint64_t seed = std::get<0>(GetParam());
+  const bool use_vacuum = std::get<1>(GetParam());
+
+  DatabaseOptions options;
+  options.in_memory = true;
+  options.gc_every_n_commits = 0;
+  auto db = std::move(*GraphDatabase::Open(options));
+
+  std::map<NodeId, int64_t> model;
+  std::vector<NodeId> live;
+  Random rng(seed);
+  for (int round = 0; round < 150; ++round) {
+    auto txn = db->Begin();
+    const uint64_t kind = rng.Uniform(3);
+    if (kind == 0 || live.empty()) {
+      auto id = txn->CreateNode({}, {{"v", PropertyValue(int64_t{0})}});
+      ASSERT_TRUE(id.ok());
+      ASSERT_TRUE(txn->Commit().ok());
+      model[*id] = 0;
+      live.push_back(*id);
+    } else if (kind == 1) {
+      const NodeId id = live[rng.Uniform(live.size())];
+      const int64_t v = static_cast<int64_t>(rng.Uniform(999));
+      ASSERT_TRUE(txn->SetNodeProperty(id, "v", PropertyValue(v)).ok());
+      ASSERT_TRUE(txn->Commit().ok());
+      model[id] = v;
+    } else {
+      const size_t idx = rng.Uniform(live.size());
+      ASSERT_TRUE(txn->DeleteNode(live[idx]).ok());
+      ASSERT_TRUE(txn->Commit().ok());
+      model.erase(live[idx]);
+      live.erase(live.begin() + idx);
+    }
+    if (round % 10 == 9) {
+      if (use_vacuum) {
+        db->RunVacuum();
+      } else {
+        db->RunGc();
+      }
+      // Model check after every collection.
+      auto reader = db->Begin();
+      auto all = reader->AllNodes();
+      ASSERT_TRUE(all.ok());
+      ASSERT_EQ(all->size(), model.size()) << "round " << round;
+      for (const auto& [id, v] : model) {
+        auto got = reader->GetNodeProperty(id, "v");
+        ASSERT_TRUE(got.ok()) << "node " << id << " round " << round;
+        EXPECT_EQ(got->AsInt(), v);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, GcEquivalenceSweep,
+                         ::testing::Combine(::testing::Values(42u, 43u, 44u,
+                                                              45u),
+                                            ::testing::Bool()));
+
+}  // namespace
+}  // namespace neosi

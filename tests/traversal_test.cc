@@ -1,0 +1,147 @@
+// Traversal utilities over the transactional API.
+
+#include <gtest/gtest.h>
+
+#include "graph/traversal.h"
+#include "graph/graph_database.h"
+
+namespace neosi {
+namespace {
+
+class TraversalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    DatabaseOptions options;
+    options.in_memory = true;
+    db_ = std::move(*GraphDatabase::Open(options));
+    // Path graph 0-1-2-3-4 plus a triangle 0-5-6-0, and an isolate 7.
+    auto txn = db_->Begin();
+    for (int i = 0; i < 8; ++i) n_.push_back(*txn->CreateNode({"V"}));
+    auto edge = [&](int a, int b) {
+      ASSERT_TRUE(txn->CreateRelationship(n_[a], n_[b], "E").ok());
+    };
+    edge(0, 1);
+    edge(1, 2);
+    edge(2, 3);
+    edge(3, 4);
+    edge(0, 5);
+    edge(5, 6);
+    edge(6, 0);
+    ASSERT_TRUE(txn->Commit().ok());
+  }
+
+  std::unique_ptr<GraphDatabase> db_;
+  std::vector<NodeId> n_;
+};
+
+TEST_F(TraversalTest, KHopNeighborhood) {
+  auto txn = db_->Begin();
+  auto one_hop = traversal::KHopNeighborhood(*txn, n_[0], 1);
+  ASSERT_TRUE(one_hop.ok());
+  EXPECT_EQ(one_hop->size(), 3u);  // 1, 5, 6.
+  auto two_hop = traversal::KHopNeighborhood(*txn, n_[0], 2);
+  ASSERT_TRUE(two_hop.ok());
+  EXPECT_EQ(two_hop->size(), 4u);  // + 2.
+  auto all = traversal::KHopNeighborhood(*txn, n_[0], 10);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->size(), 6u);  // Everything but the isolate and self.
+}
+
+TEST_F(TraversalTest, KHopDirectional) {
+  auto txn = db_->Begin();
+  auto out = traversal::KHopNeighborhood(*txn, n_[0], 1,
+                                         Direction::kOutgoing);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->size(), 2u);  // 0->1, 0->5.
+  auto in = traversal::KHopNeighborhood(*txn, n_[0], 1, Direction::kIncoming);
+  ASSERT_TRUE(in.ok());
+  EXPECT_EQ(in->size(), 1u);  // 6->0.
+}
+
+TEST_F(TraversalTest, ShortestPathFindsShortest) {
+  auto txn = db_->Begin();
+  auto path = traversal::ShortestPath(*txn, n_[0], n_[4]);
+  ASSERT_TRUE(path.ok());
+  ASSERT_TRUE(path->has_value());
+  EXPECT_EQ((**path).size(), 5u);  // 0-1-2-3-4.
+  EXPECT_EQ((**path).front(), n_[0]);
+  EXPECT_EQ((**path).back(), n_[4]);
+
+  auto tri = traversal::ShortestPath(*txn, n_[5], n_[6]);
+  ASSERT_TRUE(tri.ok());
+  EXPECT_EQ((**tri).size(), 2u);  // Direct edge.
+}
+
+TEST_F(TraversalTest, ShortestPathToSelf) {
+  auto txn = db_->Begin();
+  auto path = traversal::ShortestPath(*txn, n_[2], n_[2]);
+  ASSERT_TRUE(path.ok());
+  ASSERT_TRUE(path->has_value());
+  EXPECT_EQ((**path).size(), 1u);
+}
+
+TEST_F(TraversalTest, NoPathToIsolate) {
+  auto txn = db_->Begin();
+  auto path = traversal::ShortestPath(*txn, n_[0], n_[7]);
+  ASSERT_TRUE(path.ok());
+  EXPECT_FALSE(path->has_value());
+  auto exists = traversal::PathExists(*txn, n_[0], n_[7]);
+  ASSERT_TRUE(exists.ok());
+  EXPECT_FALSE(*exists);
+}
+
+TEST_F(TraversalTest, MaxDepthBoundsSearch) {
+  auto txn = db_->Begin();
+  auto path = traversal::ShortestPath(*txn, n_[0], n_[4], /*max_depth=*/2);
+  ASSERT_TRUE(path.ok());
+  EXPECT_FALSE(path->has_value());  // Needs 4 hops.
+}
+
+TEST_F(TraversalTest, ComponentSize) {
+  auto txn = db_->Begin();
+  auto size = traversal::ComponentSize(*txn, n_[0]);
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(*size, 7u);  // All but the isolate.
+  auto isolate = traversal::ComponentSize(*txn, n_[7]);
+  ASSERT_TRUE(isolate.ok());
+  EXPECT_EQ(*isolate, 1u);
+}
+
+TEST_F(TraversalTest, TraversalSeesOwnWrites) {
+  auto txn = db_->Begin();
+  // Bridge the isolate inside the transaction.
+  ASSERT_TRUE(txn->CreateRelationship(n_[4], n_[7], "E").ok());
+  auto exists = traversal::PathExists(*txn, n_[0], n_[7]);
+  ASSERT_TRUE(exists.ok());
+  EXPECT_TRUE(*exists);
+  // Another transaction does not see the bridge.
+  auto other = db_->Begin();
+  auto other_exists = traversal::PathExists(*other, n_[0], n_[7]);
+  ASSERT_TRUE(other_exists.ok());
+  EXPECT_FALSE(*other_exists);
+}
+
+TEST_F(TraversalTest, SnapshotTraversalImmuneToConcurrentCut) {
+  auto walker = db_->Begin(IsolationLevel::kSnapshotIsolation);
+  // Force the snapshot before the cut (any read pins nothing; snapshot is
+  // by timestamp).
+  ASSERT_TRUE(traversal::PathExists(*walker, n_[0], n_[4]).ok());
+  {
+    auto vandal = db_->Begin();
+    auto rels = vandal->GetRelationships(n_[2], Direction::kBoth);
+    ASSERT_TRUE(rels.ok());
+    for (RelId r : *rels) ASSERT_TRUE(vandal->DeleteRelationship(r).ok());
+    ASSERT_TRUE(vandal->Commit().ok());
+  }
+  auto still = traversal::PathExists(*walker, n_[0], n_[4]);
+  ASSERT_TRUE(still.ok());
+  EXPECT_TRUE(*still) << "snapshot traversal must not observe the cut";
+  // A new transaction observes the cut.
+  auto fresh = db_->Begin();
+  auto gone = traversal::PathExists(*fresh, n_[0], n_[4]);
+  ASSERT_TRUE(gone.ok());
+  EXPECT_FALSE(*gone);
+}
+
+}  // namespace
+}  // namespace neosi

@@ -1,0 +1,93 @@
+// TimestampOracle and ActiveTxnTable.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "txn/active_txn_table.h"
+#include "txn/timestamp_oracle.h"
+
+namespace neosi {
+namespace {
+
+TEST(TimestampOracle, StartsEmpty) {
+  TimestampOracle oracle;
+  EXPECT_EQ(oracle.ReadTs(), 0u);
+  EXPECT_EQ(oracle.LastAllocatedCommitTs(), 0u);
+}
+
+TEST(TimestampOracle, CommitTimestampsMonotonic) {
+  TimestampOracle oracle;
+  Timestamp prev = 0;
+  for (int i = 0; i < 100; ++i) {
+    const Timestamp ts = oracle.NextCommitTs();
+    EXPECT_GT(ts, prev);
+    prev = ts;
+  }
+}
+
+TEST(TimestampOracle, ReadTsLagsUntilPublish) {
+  TimestampOracle oracle;
+  const Timestamp ts = oracle.NextCommitTs();
+  EXPECT_EQ(oracle.ReadTs(), 0u);  // Not yet applied.
+  oracle.PublishCommit(ts);
+  EXPECT_EQ(oracle.ReadTs(), ts);
+}
+
+TEST(TimestampOracle, RestartResumesAboveRecoveredMax) {
+  TimestampOracle oracle;
+  oracle.Restart(500);
+  EXPECT_EQ(oracle.ReadTs(), 500u);
+  EXPECT_EQ(oracle.NextCommitTs(), 501u);
+}
+
+TEST(TimestampOracle, TxnIdsUnique) {
+  TimestampOracle oracle;
+  std::atomic<uint64_t> sum{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 1000; ++i) sum.fetch_add(oracle.NextTxnId());
+    });
+  }
+  for (auto& t : threads) t.join();
+  // Sum of 1..4000 if every id was handed out exactly once.
+  EXPECT_EQ(sum.load(), 4000ull * 4001 / 2);
+}
+
+TEST(ActiveTxnTable, WatermarkIsMinActiveStart) {
+  ActiveTxnTable table;
+  EXPECT_EQ(table.Watermark(99), 99u);  // Empty -> fallback.
+  table.Register(1, 50);
+  table.Register(2, 30);
+  table.Register(3, 70);
+  EXPECT_EQ(table.Watermark(99), 30u);
+  table.Unregister(2);
+  EXPECT_EQ(table.Watermark(99), 50u);
+  table.Unregister(1);
+  table.Unregister(3);
+  EXPECT_EQ(table.Watermark(99), 99u);
+}
+
+TEST(ActiveTxnTable, RegisterAtomicUsesSource) {
+  ActiveTxnTable table;
+  const Timestamp ts = table.RegisterAtomic(7, [] { return Timestamp{42}; });
+  EXPECT_EQ(ts, 42u);
+  EXPECT_TRUE(table.IsActive(7));
+  EXPECT_EQ(table.Watermark(100), 42u);
+}
+
+TEST(ActiveTxnTable, TracksActiveSet) {
+  ActiveTxnTable table;
+  table.Register(5, 1);
+  table.Register(9, 2);
+  EXPECT_EQ(table.ActiveCount(), 2u);
+  EXPECT_EQ(table.ActiveTxnIds(), (std::vector<TxnId>{5, 9}));
+  EXPECT_TRUE(table.IsActive(5));
+  EXPECT_FALSE(table.IsActive(6));
+  table.Unregister(5);
+  EXPECT_EQ(table.ActiveCount(), 1u);
+}
+
+}  // namespace
+}  // namespace neosi
