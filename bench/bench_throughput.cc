@@ -5,6 +5,21 @@
 // Social-graph workload: read transactions do a 1-hop neighbourhood read
 // with property fetches; write transactions update a person and an edge.
 // Read/write mix and thread count are swept for both isolation levels.
+//
+// E11b — commit pipeline scaling: write-only transactions on disjoint keys
+// sweep the writer count. With the staged commit pipeline (no global commit
+// mutex; ordered publication via the oracle watermark) commit throughput
+// scales with writers instead of serializing end-to-end.
+//
+// E11c — group-commit WAL: the same sweep on an on-disk database with
+// sync_commits=true; concurrent committers share one fsync per batch.
+//
+// Set NEOSI_BENCH_JSON=<path> to also emit every cell as JSON (the perf
+// trajectory file BENCH_throughput.json).
+
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "bench/bench_common.h"
 #include "common/random.h"
@@ -15,15 +30,58 @@ namespace neosi {
 namespace bench {
 namespace {
 
-struct Cell {
-  DriverResult result;
+struct JsonCell {
+  std::string section;
+  std::string config;
+  int threads = 0;
+  double txn_per_sec = 0;
+  double abort_rate = 0;
+  uint64_t p50_us = 0;
+  uint64_t p99_us = 0;
 };
 
-Cell RunCell(IsolationLevel isolation, double read_fraction, int threads,
-             uint64_t duration_ms, const SocialGraph& graph,
-             GraphDatabase& db) {
-  Cell cell;
-  cell.result = RunForDuration(threads, duration_ms, [&](int t, uint64_t op) {
+std::vector<JsonCell>& Cells() {
+  static std::vector<JsonCell> cells;
+  return cells;
+}
+
+void Record(const std::string& section, const std::string& config,
+            int threads, const DriverResult& r) {
+  Cells().push_back({section, config, threads, r.Throughput(), r.AbortRate(),
+                     r.latency_ns.Percentile(50) / 1000,
+                     r.latency_ns.Percentile(99) / 1000});
+}
+
+void MaybeWriteJson() {
+  const char* path = std::getenv("NEOSI_BENCH_JSON");
+  if (path == nullptr || path[0] == '\0') return;
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for JSON output\n", path);
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"throughput\",\n  \"cells\": [\n");
+  for (size_t i = 0; i < Cells().size(); ++i) {
+    const JsonCell& c = Cells()[i];
+    std::fprintf(f,
+                 "    {\"section\": \"%s\", \"config\": \"%s\", "
+                 "\"threads\": %d, \"txn_per_sec\": %.1f, "
+                 "\"abort_rate\": %.4f, \"p50_us\": %llu, \"p99_us\": %llu}%s\n",
+                 c.section.c_str(), c.config.c_str(), c.threads,
+                 c.txn_per_sec, c.abort_rate,
+                 static_cast<unsigned long long>(c.p50_us),
+                 static_cast<unsigned long long>(c.p99_us),
+                 i + 1 < Cells().size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote %zu cells to %s\n", Cells().size(), path);
+}
+
+DriverResult RunCell(IsolationLevel isolation, double read_fraction,
+                     int threads, uint64_t duration_ms,
+                     const SocialGraph& graph, GraphDatabase& db) {
+  return RunForDuration(threads, duration_ms, [&](int t, uint64_t op) {
     Random rng(t * 104729 + op);
     const NodeId person = graph.people[rng.Uniform(graph.people.size())];
     auto txn = db.Begin(isolation);
@@ -55,7 +113,50 @@ Cell RunCell(IsolationLevel isolation, double read_fraction, int threads,
     }
     return txn->Commit();
   });
-  return cell;
+}
+
+/// Write-only transactions over per-thread disjoint key ranges: pure commit
+/// pipeline pressure with no conflict aborts. Each transaction updates
+/// `writes_per_txn` nodes it exclusively owns.
+DriverResult RunCommitScalingCell(GraphDatabase& db,
+                                  const std::vector<NodeId>& nodes,
+                                  int threads, uint64_t duration_ms,
+                                  int writes_per_txn) {
+  const size_t stripe = nodes.size() / static_cast<size_t>(threads);
+  return RunForDuration(threads, duration_ms, [&, stripe](int t, uint64_t op) {
+    Random rng(t * 7919 + op);
+    auto txn = db.Begin(IsolationLevel::kSnapshotIsolation);
+    const size_t base = static_cast<size_t>(t) * stripe;
+    for (int i = 0; i < writes_per_txn; ++i) {
+      const NodeId node = nodes[base + rng.Uniform(stripe)];
+      NEOSI_RETURN_IF_ERROR(txn->SetNodeProperty(
+          node, "v", PropertyValue(static_cast<int64_t>(op))));
+    }
+    return txn->Commit();
+  });
+}
+
+Result<std::vector<NodeId>> BuildFlatNodes(GraphDatabase& db, size_t n) {
+  std::vector<NodeId> nodes;
+  nodes.reserve(n);
+  auto txn = db.Begin();
+  for (size_t i = 0; i < n; ++i) {
+    auto id = txn->CreateNode({}, {{"v", PropertyValue(int64_t{0})}});
+    if (!id.ok()) return id.status();
+    nodes.push_back(*id);
+    if (i % 1024 == 1023) {
+      NEOSI_RETURN_IF_ERROR(txn->Commit());
+      txn = db.Begin();
+    }
+  }
+  NEOSI_RETURN_IF_ERROR(txn->Commit());
+  return nodes;
+}
+
+std::string MakeTempDir() {
+  char tmpl[] = "/tmp/neosi_bench_XXXXXX";
+  char* dir = mkdtemp(tmpl);
+  return dir ? std::string(dir) : std::string();
 }
 
 }  // namespace
@@ -85,18 +186,23 @@ int main() {
     for (IsolationLevel isolation : {IsolationLevel::kReadCommitted,
                                      IsolationLevel::kSnapshotIsolation}) {
       for (int threads : {1, 2, 4, 8}) {
-        const Cell cell =
+        const DriverResult r =
             RunCell(isolation, read_fraction, threads, duration_ms, graph,
                     *db);
         std::printf(
             "%-20s %6.0f%% %8d %10.0f %11.2f%% %10llu %10llu\n",
             std::string(IsolationLevelToString(isolation)).c_str(),
-            read_fraction * 100, threads, cell.result.Throughput(),
-            100.0 * cell.result.AbortRate(),
-            static_cast<unsigned long long>(
-                cell.result.latency_ns.Percentile(50) / 1000),
-            static_cast<unsigned long long>(
-                cell.result.latency_ns.Percentile(99) / 1000));
+            read_fraction * 100, threads, r.Throughput(),
+            100.0 * r.AbortRate(),
+            static_cast<unsigned long long>(r.latency_ns.Percentile(50) /
+                                            1000),
+            static_cast<unsigned long long>(r.latency_ns.Percentile(99) /
+                                            1000));
+        char config[64];
+        std::snprintf(config, sizeof(config), "%s/read%.0f",
+                      std::string(IsolationLevelToString(isolation)).c_str(),
+                      read_fraction * 100);
+        Record("mixed", config, threads, r);
       }
     }
   }
@@ -104,5 +210,84 @@ int main() {
               "the gap widening as the write fraction and thread count grow "
               "(RC readers block on write locks and die under wait-die); SI "
               "p99 stays flat while RC p99 inflates.\n");
+
+  Banner("E11b: commit pipeline scaling (write-only, disjoint keys)",
+         "the staged commit pipeline validates under per-entity write "
+         "locks, sequences only on a timestamp fetch-add, applies in "
+         "parallel and publishes in order — multi-writer commit throughput "
+         "scales instead of serializing behind a global commit mutex");
+
+  {
+    auto db = OpenDb(ConflictPolicy::kFirstUpdaterWinsWait,
+                     /*gc_every=*/4096);
+    auto nodes = BuildFlatNodes(*db, Scaled(16384));
+    if (!nodes.ok()) {
+      std::printf("skipped: %s\n", nodes.status().ToString().c_str());
+    } else {
+      std::printf("%8s %12s %12s %10s %10s\n", "threads", "commits/s",
+                  "scaling", "p50(us)", "p99(us)");
+      double base = 0;
+      for (int threads : {1, 2, 4, 8}) {
+        const DriverResult r = RunCommitScalingCell(*db, *nodes, threads,
+                                                    duration_ms,
+                                                    /*writes_per_txn=*/4);
+        if (threads == 1) base = r.Throughput();
+        std::printf("%8d %12.0f %11.2fx %10llu %10llu\n", threads,
+                    r.Throughput(), base > 0 ? r.Throughput() / base : 0.0,
+                    static_cast<unsigned long long>(
+                        r.latency_ns.Percentile(50) / 1000),
+                    static_cast<unsigned long long>(
+                        r.latency_ns.Percentile(99) / 1000));
+        Record("commit_scaling", "write_only", threads, r);
+      }
+    }
+  }
+
+  Banner("E11c: group-commit WAL (on-disk, sync_commits)",
+         "concurrent sync commits share one fsync per batch: throughput "
+         "grows with writers even though every commit is durable");
+
+  {
+    const std::string dir = MakeTempDir();
+    if (dir.empty()) {
+      std::printf("skipped: cannot create temp dir\n");
+    } else {
+      DatabaseOptions options;
+      options.in_memory = false;
+      options.path = dir;
+      options.sync_commits = true;
+      options.gc_every_n_commits = 4096;
+      auto opened = GraphDatabase::Open(options);
+      if (!opened.ok()) {
+        std::printf("skipped: %s\n", opened.status().ToString().c_str());
+      } else {
+        auto db = std::move(*opened);
+        auto nodes = BuildFlatNodes(*db, Scaled(4096));
+        if (!nodes.ok()) {
+          std::printf("skipped: %s\n", nodes.status().ToString().c_str());
+        } else {
+          std::printf("%8s %12s %12s %10s %10s\n", "threads", "commits/s",
+                      "scaling", "p50(us)", "p99(us)");
+          double base = 0;
+          for (int threads : {1, 2, 4, 8}) {
+            const DriverResult r = RunCommitScalingCell(*db, *nodes, threads,
+                                                        duration_ms,
+                                                        /*writes_per_txn=*/2);
+            if (threads == 1) base = r.Throughput();
+            std::printf("%8d %12.0f %11.2fx %10llu %10llu\n", threads,
+                        r.Throughput(),
+                        base > 0 ? r.Throughput() / base : 0.0,
+                        static_cast<unsigned long long>(
+                            r.latency_ns.Percentile(50) / 1000),
+                        static_cast<unsigned long long>(
+                            r.latency_ns.Percentile(99) / 1000));
+            Record("group_commit_sync", "write_only_fsync", threads, r);
+          }
+        }
+      }
+    }
+  }
+
+  MaybeWriteJson();
   return 0;
 }

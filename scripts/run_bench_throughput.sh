@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Runs bench_throughput and records its cells as BENCH_throughput.json at the
+# repo root (the perf trajectory file; CI archives it per commit).
+#
+# Usage: scripts/run_bench_throughput.sh [build_dir] [scale]
+#   build_dir  cmake build directory (default: build)
+#   scale      NEOSI_BENCH_SCALE workload multiplier (default: 1.0)
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+scale="${2:-1.0}"
+
+bench="$build_dir/bench_throughput"
+if [[ ! -x "$bench" ]]; then
+  echo "error: $bench not built (run: cmake -B build -S . && cmake --build build -j)" >&2
+  exit 1
+fi
+
+NEOSI_BENCH_SCALE="$scale" NEOSI_BENCH_JSON="$repo_root/BENCH_throughput.json" \
+  "$bench"
+
+echo "----"
+echo "BENCH_throughput.json:"
+cat "$repo_root/BENCH_throughput.json"

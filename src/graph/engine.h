@@ -54,9 +54,10 @@ struct Engine {
   PropertyIndex node_prop_index;
   PropertyIndex rel_prop_index;
 
-  /// Serializes commit application so commit timestamps are published in
-  /// order and snapshots never observe half-applied commits.
-  std::mutex commit_mu;
+  // There is deliberately no global commit mutex: commits validate under
+  // their long write locks, allocate a timestamp from the oracle (the only
+  // sequencing point), apply in parallel, and publish in timestamp order
+  // through the oracle's watermark (see ARCHITECTURE.md, "Commit pipeline").
 
   /// Commits since the last automatic GC pass.
   std::atomic<uint64_t> commits_since_gc{0};

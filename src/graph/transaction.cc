@@ -898,8 +898,65 @@ Result<size_t> Transaction::Degree(NodeId node, Direction direction) {
 Status Transaction::Commit() {
   NEOSI_RETURN_IF_ERROR(CheckActive());
 
-  // Entities created AND deleted inside this transaction cancel out: they
-  // were never visible to anyone and leave no trace (no WAL, no store).
+  PruneAnnihilated();
+  if (writes_.empty()) return CommitTokenOnly();
+
+  // Stage 1 — validate, then sequence. The oracle's timestamp allocation is
+  // the ONLY global synchronization point of the whole commit.
+  NEOSI_RETURN_IF_ERROR(ValidateCommit());
+  const Timestamp ts = engine_->oracle.NextCommitTs();
+  // Timestamps are dense: every exit below must hand `ts` back to the
+  // oracle via FinishCommit, or the publication watermark stalls.
+
+  // Stage 2 — durability: group-commit WAL append (+ shared fsync).
+  Status s = WriteCommitRecord(ts);
+  if (!s.ok()) {
+    engine_->oracle.FinishCommit(ts);  // Nothing applied at ts.
+    RollbackLocked();
+    return s;
+  }
+
+  // Failure injection: crash after WAL append, before store apply.
+  if (engine_->test_hooks.crash_before_store_apply.load()) {
+    engine_->oracle.FinishCommit(ts);
+    return Status::IOError("simulated crash before store apply");
+  }
+
+  // Stage 3 — parallel application, outside any global lock: store apply,
+  // version stamping, index stamping. Concurrent committers interleave
+  // freely here; the long write locks (held until this commit has fully
+  // applied and handed its timestamp back) keep each entity single-writer.
+  s = ApplyToStore(ts);
+  if (!s.ok()) {
+    engine_->oracle.FinishCommit(ts);
+    return s;  // Store apply failure: recovery will repair from the WAL.
+  }
+  s = StampVersions(ts);
+  if (!s.ok()) {
+    engine_->oracle.FinishCommit(ts);
+    return s;
+  }
+  StampIndexes(ts);
+
+  // Stage 4 — ordered publication: the watermark advances past ts once
+  // every lower timestamp has also finished, and only then can a new
+  // snapshot observe this commit.
+  engine_->oracle.FinishCommit(ts);
+
+  engine_->lock_manager.ReleaseAll(id_);
+  engine_->active_txns.Unregister(id_);
+  state_ = TxnState::kCommitted;
+
+  engine_->commits_since_gc.fetch_add(1, std::memory_order_relaxed);
+
+  // Ack in publication order: once Commit() returns, this session's next
+  // snapshot is guaranteed to include this commit (and every snapshot
+  // anywhere that observes a later commit also observes this one).
+  engine_->oracle.WaitUntilPublished(ts);
+  return Status::OK();
+}
+
+void Transaction::PruneAnnihilated() {
   std::vector<EntityKey> annihilated;
   for (auto& [key, w] : writes_) {
     if (w.created && w.pending->data.deleted) annihilated.push_back(key);
@@ -977,76 +1034,62 @@ Status Transaction::Commit() {
         wal_ops_.end());
     writes_.erase(key);
   }
+}
 
-  if (writes_.empty()) {
-    // Read-only (or fully annihilated): nothing to apply or log, but token
-    // creations (never rolled back) may still need to reach the WAL.
-    if (!wal_ops_.empty()) {
-      WalRecord record;
-      record.txn_id = id_;
-      record.commit_ts = engine_->oracle.ReadTs();
-      record.ops = std::move(wal_ops_);
-      auto lsn = engine_->store.wal().Append(record);
-      if (!lsn.ok()) {
-        RollbackLocked();
-        return lsn.status();
-      }
+Status Transaction::CommitTokenOnly() {
+  // Read-only (or fully annihilated): nothing to apply or log, but token
+  // creations (never rolled back) may still need to reach the WAL — and
+  // must honour sync_commits like any other commit: the tokens are durable
+  // prerequisites of later records.
+  if (!wal_ops_.empty()) {
+    WalRecord record;
+    record.txn_id = id_;
+    record.commit_ts = engine_->oracle.ReadTs();
+    record.ops = std::move(wal_ops_);
+    auto lsn = engine_->store.wal().group().Commit(
+        record, engine_->options.sync_commits);
+    if (!lsn.ok()) {
+      RollbackLocked();
+      return lsn.status();
     }
-    engine_->lock_manager.ReleaseAll(id_);
-    engine_->active_txns.Unregister(id_);
-    state_ = TxnState::kCommitted;
+  }
+  engine_->lock_manager.ReleaseAll(id_);
+  engine_->active_txns.Unregister(id_);
+  state_ = TxnState::kCommitted;
+  return Status::OK();
+}
+
+Status Transaction::ValidateCommit() {
+  if (isolation_ != IsolationLevel::kSnapshotIsolation ||
+      engine_->options.conflict_policy != ConflictPolicy::kFirstCommitterWins) {
     return Status::OK();
   }
-
-  std::unique_lock<std::mutex> commit_guard(engine_->commit_mu);
-
-  // First-committer-wins validation (§3's alternative write rule).
-  if (isolation_ == IsolationLevel::kSnapshotIsolation &&
-      engine_->options.conflict_policy == ConflictPolicy::kFirstCommitterWins) {
-    for (const auto& [key, w] : writes_) {
-      if (w.created) continue;
-      const Timestamp newest =
-          w.node ? w.node->chain.NewestCommitTs() : w.rel->chain.NewestCommitTs();
-      if (newest > start_ts_) {
-        commit_guard.unlock();
-        RollbackLocked();
-        return Status::Aborted(
-            "write-write conflict detected at commit "
-            "(first-committer-wins)");
-      }
+  for (const auto& [key, w] : writes_) {
+    if (w.created) continue;
+    const Timestamp newest =
+        w.node ? w.node->chain.NewestCommitTs() : w.rel->chain.NewestCommitTs();
+    if (newest > start_ts_) {
+      RollbackLocked();
+      return Status::Aborted(
+          "write-write conflict detected at commit "
+          "(first-committer-wins)");
     }
   }
+  return Status::OK();
+}
 
-  const Timestamp ts = engine_->oracle.NextCommitTs();
-
-  // 1. WAL append (commit durability point).
+Status Transaction::WriteCommitRecord(Timestamp ts) {
   WalRecord record;
   record.txn_id = id_;
   record.commit_ts = ts;
   record.ops = std::move(wal_ops_);
-  auto lsn = engine_->store.wal().Append(record);
-  if (!lsn.ok()) {
-    commit_guard.unlock();
-    RollbackLocked();
-    return lsn.status();
-  }
-  if (engine_->options.sync_commits) {
-    Status s = engine_->store.wal().Sync();
-    if (!s.ok()) {
-      commit_guard.unlock();
-      RollbackLocked();
-      return s;
-    }
-  }
+  auto lsn = engine_->store.wal().group().Commit(
+      record, engine_->options.sync_commits);
+  if (!lsn.ok()) return lsn.status();
+  return Status::OK();
+}
 
-  // Failure injection: crash after WAL append, before store apply.
-  if (engine_->test_hooks.crash_before_store_apply.load()) {
-    commit_guard.unlock();
-    return Status::IOError("simulated crash before store apply");
-  }
-
-  // 2. Store apply: persist the newest committed version of every written
-  //    entity (§4 — older versions remain in memory only).
+Status Transaction::ApplyToStore(Timestamp ts) {
   int ops_budget = engine_->test_hooks.crash_after_n_store_ops.load();
   auto tick_budget = [&]() -> bool {
     if (ops_budget < 0) return false;
@@ -1056,7 +1099,6 @@ Status Transaction::Commit() {
   };
   for (const auto& [key, w] : writes_) {
     if (tick_budget()) {
-      commit_guard.unlock();
       return Status::IOError("simulated crash during store apply");
     }
     Status s;
@@ -1080,32 +1122,29 @@ Status Transaction::Commit() {
         s = engine_->store.PersistRelState(key.id, data.props, ts);
       }
     }
-    if (!s.ok()) {
-      commit_guard.unlock();
-      return s;  // Store apply failure: recovery will repair from the WAL.
-    }
+    if (!s.ok()) return s;
   }
+  return Status::OK();
+}
 
-  // 3. Stamp versions with the commit timestamp and thread superseded
-  //    versions (and tombstones) onto the GC list (§4).
+Status Transaction::StampVersions(Timestamp ts) {
   for (const auto& [key, w] : writes_) {
+    // CommitHead stamps obsolete_since on the superseded version (and on
+    // tombstones) under the chain latch; no global ordering is needed.
     auto superseded = w.node ? w.node->chain.CommitHead(id_, ts)
                              : w.rel->chain.CommitHead(id_, ts);
-    if (!superseded.ok()) {
-      commit_guard.unlock();
-      return superseded.status();
-    }
+    if (!superseded.ok()) return superseded.status();
     if (*superseded) {
-      (*superseded)->obsolete_since = ts;
       engine_->gc_list.Append({key, *superseded, ts});
     }
     if (w.pending->data.deleted) {
-      w.pending->obsolete_since = ts;
       engine_->gc_list.Append({key, w.pending, ts});
     }
   }
+  return Status::OK();
+}
 
-  // 4. Stamp index entries.
+void Transaction::StampIndexes(Timestamp ts) {
   for (const IndexOp& op : index_ops_) {
     switch (op.kind) {
       case IndexOp::Kind::kLabelAdd:
@@ -1132,17 +1171,6 @@ Status Transaction::Commit() {
         break;
     }
   }
-
-  // 5. Publish: snapshots taken from here on observe this commit.
-  engine_->oracle.PublishCommit(ts);
-  commit_guard.unlock();
-
-  engine_->lock_manager.ReleaseAll(id_);
-  engine_->active_txns.Unregister(id_);
-  state_ = TxnState::kCommitted;
-
-  engine_->commits_since_gc.fetch_add(1, std::memory_order_relaxed);
-  return Status::OK();
 }
 
 void Transaction::RollbackLocked() {

@@ -208,6 +208,44 @@ class Transaction {
   /// Maps internal (token) properties to named properties for views.
   Result<NamedProperties> NameProps(const PropertyMap& props) const;
 
+  // --- commit pipeline stages (see ARCHITECTURE.md, "Commit pipeline").
+  // Commit() = PruneAnnihilated -> [token-only shortcut] -> Validate ->
+  // sequence (oracle.NextCommitTs) -> WriteCommitRecord (group-commit WAL)
+  // -> ApplyToStore -> StampVersions -> StampIndexes -> ordered publication
+  // (oracle.FinishCommit). No stage after sequencing holds a global lock;
+  // per-entity safety comes from the long write locks held until the end.
+
+  /// Entities created AND deleted inside this transaction cancel out: they
+  /// were never visible to anyone and leave no trace (no WAL, no store).
+  void PruneAnnihilated();
+
+  /// Commit path for transactions with no surviving writes: only token
+  /// creations (never rolled back) may need to reach the WAL.
+  Status CommitTokenOnly();
+
+  /// First-committer-wins validation (§3's alternative write rule). Needs no
+  /// global lock: every checked entity is pinned by this transaction's long
+  /// write lock, so its newest commit timestamp cannot move under us. Rolls
+  /// back and returns Aborted on conflict.
+  Status ValidateCommit();
+
+  /// Appends this transaction's commit record through the group committer
+  /// (one shared fsync per batch when sync_commits is set).
+  Status WriteCommitRecord(Timestamp ts);
+
+  /// Persists the newest committed version of every written entity (§4 —
+  /// older versions remain in memory only). Runs concurrently with other
+  /// committers; the store's per-entity shard latches handle the physical
+  /// races, the long write locks the logical ones.
+  Status ApplyToStore(Timestamp ts);
+
+  /// Stamps in-memory versions with the commit timestamp and threads
+  /// superseded versions (and tombstones) onto the GC list (§4).
+  Status StampVersions(Timestamp ts);
+
+  /// Stamps pending index entries with the commit timestamp.
+  void StampIndexes(Timestamp ts);
+
   /// Abort internals shared by Abort() and failed Commit().
   void RollbackLocked();
 

@@ -6,9 +6,17 @@ namespace neosi {
 
 void GcList::Append(GcEntry entry) {
   std::lock_guard<std::mutex> guard(mu_);
-  assert(entries_.empty() ||
-         entries_.back().obsolete_since <= entry.obsolete_since);
-  entries_.push_back(std::move(entry));
+  // Commits apply concurrently and reach the GC list slightly out of
+  // timestamp order (the commit pipeline publishes in order but does not
+  // serialize application). Arrivals are still nearly sorted, so walking
+  // back from the tail finds the insertion point in O(1) amortized and the
+  // list stays timestamp-sorted for PopReclaimable's O(#reclaimed) pop.
+  auto it = entries_.end();
+  while (it != entries_.begin() &&
+         std::prev(it)->obsolete_since > entry.obsolete_since) {
+    --it;
+  }
+  entries_.insert(it, std::move(entry));
   ++total_appended_;
 }
 

@@ -3,11 +3,12 @@
 // perform the garbage collection just traversing those versions that must be
 // garbage collected".
 //
-// Commit timestamps are handed out monotonically, so appending at the tail
-// keeps the list sorted in O(1); reclamation pops from the head while the
-// head is reclaimable, touching nothing else. This is what makes GC cost
-// proportional to the number of versions reclaimed (experiment E8), in
-// contrast with the full-scan vacuum baseline.
+// Commit timestamps are handed out monotonically and commits complete almost
+// in that order, so inserting from the tail keeps the list sorted in O(1)
+// amortized; reclamation pops from the head while the head is reclaimable,
+// touching nothing else. This is what makes GC cost proportional to the
+// number of versions reclaimed (experiment E8), in contrast with the
+// full-scan vacuum baseline.
 
 #ifndef NEOSI_MVCC_GC_LIST_H_
 #define NEOSI_MVCC_GC_LIST_H_
@@ -36,8 +37,9 @@ struct GcEntry {
 /// Thread-safe timestamp-sorted reclamation queue.
 class GcList {
  public:
-  /// Appends at the tail. Entries must arrive in non-decreasing
-  /// obsolete_since order (guaranteed by monotonic commit timestamps).
+  /// Inserts in timestamp order. Entries arrive NEARLY sorted (concurrent
+  /// commits finish slightly out of timestamp order), so insertion walks
+  /// back from the tail: O(1) amortized.
   void Append(GcEntry entry);
 
   /// Pops and returns every head entry with obsolete_since <= watermark

@@ -41,6 +41,8 @@ Result<std::shared_ptr<Version>> VersionChain::CommitHead(TxnId writer,
     return Status::Internal("version chain: commit without pending version");
   }
   head_->commit_ts = ts;
+  if (head_->data.deleted) head_->obsolete_since = ts;  // Tombstone.
+  if (head_->older) head_->older->obsolete_since = ts;
   return head_->older;  // May be null (first version of the entity).
 }
 

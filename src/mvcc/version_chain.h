@@ -32,7 +32,11 @@ class VersionChain {
 
   /// Stamps the (uncommitted) head with its commit timestamp. Returns the
   /// superseded previous head (now obsolete, to be threaded onto the GC
-  /// list) or nullptr if this was the first version.
+  /// list) or nullptr if this was the first version. Obsolescence stamps
+  /// (`obsolete_since` on the superseded version, and on the head itself
+  /// when it is a tombstone) are applied under the chain latch, so commit
+  /// stamping is safe with many writers committing concurrently and no
+  /// global commit lock.
   Result<std::shared_ptr<Version>> CommitHead(TxnId writer, Timestamp ts);
 
   /// Removes the uncommitted head if owned by `writer` (abort path).

@@ -51,7 +51,93 @@ Result<Lsn> Wal::Append(const WalRecord& record) {
   return lsn;
 }
 
+Status Wal::AppendBatch(const std::vector<const WalRecord*>& records,
+                        std::vector<Lsn>* lsns) {
+  lsns->clear();
+  lsns->reserve(records.size());
+
+  // Encode every frame into one contiguous buffer outside the latch.
+  std::string buffer;
+  std::vector<uint64_t> frame_offsets;
+  frame_offsets.reserve(records.size());
+  std::string payload;
+  for (const WalRecord* record : records) {
+    payload.clear();
+    record->EncodeTo(&payload);
+    frame_offsets.push_back(buffer.size());
+    PutFixed32(&buffer, static_cast<uint32_t>(payload.size()));
+    PutFixed32(&buffer, Crc32c(payload.data(), payload.size()));
+    buffer.append(payload);
+  }
+
+  std::lock_guard<SpinLatch> guard(latch_);
+  const uint64_t base = append_offset_;
+  NEOSI_RETURN_IF_ERROR(file_->WriteAt(base, buffer.data(), buffer.size()));
+  append_offset_ += buffer.size();
+  for (uint64_t frame_offset : frame_offsets) {
+    lsns->push_back(base + frame_offset);
+  }
+  return Status::OK();
+}
+
 Status Wal::Sync() { return file_->Sync(); }
+
+Result<Lsn> GroupCommitter::Commit(const WalRecord& record, bool sync) {
+  if (!sync) {
+    // Nothing to amortize without an fsync; a plain latched append is
+    // cheaper than parking behind a leader that may be mid-fsync.
+    records_.fetch_add(1, std::memory_order_relaxed);
+    return wal_->Append(record);
+  }
+  Request req{&record, sync};
+  std::unique_lock<std::mutex> lock(mu_);
+  queue_.push_back(&req);
+  // Wait until a leader has handled us, or until the leader seat is free and
+  // our request is still queued (then we take the seat ourselves).
+  while (!req.done && leader_active_) cv_.wait(lock);
+  if (req.done) {
+    if (!req.status.ok()) return req.status;
+    return req.lsn;
+  }
+
+  leader_active_ = true;
+  std::vector<Request*> batch(queue_.begin(), queue_.end());
+  queue_.clear();
+  lock.unlock();
+
+  std::vector<const WalRecord*> records;
+  records.reserve(batch.size());
+  bool want_sync = false;
+  for (Request* r : batch) {
+    records.push_back(r->record);
+    want_sync |= r->sync;
+  }
+  std::vector<Lsn> lsns;
+  Status write_status = wal_->AppendBatch(records, &lsns);
+  Status sync_status;
+  if (write_status.ok() && want_sync) sync_status = wal_->Sync();
+
+  if (batch.size() > 1) batches_.fetch_add(1, std::memory_order_relaxed);
+  records_.fetch_add(batch.size(), std::memory_order_relaxed);
+
+  lock.lock();
+  for (size_t i = 0; i < batch.size(); ++i) {
+    Request* r = batch[i];
+    if (!write_status.ok()) {
+      r->status = write_status;
+    } else {
+      r->lsn = lsns[i];
+      if (r->sync && !sync_status.ok()) r->status = sync_status;
+    }
+    r->done = true;
+  }
+  leader_active_ = false;
+  lock.unlock();
+  cv_.notify_all();
+
+  if (!req.status.ok()) return req.status;
+  return req.lsn;
+}
 
 Status Wal::ReadAll(const std::function<Status(const WalRecord&)>& fn) {
   const uint64_t size = file_->Size();

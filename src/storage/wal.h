@@ -4,12 +4,23 @@
 // stops at the first frame whose length or checksum is invalid and reports
 // how many bytes were valid, so a torn tail write (crash mid-append) is
 // detected and truncated rather than propagated.
+//
+// Group commit: concurrent committers hand their records to the Wal's
+// GroupCommitter, which batches everything queued while the previous batch
+// was being written into ONE buffered append and (when any participant asked
+// for durability) ONE Sync() — N concurrent sync_commits transactions share
+// a single fsync instead of paying one each.
 
 #ifndef NEOSI_STORAGE_WAL_H_
 #define NEOSI_STORAGE_WAL_H_
 
+#include <atomic>
+#include <condition_variable>
+#include <deque>
 #include <functional>
 #include <memory>
+#include <mutex>
+#include <vector>
 
 #include "common/latch.h"
 #include "common/status.h"
@@ -17,6 +28,48 @@
 #include "storage/wal_ops.h"
 
 namespace neosi {
+
+class Wal;
+
+/// Leader/follower commit batcher over a Wal. Thread-safe.
+///
+/// A caller enqueues its record and either becomes the batch leader (writes
+/// every queued record with one append, syncs once if any participant wants
+/// durability) or blocks until a leader has written — and, if requested,
+/// synced — its record.
+class GroupCommitter {
+ public:
+  explicit GroupCommitter(Wal* wal) : wal_(wal) {}
+
+  GroupCommitter(const GroupCommitter&) = delete;
+  GroupCommitter& operator=(const GroupCommitter&) = delete;
+
+  /// Appends `record`, returning its LSN. When `sync` is true the record is
+  /// on stable storage before this returns (possibly via a leader's fsync
+  /// that covered a whole batch).
+  Result<Lsn> Commit(const WalRecord& record, bool sync);
+
+  /// Batches whose fsync covered more than one record (test / stats hook).
+  uint64_t batches() const { return batches_; }
+  uint64_t records() const { return records_; }
+
+ private:
+  struct Request {
+    const WalRecord* record;
+    bool sync;
+    bool done = false;
+    Status status;
+    Lsn lsn = 0;
+  };
+
+  Wal* wal_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Request*> queue_;
+  bool leader_active_ = false;
+  std::atomic<uint64_t> batches_{0};
+  std::atomic<uint64_t> records_{0};
+};
 
 /// Append-only log of WalRecords over a PagedFile.
 class Wal {
@@ -29,8 +82,16 @@ class Wal {
   /// Appends one record; returns its LSN (byte offset of the frame).
   Result<Lsn> Append(const WalRecord& record);
 
+  /// Appends every record with a single file write. On success `lsns[i]` is
+  /// the LSN of `records[i]`.
+  Status AppendBatch(const std::vector<const WalRecord*>& records,
+                     std::vector<Lsn>* lsns);
+
   /// Forces the log to stable storage.
   Status Sync();
+
+  /// The commit batcher bound to this log.
+  GroupCommitter& group() { return group_; }
 
   /// Replays every valid record in order. Stops cleanly at a torn tail
   /// (which is then truncated so later appends start from a clean state).
@@ -43,9 +104,12 @@ class Wal {
   uint64_t SizeBytes() const { return append_offset_; }
 
  private:
+  friend class GroupCommitter;
+
   std::unique_ptr<PagedFile> file_;
   SpinLatch latch_;          // serializes appends
   uint64_t append_offset_ = 0;
+  GroupCommitter group_{this};
 };
 
 }  // namespace neosi

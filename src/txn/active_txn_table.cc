@@ -5,50 +5,67 @@
 namespace neosi {
 
 void ActiveTxnTable::Register(TxnId txn, Timestamp start_ts) {
-  std::lock_guard<std::mutex> guard(mu_);
-  active_[txn] = start_ts;
+  Shard& shard = ShardFor(txn);
+  std::lock_guard<std::mutex> guard(shard.mu);
+  shard.active[txn] = start_ts;
 }
 
 Timestamp ActiveTxnTable::RegisterAtomic(
     TxnId txn, const std::function<Timestamp()>& ts_source) {
-  std::lock_guard<std::mutex> guard(mu_);
+  Shard& shard = ShardFor(txn);
+  std::lock_guard<std::mutex> guard(shard.mu);
   const Timestamp start_ts = ts_source();
-  active_[txn] = start_ts;
+  shard.active[txn] = start_ts;
   return start_ts;
 }
 
 void ActiveTxnTable::Unregister(TxnId txn) {
-  std::lock_guard<std::mutex> guard(mu_);
-  active_.erase(txn);
+  Shard& shard = ShardFor(txn);
+  std::lock_guard<std::mutex> guard(shard.mu);
+  shard.active.erase(txn);
 }
 
 Timestamp ActiveTxnTable::Watermark(Timestamp fallback) const {
-  std::lock_guard<std::mutex> guard(mu_);
-  if (active_.empty()) return fallback;
+  // Safety argument (per shard): a transaction registered when its shard is
+  // scanned bounds min_ts directly. One that registers AFTER its shard was
+  // scanned read its start timestamp from the (monotone) oracle after the
+  // caller evaluated `fallback`, so its start_ts >= fallback — which is why
+  // the result is clamped to fallback as well: a mid-scan registration in an
+  // already-scanned shard may hold a start timestamp below the minimum of
+  // the transactions the scan did see.
   Timestamp min_ts = kMaxTimestamp;
-  for (const auto& [txn, start_ts] : active_) {
-    min_ts = std::min(min_ts, start_ts);
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> guard(shard.mu);
+    for (const auto& [txn, start_ts] : shard.active) {
+      min_ts = std::min(min_ts, start_ts);
+    }
   }
-  return min_ts;
+  return std::min(min_ts, fallback);
 }
 
 size_t ActiveTxnTable::ActiveCount() const {
-  std::lock_guard<std::mutex> guard(mu_);
-  return active_.size();
+  size_t n = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> guard(shard.mu);
+    n += shard.active.size();
+  }
+  return n;
 }
 
 std::vector<TxnId> ActiveTxnTable::ActiveTxnIds() const {
-  std::lock_guard<std::mutex> guard(mu_);
   std::vector<TxnId> out;
-  out.reserve(active_.size());
-  for (const auto& [txn, start_ts] : active_) out.push_back(txn);
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> guard(shard.mu);
+    for (const auto& [txn, start_ts] : shard.active) out.push_back(txn);
+  }
   std::sort(out.begin(), out.end());
   return out;
 }
 
 bool ActiveTxnTable::IsActive(TxnId txn) const {
-  std::lock_guard<std::mutex> guard(mu_);
-  return active_.count(txn) != 0;
+  const Shard& shard = ShardFor(txn);
+  std::lock_guard<std::mutex> guard(shard.mu);
+  return shard.active.count(txn) != 0;
 }
 
 }  // namespace neosi

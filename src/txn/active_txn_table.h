@@ -1,10 +1,15 @@
 // Registry of in-flight transactions; provides the GC watermark (paper §3:
 // versions older than what the oldest active transaction can read are
 // garbage).
+//
+// Sharded by transaction id: with the commit pipeline running commits in
+// parallel, Begin()'s registration is the last per-transaction global touch
+// point, so it must not funnel every thread through one mutex.
 
 #ifndef NEOSI_TXN_ACTIVE_TXN_TABLE_H_
 #define NEOSI_TXN_ACTIVE_TXN_TABLE_H_
 
+#include <array>
 #include <cstddef>
 #include <functional>
 #include <mutex>
@@ -15,25 +20,28 @@
 
 namespace neosi {
 
-/// Thread-safe active-transaction table.
+/// Thread-safe sharded active-transaction table.
 class ActiveTxnTable {
  public:
   void Register(TxnId txn, Timestamp start_ts);
 
   /// Obtains a start timestamp from `ts_source` and registers the
-  /// transaction in one critical section. This closes the begin/GC race: a
-  /// watermark computed under the same lock either includes this
-  /// transaction or is guaranteed not to exceed its start timestamp.
+  /// transaction in one critical section (on the transaction's shard). This
+  /// closes the begin/GC race: Watermark() evaluates its fallback BEFORE
+  /// scanning the shards, and the oracle's read timestamp is monotone, so a
+  /// registration this scan misses must have read a start timestamp >= the
+  /// fallback — the watermark never exceeds a missed snapshot's timestamp.
   Timestamp RegisterAtomic(TxnId txn,
                            const std::function<Timestamp()>& ts_source);
 
   void Unregister(TxnId txn);
 
   /// The reclamation watermark: the minimum start timestamp among active
-  /// transactions, or `fallback` (the oracle's current read timestamp) when
-  /// none are active. Any version superseded at or before this timestamp can
-  /// never be read again (paper §3's example: versions 40 and 56 are dead
-  /// once the oldest active start timestamp is 100).
+  /// transactions, or `fallback` (the oracle's current read timestamp,
+  /// which callers MUST evaluate before this call) when none are active.
+  /// Any version superseded at or before this timestamp can never be read
+  /// again (paper §3's example: versions 40 and 56 are dead once the oldest
+  /// active start timestamp is 100).
   Timestamp Watermark(Timestamp fallback) const;
 
   size_t ActiveCount() const;
@@ -41,8 +49,17 @@ class ActiveTxnTable {
   bool IsActive(TxnId txn) const;
 
  private:
-  mutable std::mutex mu_;
-  std::unordered_map<TxnId, Timestamp> active_;
+  static constexpr size_t kShards = 16;
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<TxnId, Timestamp> active;
+  };
+
+  Shard& ShardFor(TxnId txn) { return shards_[txn % kShards]; }
+  const Shard& ShardFor(TxnId txn) const { return shards_[txn % kShards]; }
+
+  std::array<Shard, kShards> shards_;
 };
 
 }  // namespace neosi

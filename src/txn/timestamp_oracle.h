@@ -1,49 +1,106 @@
 // Monotonic timestamp allocation (paper §3: "the most common way to enforce
 // the read rule of snapshot isolation is to associate a commit timestamp to
-// versions ... a kind of serialization order").
+// versions ... a kind of serialization order") plus the ordered commit
+// publisher: commits may APPLY concurrently and finish out of timestamp
+// order, but they become VISIBLE in timestamp order through a watermark.
 
 #ifndef NEOSI_TXN_TIMESTAMP_ORACLE_H_
 #define NEOSI_TXN_TIMESTAMP_ORACLE_H_
 
 #include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <vector>
 
 #include "common/types.h"
 
 namespace neosi {
 
-/// Hands out transaction ids, start timestamps and commit timestamps.
+/// Hands out transaction ids, start timestamps and commit timestamps, and
+/// publishes finished commits in timestamp order.
 ///
-/// Start timestamp = the newest commit timestamp whose transaction has fully
-/// applied (so a snapshot never observes a half-applied commit). The engine
-/// serializes commit application, advancing last_committed in commit order.
+/// Watermark invariant: ReadTs() returns the highest timestamp `w` such that
+/// EVERY commit with timestamp <= w has either fully applied (store, version
+/// stamps, index stamps) or abandoned its slot. A snapshot taken at `w`
+/// therefore never observes a half-applied commit, no matter how commits
+/// interleave: a commit with timestamp > w may be mid-flight, but all of its
+/// effects carry its (invisible) timestamp.
+///
+/// Contract: every timestamp obtained from NextCommitTs() MUST eventually be
+/// passed to exactly one FinishCommit() call — on success after the last
+/// stamping step, on failure as soon as the commit gives up. Timestamps are
+/// dense, so one unreturned slot stalls the watermark forever.
 class TimestampOracle {
  public:
   TimestampOracle() = default;
 
-  /// Snapshot timestamp for a beginning transaction.
+  /// Snapshot timestamp for a beginning transaction (the watermark).
   Timestamp ReadTs() const {
     return last_committed_.load(std::memory_order_acquire);
   }
 
-  /// Allocates the next commit timestamp (monotonically increasing).
+  /// Allocates the next commit timestamp (monotonically increasing). This is
+  /// the whole sequencing section of the commit pipeline: everything after
+  /// it runs outside any global lock.
   Timestamp NextCommitTs() {
     return next_commit_.fetch_add(1, std::memory_order_relaxed);
   }
 
-  /// Publishes `ts` as fully applied. Must be called in commit-ts order
-  /// (the engine's commit critical section guarantees this).
-  void PublishCommit(Timestamp ts) {
-    last_committed_.store(ts, std::memory_order_release);
+  /// Marks `ts` as fully applied (or abandoned) and advances the watermark
+  /// over every consecutive finished timestamp. Accepts completions in any
+  /// order; out-of-order finishers park in a min-heap until the gap below
+  /// them closes.
+  void FinishCommit(Timestamp ts) {
+    bool advanced = false;
+    {
+      std::lock_guard<std::mutex> guard(mu_);
+      finished_.push(ts);
+      Timestamp watermark = last_committed_.load(std::memory_order_relaxed);
+      while (!finished_.empty() && finished_.top() == watermark + 1) {
+        watermark = finished_.top();
+        finished_.pop();
+        advanced = true;
+      }
+      last_committed_.store(watermark, std::memory_order_release);
+    }
+    if (advanced) published_cv_.notify_all();
+  }
+
+  /// Blocks until the watermark has reached `ts`. A successful commit waits
+  /// here before acknowledging, so a session's next snapshot always sees its
+  /// own previous commit (commit acks are emitted in publication order even
+  /// though application runs in parallel).
+  void WaitUntilPublished(Timestamp ts) {
+    if (last_committed_.load(std::memory_order_acquire) >= ts) return;
+    std::unique_lock<std::mutex> lock(mu_);
+    published_cv_.wait(lock, [&] {
+      return last_committed_.load(std::memory_order_relaxed) >= ts;
+    });
+  }
+
+  /// Commits finished but not yet publishable (a lower timestamp is still
+  /// mid-flight). Diagnostic / test hook.
+  size_t PendingPublishCount() const {
+    std::lock_guard<std::mutex> guard(mu_);
+    return finished_.size();
   }
 
   /// Fresh transaction id (distinct space from timestamps; ids order
   /// transactions by age for wait-die).
   TxnId NextTxnId() { return next_txn_.fetch_add(1, std::memory_order_relaxed); }
 
-  /// Restores state after recovery: timestamps resume above max_committed.
+  /// Restores state after recovery: timestamps resume above max_committed
+  /// and no commits are in flight.
   void Restart(Timestamp max_committed) {
-    last_committed_.store(max_committed, std::memory_order_release);
-    next_commit_.store(max_committed + 1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> guard(mu_);
+      last_committed_.store(max_committed, std::memory_order_release);
+      next_commit_.store(max_committed + 1, std::memory_order_relaxed);
+      finished_ = MinHeap();
+    }
+    published_cv_.notify_all();
   }
 
   /// Newest commit timestamp handed out (>= ReadTs()).
@@ -52,9 +109,16 @@ class TimestampOracle {
   }
 
  private:
+  using MinHeap = std::priority_queue<Timestamp, std::vector<Timestamp>,
+                                      std::greater<Timestamp>>;
+
   std::atomic<Timestamp> last_committed_{0};
   std::atomic<Timestamp> next_commit_{1};
   std::atomic<TxnId> next_txn_{1};
+
+  mutable std::mutex mu_;  // guards finished_ and watermark advancement
+  std::condition_variable published_cv_;
+  MinHeap finished_;
 };
 
 }  // namespace neosi

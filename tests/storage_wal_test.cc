@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
 #include "storage/wal.h"
 
 namespace neosi {
@@ -175,6 +180,65 @@ TEST(Wal, OpenPositionsCursorAfterValidPrefix) {
   Wal reopened(std::move(file2));
   ASSERT_TRUE(reopened.Open().ok());
   EXPECT_EQ(reopened.SizeBytes(), valid);
+}
+
+TEST(Wal, AppendBatchFramesDecodeIndividually) {
+  Wal wal(std::make_unique<InMemoryFile>());
+  ASSERT_TRUE(wal.Open().ok());
+  ASSERT_TRUE(wal.Append(MakeRecord(1, 10)).ok());
+
+  WalRecord a = MakeRecord(2, 20);
+  WalRecord b = MakeRecord(3, 30);
+  WalRecord c = MakeRecord(4, 40);
+  std::vector<Lsn> lsns;
+  ASSERT_TRUE(wal.AppendBatch({&a, &b, &c}, &lsns).ok());
+  ASSERT_EQ(lsns.size(), 3u);
+  EXPECT_LT(lsns[0], lsns[1]);
+  EXPECT_LT(lsns[1], lsns[2]);
+
+  std::vector<Timestamp> seen;
+  ASSERT_TRUE(wal.ReadAll([&](const WalRecord& record) {
+                   seen.push_back(record.commit_ts);
+                   return Status::OK();
+                 })
+                  .ok());
+  EXPECT_EQ(seen, (std::vector<Timestamp>{10, 20, 30, 40}));
+}
+
+TEST(GroupCommitter, ConcurrentSyncCommitsAllDurableAndDecodable) {
+  Wal wal(std::make_unique<InMemoryFile>());
+  ASSERT_TRUE(wal.Open().ok());
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const WalRecord record =
+            MakeRecord(t * kPerThread + i + 1, (t * kPerThread + i + 1) * 10);
+        auto lsn = wal.group().Commit(record, /*sync=*/true);
+        if (!lsn.ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(wal.group().records(), uint64_t{kThreads * kPerThread});
+
+  // Every record must decode, exactly once.
+  std::vector<TxnId> seen;
+  ASSERT_TRUE(wal.ReadAll([&](const WalRecord& record) {
+                   seen.push_back(record.txn_id);
+                   return Status::OK();
+                 })
+                  .ok());
+  std::sort(seen.begin(), seen.end());
+  ASSERT_EQ(seen.size(), size_t{kThreads * kPerThread});
+  for (size_t i = 0; i < seen.size(); ++i) {
+    EXPECT_EQ(seen[i], static_cast<TxnId>(i + 1));
+  }
 }
 
 }  // namespace

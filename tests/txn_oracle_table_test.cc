@@ -30,8 +30,43 @@ TEST(TimestampOracle, ReadTsLagsUntilPublish) {
   TimestampOracle oracle;
   const Timestamp ts = oracle.NextCommitTs();
   EXPECT_EQ(oracle.ReadTs(), 0u);  // Not yet applied.
-  oracle.PublishCommit(ts);
+  oracle.FinishCommit(ts);
   EXPECT_EQ(oracle.ReadTs(), ts);
+}
+
+TEST(TimestampOracle, OutOfOrderFinishPublishesInOrder) {
+  TimestampOracle oracle;
+  const Timestamp t1 = oracle.NextCommitTs();
+  const Timestamp t2 = oracle.NextCommitTs();
+  const Timestamp t3 = oracle.NextCommitTs();
+  oracle.FinishCommit(t3);
+  EXPECT_EQ(oracle.ReadTs(), 0u);  // t1, t2 still in flight.
+  EXPECT_EQ(oracle.PendingPublishCount(), 1u);
+  oracle.FinishCommit(t1);
+  EXPECT_EQ(oracle.ReadTs(), t1);  // t2 still gates t3.
+  oracle.FinishCommit(t2);
+  EXPECT_EQ(oracle.ReadTs(), t3);  // Gap closed: watermark jumps to t3.
+  EXPECT_EQ(oracle.PendingPublishCount(), 0u);
+}
+
+TEST(TimestampOracle, ConcurrentFinishersNeverExposeAGap) {
+  TimestampOracle oracle;
+  constexpr int kPerThread = 2000;
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const Timestamp ts = oracle.NextCommitTs();
+        // The watermark can never have reached our unfinished timestamp.
+        EXPECT_LT(oracle.ReadTs(), ts);
+        oracle.FinishCommit(ts);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(oracle.ReadTs(), Timestamp{kPerThread * kThreads});
+  EXPECT_EQ(oracle.PendingPublishCount(), 0u);
 }
 
 TEST(TimestampOracle, RestartResumesAboveRecoveredMax) {
