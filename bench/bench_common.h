@@ -49,13 +49,17 @@ inline void Banner(const std::string& experiment, const std::string& claim) {
   std::printf("paper claim: %s\n\n", claim.c_str());
 }
 
+/// gc_interval_ms == 0 disables the GC daemon entirely (no automatic
+/// reclamation): benches that measure version-chain or watermark behaviour
+/// need the garbage to stay put.
 inline std::unique_ptr<GraphDatabase> OpenDb(
     ConflictPolicy policy = ConflictPolicy::kFirstUpdaterWinsWait,
-    uint64_t gc_every = 0) {
+    uint64_t gc_interval_ms = 0, uint64_t gc_backlog_threshold = 1024) {
   DatabaseOptions options;
   options.in_memory = true;
   options.conflict_policy = policy;
-  options.gc_every_n_commits = gc_every;
+  options.background_gc_interval_ms = gc_interval_ms;
+  options.gc_backlog_threshold = gc_backlog_threshold;
   auto db = GraphDatabase::Open(options);
   if (!db.ok()) {
     std::fprintf(stderr, "open failed: %s\n", db.status().ToString().c_str());

@@ -12,7 +12,7 @@ namespace {
 std::unique_ptr<GraphDatabase> OpenDb() {
   DatabaseOptions options;
   options.in_memory = true;
-  options.gc_every_n_commits = 4096;
+  options.background_gc_interval_ms = 10;
   return std::move(*GraphDatabase::Open(options));
 }
 

@@ -25,7 +25,8 @@ struct Cell {
 
 Cell RunCell(IsolationLevel isolation, int deleters, uint64_t walks,
              uint64_t people) {
-  auto db = OpenDb(ConflictPolicy::kFirstUpdaterWinsWait, /*gc_every=*/512);
+  auto db = OpenDb(ConflictPolicy::kFirstUpdaterWinsWait,
+                   /*gc_interval_ms=*/10, /*gc_backlog_threshold=*/512);
   SocialGraphSpec spec;
   spec.people = people;
   spec.extra_edges_per_person = 2;

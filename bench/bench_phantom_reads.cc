@@ -22,7 +22,8 @@ struct Cell {
 };
 
 Cell RunCell(IsolationLevel isolation, int inserters, uint64_t rounds) {
-  auto db = OpenDb(ConflictPolicy::kFirstUpdaterWinsWait, /*gc_every=*/512);
+  auto db = OpenDb(ConflictPolicy::kFirstUpdaterWinsWait,
+                   /*gc_interval_ms=*/10, /*gc_backlog_threshold=*/512);
   {
     auto txn = db->Begin();
     for (int i = 0; i < 16; ++i) {

@@ -22,7 +22,8 @@ struct Cell {
 
 Cell RunCell(ConflictPolicy policy, double theta, int threads,
              uint64_t ops_per_thread, uint64_t hot_nodes) {
-  auto db = OpenDb(policy, /*gc_every=*/256);
+  auto db = OpenDb(policy, /*gc_interval_ms=*/10,
+                   /*gc_backlog_threshold=*/256);
   std::vector<NodeId> nodes;
   {
     auto txn = db->Begin();

@@ -25,7 +25,7 @@ using namespace neosi;
 int main() {
   DatabaseOptions options;
   options.in_memory = true;
-  options.gc_every_n_commits = 512;
+  options.gc_backlog_threshold = 512;  // Backlog-nudged async GC daemon.
   auto db = std::move(*GraphDatabase::Open(options));
 
   auto bank = *BuildBank(*db, 64, 1000);

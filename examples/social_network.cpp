@@ -51,7 +51,7 @@ std::vector<std::pair<NodeId, int>> Recommend(Transaction& txn, NodeId who,
 int main() {
   DatabaseOptions options;
   options.in_memory = true;
-  options.gc_every_n_commits = 512;
+  options.gc_backlog_threshold = 512;  // Backlog-nudged async GC daemon.
   auto db = std::move(*GraphDatabase::Open(options));
 
   SocialGraphSpec spec;

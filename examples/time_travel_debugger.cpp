@@ -16,7 +16,7 @@ using namespace neosi;
 int main() {
   DatabaseOptions options;
   options.in_memory = true;
-  options.gc_every_n_commits = 0;  // Manual GC so the effect is visible.
+  options.background_gc_interval_ms = 0;  // Manual GC: effect is visible.
   auto db = std::move(*GraphDatabase::Open(options));
 
   // Fleet: services with a status and DEPENDS_ON edges.

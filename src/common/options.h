@@ -33,13 +33,15 @@ struct DatabaseOptions {
   /// single-version objects beyond this are evictable. 0 = unbounded.
   size_t object_cache_capacity = 1 << 20;
 
-  /// Run the version garbage collector automatically every this many commits
-  /// (0 disables automatic GC; callers invoke GraphDatabase::RunGc()).
-  uint64_t gc_every_n_commits = 4096;
+  /// Pass interval of the background GC daemon in milliseconds. Reclamation
+  /// is fully asynchronous: no GC work ever runs on the commit path (0
+  /// disables the daemon entirely; callers invoke GraphDatabase::RunGc()).
+  uint64_t background_gc_interval_ms = 50;
 
-  /// Run a background GC thread with this pass interval in milliseconds
-  /// (0 disables the daemon; foreground auto-GC still applies).
-  uint64_t background_gc_interval_ms = 0;
+  /// Commit publication nudges the GC daemon for an immediate pass when the
+  /// GcList backlog reaches this many entries, without waiting for the
+  /// interval (0 disables nudging; the daemon paces on its interval alone).
+  uint64_t gc_backlog_threshold = 1024;
 
   /// fsync the WAL on every commit. Off by default: the experiments measure
   /// concurrency-control behaviour, not disk stalls.

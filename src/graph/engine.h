@@ -21,6 +21,8 @@
 
 namespace neosi {
 
+class GcDaemon;
+
 /// Failure-injection switches used by the recovery / crash tests. All off by
 /// default; production paths never set them.
 struct TestHooks {
@@ -30,6 +32,12 @@ struct TestHooks {
   /// Commit crashes after this many successful store-apply operations
   /// (-1 = disabled).
   std::atomic<int> crash_after_n_store_ops{-1};
+  /// Commit parks between its WAL append and its store apply — inside the
+  /// WAL's checkpoint epoch — until the flag is cleared (checkpoint-vs-
+  /// group-commit race tests).
+  std::atomic<bool> stall_before_store_apply{false};
+  /// Number of commits that have reached the stall point above.
+  std::atomic<uint64_t> stalled_commits{0};
 };
 
 /// Everything the engine is made of, wired once at Open().
@@ -59,8 +67,11 @@ struct Engine {
   // sequencing point), apply in parallel, and publish in timestamp order
   // through the oracle's watermark (see ARCHITECTURE.md, "Commit pipeline").
 
-  /// Commits since the last automatic GC pass.
-  std::atomic<uint64_t> commits_since_gc{0};
+  /// The background reclamation daemon, published by GraphDatabase after
+  /// wiring (null when background_gc_interval_ms == 0). Commit publication
+  /// reads it to nudge a pass when the GcList backlog crosses the
+  /// threshold; no GC work ever runs on the commit path itself.
+  std::atomic<GcDaemon*> gc_daemon{nullptr};
 
   TestHooks test_hooks;
 };

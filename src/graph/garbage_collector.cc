@@ -8,6 +8,49 @@
 
 namespace neosi {
 
+uint64_t LogAndPurgeTombstones(Engine* engine, const std::vector<RelId>& rels,
+                               const std::vector<NodeId>& nodes,
+                               Timestamp watermark) {
+  if (rels.empty() && nodes.empty()) return 0;
+
+  // Physical purges are WAL-logged (with the chain pointers observed at
+  // purge time) so a crash mid-surgery is repaired by replay. The purge
+  // record and the store surgery stay inside one checkpoint epoch: a
+  // checkpoint between them would truncate the record while the surgery is
+  // mid-flight, leaving it unrepairable after a crash.
+  auto epoch = engine->store.wal().ShareEpoch();
+  WalRecord record;
+  record.txn_id = kNoTxn;
+  record.commit_ts = watermark;
+  for (RelId id : rels) {
+    RelationshipRecord rec;
+    if (!engine->store.ReadRelRecord(id, &rec).ok() || !rec.in_use) continue;
+    record.ops.push_back(WalOp::PurgeRel(id, rec.src, rec.dst, rec.src_prev,
+                                         rec.src_next, rec.dst_prev,
+                                         rec.dst_next));
+  }
+  for (NodeId id : nodes) {
+    record.ops.push_back(WalOp::PurgeNode(id));
+  }
+  if (!record.ops.empty()) {
+    engine->store.wal().Append(record);
+  }
+
+  uint64_t purged = 0;
+  for (RelId id : rels) {
+    // Drop any residual older versions, then the entity itself.
+    engine->cache->EraseRel(id);
+    if (engine->store.PurgeRel(id).ok()) ++purged;
+  }
+  for (NodeId id : nodes) {
+    engine->cache->EraseNode(id);
+    if (engine->store.PurgeNode(id).ok()) ++purged;
+  }
+  return purged;
+}
+
+void GcEngine::EvictCache() { engine_->cache->EvictIfNeeded(); }
+
 GcStats GcEngine::Collect() {
   const Timestamp watermark =
       engine_->active_txns.Watermark(engine_->oracle.ReadTs());
@@ -72,49 +115,24 @@ GcStats GcEngine::CollectUpTo(Timestamp watermark) {
     }
   }
 
-  // Physical purges are WAL-logged (with the chain pointers observed at
-  // purge time) so a crash mid-surgery is repaired by replay.
-  if (!purge_rels.empty() || !purge_nodes.empty()) {
-    WalRecord record;
-    record.txn_id = kNoTxn;
-    record.commit_ts = watermark;
-    for (const GcEntry& entry : purge_rels) {
-      RelationshipRecord rec;
-      if (!engine_->store.ReadRelRecord(entry.key.id, &rec).ok() ||
-          !rec.in_use) {
-        continue;
-      }
-      record.ops.push_back(WalOp::PurgeRel(entry.key.id, rec.src, rec.dst,
-                                           rec.src_prev, rec.src_next,
-                                           rec.dst_prev, rec.dst_next));
-    }
-    for (const GcEntry& entry : purge_nodes) {
-      record.ops.push_back(WalOp::PurgeNode(entry.key.id));
-    }
-    if (!record.ops.empty()) {
-      engine_->store.wal().Append(record);
-    }
-
-    for (const GcEntry& entry : purge_rels) {
-      // Drop any residual older versions, then the entity itself.
-      engine_->cache->EraseRel(entry.key.id);
-      if (engine_->store.PurgeRel(entry.key.id).ok()) {
-        ++stats.tombstones_purged;
-      }
-    }
-    for (const GcEntry& entry : purge_nodes) {
-      engine_->cache->EraseNode(entry.key.id);
-      if (engine_->store.PurgeNode(entry.key.id).ok()) {
-        ++stats.tombstones_purged;
-      }
-    }
-  }
+  std::vector<RelId> rel_ids;
+  rel_ids.reserve(purge_rels.size());
+  for (const GcEntry& entry : purge_rels) rel_ids.push_back(entry.key.id);
+  std::vector<NodeId> node_ids;
+  node_ids.reserve(purge_nodes.size());
+  for (const GcEntry& entry : purge_nodes) node_ids.push_back(entry.key.id);
+  stats.tombstones_purged +=
+      LogAndPurgeTombstones(engine_, rel_ids, node_ids, watermark);
 
   // Index compaction: drop entries whose removal interval closed below the
   // watermark.
   stats.index_entries_dropped += engine_->label_index.Compact(watermark);
   stats.index_entries_dropped += engine_->node_prop_index.Compact(watermark);
   stats.index_entries_dropped += engine_->rel_prop_index.Compact(watermark);
+
+  // Cache eviction rides the GC pass (it used to ride the retired
+  // foreground auto-GC): single-version clean objects beyond capacity go.
+  EvictCache();
 
   stats.nanos = static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(

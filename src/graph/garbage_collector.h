@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <mutex>
+#include <vector>
 
 #include "common/status.h"
 #include "graph/engine.h"
@@ -38,10 +39,23 @@ class GcEngine {
   /// Pass with an explicit watermark (tests).
   GcStats CollectUpTo(Timestamp watermark);
 
+  /// Object-cache eviction sweep (EvictIfNeeded). Runs at the end of every
+  /// pass; the daemon also calls it on idle-skipped wakeups so eviction
+  /// never starves on garbage-free (e.g. insert-only) workloads.
+  void EvictCache();
+
  private:
   Engine* const engine_;
   std::mutex mu_;  // One pass at a time.
 };
+
+/// WAL-logs and physically purges tombstoned entities — relationships
+/// strictly before nodes, record + surgery inside one checkpoint epoch.
+/// Shared by the threaded collector and the vacuum baseline. Returns the
+/// number of entities purged.
+uint64_t LogAndPurgeTombstones(Engine* engine, const std::vector<RelId>& rels,
+                               const std::vector<NodeId>& nodes,
+                               Timestamp watermark);
 
 }  // namespace neosi
 

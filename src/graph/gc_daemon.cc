@@ -1,11 +1,19 @@
 #include "graph/gc_daemon.h"
 
+#include <algorithm>
 #include <chrono>
 
 namespace neosi {
 
-GcDaemon::GcDaemon(GcEngine* gc, uint64_t interval_ms)
-    : gc_(gc), interval_ms_(interval_ms == 0 ? 10 : interval_ms) {}
+GcDaemon::GcDaemon(GcEngine* gc, const TimestampOracle* oracle,
+                   const ActiveTxnTable* active_txns, GcList* gc_list,
+                   uint64_t interval_ms, uint64_t backlog_threshold)
+    : gc_(gc),
+      oracle_(oracle),
+      active_txns_(active_txns),
+      gc_list_(gc_list),
+      interval_ms_(interval_ms == 0 ? 10 : interval_ms),
+      backlog_threshold_(backlog_threshold) {}
 
 GcDaemon::~GcDaemon() { Stop(); }
 
@@ -13,6 +21,9 @@ void GcDaemon::Start() {
   std::lock_guard<std::mutex> guard(mu_);
   if (thread_.joinable()) return;
   stop_requested_ = false;
+  // A stale arm from a pinned-backlog skip before Stop() would suppress
+  // every commit nudge for up to one interval of the fresh thread.
+  nudge_armed_.store(false, std::memory_order_release);
   running_.store(true, std::memory_order_release);
   thread_ = std::thread([this] { Loop(); });
 }
@@ -36,17 +47,73 @@ void GcDaemon::Nudge() {
   cv_.notify_all();
 }
 
+void GcDaemon::NudgeIfBacklogged() {
+  if (backlog_threshold_ == 0) return;
+  if (gc_list_->backlog() < backlog_threshold_) return;
+  if (nudge_armed_.exchange(true, std::memory_order_acq_rel)) return;
+  Nudge();
+}
+
 void GcDaemon::Loop() {
+  // Retry cadence while a pinned snapshot holds a threshold-crossing
+  // backlog above the watermark: nudges are suppressed in that state (see
+  // below), so the daemon polls for the pin's release itself — quickly,
+  // or reclamation would stall up to interval_ms_ after the pin is gone.
+  constexpr uint64_t kPinnedRetryMs = 10;
+  uint64_t wait_ms = interval_ms_;
   for (;;) {
+    bool nudged = false;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait_for(lock, std::chrono::milliseconds(interval_ms_),
+      cv_.wait_for(lock, std::chrono::milliseconds(wait_ms),
                    [this] { return stop_requested_ || nudged_; });
       if (stop_requested_) return;
+      nudged = nudged_;
       nudged_ = false;
     }
-    GcStats stats = gc_->Collect();
+    // Consume the nudge arm BEFORE reading the watermark: a commit that
+    // publishes after this point re-nudges (sets nudged_ for the next
+    // iteration), so no backlog growth is ever swallowed by a pass or skip
+    // computed against a stale watermark.
+    nudge_armed_.store(false, std::memory_order_release);
+
+    // Pace off the publication watermark: the fallback (oracle read
+    // timestamp) MUST be evaluated before the active-table scan (see
+    // ActiveTxnTable::Watermark). Nothing at or below the head entry's
+    // timestamp reclaimable -> skip the pass entirely; an idle wakeup
+    // costs one watermark computation and a list-head peek — no chain,
+    // index or store work.
+    const Timestamp fallback = oracle_->ReadTs();
+    const Timestamp watermark = active_txns_->Watermark(fallback);
+    if (gc_list_->OldestObsoleteSince() > watermark) {
+      // Pinned backlog (e.g. a long-lived snapshot): RE-ARM so per-commit
+      // nudges don't wake the daemon into this same skip once per commit.
+      // While armed, the daemon polls on the short retry cadence instead,
+      // so reclamation resumes within ~kPinnedRetryMs of the pin's release
+      // even though commit nudges stay suppressed until the next pass.
+      const bool pinned_backlog =
+          backlog_threshold_ != 0 &&
+          gc_list_->backlog() >= backlog_threshold_;
+      if (pinned_backlog) {
+        nudge_armed_.store(true, std::memory_order_release);
+      }
+      wait_ms = pinned_backlog ? std::min(interval_ms_, kPinnedRetryMs)
+                               : interval_ms_;
+      // Cache eviction must not starve while reclamation is idle (this
+      // used to ride the retired foreground auto-GC).
+      gc_->EvictCache();
+      idle_skips_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    wait_ms = interval_ms_;
+
+    GcStats stats = gc_->CollectUpTo(watermark);
     passes_.fetch_add(1, std::memory_order_relaxed);
+    if (nudged) {
+      nudge_passes_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      interval_passes_.fetch_add(1, std::memory_order_relaxed);
+    }
     versions_pruned_.fetch_add(stats.versions_pruned,
                                std::memory_order_relaxed);
     tombstones_purged_.fetch_add(stats.tombstones_purged,

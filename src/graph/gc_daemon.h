@@ -1,6 +1,13 @@
 // Background garbage-collection thread. The paper's GC is cheap enough
 // (O(garbage) per pass, E8) to run continuously without stalling
 // processing — the property that PostgreSQL's vacuum lacks (§4).
+//
+// Pacing: the daemon is the ONLY automatic reclamation path (no GC work
+// runs on the commit path). It wakes on a fixed interval, and commit
+// publication nudges it early whenever the GcList backlog crosses the
+// configured threshold — a lock-free gauge read plus a rare notify. Every
+// pass drains the list strictly up to the publication/active-transaction
+// watermark, so a version some snapshot can still read is never reclaimed.
 
 #ifndef NEOSI_GRAPH_GC_DAEMON_H_
 #define NEOSI_GRAPH_GC_DAEMON_H_
@@ -12,13 +19,21 @@
 #include <thread>
 
 #include "graph/garbage_collector.h"
+#include "mvcc/gc_list.h"
+#include "txn/active_txn_table.h"
+#include "txn/timestamp_oracle.h"
 
 namespace neosi {
 
-/// Periodically runs GcEngine::Collect on its own thread.
+/// Watermark-paced asynchronous reclamation thread over a GcEngine.
 class GcDaemon {
  public:
-  GcDaemon(GcEngine* gc, uint64_t interval_ms);
+  /// `oracle` + `active_txns` supply the reclamation watermark; `gc_list`
+  /// is the backlog the daemon drains. `backlog_threshold` == 0 disables
+  /// nudging (interval pacing only).
+  GcDaemon(GcEngine* gc, const TimestampOracle* oracle,
+           const ActiveTxnTable* active_txns, GcList* gc_list,
+           uint64_t interval_ms, uint64_t backlog_threshold);
   ~GcDaemon();
 
   GcDaemon(const GcDaemon&) = delete;
@@ -28,16 +43,34 @@ class GcDaemon {
   void Start();
 
   /// Stops and joins the thread (idempotent; also done by the destructor).
+  /// Safe to call during an in-flight pass: the pass completes, then the
+  /// thread exits.
   void Stop();
 
-  /// Wakes the daemon for an immediate pass (e.g. after a burst of
-  /// commits), without waiting for the interval.
+  /// Wakes the daemon for an immediate pass, without waiting for the
+  /// interval.
   void Nudge();
+
+  /// Commit-publication hook: nudges iff the GcList backlog has reached the
+  /// threshold. The common case is one relaxed atomic load; an already
+  /// armed nudge is never re-notified.
+  void NudgeIfBacklogged();
 
   bool running() const { return running_.load(std::memory_order_acquire); }
 
   /// Totals across all passes so far.
   uint64_t passes() const { return passes_.load(std::memory_order_relaxed); }
+  uint64_t nudge_passes() const {
+    return nudge_passes_.load(std::memory_order_relaxed);
+  }
+  uint64_t interval_passes() const {
+    return interval_passes_.load(std::memory_order_relaxed);
+  }
+  /// Interval wakeups that found nothing reclaimable below the watermark
+  /// and skipped the pass entirely.
+  uint64_t idle_skips() const {
+    return idle_skips_.load(std::memory_order_relaxed);
+  }
   uint64_t versions_pruned() const {
     return versions_pruned_.load(std::memory_order_relaxed);
   }
@@ -45,11 +78,17 @@ class GcDaemon {
     return tombstones_purged_.load(std::memory_order_relaxed);
   }
 
+  uint64_t backlog_threshold() const { return backlog_threshold_; }
+
  private:
   void Loop();
 
   GcEngine* const gc_;
+  const TimestampOracle* const oracle_;
+  const ActiveTxnTable* const active_txns_;
+  GcList* const gc_list_;
   const uint64_t interval_ms_;
+  const uint64_t backlog_threshold_;
 
   std::mutex mu_;
   std::condition_variable cv_;
@@ -57,8 +96,14 @@ class GcDaemon {
   bool nudged_ = false;
   std::thread thread_;
   std::atomic<bool> running_{false};
+  /// Collapses the per-commit nudge storm above the threshold into one
+  /// notify until the daemon has reacted.
+  std::atomic<bool> nudge_armed_{false};
 
   std::atomic<uint64_t> passes_{0};
+  std::atomic<uint64_t> nudge_passes_{0};
+  std::atomic<uint64_t> interval_passes_{0};
+  std::atomic<uint64_t> idle_skips_{0};
   std::atomic<uint64_t> versions_pruned_{0};
   std::atomic<uint64_t> tombstones_purged_{0};
 };

@@ -6,6 +6,12 @@ GraphDatabase::GraphDatabase(const DatabaseOptions& options)
     : engine_(std::make_unique<Engine>(options)) {}
 
 GraphDatabase::~GraphDatabase() {
+  // API contract: transactions must not outlive their database — a commit
+  // racing this destructor would use freed engine state regardless of the
+  // daemon. Unpublishing the pointer before stopping is teardown hygiene
+  // for code running within the destructor itself, not a cure for that
+  // contract violation.
+  engine_->gc_daemon.store(nullptr, std::memory_order_release);
   if (gc_daemon_) gc_daemon_->Stop();
 }
 
@@ -39,8 +45,11 @@ Status GraphDatabase::OpenImpl() {
   vacuum_ = std::make_unique<VacuumGc>(engine_.get());
   if (engine_->options.background_gc_interval_ms > 0) {
     gc_daemon_ = std::make_unique<GcDaemon>(
-        gc_.get(), engine_->options.background_gc_interval_ms);
+        gc_.get(), &engine_->oracle, &engine_->active_txns, &engine_->gc_list,
+        engine_->options.background_gc_interval_ms,
+        engine_->options.gc_backlog_threshold);
     gc_daemon_->Start();
+    engine_->gc_daemon.store(gc_daemon_.get(), std::memory_order_release);
   }
   return Status::OK();
 }
@@ -92,18 +101,7 @@ std::unique_ptr<Transaction> GraphDatabase::Begin(IsolationLevel isolation) {
       id, [this] { return engine_->oracle.ReadTs(); });
   std::unique_ptr<Transaction> txn(
       new Transaction(engine_.get(), isolation, id, start_ts));
-  MaybeAutoGc();
   return txn;
-}
-
-void GraphDatabase::MaybeAutoGc() {
-  const uint64_t every = engine_->options.gc_every_n_commits;
-  if (every == 0) return;
-  if (engine_->commits_since_gc.load(std::memory_order_relaxed) >= every) {
-    engine_->commits_since_gc.store(0, std::memory_order_relaxed);
-    RunGc();
-    engine_->cache->EvictIfNeeded();
-  }
 }
 
 GcStats GraphDatabase::RunGc() { return gc_->Collect(); }
@@ -124,9 +122,15 @@ DatabaseStats GraphDatabase::Stats() const {
   stats.label_index = engine_->label_index.Stats();
   stats.node_prop_index = engine_->node_prop_index.Stats();
   stats.rel_prop_index = engine_->rel_prop_index.Stats();
-  stats.gc_queue = engine_->gc_list.size();
+  stats.gc_queue = engine_->gc_list.backlog();
   stats.gc_appended = engine_->gc_list.total_appended();
   stats.gc_reclaimed = engine_->gc_list.total_reclaimed();
+  stats.gc_backlog_high_water = engine_->gc_list.backlog_high_water();
+  if (gc_daemon_) {
+    stats.gc_daemon_passes = gc_daemon_->passes();
+    stats.gc_daemon_nudge_passes = gc_daemon_->nudge_passes();
+    stats.gc_daemon_interval_passes = gc_daemon_->interval_passes();
+  }
   stats.active_txns = engine_->active_txns.ActiveCount();
   stats.last_committed = engine_->oracle.ReadTs();
   return stats;

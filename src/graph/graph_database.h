@@ -36,6 +36,12 @@ struct DatabaseStats {
   uint64_t gc_queue = 0;
   uint64_t gc_appended = 0;
   uint64_t gc_reclaimed = 0;
+  /// Largest GcList backlog ever observed (reclamation pacing headroom).
+  uint64_t gc_backlog_high_water = 0;
+  /// Daemon pacing counters (all zero when the daemon is disabled).
+  uint64_t gc_daemon_passes = 0;
+  uint64_t gc_daemon_nudge_passes = 0;     ///< Triggered by backlog nudges.
+  uint64_t gc_daemon_interval_passes = 0;  ///< Triggered by the interval.
   uint64_t active_txns = 0;
   Timestamp last_committed = kNoTimestamp;
 };
@@ -79,8 +85,8 @@ class GraphDatabase {
   Engine& engine() { return *engine_; }
   const Engine& engine() const { return *engine_; }
 
-  /// Background GC daemon (null unless options.background_gc_interval_ms
-  /// was set).
+  /// Background GC daemon — the automatic reclamation path (null only when
+  /// options.background_gc_interval_ms == 0).
   GcDaemon* gc_daemon() { return gc_daemon_.get(); }
 
  private:
@@ -88,7 +94,6 @@ class GraphDatabase {
 
   Status OpenImpl();
   Status RebuildIndexes();
-  void MaybeAutoGc();
 
   std::unique_ptr<Engine> engine_;
   std::unique_ptr<GcEngine> gc_;

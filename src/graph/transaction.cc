@@ -1,7 +1,10 @@
 #include "graph/transaction.h"
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
 
+#include "graph/gc_daemon.h"
 #include "graph/graph_database.h"
 
 namespace neosi {
@@ -908,30 +911,45 @@ Status Transaction::Commit() {
   // Timestamps are dense: every exit below must hand `ts` back to the
   // oracle via FinishCommit, or the publication watermark stalls.
 
-  // Stage 2 — durability: group-commit WAL append (+ shared fsync).
-  Status s = WriteCommitRecord(ts);
-  if (!s.ok()) {
-    engine_->oracle.FinishCommit(ts);  // Nothing applied at ts.
-    RollbackLocked();
-    return s;
-  }
+  {
+    // Stages 2+3 run inside the WAL's checkpoint epoch: from the moment our
+    // record can be in the log until our effects have reached the store, a
+    // checkpoint must not truncate (it would drop an acked-but-unapplied
+    // batch). Released before any publication wait — an epoch holder must
+    // never block on another commit, or Checkpoint()'s drain could deadlock.
+    auto epoch = engine_->store.wal().ShareEpoch();
 
-  // Failure injection: crash after WAL append, before store apply.
-  if (engine_->test_hooks.crash_before_store_apply.load()) {
-    engine_->oracle.FinishCommit(ts);
-    return Status::IOError("simulated crash before store apply");
-  }
+    // Stage 2 — durability: group-commit WAL append (+ shared fsync).
+    Status s = WriteCommitRecord(ts);
+    if (!s.ok()) {
+      engine_->oracle.FinishCommit(ts);  // Nothing applied at ts.
+      RollbackLocked();
+      return s;
+    }
 
-  // Stage 3 — parallel application, outside any global lock: store apply,
-  // version stamping, index stamping. Concurrent committers interleave
-  // freely here; the long write locks (held until this commit has fully
-  // applied and handed its timestamp back) keep each entity single-writer.
-  s = ApplyToStore(ts);
-  if (!s.ok()) {
-    engine_->oracle.FinishCommit(ts);
-    return s;  // Store apply failure: recovery will repair from the WAL.
+    // Failure injection: crash after WAL append, before store apply.
+    if (engine_->test_hooks.crash_before_store_apply.load()) {
+      engine_->oracle.FinishCommit(ts);
+      return Status::IOError("simulated crash before store apply");
+    }
+    if (engine_->test_hooks.stall_before_store_apply.load()) {
+      engine_->test_hooks.stalled_commits.fetch_add(1);
+      while (engine_->test_hooks.stall_before_store_apply.load()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }
+
+    // Stage 3 — parallel application, outside any global lock: store apply,
+    // version stamping, index stamping. Concurrent committers interleave
+    // freely here; the long write locks (held until this commit has fully
+    // applied and handed its timestamp back) keep each entity single-writer.
+    s = ApplyToStore(ts);
+    if (!s.ok()) {
+      engine_->oracle.FinishCommit(ts);
+      return s;  // Store apply failure: recovery will repair from the WAL.
+    }
   }
-  s = StampVersions(ts);
+  Status s = StampVersions(ts);
   if (!s.ok()) {
     engine_->oracle.FinishCommit(ts);
     return s;
@@ -946,8 +964,16 @@ Status Transaction::Commit() {
   engine_->lock_manager.ReleaseAll(id_);
   engine_->active_txns.Unregister(id_);
   state_ = TxnState::kCommitted;
+  commit_ts_ = ts;
 
-  engine_->commits_since_gc.fetch_add(1, std::memory_order_relaxed);
+  // Publication is the GC daemon's pacing signal: when the backlog of
+  // obsolete versions crosses the configured threshold, wake it now instead
+  // of waiting out its interval. One relaxed atomic load in the common
+  // case — no GC work happens on this thread.
+  if (GcDaemon* daemon =
+          engine_->gc_daemon.load(std::memory_order_acquire)) {
+    daemon->NudgeIfBacklogged();
+  }
 
   // Ack in publication order: once Commit() returns, this session's next
   // snapshot is guaranteed to include this commit (and every snapshot
@@ -1046,6 +1072,12 @@ Status Transaction::CommitTokenOnly() {
     record.txn_id = id_;
     record.commit_ts = engine_->oracle.ReadTs();
     record.ops = std::move(wal_ops_);
+    // Epoch-pinned like any other commit: the token-store page writes
+    // happened at GetOrCreate time (before this append), so a checkpoint
+    // either drains first and its SyncAll captures the tokens, or waits
+    // and leaves this record in the fresh log — never truncates the only
+    // durable copy.
+    auto epoch = engine_->store.wal().ShareEpoch();
     auto lsn = engine_->store.wal().group().Commit(
         record, engine_->options.sync_commits);
     if (!lsn.ok()) {

@@ -48,6 +48,11 @@ class Transaction {
 
   TxnId id() const { return id_; }
   Timestamp start_ts() const { return start_ts_; }
+  /// Commit timestamp of a successfully committed writing transaction
+  /// (kNoTimestamp before commit, after abort, and for read-only commits,
+  /// which never allocate one). History checkers pair this with start_ts()
+  /// to reconstruct the SI interval of a transaction.
+  Timestamp commit_ts() const { return commit_ts_; }
   IsolationLevel isolation() const { return isolation_; }
   TxnState state() const { return state_; }
   bool IsActive() const { return state_ == TxnState::kActive; }
@@ -253,6 +258,7 @@ class Transaction {
   const IsolationLevel isolation_;
   const TxnId id_;
   const Timestamp start_ts_;
+  Timestamp commit_ts_ = kNoTimestamp;
   TxnState state_ = TxnState::kActive;
 
   std::map<EntityKey, WriteRecord> writes_;

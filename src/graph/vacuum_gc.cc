@@ -4,6 +4,8 @@
 #include <string>
 #include <vector>
 
+#include "graph/garbage_collector.h"
+
 namespace neosi {
 
 VacuumStats VacuumGc::Run() {
@@ -75,31 +77,11 @@ VacuumStats VacuumGc::RunUpTo(Timestamp watermark) {
       })
       .ok();
 
-  // Physical purges, relationships first (as in GcEngine), WAL-logged.
-  WalRecord record;
-  record.txn_id = kNoTxn;
-  record.commit_ts = watermark;
-  for (RelId id : rels_to_purge) {
-    RelationshipRecord rec;
-    if (!engine_->store.ReadRelRecord(id, &rec).ok() || !rec.in_use) continue;
-    record.ops.push_back(WalOp::PurgeRel(id, rec.src, rec.dst, rec.src_prev,
-                                         rec.src_next, rec.dst_prev,
-                                         rec.dst_next));
-  }
-  for (NodeId id : nodes_to_purge) {
-    record.ops.push_back(WalOp::PurgeNode(id));
-  }
-  if (!record.ops.empty()) {
-    engine_->store.wal().Append(record);
-  }
-  for (RelId id : rels_to_purge) {
-    engine_->cache->EraseRel(id);
-    if (engine_->store.PurgeRel(id).ok()) ++stats.tombstones_purged;
-  }
-  for (NodeId id : nodes_to_purge) {
-    engine_->cache->EraseNode(id);
-    if (engine_->store.PurgeNode(id).ok()) ++stats.tombstones_purged;
-  }
+  // Physical purges, relationships first, WAL record + surgery inside one
+  // checkpoint epoch — shared with GcEngine.
+  stats.tombstones_purged +=
+      LogAndPurgeTombstones(engine_, rels_to_purge, nodes_to_purge,
+                            watermark);
 
   engine_->label_index.Compact(watermark);
   engine_->node_prop_index.Compact(watermark);

@@ -17,7 +17,12 @@ void GcList::Append(GcEntry entry) {
     --it;
   }
   entries_.insert(it, std::move(entry));
-  ++total_appended_;
+  const size_t backlog = entries_.size();
+  backlog_.store(backlog, std::memory_order_relaxed);
+  if (backlog > backlog_high_water_.load(std::memory_order_relaxed)) {
+    backlog_high_water_.store(backlog, std::memory_order_relaxed);
+  }
+  total_appended_.fetch_add(1, std::memory_order_relaxed);
 }
 
 std::vector<GcEntry> GcList::PopReclaimable(Timestamp watermark,
@@ -30,28 +35,14 @@ std::vector<GcEntry> GcList::PopReclaimable(Timestamp watermark,
     out.push_back(std::move(entries_.front()));
     entries_.pop_front();
   }
-  total_reclaimed_ += out.size();
+  backlog_.store(entries_.size(), std::memory_order_relaxed);
+  total_reclaimed_.fetch_add(out.size(), std::memory_order_relaxed);
   return out;
-}
-
-size_t GcList::size() const {
-  std::lock_guard<std::mutex> guard(mu_);
-  return entries_.size();
 }
 
 Timestamp GcList::OldestObsoleteSince() const {
   std::lock_guard<std::mutex> guard(mu_);
   return entries_.empty() ? kMaxTimestamp : entries_.front().obsolete_since;
-}
-
-uint64_t GcList::total_appended() const {
-  std::lock_guard<std::mutex> guard(mu_);
-  return total_appended_;
-}
-
-uint64_t GcList::total_reclaimed() const {
-  std::lock_guard<std::mutex> guard(mu_);
-  return total_reclaimed_;
 }
 
 }  // namespace neosi

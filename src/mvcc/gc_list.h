@@ -13,6 +13,7 @@
 #ifndef NEOSI_MVCC_GC_LIST_H_
 #define NEOSI_MVCC_GC_LIST_H_
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <memory>
@@ -42,26 +43,43 @@ class GcList {
   /// back from the tail: O(1) amortized.
   void Append(GcEntry entry);
 
-  /// Pops and returns every head entry with obsolete_since <= watermark
-  /// (up to max_batch; 0 = unlimited). Cost is O(#returned).
+  /// Watermark-bounded drain: pops and returns every head entry with
+  /// obsolete_since <= watermark (up to max_batch; 0 = unlimited). Cost is
+  /// O(#returned) — entries above the watermark are never touched.
   std::vector<GcEntry> PopReclaimable(Timestamp watermark,
                                       size_t max_batch = 0);
 
-  /// Entries currently queued.
-  size_t size() const;
+  /// Entries currently queued. Lock-free: commit publication reads this on
+  /// every commit to decide whether to nudge the GC daemon, so it must not
+  /// contend with concurrent Append/PopReclaimable.
+  size_t backlog() const { return backlog_.load(std::memory_order_relaxed); }
+
+  /// Alias of backlog() (kept for older call sites).
+  size_t size() const { return backlog(); }
+
+  /// Largest backlog ever observed at an Append (pacing stat). Lock-free.
+  uint64_t backlog_high_water() const {
+    return backlog_high_water_.load(std::memory_order_relaxed);
+  }
 
   /// obsolete_since of the head entry (kMaxTimestamp when empty).
   Timestamp OldestObsoleteSince() const;
 
-  /// Total entries ever appended / reclaimed (stats for E8).
-  uint64_t total_appended() const;
-  uint64_t total_reclaimed() const;
+  /// Total entries ever appended / reclaimed (stats for E8). Lock-free.
+  uint64_t total_appended() const {
+    return total_appended_.load(std::memory_order_relaxed);
+  }
+  uint64_t total_reclaimed() const {
+    return total_reclaimed_.load(std::memory_order_relaxed);
+  }
 
  private:
   mutable std::mutex mu_;
   std::list<GcEntry> entries_;
-  uint64_t total_appended_ = 0;
-  uint64_t total_reclaimed_ = 0;
+  std::atomic<size_t> backlog_{0};
+  std::atomic<uint64_t> backlog_high_water_{0};
+  std::atomic<uint64_t> total_appended_{0};
+  std::atomic<uint64_t> total_reclaimed_{0};
 };
 
 }  // namespace neosi

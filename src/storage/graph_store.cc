@@ -750,6 +750,11 @@ Result<Timestamp> GraphStore::Recover() {
 }
 
 Status GraphStore::Checkpoint() {
+  // Drain the checkpoint epoch first: any commit (or GC purge) whose WAL
+  // record is appended but not yet applied to the stores still holds the
+  // epoch shared. Truncating under them would drop an acked batch that has
+  // not reached the store — unrecoverable after a crash.
+  auto epoch = wal_->DrainEpoch();
   NEOSI_RETURN_IF_ERROR(SyncAll());
   return wal_->Reset();
 }

@@ -82,6 +82,34 @@ Status Wal::AppendBatch(const std::vector<const WalRecord*>& records,
 
 Status Wal::Sync() { return file_->Sync(); }
 
+void Wal::EnterEpoch() {
+  std::unique_lock<std::mutex> lock(epoch_mu_);
+  // A requested drain blocks new entrants at once (writer preference):
+  // checkpoint progress must not depend on commit traffic ever pausing.
+  epoch_cv_.wait(lock, [this] { return !epoch_draining_; });
+  ++epoch_holders_;
+}
+
+void Wal::ExitEpoch() {
+  std::lock_guard<std::mutex> guard(epoch_mu_);
+  if (--epoch_holders_ == 0 && epoch_draining_) epoch_cv_.notify_all();
+}
+
+void Wal::BeginDrain() {
+  std::unique_lock<std::mutex> lock(epoch_mu_);
+  epoch_cv_.wait(lock, [this] { return !epoch_draining_; });
+  epoch_draining_ = true;
+  epoch_cv_.wait(lock, [this] { return epoch_holders_ == 0; });
+}
+
+void Wal::EndDrain() {
+  {
+    std::lock_guard<std::mutex> guard(epoch_mu_);
+    epoch_draining_ = false;
+  }
+  epoch_cv_.notify_all();
+}
+
 Result<Lsn> GroupCommitter::Commit(const WalRecord& record, bool sync) {
   if (!sync) {
     // Nothing to amortize without an fsync; a plain latched append is

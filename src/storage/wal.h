@@ -103,13 +103,68 @@ class Wal {
   /// Bytes in the valid prefix.
   uint64_t SizeBytes() const { return append_offset_; }
 
+  // --- checkpoint epoch ------------------------------------------------
+  // A committer holds the epoch SHARED from before its WAL append until
+  // its effects have reached the store; Checkpoint() drains the epoch
+  // before truncating, so truncation can never drop a record (or
+  // group-commit batch) whose commit has not yet applied — an acked
+  // commit would otherwise vanish on crash. Holders never block on other
+  // commits while pinned (store apply waits on nothing), so the drain
+  // always completes. The gate is explicit (counter + draining flag, NOT a
+  // shared_mutex): a requested drain holds out new entrants immediately,
+  // so a continuous stream of overlapping commits cannot starve the
+  // checkpoint the way a reader-preferring rwlock would.
+
+  /// RAII shared hold on the checkpoint epoch.
+  class EpochPin {
+   public:
+    explicit EpochPin(Wal* wal) : wal_(wal) { wal_->EnterEpoch(); }
+    ~EpochPin() { wal_->ExitEpoch(); }
+    EpochPin(const EpochPin&) = delete;
+    EpochPin& operator=(const EpochPin&) = delete;
+
+   private:
+    Wal* const wal_;
+  };
+
+  /// RAII exclusive drain of the checkpoint epoch (one drainer at a time).
+  class EpochDrain {
+   public:
+    explicit EpochDrain(Wal* wal) : wal_(wal) { wal_->BeginDrain(); }
+    ~EpochDrain() { wal_->EndDrain(); }
+    EpochDrain(const EpochDrain&) = delete;
+    EpochDrain& operator=(const EpochDrain&) = delete;
+
+   private:
+    Wal* const wal_;
+  };
+
+  /// Pins the checkpoint epoch (shared). Release before any wait on
+  /// publication or locks.
+  EpochPin ShareEpoch() { return EpochPin(this); }
+
+  /// Drains the checkpoint epoch: returns once no commit is between WAL
+  /// append and store apply, and holds out new ones until destroyed.
+  EpochDrain DrainEpoch() { return EpochDrain(this); }
+
  private:
   friend class GroupCommitter;
+
+  void EnterEpoch();
+  void ExitEpoch();
+  void BeginDrain();
+  void EndDrain();
 
   std::unique_ptr<PagedFile> file_;
   SpinLatch latch_;          // serializes appends
   uint64_t append_offset_ = 0;
   GroupCommitter group_{this};
+
+  // Checkpoint epoch gate (see above).
+  std::mutex epoch_mu_;
+  std::condition_variable epoch_cv_;
+  uint64_t epoch_holders_ = 0;
+  bool epoch_draining_ = false;
 };
 
 }  // namespace neosi

@@ -10,6 +10,8 @@
 #include <atomic>
 #include <condition_variable>
 #include <functional>
+#include <map>
+#include <memory>
 #include <mutex>
 #include <queue>
 #include <vector>
@@ -51,9 +53,10 @@ class TimestampOracle {
   /// Marks `ts` as fully applied (or abandoned) and advances the watermark
   /// over every consecutive finished timestamp. Accepts completions in any
   /// order; out-of-order finishers park in a min-heap until the gap below
-  /// them closes.
+  /// them closes. A watermark advance wakes ONLY the publication waiters it
+  /// satisfies (per-timestamp wait list), not every parked committer.
   void FinishCommit(Timestamp ts) {
-    bool advanced = false;
+    std::vector<std::shared_ptr<WaitSlot>> satisfied;
     {
       std::lock_guard<std::mutex> guard(mu_);
       finished_.push(ts);
@@ -61,23 +64,38 @@ class TimestampOracle {
       while (!finished_.empty() && finished_.top() == watermark + 1) {
         watermark = finished_.top();
         finished_.pop();
-        advanced = true;
       }
       last_committed_.store(watermark, std::memory_order_release);
+      auto end = wait_slots_.upper_bound(watermark);
+      for (auto it = wait_slots_.begin(); it != end; ++it) {
+        satisfied.push_back(std::move(it->second));
+      }
+      wait_slots_.erase(wait_slots_.begin(), end);
     }
-    if (advanced) published_cv_.notify_all();
+    for (const auto& slot : satisfied) slot->cv.notify_all();
   }
 
   /// Blocks until the watermark has reached `ts`. A successful commit waits
   /// here before acknowledging, so a session's next snapshot always sees its
   /// own previous commit (commit acks are emitted in publication order even
-  /// though application runs in parallel).
+  /// though application runs in parallel). Waiters park on a per-timestamp
+  /// slot: high writer counts do not thundering-herd on every advance.
   void WaitUntilPublished(Timestamp ts) {
     if (last_committed_.load(std::memory_order_acquire) >= ts) return;
     std::unique_lock<std::mutex> lock(mu_);
-    published_cv_.wait(lock, [&] {
-      return last_committed_.load(std::memory_order_relaxed) >= ts;
-    });
+    while (last_committed_.load(std::memory_order_relaxed) < ts) {
+      std::shared_ptr<WaitSlot>& ref = wait_slots_[ts];
+      if (!ref) ref = std::make_shared<WaitSlot>();
+      // Pin the slot: FinishCommit erases the map entry before notifying.
+      std::shared_ptr<WaitSlot> slot = ref;
+      slot->cv.wait(lock);
+    }
+  }
+
+  /// Distinct timestamps with parked publication waiters (test hook).
+  size_t WaitingSlotCount() const {
+    std::lock_guard<std::mutex> guard(mu_);
+    return wait_slots_.size();
   }
 
   /// Commits finished but not yet publishable (a lower timestamp is still
@@ -92,15 +110,19 @@ class TimestampOracle {
   TxnId NextTxnId() { return next_txn_.fetch_add(1, std::memory_order_relaxed); }
 
   /// Restores state after recovery: timestamps resume above max_committed
-  /// and no commits are in flight.
+  /// and no commits are in flight. Every parked waiter is woken to re-check
+  /// against the restarted watermark.
   void Restart(Timestamp max_committed) {
+    std::vector<std::shared_ptr<WaitSlot>> parked;
     {
       std::lock_guard<std::mutex> guard(mu_);
       last_committed_.store(max_committed, std::memory_order_release);
       next_commit_.store(max_committed + 1, std::memory_order_relaxed);
       finished_ = MinHeap();
+      for (auto& [ts, slot] : wait_slots_) parked.push_back(std::move(slot));
+      wait_slots_.clear();
     }
-    published_cv_.notify_all();
+    for (const auto& slot : parked) slot->cv.notify_all();
   }
 
   /// Newest commit timestamp handed out (>= ReadTs()).
@@ -112,13 +134,20 @@ class TimestampOracle {
   using MinHeap = std::priority_queue<Timestamp, std::vector<Timestamp>,
                                       std::greater<Timestamp>>;
 
+  /// One parked publication wait (normally a single committer per
+  /// timestamp; shared_ptr keeps the condvar alive across the map erase in
+  /// FinishCommit).
+  struct WaitSlot {
+    std::condition_variable cv;
+  };
+
   std::atomic<Timestamp> last_committed_{0};
   std::atomic<Timestamp> next_commit_{1};
   std::atomic<TxnId> next_txn_{1};
 
-  mutable std::mutex mu_;  // guards finished_ and watermark advancement
-  std::condition_variable published_cv_;
+  mutable std::mutex mu_;  // guards finished_, wait_slots_ and the watermark
   MinHeap finished_;
+  std::map<Timestamp, std::shared_ptr<WaitSlot>> wait_slots_;
 };
 
 }  // namespace neosi

@@ -25,7 +25,7 @@ std::unique_ptr<GraphDatabase> OpenDb(
   DatabaseOptions options;
   options.in_memory = true;
   options.conflict_policy = policy;
-  options.gc_every_n_commits = 0;
+  options.background_gc_interval_ms = 0;  // Pipeline assertions, no daemon.
   auto db = GraphDatabase::Open(options);
   EXPECT_TRUE(db.ok()) << db.status();
   return std::move(*db);

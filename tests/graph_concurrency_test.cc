@@ -18,11 +18,12 @@ namespace {
 
 std::unique_ptr<GraphDatabase> OpenDb(
     ConflictPolicy policy = ConflictPolicy::kFirstUpdaterWinsWait,
-    uint64_t gc_every = 0) {
+    uint64_t gc_interval_ms = 0, uint64_t gc_backlog_threshold = 0) {
   DatabaseOptions options;
   options.in_memory = true;
   options.conflict_policy = policy;
-  options.gc_every_n_commits = gc_every;
+  options.background_gc_interval_ms = gc_interval_ms;
+  options.gc_backlog_threshold = gc_backlog_threshold;
   auto db = GraphDatabase::Open(options);
   EXPECT_TRUE(db.ok()) << db.status();
   return std::move(*db);
@@ -154,7 +155,8 @@ TEST(Concurrency, SnapshotScansAreStableUnderChurn) {
 // Property: GC running concurrently with snapshot readers never removes a
 // version a reader still needs (reads never fail, values never regress).
 TEST(Concurrency, GcIsSafeUnderConcurrentReaders) {
-  auto db = OpenDb(ConflictPolicy::kFirstUpdaterWinsWait, /*gc_every=*/16);
+  auto db = OpenDb(ConflictPolicy::kFirstUpdaterWinsWait,
+                   /*gc_interval_ms=*/1, /*gc_backlog_threshold=*/16);
   NodeId id;
   {
     auto txn = db->Begin();
@@ -210,7 +212,8 @@ TEST(Concurrency, GcIsSafeUnderConcurrentReaders) {
 // Structural churn: concurrent edge creation/deletion with traversals and
 // GC; the graph must stay structurally consistent (no corruption statuses).
 TEST(Concurrency, StructuralChurnStaysConsistent) {
-  auto db = OpenDb(ConflictPolicy::kFirstUpdaterWinsWait, /*gc_every=*/32);
+  auto db = OpenDb(ConflictPolicy::kFirstUpdaterWinsWait,
+                   /*gc_interval_ms=*/1, /*gc_backlog_threshold=*/32);
   std::vector<NodeId> nodes;
   {
     auto txn = db->Begin();

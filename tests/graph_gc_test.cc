@@ -4,6 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <thread>
+
 #include "graph/graph_database.h"
 
 namespace neosi {
@@ -12,7 +15,7 @@ namespace {
 std::unique_ptr<GraphDatabase> OpenDb() {
   DatabaseOptions options;
   options.in_memory = true;
-  options.gc_every_n_commits = 0;  // Manual GC only.
+  options.background_gc_interval_ms = 0;  // Manual GC only.
   auto db = GraphDatabase::Open(options);
   EXPECT_TRUE(db.ok()) << db.status();
   return std::move(*db);
@@ -258,10 +261,11 @@ TEST(Gc, IdsAreRecycledAfterPurge) {
   ASSERT_TRUE(txn->Commit().ok());
 }
 
-TEST(Gc, AutoGcTriggersAfterConfiguredCommits) {
+TEST(Gc, BacklogNudgeBoundsChainLengthWithoutForegroundGc) {
   DatabaseOptions options;
   options.in_memory = true;
-  options.gc_every_n_commits = 8;
+  options.background_gc_interval_ms = 60000;  // Interval effectively off:
+  options.gc_backlog_threshold = 8;           // only nudges can reclaim.
   auto db = std::move(*GraphDatabase::Open(options));
   NodeId id;
   {
@@ -269,15 +273,24 @@ TEST(Gc, AutoGcTriggersAfterConfiguredCommits) {
     id = *txn->CreateNode({}, {{"v", PropertyValue(int64_t{0})}});
     ASSERT_TRUE(txn->Commit().ok());
   }
-  for (int i = 0; i < 20; ++i) {
+  for (int i = 0; i < 40; ++i) {
     auto txn = db->Begin();
     ASSERT_TRUE(txn->SetNodeProperty(id, "v", PropertyValue(int64_t{i})).ok());
     ASSERT_TRUE(txn->Commit().ok());
   }
-  // Automatic GC passes must have bounded the chain length well below 21.
+  // Backlog-threshold nudges (the only automatic trigger here) must have
+  // bounded the backlog: the daemon runs as soon as 8 versions queue up.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (db->engine().gc_list.backlog() >= 8 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_LT(db->engine().gc_list.backlog(), 8u);
+  EXPECT_GE(db->gc_daemon()->nudge_passes(), 1u);
   auto node = db->engine().cache->PeekNode(id);
   ASSERT_NE(node, nullptr);
-  EXPECT_LT(node->chain.Length(), 12u);
+  EXPECT_LT(node->chain.Length(), 41u);
 }
 
 }  // namespace

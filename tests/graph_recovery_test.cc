@@ -3,9 +3,13 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <string>
+#include <thread>
 
 #include "graph/graph_database.h"
 
@@ -31,7 +35,7 @@ class RecoveryTest : public ::testing::Test {
     DatabaseOptions options;
     options.in_memory = false;
     options.path = dir_.string();
-    options.gc_every_n_commits = 0;
+    options.background_gc_interval_ms = 0;  // Deterministic: no daemon.
     return options;
   }
 
@@ -256,6 +260,119 @@ TEST_F(RecoveryTest, GcPurgesSurviveRecovery) {
   auto reader = db->Begin();
   EXPECT_TRUE(reader->GetRelationships(a)->empty());
   EXPECT_TRUE(reader->GetRelationships(b)->empty());
+}
+
+// Checkpoint vs in-flight commit: a commit parked between its WAL append
+// and its store apply holds the WAL's checkpoint epoch, so Checkpoint()
+// must BLOCK until the batch has reached the store — truncating earlier
+// would drop an acked-but-unapplied commit (unrecoverable after a crash).
+TEST_F(RecoveryTest, CheckpointWaitsForInFlightCommitBatch) {
+  NodeId id;
+  {
+    auto options = DiskOptions();
+    options.sync_commits = true;  // Through the group committer.
+    auto db = std::move(*GraphDatabase::Open(options));
+    {
+      auto txn = db->Begin();
+      id = *txn->CreateNode({}, {{"v", PropertyValue(int64_t{0})}});
+      ASSERT_TRUE(txn->Commit().ok());
+    }
+
+    // Park the next commit inside the epoch (after WAL append, before
+    // store apply).
+    db->engine().test_hooks.stall_before_store_apply.store(true);
+    std::atomic<bool> commit_acked{false};
+    std::thread committer([&] {
+      auto txn = db->Begin();
+      ASSERT_TRUE(
+          txn->SetNodeProperty(id, "v", PropertyValue(int64_t{42})).ok());
+      ASSERT_TRUE(txn->Commit().ok());
+      commit_acked.store(true);
+    });
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    while (db->engine().test_hooks.stalled_commits.load() == 0 &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    ASSERT_GE(db->engine().test_hooks.stalled_commits.load(), 1u);
+
+    // Checkpoint must not complete while the batch is in flight.
+    std::atomic<bool> checkpoint_done{false};
+    std::thread checkpointer([&] {
+      ASSERT_TRUE(db->Checkpoint().ok());
+      checkpoint_done.store(true);
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    EXPECT_FALSE(checkpoint_done.load())
+        << "Checkpoint truncated the WAL under an unapplied commit batch";
+    EXPECT_FALSE(commit_acked.load());
+
+    // Release: the commit applies, the checkpoint drains and truncates.
+    db->engine().test_hooks.stall_before_store_apply.store(false);
+    committer.join();
+    checkpointer.join();
+    EXPECT_TRUE(checkpoint_done.load());
+    EXPECT_TRUE(commit_acked.load());
+    EXPECT_EQ(db->engine().store.wal().SizeBytes(), 0u);
+  }
+  // Reopen: the acked commit survived the checkpoint that raced it.
+  auto db = std::move(*GraphDatabase::Open(DiskOptions()));
+  auto reader = db->Begin();
+  EXPECT_EQ(reader->GetNodeProperty(id, "v")->AsInt(), 42);
+}
+
+// Stress the same race: writers hammer group commits while checkpoints run
+// concurrently; after reopen EVERY acked commit must be recovered.
+TEST_F(RecoveryTest, CheckpointRacingGroupCommitsLosesNoAckedCommit) {
+  constexpr int kWriters = 4;
+  constexpr int kCommitsPerWriter = 60;
+  std::vector<NodeId> nodes(kWriters);
+  // acked[w] = highest value writer w saw acknowledged.
+  std::array<std::atomic<int64_t>, kWriters> acked{};
+  {
+    auto options = DiskOptions();
+    options.sync_commits = true;
+    auto db = std::move(*GraphDatabase::Open(options));
+    {
+      auto txn = db->Begin();
+      for (int w = 0; w < kWriters; ++w) {
+        nodes[w] =
+            *txn->CreateNode({}, {{"v", PropertyValue(int64_t{-1})}});
+      }
+      ASSERT_TRUE(txn->Commit().ok());
+    }
+    std::atomic<bool> stop{false};
+    std::thread checkpointer([&] {
+      while (!stop.load()) {
+        ASSERT_TRUE(db->Checkpoint().ok());
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    });
+    std::vector<std::thread> writers;
+    for (int w = 0; w < kWriters; ++w) {
+      writers.emplace_back([&, w] {
+        for (int i = 0; i < kCommitsPerWriter; ++i) {
+          auto txn = db->Begin();
+          ASSERT_TRUE(txn->SetNodeProperty(nodes[w], "v",
+                                           PropertyValue(int64_t{i}))
+                          .ok());
+          ASSERT_TRUE(txn->Commit().ok());
+          acked[w].store(i);
+        }
+      });
+    }
+    for (auto& t : writers) t.join();
+    stop.store(true);
+    checkpointer.join();
+  }
+  auto db = std::move(*GraphDatabase::Open(DiskOptions()));
+  auto reader = db->Begin();
+  for (int w = 0; w < kWriters; ++w) {
+    EXPECT_EQ(reader->GetNodeProperty(nodes[w], "v")->AsInt(),
+              acked[w].load())
+        << "writer " << w << ": an acked commit vanished across reopen";
+  }
 }
 
 TEST_F(RecoveryTest, TokensSurviveRecovery) {

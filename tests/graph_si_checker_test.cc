@@ -1,0 +1,479 @@
+// Black-box snapshot-isolation history checker (in the spirit of "Efficient
+// Black-box Checking of Snapshot Isolation in Databases"): record
+// multi-threaded read/write histories — txn id, snapshot timestamp, commit
+// timestamp, read set, write set — and verify the SI axioms from the
+// recorded history alone:
+//
+//   A1  Committed reads: every value read was written by a COMMITTED
+//       transaction's FINAL write (no aborted reads, no intermediate reads).
+//   A2  Snapshot reads: the value read for a key is the newest committed
+//       write with commit_ts <= the reader's snapshot timestamp (unless the
+//       reader overwrote it itself first).
+//   A3  No lost updates: two committed transactions writing the same key
+//       never have overlapping [snapshot_ts, commit_ts] intervals.
+//   A4  Commit order: commit timestamps are unique and a writer's commit is
+//       after its snapshot.
+//   A5  Write skew is PERMITTED: the one anomaly SI allows must survive the
+//       checker — a history exhibiting it passes A1..A4.
+//
+// With PR 1's staged commit pipeline (parallel application, out-of-order
+// completion, ordered publication) and this PR's asynchronous watermark-
+// paced GC racing the workload, these axioms are exactly the contract the
+// engine must keep.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <set>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "graph/graph_database.h"
+
+namespace neosi {
+namespace {
+
+/// One recorded transaction: the checker sees nothing but this.
+struct TxnRecord {
+  TxnId id = kNoTxn;
+  Timestamp snapshot_ts = kNoTimestamp;
+  Timestamp commit_ts = kNoTimestamp;  // kNoTimestamp => aborted
+  bool committed = false;
+  /// key -> value observed by the FIRST read of the key (before any own
+  /// write to it).
+  std::map<NodeId, int64_t> reads;
+  /// key -> FINAL value written (intermediate writes recorded separately).
+  std::map<NodeId, int64_t> writes;
+  /// Values written and then overwritten inside the same transaction; must
+  /// never be observed by anyone (A1's "no intermediate reads").
+  std::vector<int64_t> intermediate_writes;
+};
+
+/// Per-key index of committed writes, value -> writer.
+struct CommittedWrite {
+  Timestamp commit_ts = kNoTimestamp;
+  int64_t value = 0;
+};
+
+class SiHistoryChecker {
+ public:
+  explicit SiHistoryChecker(std::vector<TxnRecord> history)
+      : history_(std::move(history)) {}
+
+  /// Runs every axiom; collects human-readable violations.
+  std::vector<std::string> Check() {
+    IndexCommittedWrites();
+    CheckCommittedReads();     // A1
+    CheckSnapshotReads();      // A2
+    CheckNoLostUpdates();      // A3
+    CheckCommitOrder();        // A4
+    return violations_;
+  }
+
+ private:
+  void Violation(const std::string& what) { violations_.push_back(what); }
+
+  void IndexCommittedWrites() {
+    for (const TxnRecord& txn : history_) {
+      if (!txn.committed) continue;
+      for (const auto& [key, value] : txn.writes) {
+        writes_by_key_[key].push_back({txn.commit_ts, value});
+        committed_values_[key].insert(value);
+      }
+      for (int64_t value : txn.intermediate_writes) {
+        intermediate_values_.insert(value);
+      }
+    }
+    for (const TxnRecord& txn : history_) {
+      if (txn.committed) continue;
+      for (const auto& [key, value] : txn.writes) {
+        aborted_values_.insert(value);
+      }
+      for (int64_t value : txn.intermediate_writes) {
+        aborted_values_.insert(value);
+      }
+    }
+    for (auto& [key, writes] : writes_by_key_) {
+      std::sort(writes.begin(), writes.end(),
+                [](const CommittedWrite& a, const CommittedWrite& b) {
+                  return a.commit_ts < b.commit_ts;
+                });
+    }
+  }
+
+  // A1: reads resolve to committed final writes only.
+  void CheckCommittedReads() {
+    for (const TxnRecord& txn : history_) {
+      for (const auto& [key, value] : txn.reads) {
+        if (aborted_values_.count(value)) {
+          Violation("txn " + std::to_string(txn.id) + " read value " +
+                    std::to_string(value) + " written by an ABORTED txn");
+        }
+        if (intermediate_values_.count(value)) {
+          Violation("txn " + std::to_string(txn.id) + " read INTERMEDIATE " +
+                    "value " + std::to_string(value));
+        }
+        auto it = committed_values_.find(key);
+        if (it == committed_values_.end() || !it->second.count(value)) {
+          if (!aborted_values_.count(value) &&
+              !intermediate_values_.count(value)) {
+            Violation("txn " + std::to_string(txn.id) + " read value " +
+                      std::to_string(value) + " of key " +
+                      std::to_string(key) + " that NOBODY committed");
+          }
+        }
+      }
+    }
+  }
+
+  // A2: each read returns the newest committed write at the snapshot.
+  void CheckSnapshotReads() {
+    for (const TxnRecord& txn : history_) {
+      for (const auto& [key, value] : txn.reads) {
+        auto it = writes_by_key_.find(key);
+        if (it == writes_by_key_.end()) continue;
+        const CommittedWrite* expected = nullptr;
+        for (const CommittedWrite& write : it->second) {
+          if (write.commit_ts <= txn.snapshot_ts) {
+            expected = &write;
+          } else {
+            break;  // Sorted by commit_ts.
+          }
+        }
+        if (expected == nullptr) continue;  // Initial state predates history.
+        if (expected->value != value) {
+          std::ostringstream msg;
+          msg << "txn " << txn.id << " (snapshot " << txn.snapshot_ts
+              << ") read key " << key << " = " << value
+              << " but the newest committed write at its snapshot was "
+              << expected->value << " (commit_ts " << expected->commit_ts
+              << ")";
+          Violation(msg.str());
+        }
+      }
+    }
+  }
+
+  // A3: committed writers of one key never overlap.
+  void CheckNoLostUpdates() {
+    std::map<NodeId, std::vector<const TxnRecord*>> writers;
+    for (const TxnRecord& txn : history_) {
+      if (!txn.committed) continue;
+      for (const auto& [key, value] : txn.writes) {
+        writers[key].push_back(&txn);
+      }
+    }
+    for (const auto& [key, txns] : writers) {
+      for (size_t i = 0; i < txns.size(); ++i) {
+        for (size_t j = i + 1; j < txns.size(); ++j) {
+          const TxnRecord& a = *txns[i];
+          const TxnRecord& b = *txns[j];
+          const bool disjoint = a.commit_ts <= b.snapshot_ts ||
+                                b.commit_ts <= a.snapshot_ts;
+          if (!disjoint) {
+            std::ostringstream msg;
+            msg << "LOST UPDATE on key " << key << ": txns " << a.id
+                << " [" << a.snapshot_ts << "," << a.commit_ts << "] and "
+                << b.id << " [" << b.snapshot_ts << "," << b.commit_ts
+                << "] overlap and both committed writes";
+            Violation(msg.str());
+          }
+        }
+      }
+    }
+  }
+
+  // A4: unique commit timestamps, commit after snapshot.
+  void CheckCommitOrder() {
+    std::map<Timestamp, TxnId> seen;
+    for (const TxnRecord& txn : history_) {
+      if (!txn.committed) continue;
+      if (txn.commit_ts == kNoTimestamp) {
+        Violation("committed txn " + std::to_string(txn.id) +
+                  " has no commit timestamp");
+        continue;
+      }
+      if (txn.commit_ts <= txn.snapshot_ts) {
+        Violation("txn " + std::to_string(txn.id) +
+                  " committed at or before its snapshot");
+      }
+      auto [it, inserted] = seen.emplace(txn.commit_ts, txn.id);
+      if (!inserted) {
+        Violation("txns " + std::to_string(it->second) + " and " +
+                  std::to_string(txn.id) + " share commit_ts " +
+                  std::to_string(txn.commit_ts));
+      }
+    }
+  }
+
+  std::vector<TxnRecord> history_;
+  std::vector<std::string> violations_;
+  std::map<NodeId, std::vector<CommittedWrite>> writes_by_key_;
+  std::map<NodeId, std::set<int64_t>> committed_values_;
+  std::set<int64_t> aborted_values_;
+  std::set<int64_t> intermediate_values_;
+};
+
+// ---------------------------------------------------------------------------
+// History recording workload
+// ---------------------------------------------------------------------------
+
+/// Unique value encoding so every read can be attributed to its writer.
+/// thread+1 keeps the result nonzero: 0 is the seed value and must never
+/// collide with a workload write.
+int64_t MakeValue(int thread, uint64_t seq, int salt = 0) {
+  return static_cast<int64_t>(thread + 1) * 100'000'000 +
+         static_cast<int64_t>(seq) * 100 + salt;
+}
+
+/// Runs `threads` workers for `txns_per_thread` transactions each over
+/// `keys`, recording complete histories. A fraction of transactions abort
+/// deliberately (their writes must never be read), and a fraction issue an
+/// intermediate write (overwritten before commit; must never be read).
+std::vector<TxnRecord> RecordHistory(GraphDatabase& db,
+                                     const std::vector<NodeId>& keys,
+                                     int threads, int txns_per_thread) {
+  std::mutex history_mu;
+  std::vector<TxnRecord> history;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      std::vector<TxnRecord> local;
+      Random rng(t * 6151 + 17);
+      for (int i = 0; i < txns_per_thread; ++i) {
+        auto txn = db.Begin(IsolationLevel::kSnapshotIsolation);
+        TxnRecord rec;
+        rec.id = txn->id();
+        rec.snapshot_ts = txn->start_ts();
+
+        // Read 1-3 keys first (before any own write), then write 1-2.
+        const int reads = 1 + static_cast<int>(rng.Uniform(3));
+        bool failed = false;
+        for (int r = 0; r < reads && !failed; ++r) {
+          const NodeId key = keys[rng.Uniform(keys.size())];
+          if (rec.reads.count(key)) continue;
+          auto value = txn->GetNodeProperty(key, "v");
+          if (!value.ok()) {
+            failed = true;
+            break;
+          }
+          rec.reads[key] = value->AsInt();
+        }
+        const int writes = 1 + static_cast<int>(rng.Uniform(2));
+        for (int w = 0; w < writes && !failed; ++w) {
+          const NodeId key = keys[rng.Uniform(keys.size())];
+          if (rng.Uniform(8) == 0) {
+            // Intermediate write, overwritten below: invisible to everyone.
+            const int64_t tmp = MakeValue(t, i, 99);
+            if (!txn->SetNodeProperty(key, "v", PropertyValue(tmp)).ok()) {
+              failed = true;
+              break;
+            }
+            rec.intermediate_writes.push_back(tmp);
+          }
+          const int64_t value = MakeValue(t, i, w);
+          if (!txn->SetNodeProperty(key, "v", PropertyValue(value)).ok()) {
+            failed = true;
+            break;
+          }
+          rec.writes[key] = value;
+        }
+
+        if (failed || !txn->IsActive()) {
+          // Conflict abort: the engine already rolled back.
+          rec.committed = false;
+        } else if (rng.Uniform(10) == 0) {
+          txn->Abort();
+          rec.committed = false;
+        } else {
+          Status s = txn->Commit();
+          rec.committed = s.ok();
+          rec.commit_ts = txn->commit_ts();
+        }
+        local.push_back(std::move(rec));
+      }
+      std::lock_guard<std::mutex> guard(history_mu);
+      for (auto& rec : local) history.push_back(std::move(rec));
+    });
+  }
+  for (auto& t : workers) t.join();
+  return history;
+}
+
+std::unique_ptr<GraphDatabase> OpenDb(uint64_t gc_interval_ms,
+                                      uint64_t gc_backlog_threshold) {
+  DatabaseOptions options;
+  options.in_memory = true;
+  options.background_gc_interval_ms = gc_interval_ms;
+  options.gc_backlog_threshold = gc_backlog_threshold;
+  auto db = GraphDatabase::Open(options);
+  EXPECT_TRUE(db.ok()) << db.status();
+  return std::move(*db);
+}
+
+/// Seeds the counters and returns (keys, the setup record): the setup
+/// transaction participates in the history so initial reads attribute.
+std::pair<std::vector<NodeId>, TxnRecord> Seed(GraphDatabase& db, int keys) {
+  std::vector<NodeId> out;
+  auto txn = db.Begin();
+  TxnRecord rec;
+  rec.id = txn->id();
+  rec.snapshot_ts = txn->start_ts();
+  for (int i = 0; i < keys; ++i) {
+    const NodeId id = *txn->CreateNode({}, {{"v", PropertyValue(int64_t{0})}});
+    rec.writes[id] = 0;
+    out.push_back(id);
+  }
+  EXPECT_TRUE(txn->Commit().ok());
+  rec.committed = true;
+  rec.commit_ts = txn->commit_ts();
+  return {out, rec};
+}
+
+// ---------------------------------------------------------------------------
+// The suite
+// ---------------------------------------------------------------------------
+
+TEST(SiChecker, MultiThreadedHistoryIsSnapshotIsolated) {
+  // GC daemon racing the workload: interval + nudges, the PR's default path.
+  auto db = OpenDb(/*gc_interval_ms=*/1, /*gc_backlog_threshold=*/8);
+  auto [keys, seed] = Seed(*db, 8);
+  auto history = RecordHistory(*db, keys, /*threads=*/4,
+                               /*txns_per_thread=*/200);
+  history.push_back(seed);
+
+  size_t committed = 0;
+  for (const auto& rec : history) committed += rec.committed ? 1 : 0;
+  ASSERT_GT(committed, 100u) << "workload too contended to be meaningful";
+
+  SiHistoryChecker checker(std::move(history));
+  const auto violations = checker.Check();
+  for (const auto& v : violations) ADD_FAILURE() << v;
+  EXPECT_TRUE(violations.empty());
+}
+
+TEST(SiChecker, HighContentionSingleKeyHistoryIsSnapshotIsolated) {
+  // One hot key maximizes write-write conflicts and GC churn on one chain.
+  auto db = OpenDb(/*gc_interval_ms=*/1, /*gc_backlog_threshold=*/4);
+  auto [keys, seed] = Seed(*db, 1);
+  auto history = RecordHistory(*db, keys, /*threads=*/4,
+                               /*txns_per_thread=*/150);
+  history.push_back(seed);
+
+  SiHistoryChecker checker(std::move(history));
+  const auto violations = checker.Check();
+  for (const auto& v : violations) ADD_FAILURE() << v;
+  EXPECT_TRUE(violations.empty());
+}
+
+// A5: write skew — each transaction reads BOTH keys and writes the OTHER
+// one. SI permits both to commit (disjoint write sets); the checker must
+// accept the resulting history, because it is not an SI violation.
+TEST(SiChecker, WriteSkewIsPermittedAndPassesTheChecker) {
+  auto db = OpenDb(/*gc_interval_ms=*/50, /*gc_backlog_threshold=*/1024);
+  auto [keys, seed] = Seed(*db, 2);
+  const NodeId a = keys[0], b = keys[1];
+
+  auto t1 = db->Begin(IsolationLevel::kSnapshotIsolation);
+  auto t2 = db->Begin(IsolationLevel::kSnapshotIsolation);
+
+  TxnRecord r1, r2;
+  r1.id = t1->id();
+  r1.snapshot_ts = t1->start_ts();
+  r2.id = t2->id();
+  r2.snapshot_ts = t2->start_ts();
+
+  r1.reads[a] = t1->GetNodeProperty(a, "v")->AsInt();
+  r1.reads[b] = t1->GetNodeProperty(b, "v")->AsInt();
+  r2.reads[a] = t2->GetNodeProperty(a, "v")->AsInt();
+  r2.reads[b] = t2->GetNodeProperty(b, "v")->AsInt();
+
+  ASSERT_TRUE(t1->SetNodeProperty(a, "v", PropertyValue(int64_t{111})).ok());
+  r1.writes[a] = 111;
+  ASSERT_TRUE(t2->SetNodeProperty(b, "v", PropertyValue(int64_t{222})).ok());
+  r2.writes[b] = 222;
+
+  // Both commit: the classic SI anomaly.
+  ASSERT_TRUE(t1->Commit().ok());
+  r1.committed = true;
+  r1.commit_ts = t1->commit_ts();
+  ASSERT_TRUE(t2->Commit().ok());
+  r2.committed = true;
+  r2.commit_ts = t2->commit_ts();
+
+  std::vector<TxnRecord> history{seed, r1, r2};
+  SiHistoryChecker checker(std::move(history));
+  const auto violations = checker.Check();
+  for (const auto& v : violations) ADD_FAILURE() << v;
+  EXPECT_TRUE(violations.empty());
+
+  // And it really was write skew: each transaction read the other's key at
+  // its pre-commit value while both overlapped.
+  EXPECT_EQ(r1.reads.at(b), 0);
+  EXPECT_EQ(r2.reads.at(a), 0);
+}
+
+// Checker self-test: a fabricated lost-update history MUST be rejected —
+// otherwise the suite above proves nothing.
+TEST(SiChecker, CheckerRejectsFabricatedLostUpdate) {
+  TxnRecord w1, w2;
+  w1.id = 1;
+  w1.snapshot_ts = 10;
+  w1.commit_ts = 20;
+  w1.committed = true;
+  w1.writes[7] = 100;
+  w2.id = 2;
+  w2.snapshot_ts = 15;  // Overlaps [10,20] and also writes key 7.
+  w2.commit_ts = 25;
+  w2.committed = true;
+  w2.writes[7] = 200;
+  SiHistoryChecker checker({w1, w2});
+  EXPECT_FALSE(checker.Check().empty());
+}
+
+// Checker self-test: a stale read (older than the newest committed write at
+// the snapshot) must be rejected.
+TEST(SiChecker, CheckerRejectsFabricatedStaleRead) {
+  TxnRecord w1, w2, r;
+  w1.id = 1;
+  w1.snapshot_ts = 1;
+  w1.commit_ts = 2;
+  w1.committed = true;
+  w1.writes[7] = 100;
+  w2.id = 2;
+  w2.snapshot_ts = 3;
+  w2.commit_ts = 4;
+  w2.committed = true;
+  w2.writes[7] = 200;
+  r.id = 3;
+  r.snapshot_ts = 5;  // Should see 200...
+  r.committed = true;
+  r.commit_ts = 6;
+  r.reads[7] = 100;  // ...but observed the overwritten 100.
+  SiHistoryChecker checker({w1, w2, r});
+  EXPECT_FALSE(checker.Check().empty());
+}
+
+// Checker self-test: reading an aborted write must be rejected.
+TEST(SiChecker, CheckerRejectsFabricatedAbortedRead) {
+  TxnRecord w, r;
+  w.id = 1;
+  w.snapshot_ts = 1;
+  w.committed = false;  // Aborted.
+  w.writes[7] = 100;
+  r.id = 2;
+  r.snapshot_ts = 5;
+  r.committed = true;
+  r.commit_ts = 6;
+  r.reads[7] = 100;
+  SiHistoryChecker checker({w, r});
+  EXPECT_FALSE(checker.Check().empty());
+}
+
+}  // namespace
+}  // namespace neosi

@@ -39,7 +39,8 @@ TEST_P(SerialEquivalenceSweep, CommittedStateMatchesOracle) {
   DatabaseOptions options;
   options.in_memory = true;
   options.conflict_policy = policy;
-  options.gc_every_n_commits = 16;  // Exercise GC during the sweep.
+  options.background_gc_interval_ms = 1;  // Exercise GC during the sweep.
+  options.gc_backlog_threshold = 16;
   auto db = std::move(*GraphDatabase::Open(options));
 
   std::map<NodeId, ModelNode> model;
@@ -147,7 +148,8 @@ TEST_P(SnapshotStabilitySweep, RepeatedReadsIdentical) {
 
   DatabaseOptions options;
   options.in_memory = true;
-  options.gc_every_n_commits = 8;
+  options.background_gc_interval_ms = 1;
+  options.gc_backlog_threshold = 8;
   auto db = std::move(*GraphDatabase::Open(options));
   std::vector<NodeId> nodes;
   {
@@ -289,7 +291,7 @@ TEST_P(GcEquivalenceSweep, GcNeverChangesObservableState) {
 
   DatabaseOptions options;
   options.in_memory = true;
-  options.gc_every_n_commits = 0;
+  options.background_gc_interval_ms = 0;  // Manual GC only.
   auto db = std::move(*GraphDatabase::Open(options));
 
   std::map<NodeId, int64_t> model;

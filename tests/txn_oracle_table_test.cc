@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <thread>
 
 #include "txn/active_txn_table.h"
@@ -67,6 +69,87 @@ TEST(TimestampOracle, ConcurrentFinishersNeverExposeAGap) {
   for (auto& t : threads) t.join();
   EXPECT_EQ(oracle.ReadTs(), Timestamp{kPerThread * kThreads});
   EXPECT_EQ(oracle.PendingPublishCount(), 0u);
+}
+
+// Commit-wait batching: waiters park on per-timestamp slots, and a
+// watermark advance wakes ONLY the waiters it satisfies. Finishing t1 must
+// release the t1 waiter while t2/t3 stay parked; finishing t3 (watermark
+// still gated by t2) must release nobody.
+TEST(TimestampOracle, WatermarkAdvanceWakesOnlySatisfiedWaiters) {
+  TimestampOracle oracle;
+  const Timestamp t1 = oracle.NextCommitTs();
+  const Timestamp t2 = oracle.NextCommitTs();
+  const Timestamp t3 = oracle.NextCommitTs();
+
+  std::atomic<bool> done1{false}, done2{false}, done3{false};
+  std::thread w1([&] {
+    oracle.WaitUntilPublished(t1);
+    done1.store(true);
+  });
+  std::thread w2([&] {
+    oracle.WaitUntilPublished(t2);
+    done2.store(true);
+  });
+  std::thread w3([&] {
+    oracle.WaitUntilPublished(t3);
+    done3.store(true);
+  });
+
+  // All three must be parked, each on its own slot.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (oracle.WaitingSlotCount() < 3 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(oracle.WaitingSlotCount(), 3u);
+
+  oracle.FinishCommit(t1);
+  while (!done1.load() && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(done1.load());
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(done2.load());
+  EXPECT_FALSE(done3.load());
+  EXPECT_EQ(oracle.WaitingSlotCount(), 2u);  // t1's slot retired.
+
+  // t3 finishes but t2 still gates the watermark: nobody wakes.
+  oracle.FinishCommit(t3);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(done2.load());
+  EXPECT_FALSE(done3.load());
+  EXPECT_EQ(oracle.WaitingSlotCount(), 2u);
+
+  // t2 closes the gap: watermark jumps to t3, both remaining waiters wake.
+  oracle.FinishCommit(t2);
+  w1.join();
+  w2.join();
+  w3.join();
+  EXPECT_TRUE(done2.load());
+  EXPECT_TRUE(done3.load());
+  EXPECT_EQ(oracle.WaitingSlotCount(), 0u);
+  EXPECT_EQ(oracle.ReadTs(), t3);
+}
+
+TEST(TimestampOracle, RestartWakesParkedWaiters) {
+  TimestampOracle oracle;
+  const Timestamp ts = oracle.NextCommitTs();
+  std::atomic<bool> done{false};
+  std::thread waiter([&] {
+    oracle.WaitUntilPublished(ts);
+    done.store(true);
+  });
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (oracle.WaitingSlotCount() < 1 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  oracle.Restart(ts);  // Recovery publishes everything up to ts.
+  waiter.join();
+  EXPECT_TRUE(done.load());
+  EXPECT_EQ(oracle.WaitingSlotCount(), 0u);
 }
 
 TEST(TimestampOracle, RestartResumesAboveRecoveredMax) {
