@@ -43,6 +43,19 @@ struct DatabaseOptions {
   /// interval (0 disables nudging; the daemon paces on its interval alone).
   uint64_t gc_backlog_threshold = 1024;
 
+  /// Pass interval of the background checkpoint daemon in milliseconds.
+  /// Each pass runs a FUZZY incremental checkpoint (never blocks commits)
+  /// when the live WAL has outgrown checkpoint_wal_threshold, so
+  /// long-running write workloads never accumulate unbounded log. 0
+  /// disables the daemon (callers checkpoint manually).
+  uint64_t checkpoint_interval_ms = 200;
+
+  /// Live-WAL byte threshold that makes a checkpoint daemon pass actually
+  /// checkpoint (below it the wakeup is an idle skip). Commit publication
+  /// also nudges the daemon early when the live WAL crosses this many
+  /// bytes. 0 checkpoints on every interval pass.
+  uint64_t checkpoint_wal_threshold = 4ull << 20;  // 4 MiB
+
   /// fsync the WAL on every commit. Off by default: the experiments measure
   /// concurrency-control behaviour, not disk stalls.
   bool sync_commits = false;

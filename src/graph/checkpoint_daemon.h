@@ -1,0 +1,101 @@
+// Background checkpoint thread, the durability twin of GcDaemon.
+//
+// Pacing: the daemon wakes on a fixed interval and runs one FUZZY
+// incremental checkpoint (GraphStore::Checkpoint — stable LSN, dirty-store
+// sync, marker, prefix truncation; commits never block) whenever the live
+// WAL has outgrown the configured byte threshold. Commit publication nudges
+// it early when the threshold is crossed — a lock-free gauge read plus a
+// rare notify, mirroring GcDaemon's backlog nudge — so a write burst is
+// checkpointed promptly instead of waiting out the interval, and a
+// long-running workload never accumulates unbounded log.
+
+#ifndef NEOSI_GRAPH_CHECKPOINT_DAEMON_H_
+#define NEOSI_GRAPH_CHECKPOINT_DAEMON_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+
+#include "common/status.h"
+#include "storage/graph_store.h"
+
+namespace neosi {
+
+/// WAL-growth-paced asynchronous checkpoint thread over a GraphStore.
+class CheckpointDaemon {
+ public:
+  /// A pass checkpoints when the live WAL is at least `wal_threshold_bytes`
+  /// (0 = checkpoint on every interval pass).
+  CheckpointDaemon(GraphStore* store, uint64_t interval_ms,
+                   uint64_t wal_threshold_bytes);
+  ~CheckpointDaemon();
+
+  CheckpointDaemon(const CheckpointDaemon&) = delete;
+  CheckpointDaemon& operator=(const CheckpointDaemon&) = delete;
+
+  /// Starts the thread (idempotent).
+  void Start();
+
+  /// Stops and joins the thread (idempotent; also done by the destructor).
+  /// An in-flight checkpoint completes, then the thread exits.
+  void Stop();
+
+  /// Wakes the daemon for an immediate pass, regardless of the threshold.
+  void Nudge();
+
+  /// Commit-publication hook: nudges iff the live WAL has reached the
+  /// threshold. The common case is two relaxed atomic loads; an already
+  /// armed nudge is never re-notified.
+  void NudgeIfWalExceedsThreshold();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// Totals across all passes so far.
+  uint64_t passes() const { return passes_.load(std::memory_order_relaxed); }
+  uint64_t nudge_passes() const {
+    return nudge_passes_.load(std::memory_order_relaxed);
+  }
+  uint64_t interval_passes() const {
+    return interval_passes_.load(std::memory_order_relaxed);
+  }
+  /// Wakeups that found the live WAL below the threshold and skipped.
+  uint64_t idle_skips() const {
+    return idle_skips_.load(std::memory_order_relaxed);
+  }
+  /// Passes whose checkpoint returned an error (kept counting; the next
+  /// pass retries).
+  uint64_t failed_passes() const {
+    return failed_passes_.load(std::memory_order_relaxed);
+  }
+
+  uint64_t wal_threshold_bytes() const { return wal_threshold_bytes_; }
+
+ private:
+  void Loop();
+
+  GraphStore* const store_;
+  const uint64_t interval_ms_;
+  const uint64_t wal_threshold_bytes_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_requested_ = false;
+  bool nudged_ = false;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  /// Collapses the per-commit nudge storm above the threshold into one
+  /// notify until the daemon has reacted.
+  std::atomic<bool> nudge_armed_{false};
+
+  std::atomic<uint64_t> passes_{0};
+  std::atomic<uint64_t> nudge_passes_{0};
+  std::atomic<uint64_t> interval_passes_{0};
+  std::atomic<uint64_t> idle_skips_{0};
+  std::atomic<uint64_t> failed_passes_{0};
+};
+
+}  // namespace neosi
+
+#endif  // NEOSI_GRAPH_CHECKPOINT_DAEMON_H_

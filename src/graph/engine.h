@@ -21,6 +21,7 @@
 
 namespace neosi {
 
+class CheckpointDaemon;
 class GcDaemon;
 
 /// Failure-injection switches used by the recovery / crash tests. All off by
@@ -32,9 +33,9 @@ struct TestHooks {
   /// Commit crashes after this many successful store-apply operations
   /// (-1 = disabled).
   std::atomic<int> crash_after_n_store_ops{-1};
-  /// Commit parks between its WAL append and its store apply — inside the
-  /// WAL's checkpoint epoch — until the flag is cleared (checkpoint-vs-
-  /// group-commit race tests).
+  /// Commit parks between its WAL append and its store apply — with its
+  /// record's lsn pinned against checkpoint truncation — until the flag is
+  /// cleared (checkpoint-vs-group-commit race tests).
   std::atomic<bool> stall_before_store_apply{false};
   /// Number of commits that have reached the stall point above.
   std::atomic<uint64_t> stalled_commits{0};
@@ -72,6 +73,12 @@ struct Engine {
   /// reads it to nudge a pass when the GcList backlog crosses the
   /// threshold; no GC work ever runs on the commit path itself.
   std::atomic<GcDaemon*> gc_daemon{nullptr};
+
+  /// The background checkpoint daemon, published the same way (null when
+  /// checkpoint_interval_ms == 0). Commit publication nudges it when the
+  /// live WAL outgrows checkpoint_wal_threshold; no checkpoint work ever
+  /// runs on the commit path itself.
+  std::atomic<CheckpointDaemon*> checkpoint_daemon{nullptr};
 
   TestHooks test_hooks;
 };

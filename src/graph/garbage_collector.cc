@@ -14,11 +14,10 @@ uint64_t LogAndPurgeTombstones(Engine* engine, const std::vector<RelId>& rels,
   if (rels.empty() && nodes.empty()) return 0;
 
   // Physical purges are WAL-logged (with the chain pointers observed at
-  // purge time) so a crash mid-surgery is repaired by replay. The purge
-  // record and the store surgery stay inside one checkpoint epoch: a
-  // checkpoint between them would truncate the record while the surgery is
-  // mid-flight, leaving it unrepairable after a crash.
-  auto epoch = engine->store.wal().ShareEpoch();
+  // purge time) so a crash mid-surgery is repaired by replay. The record's
+  // LSN stays pinned from append until the surgery below has reached the
+  // stores: a fuzzy checkpoint racing this pass truncates only below the
+  // pin, so the record can never vanish while the surgery is mid-flight.
   WalRecord record;
   record.txn_id = kNoTxn;
   record.commit_ts = watermark;
@@ -32,8 +31,19 @@ uint64_t LogAndPurgeTombstones(Engine* engine, const std::vector<RelId>& rels,
   for (NodeId id : nodes) {
     record.ops.push_back(WalOp::PurgeNode(id));
   }
+  Lsn pinned_lsn = 0;
+  bool pinned = false;
   if (!record.ops.empty()) {
-    engine->store.wal().Append(record);
+    auto lsn = engine->store.wal().Append(record, /*pin=*/true);
+    if (!lsn.ok()) {
+      // No record ⇒ no surgery: an unlogged purge interrupted by a crash
+      // would leave dangling chain pointers nothing can repair. The
+      // tombstones stay physically present (safe — just unreclaimed); a
+      // vacuum pass can pick them up later.
+      return 0;
+    }
+    pinned_lsn = *lsn;
+    pinned = true;
   }
 
   uint64_t purged = 0;
@@ -46,6 +56,7 @@ uint64_t LogAndPurgeTombstones(Engine* engine, const std::vector<RelId>& rels,
     engine->cache->EraseNode(id);
     if (engine->store.PurgeNode(id).ok()) ++purged;
   }
+  if (pinned) engine->store.wal().Unpin(pinned_lsn);
   return purged;
 }
 

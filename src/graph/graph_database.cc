@@ -13,6 +13,8 @@ GraphDatabase::~GraphDatabase() {
   // contract violation.
   engine_->gc_daemon.store(nullptr, std::memory_order_release);
   if (gc_daemon_) gc_daemon_->Stop();
+  engine_->checkpoint_daemon.store(nullptr, std::memory_order_release);
+  if (checkpoint_daemon_) checkpoint_daemon_->Stop();
 }
 
 Result<std::unique_ptr<GraphDatabase>> GraphDatabase::Open(
@@ -50,6 +52,14 @@ Status GraphDatabase::OpenImpl() {
         engine_->options.gc_backlog_threshold);
     gc_daemon_->Start();
     engine_->gc_daemon.store(gc_daemon_.get(), std::memory_order_release);
+  }
+  if (engine_->options.checkpoint_interval_ms > 0) {
+    checkpoint_daemon_ = std::make_unique<CheckpointDaemon>(
+        &engine_->store, engine_->options.checkpoint_interval_ms,
+        engine_->options.checkpoint_wal_threshold);
+    checkpoint_daemon_->Start();
+    engine_->checkpoint_daemon.store(checkpoint_daemon_.get(),
+                                     std::memory_order_release);
   }
   return Status::OK();
 }
@@ -130,6 +140,13 @@ DatabaseStats GraphDatabase::Stats() const {
     stats.gc_daemon_passes = gc_daemon_->passes();
     stats.gc_daemon_nudge_passes = gc_daemon_->nudge_passes();
     stats.gc_daemon_interval_passes = gc_daemon_->interval_passes();
+  }
+  if (checkpoint_daemon_) {
+    stats.checkpoint_daemon_passes = checkpoint_daemon_->passes();
+    stats.checkpoint_daemon_nudge_passes = checkpoint_daemon_->nudge_passes();
+    stats.checkpoint_daemon_interval_passes =
+        checkpoint_daemon_->interval_passes();
+    stats.checkpoint_daemon_idle_skips = checkpoint_daemon_->idle_skips();
   }
   stats.active_txns = engine_->active_txns.ActiveCount();
   stats.last_committed = engine_->oracle.ReadTs();

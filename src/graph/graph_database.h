@@ -17,6 +17,7 @@
 
 #include "common/options.h"
 #include "common/status.h"
+#include "graph/checkpoint_daemon.h"
 #include "graph/engine.h"
 #include "graph/garbage_collector.h"
 #include "graph/gc_daemon.h"
@@ -42,6 +43,13 @@ struct DatabaseStats {
   uint64_t gc_daemon_passes = 0;
   uint64_t gc_daemon_nudge_passes = 0;     ///< Triggered by backlog nudges.
   uint64_t gc_daemon_interval_passes = 0;  ///< Triggered by the interval.
+  /// Checkpoint daemon pacing counters (zero when the daemon is disabled).
+  /// Checkpoint outcome counters (markers, truncated bytes, dirty-store
+  /// syncs) live in `store`.
+  uint64_t checkpoint_daemon_passes = 0;
+  uint64_t checkpoint_daemon_nudge_passes = 0;  ///< WAL-threshold nudges.
+  uint64_t checkpoint_daemon_interval_passes = 0;
+  uint64_t checkpoint_daemon_idle_skips = 0;
   uint64_t active_txns = 0;
   Timestamp last_committed = kNoTimestamp;
 };
@@ -73,7 +81,9 @@ class GraphDatabase {
   /// Runs the PostgreSQL-VACUUM-style baseline collector (full scan).
   VacuumStats RunVacuum();
 
-  /// Syncs store files and truncates the WAL.
+  /// Runs one fuzzy incremental checkpoint: fsyncs the stores dirtied
+  /// since the last checkpoint and truncates the WAL prefix below the
+  /// stable LSN. Never blocks concurrent commits.
   Status Checkpoint();
 
   /// The minimum start timestamp any active transaction observes.
@@ -89,6 +99,10 @@ class GraphDatabase {
   /// options.background_gc_interval_ms == 0).
   GcDaemon* gc_daemon() { return gc_daemon_.get(); }
 
+  /// Background checkpoint daemon — the automatic WAL-bounding path (null
+  /// only when options.checkpoint_interval_ms == 0).
+  CheckpointDaemon* checkpoint_daemon() { return checkpoint_daemon_.get(); }
+
  private:
   explicit GraphDatabase(const DatabaseOptions& options);
 
@@ -99,6 +113,7 @@ class GraphDatabase {
   std::unique_ptr<GcEngine> gc_;
   std::unique_ptr<VacuumGc> vacuum_;
   std::unique_ptr<GcDaemon> gc_daemon_;
+  std::unique_ptr<CheckpointDaemon> checkpoint_daemon_;
 
   friend class Transaction;
 };

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <thread>
 
+#include "graph/checkpoint_daemon.h"
 #include "graph/gc_daemon.h"
 #include "graph/graph_database.h"
 
@@ -911,45 +912,47 @@ Status Transaction::Commit() {
   // Timestamps are dense: every exit below must hand `ts` back to the
   // oracle via FinishCommit, or the publication watermark stalls.
 
-  {
-    // Stages 2+3 run inside the WAL's checkpoint epoch: from the moment our
-    // record can be in the log until our effects have reached the store, a
-    // checkpoint must not truncate (it would drop an acked-but-unapplied
-    // batch). Released before any publication wait — an epoch holder must
-    // never block on another commit, or Checkpoint()'s drain could deadlock.
-    auto epoch = engine_->store.wal().ShareEpoch();
+  // Stage 2 — durability: group-commit WAL append (+ shared fsync). The
+  // record's LSN comes back PINNED: a fuzzy checkpoint's stable LSN cannot
+  // advance past it (so the prefix truncation cannot drop it) until our
+  // effects have reached the store and we unpin below. Checkpoints never
+  // block commits anymore — they simply truncate up to the oldest pin.
+  auto lsn = WriteCommitRecord(ts);
+  if (!lsn.ok()) {
+    engine_->oracle.FinishCommit(ts);  // Nothing applied at ts.
+    RollbackLocked();
+    return lsn.status();
+  }
 
-    // Stage 2 — durability: group-commit WAL append (+ shared fsync).
-    Status s = WriteCommitRecord(ts);
-    if (!s.ok()) {
-      engine_->oracle.FinishCommit(ts);  // Nothing applied at ts.
-      RollbackLocked();
-      return s;
-    }
-
-    // Failure injection: crash after WAL append, before store apply.
-    if (engine_->test_hooks.crash_before_store_apply.load()) {
-      engine_->oracle.FinishCommit(ts);
-      return Status::IOError("simulated crash before store apply");
-    }
-    if (engine_->test_hooks.stall_before_store_apply.load()) {
-      engine_->test_hooks.stalled_commits.fetch_add(1);
-      while (engine_->test_hooks.stall_before_store_apply.load()) {
-        std::this_thread::sleep_for(std::chrono::milliseconds(1));
-      }
-    }
-
-    // Stage 3 — parallel application, outside any global lock: store apply,
-    // version stamping, index stamping. Concurrent committers interleave
-    // freely here; the long write locks (held until this commit has fully
-    // applied and handed its timestamp back) keep each entity single-writer.
-    s = ApplyToStore(ts);
-    if (!s.ok()) {
-      engine_->oracle.FinishCommit(ts);
-      return s;  // Store apply failure: recovery will repair from the WAL.
+  // Failure injection: crash after WAL append, before store apply. The pin
+  // is deliberately NOT released: like a real crash, the record must stay
+  // replayable until recovery applies it.
+  if (engine_->test_hooks.crash_before_store_apply.load()) {
+    engine_->oracle.FinishCommit(ts);
+    return Status::IOError("simulated crash before store apply");
+  }
+  if (engine_->test_hooks.stall_before_store_apply.load()) {
+    engine_->test_hooks.stalled_commits.fetch_add(1);
+    while (engine_->test_hooks.stall_before_store_apply.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
     }
   }
-  Status s = StampVersions(ts);
+
+  // Stage 3 — parallel application, outside any global lock: store apply,
+  // version stamping, index stamping. Concurrent committers interleave
+  // freely here; the long write locks (held until this commit has fully
+  // applied and handed its timestamp back) keep each entity single-writer.
+  Status s = ApplyToStore(ts);
+  if (!s.ok()) {
+    // Pin retained: the WAL record is now the only complete copy of this
+    // commit; truncating it before recovery replays it would lose the
+    // commit.
+    engine_->oracle.FinishCommit(ts);
+    return s;  // Store apply failure: recovery will repair from the WAL.
+  }
+  engine_->store.wal().Unpin(*lsn);
+
+  s = StampVersions(ts);
   if (!s.ok()) {
     engine_->oracle.FinishCommit(ts);
     return s;
@@ -973,6 +976,12 @@ Status Transaction::Commit() {
   if (GcDaemon* daemon =
           engine_->gc_daemon.load(std::memory_order_acquire)) {
     daemon->NudgeIfBacklogged();
+  }
+  // Same pattern for the checkpoint daemon: a write burst that outgrows
+  // the WAL threshold gets checkpointed now, not an interval later.
+  if (CheckpointDaemon* daemon =
+          engine_->checkpoint_daemon.load(std::memory_order_acquire)) {
+    daemon->NudgeIfWalExceedsThreshold();
   }
 
   // Ack in publication order: once Commit() returns, this session's next
@@ -1072,12 +1081,10 @@ Status Transaction::CommitTokenOnly() {
     record.txn_id = id_;
     record.commit_ts = engine_->oracle.ReadTs();
     record.ops = std::move(wal_ops_);
-    // Epoch-pinned like any other commit: the token-store page writes
-    // happened at GetOrCreate time (before this append), so a checkpoint
-    // either drains first and its SyncAll captures the tokens, or waits
-    // and leaves this record in the fresh log — never truncates the only
-    // durable copy.
-    auto epoch = engine_->store.wal().ShareEpoch();
+    // No LSN pin needed: the token-store page writes happened at
+    // GetOrCreate time (BEFORE this append), so a fuzzy checkpoint that
+    // truncates this record has already captured the tokens in its store
+    // sync — the record is redundant by the time it becomes truncatable.
     auto lsn = engine_->store.wal().group().Commit(
         record, engine_->options.sync_commits);
     if (!lsn.ok()) {
@@ -1110,15 +1117,15 @@ Status Transaction::ValidateCommit() {
   return Status::OK();
 }
 
-Status Transaction::WriteCommitRecord(Timestamp ts) {
+Result<Lsn> Transaction::WriteCommitRecord(Timestamp ts) {
   WalRecord record;
   record.txn_id = id_;
   record.commit_ts = ts;
   record.ops = std::move(wal_ops_);
-  auto lsn = engine_->store.wal().group().Commit(
-      record, engine_->options.sync_commits);
-  if (!lsn.ok()) return lsn.status();
-  return Status::OK();
+  // pin=true: the returned lsn stays checkpoint-proof until the caller has
+  // applied this commit to the stores and unpins it.
+  return engine_->store.wal().group().Commit(
+      record, engine_->options.sync_commits, /*pin=*/true);
 }
 
 Status Transaction::ApplyToStore(Timestamp ts) {

@@ -235,8 +235,10 @@ class Transaction {
   Status ValidateCommit();
 
   /// Appends this transaction's commit record through the group committer
-  /// (one shared fsync per batch when sync_commits is set).
-  Status WriteCommitRecord(Timestamp ts);
+  /// (one shared fsync per batch when sync_commits is set). The returned
+  /// LSN is pinned against checkpoint truncation until the commit has been
+  /// applied to the stores (Wal::Unpin).
+  Result<Lsn> WriteCommitRecord(Timestamp ts);
 
   /// Persists the newest committed version of every written entity (§4 —
   /// older versions remain in memory only). Runs concurrently with other

@@ -33,6 +33,7 @@ class DynamicStore {
 
   RecordStoreStats Stats() const { return store_.Stats(); }
   Status Sync() { return store_.Sync(); }
+  Result<bool> SyncIfDirty() { return store_.SyncIfDirty(); }
 
   /// Direct access for recovery scans.
   RecordStore& record_store() { return store_; }

@@ -1,7 +1,9 @@
 #include "storage/graph_store.h"
 
 #include <algorithm>
+#include <chrono>
 #include <map>
+#include <thread>
 #include <sys/stat.h>
 
 #include "common/coding.h"
@@ -106,6 +108,30 @@ Status GraphStore::SyncAll() {
   NEOSI_RETURN_IF_ERROR(label_tokens_->Sync());
   NEOSI_RETURN_IF_ERROR(prop_key_tokens_->Sync());
   NEOSI_RETURN_IF_ERROR(rel_type_tokens_->Sync());
+  return Status::OK();
+}
+
+Status GraphStore::SyncDirty(uint64_t* synced, uint64_t* skipped) {
+  uint64_t did = 0, skip = 0;
+  auto tally = [&](Result<bool> r) -> Status {
+    if (!r.ok()) return r.status();
+    if (*r) {
+      ++did;
+    } else {
+      ++skip;
+    }
+    return Status::OK();
+  };
+  // PropertyStore wraps two files but counts as one unit either way.
+  NEOSI_RETURN_IF_ERROR(tally(nodes_->SyncIfDirty()));
+  NEOSI_RETURN_IF_ERROR(tally(rels_->SyncIfDirty()));
+  NEOSI_RETURN_IF_ERROR(tally(props_->SyncIfDirty()));
+  NEOSI_RETURN_IF_ERROR(tally(label_dyn_->SyncIfDirty()));
+  NEOSI_RETURN_IF_ERROR(tally(label_tokens_->SyncIfDirty()));
+  NEOSI_RETURN_IF_ERROR(tally(prop_key_tokens_->SyncIfDirty()));
+  NEOSI_RETURN_IF_ERROR(tally(rel_type_tokens_->SyncIfDirty()));
+  if (synced != nullptr) *synced = did;
+  if (skipped != nullptr) *skipped = skip;
   return Status::OK();
 }
 
@@ -714,6 +740,10 @@ Status GraphStore::ApplyWalOp(const WalOp& op, Timestamp commit_ts) {
       }
       return PurgeRel(op.id);
     }
+
+    case WalOpType::kCheckpoint:
+      // Marker: consumed by Recover()'s skip logic, a no-op to apply.
+      return Status::OK();
   }
   return Status::Corruption("wal replay: unknown op");
 }
@@ -737,8 +767,27 @@ Result<Timestamp> GraphStore::Recover() {
   });
   if (!s.ok()) return s;
 
-  // Replay the WAL tail.
-  s = wal_->ReadAll([&](const WalRecord& record) {
+  // Pass 1: find the last checkpoint marker. Everything below its stable
+  // LSN had durably reached the stores when the marker was written (a crash
+  // between marker write and prefix truncation leaves such a prefix in the
+  // log; it must be skipped, not merely tolerated, to keep replay cost
+  // proportional to the un-checkpointed suffix). This pass also truncates
+  // any torn tail.
+  Lsn replay_from = wal_->HeadLsn();
+  s = wal_->ReadFrom(replay_from, [&](Lsn, const WalRecord& record) {
+    for (const WalOp& op : record.ops) {
+      if (op.type == WalOpType::kCheckpoint) {
+        replay_from = std::max<Lsn>(replay_from, op.id);
+      }
+    }
+    return Status::OK();
+  });
+  if (!s.ok()) return s;
+
+  // Pass 2: replay the suffix at or above the last stable LSN. Replay stays
+  // idempotent, so overlap with already-applied state is repaired, not
+  // double-applied.
+  s = wal_->ReadFrom(replay_from, [&](Lsn, const WalRecord& record) {
     for (const WalOp& op : record.ops) {
       NEOSI_RETURN_IF_ERROR(ApplyWalOp(op, record.commit_ts));
     }
@@ -750,13 +799,79 @@ Result<Timestamp> GraphStore::Recover() {
 }
 
 Status GraphStore::Checkpoint() {
-  // Drain the checkpoint epoch first: any commit (or GC purge) whose WAL
-  // record is appended but not yet applied to the stores still holds the
-  // epoch shared. Truncating under them would drop an acked batch that has
-  // not reached the store — unrecoverable after a crash.
-  auto epoch = wal_->DrainEpoch();
-  NEOSI_RETURN_IF_ERROR(SyncAll());
-  return wal_->Reset();
+  std::lock_guard<std::mutex> guard(checkpoint_mu_);
+
+  // 1. Stable LSN: every record below it has fully reached the stores
+  //    (in-flight commits and GC purges pin their record's lsn from append
+  //    until store apply). Read BEFORE the store sync so the sync is
+  //    guaranteed to cover those applies.
+  const Lsn stable = wal_->StableLsn();
+  const Lsn head = wal_->HeadLsn();
+  if (stable == head) {
+    // The cut cannot advance (empty log, or a commit stalled right at the
+    // head pins it). Bail before paying fsyncs or appending a marker that
+    // would restate the previous checkpoint — a stuck pin must not turn
+    // every daemon pass into WAL growth.
+    return Status::OK();
+  }
+
+  // 2. Incremental store sync: only files dirtied since the last
+  //    checkpoint pay an fsync.
+  uint64_t synced = 0, skipped = 0;
+  NEOSI_RETURN_IF_ERROR(SyncDirty(&synced, &skipped));
+  checkpoint_stores_synced_.fetch_add(synced, std::memory_order_relaxed);
+  checkpoint_stores_skipped_.fetch_add(skipped, std::memory_order_relaxed);
+
+  if (checkpoint_hooks.stall_before_marker.load(std::memory_order_acquire)) {
+    checkpoint_hooks.stalls.fetch_add(1, std::memory_order_relaxed);
+    while (
+        checkpoint_hooks.stall_before_marker.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+
+  // 3. Marker record: declares [.., stable) durably applied. Synced so a
+  //    post-crash replay can skip the prefix even if the truncation below
+  //    never happened. Skipped when nothing was in flight at step 1 —
+  //    truncating to `stable` then empties the log outright and there is
+  //    no prefix a marker could help a crash-time replay skip.
+  if (stable < wal_->NextLsn()) {
+    WalRecord marker;
+    marker.txn_id = kNoTxn;
+    marker.commit_ts = kNoTimestamp;
+    marker.ops.push_back(WalOp::Checkpoint(stable));
+    auto marker_lsn = wal_->Append(marker);
+    if (!marker_lsn.ok()) return marker_lsn.status();
+    NEOSI_RETURN_IF_ERROR(wal_->Sync());
+    checkpoint_markers_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  if (checkpoint_hooks.crash_after_marker.load(std::memory_order_acquire)) {
+    return Status::IOError("simulated crash between marker and truncation");
+  }
+
+  // 4. Drop the replayed prefix. Crash-safe in either direction: the new
+  //    head is persisted before the dead bytes are punched, and a lost
+  //    header update just means recovery skips via the marker instead.
+  NEOSI_RETURN_IF_ERROR(wal_->TruncatePrefix(stable));
+  checkpoint_bytes_truncated_.fetch_add(stable - head,
+                                        std::memory_order_relaxed);
+  checkpoints_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status GraphStore::CheckpointStopTheWorld() {
+  std::lock_guard<std::mutex> guard(checkpoint_mu_);
+  // Gate EVERY new append (commits stall at their WAL write), drain every
+  // in-flight commit, then fsync all stores and reset the log — the full
+  // write-stall the fuzzy path exists to avoid.
+  wal_->BlockAppends();
+  wal_->WaitPinsDrained();
+  Status s = SyncAll();
+  if (s.ok()) s = wal_->Reset();
+  wal_->UnblockAppends();
+  if (s.ok()) checkpoints_.fetch_add(1, std::memory_order_relaxed);
+  return s;
 }
 
 GraphStoreStats GraphStore::Stats() const {
@@ -767,6 +882,17 @@ GraphStoreStats GraphStore::Stats() const {
   stats.strings = props_->DynStats();
   stats.label_dyn = label_dyn_->Stats();
   stats.wal_bytes = wal_->SizeBytes();
+  stats.wal_head_lsn = wal_->HeadLsn();
+  stats.wal_next_lsn = wal_->NextLsn();
+  stats.checkpoints = checkpoints_.load(std::memory_order_relaxed);
+  stats.checkpoint_markers =
+      checkpoint_markers_.load(std::memory_order_relaxed);
+  stats.checkpoint_bytes_truncated =
+      checkpoint_bytes_truncated_.load(std::memory_order_relaxed);
+  stats.checkpoint_stores_synced =
+      checkpoint_stores_synced_.load(std::memory_order_relaxed);
+  stats.checkpoint_stores_skipped =
+      checkpoint_stores_skipped_.load(std::memory_order_relaxed);
   return stats;
 }
 

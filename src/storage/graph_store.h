@@ -15,8 +15,10 @@
 #define NEOSI_STORAGE_GRAPH_STORE_H_
 
 #include <array>
+#include <atomic>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -62,7 +64,30 @@ struct GraphStoreStats {
   RecordStoreStats props;
   RecordStoreStats strings;
   RecordStoreStats label_dyn;
+  /// Live WAL bytes (append cursor minus checkpointed head).
   uint64_t wal_bytes = 0;
+  uint64_t wal_head_lsn = 0;
+  uint64_t wal_next_lsn = 0;
+  /// Fuzzy checkpoint counters.
+  uint64_t checkpoints = 0;
+  uint64_t checkpoint_markers = 0;          ///< Markers written (fuzzy cuts).
+  uint64_t checkpoint_bytes_truncated = 0;  ///< WAL prefix bytes dropped.
+  uint64_t checkpoint_stores_synced = 0;    ///< Dirty files fsynced.
+  uint64_t checkpoint_stores_skipped = 0;   ///< Clean files skipped.
+};
+
+/// Failure-injection switches for checkpoint crash tests. All off by
+/// default; production paths never set them.
+struct CheckpointTestHooks {
+  /// Checkpoint() parks after syncing the stores, before writing the
+  /// marker, until cleared (commits must keep completing meanwhile).
+  std::atomic<bool> stall_before_marker{false};
+  /// Number of checkpoints that have reached the stall point above.
+  std::atomic<uint64_t> stalls{0};
+  /// Checkpoint() "crashes" (returns IOError) after writing + syncing the
+  /// marker but BEFORE truncating the WAL prefix — the classic torn
+  /// checkpoint window recovery must tolerate.
+  std::atomic<bool> crash_after_marker{false};
 };
 
 /// The persistent half of the engine. Thread-safe.
@@ -77,8 +102,12 @@ class GraphStore {
   /// Opens or creates every store file and the WAL.
   Status Open();
 
-  /// fsyncs every store file.
+  /// fsyncs every store file unconditionally.
   Status SyncAll();
+
+  /// fsyncs only the store files dirtied since the last checkpoint
+  /// (incremental half of the fuzzy checkpoint).
+  Status SyncDirty(uint64_t* synced, uint64_t* skipped);
 
   // --- id allocation (ids are assigned at operation time so uncommitted
   // entities have stable ids; released again if the transaction aborts) ----
@@ -166,13 +195,32 @@ class GraphStore {
   /// than blindly re-applied (see DESIGN.md recovery notes).
   Status ApplyWalOp(const WalOp& op, Timestamp commit_ts);
 
-  /// Replays the whole WAL through ApplyWalOp. Returns the highest commit
-  /// timestamp seen (stores + WAL), used to restart the timestamp oracle.
+  /// Replays the live WAL suffix through ApplyWalOp: finds the last
+  /// checkpoint marker and replays only records at or above its stable LSN
+  /// (everything below had durably reached the stores when the marker was
+  /// written). Returns the highest commit timestamp seen (stores + WAL),
+  /// used to restart the timestamp oracle.
   Result<Timestamp> Recover();
 
-  /// Checkpoint: sync all stores, then truncate the WAL (§4: the persistent
-  /// store holds newest committed versions, so the log can be dropped).
+  /// Fuzzy incremental checkpoint (ARIES-style; never blocks commits):
+  ///   1. read the stable LSN (every record below it has reached the
+  ///      stores — in-flight commits pin their record's lsn until applied),
+  ///   2. fsync only the stores dirtied since the last checkpoint,
+  ///   3. append + sync a checkpoint marker carrying the stable LSN,
+  ///   4. truncate the WAL prefix below the stable LSN (header rewrite +
+  ///      hole punch; recovery replays from the marker, tolerating a crash
+  ///      anywhere in this sequence).
+  /// Commit traffic proceeds concurrently through all four steps.
   Status Checkpoint();
+
+  /// The retired stop-the-world checkpoint (gate all appends, drain every
+  /// in-flight commit, fsync every store, reset the log). Kept ONLY as the
+  /// E12 bench baseline — quantifies the commit-latency spike the fuzzy
+  /// path removes.
+  Status CheckpointStopTheWorld();
+
+  /// Checkpoint crash/stall injection (tests only).
+  CheckpointTestHooks checkpoint_hooks;
 
   // --- tokens --------------------------------------------------------------
   TokenStore& labels() { return *label_tokens_; }
@@ -212,6 +260,16 @@ class GraphStore {
   Status UnlinkFromChain(RelId id, const RelationshipRecord& rec, NodeId node);
 
   DatabaseOptions options_;
+
+  /// Lifetime checkpoint counters (see GraphStoreStats).
+  std::atomic<uint64_t> checkpoints_{0};
+  std::atomic<uint64_t> checkpoint_markers_{0};
+  std::atomic<uint64_t> checkpoint_bytes_truncated_{0};
+  std::atomic<uint64_t> checkpoint_stores_synced_{0};
+  std::atomic<uint64_t> checkpoint_stores_skipped_{0};
+  /// Serializes checkpoints (fuzzy or legacy) against each other — never
+  /// against commits.
+  std::mutex checkpoint_mu_;
 
   std::unique_ptr<RecordStore> nodes_;
   std::unique_ptr<RecordStore> rels_;

@@ -3,7 +3,11 @@
 #include <fcntl.h>
 #include <sys/stat.h>
 #include <unistd.h>
+#if defined(__linux__)
+#include <linux/falloc.h>
+#endif
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 
@@ -21,17 +25,31 @@ Status InMemoryFile::ReadAt(uint64_t offset, size_t n, char* buf) const {
 }
 
 Status InMemoryFile::WriteAt(uint64_t offset, const char* data, size_t n) {
-  WriteGuard guard(latch_);
-  if (offset + n > buf_.size()) {
-    buf_.resize(offset + n, '\0');
+  {
+    WriteGuard guard(latch_);
+    if (offset + n > buf_.size()) {
+      buf_.resize(offset + n, '\0');
+    }
+    memcpy(buf_.data() + offset, data, n);
   }
-  memcpy(buf_.data() + offset, data, n);
+  MarkDirty();
   return Status::OK();
 }
 
 Status InMemoryFile::Truncate(uint64_t size) {
+  {
+    WriteGuard guard(latch_);
+    buf_.resize(size, '\0');
+  }
+  MarkDirty();
+  return Status::OK();
+}
+
+Status InMemoryFile::PunchHole(uint64_t offset, uint64_t n) {
   WriteGuard guard(latch_);
-  buf_.resize(size, '\0');
+  if (offset >= buf_.size()) return Status::OK();
+  const uint64_t end = std::min<uint64_t>(offset + n, buf_.size());
+  memset(buf_.data() + offset, 0, end - offset);
   return Status::OK();
 }
 
@@ -84,6 +102,7 @@ Status PosixFile::WriteAt(uint64_t offset, const char* data, size_t n) {
     }
     done += static_cast<size_t>(w);
   }
+  MarkDirty();
   return Status::OK();
 }
 
@@ -91,6 +110,24 @@ Status PosixFile::Truncate(uint64_t size) {
   if (::ftruncate(fd_, static_cast<off_t>(size)) != 0) {
     return Status::IOError("ftruncate " + path_ + ": " + strerror(errno));
   }
+  MarkDirty();
+  return Status::OK();
+}
+
+Status PosixFile::PunchHole(uint64_t offset, uint64_t n) {
+  if (n == 0) return Status::OK();
+#if defined(__linux__) && defined(FALLOC_FL_PUNCH_HOLE)
+  if (::fallocate(fd_, FALLOC_FL_PUNCH_HOLE | FALLOC_FL_KEEP_SIZE,
+                  static_cast<off_t>(offset), static_cast<off_t>(n)) != 0) {
+    // Advisory: not every filesystem supports holes; the dead bytes simply
+    // stay allocated until the next full Reset().
+    if (errno != EOPNOTSUPP && errno != ENOTSUP && errno != EINVAL) {
+      return Status::IOError("fallocate " + path_ + ": " + strerror(errno));
+    }
+  }
+#else
+  (void)offset;
+#endif
   return Status::OK();
 }
 

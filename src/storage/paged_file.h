@@ -7,6 +7,7 @@
 #ifndef NEOSI_STORAGE_PAGED_FILE_H_
 #define NEOSI_STORAGE_PAGED_FILE_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 
@@ -31,6 +32,43 @@ class PagedFile {
   virtual uint64_t Size() const = 0;
   /// Flushes to stable storage (no-op for the in-memory backend).
   virtual Status Sync() = 0;
+
+  /// Releases the physical storage backing [offset, offset+n) without
+  /// changing the file size; the range reads back as zeros where supported.
+  /// Advisory: backends without hole support return OK and do nothing.
+  virtual Status PunchHole(uint64_t offset, uint64_t n) {
+    (void)offset;
+    (void)n;
+    return Status::OK();
+  }
+
+  /// True when writes have landed since the last SyncIfDirty() (or since
+  /// open). Fuzzy checkpoints use this to sync only stores that changed.
+  bool dirty() const { return dirty_.load(std::memory_order_acquire); }
+
+  /// Sync() iff the file is dirty; returns whether a sync ran. The flag is
+  /// cleared BEFORE the sync, so a write racing the fsync re-dirties the
+  /// file for the next checkpoint instead of being silently treated as
+  /// persisted.
+  Result<bool> SyncIfDirty() {
+    if (!dirty_.exchange(false, std::memory_order_acq_rel)) {
+      return false;
+    }
+    Status s = Sync();
+    if (!s.ok()) {
+      dirty_.store(true, std::memory_order_release);
+      return s;
+    }
+    return true;
+  }
+
+ protected:
+  /// Implementations call this AFTER a mutation completes, so that a
+  /// cleared dirty flag implies every completed write is fsync-covered.
+  void MarkDirty() { dirty_.store(true, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> dirty_{false};
 };
 
 /// Heap-backed file; contents are lost when the object dies.
@@ -41,6 +79,9 @@ class InMemoryFile final : public PagedFile {
   Status Truncate(uint64_t size) override;
   uint64_t Size() const override;
   Status Sync() override { return Status::OK(); }
+  /// Zeroes the range (mirrors the hole-read-as-zeros contract; memory is
+  /// not actually released).
+  Status PunchHole(uint64_t offset, uint64_t n) override;
 
  private:
   mutable SharedLatch latch_;
@@ -60,6 +101,9 @@ class PosixFile final : public PagedFile {
   Status Truncate(uint64_t size) override;
   uint64_t Size() const override;
   Status Sync() override;
+  /// fallocate(PUNCH_HOLE) where the platform/filesystem supports it;
+  /// silently a no-op otherwise.
+  Status PunchHole(uint64_t offset, uint64_t n) override;
 
  private:
   explicit PosixFile(int fd, std::string path)

@@ -118,4 +118,12 @@ Status PropertyStore::Sync() {
   return dyn_.Sync();
 }
 
+Result<bool> PropertyStore::SyncIfDirty() {
+  auto a = props_.SyncIfDirty();
+  if (!a.ok()) return a;
+  auto b = dyn_.SyncIfDirty();
+  if (!b.ok()) return b;
+  return *a || *b;
+}
+
 }  // namespace neosi

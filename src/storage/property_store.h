@@ -41,6 +41,8 @@ class PropertyStore {
   RecordStoreStats PropStats() const { return props_.Stats(); }
   RecordStoreStats DynStats() const { return dyn_.Stats(); }
   Status Sync();
+  /// Returns whether either backing file needed a sync.
+  Result<bool> SyncIfDirty();
 
  private:
   RecordStore props_;

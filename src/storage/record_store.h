@@ -77,6 +77,10 @@ class RecordStore {
   RecordStoreStats Stats() const;
 
   Status Sync() { return file_->Sync(); }
+  /// Syncs only when the backing file saw writes since the last sync-if-
+  /// dirty (fuzzy checkpoints skip clean stores entirely). Returns whether
+  /// a sync actually ran.
+  Result<bool> SyncIfDirty() { return file_->SyncIfDirty(); }
 
   /// Ensures `id` is allocated (marks every id in [high_id, id] as used if
   /// needed). Used by WAL replay, where record ids are dictated by the log.

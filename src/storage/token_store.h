@@ -61,6 +61,7 @@ class TokenStore {
 
   size_t size() const;
   Status Sync() { return store_.Sync(); }
+  Result<bool> SyncIfDirty() { return store_.SyncIfDirty(); }
 
  private:
   RecordStore store_;

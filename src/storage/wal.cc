@@ -1,5 +1,6 @@
 #include "storage/wal.h"
 
+#include <algorithm>
 #include <vector>
 
 #include "common/coding.h"
@@ -8,14 +9,114 @@ namespace neosi {
 
 namespace {
 constexpr size_t kFrameHeader = 8;  // u32 length + u32 crc
+// "NWL2" — decodes as an implausibly large frame length, so a headerless
+// (v1) file is never mistaken for a v2 one.
+constexpr uint32_t kWalMagic = 0x324c574e;
+constexpr uint32_t kWalVersion = 2;
+// Slot byte layout: magic(4) version(4) head(8) base(8) seq(4) crc(4).
+constexpr size_t kHeaderCrcOffset = 28;
 }  // namespace
 
 Wal::Wal(std::unique_ptr<PagedFile> file) : file_(std::move(file)) {}
 
+Status Wal::WriteHeader() {
+  // Ping-pong: the slot holding the currently-valid header is left intact;
+  // a crash tearing this write still leaves that older slot readable.
+  ++header_seq_;
+  char buf[kHeaderSlotSize] = {};
+  EncodeFixed32(buf, kWalMagic);
+  EncodeFixed32(buf + 4, kWalVersion);
+  EncodeFixed64(buf + 8, head_lsn_.load(std::memory_order_relaxed));
+  EncodeFixed64(buf + 16, base_lsn_.load(std::memory_order_relaxed));
+  EncodeFixed32(buf + 24, header_seq_);
+  EncodeFixed32(buf + kHeaderCrcOffset, Crc32c(buf, kHeaderCrcOffset));
+  return file_->WriteAt((header_seq_ & 1) * kHeaderSlotSize, buf,
+                        kHeaderSlotSize);
+}
+
 Status Wal::Open() {
-  // Find the end of the valid prefix by walking frames.
-  const uint64_t size = file_->Size();
-  uint64_t offset = 0;
+  uint64_t size = file_->Size();
+  if (size == 0) {
+    head_lsn_.store(0, std::memory_order_relaxed);
+    base_lsn_.store(0, std::memory_order_relaxed);
+    next_lsn_.store(0, std::memory_order_relaxed);
+    NEOSI_RETURN_IF_ERROR(WriteHeader());
+  } else {
+    // Read both header slots; a slot is usable iff magic, version and CRC
+    // all check out. The valid slot with the highest seq wins — at most
+    // one slot can be torn (updates ping-pong), so a crashed header
+    // rewrite degrades to the older slot, never to fail-stop.
+    char slots[kHeaderSize] = {};
+    if (size >= kHeaderSize) {
+      NEOSI_RETURN_IF_ERROR(file_->ReadAt(0, kHeaderSize, slots));
+    } else if (size >= 4) {
+      NEOSI_RETURN_IF_ERROR(file_->ReadAt(0, std::min<uint64_t>(size, 4),
+                                          slots));
+    }
+    bool any_magic = false;
+    bool found = false;
+    uint32_t best_seq = 0;
+    Lsn head = 0, base = 0;
+    for (int i = 0; i < 2; ++i) {
+      const char* slot = slots + i * kHeaderSlotSize;
+      if (DecodeFixed32(slot) != kWalMagic) continue;
+      any_magic = true;
+      if (DecodeFixed32(slot + kHeaderCrcOffset) !=
+          Crc32c(slot, kHeaderCrcOffset)) {
+        continue;  // Torn slot; the other one carries the state.
+      }
+      if (DecodeFixed32(slot + 4) != kWalVersion) {
+        return Status::Corruption("wal header: unsupported version");
+      }
+      const uint32_t seq = DecodeFixed32(slot + 24);
+      if (!found || seq > best_seq) {
+        found = true;
+        best_seq = seq;
+        head = DecodeFixed64(slot + 8);
+        base = DecodeFixed64(slot + 16);
+      }
+    }
+    if (found) {
+      if (head < base) return Status::Corruption("wal header: head < base");
+      head_lsn_.store(head, std::memory_order_relaxed);
+      base_lsn_.store(base, std::memory_order_relaxed);
+      header_seq_ = best_seq;
+    } else if (any_magic) {
+      if (size > kHeaderSize) {
+        return Status::Corruption("wal header: both slots unreadable");
+      }
+      // Crash during the very first header write of a fresh log: no
+      // frames exist, so reinitialize.
+      head_lsn_.store(0, std::memory_order_relaxed);
+      base_lsn_.store(0, std::memory_order_relaxed);
+      NEOSI_RETURN_IF_ERROR(WriteHeader());
+    } else {
+      // Headerless v1 file: migrate WITHOUT touching the original frames.
+      // A durably-appended copy of the frames goes beyond the original
+      // extent, and the header's base mapping points the head at the copy
+      // (head = size - kHeaderSize, base = 0 ⇒ phys(head) = size). A crash
+      // before the header lands leaves a magic-less file that simply
+      // re-migrates (idempotent replay tolerates the duplicated frames
+      // that can produce); the header write itself is one sub-sector
+      // write, CRC-guarded against tearing. The dead [kHeaderSize, size)
+      // region is reclaimed by later truncations/resets.
+      std::vector<char> content(size);
+      NEOSI_RETURN_IF_ERROR(file_->ReadAt(0, size, content.data()));
+      const uint64_t copy_at = std::max<uint64_t>(size, kHeaderSize);
+      NEOSI_RETURN_IF_ERROR(file_->WriteAt(copy_at, content.data(), size));
+      NEOSI_RETURN_IF_ERROR(file_->Sync());
+      head_lsn_.store(copy_at - kHeaderSize, std::memory_order_relaxed);
+      base_lsn_.store(0, std::memory_order_relaxed);
+      NEOSI_RETURN_IF_ERROR(WriteHeader());
+      NEOSI_RETURN_IF_ERROR(file_->Sync());
+      size = file_->Size();
+    }
+  }
+
+  // Find the end of the valid frame prefix by walking from the head.
+  const Lsn base = base_lsn_.load(std::memory_order_relaxed);
+  const Lsn head = head_lsn_.load(std::memory_order_relaxed);
+  uint64_t offset = kHeaderSize + (head - base);
   std::vector<char> buf;
   while (offset + kFrameHeader <= size) {
     char header[kFrameHeader];
@@ -29,11 +130,56 @@ Status Wal::Open() {
     if (Crc32c(buf.data(), len) != crc) break;
     offset += kFrameHeader + len;
   }
-  append_offset_ = offset;
+  next_lsn_.store(base + (offset - kHeaderSize), std::memory_order_relaxed);
   return Status::OK();
 }
 
-Result<Lsn> Wal::Append(const WalRecord& record) {
+void Wal::AwaitAppendGate() {
+  if (!gate_closed_.load(std::memory_order_acquire)) return;
+  std::unique_lock<std::mutex> lock(gate_mu_);
+  gate_cv_.wait(lock, [this] {
+    return !gate_closed_.load(std::memory_order_acquire);
+  });
+}
+
+void Wal::LockAppendLatch() {
+  // The gate must be re-validated UNDER the latch: an appender that passed
+  // the gate check, got descheduled, and acquired the latch only after
+  // BlockAppends' barrier had already swept it would otherwise append (and
+  // pin) into a log the legacy checkpoint is about to Reset().
+  for (;;) {
+    AwaitAppendGate();
+    latch_.lock();
+    if (!gate_closed_.load(std::memory_order_acquire)) return;
+    latch_.unlock();
+  }
+}
+
+void Wal::BlockAppends() {
+  {
+    std::lock_guard<std::mutex> guard(gate_mu_);
+    gate_closed_.store(true, std::memory_order_release);
+  }
+  // Barrier: any appender that passed the gate before it closed has either
+  // finished its latch section (record written, pin registered) or is inside
+  // it; taking the latch once waits those out.
+  std::lock_guard<SpinLatch> barrier(latch_);
+}
+
+void Wal::UnblockAppends() {
+  {
+    std::lock_guard<std::mutex> guard(gate_mu_);
+    gate_closed_.store(false, std::memory_order_release);
+  }
+  gate_cv_.notify_all();
+}
+
+void Wal::WaitPinsDrained() {
+  std::unique_lock<std::mutex> lock(pins_mu_);
+  pins_cv_.wait(lock, [this] { return pins_.empty(); });
+}
+
+Result<Lsn> Wal::Append(const WalRecord& record, bool pin) {
   std::string payload;
   record.EncodeTo(&payload);
 
@@ -43,16 +189,27 @@ Result<Lsn> Wal::Append(const WalRecord& record) {
   PutFixed32(&frame, Crc32c(payload.data(), payload.size()));
   frame.append(payload);
 
-  std::lock_guard<SpinLatch> guard(latch_);
-  const Lsn lsn = append_offset_;
-  Status s = file_->WriteAt(append_offset_, frame.data(), frame.size());
+  LockAppendLatch();
+  std::lock_guard<SpinLatch> guard(latch_, std::adopt_lock);
+  const Lsn lsn = next_lsn_.load(std::memory_order_relaxed);
+  const uint64_t phys =
+      kHeaderSize + (lsn - base_lsn_.load(std::memory_order_relaxed));
+  Status s = file_->WriteAt(phys, frame.data(), frame.size());
   if (!s.ok()) return s;
-  append_offset_ += frame.size();
+  if (pin) {
+    std::lock_guard<std::mutex> pin_guard(pins_mu_);
+    pins_.insert(lsn);
+  }
+  // Release-publish AFTER the pin is registered: StableLsn() reads the
+  // cursor first, so any record it can observe below the cursor has its pin
+  // already visible (or has been deliberately appended unpinned).
+  next_lsn_.store(lsn + frame.size(), std::memory_order_release);
   return lsn;
 }
 
 Status Wal::AppendBatch(const std::vector<const WalRecord*>& records,
-                        std::vector<Lsn>* lsns) {
+                        std::vector<Lsn>* lsns,
+                        const std::vector<bool>* pins) {
   lsns->clear();
   lsns->reserve(records.size());
 
@@ -70,54 +227,121 @@ Status Wal::AppendBatch(const std::vector<const WalRecord*>& records,
     buffer.append(payload);
   }
 
-  std::lock_guard<SpinLatch> guard(latch_);
-  const uint64_t base = append_offset_;
-  NEOSI_RETURN_IF_ERROR(file_->WriteAt(base, buffer.data(), buffer.size()));
-  append_offset_ += buffer.size();
+  LockAppendLatch();
+  std::lock_guard<SpinLatch> guard(latch_, std::adopt_lock);
+  const Lsn first = next_lsn_.load(std::memory_order_relaxed);
+  const uint64_t phys =
+      kHeaderSize + (first - base_lsn_.load(std::memory_order_relaxed));
+  NEOSI_RETURN_IF_ERROR(file_->WriteAt(phys, buffer.data(), buffer.size()));
   for (uint64_t frame_offset : frame_offsets) {
-    lsns->push_back(base + frame_offset);
+    lsns->push_back(first + frame_offset);
   }
+  if (pins != nullptr) {
+    std::lock_guard<std::mutex> pin_guard(pins_mu_);
+    for (size_t i = 0; i < lsns->size(); ++i) {
+      if ((*pins)[i]) pins_.insert((*lsns)[i]);
+    }
+  }
+  next_lsn_.store(first + buffer.size(), std::memory_order_release);
   return Status::OK();
 }
 
 Status Wal::Sync() { return file_->Sync(); }
 
-void Wal::EnterEpoch() {
-  std::unique_lock<std::mutex> lock(epoch_mu_);
-  // A requested drain blocks new entrants at once (writer preference):
-  // checkpoint progress must not depend on commit traffic ever pausing.
-  epoch_cv_.wait(lock, [this] { return !epoch_draining_; });
-  ++epoch_holders_;
+void Wal::Unpin(Lsn lsn) {
+  std::lock_guard<std::mutex> guard(pins_mu_);
+  pins_.erase(lsn);
+  if (pins_.empty()) pins_cv_.notify_all();
 }
 
-void Wal::ExitEpoch() {
-  std::lock_guard<std::mutex> guard(epoch_mu_);
-  if (--epoch_holders_ == 0 && epoch_draining_) epoch_cv_.notify_all();
+Lsn Wal::StableLsn() const {
+  // Cursor FIRST, pins second: a pin is registered before the cursor
+  // advances past its record, so any record visible below `cursor` is
+  // either pinned here or already safely applied.
+  const Lsn cursor = next_lsn_.load(std::memory_order_acquire);
+  std::lock_guard<std::mutex> guard(pins_mu_);
+  if (pins_.empty()) return cursor;
+  return std::min(cursor, *pins_.begin());
 }
 
-void Wal::BeginDrain() {
-  std::unique_lock<std::mutex> lock(epoch_mu_);
-  epoch_cv_.wait(lock, [this] { return !epoch_draining_; });
-  epoch_draining_ = true;
-  epoch_cv_.wait(lock, [this] { return epoch_holders_ == 0; });
+size_t Wal::PinnedCount() const {
+  std::lock_guard<std::mutex> guard(pins_mu_);
+  return pins_.size();
 }
 
-void Wal::EndDrain() {
-  {
-    std::lock_guard<std::mutex> guard(epoch_mu_);
-    epoch_draining_ = false;
+Status Wal::TruncatePrefix(Lsn lsn) {
+  std::lock_guard<std::mutex> guard(trunc_mu_);
+  const Lsn head = head_lsn_.load(std::memory_order_acquire);
+  const Lsn next = next_lsn_.load(std::memory_order_acquire);
+  if (lsn <= head) return Status::OK();  // Nothing below to drop.
+  if (lsn > next) {
+    return Status::InvalidArgument("wal truncate beyond append cursor");
   }
-  epoch_cv_.notify_all();
+
+  // Whole-log cut with nothing in flight: physically rebase instead of
+  // poking a hole — the file shrinks to just the header, which also bounds
+  // backends where holes don't reclaim anything (the in-memory buffer,
+  // hole-less filesystems). Checked under the append latch so a record
+  // appended after the caller computed `lsn` can never be dropped; pins
+  // are re-checked too (a pinned record at exactly `next` is impossible,
+  // but a cheap guard beats a subtle dependency). Truncate-then-header
+  // order: a crash in between leaves the old header pointing past EOF,
+  // which opens as an empty log — correct, since everything below `lsn`
+  // was already synced into the stores.
+  {
+    LockAppendLatch();
+    std::lock_guard<SpinLatch> latch_guard(latch_, std::adopt_lock);
+    bool whole_log = next_lsn_.load(std::memory_order_relaxed) == lsn;
+    if (whole_log) {
+      std::lock_guard<std::mutex> pin_guard(pins_mu_);
+      whole_log = pins_.empty();
+    }
+    if (whole_log) {
+      head_lsn_.store(lsn, std::memory_order_release);
+      base_lsn_.store(lsn, std::memory_order_release);
+      NEOSI_RETURN_IF_ERROR(file_->Truncate(kHeaderSize));
+      NEOSI_RETURN_IF_ERROR(WriteHeader());
+      return file_->Sync();
+    }
+  }
+
+  head_lsn_.store(lsn, std::memory_order_release);
+  // Durability order matters: persist the new head BEFORE punching the dead
+  // bytes. The reverse order could zero frames that a crash-time header
+  // still points at, making the whole live log look like a torn tail.
+  NEOSI_RETURN_IF_ERROR(WriteHeader());
+  NEOSI_RETURN_IF_ERROR(file_->Sync());
+
+  // Page-align the punch or the filesystem frees nothing: a sub-page range
+  // only zeroes bytes. Everything below `dead_end` is dead, so widen the
+  // left edge down to a page boundary (re-punching an already-punched page
+  // is a no-op); the right edge shrinks to a boundary because its partial
+  // page holds live bytes. The header page itself is never punched. Pages
+  // straddling a checkpoint's cut get freed by a later checkpoint once the
+  // cut moves past them.
+  constexpr uint64_t kPunchAlign = 4096;
+  const Lsn base = base_lsn_.load(std::memory_order_acquire);
+  const uint64_t dead_begin = kHeaderSize + (head - base);
+  const uint64_t dead_end = kHeaderSize + (lsn - base);
+  const uint64_t punch_begin =
+      std::max<uint64_t>(kPunchAlign, dead_begin & ~(kPunchAlign - 1));
+  const uint64_t punch_end = dead_end & ~(kPunchAlign - 1);
+  if (punch_begin >= punch_end) return Status::OK();
+  return file_->PunchHole(punch_begin, punch_end - punch_begin);
 }
 
-Result<Lsn> GroupCommitter::Commit(const WalRecord& record, bool sync) {
+Result<Lsn> GroupCommitter::Commit(const WalRecord& record, bool sync,
+                                   bool pin) {
   if (!sync) {
     // Nothing to amortize without an fsync; a plain latched append is
     // cheaper than parking behind a leader that may be mid-fsync.
     records_.fetch_add(1, std::memory_order_relaxed);
-    return wal_->Append(record);
+    return wal_->Append(record, pin);
   }
-  Request req{&record, sync};
+  Request req;
+  req.record = &record;
+  req.sync = sync;
+  req.pin = pin;
   std::unique_lock<std::mutex> lock(mu_);
   queue_.push_back(&req);
   // Wait until a leader has handled us, or until the leader seat is free and
@@ -134,14 +358,17 @@ Result<Lsn> GroupCommitter::Commit(const WalRecord& record, bool sync) {
   lock.unlock();
 
   std::vector<const WalRecord*> records;
+  std::vector<bool> pins;
   records.reserve(batch.size());
+  pins.reserve(batch.size());
   bool want_sync = false;
   for (Request* r : batch) {
     records.push_back(r->record);
+    pins.push_back(r->pin);
     want_sync |= r->sync;
   }
   std::vector<Lsn> lsns;
-  Status write_status = wal_->AppendBatch(records, &lsns);
+  Status write_status = wal_->AppendBatch(records, &lsns, &pins);
   Status sync_status;
   if (write_status.ok() && want_sync) sync_status = wal_->Sync();
 
@@ -155,7 +382,13 @@ Result<Lsn> GroupCommitter::Commit(const WalRecord& record, bool sync) {
       r->status = write_status;
     } else {
       r->lsn = lsns[i];
-      if (r->sync && !sync_status.ok()) r->status = sync_status;
+      if (r->sync && !sync_status.ok()) {
+        r->status = sync_status;
+        // The caller sees a failed commit and rolls back — release its pin
+        // here or StableLsn() would be frozen at this lsn forever (the
+        // caller never learns the lsn of a commit that "didn't happen").
+        if (r->pin) wal_->Unpin(lsns[i]);
+      }
     }
     r->done = true;
   }
@@ -167,9 +400,16 @@ Result<Lsn> GroupCommitter::Commit(const WalRecord& record, bool sync) {
   return req.lsn;
 }
 
-Status Wal::ReadAll(const std::function<Status(const WalRecord&)>& fn) {
+Status Wal::ReadFrom(Lsn from,
+                     const std::function<Status(Lsn, const WalRecord&)>& fn) {
   const uint64_t size = file_->Size();
-  uint64_t offset = 0;
+  const Lsn base = base_lsn_.load(std::memory_order_acquire);
+  const Lsn head = head_lsn_.load(std::memory_order_acquire);
+  // `from` must be a frame boundary at or above the head (the head itself,
+  // a marker's stable LSN, or the append cursor) — the scan seeks straight
+  // to it so a marker-covered prefix costs no read or CRC work at all.
+  if (from < head) from = head;
+  uint64_t offset = kHeaderSize + (from - base);
   std::vector<char> buf;
   while (offset + kFrameHeader <= size) {
     char header[kFrameHeader];
@@ -182,10 +422,11 @@ Status Wal::ReadAll(const std::function<Status(const WalRecord&)>& fn) {
                                         buf.data()));
     if (Crc32c(buf.data(), len) != crc) break;  // torn / corrupt tail
 
+    const Lsn lsn = base + (offset - kHeaderSize);
     WalRecord record;
     NEOSI_RETURN_IF_ERROR(
         WalRecord::DecodeFrom(Slice(buf.data(), len), &record));
-    NEOSI_RETURN_IF_ERROR(fn(record));
+    NEOSI_RETURN_IF_ERROR(fn(lsn, record));
     offset += kFrameHeader + len;
   }
   // Drop any torn tail so subsequent appends extend a clean log.
@@ -193,15 +434,25 @@ Status Wal::ReadAll(const std::function<Status(const WalRecord&)>& fn) {
     NEOSI_RETURN_IF_ERROR(file_->Truncate(offset));
   }
   std::lock_guard<SpinLatch> guard(latch_);
-  append_offset_ = offset;
+  next_lsn_.store(base + (offset - kHeaderSize), std::memory_order_release);
   return Status::OK();
+}
+
+Status Wal::ReadAll(const std::function<Status(const WalRecord&)>& fn) {
+  return ReadFrom(head_lsn_.load(std::memory_order_acquire),
+                  [&fn](Lsn, const WalRecord& record) { return fn(record); });
 }
 
 Status Wal::Reset() {
   std::lock_guard<SpinLatch> guard(latch_);
-  NEOSI_RETURN_IF_ERROR(file_->Truncate(0));
-  append_offset_ = 0;
-  return Status::OK();
+  std::lock_guard<std::mutex> trunc_guard(trunc_mu_);
+  // LSNs stay monotonic across the reset: the next append continues above
+  // everything ever handed out, it just lands at the front of the file.
+  const Lsn next = next_lsn_.load(std::memory_order_relaxed);
+  head_lsn_.store(next, std::memory_order_release);
+  base_lsn_.store(next, std::memory_order_release);
+  NEOSI_RETURN_IF_ERROR(file_->Truncate(kHeaderSize));
+  return WriteHeader();
 }
 
 }  // namespace neosi

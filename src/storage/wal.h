@@ -1,15 +1,41 @@
-// Framed write-ahead log.
+// Framed write-ahead log with a truncatable head.
+//
+// File layout (v2): a fixed header region followed by frames. The header
+// is DUAL-SLOT (ping-pong): two 32-byte slots, each
+//
+//   [magic u32][version u32][head_lsn u64][base_lsn u64][seq u32][crc32c]
+//
+// Updates write the slot the current one is NOT in, so a torn header
+// write can only destroy the slot being written — Open() picks the valid
+// slot with the highest seq, and the surviving (older) slot merely makes
+// recovery replay a longer, already-applied prefix (idempotent). A torn
+// single-slot header would otherwise brick an intact database.
 //
 // Frame format: [payload_len u32][crc32c u32][payload bytes]. The reader
 // stops at the first frame whose length or checksum is invalid and reports
 // how many bytes were valid, so a torn tail write (crash mid-append) is
 // detected and truncated rather than propagated.
 //
+// LSNs are LOGICAL byte offsets: they increase monotonically for the
+// lifetime of the log, across prefix truncations and resets. A frame with
+// lsn L lives at physical offset kHeaderSize + (L - base_lsn). Fuzzy
+// checkpoints advance head_lsn (one small header rewrite, no data copying)
+// and punch a filesystem hole over the dead prefix; the byte range
+// [head_lsn, next_lsn) is the live log that recovery replays.
+//
 // Group commit: concurrent committers hand their records to the Wal's
 // GroupCommitter, which batches everything queued while the previous batch
 // was being written into ONE buffered append and (when any participant asked
 // for durability) ONE Sync() — N concurrent sync_commits transactions share
 // a single fsync instead of paying one each.
+//
+// Stable LSN: a committer whose record must not be truncated before its
+// effects reach the stores appends with pin=true; the lsn stays pinned until
+// Unpin(). StableLsn() — the fuzzy checkpoint's truncation bound — is the
+// smallest pinned lsn, or the append cursor when nothing is pinned: every
+// record below it has fully reached the stores. Pinning happens inside the
+// append (under the same ordering as the cursor advance), so there is no
+// window where an appended-but-unapplied record is invisible to StableLsn().
 
 #ifndef NEOSI_STORAGE_WAL_H_
 #define NEOSI_STORAGE_WAL_H_
@@ -20,6 +46,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <vector>
 
 #include "common/latch.h"
@@ -46,8 +73,9 @@ class GroupCommitter {
 
   /// Appends `record`, returning its LSN. When `sync` is true the record is
   /// on stable storage before this returns (possibly via a leader's fsync
-  /// that covered a whole batch).
-  Result<Lsn> Commit(const WalRecord& record, bool sync);
+  /// that covered a whole batch). When `pin` is true the LSN is pinned (see
+  /// Wal::Unpin) from the moment the record enters the log.
+  Result<Lsn> Commit(const WalRecord& record, bool sync, bool pin = false);
 
   /// Batches whose fsync covered more than one record (test / stats hook).
   uint64_t batches() const { return batches_; }
@@ -55,8 +83,9 @@ class GroupCommitter {
 
  private:
   struct Request {
-    const WalRecord* record;
-    bool sync;
+    const WalRecord* record = nullptr;
+    bool sync = false;
+    bool pin = false;
     bool done = false;
     Status status;
     Lsn lsn = 0;
@@ -71,21 +100,30 @@ class GroupCommitter {
   std::atomic<uint64_t> records_{0};
 };
 
-/// Append-only log of WalRecords over a PagedFile.
+/// Append-only log of WalRecords over a PagedFile, truncatable at the head.
 class Wal {
  public:
+  /// Size of one header slot / of the whole dual-slot header region
+  /// preceding the first frame.
+  static constexpr uint64_t kHeaderSlotSize = 32;
+  static constexpr uint64_t kHeaderSize = 2 * kHeaderSlotSize;
+
   explicit Wal(std::unique_ptr<PagedFile> file);
 
-  /// Positions the append cursor at the end of the valid prefix.
+  /// Reads or creates the header and positions the append cursor at the end
+  /// of the valid frame prefix. Headerless (v1) files are migrated in place.
   Status Open();
 
-  /// Appends one record; returns its LSN (byte offset of the frame).
-  Result<Lsn> Append(const WalRecord& record);
+  /// Appends one record; returns its LSN. With pin=true the LSN is pinned
+  /// against prefix truncation until Unpin(lsn).
+  Result<Lsn> Append(const WalRecord& record, bool pin = false);
 
   /// Appends every record with a single file write. On success `lsns[i]` is
-  /// the LSN of `records[i]`.
+  /// the LSN of `records[i]`; records whose `pins[i]` is true are pinned.
+  /// `pins` may be null (nothing pinned).
   Status AppendBatch(const std::vector<const WalRecord*>& records,
-                     std::vector<Lsn>* lsns);
+                     std::vector<Lsn>* lsns,
+                     const std::vector<bool>* pins = nullptr);
 
   /// Forces the log to stable storage.
   Status Sync();
@@ -93,78 +131,111 @@ class Wal {
   /// The commit batcher bound to this log.
   GroupCommitter& group() { return group_; }
 
-  /// Replays every valid record in order. Stops cleanly at a torn tail
-  /// (which is then truncated so later appends start from a clean state).
+  /// Replays every live record in order (from the head). Stops cleanly at a
+  /// torn tail (which is then truncated so later appends start from a clean
+  /// state).
   Status ReadAll(const std::function<Status(const WalRecord&)>& fn);
 
-  /// Truncates the log to empty (after a checkpoint).
+  /// Replays every live record at or above `from`, passing each record's
+  /// LSN. Same torn-tail handling as ReadAll.
+  Status ReadFrom(Lsn from,
+                  const std::function<Status(Lsn, const WalRecord&)>& fn);
+
+  /// Truncates the log to empty. LSNs stay monotonic: the next append
+  /// continues above every lsn ever handed out. Physical file shrinks to
+  /// just the header.
   Status Reset();
 
-  /// Bytes in the valid prefix.
-  uint64_t SizeBytes() const { return append_offset_; }
+  // --- fuzzy checkpoint support ----------------------------------------
 
-  // --- checkpoint epoch ------------------------------------------------
-  // A committer holds the epoch SHARED from before its WAL append until
-  // its effects have reached the store; Checkpoint() drains the epoch
-  // before truncating, so truncation can never drop a record (or
-  // group-commit batch) whose commit has not yet applied — an acked
-  // commit would otherwise vanish on crash. Holders never block on other
-  // commits while pinned (store apply waits on nothing), so the drain
-  // always completes. The gate is explicit (counter + draining flag, NOT a
-  // shared_mutex): a requested drain holds out new entrants immediately,
-  // so a continuous stream of overlapping commits cannot starve the
-  // checkpoint the way a reader-preferring rwlock would.
+  /// Drops the log prefix below `lsn`: advances the head (one header
+  /// rewrite + sync) and punches a filesystem hole over the dead bytes.
+  /// Appends proceed concurrently — nothing blocks. `lsn` below the current
+  /// head is a no-op; `lsn` above the append cursor is InvalidArgument.
+  Status TruncatePrefix(Lsn lsn);
 
-  /// RAII shared hold on the checkpoint epoch.
-  class EpochPin {
-   public:
-    explicit EpochPin(Wal* wal) : wal_(wal) { wal_->EnterEpoch(); }
-    ~EpochPin() { wal_->ExitEpoch(); }
-    EpochPin(const EpochPin&) = delete;
-    EpochPin& operator=(const EpochPin&) = delete;
+  /// Releases a pin taken by an Append/AppendBatch/group Commit with
+  /// pin=true. Call exactly once per pinned lsn, after the record's effects
+  /// have durably-orderably reached the stores.
+  void Unpin(Lsn lsn);
 
-   private:
-    Wal* const wal_;
-  };
+  /// The fuzzy checkpoint's truncation bound: every record below the
+  /// returned lsn has been fully applied to the stores (its appender has
+  /// unpinned). Never exceeds the append cursor.
+  Lsn StableLsn() const;
 
-  /// RAII exclusive drain of the checkpoint epoch (one drainer at a time).
-  class EpochDrain {
-   public:
-    explicit EpochDrain(Wal* wal) : wal_(wal) { wal_->BeginDrain(); }
-    ~EpochDrain() { wal_->EndDrain(); }
-    EpochDrain(const EpochDrain&) = delete;
-    EpochDrain& operator=(const EpochDrain&) = delete;
+  /// Currently pinned lsns (test / stats hook).
+  size_t PinnedCount() const;
 
-   private:
-    Wal* const wal_;
-  };
+  // --- legacy stop-the-world gate (bench comparison only) ---------------
 
-  /// Pins the checkpoint epoch (shared). Release before any wait on
-  /// publication or locks.
-  EpochPin ShareEpoch() { return EpochPin(this); }
+  /// Holds out ALL new appends until UnblockAppends(). Used only by the
+  /// legacy stop-the-world checkpoint kept for the E12 bench comparison.
+  void BlockAppends();
+  void UnblockAppends();
 
-  /// Drains the checkpoint epoch: returns once no commit is between WAL
-  /// append and store apply, and holds out new ones until destroyed.
-  EpochDrain DrainEpoch() { return EpochDrain(this); }
+  /// Blocks until no lsn is pinned. Only meaningful while appends are
+  /// blocked (otherwise new pins keep arriving).
+  void WaitPinsDrained();
+
+  // --- introspection ----------------------------------------------------
+
+  /// Bytes in the live log: append cursor minus head.
+  uint64_t SizeBytes() const {
+    return next_lsn_.load(std::memory_order_acquire) -
+           head_lsn_.load(std::memory_order_acquire);
+  }
+
+  /// First live lsn (everything below is checkpointed away).
+  Lsn HeadLsn() const { return head_lsn_.load(std::memory_order_acquire); }
+
+  /// The lsn the next append will receive.
+  Lsn NextLsn() const { return next_lsn_.load(std::memory_order_acquire); }
+
+  /// Physical file offset of `lsn` (test hook: lets tests inject torn
+  /// frames at known byte positions).
+  uint64_t PhysOf(Lsn lsn) const {
+    return kHeaderSize + (lsn - base_lsn_.load(std::memory_order_acquire));
+  }
 
  private:
   friend class GroupCommitter;
 
-  void EnterEpoch();
-  void ExitEpoch();
-  void BeginDrain();
-  void EndDrain();
+  /// Writes the next header slot (magic, version, head, base, seq, crc):
+  /// always the slot the currently-valid header is NOT in.
+  Status WriteHeader();
+
+  /// Waits while the legacy append gate is closed.
+  void AwaitAppendGate();
+
+  /// Acquires latch_ with the gate re-validated under it (an appender must
+  /// never slip past a closing gate into a log about to be Reset()).
+  void LockAppendLatch();
 
   std::unique_ptr<PagedFile> file_;
-  SpinLatch latch_;          // serializes appends
-  uint64_t append_offset_ = 0;
+  SpinLatch latch_;  // serializes appends (file write + cursor advance)
+  std::atomic<Lsn> head_lsn_{0};
+  std::atomic<Lsn> next_lsn_{0};
+  std::atomic<Lsn> base_lsn_{0};  // lsn at physical offset kHeaderSize
+  /// Sequence of the last header slot written (guarded by trunc_mu_,
+  /// except during single-threaded Open). Parity picks the next slot.
+  uint32_t header_seq_ = 0;
   GroupCommitter group_{this};
 
-  // Checkpoint epoch gate (see above).
-  std::mutex epoch_mu_;
-  std::condition_variable epoch_cv_;
-  uint64_t epoch_holders_ = 0;
-  bool epoch_draining_ = false;
+  /// Serializes header rewrites (TruncatePrefix vs Reset).
+  std::mutex trunc_mu_;
+
+  /// Pinned lsns: appended records whose effects have not yet reached the
+  /// stores. Insertion happens before the cursor advance publishes the
+  /// record; see StableLsn() for the resulting ordering argument.
+  mutable std::mutex pins_mu_;
+  std::condition_variable pins_cv_;
+  std::set<Lsn> pins_;
+
+  /// Legacy stop-the-world gate (bench only). Closed ⇒ appends park.
+  std::mutex gate_mu_;
+  std::condition_variable gate_cv_;
+  std::atomic<bool> gate_closed_{false};
 };
 
 }  // namespace neosi

@@ -107,6 +107,13 @@ WalOp WalOp::PurgeNode(NodeId id) {
   return op;
 }
 
+WalOp WalOp::Checkpoint(Lsn stable_lsn) {
+  WalOp op;
+  op.type = WalOpType::kCheckpoint;
+  op.id = stable_lsn;
+  return op;
+}
+
 WalOp WalOp::PurgeRel(RelId id, NodeId src, NodeId dst, RelId src_prev,
                       RelId src_next, RelId dst_prev, RelId dst_next) {
   WalOp op;
@@ -181,6 +188,7 @@ void WalOp::EncodeTo(std::string* dst) const {
       PutLengthPrefixedSlice(dst, Slice(name));
       break;
     case WalOpType::kPurgeNode:
+    case WalOpType::kCheckpoint:
       break;
     case WalOpType::kPurgeRel:
       PutVarint64(dst, src);
@@ -253,6 +261,7 @@ Status WalOp::DecodeFrom(Slice* input, WalOp* out) {
       return Status::OK();
     }
     case WalOpType::kPurgeNode:
+    case WalOpType::kCheckpoint:
       return Status::OK();
     case WalOpType::kPurgeRel: {
       if (!GetVarint64(input, &out->src) || !GetVarint64(input, &out->dst) ||

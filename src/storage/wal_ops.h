@@ -37,6 +37,11 @@ enum class WalOpType : uint8_t {
   /// pointers observed at purge time so crash recovery can redo the unlink
   /// surgery on the neighbour records idempotently.
   kPurgeRel = 13,
+  /// Fuzzy checkpoint marker: `id` holds the stable LSN — every record
+  /// below it had durably reached the stores when the marker was written,
+  /// so recovery replays only from the last marker's stable LSN onward.
+  /// No-op on replay apply.
+  kCheckpoint = 14,
 };
 
 /// Token family for kCreateToken ops.
@@ -90,6 +95,7 @@ struct WalOp {
   static WalOp PurgeNode(NodeId id);
   static WalOp PurgeRel(RelId id, NodeId src, NodeId dst, RelId src_prev,
                         RelId src_next, RelId dst_prev, RelId dst_next);
+  static WalOp Checkpoint(Lsn stable_lsn);
 
   void EncodeTo(std::string* dst) const;
   static Status DecodeFrom(Slice* input, WalOp* out);

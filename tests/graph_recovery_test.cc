@@ -35,7 +35,8 @@ class RecoveryTest : public ::testing::Test {
     DatabaseOptions options;
     options.in_memory = false;
     options.path = dir_.string();
-    options.background_gc_interval_ms = 0;  // Deterministic: no daemon.
+    options.background_gc_interval_ms = 0;  // Deterministic: no daemons.
+    options.checkpoint_interval_ms = 0;
     return options;
   }
 
@@ -262,11 +263,12 @@ TEST_F(RecoveryTest, GcPurgesSurviveRecovery) {
   EXPECT_TRUE(reader->GetRelationships(b)->empty());
 }
 
-// Checkpoint vs in-flight commit: a commit parked between its WAL append
-// and its store apply holds the WAL's checkpoint epoch, so Checkpoint()
-// must BLOCK until the batch has reached the store — truncating earlier
-// would drop an acked-but-unapplied commit (unrecoverable after a crash).
-TEST_F(RecoveryTest, CheckpointWaitsForInFlightCommitBatch) {
+// Fuzzy checkpoint vs in-flight commit: a commit parked between its WAL
+// append and its store apply PINS its record's lsn. Checkpoint() must NOT
+// block on it — it truncates only the prefix below the pin, writes a
+// marker, and completes while the commit is still in flight. The pinned
+// record survives the truncation and recovery still replays it.
+TEST_F(RecoveryTest, CheckpointDoesNotBlockOnInFlightCommit) {
   NodeId id;
   {
     auto options = DiskOptions();
@@ -278,8 +280,7 @@ TEST_F(RecoveryTest, CheckpointWaitsForInFlightCommitBatch) {
       ASSERT_TRUE(txn->Commit().ok());
     }
 
-    // Park the next commit inside the epoch (after WAL append, before
-    // store apply).
+    // Park the next commit between its WAL append and its store apply.
     db->engine().test_hooks.stall_before_store_apply.store(true);
     std::atomic<bool> commit_acked{false};
     std::thread committer([&] {
@@ -297,29 +298,117 @@ TEST_F(RecoveryTest, CheckpointWaitsForInFlightCommitBatch) {
     }
     ASSERT_GE(db->engine().test_hooks.stalled_commits.load(), 1u);
 
-    // Checkpoint must not complete while the batch is in flight.
-    std::atomic<bool> checkpoint_done{false};
-    std::thread checkpointer([&] {
-      ASSERT_TRUE(db->Checkpoint().ok());
-      checkpoint_done.store(true);
-    });
-    std::this_thread::sleep_for(std::chrono::milliseconds(100));
-    EXPECT_FALSE(checkpoint_done.load())
-        << "Checkpoint truncated the WAL under an unapplied commit batch";
+    // The checkpoint completes while the commit is still parked — no
+    // drain, no stall — and must leave the unapplied record in the log.
+    ASSERT_TRUE(db->Checkpoint().ok());
     EXPECT_FALSE(commit_acked.load());
+    EXPECT_GT(db->engine().store.wal().SizeBytes(), 0u)
+        << "checkpoint truncated a pinned (unapplied) commit record";
+    EXPECT_GE(db->engine().store.wal().PinnedCount(), 1u);
+    const auto stats = db->engine().store.Stats();
+    EXPECT_GE(stats.checkpoint_markers, 1u);
 
-    // Release: the commit applies, the checkpoint drains and truncates.
+    // Release: the commit applies and acks; a later checkpoint may then
+    // truncate past it.
     db->engine().test_hooks.stall_before_store_apply.store(false);
     committer.join();
-    checkpointer.join();
-    EXPECT_TRUE(checkpoint_done.load());
     EXPECT_TRUE(commit_acked.load());
+    ASSERT_TRUE(db->Checkpoint().ok());
     EXPECT_EQ(db->engine().store.wal().SizeBytes(), 0u);
   }
-  // Reopen: the acked commit survived the checkpoint that raced it.
+  // Reopen: the commit that raced the checkpoint survived.
   auto db = std::move(*GraphDatabase::Open(DiskOptions()));
   auto reader = db->Begin();
   EXPECT_EQ(reader->GetNodeProperty(id, "v")->AsInt(), 42);
+}
+
+// The other direction of the same race: commits must keep completing while
+// a checkpoint is in progress (parked mid-checkpoint via the stall hook).
+// This is the whole point of the fuzzy checkpoint — no commit stall.
+TEST_F(RecoveryTest, CommitsCompleteDuringInProgressCheckpoint) {
+  auto options = DiskOptions();
+  options.sync_commits = true;
+  auto db = std::move(*GraphDatabase::Open(options));
+  NodeId id;
+  {
+    auto txn = db->Begin();
+    id = *txn->CreateNode({}, {{"v", PropertyValue(int64_t{0})}});
+    ASSERT_TRUE(txn->Commit().ok());
+  }
+
+  // Park the checkpoint after its store sync, before its marker write.
+  db->engine().store.checkpoint_hooks.stall_before_marker.store(true);
+  std::atomic<bool> checkpoint_done{false};
+  std::thread checkpointer([&] {
+    ASSERT_TRUE(db->Checkpoint().ok());
+    checkpoint_done.store(true);
+  });
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (db->engine().store.checkpoint_hooks.stalls.load() == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_GE(db->engine().store.checkpoint_hooks.stalls.load(), 1u);
+
+  // Full durable commits complete while the checkpoint is mid-flight.
+  for (int i = 1; i <= 5; ++i) {
+    auto txn = db->Begin();
+    ASSERT_TRUE(
+        txn->SetNodeProperty(id, "v", PropertyValue(int64_t{i})).ok());
+    ASSERT_TRUE(txn->Commit().ok())
+        << "commit " << i << " blocked behind an in-progress checkpoint";
+  }
+  EXPECT_FALSE(checkpoint_done.load());
+
+  db->engine().store.checkpoint_hooks.stall_before_marker.store(false);
+  checkpointer.join();
+  EXPECT_TRUE(checkpoint_done.load());
+  auto reader = db->Begin();
+  EXPECT_EQ(reader->GetNodeProperty(id, "v")->AsInt(), 5);
+}
+
+// Crash injected between the marker write and the prefix truncation: the
+// log still holds the whole prefix plus the marker. Recovery must replay
+// from the marker's stable LSN and reproduce the pre-crash committed state
+// (including the commit whose record was appended but never store-applied).
+TEST_F(RecoveryTest, CrashBetweenMarkerAndTruncationRecovers) {
+  NodeId applied, unapplied;
+  {
+    auto db = std::move(*GraphDatabase::Open(DiskOptions()));
+    {
+      auto txn = db->Begin();
+      applied = *txn->CreateNode({}, {{"v", PropertyValue(int64_t{1})}});
+      unapplied = *txn->CreateNode({}, {{"v", PropertyValue(int64_t{1})}});
+      ASSERT_TRUE(txn->Commit().ok());
+    }
+    // This commit reaches the WAL but "crashes" before the store apply; its
+    // lsn stays pinned, so the checkpoint's stable LSN stops below it.
+    db->engine().test_hooks.crash_before_store_apply.store(true);
+    {
+      auto txn = db->Begin();
+      ASSERT_TRUE(
+          txn->SetNodeProperty(unapplied, "v", PropertyValue(int64_t{7}))
+              .ok());
+      EXPECT_TRUE(txn->Commit().IsIOError());
+    }
+    db->engine().test_hooks.crash_before_store_apply.store(false);
+
+    // Checkpoint crashes after writing + syncing the marker, before
+    // truncating the prefix.
+    db->engine().store.checkpoint_hooks.crash_after_marker.store(true);
+    EXPECT_TRUE(db->Checkpoint().IsIOError());
+    const auto stats = db->engine().store.Stats();
+    EXPECT_GE(stats.checkpoint_markers, 1u);
+    EXPECT_EQ(stats.checkpoints, 0u);  // Truncation never happened.
+  }
+  // Reopen: replay starts from the marker's stable LSN; the pinned
+  // (unapplied) record above it is replayed, the synced prefix below it is
+  // skipped — and the state matches everything ever acked.
+  auto db = std::move(*GraphDatabase::Open(DiskOptions()));
+  auto reader = db->Begin();
+  EXPECT_EQ(reader->GetNodeProperty(applied, "v")->AsInt(), 1);
+  EXPECT_EQ(reader->GetNodeProperty(unapplied, "v")->AsInt(), 7);
 }
 
 // Stress the same race: writers hammer group commits while checkpoints run

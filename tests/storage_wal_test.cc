@@ -7,6 +7,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/coding.h"
 #include "storage/wal.h"
 
 namespace neosi {
@@ -31,6 +32,7 @@ WalRecord MakeRecord(TxnId txn, Timestamp ts) {
   record.ops.push_back(WalOp::RemoveNodeProperty(1, 5));
   record.ops.push_back(WalOp::SetRelProperty(2, 4, PropertyValue("x")));
   record.ops.push_back(WalOp::RemoveRelProperty(2, 4));
+  record.ops.push_back(WalOp::Checkpoint(123456789));
   return record;
 }
 
@@ -54,6 +56,8 @@ TEST(WalOps, RecordRoundTrip) {
   EXPECT_EQ(out.ops[8].type, WalOpType::kPurgeRel);
   EXPECT_EQ(out.ops[8].src_prev, 10u);
   EXPECT_EQ(out.ops[8].dst_next, 13u);
+  EXPECT_EQ(out.ops.back().type, WalOpType::kCheckpoint);
+  EXPECT_EQ(out.ops.back().id, 123456789u);
 }
 
 TEST(WalOps, TrailingBytesRejected) {
@@ -105,7 +109,8 @@ TEST(Wal, TornTailTruncated) {
   const uint64_t valid = wal.SizeBytes();
   // Simulate a torn frame: plausible header, garbage payload.
   const char torn[] = "\x40\x00\x00\x00\x99\x99\x99\x99only-half-written";
-  ASSERT_TRUE(raw->WriteAt(valid, torn, sizeof torn).ok());
+  ASSERT_TRUE(
+      raw->WriteAt(wal.PhysOf(wal.NextLsn()), torn, sizeof torn).ok());
 
   int count = 0;
   ASSERT_TRUE(wal.ReadAll([&](const WalRecord&) {
@@ -135,9 +140,9 @@ TEST(Wal, CorruptPayloadStopsReplay) {
   const Lsn second = *wal.Append(MakeRecord(2, 20));
   // Flip a payload byte of the second frame: CRC must catch it.
   char byte;
-  ASSERT_TRUE(raw->ReadAt(second + 12, 1, &byte).ok());
+  ASSERT_TRUE(raw->ReadAt(wal.PhysOf(second) + 12, 1, &byte).ok());
   byte ^= 0x40;
-  ASSERT_TRUE(raw->WriteAt(second + 12, &byte, 1).ok());
+  ASSERT_TRUE(raw->WriteAt(wal.PhysOf(second) + 12, &byte, 1).ok());
   int count = 0;
   ASSERT_TRUE(wal.ReadAll([&](const WalRecord&) {
                    ++count;
@@ -203,6 +208,297 @@ TEST(Wal, AppendBatchFramesDecodeIndividually) {
                  })
                   .ok());
   EXPECT_EQ(seen, (std::vector<Timestamp>{10, 20, 30, 40}));
+}
+
+// ---------------------------------------------------------------------------
+// Prefix truncation (fuzzy checkpoints)
+// ---------------------------------------------------------------------------
+
+TEST(WalTruncatePrefix, DropsOnlyThePrefix) {
+  Wal wal(std::make_unique<InMemoryFile>());
+  ASSERT_TRUE(wal.Open().ok());
+  ASSERT_TRUE(wal.Append(MakeRecord(1, 10)).ok());
+  ASSERT_TRUE(wal.Append(MakeRecord(2, 20)).ok());
+  const Lsn third = *wal.Append(MakeRecord(3, 30));
+
+  ASSERT_TRUE(wal.TruncatePrefix(third).ok());
+  EXPECT_EQ(wal.HeadLsn(), third);
+
+  std::vector<Timestamp> seen;
+  ASSERT_TRUE(wal.ReadAll([&](const WalRecord& record) {
+                   seen.push_back(record.commit_ts);
+                   return Status::OK();
+                 })
+                  .ok());
+  EXPECT_EQ(seen, (std::vector<Timestamp>{30}));
+
+  // Appends continue above the truncated prefix; lsns stay monotonic.
+  const Lsn fourth = *wal.Append(MakeRecord(4, 40));
+  EXPECT_GT(fourth, third);
+  seen.clear();
+  ASSERT_TRUE(wal.ReadAll([&](const WalRecord& record) {
+                   seen.push_back(record.commit_ts);
+                   return Status::OK();
+                 })
+                  .ok());
+  EXPECT_EQ(seen, (std::vector<Timestamp>{30, 40}));
+}
+
+TEST(WalTruncatePrefix, AtZeroAndBelowHeadAreNoOps) {
+  Wal wal(std::make_unique<InMemoryFile>());
+  ASSERT_TRUE(wal.Open().ok());
+  // Truncating an empty log at zero does nothing.
+  ASSERT_TRUE(wal.TruncatePrefix(0).ok());
+  EXPECT_EQ(wal.HeadLsn(), 0u);
+  EXPECT_EQ(wal.SizeBytes(), 0u);
+
+  ASSERT_TRUE(wal.Append(MakeRecord(1, 10)).ok());
+  const Lsn second = *wal.Append(MakeRecord(2, 20));
+  ASSERT_TRUE(wal.TruncatePrefix(second).ok());
+  const uint64_t live = wal.SizeBytes();
+
+  // Zero (and anything at or below the head) must not move the head back.
+  ASSERT_TRUE(wal.TruncatePrefix(0).ok());
+  ASSERT_TRUE(wal.TruncatePrefix(second).ok());
+  EXPECT_EQ(wal.HeadLsn(), second);
+  EXPECT_EQ(wal.SizeBytes(), live);
+  int count = 0;
+  ASSERT_TRUE(wal.ReadAll([&](const WalRecord&) {
+                   ++count;
+                   return Status::OK();
+                 })
+                  .ok());
+  EXPECT_EQ(count, 1);
+}
+
+TEST(WalTruncatePrefix, AtEndEmptiesLogAndBeyondEndIsRejected) {
+  Wal wal(std::make_unique<InMemoryFile>());
+  ASSERT_TRUE(wal.Open().ok());
+  ASSERT_TRUE(wal.Append(MakeRecord(1, 10)).ok());
+  ASSERT_TRUE(wal.Append(MakeRecord(2, 20)).ok());
+  const Lsn end = wal.NextLsn();
+
+  EXPECT_TRUE(wal.TruncatePrefix(end + 1).IsInvalidArgument());
+
+  ASSERT_TRUE(wal.TruncatePrefix(end).ok());
+  EXPECT_EQ(wal.SizeBytes(), 0u);
+  int count = 0;
+  ASSERT_TRUE(wal.ReadAll([&](const WalRecord&) {
+                   ++count;
+                   return Status::OK();
+                 })
+                  .ok());
+  EXPECT_EQ(count, 0);
+
+  // The log is still appendable, with monotonically continuing lsns.
+  const Lsn next = *wal.Append(MakeRecord(3, 30));
+  EXPECT_GE(next, end);
+  count = 0;
+  ASSERT_TRUE(wal.ReadAll([&](const WalRecord&) {
+                   ++count;
+                   return Status::OK();
+                 })
+                  .ok());
+  EXPECT_EQ(count, 1);
+}
+
+TEST(WalTruncatePrefix, HeadSurvivesReopen) {
+  auto file = std::make_unique<InMemoryFile>();
+  InMemoryFile* raw = file.get();
+  Lsn third;
+  std::string bytes;
+  {
+    Wal wal(std::move(file));
+    ASSERT_TRUE(wal.Open().ok());
+    ASSERT_TRUE(wal.Append(MakeRecord(1, 10)).ok());
+    ASSERT_TRUE(wal.Append(MakeRecord(2, 20)).ok());
+    third = *wal.Append(MakeRecord(3, 30));
+    ASSERT_TRUE(wal.TruncatePrefix(third).ok());
+    bytes.resize(raw->Size());
+    ASSERT_TRUE(raw->ReadAt(0, bytes.size(), bytes.data()).ok());
+  }
+  auto file2 = std::make_unique<InMemoryFile>();
+  ASSERT_TRUE(file2->WriteAt(0, bytes.data(), bytes.size()).ok());
+  Wal reopened(std::move(file2));
+  ASSERT_TRUE(reopened.Open().ok());
+  EXPECT_EQ(reopened.HeadLsn(), third);
+  std::vector<Timestamp> seen;
+  ASSERT_TRUE(reopened.ReadAll([&](const WalRecord& record) {
+                   seen.push_back(record.commit_ts);
+                   return Status::OK();
+                 })
+                  .ok());
+  EXPECT_EQ(seen, (std::vector<Timestamp>{30}));
+}
+
+TEST(WalTruncatePrefix, TornTailAfterTruncationStillDetected) {
+  auto file = std::make_unique<InMemoryFile>();
+  InMemoryFile* raw = file.get();
+  Wal wal(std::move(file));
+  ASSERT_TRUE(wal.Open().ok());
+  ASSERT_TRUE(wal.Append(MakeRecord(1, 10)).ok());
+  const Lsn second = *wal.Append(MakeRecord(2, 20));
+  ASSERT_TRUE(wal.TruncatePrefix(second).ok());
+  ASSERT_TRUE(wal.Append(MakeRecord(3, 30)).ok());
+
+  // Torn frame beyond the valid suffix.
+  const char torn[] = "\x30\x00\x00\x00\x77\x77\x77\x77half";
+  ASSERT_TRUE(
+      raw->WriteAt(wal.PhysOf(wal.NextLsn()), torn, sizeof torn).ok());
+
+  std::vector<Timestamp> seen;
+  ASSERT_TRUE(wal.ReadAll([&](const WalRecord& record) {
+                   seen.push_back(record.commit_ts);
+                   return Status::OK();
+                 })
+                  .ok());
+  EXPECT_EQ(seen, (std::vector<Timestamp>{20, 30}));  // prefix gone, tail cut
+  // The torn bytes were truncated; appends continue cleanly.
+  ASSERT_TRUE(wal.Append(MakeRecord(4, 40)).ok());
+  seen.clear();
+  ASSERT_TRUE(wal.ReadAll([&](const WalRecord& record) {
+                   seen.push_back(record.commit_ts);
+                   return Status::OK();
+                 })
+                  .ok());
+  EXPECT_EQ(seen, (std::vector<Timestamp>{20, 30, 40}));
+}
+
+TEST(WalTruncatePrefix, TornHeaderSlotFallsBackToOlderSlot) {
+  auto file = std::make_unique<InMemoryFile>();
+  InMemoryFile* raw = file.get();
+  Lsn third;
+  std::string bytes;
+  {
+    Wal wal(std::move(file));
+    ASSERT_TRUE(wal.Open().ok());  // Header seq 1 → slot 1.
+    ASSERT_TRUE(wal.Append(MakeRecord(1, 10)).ok());
+    ASSERT_TRUE(wal.Append(MakeRecord(2, 20)).ok());
+    third = *wal.Append(MakeRecord(3, 30));
+    ASSERT_TRUE(wal.TruncatePrefix(third).ok());  // Seq 2 → slot 0.
+    bytes.resize(raw->Size());
+    ASSERT_TRUE(raw->ReadAt(0, bytes.size(), bytes.data()).ok());
+  }
+  // Tear the newest header slot (slot 0): flip a byte of its head_lsn.
+  bytes[12] ^= 0x5a;
+  auto file2 = std::make_unique<InMemoryFile>();
+  ASSERT_TRUE(file2->WriteAt(0, bytes.data(), bytes.size()).ok());
+  Wal reopened(std::move(file2));
+  ASSERT_TRUE(reopened.Open().ok());  // Falls back to slot 1 (head 0).
+  EXPECT_EQ(reopened.HeadLsn(), 0u);
+  std::vector<Timestamp> seen;
+  ASSERT_TRUE(reopened.ReadAll([&](const WalRecord& record) {
+                   seen.push_back(record.commit_ts);
+                   return Status::OK();
+                 })
+                  .ok());
+  // The older slot replays a longer, already-applied prefix — never a
+  // fail-stop, never a lost suffix.
+  EXPECT_EQ(seen, (std::vector<Timestamp>{10, 20, 30}));
+}
+
+TEST(Wal, HeaderlessV1LogMigratesOnOpen) {
+  // Build a pre-header (v1) log by hand: raw frames from byte 0.
+  auto file = std::make_unique<InMemoryFile>();
+  InMemoryFile* raw = file.get();
+  uint64_t offset = 0;
+  for (int i = 1; i <= 3; ++i) {
+    std::string payload;
+    MakeRecord(i, i * 10).EncodeTo(&payload);
+    char hdr[8];
+    EncodeFixed32(hdr, static_cast<uint32_t>(payload.size()));
+    EncodeFixed32(hdr + 4, Crc32c(payload.data(), payload.size()));
+    ASSERT_TRUE(raw->WriteAt(offset, hdr, 8).ok());
+    ASSERT_TRUE(raw->WriteAt(offset + 8, payload.data(), payload.size()).ok());
+    offset += 8 + payload.size();
+  }
+
+  Wal wal(std::move(file));
+  ASSERT_TRUE(wal.Open().ok());
+  std::vector<Timestamp> seen;
+  ASSERT_TRUE(wal.ReadAll([&](const WalRecord& record) {
+                   seen.push_back(record.commit_ts);
+                   return Status::OK();
+                 })
+                  .ok());
+  EXPECT_EQ(seen, (std::vector<Timestamp>{10, 20, 30}));
+
+  // Appends extend the migrated log; a second open sees the v2 form.
+  ASSERT_TRUE(wal.Append(MakeRecord(4, 40)).ok());
+  std::string bytes(raw->Size(), '\0');
+  ASSERT_TRUE(raw->ReadAt(0, bytes.size(), bytes.data()).ok());
+  auto file2 = std::make_unique<InMemoryFile>();
+  ASSERT_TRUE(file2->WriteAt(0, bytes.data(), bytes.size()).ok());
+  Wal reopened(std::move(file2));
+  ASSERT_TRUE(reopened.Open().ok());
+  seen.clear();
+  ASSERT_TRUE(reopened.ReadAll([&](const WalRecord& record) {
+                   seen.push_back(record.commit_ts);
+                   return Status::OK();
+                 })
+                  .ok());
+  EXPECT_EQ(seen, (std::vector<Timestamp>{10, 20, 30, 40}));
+}
+
+TEST(Wal, ResetKeepsLsnsMonotonic) {
+  Wal wal(std::make_unique<InMemoryFile>());
+  ASSERT_TRUE(wal.Open().ok());
+  const Lsn before = *wal.Append(MakeRecord(1, 10));
+  ASSERT_TRUE(wal.Reset().ok());
+  EXPECT_EQ(wal.SizeBytes(), 0u);
+  const Lsn after = *wal.Append(MakeRecord(2, 20));
+  EXPECT_GT(after, before);
+}
+
+// ---------------------------------------------------------------------------
+// LSN pins / stable LSN (the fuzzy checkpoint's truncation bound)
+// ---------------------------------------------------------------------------
+
+TEST(WalPins, StableLsnTracksOldestPin) {
+  Wal wal(std::make_unique<InMemoryFile>());
+  ASSERT_TRUE(wal.Open().ok());
+  EXPECT_EQ(wal.StableLsn(), wal.NextLsn());
+
+  const Lsn a = *wal.Append(MakeRecord(1, 10), /*pin=*/true);
+  const Lsn b = *wal.Append(MakeRecord(2, 20), /*pin=*/true);
+  ASSERT_TRUE(wal.Append(MakeRecord(3, 30)).ok());  // unpinned
+  EXPECT_EQ(wal.PinnedCount(), 2u);
+  EXPECT_EQ(wal.StableLsn(), a);
+
+  wal.Unpin(a);
+  EXPECT_EQ(wal.StableLsn(), b);
+  wal.Unpin(b);
+  EXPECT_EQ(wal.PinnedCount(), 0u);
+  EXPECT_EQ(wal.StableLsn(), wal.NextLsn());
+}
+
+TEST(WalPins, GroupCommitPinsEveryPinnedParticipant) {
+  Wal wal(std::make_unique<InMemoryFile>());
+  ASSERT_TRUE(wal.Open().ok());
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 25;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const WalRecord record = MakeRecord(t * kPerThread + i + 1, 1);
+        auto lsn = wal.group().Commit(record, /*sync=*/true, /*pin=*/true);
+        if (!lsn.ok()) {
+          failures.fetch_add(1);
+          continue;
+        }
+        // The record must be pin-protected until we release it.
+        if (wal.StableLsn() > *lsn) failures.fetch_add(1);
+        wal.Unpin(*lsn);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(wal.PinnedCount(), 0u);
+  EXPECT_EQ(wal.StableLsn(), wal.NextLsn());
 }
 
 TEST(GroupCommitter, ConcurrentSyncCommitsAllDurableAndDecodable) {
