@@ -17,9 +17,11 @@
 // Set NEOSI_BENCH_JSON=<path> to also emit every cell as JSON (the perf
 // trajectory file BENCH_throughput.json).
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstring>
+#include <filesystem>
 #include <string>
 #include <thread>
 #include <vector>
@@ -160,6 +162,26 @@ std::string MakeTempDir() {
   char tmpl[] = "/tmp/neosi_bench_XXXXXX";
   char* dir = mkdtemp(tmpl);
   return dir ? std::string(dir) : std::string();
+}
+
+/// Sum of the on-disk bytes of every WAL file in `dir` (E13's gauge).
+uint64_t WalDiskBytesIn(const std::string& dir) {
+  uint64_t total = 0;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("wal.", 0) == 0) {
+      const auto size = std::filesystem::file_size(entry, ec);
+      // The checkpoint daemon unlinks segments concurrently: a file gone
+      // between readdir and stat reports uintmax_t(-1), not a size.
+      if (ec) {
+        ec.clear();
+        continue;
+      }
+      total += static_cast<uint64_t>(size);
+    }
+  }
+  return total;
 }
 
 }  // namespace
@@ -409,6 +431,88 @@ int main() {
                 "checkpoint); legacy_drain shows p99/p99.9 spikes — every "
                 "commit that lands during the drain+fsync window stalls "
                 "behind it.\n");
+  }
+
+  Banner("E13: sustained-write WAL disk high-water (segmented vs "
+         "single-file)",
+         "rotating fixed-size segments let checkpoints reclaim disk by "
+         "unlinking whole dead segment files — unconditional on every "
+         "backend; a single-file log (emulated with one giant segment) can "
+         "only grow its extent between quiescent moments, so its on-disk "
+         "high-water tracks TOTAL log volume instead of the live bytes");
+
+  {
+    std::printf("%-12s %8s %12s %16s %14s %12s\n", "config", "threads",
+                "commits/s", "disk-peak(KiB)", "final(KiB)", "seg-deleted");
+    for (const char* config : {"segmented", "single_file"}) {
+      const int threads = 2;
+      const std::string dir = MakeTempDir();
+      if (dir.empty()) {
+        std::printf("skipped: cannot create temp dir\n");
+        continue;
+      }
+      DatabaseOptions options;
+      options.in_memory = false;
+      options.path = dir;
+      options.background_gc_interval_ms = 10;
+      options.checkpoint_interval_ms = 2;
+      options.checkpoint_wal_threshold = 8ull << 10;  // 8 KiB
+      // "single_file": one giant segment the workload never rolls past —
+      // exactly the pre-rotation behaviour on a hole-less backend (nothing
+      // below the head can be physically reclaimed while the log is hot).
+      options.wal_segment_size =
+          std::string(config) == "segmented" ? (32ull << 10) : (1ull << 30);
+      options.wal_recycle_segments = 0;  // Delete-only: crisp footprints.
+      auto opened = GraphDatabase::Open(options);
+      if (!opened.ok()) {
+        std::printf("skipped: %s\n", opened.status().ToString().c_str());
+        continue;
+      }
+      auto db = std::move(*opened);
+      auto nodes = BuildFlatNodes(*db, Scaled(4096));
+      if (!nodes.ok()) {
+        std::printf("skipped: %s\n", nodes.status().ToString().c_str());
+        continue;
+      }
+
+      std::atomic<bool> stop{false};
+      std::atomic<uint64_t> high_water{0};
+      std::thread sampler([&] {
+        while (!stop.load(std::memory_order_acquire)) {
+          const uint64_t disk = WalDiskBytesIn(dir);
+          uint64_t seen = high_water.load(std::memory_order_relaxed);
+          while (disk > seen &&
+                 !high_water.compare_exchange_weak(seen, disk)) {
+          }
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+      });
+      // 4x the standard window: the contrast needs enough TOTAL log volume
+      // to dwarf the segmented bound (many segments' worth).
+      const DriverResult r = RunCommitScalingCell(*db, *nodes, threads,
+                                                  4 * duration_ms,
+                                                  /*writes_per_txn=*/4);
+      stop.store(true, std::memory_order_release);
+      sampler.join();
+
+      // Quiesce: after a final checkpoint the segmented log collapses to
+      // one partial segment; the giant-segment log keeps its full extent.
+      (void)db->Checkpoint();
+      const uint64_t final_bytes = WalDiskBytesIn(dir);
+      const DatabaseStats stats = db->Stats();
+      std::printf("%-12s %8d %12.0f %16llu %14llu %12llu\n", config, threads,
+                  r.Throughput(),
+                  static_cast<unsigned long long>(high_water.load() >> 10),
+                  static_cast<unsigned long long>(final_bytes >> 10),
+                  static_cast<unsigned long long>(
+                      stats.store.wal_segments_deleted +
+                      stats.store.wal_segments_recycled));
+      Record("wal_disk", config, threads, r);
+    }
+    std::printf("\nexpected shape: comparable commit throughput, but the "
+                "segmented disk-peak stays near (live log + 2 segments) "
+                "while single_file's peak equals the total log volume the "
+                "run produced.\n");
   }
 
   MaybeWriteJson();

@@ -56,6 +56,18 @@ struct DatabaseOptions {
   /// bytes. 0 checkpoints on every interval pass.
   uint64_t checkpoint_wal_threshold = 4ull << 20;  // 4 MiB
 
+  /// Size at which the WAL rolls to a fresh segment file. Checkpoints
+  /// reclaim disk by UNLINKING whole segments below the stable LSN, so this
+  /// bounds both the per-file size and (together with the live bytes) the
+  /// on-disk WAL footprint on every backend — no filesystem hole support
+  /// needed.
+  uint64_t wal_segment_size = 16ull << 20;  // 16 MiB
+
+  /// Retired WAL segments kept in a recycle pool and reused for new
+  /// segments instead of being unlinked (PostgreSQL-style xlog recycling;
+  /// 0 = always unlink).
+  uint64_t wal_recycle_segments = 2;
+
   /// fsync the WAL on every commit. Off by default: the experiments measure
   /// concurrency-control behaviour, not disk stalls.
   bool sync_commits = false;

@@ -40,9 +40,18 @@ void CheckpointDaemon::Nudge() {
   cv_.notify_all();
 }
 
+bool CheckpointDaemon::WalNeedsCheckpoint() const {
+  if (wal_threshold_bytes_ == 0) return true;
+  // Byte pressure, or segment pressure: once the chain has rolled past a
+  // segment, a checkpoint can reclaim it as one whole-file unlink — pace on
+  // the physical footprint, not just the live bytes.
+  return store_->wal().SizeBytes() >= wal_threshold_bytes_ ||
+         store_->wal().SegmentCount() > 1;
+}
+
 void CheckpointDaemon::NudgeIfWalExceedsThreshold() {
   if (wal_threshold_bytes_ == 0) return;
-  if (store_->wal().SizeBytes() < wal_threshold_bytes_) return;
+  if (!WalNeedsCheckpoint()) return;
   if (nudge_armed_.exchange(true, std::memory_order_acq_rel)) return;
   Nudge();
 }
@@ -64,9 +73,9 @@ void CheckpointDaemon::Loop() {
     nudge_armed_.store(false, std::memory_order_release);
 
     // An explicit Nudge() always checkpoints; an interval wakeup only when
-    // the live WAL has outgrown the threshold. Idle wakeups cost two atomic
-    // loads — no store or log work.
-    if (!nudged && store_->wal().SizeBytes() < wal_threshold_bytes_) {
+    // the live WAL has outgrown the threshold (bytes or segments). Idle
+    // wakeups cost a few atomic loads — no store or log work.
+    if (!nudged && !WalNeedsCheckpoint()) {
       idle_skips_.fetch_add(1, std::memory_order_relaxed);
       continue;
     }

@@ -2,12 +2,14 @@
 //
 // Pacing: the daemon wakes on a fixed interval and runs one FUZZY
 // incremental checkpoint (GraphStore::Checkpoint — stable LSN, dirty-store
-// sync, marker, prefix truncation; commits never block) whenever the live
-// WAL has outgrown the configured byte threshold. Commit publication nudges
-// it early when the threshold is crossed — a lock-free gauge read plus a
-// rare notify, mirroring GcDaemon's backlog nudge — so a write burst is
+// sync, marker, segment-granular prefix truncation; commits never block)
+// whenever the live WAL has outgrown the configured byte threshold OR the
+// segment chain has rolled past a reclaimable segment. Commit publication
+// nudges it early when either trips — a lock-free gauge read plus a rare
+// notify, mirroring GcDaemon's backlog nudge — so a write burst is
 // checkpointed promptly instead of waiting out the interval, and a
-// long-running workload never accumulates unbounded log.
+// long-running workload's on-disk log footprint stays bounded by the live
+// bytes plus ~two segments.
 
 #ifndef NEOSI_GRAPH_CHECKPOINT_DAEMON_H_
 #define NEOSI_GRAPH_CHECKPOINT_DAEMON_H_
@@ -46,8 +48,10 @@ class CheckpointDaemon {
   void Nudge();
 
   /// Commit-publication hook: nudges iff the live WAL has reached the
-  /// threshold. The common case is two relaxed atomic loads; an already
-  /// armed nudge is never re-notified.
+  /// threshold, by bytes OR by segments (a rolled-past segment is whole-
+  /// file reclaimable once the stable LSN passes it — worth a pass even
+  /// below the byte threshold). The common case is a few relaxed atomic
+  /// loads; an already armed nudge is never re-notified.
   void NudgeIfWalExceedsThreshold();
 
   bool running() const { return running_.load(std::memory_order_acquire); }
@@ -74,6 +78,11 @@ class CheckpointDaemon {
 
  private:
   void Loop();
+
+  /// The pass gate shared by the interval loop and the commit nudge: live
+  /// WAL bytes past the threshold, or more than one chained segment (so a
+  /// checkpoint can turn a cold segment into an unlink).
+  bool WalNeedsCheckpoint() const;
 
   GraphStore* const store_;
   const uint64_t interval_ms_;

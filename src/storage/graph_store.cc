@@ -95,8 +95,18 @@ Status GraphStore::Open() {
       std::make_unique<TokenStore>(std::move(f), "rel-type-tokens");
   NEOSI_RETURN_IF_ERROR(rel_type_tokens_->Open());
 
-  NEOSI_RETURN_IF_ERROR(open_file("wal.log", &f));
-  wal_ = std::make_unique<Wal>(std::move(f));
+  // The WAL is a rotating chain of segment files in the same directory
+  // (wal.000001, wal.000002, …), not one file — see Wal's header comment.
+  std::shared_ptr<WalDir> wal_dir;
+  if (mem) {
+    wal_dir = std::make_shared<InMemoryWalDir>();
+  } else {
+    wal_dir = std::make_shared<PosixWalDir>(dir);
+  }
+  WalOptions wal_options;
+  wal_options.segment_size = options_.wal_segment_size;
+  wal_options.recycle_segments = options_.wal_recycle_segments;
+  wal_ = std::make_unique<Wal>(std::move(wal_dir), wal_options);
   return wal_->Open();
 }
 
@@ -175,11 +185,10 @@ Status GraphStore::WriteRelRecord(RelId id, const RelationshipRecord& rec) {
 }
 
 Status GraphStore::StoreLabels(NodeRecord* rec,
-                               const std::vector<LabelId>& labels) {
-  if (rec->label_overflow != kInvalidDynId) {
-    NEOSI_RETURN_IF_ERROR(label_dyn_->FreeBlob(rec->label_overflow));
-    rec->label_overflow = kInvalidDynId;
-  }
+                               const std::vector<LabelId>& labels,
+                               DynId* old_blob) {
+  *old_blob = rec->label_overflow;
+  rec->label_overflow = kInvalidDynId;
   rec->inline_labels.fill(kEmptyLabelSlot);
   if (LabelsFitInline(labels)) {
     for (size_t i = 0; i < labels.size(); ++i) {
@@ -209,6 +218,15 @@ Status GraphStore::LoadLabels(const NodeRecord& rec,
 
 // ---------------------------------------------------------------------------
 // Commit-time persistence
+//
+// Crash-ordering rule for every rewrite below: write the NEW property chain
+// / label blob, repoint the record at it, and only then free the OLD one.
+// A process death between any two steps then leaves at worst an allocated-
+// but-unreferenced chain (a bounded leak that WAL replay may add one more
+// of) — never an on-disk record pointing at freed chain records, which
+// recovery could only report as corruption. The same rule inverted governs
+// the purges: free the record first (replay then skips the op), chains
+// second.
 // ---------------------------------------------------------------------------
 
 Status GraphStore::PersistNewNode(NodeId id, const std::vector<LabelId>& labels,
@@ -219,7 +237,8 @@ Status GraphStore::PersistNewNode(NodeId id, const std::vector<LabelId>& labels,
   rec.deleted = false;
   rec.first_rel = kInvalidRelId;
   rec.commit_ts = ts;
-  NEOSI_RETURN_IF_ERROR(StoreLabels(&rec, labels));
+  DynId old_blob = kInvalidDynId;  // Fresh record: nothing to free.
+  NEOSI_RETURN_IF_ERROR(StoreLabels(&rec, labels, &old_blob));
   auto chain = props_->WriteChain(props);
   if (!chain.ok()) return chain.status();
   rec.first_prop = *chain;
@@ -241,14 +260,20 @@ Status GraphStore::PersistNodeState(NodeId id,
   rec.in_use = true;
   rec.deleted = false;
   rec.commit_ts = ts;
-  if (rec.first_prop != kInvalidPropId) {
-    NEOSI_RETURN_IF_ERROR(props_->FreeChain(rec.first_prop));
-  }
+  const PropId old_chain = rec.first_prop;
   auto chain = props_->WriteChain(props);
   if (!chain.ok()) return chain.status();
   rec.first_prop = *chain;
-  NEOSI_RETURN_IF_ERROR(StoreLabels(&rec, labels));
-  return WriteNodeRecord(id, rec);
+  DynId old_blob = kInvalidDynId;
+  NEOSI_RETURN_IF_ERROR(StoreLabels(&rec, labels, &old_blob));
+  NEOSI_RETURN_IF_ERROR(WriteNodeRecord(id, rec));
+  if (old_chain != kInvalidPropId) {
+    NEOSI_RETURN_IF_ERROR(props_->FreeChain(old_chain));
+  }
+  if (old_blob != kInvalidDynId) {
+    NEOSI_RETURN_IF_ERROR(label_dyn_->FreeBlob(old_blob));
+  }
+  return Status::OK();
 }
 
 Status GraphStore::PersistNodeTombstone(NodeId id, Timestamp ts) {
@@ -261,14 +286,20 @@ Status GraphStore::PersistNodeTombstone(NodeId id, Timestamp ts) {
   }
   // The final committed state of a deleted node has no labels/properties;
   // older versions (with them) live in the object cache until GC.
-  if (rec.first_prop != kInvalidPropId) {
-    NEOSI_RETURN_IF_ERROR(props_->FreeChain(rec.first_prop));
-    rec.first_prop = kInvalidPropId;
-  }
-  NEOSI_RETURN_IF_ERROR(StoreLabels(&rec, {}));
+  const PropId old_chain = rec.first_prop;
+  rec.first_prop = kInvalidPropId;
+  DynId old_blob = kInvalidDynId;
+  NEOSI_RETURN_IF_ERROR(StoreLabels(&rec, {}, &old_blob));
   rec.deleted = true;
   rec.commit_ts = ts;
-  return WriteNodeRecord(id, rec);
+  NEOSI_RETURN_IF_ERROR(WriteNodeRecord(id, rec));
+  if (old_chain != kInvalidPropId) {
+    NEOSI_RETURN_IF_ERROR(props_->FreeChain(old_chain));
+  }
+  if (old_blob != kInvalidDynId) {
+    NEOSI_RETURN_IF_ERROR(label_dyn_->FreeBlob(old_blob));
+  }
+  return Status::OK();
 }
 
 Status GraphStore::LinkIntoChain(RelId id, RelationshipRecord* rec,
@@ -342,15 +373,17 @@ Status GraphStore::PersistRelState(RelId id, const PropertyMap& props,
     return Status::Internal("state write to free relationship record " +
                             std::to_string(id));
   }
-  if (rec.first_prop != kInvalidPropId) {
-    NEOSI_RETURN_IF_ERROR(props_->FreeChain(rec.first_prop));
-  }
+  const PropId old_chain = rec.first_prop;
   auto chain = props_->WriteChain(props);
   if (!chain.ok()) return chain.status();
   rec.first_prop = *chain;
   rec.deleted = false;
   rec.commit_ts = ts;
-  return WriteRelRecord(id, rec);
+  NEOSI_RETURN_IF_ERROR(WriteRelRecord(id, rec));
+  if (old_chain != kInvalidPropId) {
+    NEOSI_RETURN_IF_ERROR(props_->FreeChain(old_chain));
+  }
+  return Status::OK();
 }
 
 Status GraphStore::PersistRelTombstone(RelId id, Timestamp ts) {
@@ -364,13 +397,15 @@ Status GraphStore::PersistRelTombstone(RelId id, Timestamp ts) {
     return Status::Internal("tombstone of free relationship record " +
                             std::to_string(id));
   }
-  if (rec.first_prop != kInvalidPropId) {
-    NEOSI_RETURN_IF_ERROR(props_->FreeChain(rec.first_prop));
-    rec.first_prop = kInvalidPropId;
-  }
+  const PropId old_chain = rec.first_prop;
+  rec.first_prop = kInvalidPropId;
   rec.deleted = true;
   rec.commit_ts = ts;
-  return WriteRelRecord(id, rec);
+  NEOSI_RETURN_IF_ERROR(WriteRelRecord(id, rec));
+  if (old_chain != kInvalidPropId) {
+    NEOSI_RETURN_IF_ERROR(props_->FreeChain(old_chain));
+  }
+  return Status::OK();
 }
 
 // ---------------------------------------------------------------------------
@@ -387,13 +422,17 @@ Status GraphStore::PurgeNode(NodeId id) {
         "purge of node with live relationship chain: node " +
         std::to_string(id));
   }
+  // Record first, chains second: a crash in between leaks the chains (the
+  // replayed purge skips the already-free record), whereas the reverse
+  // order would leave an in-use record pointing at freed chains.
+  NEOSI_RETURN_IF_ERROR(nodes_->Free(id));
   if (rec.first_prop != kInvalidPropId) {
     NEOSI_RETURN_IF_ERROR(props_->FreeChain(rec.first_prop));
   }
   if (rec.label_overflow != kInvalidDynId) {
     NEOSI_RETURN_IF_ERROR(label_dyn_->FreeBlob(rec.label_overflow));
   }
-  return nodes_->Free(id);
+  return Status::OK();
 }
 
 Status GraphStore::UnlinkFromChain(RelId id, const RelationshipRecord& rec,
@@ -460,10 +499,12 @@ Status GraphStore::PurgeRel(RelId id) {
   if (rec.dst != rec.src) {
     NEOSI_RETURN_IF_ERROR(UnlinkFromChain(id, rec, rec.dst));
   }
+  // Record first, chain second (see PurgeNode).
+  NEOSI_RETURN_IF_ERROR(rels_->Free(id));
   if (rec.first_prop != kInvalidPropId) {
     NEOSI_RETURN_IF_ERROR(props_->FreeChain(rec.first_prop));
   }
-  return rels_->Free(id);
+  return Status::OK();
 }
 
 // ---------------------------------------------------------------------------
@@ -713,14 +754,23 @@ Status GraphStore::ApplyWalOp(const WalOp& op, Timestamp commit_ts) {
       return PersistRelState(op.id, state.props, commit_ts);
     }
 
-    case WalOpType::kPurgeNode:
+    case WalOpType::kPurgeNode: {
       if (op.id >= nodes_->high_id()) return Status::OK();
+      NodeRecord rec;
+      NEOSI_RETURN_IF_ERROR(ReadNodeRecord(op.id, &rec));
+      // Purges only ever target tombstoned records: a live record here
+      // means the id was purged and REUSED — the op is stale, and blindly
+      // re-purging would destroy the new tenant.
+      if (rec.in_use && !rec.deleted) return Status::OK();
       return PurgeNode(op.id);
+    }
 
     case WalOpType::kPurgeRel: {
       if (op.id >= rels_->high_id()) return Status::OK();
       RelationshipRecord rec;
       NEOSI_RETURN_IF_ERROR(ReadRelRecord(op.id, &rec));
+      // Stale purge against a reused id (see kPurgeNode above).
+      if (rec.in_use && !rec.deleted) return Status::OK();
       if (!rec.in_use) {
         // Record already freed; redo the neighbour surgery idempotently
         // using the pointers logged at purge time.
@@ -830,31 +880,48 @@ Status GraphStore::Checkpoint() {
     }
   }
 
+  NEOSI_RETURN_IF_ERROR(fault_hooks.Check("checkpoint.pre_marker"));
+
   // 3. Marker record: declares [.., stable) durably applied. Synced so a
   //    post-crash replay can skip the prefix even if the truncation below
-  //    never happened. Skipped when nothing was in flight at step 1 —
-  //    truncating to `stable` then empties the log outright and there is
-  //    no prefix a marker could help a crash-time replay skip.
-  if (stable < wal_->NextLsn()) {
+  //    never happened. The marker is MANDATORY on every cut: segment-
+  //    granular truncation keeps the pre-stable bytes of the partially-dead
+  //    oldest segment on disk, and after a crash recovery rescans the whole
+  //    retained chain — without a marker it would replay stale records
+  //    below the stable LSN (harmless for the idempotent data ops, but a
+  //    stale GC purge replayed against a reused record id is not). When the
+  //    log was fully applied at step 1 the cut extends past the marker
+  //    itself: the live log reads empty, while the marker frame physically
+  //    survives in the active segment to steer any crash-time replay.
+  Lsn cut = stable;
+  {
     WalRecord marker;
     marker.txn_id = kNoTxn;
     marker.commit_ts = kNoTimestamp;
     marker.ops.push_back(WalOp::Checkpoint(stable));
-    auto marker_lsn = wal_->Append(marker);
+    Lsn marker_end = 0;
+    auto marker_lsn = wal_->Append(marker, /*pin=*/false, &marker_end);
     if (!marker_lsn.ok()) return marker_lsn.status();
     NEOSI_RETURN_IF_ERROR(wal_->Sync());
     checkpoint_markers_.fetch_add(1, std::memory_order_relaxed);
+    // Only when the marker landed EXACTLY at the stable LSN is everything
+    // below it applied (a commit that slipped in between is unapplied and
+    // pinned — the cut must stay below it).
+    if (*marker_lsn == stable) cut = marker_end;
   }
 
   if (checkpoint_hooks.crash_after_marker.load(std::memory_order_acquire)) {
     return Status::IOError("simulated crash between marker and truncation");
   }
+  NEOSI_RETURN_IF_ERROR(fault_hooks.Check("checkpoint.post_marker"));
 
-  // 4. Drop the replayed prefix. Crash-safe in either direction: the new
-  //    head is persisted before the dead bytes are punched, and a lost
-  //    header update just means recovery skips via the marker instead.
-  NEOSI_RETURN_IF_ERROR(wal_->TruncatePrefix(stable));
-  checkpoint_bytes_truncated_.fetch_add(stable - head,
+  // 4. Drop the replayed prefix: segments wholly below the cut are
+  //    unlinked (or recycled). Crash-safe in either direction: a crash
+  //    before the unlink just leaves dead segments recovery skips via the
+  //    marker; the unlink itself only removes fully-applied, fully-synced
+  //    records (or the marker, which survives in the active segment).
+  NEOSI_RETURN_IF_ERROR(wal_->TruncatePrefix(cut));
+  checkpoint_bytes_truncated_.fetch_add(cut - head,
                                         std::memory_order_relaxed);
   checkpoints_.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
@@ -884,6 +951,12 @@ GraphStoreStats GraphStore::Stats() const {
   stats.wal_bytes = wal_->SizeBytes();
   stats.wal_head_lsn = wal_->HeadLsn();
   stats.wal_next_lsn = wal_->NextLsn();
+  stats.wal_segments = wal_->SegmentCount();
+  stats.wal_physical_bytes = wal_->PhysicalBytes();
+  stats.wal_segments_created = wal_->segments_created();
+  stats.wal_segments_deleted = wal_->segments_deleted();
+  stats.wal_segments_recycled = wal_->segments_recycled();
+  stats.wal_segments_reused = wal_->segments_reused();
   stats.checkpoints = checkpoints_.load(std::memory_order_relaxed);
   stats.checkpoint_markers =
       checkpoint_markers_.load(std::memory_order_relaxed);

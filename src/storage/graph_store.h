@@ -68,6 +68,13 @@ struct GraphStoreStats {
   uint64_t wal_bytes = 0;
   uint64_t wal_head_lsn = 0;
   uint64_t wal_next_lsn = 0;
+  /// Rotating WAL segment gauges/counters.
+  uint64_t wal_segments = 0;            ///< Segment files currently chained.
+  uint64_t wal_physical_bytes = 0;      ///< On-disk bytes of the chain.
+  uint64_t wal_segments_created = 0;    ///< Fresh segment files created.
+  uint64_t wal_segments_deleted = 0;    ///< Dead segments unlinked outright.
+  uint64_t wal_segments_recycled = 0;   ///< Dead segments parked for reuse.
+  uint64_t wal_segments_reused = 0;     ///< Pool segments re-entering chain.
   /// Fuzzy checkpoint counters.
   uint64_t checkpoints = 0;
   uint64_t checkpoint_markers = 0;          ///< Markers written (fuzzy cuts).
@@ -207,9 +214,9 @@ class GraphStore {
   ///      stores — in-flight commits pin their record's lsn until applied),
   ///   2. fsync only the stores dirtied since the last checkpoint,
   ///   3. append + sync a checkpoint marker carrying the stable LSN,
-  ///   4. truncate the WAL prefix below the stable LSN (header rewrite +
-  ///      hole punch; recovery replays from the marker, tolerating a crash
-  ///      anywhere in this sequence).
+  ///   4. truncate the WAL prefix below the stable LSN (whole dead
+  ///      segments are unlinked or recycled; recovery replays from the
+  ///      marker, tolerating a crash anywhere in this sequence).
   /// Commit traffic proceeds concurrently through all four steps.
   Status Checkpoint();
 
@@ -221,6 +228,11 @@ class GraphStore {
 
   /// Checkpoint crash/stall injection (tests only).
   CheckpointTestHooks checkpoint_hooks;
+
+  /// Named crash points on the checkpoint path (tests only):
+  /// "checkpoint.pre_marker", "checkpoint.post_marker". The WAL's own
+  /// points (segment create, truncate, mid-append) live on wal().fault_hooks.
+  FaultHooks fault_hooks;
 
   // --- tokens --------------------------------------------------------------
   TokenStore& labels() { return *label_tokens_; }
@@ -247,9 +259,13 @@ class GraphStore {
   Status WriteNodeRecord(NodeId id, const NodeRecord& rec);
   Status WriteRelRecord(RelId id, const RelationshipRecord& rec);
 
-  /// Encodes labels into the record (inline or overflow blob). Frees any
-  /// previous overflow blob first.
-  Status StoreLabels(NodeRecord* rec, const std::vector<LabelId>& labels);
+  /// Encodes labels into the record (inline or overflow blob). Never frees:
+  /// the record's previous overflow blob id is returned through `old_blob`
+  /// for the caller to free AFTER the record rewrite lands — freeing first
+  /// would leave a crash window where the on-disk record points at a freed
+  /// blob.
+  Status StoreLabels(NodeRecord* rec, const std::vector<LabelId>& labels,
+                     DynId* old_blob);
   Status LoadLabels(const NodeRecord& rec, std::vector<LabelId>* out) const;
 
   /// Links `rec` (already populated, id `id`) at the head of `node`'s chain.

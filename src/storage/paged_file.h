@@ -36,6 +36,9 @@ class PagedFile {
   /// Releases the physical storage backing [offset, offset+n) without
   /// changing the file size; the range reads back as zeros where supported.
   /// Advisory: backends without hole support return OK and do nothing.
+  /// No longer used by the WAL (segment rotation reclaims by unlinking
+  /// whole files); retained as a general backend capability — sparse store
+  /// files are a natural future user.
   virtual Status PunchHole(uint64_t offset, uint64_t n) {
     (void)offset;
     (void)n;

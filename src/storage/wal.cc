@@ -1,6 +1,7 @@
 #include "storage/wal.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <vector>
 
 #include "common/coding.h"
@@ -8,129 +9,401 @@
 namespace neosi {
 
 namespace {
+
 constexpr size_t kFrameHeader = 8;  // u32 length + u32 crc
-// "NWL2" — decodes as an implausibly large frame length, so a headerless
-// (v1) file is never mistaken for a v2 one.
-constexpr uint32_t kWalMagic = 0x324c574e;
-constexpr uint32_t kWalVersion = 2;
-// Slot byte layout: magic(4) version(4) head(8) base(8) seq(4) crc(4).
-constexpr size_t kHeaderCrcOffset = 28;
-}  // namespace
 
-Wal::Wal(std::unique_ptr<PagedFile> file) : file_(std::move(file)) {}
+// Segment header byte layout: magic(4) version(4) base(8) epoch(8) crc(4),
+// zero-padded to Wal::kSegmentHeaderSize. "NWS1".
+constexpr uint32_t kSegmentMagic = 0x3153574e;
+constexpr uint32_t kSegmentVersion = 1;
+constexpr size_t kSegmentCrcOffset = 24;
 
-Status Wal::WriteHeader() {
-  // Ping-pong: the slot holding the currently-valid header is left intact;
-  // a crash tearing this write still leaves that older slot readable.
-  ++header_seq_;
-  char buf[kHeaderSlotSize] = {};
-  EncodeFixed32(buf, kWalMagic);
-  EncodeFixed32(buf + 4, kWalVersion);
-  EncodeFixed64(buf + 8, head_lsn_.load(std::memory_order_relaxed));
-  EncodeFixed64(buf + 16, base_lsn_.load(std::memory_order_relaxed));
-  EncodeFixed32(buf + 24, header_seq_);
-  EncodeFixed32(buf + kHeaderCrcOffset, Crc32c(buf, kHeaderCrcOffset));
-  return file_->WriteAt((header_seq_ & 1) * kHeaderSlotSize, buf,
-                        kHeaderSlotSize);
+// Pre-segmentation single-file log ("NWL2"): dual 32-byte header slots
+// [magic u32][version u32][head u64][base u64][seq u32][crc u32], frames
+// from byte 64. Headerless (v1) files have frames from byte 0.
+constexpr uint32_t kLegacyMagic = 0x324c574e;
+constexpr uint32_t kLegacyVersion = 2;
+constexpr uint64_t kLegacySlotSize = 32;
+constexpr uint64_t kLegacyHeaderSize = 64;
+constexpr size_t kLegacyCrcOffset = 28;
+
+std::string IndexedName(const char* prefix, uint64_t index) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%s%06llu", prefix,
+                static_cast<unsigned long long>(index));
+  return buf;
 }
 
-Status Wal::Open() {
-  uint64_t size = file_->Size();
-  if (size == 0) {
-    head_lsn_.store(0, std::memory_order_relaxed);
-    base_lsn_.store(0, std::memory_order_relaxed);
-    next_lsn_.store(0, std::memory_order_relaxed);
-    NEOSI_RETURN_IF_ERROR(WriteHeader());
-  } else {
-    // Read both header slots; a slot is usable iff magic, version and CRC
-    // all check out. The valid slot with the highest seq wins — at most
-    // one slot can be torn (updates ping-pong), so a crashed header
-    // rewrite degrades to the older slot, never to fail-stop.
-    char slots[kHeaderSize] = {};
-    if (size >= kHeaderSize) {
-      NEOSI_RETURN_IF_ERROR(file_->ReadAt(0, kHeaderSize, slots));
-    } else if (size >= 4) {
-      NEOSI_RETURN_IF_ERROR(file_->ReadAt(0, std::min<uint64_t>(size, 4),
-                                          slots));
-    }
-    bool any_magic = false;
-    bool found = false;
-    uint32_t best_seq = 0;
-    Lsn head = 0, base = 0;
-    for (int i = 0; i < 2; ++i) {
-      const char* slot = slots + i * kHeaderSlotSize;
-      if (DecodeFixed32(slot) != kWalMagic) continue;
-      any_magic = true;
-      if (DecodeFixed32(slot + kHeaderCrcOffset) !=
-          Crc32c(slot, kHeaderCrcOffset)) {
-        continue;  // Torn slot; the other one carries the state.
-      }
-      if (DecodeFixed32(slot + 4) != kWalVersion) {
-        return Status::Corruption("wal header: unsupported version");
-      }
-      const uint32_t seq = DecodeFixed32(slot + 24);
-      if (!found || seq > best_seq) {
-        found = true;
-        best_seq = seq;
-        head = DecodeFixed64(slot + 8);
-        base = DecodeFixed64(slot + 16);
-      }
-    }
-    if (found) {
-      if (head < base) return Status::Corruption("wal header: head < base");
-      head_lsn_.store(head, std::memory_order_relaxed);
-      base_lsn_.store(base, std::memory_order_relaxed);
-      header_seq_ = best_seq;
-    } else if (any_magic) {
-      if (size > kHeaderSize) {
-        return Status::Corruption("wal header: both slots unreadable");
-      }
-      // Crash during the very first header write of a fresh log: no
-      // frames exist, so reinitialize.
-      head_lsn_.store(0, std::memory_order_relaxed);
-      base_lsn_.store(0, std::memory_order_relaxed);
-      NEOSI_RETURN_IF_ERROR(WriteHeader());
-    } else {
-      // Headerless v1 file: migrate WITHOUT touching the original frames.
-      // A durably-appended copy of the frames goes beyond the original
-      // extent, and the header's base mapping points the head at the copy
-      // (head = size - kHeaderSize, base = 0 ⇒ phys(head) = size). A crash
-      // before the header lands leaves a magic-less file that simply
-      // re-migrates (idempotent replay tolerates the duplicated frames
-      // that can produce); the header write itself is one sub-sector
-      // write, CRC-guarded against tearing. The dead [kHeaderSize, size)
-      // region is reclaimed by later truncations/resets.
-      std::vector<char> content(size);
-      NEOSI_RETURN_IF_ERROR(file_->ReadAt(0, size, content.data()));
-      const uint64_t copy_at = std::max<uint64_t>(size, kHeaderSize);
-      NEOSI_RETURN_IF_ERROR(file_->WriteAt(copy_at, content.data(), size));
-      NEOSI_RETURN_IF_ERROR(file_->Sync());
-      head_lsn_.store(copy_at - kHeaderSize, std::memory_order_relaxed);
-      base_lsn_.store(0, std::memory_order_relaxed);
-      NEOSI_RETURN_IF_ERROR(WriteHeader());
-      NEOSI_RETURN_IF_ERROR(file_->Sync());
-      size = file_->Size();
-    }
-  }
-
-  // Find the end of the valid frame prefix by walking from the head.
-  const Lsn base = base_lsn_.load(std::memory_order_relaxed);
-  const Lsn head = head_lsn_.load(std::memory_order_relaxed);
-  uint64_t offset = kHeaderSize + (head - base);
+/// Walks the valid frame prefix of `file` from `offset` to `size`: for each
+/// frame whose length and checksum hold, invokes `fn(frame_offset,
+/// payload)`; stops at the first invalid frame (torn tail). Returns the
+/// offset one past the last valid frame. The single definition of what "a
+/// valid frame prefix" means — Open's cursor scan, replay, and the legacy
+/// migration all walk through here.
+Result<uint64_t> WalkFrames(
+    PagedFile* file, uint64_t offset, uint64_t size,
+    const std::function<Status(uint64_t, const Slice&)>& fn) {
   std::vector<char> buf;
   while (offset + kFrameHeader <= size) {
     char header[kFrameHeader];
-    NEOSI_RETURN_IF_ERROR(file_->ReadAt(offset, kFrameHeader, header));
+    NEOSI_RETURN_IF_ERROR(file->ReadAt(offset, kFrameHeader, header));
     const uint32_t len = DecodeFixed32(header);
     const uint32_t crc = DecodeFixed32(header + 4);
     if (len == 0 || offset + kFrameHeader + len > size) break;
     buf.resize(len);
-    NEOSI_RETURN_IF_ERROR(file_->ReadAt(offset + kFrameHeader, len,
-                                        buf.data()));
+    NEOSI_RETURN_IF_ERROR(file->ReadAt(offset + kFrameHeader, len,
+                                       buf.data()));
     if (Crc32c(buf.data(), len) != crc) break;
+    NEOSI_RETURN_IF_ERROR(fn(offset, Slice(buf.data(), len)));
     offset += kFrameHeader + len;
   }
-  next_lsn_.store(base + (offset - kHeaderSize), std::memory_order_relaxed);
+  return offset;
+}
+
+/// True iff `name` is `prefix` followed by one or more digits; extracts the
+/// numeric suffix.
+bool ParseIndexed(const std::string& name, const std::string& prefix,
+                  uint64_t* index) {
+  if (name.size() <= prefix.size() || name.compare(0, prefix.size(), prefix))
+    return false;
+  uint64_t value = 0;
+  for (size_t i = prefix.size(); i < name.size(); ++i) {
+    const char c = name[i];
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *index = value;
+  return true;
+}
+
+}  // namespace
+
+std::string Wal::SegmentName(uint64_t index) {
+  return IndexedName("wal.", index);
+}
+
+std::string Wal::FreeName(uint64_t index) {
+  return IndexedName("wal.free.", index);
+}
+
+Wal::Wal(std::shared_ptr<WalDir> dir, WalOptions options)
+    : dir_(std::move(dir)), options_(options) {
+  if (options_.segment_size < kSegmentHeaderSize + kFrameHeader) {
+    options_.segment_size = kSegmentHeaderSize + kFrameHeader;
+  }
+}
+
+Status Wal::WriteSegmentHeader(PagedFile* file, Lsn base, uint64_t epoch) {
+  char buf[kSegmentHeaderSize] = {};
+  EncodeFixed32(buf, kSegmentMagic);
+  EncodeFixed32(buf + 4, kSegmentVersion);
+  EncodeFixed64(buf + 8, base);
+  EncodeFixed64(buf + 16, epoch);
+  EncodeFixed32(buf + kSegmentCrcOffset, Crc32c(buf, kSegmentCrcOffset));
+  return file->WriteAt(0, buf, kSegmentHeaderSize);
+}
+
+Status Wal::ReadSegmentHeader(PagedFile* file, Lsn* base, uint64_t* epoch,
+                              bool* valid) {
+  *valid = false;
+  if (file->Size() < kSegmentHeaderSize) return Status::OK();
+  char buf[kSegmentHeaderSize];
+  NEOSI_RETURN_IF_ERROR(file->ReadAt(0, kSegmentHeaderSize, buf));
+  if (DecodeFixed32(buf) != kSegmentMagic) return Status::OK();
+  if (DecodeFixed32(buf + kSegmentCrcOffset) !=
+      Crc32c(buf, kSegmentCrcOffset)) {
+    return Status::OK();  // Torn header (crash during segment creation).
+  }
+  if (DecodeFixed32(buf + 4) != kSegmentVersion) {
+    return Status::Corruption("wal segment header: unsupported version");
+  }
+  *base = DecodeFixed64(buf + 8);
+  *epoch = DecodeFixed64(buf + 16);
+  *valid = true;
+  return Status::OK();
+}
+
+Status Wal::AddSegmentLocked(Lsn base) {
+  const uint64_t index = next_index_;
+  const std::string name = SegmentName(index);
+  std::string free_name;
+  {
+    std::lock_guard<std::mutex> guard(seg_mu_);
+    if (!free_pool_.empty()) {
+      free_name = free_pool_.front();
+      free_pool_.pop_front();
+    }
+  }
+  std::unique_ptr<PagedFile> file;
+  Status s;
+  if (!free_name.empty()) {
+    // Recycle: rewrite the file (truncate + header + sync) while it still
+    // carries its free-pool name, then publish it into the chain with one
+    // atomic rename. A crash before the rename leaves a free file that Open
+    // ignores; after it, a valid empty segment.
+    s = dir_->Open(free_name, &file);
+    if (s.ok()) s = file->Truncate(0);
+    if (s.ok()) s = WriteSegmentHeader(file.get(), base, epoch_);
+    if (s.ok()) s = file->Sync();
+    if (!s.ok()) return s;  // Still free-named: ignored at any reopen.
+    s = dir_->Rename(free_name, name);
+    if (!s.ok()) return s;
+    s = dir_->SyncDir();
+    if (s.ok()) segments_reused_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    NEOSI_RETURN_IF_ERROR(dir_->Open(name, &file));
+    // Truncate even the "fresh" file: a failed rollback Remove can leave a
+    // prior life of this index on disk, and stale valid-CRC frames beyond
+    // the new prefix would otherwise be replayable after a crash.
+    s = file->Truncate(0);
+    if (s.ok()) s = WriteSegmentHeader(file.get(), base, epoch_);
+    if (s.ok()) s = file->Sync();
+    if (s.ok()) s = dir_->SyncDir();
+    if (s.ok()) segments_created_.fetch_add(1, std::memory_order_relaxed);
+  }
+  // The segment file exists with a synced header but is not yet active: a
+  // crash RIGHT HERE leaves a chain Open() accepts (a valid empty newest
+  // segment).
+  if (s.ok()) s = fault_hooks.Check("wal.segment.post_create");
+  if (!s.ok()) {
+    // Transient failure with the file already sitting in the chain
+    // position ON DISK but not adopted in memory. A process that keeps
+    // running would desynchronize the chains — smaller later frames can
+    // keep fitting into the previous segment, growing it past this file's
+    // recorded base — so take the file back out before surfacing the
+    // error. (A real crash performs no cleanup; Open() handles that state
+    // instead.)
+    file.reset();
+    (void)dir_->Remove(name);
+    (void)dir_->SyncDir();
+    return s;
+  }
+
+  auto segment = std::make_unique<Segment>();
+  segment->index = index;
+  segment->base = base;
+  segment->epoch = epoch_;
+  segment->file = std::move(file);
+  {
+    std::lock_guard<std::mutex> guard(seg_mu_);
+    segments_.push_back(std::move(segment));
+    active_.store(segments_.back().get(), std::memory_order_release);
+    segment_count_.store(segments_.size(), std::memory_order_release);
+  }
+  next_index_ = index + 1;
+  return Status::OK();
+}
+
+Status Wal::MigrateLegacyLog() {
+  std::unique_ptr<PagedFile> legacy;
+  NEOSI_RETURN_IF_ERROR(dir_->Open(kLegacyName, &legacy));
+  const uint64_t size = legacy->Size();
+
+  Lsn head = 0, base = 0;
+  uint64_t frames_at = 0;
+  char slots[kLegacyHeaderSize] = {};
+  if (size > 0) {
+    NEOSI_RETURN_IF_ERROR(legacy->ReadAt(
+        0, std::min<uint64_t>(size, kLegacyHeaderSize), slots));
+  }
+  bool any_magic = false, found = false;
+  uint32_t best_seq = 0;
+  for (int i = 0; i < 2; ++i) {
+    const char* slot = slots + i * kLegacySlotSize;
+    if (DecodeFixed32(slot) != kLegacyMagic) continue;
+    any_magic = true;
+    if (DecodeFixed32(slot + kLegacyCrcOffset) !=
+        Crc32c(slot, kLegacyCrcOffset)) {
+      continue;
+    }
+    if (DecodeFixed32(slot + 4) != kLegacyVersion) {
+      return Status::Corruption("legacy wal header: unsupported version");
+    }
+    const uint32_t seq = DecodeFixed32(slot + 24);
+    if (!found || seq > best_seq) {
+      found = true;
+      best_seq = seq;
+      head = DecodeFixed64(slot + 8);
+      base = DecodeFixed64(slot + 16);
+    }
+  }
+  if (found) {
+    if (head < base) {
+      return Status::Corruption("legacy wal header: head < base");
+    }
+    frames_at = kLegacyHeaderSize + (head - base);
+  } else if (any_magic) {
+    if (size > kLegacyHeaderSize) {
+      return Status::Corruption("legacy wal header: both slots unreadable");
+    }
+    // Crash during the very first header write of a fresh legacy log: no
+    // frames exist.
+    head = 0;
+    frames_at = size;  // Nothing to walk.
+  }
+  // else: headerless v1 file, frames from byte 0 with head = 0.
+
+  // Anchor the fresh chain at the legacy head so lsns are preserved —
+  // checkpoint markers inside the copied records keep meaning the same
+  // byte positions.
+  NEOSI_RETURN_IF_ERROR(AddSegmentLocked(head));
+  head_lsn_.store(head, std::memory_order_relaxed);
+  next_lsn_.store(head, std::memory_order_relaxed);
+
+  // Copy the valid frame prefix, re-framed into segments (rolling at the
+  // size threshold). Stops at a torn tail exactly like replay would.
+  std::string frame;
+  auto copied = WalkFrames(
+      legacy.get(), frames_at, size,
+      [&](uint64_t, const Slice& payload) {
+        frame.clear();
+        PutFixed32(&frame, static_cast<uint32_t>(payload.size()));
+        PutFixed32(&frame, Crc32c(payload.data(), payload.size()));
+        frame.append(payload.data(), payload.size());
+        const Lsn lsn = next_lsn_.load(std::memory_order_relaxed);
+        NEOSI_RETURN_IF_ERROR(
+            WriteFrameAtLocked(lsn, frame.data(), frame.size()));
+        next_lsn_.store(lsn + frame.size(), std::memory_order_relaxed);
+        return Status::OK();
+      });
+  if (!copied.ok()) return copied.status();
+
+  // Durability order: the copied chain reaches stable storage before the
+  // legacy file disappears. A crash before the Remove leaves wal.log in
+  // place and the next Open redoes the whole migration from scratch.
+  Segment* active = active_.load(std::memory_order_relaxed);
+  NEOSI_RETURN_IF_ERROR(active->file->Sync());
+  NEOSI_RETURN_IF_ERROR(dir_->SyncDir());
+  legacy.reset();
+  NEOSI_RETURN_IF_ERROR(dir_->Remove(kLegacyName));
+  return dir_->SyncDir();
+}
+
+Status Wal::Open() {
+  std::vector<std::string> names;
+  NEOSI_RETURN_IF_ERROR(dir_->List(&names));
+
+  bool legacy = false;
+  std::vector<std::pair<uint64_t, std::string>> chain_names;
+  std::vector<std::pair<uint64_t, std::string>> free_names;
+  for (const std::string& name : names) {
+    uint64_t index = 0;
+    if (name == kLegacyName) {
+      legacy = true;
+    } else if (ParseIndexed(name, "wal.free.", &index)) {
+      free_names.emplace_back(index, name);
+    } else if (ParseIndexed(name, "wal.", &index)) {
+      chain_names.emplace_back(index, name);
+    }
+    // Anything else in the directory (store files) is not ours.
+  }
+  std::sort(chain_names.begin(), chain_names.end());
+  std::sort(free_names.begin(), free_names.end());
+
+  next_index_ = 1;
+  for (const auto& [index, name] : chain_names) {
+    next_index_ = std::max(next_index_, index + 1);
+  }
+  for (const auto& [index, name] : free_names) {
+    next_index_ = std::max(next_index_, index + 1);
+  }
+
+  // Adopt free files into the recycle pool up to its cap; drop the rest.
+  for (const auto& [index, name] : free_names) {
+    if (free_pool_.size() < options_.recycle_segments) {
+      free_pool_.push_back(name);
+    } else {
+      NEOSI_RETURN_IF_ERROR(dir_->Remove(name));
+    }
+  }
+
+  if (legacy) {
+    // Any segments next to a surviving wal.log are partial-migration
+    // leftovers (the legacy file is removed only after the copied chain is
+    // durable): drop them and restart the migration from scratch.
+    for (const auto& [index, name] : chain_names) {
+      NEOSI_RETURN_IF_ERROR(dir_->Remove(name));
+    }
+    return MigrateLegacyLog();
+  }
+
+  for (size_t i = 0; i < chain_names.size(); ++i) {
+    const auto& [index, name] = chain_names[i];
+    std::unique_ptr<PagedFile> file;
+    NEOSI_RETURN_IF_ERROR(dir_->Open(name, &file));
+    Lsn base = 0;
+    uint64_t epoch = 0;
+    bool valid = false;
+    NEOSI_RETURN_IF_ERROR(
+        ReadSegmentHeader(file.get(), &base, &epoch, &valid));
+    if (!valid) {
+      if (i + 1 == chain_names.size()) {
+        // Crash while creating the newest segment: its header never became
+        // durable, so no frame can have entered it (appends only target a
+        // segment after its header synced). Discard the husk.
+        file.reset();
+        NEOSI_RETURN_IF_ERROR(dir_->Remove(name));
+        NEOSI_RETURN_IF_ERROR(dir_->SyncDir());
+        break;
+      }
+      return Status::Corruption("wal segment " + name +
+                                ": bad header inside the chain");
+    }
+    auto segment = std::make_unique<Segment>();
+    segment->index = index;
+    segment->base = base;
+    segment->epoch = epoch;
+    segment->file = std::move(file);
+    segments_.push_back(std::move(segment));
+  }
+
+  // Chain validation: indices contiguous (a missing middle segment is a
+  // hole in the lsn space), bases strictly increasing (an out-of-order or
+  // duplicated base means an orphan from some other life of the log).
+  for (size_t i = 1; i < segments_.size(); ++i) {
+    if (segments_[i]->index != segments_[i - 1]->index + 1) {
+      return Status::Corruption(
+          "wal segment gap: " + SegmentName(segments_[i - 1]->index) +
+          " is followed by " + SegmentName(segments_[i]->index));
+    }
+    if (segments_[i]->base <= segments_[i - 1]->base) {
+      return Status::Corruption(
+          "wal segment order: " + SegmentName(segments_[i]->index) +
+          " base does not advance past its predecessor");
+    }
+  }
+
+  uint64_t max_epoch = 0;
+  for (const auto& segment : segments_) {
+    max_epoch = std::max(max_epoch, segment->epoch);
+  }
+  epoch_ = max_epoch + 1;
+
+  if (segments_.empty()) {
+    return AddSegmentLocked(0);  // head_lsn_ and next_lsn_ stay 0.
+  }
+
+  {
+    std::lock_guard<std::mutex> guard(seg_mu_);
+    active_.store(segments_.back().get(), std::memory_order_release);
+    segment_count_.store(segments_.size(), std::memory_order_release);
+  }
+  head_lsn_.store(segments_.front()->base, std::memory_order_relaxed);
+
+  // Position the cursor after the newest segment's valid frame prefix,
+  // truncating a torn tail (crash mid-append). Older segments were synced
+  // before the chain rolled past them; their frames are validated when
+  // replay actually reads them.
+  Segment* active = active_.load(std::memory_order_relaxed);
+  const uint64_t size = active->file->Size();
+  auto end = WalkFrames(active->file.get(), kSegmentHeaderSize, size,
+                        [](uint64_t, const Slice&) { return Status::OK(); });
+  if (!end.ok()) return end.status();
+  if (*end < size) {
+    NEOSI_RETURN_IF_ERROR(active->file->Truncate(*end));
+  }
+  next_lsn_.store(active->base + (*end - kSegmentHeaderSize),
+                  std::memory_order_relaxed);
   return Status::OK();
 }
 
@@ -179,7 +452,53 @@ void Wal::WaitPinsDrained() {
   pins_cv_.wait(lock, [this] { return pins_.empty(); });
 }
 
-Result<Lsn> Wal::Append(const WalRecord& record, bool pin) {
+void Wal::RollbackUnpublishedSegmentsLocked() {
+  for (;;) {
+    std::string victim;
+    {
+      std::lock_guard<std::mutex> guard(seg_mu_);
+      if (segments_.size() <= 1 ||
+          segments_.back()->base <=
+              next_lsn_.load(std::memory_order_relaxed)) {
+        break;
+      }
+      // The segment holds no published frame (its base is above the
+      // cursor): un-roll it so the cursor's segment is active again —
+      // otherwise every later append would compute its offset against a
+      // base ABOVE the cursor and underflow.
+      next_index_ = segments_.back()->index;
+      victim = SegmentName(segments_.back()->index);
+      segments_.pop_back();
+      active_.store(segments_.back().get(), std::memory_order_release);
+      segment_count_.store(segments_.size(), std::memory_order_release);
+    }
+    // Best-effort, but dir-synced: an un-durable unlink could resurrect
+    // this file after a crash with a base the surviving active segment has
+    // since grown past, and Open() would refuse the chain. A leftover from
+    // a FAILED remove is defused at the next roll, which reuses the index
+    // and truncates the file before writing its fresh header.
+    (void)dir_->Remove(victim);
+    (void)dir_->SyncDir();
+  }
+}
+
+Status Wal::WriteFrameAtLocked(Lsn lsn, const char* data, size_t n) {
+  Segment* active = active_.load(std::memory_order_relaxed);
+  uint64_t phys = kSegmentHeaderSize + (lsn - active->base);
+  if (lsn > active->base && phys + n > options_.segment_size) {
+    // Roll: the retiring segment is synced BEFORE the new one enters the
+    // chain, so a valid-prefix walk can stop early only in the newest
+    // segment. (A frame larger than a whole segment gets one to itself —
+    // the roll happens, the oversized write below still succeeds.)
+    NEOSI_RETURN_IF_ERROR(active->file->Sync());
+    NEOSI_RETURN_IF_ERROR(AddSegmentLocked(lsn));
+    active = active_.load(std::memory_order_relaxed);
+    phys = kSegmentHeaderSize;
+  }
+  return active->file->WriteAt(phys, data, n);
+}
+
+Result<Lsn> Wal::Append(const WalRecord& record, bool pin, Lsn* end_lsn) {
   std::string payload;
   record.EncodeTo(&payload);
 
@@ -192,10 +511,24 @@ Result<Lsn> Wal::Append(const WalRecord& record, bool pin) {
   LockAppendLatch();
   std::lock_guard<SpinLatch> guard(latch_, std::adopt_lock);
   const Lsn lsn = next_lsn_.load(std::memory_order_relaxed);
-  const uint64_t phys =
-      kHeaderSize + (lsn - base_lsn_.load(std::memory_order_relaxed));
-  Status s = file_->WriteAt(phys, frame.data(), frame.size());
-  if (!s.ok()) return s;
+  {
+    Status fault = fault_hooks.Check("wal.append.mid_frame");
+    if (!fault.ok()) {
+      // Simulated mid-append crash: half the frame lands, the cursor never
+      // advances. Recovery must detect and truncate the torn bytes.
+      Segment* active = active_.load(std::memory_order_relaxed);
+      active->file->WriteAt(kSegmentHeaderSize + (lsn - active->base),
+                            frame.data(), frame.size() / 2);
+      return fault;
+    }
+  }
+  {
+    Status s = WriteFrameAtLocked(lsn, frame.data(), frame.size());
+    if (!s.ok()) {
+      RollbackUnpublishedSegmentsLocked();
+      return s;
+    }
+  }
   if (pin) {
     std::lock_guard<std::mutex> pin_guard(pins_mu_);
     pins_.insert(lsn);
@@ -204,6 +537,7 @@ Result<Lsn> Wal::Append(const WalRecord& record, bool pin) {
   // cursor first, so any record it can observe below the cursor has its pin
   // already visible (or has been deliberately appended unpinned).
   next_lsn_.store(lsn + frame.size(), std::memory_order_release);
+  if (end_lsn != nullptr) *end_lsn = lsn + frame.size();
   return lsn;
 }
 
@@ -226,13 +560,71 @@ Status Wal::AppendBatch(const std::vector<const WalRecord*>& records,
     PutFixed32(&buffer, Crc32c(payload.data(), payload.size()));
     buffer.append(payload);
   }
+  auto frame_len = [&](size_t i) {
+    return (i + 1 < frame_offsets.size() ? frame_offsets[i + 1]
+                                         : buffer.size()) -
+           frame_offsets[i];
+  };
 
   LockAppendLatch();
   std::lock_guard<SpinLatch> guard(latch_, std::adopt_lock);
   const Lsn first = next_lsn_.load(std::memory_order_relaxed);
-  const uint64_t phys =
-      kHeaderSize + (first - base_lsn_.load(std::memory_order_relaxed));
-  NEOSI_RETURN_IF_ERROR(file_->WriteAt(phys, buffer.data(), buffer.size()));
+  {
+    Status fault = fault_hooks.Check("wal.append.mid_frame");
+    if (!fault.ok()) {
+      // Simulated mid-append crash for the batched path: half the batch's
+      // bytes land, the cursor never advances.
+      Segment* active = active_.load(std::memory_order_relaxed);
+      active->file->WriteAt(kSegmentHeaderSize + (first - active->base),
+                            buffer.data(), buffer.size() / 2);
+      return fault;
+    }
+  }
+  // The lsn space is contiguous across segment rolls, so every record's lsn
+  // is just first + its offset in the batch; only the physical writes split
+  // at segment boundaries. Write maximal runs of frames that fit the
+  // current segment with single writes.
+  size_t idx = 0;
+  bool rolled = false;
+  Status write_status;
+  while (idx < frame_offsets.size()) {
+    const Lsn lsn = first + frame_offsets[idx];
+    Segment* active = active_.load(std::memory_order_relaxed);
+    uint64_t phys = kSegmentHeaderSize + (lsn - active->base);
+    if (lsn > active->base &&
+        phys + frame_len(idx) > options_.segment_size) {
+      write_status = active->file->Sync();
+      if (write_status.ok()) write_status = AddSegmentLocked(lsn);
+      if (!write_status.ok()) break;
+      rolled = true;
+      active = active_.load(std::memory_order_relaxed);
+      phys = kSegmentHeaderSize;
+    }
+    if (rolled) {
+      // Post-roll write-failure crash point: exercises the un-roll below.
+      write_status = fault_hooks.Check("wal.append.fail_after_roll");
+      if (!write_status.ok()) break;
+    }
+    size_t end = idx + 1;
+    uint64_t run_bytes = frame_len(idx);
+    while (end < frame_offsets.size() &&
+           phys + run_bytes + frame_len(end) <= options_.segment_size) {
+      run_bytes += frame_len(end);
+      ++end;
+    }
+    write_status = active->file->WriteAt(
+        phys, buffer.data() + frame_offsets[idx], run_bytes);
+    if (!write_status.ok()) break;
+    idx = end;
+  }
+  if (!write_status.ok()) {
+    // A mid-batch failure after a roll would otherwise strand the cursor
+    // below the fresh segment's base — drop every unpublished segment so
+    // the next append lands back at the cursor, overwriting the partial
+    // batch exactly like a failed single append always has.
+    RollbackUnpublishedSegmentsLocked();
+    return write_status;
+  }
   for (uint64_t frame_offset : frame_offsets) {
     lsns->push_back(first + frame_offset);
   }
@@ -246,7 +638,20 @@ Status Wal::AppendBatch(const std::vector<const WalRecord*>& records,
   return Status::OK();
 }
 
-Status Wal::Sync() { return file_->Sync(); }
+Status Wal::Sync() {
+  // Snapshot the active file as a shared handle: an unpinned group-commit
+  // leader can be here while the legacy stop-the-world checkpoint Reset()s
+  // the chain (its pin drain does not cover pin-less batches), destroying
+  // Segment objects. The shared_ptr keeps the file alive; fsyncing an
+  // already-unlinked file is harmless.
+  std::shared_ptr<PagedFile> file;
+  {
+    std::lock_guard<std::mutex> guard(seg_mu_);
+    if (segments_.empty()) return Status::OK();
+    file = segments_.back()->file;
+  }
+  return file->Sync();
+}
 
 void Wal::Unpin(Lsn lsn) {
   std::lock_guard<std::mutex> guard(pins_mu_);
@@ -269,6 +674,33 @@ size_t Wal::PinnedCount() const {
   return pins_.size();
 }
 
+Status Wal::RetireSegmentFile(const std::string& name, uint64_t index) {
+  // Retirements are serialized (trunc_mu_), but appender rolls pop the pool
+  // concurrently — the free name must not be published until the rename has
+  // actually executed, or a roll could Open (create!) the not-yet-existing
+  // free file and then have the rename clobber it, stranding the roll's
+  // frames in an orphaned inode. Capacity can only shrink between the check
+  // and the push (rolls pop), so checking first never overfills the pool.
+  bool recycle = false;
+  {
+    std::lock_guard<std::mutex> guard(seg_mu_);
+    recycle = free_pool_.size() < options_.recycle_segments;
+  }
+  if (recycle) {
+    const std::string free_name = FreeName(index);
+    NEOSI_RETURN_IF_ERROR(dir_->Rename(name, free_name));
+    {
+      std::lock_guard<std::mutex> guard(seg_mu_);
+      free_pool_.push_back(free_name);
+    }
+    segments_recycled_.fetch_add(1, std::memory_order_relaxed);
+    return Status::OK();
+  }
+  NEOSI_RETURN_IF_ERROR(dir_->Remove(name));
+  segments_deleted_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
 Status Wal::TruncatePrefix(Lsn lsn) {
   std::lock_guard<std::mutex> guard(trunc_mu_);
   const Lsn head = head_lsn_.load(std::memory_order_acquire);
@@ -278,56 +710,40 @@ Status Wal::TruncatePrefix(Lsn lsn) {
     return Status::InvalidArgument("wal truncate beyond append cursor");
   }
 
-  // Whole-log cut with nothing in flight: physically rebase instead of
-  // poking a hole — the file shrinks to just the header, which also bounds
-  // backends where holes don't reclaim anything (the in-memory buffer,
-  // hole-less filesystems). Checked under the append latch so a record
-  // appended after the caller computed `lsn` can never be dropped; pins
-  // are re-checked too (a pinned record at exactly `next` is impossible,
-  // but a cheap guard beats a subtle dependency). Truncate-then-header
-  // order: a crash in between leaves the old header pointing past EOF,
-  // which opens as an empty log — correct, since everything below `lsn`
-  // was already synced into the stores.
-  {
-    LockAppendLatch();
-    std::lock_guard<SpinLatch> latch_guard(latch_, std::adopt_lock);
-    bool whole_log = next_lsn_.load(std::memory_order_relaxed) == lsn;
-    if (whole_log) {
-      std::lock_guard<std::mutex> pin_guard(pins_mu_);
-      whole_log = pins_.empty();
+  // Every segment wholly below the new head is retired; the logical head
+  // advances only once they are gone, so SizeBytes() (= next - head) never
+  // under-reports while multi-segment unlinks (with their directory syncs)
+  // are still in flight. The head is in-memory only — recovery re-derives
+  // it from the oldest retained segment and the checkpoint markers — so
+  // this ordering has no crash-consistency implications. The active segment
+  // is never retired: it anchors lsn monotonicity and keeps appends
+  // untouched, making reclamation a pure unlink/rename of cold files —
+  // unconditional on every backend, no hole punching, no quiescent rebase.
+  NEOSI_RETURN_IF_ERROR(fault_hooks.Check("wal.truncate.pre_unlink"));
+
+  for (;;) {
+    std::string victim;
+    uint64_t index = 0;
+    {
+      std::lock_guard<std::mutex> seg_guard(seg_mu_);
+      // A segment's frames end where its successor begins; it is dead iff
+      // that end is at or below the new head.
+      if (segments_.size() <= 1 || segments_[1]->base > lsn) break;
+      index = segments_.front()->index;
+      victim = SegmentName(index);
+      segments_.pop_front();
+      segment_count_.store(segments_.size(), std::memory_order_release);
     }
-    if (whole_log) {
-      head_lsn_.store(lsn, std::memory_order_release);
-      base_lsn_.store(lsn, std::memory_order_release);
-      NEOSI_RETURN_IF_ERROR(file_->Truncate(kHeaderSize));
-      NEOSI_RETURN_IF_ERROR(WriteHeader());
-      return file_->Sync();
-    }
+    NEOSI_RETURN_IF_ERROR(RetireSegmentFile(victim, index));
+    // Directory-sync EACH retirement before the next: POSIX gives no
+    // ordering between unlinks, and a crash that persisted the second
+    // unlink but not the first would leave an index gap Open() rightly
+    // refuses to accept. Front-to-back with a sync per step, the survivors
+    // are always a contiguous chain suffix.
+    NEOSI_RETURN_IF_ERROR(dir_->SyncDir());
   }
-
   head_lsn_.store(lsn, std::memory_order_release);
-  // Durability order matters: persist the new head BEFORE punching the dead
-  // bytes. The reverse order could zero frames that a crash-time header
-  // still points at, making the whole live log look like a torn tail.
-  NEOSI_RETURN_IF_ERROR(WriteHeader());
-  NEOSI_RETURN_IF_ERROR(file_->Sync());
-
-  // Page-align the punch or the filesystem frees nothing: a sub-page range
-  // only zeroes bytes. Everything below `dead_end` is dead, so widen the
-  // left edge down to a page boundary (re-punching an already-punched page
-  // is a no-op); the right edge shrinks to a boundary because its partial
-  // page holds live bytes. The header page itself is never punched. Pages
-  // straddling a checkpoint's cut get freed by a later checkpoint once the
-  // cut moves past them.
-  constexpr uint64_t kPunchAlign = 4096;
-  const Lsn base = base_lsn_.load(std::memory_order_acquire);
-  const uint64_t dead_begin = kHeaderSize + (head - base);
-  const uint64_t dead_end = kHeaderSize + (lsn - base);
-  const uint64_t punch_begin =
-      std::max<uint64_t>(kPunchAlign, dead_begin & ~(kPunchAlign - 1));
-  const uint64_t punch_end = dead_end & ~(kPunchAlign - 1);
-  if (punch_begin >= punch_end) return Status::OK();
-  return file_->PunchHole(punch_begin, punch_end - punch_begin);
+  return Status::OK();
 }
 
 Result<Lsn> GroupCommitter::Commit(const WalRecord& record, bool sync,
@@ -402,39 +818,63 @@ Result<Lsn> GroupCommitter::Commit(const WalRecord& record, bool sync,
 
 Status Wal::ReadFrom(Lsn from,
                      const std::function<Status(Lsn, const WalRecord&)>& fn) {
-  const uint64_t size = file_->Size();
-  const Lsn base = base_lsn_.load(std::memory_order_acquire);
   const Lsn head = head_lsn_.load(std::memory_order_acquire);
-  // `from` must be a frame boundary at or above the head (the head itself,
-  // a marker's stable LSN, or the append cursor) — the scan seeks straight
-  // to it so a marker-covered prefix costs no read or CRC work at all.
+  const Lsn next = next_lsn_.load(std::memory_order_acquire);
+  // `from` must be a frame boundary (the head itself, a marker's stable
+  // LSN, or the append cursor) — the scan seeks straight to it inside its
+  // segment, and segments wholly below it are skipped without any read or
+  // CRC work at all.
   if (from < head) from = head;
-  uint64_t offset = kHeaderSize + (from - base);
-  std::vector<char> buf;
-  while (offset + kFrameHeader <= size) {
-    char header[kFrameHeader];
-    NEOSI_RETURN_IF_ERROR(file_->ReadAt(offset, kFrameHeader, header));
-    const uint32_t len = DecodeFixed32(header);
-    const uint32_t crc = DecodeFixed32(header + 4);
-    if (len == 0 || offset + kFrameHeader + len > size) break;  // torn tail
-    buf.resize(len);
-    NEOSI_RETURN_IF_ERROR(file_->ReadAt(offset + kFrameHeader, len,
-                                        buf.data()));
-    if (Crc32c(buf.data(), len) != crc) break;  // torn / corrupt tail
+  if (from > next) from = next;
 
-    const Lsn lsn = base + (offset - kHeaderSize);
-    WalRecord record;
-    NEOSI_RETURN_IF_ERROR(
-        WalRecord::DecodeFrom(Slice(buf.data(), len), &record));
-    NEOSI_RETURN_IF_ERROR(fn(lsn, record));
-    offset += kFrameHeader + len;
+  // Snapshot the chain. ReadFrom must not race TruncatePrefix/Reset (it
+  // runs during single-threaded recovery and in tests).
+  std::vector<Segment*> segs;
+  {
+    std::lock_guard<std::mutex> guard(seg_mu_);
+    segs.reserve(segments_.size());
+    for (const auto& segment : segments_) segs.push_back(segment.get());
   }
-  // Drop any torn tail so subsequent appends extend a clean log.
-  if (offset < size) {
-    NEOSI_RETURN_IF_ERROR(file_->Truncate(offset));
+
+  for (size_t i = 0; i < segs.size(); ++i) {
+    Segment* seg = segs[i];
+    const bool newest = i + 1 == segs.size();
+    if (!newest && segs[i + 1]->base <= from) continue;  // Wholly below.
+
+    const uint64_t size = seg->file->Size();
+    const Lsn start = std::max(from, seg->base);
+    auto walked = WalkFrames(
+        seg->file.get(), kSegmentHeaderSize + (start - seg->base), size,
+        [&](uint64_t offset, const Slice& payload) {
+          const Lsn lsn = seg->base + (offset - kSegmentHeaderSize);
+          WalRecord record;
+          NEOSI_RETURN_IF_ERROR(WalRecord::DecodeFrom(payload, &record));
+          return fn(lsn, record);
+        });
+    if (!walked.ok()) return walked.status();
+    const uint64_t offset = *walked;
+
+    const Lsn end = seg->base + (offset - kSegmentHeaderSize);
+    if (!newest) {
+      // Older segments were synced before the chain rolled past them, so
+      // their frames must walk exactly up to the successor's base — a short
+      // or invalid walk here is real corruption, not a torn tail, and
+      // silently truncating it would drop durably-acked commits.
+      if (end != segs[i + 1]->base) {
+        return Status::Corruption(
+            "wal segment " + SegmentName(seg->index) +
+            ": frame walk ends before the next segment's base");
+      }
+    } else {
+      // Torn tail in the newest segment: drop it so subsequent appends
+      // extend a clean log.
+      if (offset < size) {
+        NEOSI_RETURN_IF_ERROR(seg->file->Truncate(offset));
+      }
+      std::lock_guard<SpinLatch> guard(latch_);
+      next_lsn_.store(end, std::memory_order_release);
+    }
   }
-  std::lock_guard<SpinLatch> guard(latch_);
-  next_lsn_.store(base + (offset - kHeaderSize), std::memory_order_release);
   return Status::OK();
 }
 
@@ -446,13 +886,58 @@ Status Wal::ReadAll(const std::function<Status(const WalRecord&)>& fn) {
 Status Wal::Reset() {
   std::lock_guard<SpinLatch> guard(latch_);
   std::lock_guard<std::mutex> trunc_guard(trunc_mu_);
-  // LSNs stay monotonic across the reset: the next append continues above
-  // everything ever handed out, it just lands at the front of the file.
+  // LSNs stay monotonic across the reset: every segment is retired and a
+  // fresh one anchors the chain at the current cursor, so the next append
+  // continues above everything ever handed out.
   const Lsn next = next_lsn_.load(std::memory_order_relaxed);
   head_lsn_.store(next, std::memory_order_release);
-  base_lsn_.store(next, std::memory_order_release);
-  NEOSI_RETURN_IF_ERROR(file_->Truncate(kHeaderSize));
-  return WriteHeader();
+
+  std::vector<std::pair<std::string, uint64_t>> victims;
+  {
+    std::lock_guard<std::mutex> seg_guard(seg_mu_);
+    for (const auto& segment : segments_) {
+      victims.emplace_back(SegmentName(segment->index), segment->index);
+    }
+    segments_.clear();
+    active_.store(nullptr, std::memory_order_release);
+    segment_count_.store(0, std::memory_order_release);
+  }
+  for (const auto& [name, index] : victims) {
+    // Front-to-back, one dir sync per retirement (see TruncatePrefix).
+    NEOSI_RETURN_IF_ERROR(RetireSegmentFile(name, index));
+    NEOSI_RETURN_IF_ERROR(dir_->SyncDir());
+  }
+  return AddSegmentLocked(next);
+}
+
+uint64_t Wal::PhysicalBytes() const {
+  std::lock_guard<std::mutex> guard(seg_mu_);
+  uint64_t total = 0;
+  for (const auto& segment : segments_) total += segment->file->Size();
+  return total;
+}
+
+const Wal::Segment* Wal::SegmentAtLocked(Lsn lsn) const {
+  const Segment* best = nullptr;
+  for (const auto& segment : segments_) {
+    if (segment->base <= lsn) best = segment.get();
+  }
+  return best != nullptr ? best
+                         : (segments_.empty() ? nullptr
+                                              : segments_.front().get());
+}
+
+uint64_t Wal::PhysOf(Lsn lsn) const {
+  std::lock_guard<std::mutex> guard(seg_mu_);
+  const Segment* segment = SegmentAtLocked(lsn);
+  if (segment == nullptr) return kSegmentHeaderSize;
+  return kSegmentHeaderSize + (lsn - segment->base);
+}
+
+std::string Wal::SegmentNameOf(Lsn lsn) const {
+  std::lock_guard<std::mutex> guard(seg_mu_);
+  const Segment* segment = SegmentAtLocked(lsn);
+  return segment == nullptr ? std::string() : SegmentName(segment->index);
 }
 
 }  // namespace neosi

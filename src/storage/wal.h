@@ -1,41 +1,49 @@
-// Framed write-ahead log with a truncatable head.
+// Framed write-ahead log over ROTATING fixed-size segment files.
 //
-// File layout (v2): a fixed header region followed by frames. The header
-// is DUAL-SLOT (ping-pong): two 32-byte slots, each
+// Layout: the log is a chain of segment files `wal.000001`, `wal.000002`, …
+// in one WalDir. Each segment starts with an immutable 32-byte header
 //
-//   [magic u32][version u32][head_lsn u64][base_lsn u64][seq u32][crc32c]
+//   [magic u32][version u32][base_lsn u64][epoch u64][crc32c u32][pad]
 //
-// Updates write the slot the current one is NOT in, so a torn header
-// write can only destroy the slot being written — Open() picks the valid
-// slot with the highest seq, and the surviving (older) slot merely makes
-// recovery replay a longer, already-applied prefix (idempotent). A torn
-// single-slot header would otherwise brick an intact database.
+// written once (and synced) when the segment enters the chain; frames follow
+// from byte 32. The header never changes afterwards, so there is nothing a
+// torn header rewrite could destroy — the dual-slot ping-pong header of the
+// single-file WAL is gone. A torn header can only exist on the NEWEST
+// segment (a crash during its creation) and Open() simply discards that
+// empty file.
 //
-// Frame format: [payload_len u32][crc32c u32][payload bytes]. The reader
-// stops at the first frame whose length or checksum is invalid and reports
-// how many bytes were valid, so a torn tail write (crash mid-append) is
-// detected and truncated rather than propagated.
+// Frame format (unchanged): [payload_len u32][crc32c u32][payload bytes].
+// Frames never span segments: Append rolls to a fresh segment when the next
+// frame would push the file past `WalOptions::segment_size` (a frame larger
+// than a whole segment still gets one to itself). The retiring segment is
+// synced BEFORE the new one enters the chain, so a valid-prefix walk may
+// stop early only in the newest segment (torn tail, truncated away); a short
+// frame walk in any older segment is real corruption and recovery says so.
 //
-// LSNs are LOGICAL byte offsets: they increase monotonically for the
-// lifetime of the log, across prefix truncations and resets. A frame with
-// lsn L lives at physical offset kHeaderSize + (L - base_lsn). Fuzzy
-// checkpoints advance head_lsn (one small header rewrite, no data copying)
-// and punch a filesystem hole over the dead prefix; the byte range
-// [head_lsn, next_lsn) is the live log that recovery replays.
+// LSNs are LOGICAL byte offsets, monotonic for the lifetime of the log:
+// segment N+1's base is exactly where segment N's frames end, so the lsn
+// space is contiguous across rolls, truncations and resets. A frame with lsn
+// L lives in the segment with the largest base <= L, at physical offset
+// kSegmentHeaderSize + (L - base).
 //
-// Group commit: concurrent committers hand their records to the Wal's
-// GroupCommitter, which batches everything queued while the previous batch
-// was being written into ONE buffered append and (when any participant asked
-// for durability) ONE Sync() — N concurrent sync_commits transactions share
-// a single fsync instead of paying one each.
+// Reclamation — the point of rotation — is UNCONDITIONAL on every backend:
+// TruncatePrefix(lsn) advances the logical head and unlinks (or parks in a
+// recycle pool, capped at WalOptions::recycle_segments) every segment wholly
+// below `lsn`. No PUNCH_HOLE, no quiescent rebase: the on-disk footprint is
+// bounded by the live bytes plus at most two partial segments. The active
+// segment is never unlinked, which also anchors lsn monotonicity across a
+// reopen. Recycled files re-enter the chain via write-header-then-rename, so
+// a crash at any point leaves either a free file (ignored) or a valid empty
+// segment.
 //
-// Stable LSN: a committer whose record must not be truncated before its
-// effects reach the stores appends with pin=true; the lsn stays pinned until
-// Unpin(). StableLsn() — the fuzzy checkpoint's truncation bound — is the
-// smallest pinned lsn, or the append cursor when nothing is pinned: every
-// record below it has fully reached the stores. Pinning happens inside the
-// append (under the same ordering as the cursor advance), so there is no
-// window where an appended-but-unapplied record is invisible to StableLsn().
+// Crash ordering at the directory level: retire-sync → create/rename new
+// segment → dir sync; head advance is logical (in-memory) and recovery
+// re-derives it from the oldest retained segment plus checkpoint markers —
+// replay is idempotent, so the segment-granular head after a crash only
+// costs replay work, never correctness.
+//
+// Group commit and LSN pins are unchanged from the single-file WAL: see
+// GroupCommitter and StableLsn() below.
 
 #ifndef NEOSI_STORAGE_WAL_H_
 #define NEOSI_STORAGE_WAL_H_
@@ -47,16 +55,39 @@
 #include <memory>
 #include <mutex>
 #include <set>
+#include <string>
 #include <vector>
 
 #include "common/latch.h"
 #include "common/status.h"
 #include "storage/paged_file.h"
+#include "storage/wal_dir.h"
 #include "storage/wal_ops.h"
 
 namespace neosi {
 
 class Wal;
+
+/// Tuning knobs for the segmented log.
+struct WalOptions {
+  /// Roll to a fresh segment once the current one reaches this many bytes.
+  uint64_t segment_size = 16ull << 20;  // 16 MiB
+  /// Retired segments kept in the recycle pool for reuse instead of being
+  /// unlinked (0 = always unlink).
+  uint64_t recycle_segments = 2;
+};
+
+/// Named crash-point hook (tests only; never set on production paths). When
+/// armed, the owner calls Check(point) at each named point and treats a
+/// non-OK status as the process dying right there: the operation fails
+/// without performing any further writes, and the test reopens the store to
+/// exercise recovery from exactly that state.
+struct FaultHooks {
+  std::function<Status(const char* point)> fn;
+  Status Check(const char* point) const {
+    return fn ? fn(point) : Status::OK();
+  }
+};
 
 /// Leader/follower commit batcher over a Wal. Thread-safe.
 ///
@@ -100,58 +131,74 @@ class GroupCommitter {
   std::atomic<uint64_t> records_{0};
 };
 
-/// Append-only log of WalRecords over a PagedFile, truncatable at the head.
+/// Append-only log of WalRecords over rotating segment files.
 class Wal {
  public:
-  /// Size of one header slot / of the whole dual-slot header region
-  /// preceding the first frame.
-  static constexpr uint64_t kHeaderSlotSize = 32;
-  static constexpr uint64_t kHeaderSize = 2 * kHeaderSlotSize;
+  /// Immutable per-segment header preceding the first frame.
+  static constexpr uint64_t kSegmentHeaderSize = 32;
 
-  explicit Wal(std::unique_ptr<PagedFile> file);
+  /// File names inside the WalDir.
+  static std::string SegmentName(uint64_t index);  ///< "wal.000001"
+  static std::string FreeName(uint64_t index);     ///< "wal.free.000001"
+  /// Pre-segmentation single-file log, migrated (then removed) at Open.
+  static constexpr const char* kLegacyName = "wal.log";
 
-  /// Reads or creates the header and positions the append cursor at the end
-  /// of the valid frame prefix. Headerless (v1) files are migrated in place.
+  explicit Wal(std::shared_ptr<WalDir> dir, WalOptions options = {});
+
+  /// Discovers, orders and validates the segment chain (creating the first
+  /// segment for an empty directory), migrates any legacy single-file log,
+  /// drops a half-created newest segment, and positions the append cursor
+  /// after the newest segment's valid frame prefix (truncating a torn
+  /// tail). A gap or out-of-order base inside the chain is Corruption.
   Status Open();
 
   /// Appends one record; returns its LSN. With pin=true the LSN is pinned
-  /// against prefix truncation until Unpin(lsn).
-  Result<Lsn> Append(const WalRecord& record, bool pin = false);
+  /// against prefix truncation until Unpin(lsn). Rolls to a new segment at
+  /// the size threshold. When `end_lsn` is non-null it receives the lsn one
+  /// past the appended frame (the checkpoint uses it to cut the log right
+  /// after its own marker).
+  Result<Lsn> Append(const WalRecord& record, bool pin = false,
+                     Lsn* end_lsn = nullptr);
 
-  /// Appends every record with a single file write. On success `lsns[i]` is
-  /// the LSN of `records[i]`; records whose `pins[i]` is true are pinned.
-  /// `pins` may be null (nothing pinned).
+  /// Appends every record, batching contiguous frames into single writes
+  /// (split only at segment rolls). On success `lsns[i]` is the LSN of
+  /// `records[i]`; records whose `pins[i]` is true are pinned. `pins` may be
+  /// null (nothing pinned).
   Status AppendBatch(const std::vector<const WalRecord*>& records,
                      std::vector<Lsn>* lsns,
                      const std::vector<bool>* pins = nullptr);
 
-  /// Forces the log to stable storage.
+  /// Forces the active segment to stable storage (every older segment was
+  /// already synced when the chain rolled past it).
   Status Sync();
 
   /// The commit batcher bound to this log.
   GroupCommitter& group() { return group_; }
 
   /// Replays every live record in order (from the head). Stops cleanly at a
-  /// torn tail (which is then truncated so later appends start from a clean
-  /// state).
+  /// torn tail in the newest segment (which is then truncated so later
+  /// appends start from a clean state); a short frame walk in any older
+  /// segment is Corruption. Must not race TruncatePrefix/Reset.
   Status ReadAll(const std::function<Status(const WalRecord&)>& fn);
 
   /// Replays every live record at or above `from`, passing each record's
-  /// LSN. Same torn-tail handling as ReadAll.
+  /// LSN. Segments wholly below `from` are skipped without any read or CRC
+  /// work. Same torn-tail handling as ReadAll.
   Status ReadFrom(Lsn from,
                   const std::function<Status(Lsn, const WalRecord&)>& fn);
 
-  /// Truncates the log to empty. LSNs stay monotonic: the next append
-  /// continues above every lsn ever handed out. Physical file shrinks to
-  /// just the header.
+  /// Truncates the log to empty: every segment is retired and a fresh one
+  /// anchors the chain. LSNs stay monotonic: the next append continues
+  /// above every lsn ever handed out.
   Status Reset();
 
   // --- fuzzy checkpoint support ----------------------------------------
 
-  /// Drops the log prefix below `lsn`: advances the head (one header
-  /// rewrite + sync) and punches a filesystem hole over the dead bytes.
-  /// Appends proceed concurrently — nothing blocks. `lsn` below the current
-  /// head is a no-op; `lsn` above the append cursor is InvalidArgument.
+  /// Drops the log prefix below `lsn`: advances the logical head and
+  /// unlinks (or recycles) every segment wholly below it — unconditional
+  /// physical reclamation on every backend. Appends proceed concurrently.
+  /// `lsn` below the current head is a no-op; `lsn` above the append cursor
+  /// is InvalidArgument.
   Status TruncatePrefix(Lsn lsn);
 
   /// Releases a pin taken by an Append/AppendBatch/group Commit with
@@ -186,24 +233,85 @@ class Wal {
            head_lsn_.load(std::memory_order_acquire);
   }
 
-  /// First live lsn (everything below is checkpointed away).
+  /// First live lsn (everything below is checkpointed away). Segment-
+  /// granular after a reopen (the oldest retained segment's base).
   Lsn HeadLsn() const { return head_lsn_.load(std::memory_order_acquire); }
 
   /// The lsn the next append will receive.
   Lsn NextLsn() const { return next_lsn_.load(std::memory_order_acquire); }
 
-  /// Physical file offset of `lsn` (test hook: lets tests inject torn
-  /// frames at known byte positions).
-  uint64_t PhysOf(Lsn lsn) const {
-    return kHeaderSize + (lsn - base_lsn_.load(std::memory_order_acquire));
+  /// Segments currently in the chain (>= 1; the active one always stays).
+  uint64_t SegmentCount() const {
+    return segment_count_.load(std::memory_order_acquire);
   }
+
+  /// Bytes of all chain segment files (headers + frames + any dead prefix
+  /// not yet rolled past) — the physical footprint rotation bounds.
+  uint64_t PhysicalBytes() const;
+
+  /// Segment lifecycle counters.
+  uint64_t segments_created() const { return segments_created_.load(); }
+  uint64_t segments_deleted() const { return segments_deleted_.load(); }
+  uint64_t segments_recycled() const { return segments_recycled_.load(); }
+  uint64_t segments_reused() const { return segments_reused_.load(); }
+
+  /// Physical offset of `lsn` WITHIN its containing segment (test hook:
+  /// lets tests inject torn frames at known byte positions).
+  uint64_t PhysOf(Lsn lsn) const;
+
+  /// File name of the segment containing `lsn` (test hook).
+  std::string SegmentNameOf(Lsn lsn) const;
+
+  /// Named crash points (tests only): "wal.append.mid_frame",
+  /// "wal.segment.post_create", "wal.truncate.pre_unlink".
+  FaultHooks fault_hooks;
 
  private:
   friend class GroupCommitter;
 
-  /// Writes the next header slot (magic, version, head, base, seq, crc):
-  /// always the slot the currently-valid header is NOT in.
-  Status WriteHeader();
+  struct Segment {
+    uint64_t index = 0;
+    Lsn base = 0;
+    uint64_t epoch = 0;
+    /// Shared so Sync() can fsync outside seg_mu_ while Reset() concurrently
+    /// destroys the Segment (fsync of an unlinked file is harmless).
+    std::shared_ptr<PagedFile> file;
+  };
+
+  static Status WriteSegmentHeader(PagedFile* file, Lsn base, uint64_t epoch);
+  static Status ReadSegmentHeader(PagedFile* file, Lsn* base, uint64_t* epoch,
+                                  bool* valid);
+
+  /// Opens (recycled or fresh) a segment anchored at `base` and appends it
+  /// to the chain. Caller holds latch_ (or is single-threaded Open).
+  Status AddSegmentLocked(Lsn base);
+
+  /// Writes `n` frame bytes at `lsn` (which must be the append cursor),
+  /// syncing + rolling the active segment first when the frame would not
+  /// fit. Advances nothing — the caller publishes next_lsn_ after pins are
+  /// registered. Caller holds latch_ (or is single-threaded Open).
+  Status WriteFrameAtLocked(Lsn lsn, const char* data, size_t n);
+
+  /// Failure cleanup for the append paths: pops (and deletes) every chain
+  /// segment whose base lies above the published cursor. Such segments can
+  /// only exist when a batched append rolled mid-batch and then failed —
+  /// nothing published lives in them, but leaving them would strand the
+  /// cursor BELOW the active segment's base and brick every later append
+  /// on an underflowed offset. Caller holds latch_.
+  void RollbackUnpublishedSegmentsLocked();
+
+  /// Copies frames of a pre-segmentation `wal.log` into a fresh segment
+  /// chain (preserving lsns), then removes the legacy file. Idempotent: a
+  /// crash mid-migration leaves wal.log in place and the next Open restarts
+  /// from scratch.
+  Status MigrateLegacyLog();
+
+  /// Retires the named chain segment file: recycle-pool rename while the
+  /// pool has room, unlink otherwise.
+  Status RetireSegmentFile(const std::string& name, uint64_t index);
+
+  /// Segment containing `lsn` (largest base <= lsn); caller holds seg_mu_.
+  const Segment* SegmentAtLocked(Lsn lsn) const;
 
   /// Waits while the legacy append gate is closed.
   void AwaitAppendGate();
@@ -212,17 +320,40 @@ class Wal {
   /// never slip past a closing gate into a log about to be Reset()).
   void LockAppendLatch();
 
-  std::unique_ptr<PagedFile> file_;
+  std::shared_ptr<WalDir> dir_;
+  WalOptions options_;
+
   SpinLatch latch_;  // serializes appends (file write + cursor advance)
   std::atomic<Lsn> head_lsn_{0};
   std::atomic<Lsn> next_lsn_{0};
-  std::atomic<Lsn> base_lsn_{0};  // lsn at physical offset kHeaderSize
-  /// Sequence of the last header slot written (guarded by trunc_mu_,
-  /// except during single-threaded Open). Parity picks the next slot.
-  uint32_t header_seq_ = 0;
+
+  /// Chain of segments ordered by base. Structure guarded by seg_mu_; the
+  /// BACK element only changes under latch_ (appends/rolls), the FRONT only
+  /// under trunc_mu_ (truncation), and the active segment is never popped —
+  /// so an appender holding latch_ may use active_ without seg_mu_.
+  mutable std::mutex seg_mu_;
+  std::deque<std::unique_ptr<Segment>> segments_;
+  std::atomic<Segment*> active_{nullptr};
+  std::atomic<uint64_t> segment_count_{0};
+
+  /// Next segment file number; monotonic, never reused (so truncation keeps
+  /// chain indices contiguous and recycled names can't collide).
+  uint64_t next_index_ = 1;
+  /// This open's generation, stamped into headers of segments it creates.
+  uint64_t epoch_ = 1;
+
+  /// Names of retired segment files available for reuse (bounded by
+  /// options_.recycle_segments). Guarded by seg_mu_.
+  std::deque<std::string> free_pool_;
+
+  std::atomic<uint64_t> segments_created_{0};
+  std::atomic<uint64_t> segments_deleted_{0};
+  std::atomic<uint64_t> segments_recycled_{0};
+  std::atomic<uint64_t> segments_reused_{0};
+
   GroupCommitter group_{this};
 
-  /// Serializes header rewrites (TruncatePrefix vs Reset).
+  /// Serializes truncations (TruncatePrefix vs Reset) and head updates.
   std::mutex trunc_mu_;
 
   /// Pinned lsns: appended records whose effects have not yet reached the

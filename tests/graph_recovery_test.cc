@@ -164,7 +164,10 @@ TEST_F(RecoveryTest, TornWalTailIsDiscarded) {
     auto txn = db->Begin();
     id = *txn->CreateNode({}, {{"v", PropertyValue(int64_t{1})}});
     ASSERT_TRUE(txn->Commit().ok());
-    wal_path = dir_ / "wal.log";
+    // The newest WAL segment file is where a torn append would land.
+    wal_path =
+        dir_ / db->engine().store.wal().SegmentNameOf(
+                   db->engine().store.wal().NextLsn());
   }
   // Append garbage to simulate a torn write.
   {
@@ -462,6 +465,37 @@ TEST_F(RecoveryTest, CheckpointRacingGroupCommitsLosesNoAckedCommit) {
               acked[w].load())
         << "writer " << w << ": an acked commit vanished across reopen";
   }
+}
+
+// Replay crossing many WAL segment files: with no checkpoint ever taken,
+// recovery must discover, order and walk the whole chain.
+TEST_F(RecoveryTest, ReplaySpansManySegments) {
+  auto options = DiskOptions();
+  options.wal_segment_size = 512;
+  NodeId id;
+  {
+    auto db = std::move(*GraphDatabase::Open(options));
+    auto txn = db->Begin();
+    id = *txn->CreateNode({}, {{"v", PropertyValue(int64_t{0})}});
+    ASSERT_TRUE(txn->Commit().ok());
+    for (int i = 1; i <= 200; ++i) {
+      auto update = db->Begin();
+      ASSERT_TRUE(
+          update->SetNodeProperty(id, "v", PropertyValue(int64_t{i})).ok());
+      ASSERT_TRUE(update->Commit().ok());
+    }
+    ASSERT_GT(db->engine().store.wal().SegmentCount(), 2u);
+  }
+  int segment_files = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+    const std::string name = entry.path().filename().string();
+    segment_files += name.rfind("wal.", 0) == 0 ? 1 : 0;
+  }
+  EXPECT_GT(segment_files, 2);
+  auto db = std::move(*GraphDatabase::Open(options));
+  auto reader = db->Begin();
+  EXPECT_EQ(reader->GetNodeProperty(id, "v")->AsInt(), 200);
+  EXPECT_GT(db->engine().store.wal().SegmentCount(), 2u);
 }
 
 TEST_F(RecoveryTest, TokensSurviveRecovery) {

@@ -1,9 +1,11 @@
-// WAL framing, op serialization, torn-tail handling.
+// WAL framing, op serialization, torn-tail handling, segment rotation,
+// recycle pool, chain validation, and legacy single-file migration.
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <atomic>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -34,6 +36,39 @@ WalRecord MakeRecord(TxnId txn, Timestamp ts) {
   record.ops.push_back(WalOp::RemoveRelProperty(2, 4));
   record.ops.push_back(WalOp::Checkpoint(123456789));
   return record;
+}
+
+/// Small single-op record for segment-rotation tests (predictable frames).
+WalRecord SmallRecord(TxnId txn, Timestamp ts) {
+  WalRecord record;
+  record.txn_id = txn;
+  record.commit_ts = ts;
+  record.ops.push_back(WalOp::DeleteNode(txn));
+  return record;
+}
+
+std::unique_ptr<Wal> OpenWal(std::shared_ptr<InMemoryWalDir> dir,
+                             WalOptions options = {}) {
+  auto wal = std::make_unique<Wal>(std::move(dir), options);
+  EXPECT_TRUE(wal->Open().ok());
+  return wal;
+}
+
+std::vector<Timestamp> ReplayTimestamps(Wal* wal) {
+  std::vector<Timestamp> seen;
+  EXPECT_TRUE(wal->ReadAll([&](const WalRecord& record) {
+                   seen.push_back(record.commit_ts);
+                   return Status::OK();
+                 })
+                  .ok());
+  return seen;
+}
+
+std::vector<std::string> ListNames(InMemoryWalDir* dir) {
+  std::vector<std::string> names;
+  EXPECT_TRUE(dir->List(&names).ok());
+  std::sort(names.begin(), names.end());
+  return names;
 }
 
 TEST(WalOps, RecordRoundTrip) {
@@ -70,27 +105,22 @@ TEST(WalOps, TrailingBytesRejected) {
 }
 
 TEST(Wal, AppendAndReadAll) {
-  Wal wal(std::make_unique<InMemoryFile>());
-  ASSERT_TRUE(wal.Open().ok());
+  auto dir = std::make_shared<InMemoryWalDir>();
+  auto wal = OpenWal(dir);
   for (int i = 1; i <= 5; ++i) {
-    auto lsn = wal.Append(MakeRecord(i, i * 10));
+    auto lsn = wal->Append(MakeRecord(i, i * 10));
     ASSERT_TRUE(lsn.ok());
   }
-  std::vector<Timestamp> seen;
-  ASSERT_TRUE(wal.ReadAll([&](const WalRecord& record) {
-                   seen.push_back(record.commit_ts);
-                   return Status::OK();
-                 })
-                  .ok());
-  EXPECT_EQ(seen, (std::vector<Timestamp>{10, 20, 30, 40, 50}));
+  EXPECT_EQ(ReplayTimestamps(wal.get()),
+            (std::vector<Timestamp>{10, 20, 30, 40, 50}));
 }
 
 TEST(Wal, LsnsAreMonotonic) {
-  Wal wal(std::make_unique<InMemoryFile>());
-  ASSERT_TRUE(wal.Open().ok());
+  auto dir = std::make_shared<InMemoryWalDir>();
+  auto wal = OpenWal(dir);
   Lsn prev = 0;
   for (int i = 0; i < 3; ++i) {
-    auto lsn = wal.Append(MakeRecord(1, 1));
+    auto lsn = wal->Append(MakeRecord(1, 1));
     ASSERT_TRUE(lsn.ok());
     if (i > 0) {
       EXPECT_GT(*lsn, prev);
@@ -100,307 +130,648 @@ TEST(Wal, LsnsAreMonotonic) {
 }
 
 TEST(Wal, TornTailTruncated) {
-  auto file = std::make_unique<InMemoryFile>();
-  InMemoryFile* raw = file.get();
-  Wal wal(std::move(file));
-  ASSERT_TRUE(wal.Open().ok());
-  ASSERT_TRUE(wal.Append(MakeRecord(1, 10)).ok());
-  ASSERT_TRUE(wal.Append(MakeRecord(2, 20)).ok());
-  const uint64_t valid = wal.SizeBytes();
-  // Simulate a torn frame: plausible header, garbage payload.
+  auto dir = std::make_shared<InMemoryWalDir>();
+  auto wal = OpenWal(dir);
+  ASSERT_TRUE(wal->Append(MakeRecord(1, 10)).ok());
+  ASSERT_TRUE(wal->Append(MakeRecord(2, 20)).ok());
+  const uint64_t valid = wal->SizeBytes();
+  // Simulate a torn frame in the active segment: plausible header, garbage
+  // payload.
+  std::unique_ptr<PagedFile> raw;
+  ASSERT_TRUE(dir->Open(wal->SegmentNameOf(wal->NextLsn()), &raw).ok());
   const char torn[] = "\x40\x00\x00\x00\x99\x99\x99\x99only-half-written";
-  ASSERT_TRUE(
-      raw->WriteAt(wal.PhysOf(wal.NextLsn()), torn, sizeof torn).ok());
+  ASSERT_TRUE(raw->WriteAt(wal->PhysOf(wal->NextLsn()), torn, sizeof torn).ok());
 
-  int count = 0;
-  ASSERT_TRUE(wal.ReadAll([&](const WalRecord&) {
-                   ++count;
-                   return Status::OK();
-                 })
-                  .ok());
-  EXPECT_EQ(count, 2);
-  EXPECT_EQ(wal.SizeBytes(), valid);  // Tail dropped.
+  EXPECT_EQ(ReplayTimestamps(wal.get()).size(), 2u);
+  EXPECT_EQ(wal->SizeBytes(), valid);  // Tail dropped.
   // Appends continue cleanly after truncation.
-  ASSERT_TRUE(wal.Append(MakeRecord(3, 30)).ok());
-  count = 0;
-  ASSERT_TRUE(wal.ReadAll([&](const WalRecord&) {
-                   ++count;
-                   return Status::OK();
-                 })
-                  .ok());
-  EXPECT_EQ(count, 3);
+  ASSERT_TRUE(wal->Append(MakeRecord(3, 30)).ok());
+  EXPECT_EQ(ReplayTimestamps(wal.get()),
+            (std::vector<Timestamp>{10, 20, 30}));
 }
 
 TEST(Wal, CorruptPayloadStopsReplay) {
-  auto file = std::make_unique<InMemoryFile>();
-  InMemoryFile* raw = file.get();
-  Wal wal(std::move(file));
-  ASSERT_TRUE(wal.Open().ok());
-  ASSERT_TRUE(wal.Append(MakeRecord(1, 10)).ok());
-  const Lsn second = *wal.Append(MakeRecord(2, 20));
+  auto dir = std::make_shared<InMemoryWalDir>();
+  auto wal = OpenWal(dir);
+  ASSERT_TRUE(wal->Append(MakeRecord(1, 10)).ok());
+  const Lsn second = *wal->Append(MakeRecord(2, 20));
   // Flip a payload byte of the second frame: CRC must catch it.
+  std::unique_ptr<PagedFile> raw;
+  ASSERT_TRUE(dir->Open(wal->SegmentNameOf(second), &raw).ok());
   char byte;
-  ASSERT_TRUE(raw->ReadAt(wal.PhysOf(second) + 12, 1, &byte).ok());
+  ASSERT_TRUE(raw->ReadAt(wal->PhysOf(second) + 12, 1, &byte).ok());
   byte ^= 0x40;
-  ASSERT_TRUE(raw->WriteAt(wal.PhysOf(second) + 12, &byte, 1).ok());
-  int count = 0;
-  ASSERT_TRUE(wal.ReadAll([&](const WalRecord&) {
-                   ++count;
-                   return Status::OK();
-                 })
-                  .ok());
-  EXPECT_EQ(count, 1);
+  ASSERT_TRUE(raw->WriteAt(wal->PhysOf(second) + 12, &byte, 1).ok());
+  EXPECT_EQ(ReplayTimestamps(wal.get()), (std::vector<Timestamp>{10}));
 }
 
 TEST(Wal, ResetEmptiesLog) {
-  Wal wal(std::make_unique<InMemoryFile>());
-  ASSERT_TRUE(wal.Open().ok());
-  ASSERT_TRUE(wal.Append(MakeRecord(1, 10)).ok());
-  ASSERT_TRUE(wal.Reset().ok());
-  EXPECT_EQ(wal.SizeBytes(), 0u);
-  int count = 0;
-  ASSERT_TRUE(wal.ReadAll([&](const WalRecord&) {
-                   ++count;
-                   return Status::OK();
-                 })
-                  .ok());
-  EXPECT_EQ(count, 0);
+  auto dir = std::make_shared<InMemoryWalDir>();
+  auto wal = OpenWal(dir);
+  ASSERT_TRUE(wal->Append(MakeRecord(1, 10)).ok());
+  ASSERT_TRUE(wal->Reset().ok());
+  EXPECT_EQ(wal->SizeBytes(), 0u);
+  EXPECT_TRUE(ReplayTimestamps(wal.get()).empty());
 }
 
 TEST(Wal, OpenPositionsCursorAfterValidPrefix) {
-  auto file = std::make_unique<InMemoryFile>();
-  InMemoryFile* raw = file.get();
+  auto dir = std::make_shared<InMemoryWalDir>();
   uint64_t valid;
-  std::string bytes;
   {
-    Wal wal(std::move(file));
-    ASSERT_TRUE(wal.Open().ok());
-    ASSERT_TRUE(wal.Append(MakeRecord(1, 10)).ok());
-    valid = wal.SizeBytes();
-    bytes.resize(raw->Size());
-    ASSERT_TRUE(raw->ReadAt(0, bytes.size(), bytes.data()).ok());
+    auto wal = OpenWal(dir);
+    ASSERT_TRUE(wal->Append(MakeRecord(1, 10)).ok());
+    valid = wal->SizeBytes();
   }
-  auto file2 = std::make_unique<InMemoryFile>();
-  ASSERT_TRUE(file2->WriteAt(0, bytes.data(), bytes.size()).ok());
-  Wal reopened(std::move(file2));
-  ASSERT_TRUE(reopened.Open().ok());
-  EXPECT_EQ(reopened.SizeBytes(), valid);
+  auto reopened = OpenWal(dir);
+  EXPECT_EQ(reopened->SizeBytes(), valid);
 }
 
 TEST(Wal, AppendBatchFramesDecodeIndividually) {
-  Wal wal(std::make_unique<InMemoryFile>());
-  ASSERT_TRUE(wal.Open().ok());
-  ASSERT_TRUE(wal.Append(MakeRecord(1, 10)).ok());
+  auto dir = std::make_shared<InMemoryWalDir>();
+  auto wal = OpenWal(dir);
+  ASSERT_TRUE(wal->Append(MakeRecord(1, 10)).ok());
 
   WalRecord a = MakeRecord(2, 20);
   WalRecord b = MakeRecord(3, 30);
   WalRecord c = MakeRecord(4, 40);
   std::vector<Lsn> lsns;
-  ASSERT_TRUE(wal.AppendBatch({&a, &b, &c}, &lsns).ok());
+  ASSERT_TRUE(wal->AppendBatch({&a, &b, &c}, &lsns).ok());
   ASSERT_EQ(lsns.size(), 3u);
   EXPECT_LT(lsns[0], lsns[1]);
   EXPECT_LT(lsns[1], lsns[2]);
 
-  std::vector<Timestamp> seen;
-  ASSERT_TRUE(wal.ReadAll([&](const WalRecord& record) {
-                   seen.push_back(record.commit_ts);
-                   return Status::OK();
-                 })
-                  .ok());
-  EXPECT_EQ(seen, (std::vector<Timestamp>{10, 20, 30, 40}));
+  EXPECT_EQ(ReplayTimestamps(wal.get()),
+            (std::vector<Timestamp>{10, 20, 30, 40}));
+}
+
+TEST(Wal, ResetKeepsLsnsMonotonic) {
+  auto dir = std::make_shared<InMemoryWalDir>();
+  auto wal = OpenWal(dir);
+  const Lsn before = *wal->Append(MakeRecord(1, 10));
+  ASSERT_TRUE(wal->Reset().ok());
+  EXPECT_EQ(wal->SizeBytes(), 0u);
+  const Lsn after = *wal->Append(MakeRecord(2, 20));
+  EXPECT_GT(after, before);
 }
 
 // ---------------------------------------------------------------------------
-// Prefix truncation (fuzzy checkpoints)
+// Segment rotation
+// ---------------------------------------------------------------------------
+
+WalOptions TinySegments(uint64_t segment_size = 192,
+                        uint64_t recycle_segments = 0) {
+  WalOptions options;
+  options.segment_size = segment_size;
+  options.recycle_segments = recycle_segments;
+  return options;
+}
+
+TEST(WalSegments, AppendRollsAtThreshold) {
+  auto dir = std::make_shared<InMemoryWalDir>();
+  auto wal = OpenWal(dir, TinySegments());
+  EXPECT_EQ(wal->SegmentCount(), 1u);
+
+  std::vector<Timestamp> expect;
+  for (int i = 1; i <= 24; ++i) {
+    ASSERT_TRUE(wal->Append(SmallRecord(i, i * 10)).ok());
+    expect.push_back(i * 10);
+  }
+  EXPECT_GT(wal->SegmentCount(), 1u);
+  // Every segment file stays within the configured size.
+  for (const std::string& name : ListNames(dir.get())) {
+    std::unique_ptr<PagedFile> raw;
+    ASSERT_TRUE(dir->Open(name, &raw).ok());
+    EXPECT_LE(raw->Size(), 192u) << name;
+  }
+  // Replay crosses every boundary in order.
+  EXPECT_EQ(ReplayTimestamps(wal.get()), expect);
+}
+
+TEST(WalSegments, LsnsStayMonotonicAndContiguousAcrossRolls) {
+  auto dir = std::make_shared<InMemoryWalDir>();
+  auto wal = OpenWal(dir, TinySegments());
+  Lsn prev_end = wal->NextLsn();
+  for (int i = 1; i <= 40; ++i) {
+    const Lsn lsn = *wal->Append(SmallRecord(i, i));
+    // Contiguous lsn space: each record starts exactly where the previous
+    // one ended, even when the physical write moved to a new segment.
+    EXPECT_EQ(lsn, prev_end);
+    prev_end = wal->NextLsn();
+    EXPECT_GT(prev_end, lsn);
+  }
+  ASSERT_GT(wal->SegmentCount(), 2u);
+  // Replayed lsns come back identical and strictly increasing.
+  std::vector<Lsn> lsns;
+  ASSERT_TRUE(wal->ReadFrom(0, [&](Lsn lsn, const WalRecord&) {
+                   lsns.push_back(lsn);
+                   return Status::OK();
+                 })
+                  .ok());
+  ASSERT_EQ(lsns.size(), 40u);
+  for (size_t i = 1; i < lsns.size(); ++i) EXPECT_GT(lsns[i], lsns[i - 1]);
+}
+
+TEST(WalSegments, BatchAppendSplitsAtSegmentBoundaries) {
+  auto dir = std::make_shared<InMemoryWalDir>();
+  auto wal = OpenWal(dir, TinySegments());
+  std::vector<WalRecord> records;
+  std::vector<const WalRecord*> ptrs;
+  for (int i = 1; i <= 16; ++i) records.push_back(SmallRecord(i, i * 10));
+  for (const auto& r : records) ptrs.push_back(&r);
+  std::vector<Lsn> lsns;
+  ASSERT_TRUE(wal->AppendBatch(ptrs, &lsns).ok());
+  EXPECT_GT(wal->SegmentCount(), 1u);
+  std::vector<Timestamp> expect;
+  for (int i = 1; i <= 16; ++i) expect.push_back(i * 10);
+  EXPECT_EQ(ReplayTimestamps(wal.get()), expect);
+}
+
+TEST(WalSegments, OversizedRecordGetsItsOwnSegment) {
+  auto dir = std::make_shared<InMemoryWalDir>();
+  auto wal = OpenWal(dir, TinySegments(128));
+  ASSERT_TRUE(wal->Append(SmallRecord(1, 10)).ok());
+  // MakeRecord's frame is far larger than a 128-byte segment: it must still
+  // append (one segment to itself) and replay.
+  ASSERT_TRUE(wal->Append(MakeRecord(2, 20)).ok());
+  ASSERT_TRUE(wal->Append(SmallRecord(3, 30)).ok());
+  EXPECT_EQ(ReplayTimestamps(wal.get()),
+            (std::vector<Timestamp>{10, 20, 30}));
+}
+
+TEST(WalSegments, FailedWriteAfterMidBatchRollIsRolledBack) {
+  auto dir = std::make_shared<InMemoryWalDir>();
+  auto wal = OpenWal(dir, TinySegments());
+  ASSERT_TRUE(wal->Append(SmallRecord(1, 10)).ok());
+
+  // A batch big enough to roll mid-way, armed to fail right after the
+  // roll: the fresh (empty) segment must be un-rolled, or the cursor would
+  // sit BELOW the active base and every later append would underflow its
+  // physical offset.
+  wal->fault_hooks.fn = [calls = 0](const char* point) mutable -> Status {
+    if (std::string(point) == "wal.append.fail_after_roll" && ++calls == 1) {
+      return Status::IOError("injected write failure after roll");
+    }
+    return Status::OK();
+  };
+  std::vector<WalRecord> records;
+  std::vector<const WalRecord*> ptrs;
+  for (int i = 2; i <= 17; ++i) records.push_back(SmallRecord(i, i * 10));
+  for (const auto& r : records) ptrs.push_back(&r);
+  std::vector<Lsn> lsns;
+  EXPECT_TRUE(wal->AppendBatch(ptrs, &lsns, nullptr).IsIOError());
+  EXPECT_EQ(wal->SegmentCount(), 1u);  // The fresh segment was un-rolled.
+  wal->fault_hooks.fn = nullptr;
+
+  // The log is fully usable: appends land at the cursor (overwriting the
+  // partial batch) and everything replays.
+  ASSERT_TRUE(wal->AppendBatch(ptrs, &lsns).ok());
+  ASSERT_TRUE(wal->Append(SmallRecord(99, 990)).ok());
+  std::vector<Timestamp> expect{10};
+  for (int i = 2; i <= 17; ++i) expect.push_back(i * 10);
+  expect.push_back(990);
+  EXPECT_EQ(ReplayTimestamps(wal.get()), expect);
+  // And a reopen sees the same consistent chain.
+  wal.reset();
+  auto reopened = OpenWal(dir, TinySegments());
+  EXPECT_EQ(ReplayTimestamps(reopened.get()), expect);
+}
+
+TEST(WalSegments, ChainSurvivesReopen) {
+  auto dir = std::make_shared<InMemoryWalDir>();
+  std::vector<Timestamp> expect;
+  uint64_t segments;
+  {
+    auto wal = OpenWal(dir, TinySegments());
+    for (int i = 1; i <= 24; ++i) {
+      ASSERT_TRUE(wal->Append(SmallRecord(i, i * 10)).ok());
+      expect.push_back(i * 10);
+    }
+    segments = wal->SegmentCount();
+    ASSERT_GT(segments, 1u);
+  }
+  auto reopened = OpenWal(dir, TinySegments());
+  EXPECT_EQ(reopened->SegmentCount(), segments);
+  EXPECT_EQ(ReplayTimestamps(reopened.get()), expect);
+  // Appends continue above everything ever written.
+  const Lsn next = reopened->NextLsn();
+  EXPECT_GT(*reopened->Append(SmallRecord(99, 990)), 0u);
+  EXPECT_GT(reopened->NextLsn(), next);
+}
+
+// ---------------------------------------------------------------------------
+// Prefix truncation = unconditional whole-segment reclamation
 // ---------------------------------------------------------------------------
 
 TEST(WalTruncatePrefix, DropsOnlyThePrefix) {
-  Wal wal(std::make_unique<InMemoryFile>());
-  ASSERT_TRUE(wal.Open().ok());
-  ASSERT_TRUE(wal.Append(MakeRecord(1, 10)).ok());
-  ASSERT_TRUE(wal.Append(MakeRecord(2, 20)).ok());
-  const Lsn third = *wal.Append(MakeRecord(3, 30));
+  auto dir = std::make_shared<InMemoryWalDir>();
+  auto wal = OpenWal(dir);
+  ASSERT_TRUE(wal->Append(MakeRecord(1, 10)).ok());
+  ASSERT_TRUE(wal->Append(MakeRecord(2, 20)).ok());
+  const Lsn third = *wal->Append(MakeRecord(3, 30));
 
-  ASSERT_TRUE(wal.TruncatePrefix(third).ok());
-  EXPECT_EQ(wal.HeadLsn(), third);
-
-  std::vector<Timestamp> seen;
-  ASSERT_TRUE(wal.ReadAll([&](const WalRecord& record) {
-                   seen.push_back(record.commit_ts);
-                   return Status::OK();
-                 })
-                  .ok());
-  EXPECT_EQ(seen, (std::vector<Timestamp>{30}));
+  ASSERT_TRUE(wal->TruncatePrefix(third).ok());
+  EXPECT_EQ(wal->HeadLsn(), third);
+  EXPECT_EQ(ReplayTimestamps(wal.get()), (std::vector<Timestamp>{30}));
 
   // Appends continue above the truncated prefix; lsns stay monotonic.
-  const Lsn fourth = *wal.Append(MakeRecord(4, 40));
+  const Lsn fourth = *wal->Append(MakeRecord(4, 40));
   EXPECT_GT(fourth, third);
-  seen.clear();
-  ASSERT_TRUE(wal.ReadAll([&](const WalRecord& record) {
-                   seen.push_back(record.commit_ts);
-                   return Status::OK();
-                 })
-                  .ok());
-  EXPECT_EQ(seen, (std::vector<Timestamp>{30, 40}));
+  EXPECT_EQ(ReplayTimestamps(wal.get()), (std::vector<Timestamp>{30, 40}));
 }
 
 TEST(WalTruncatePrefix, AtZeroAndBelowHeadAreNoOps) {
-  Wal wal(std::make_unique<InMemoryFile>());
-  ASSERT_TRUE(wal.Open().ok());
+  auto dir = std::make_shared<InMemoryWalDir>();
+  auto wal = OpenWal(dir);
   // Truncating an empty log at zero does nothing.
-  ASSERT_TRUE(wal.TruncatePrefix(0).ok());
-  EXPECT_EQ(wal.HeadLsn(), 0u);
-  EXPECT_EQ(wal.SizeBytes(), 0u);
+  ASSERT_TRUE(wal->TruncatePrefix(0).ok());
+  EXPECT_EQ(wal->HeadLsn(), 0u);
+  EXPECT_EQ(wal->SizeBytes(), 0u);
 
-  ASSERT_TRUE(wal.Append(MakeRecord(1, 10)).ok());
-  const Lsn second = *wal.Append(MakeRecord(2, 20));
-  ASSERT_TRUE(wal.TruncatePrefix(second).ok());
-  const uint64_t live = wal.SizeBytes();
+  ASSERT_TRUE(wal->Append(MakeRecord(1, 10)).ok());
+  const Lsn second = *wal->Append(MakeRecord(2, 20));
+  ASSERT_TRUE(wal->TruncatePrefix(second).ok());
+  const uint64_t live = wal->SizeBytes();
 
   // Zero (and anything at or below the head) must not move the head back.
-  ASSERT_TRUE(wal.TruncatePrefix(0).ok());
-  ASSERT_TRUE(wal.TruncatePrefix(second).ok());
-  EXPECT_EQ(wal.HeadLsn(), second);
-  EXPECT_EQ(wal.SizeBytes(), live);
-  int count = 0;
-  ASSERT_TRUE(wal.ReadAll([&](const WalRecord&) {
-                   ++count;
-                   return Status::OK();
-                 })
-                  .ok());
-  EXPECT_EQ(count, 1);
+  ASSERT_TRUE(wal->TruncatePrefix(0).ok());
+  ASSERT_TRUE(wal->TruncatePrefix(second).ok());
+  EXPECT_EQ(wal->HeadLsn(), second);
+  EXPECT_EQ(wal->SizeBytes(), live);
+  EXPECT_EQ(ReplayTimestamps(wal.get()).size(), 1u);
 }
 
 TEST(WalTruncatePrefix, AtEndEmptiesLogAndBeyondEndIsRejected) {
-  Wal wal(std::make_unique<InMemoryFile>());
-  ASSERT_TRUE(wal.Open().ok());
-  ASSERT_TRUE(wal.Append(MakeRecord(1, 10)).ok());
-  ASSERT_TRUE(wal.Append(MakeRecord(2, 20)).ok());
-  const Lsn end = wal.NextLsn();
+  auto dir = std::make_shared<InMemoryWalDir>();
+  auto wal = OpenWal(dir);
+  ASSERT_TRUE(wal->Append(MakeRecord(1, 10)).ok());
+  ASSERT_TRUE(wal->Append(MakeRecord(2, 20)).ok());
+  const Lsn end = wal->NextLsn();
 
-  EXPECT_TRUE(wal.TruncatePrefix(end + 1).IsInvalidArgument());
+  EXPECT_TRUE(wal->TruncatePrefix(end + 1).IsInvalidArgument());
 
-  ASSERT_TRUE(wal.TruncatePrefix(end).ok());
-  EXPECT_EQ(wal.SizeBytes(), 0u);
-  int count = 0;
-  ASSERT_TRUE(wal.ReadAll([&](const WalRecord&) {
-                   ++count;
-                   return Status::OK();
-                 })
-                  .ok());
-  EXPECT_EQ(count, 0);
+  ASSERT_TRUE(wal->TruncatePrefix(end).ok());
+  EXPECT_EQ(wal->SizeBytes(), 0u);
+  EXPECT_TRUE(ReplayTimestamps(wal.get()).empty());
 
   // The log is still appendable, with monotonically continuing lsns.
-  const Lsn next = *wal.Append(MakeRecord(3, 30));
+  const Lsn next = *wal->Append(MakeRecord(3, 30));
   EXPECT_GE(next, end);
-  count = 0;
-  ASSERT_TRUE(wal.ReadAll([&](const WalRecord&) {
-                   ++count;
-                   return Status::OK();
-                 })
-                  .ok());
-  EXPECT_EQ(count, 1);
+  EXPECT_EQ(ReplayTimestamps(wal.get()).size(), 1u);
 }
 
-TEST(WalTruncatePrefix, HeadSurvivesReopen) {
-  auto file = std::make_unique<InMemoryFile>();
-  InMemoryFile* raw = file.get();
-  Lsn third;
-  std::string bytes;
-  {
-    Wal wal(std::move(file));
-    ASSERT_TRUE(wal.Open().ok());
-    ASSERT_TRUE(wal.Append(MakeRecord(1, 10)).ok());
-    ASSERT_TRUE(wal.Append(MakeRecord(2, 20)).ok());
-    third = *wal.Append(MakeRecord(3, 30));
-    ASSERT_TRUE(wal.TruncatePrefix(third).ok());
-    bytes.resize(raw->Size());
-    ASSERT_TRUE(raw->ReadAt(0, bytes.size(), bytes.data()).ok());
+TEST(WalTruncatePrefix, UnlinksWholeSegmentsOnAnyBackend) {
+  auto dir = std::make_shared<InMemoryWalDir>();
+  auto wal = OpenWal(dir, TinySegments());
+  for (int i = 1; i <= 24; ++i) {
+    ASSERT_TRUE(wal->Append(SmallRecord(i, i * 10)).ok());
   }
-  auto file2 = std::make_unique<InMemoryFile>();
-  ASSERT_TRUE(file2->WriteAt(0, bytes.data(), bytes.size()).ok());
-  Wal reopened(std::move(file2));
-  ASSERT_TRUE(reopened.Open().ok());
-  EXPECT_EQ(reopened.HeadLsn(), third);
-  std::vector<Timestamp> seen;
-  ASSERT_TRUE(reopened.ReadAll([&](const WalRecord& record) {
-                   seen.push_back(record.commit_ts);
-                   return Status::OK();
-                 })
-                  .ok());
-  EXPECT_EQ(seen, (std::vector<Timestamp>{30}));
+  const uint64_t before_segments = wal->SegmentCount();
+  const uint64_t before_phys = wal->PhysicalBytes();
+  ASSERT_GT(before_segments, 2u);
+
+  // Truncate at the append cursor: every segment below the active one is
+  // physically unlinked — no hole punching, no quiescent rebase, the file
+  // count and byte footprint actually shrink.
+  ASSERT_TRUE(wal->TruncatePrefix(wal->NextLsn()).ok());
+  EXPECT_EQ(wal->SegmentCount(), 1u);
+  EXPECT_LT(wal->PhysicalBytes(), before_phys);
+  EXPECT_EQ(wal->segments_deleted(), before_segments - 1);
+  EXPECT_EQ(ListNames(dir.get()).size(), 1u);  // Only the active segment.
+  EXPECT_TRUE(ReplayTimestamps(wal.get()).empty());
+
+  // Appends and replay continue normally.
+  ASSERT_TRUE(wal->Append(SmallRecord(99, 990)).ok());
+  EXPECT_EQ(ReplayTimestamps(wal.get()), (std::vector<Timestamp>{990}));
+}
+
+TEST(WalTruncatePrefix, PartialSegmentStaysUntilWhollyDead) {
+  auto dir = std::make_shared<InMemoryWalDir>();
+  auto wal = OpenWal(dir, TinySegments());
+  std::vector<Lsn> lsns;
+  std::vector<Timestamp> ts;
+  for (int i = 1; i <= 24; ++i) {
+    lsns.push_back(*wal->Append(SmallRecord(i, i * 10)));
+    ts.push_back(i * 10);
+  }
+  ASSERT_GT(wal->SegmentCount(), 2u);
+  // Truncate to a mid-chain record: segments wholly below go away, the one
+  // containing the cut stays (its tail is live).
+  const size_t cut = 13;
+  const uint64_t before = wal->SegmentCount();
+  ASSERT_TRUE(wal->TruncatePrefix(lsns[cut]).ok());
+  EXPECT_LT(wal->SegmentCount(), before);
+  EXPECT_GE(wal->SegmentCount(), 1u);
+  EXPECT_EQ(ReplayTimestamps(wal.get()),
+            std::vector<Timestamp>(ts.begin() + cut, ts.end()));
+}
+
+TEST(WalTruncatePrefix, HeadSurvivesReopenAtSegmentGranularity) {
+  auto dir = std::make_shared<InMemoryWalDir>();
+  std::vector<Timestamp> live;
+  Lsn head_after_truncate;
+  {
+    auto wal = OpenWal(dir, TinySegments());
+    std::vector<Lsn> lsns;
+    for (int i = 1; i <= 24; ++i) {
+      lsns.push_back(*wal->Append(SmallRecord(i, i * 10)));
+    }
+    ASSERT_GT(wal->SegmentCount(), 2u);
+    ASSERT_TRUE(wal->TruncatePrefix(lsns[13]).ok());
+    head_after_truncate = wal->HeadLsn();
+    ASSERT_TRUE(wal->ReadAll([&](const WalRecord& record) {
+                     live.push_back(record.commit_ts);
+                     return Status::OK();
+                   })
+                    .ok());
+  }
+  auto reopened = OpenWal(dir, TinySegments());
+  // The head is re-derived from the oldest retained segment: at or below
+  // the pre-crash logical head, never above it (nothing live is lost).
+  EXPECT_LE(reopened->HeadLsn(), head_after_truncate);
+  std::vector<Timestamp> replayed = ReplayTimestamps(reopened.get());
+  // Replay may include a few already-applied records from the partially
+  // truncated segment (idempotent), but the live suffix must be intact.
+  ASSERT_GE(replayed.size(), live.size());
+  EXPECT_TRUE(std::equal(live.rbegin(), live.rend(), replayed.rbegin()));
 }
 
 TEST(WalTruncatePrefix, TornTailAfterTruncationStillDetected) {
-  auto file = std::make_unique<InMemoryFile>();
-  InMemoryFile* raw = file.get();
-  Wal wal(std::move(file));
-  ASSERT_TRUE(wal.Open().ok());
-  ASSERT_TRUE(wal.Append(MakeRecord(1, 10)).ok());
-  const Lsn second = *wal.Append(MakeRecord(2, 20));
-  ASSERT_TRUE(wal.TruncatePrefix(second).ok());
-  ASSERT_TRUE(wal.Append(MakeRecord(3, 30)).ok());
+  auto dir = std::make_shared<InMemoryWalDir>();
+  auto wal = OpenWal(dir);
+  ASSERT_TRUE(wal->Append(MakeRecord(1, 10)).ok());
+  const Lsn second = *wal->Append(MakeRecord(2, 20));
+  ASSERT_TRUE(wal->TruncatePrefix(second).ok());
+  ASSERT_TRUE(wal->Append(MakeRecord(3, 30)).ok());
 
   // Torn frame beyond the valid suffix.
+  std::unique_ptr<PagedFile> raw;
+  ASSERT_TRUE(dir->Open(wal->SegmentNameOf(wal->NextLsn()), &raw).ok());
   const char torn[] = "\x30\x00\x00\x00\x77\x77\x77\x77half";
-  ASSERT_TRUE(
-      raw->WriteAt(wal.PhysOf(wal.NextLsn()), torn, sizeof torn).ok());
+  ASSERT_TRUE(raw->WriteAt(wal->PhysOf(wal->NextLsn()), torn, sizeof torn).ok());
 
-  std::vector<Timestamp> seen;
-  ASSERT_TRUE(wal.ReadAll([&](const WalRecord& record) {
-                   seen.push_back(record.commit_ts);
-                   return Status::OK();
-                 })
-                  .ok());
-  EXPECT_EQ(seen, (std::vector<Timestamp>{20, 30}));  // prefix gone, tail cut
+  EXPECT_EQ(ReplayTimestamps(wal.get()),
+            (std::vector<Timestamp>{20, 30}));  // prefix gone, tail cut
   // The torn bytes were truncated; appends continue cleanly.
-  ASSERT_TRUE(wal.Append(MakeRecord(4, 40)).ok());
-  seen.clear();
-  ASSERT_TRUE(wal.ReadAll([&](const WalRecord& record) {
-                   seen.push_back(record.commit_ts);
-                   return Status::OK();
-                 })
-                  .ok());
-  EXPECT_EQ(seen, (std::vector<Timestamp>{20, 30, 40}));
+  ASSERT_TRUE(wal->Append(MakeRecord(4, 40)).ok());
+  EXPECT_EQ(ReplayTimestamps(wal.get()),
+            (std::vector<Timestamp>{20, 30, 40}));
 }
 
-TEST(WalTruncatePrefix, TornHeaderSlotFallsBackToOlderSlot) {
-  auto file = std::make_unique<InMemoryFile>();
-  InMemoryFile* raw = file.get();
-  Lsn third;
-  std::string bytes;
-  {
-    Wal wal(std::move(file));
-    ASSERT_TRUE(wal.Open().ok());  // Header seq 1 → slot 1.
-    ASSERT_TRUE(wal.Append(MakeRecord(1, 10)).ok());
-    ASSERT_TRUE(wal.Append(MakeRecord(2, 20)).ok());
-    third = *wal.Append(MakeRecord(3, 30));
-    ASSERT_TRUE(wal.TruncatePrefix(third).ok());  // Seq 2 → slot 0.
-    bytes.resize(raw->Size());
-    ASSERT_TRUE(raw->ReadAt(0, bytes.size(), bytes.data()).ok());
+// ---------------------------------------------------------------------------
+// Recycle pool
+// ---------------------------------------------------------------------------
+
+TEST(WalRecycle, RetiredSegmentsParkInPoolAndGetReused) {
+  auto dir = std::make_shared<InMemoryWalDir>();
+  auto wal = OpenWal(dir, TinySegments(192, /*recycle_segments=*/2));
+  for (int i = 1; i <= 24; ++i) {
+    ASSERT_TRUE(wal->Append(SmallRecord(i, i * 10)).ok());
   }
-  // Tear the newest header slot (slot 0): flip a byte of its head_lsn.
-  bytes[12] ^= 0x5a;
-  auto file2 = std::make_unique<InMemoryFile>();
-  ASSERT_TRUE(file2->WriteAt(0, bytes.data(), bytes.size()).ok());
-  Wal reopened(std::move(file2));
-  ASSERT_TRUE(reopened.Open().ok());  // Falls back to slot 1 (head 0).
-  EXPECT_EQ(reopened.HeadLsn(), 0u);
-  std::vector<Timestamp> seen;
-  ASSERT_TRUE(reopened.ReadAll([&](const WalRecord& record) {
-                   seen.push_back(record.commit_ts);
-                   return Status::OK();
-                 })
-                  .ok());
-  // The older slot replays a longer, already-applied prefix — never a
-  // fail-stop, never a lost suffix.
-  EXPECT_EQ(seen, (std::vector<Timestamp>{10, 20, 30}));
+  const uint64_t retired = wal->SegmentCount() - 1;
+  ASSERT_GE(retired, 2u);
+  ASSERT_TRUE(wal->TruncatePrefix(wal->NextLsn()).ok());
+
+  // Pool capped at 2: two renamed into the pool, the rest unlinked.
+  EXPECT_EQ(wal->segments_recycled(), 2u);
+  EXPECT_EQ(wal->segments_deleted(), retired - 2);
+  int free_files = 0;
+  for (const std::string& name : ListNames(dir.get())) {
+    free_files += name.rfind("wal.free.", 0) == 0 ? 1 : 0;
+  }
+  EXPECT_EQ(free_files, 2);
+
+  // New rolls drain the pool before creating fresh files, then run dry.
+  const uint64_t created_before = wal->segments_created();
+  for (int i = 25; i <= 96; ++i) {
+    ASSERT_TRUE(wal->Append(SmallRecord(i, i * 10)).ok());
+  }
+  EXPECT_EQ(wal->segments_reused(), 2u);
+  EXPECT_GT(wal->segments_created(), created_before);  // Pool ran dry.
+  // Reused segments replay like any other.
+  std::vector<Timestamp> expect;
+  for (int i = 25; i <= 96; ++i) expect.push_back(i * 10);
+  EXPECT_EQ(ReplayTimestamps(wal.get()), expect);
 }
 
-TEST(Wal, HeaderlessV1LogMigratesOnOpen) {
+TEST(WalRecycle, PoolSurvivesReopenAndExcessIsTrimmed) {
+  auto dir = std::make_shared<InMemoryWalDir>();
+  {
+    auto wal = OpenWal(dir, TinySegments(192, /*recycle_segments=*/2));
+    for (int i = 1; i <= 24; ++i) {
+      ASSERT_TRUE(wal->Append(SmallRecord(i, i * 10)).ok());
+    }
+    ASSERT_TRUE(wal->TruncatePrefix(wal->NextLsn()).ok());
+    ASSERT_EQ(wal->segments_recycled(), 2u);
+  }
+  // Reopen with a smaller pool: one free file adopted, the extra removed.
+  auto reopened = OpenWal(dir, TinySegments(192, /*recycle_segments=*/1));
+  int free_files = 0;
+  for (const std::string& name : ListNames(dir.get())) {
+    free_files += name.rfind("wal.free.", 0) == 0 ? 1 : 0;
+  }
+  EXPECT_EQ(free_files, 1);
+  for (int i = 1; i <= 12; ++i) {
+    ASSERT_TRUE(reopened->Append(SmallRecord(i, i)).ok());
+  }
+  EXPECT_EQ(reopened->segments_reused(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Chain validation at Open: orphans, gaps, half-created segments
+// ---------------------------------------------------------------------------
+
+TEST(WalChain, HalfCreatedNewestSegmentIsDiscarded) {
+  auto dir = std::make_shared<InMemoryWalDir>();
+  std::vector<Timestamp> expect;
+  uint64_t last_index_plus_one;
+  {
+    auto wal = OpenWal(dir, TinySegments());
+    for (int i = 1; i <= 24; ++i) {
+      ASSERT_TRUE(wal->Append(SmallRecord(i, i * 10)).ok());
+      expect.push_back(i * 10);
+    }
+    last_index_plus_one = wal->SegmentCount() + 1;
+  }
+  // Simulate a crash during segment creation: a newest segment file whose
+  // header never became durable (garbage bytes).
+  std::unique_ptr<PagedFile> husk;
+  ASSERT_TRUE(dir->Open(Wal::SegmentName(last_index_plus_one), &husk).ok());
+  ASSERT_TRUE(husk->WriteAt(0, "garbage-half-written-header", 27).ok());
+
+  auto reopened = OpenWal(dir, TinySegments());
+  EXPECT_FALSE(dir->Exists(Wal::SegmentName(last_index_plus_one)));
+  EXPECT_EQ(ReplayTimestamps(reopened.get()), expect);
+  // Appends continue; the discarded index is never resurrected with stale
+  // content (a fresh header is written before any frame).
+  ASSERT_TRUE(reopened->Append(SmallRecord(99, 990)).ok());
+}
+
+TEST(WalChain, ValidEmptyNewestSegmentIsAccepted) {
+  // The state a REAL crash at the post-create point leaves behind: a fully
+  // created (valid header, zero frames) segment at the end of the chain
+  // that no append ever entered. Open must adopt it, not reject it.
+  auto dir = std::make_shared<InMemoryWalDir>();
+  std::vector<Timestamp> expect;
+  uint64_t segments;
+  Lsn cursor;
+  {
+    auto wal = OpenWal(dir, TinySegments());
+    for (int i = 1; i <= 24; ++i) {
+      ASSERT_TRUE(wal->Append(SmallRecord(i, i * 10)).ok());
+      expect.push_back(i * 10);
+    }
+    segments = wal->SegmentCount();
+    cursor = wal->NextLsn();
+    ASSERT_GT(segments, 1u);
+  }
+  // Craft the half-adopted segment: valid header anchored at the cursor.
+  char header[32] = {};
+  EncodeFixed32(header, 0x3153574e);  // "NWS1"
+  EncodeFixed32(header + 4, 1);       // version
+  EncodeFixed64(header + 8, cursor);  // base
+  EncodeFixed64(header + 16, 7);      // epoch
+  EncodeFixed32(header + 24, Crc32c(header, 24));
+  std::unique_ptr<PagedFile> crafted;
+  ASSERT_TRUE(dir->Open(Wal::SegmentName(segments + 1), &crafted).ok());
+  ASSERT_TRUE(crafted->WriteAt(0, header, sizeof header).ok());
+  crafted.reset();
+
+  auto reopened = OpenWal(dir, TinySegments());
+  EXPECT_EQ(reopened->SegmentCount(), segments + 1);
+  EXPECT_EQ(reopened->NextLsn(), cursor);
+  EXPECT_EQ(ReplayTimestamps(reopened.get()), expect);
+  ASSERT_TRUE(reopened->Append(SmallRecord(99, 990)).ok());
+  expect.push_back(990);
+  EXPECT_EQ(ReplayTimestamps(reopened.get()), expect);
+}
+
+TEST(WalChain, MissingMiddleSegmentIsCorruption) {
+  auto dir = std::make_shared<InMemoryWalDir>();
+  {
+    auto wal = OpenWal(dir, TinySegments());
+    for (int i = 1; i <= 24; ++i) {
+      ASSERT_TRUE(wal->Append(SmallRecord(i, i * 10)).ok());
+    }
+    ASSERT_GT(wal->SegmentCount(), 2u);
+  }
+  // A hole in the middle of the chain is a hole in the lsn space: refuse to
+  // open rather than silently replay around missing committed records.
+  ASSERT_TRUE(dir->Remove(Wal::SegmentName(2)).ok());
+  Wal broken(dir, TinySegments());
+  EXPECT_TRUE(broken.Open().IsCorruption());
+}
+
+TEST(WalChain, BadHeaderInsideTheChainIsCorruption) {
+  auto dir = std::make_shared<InMemoryWalDir>();
+  {
+    auto wal = OpenWal(dir, TinySegments());
+    for (int i = 1; i <= 24; ++i) {
+      ASSERT_TRUE(wal->Append(SmallRecord(i, i * 10)).ok());
+    }
+    ASSERT_GT(wal->SegmentCount(), 2u);
+  }
+  // Corrupt a NON-newest segment header: unlike the newest (where a torn
+  // header means a crash before any frame), this is data loss — fail stop.
+  std::unique_ptr<PagedFile> raw;
+  ASSERT_TRUE(dir->Open(Wal::SegmentName(2), &raw).ok());
+  char byte;
+  ASSERT_TRUE(raw->ReadAt(9, 1, &byte).ok());
+  byte ^= 0x5a;
+  ASSERT_TRUE(raw->WriteAt(9, &byte, 1).ok());
+  Wal broken(dir, TinySegments());
+  EXPECT_TRUE(broken.Open().IsCorruption());
+}
+
+TEST(WalChain, TornFrameInsideOlderSegmentFailsReplayLoudly) {
+  auto dir = std::make_shared<InMemoryWalDir>();
+  auto wal = OpenWal(dir, TinySegments());
+  std::vector<Lsn> lsns;
+  for (int i = 1; i <= 24; ++i) {
+    lsns.push_back(*wal->Append(SmallRecord(i, i * 10)));
+  }
+  ASSERT_GT(wal->SegmentCount(), 2u);
+  // Corrupt a frame in the FIRST segment: older segments were synced before
+  // the chain rolled past them, so this is corruption of durably-acked
+  // records — replay must say so, not silently truncate them away.
+  std::unique_ptr<PagedFile> raw;
+  ASSERT_TRUE(dir->Open(wal->SegmentNameOf(lsns[0]), &raw).ok());
+  char byte;
+  ASSERT_TRUE(raw->ReadAt(wal->PhysOf(lsns[0]) + 12, 1, &byte).ok());
+  byte ^= 0x40;
+  ASSERT_TRUE(raw->WriteAt(wal->PhysOf(lsns[0]) + 12, &byte, 1).ok());
+  Status s = wal->ReadAll([](const WalRecord&) { return Status::OK(); });
+  EXPECT_TRUE(s.IsCorruption()) << s;
+}
+
+// ---------------------------------------------------------------------------
+// Legacy single-file → segmented migration
+// ---------------------------------------------------------------------------
+
+/// Builds a legacy v2 single-file log: dual-slot header + frames.
+void WriteLegacyV2Log(InMemoryWalDir* dir, const std::vector<WalRecord>& records) {
+  std::unique_ptr<PagedFile> file;
+  ASSERT_TRUE(dir->Open(Wal::kLegacyName, &file).ok());
+  // Slot 1 (seq 1), matching a freshly created legacy log.
+  char slot[32] = {};
+  EncodeFixed32(slot, 0x324c574e);       // "NWL2"
+  EncodeFixed32(slot + 4, 2);            // version
+  EncodeFixed64(slot + 8, 0);            // head
+  EncodeFixed64(slot + 16, 0);           // base
+  EncodeFixed32(slot + 24, 1);           // seq
+  EncodeFixed32(slot + 28, Crc32c(slot, 28));
+  ASSERT_TRUE(file->WriteAt(32, slot, 32).ok());
+  uint64_t offset = 64;
+  for (const WalRecord& record : records) {
+    std::string payload;
+    record.EncodeTo(&payload);
+    char hdr[8];
+    EncodeFixed32(hdr, static_cast<uint32_t>(payload.size()));
+    EncodeFixed32(hdr + 4, Crc32c(payload.data(), payload.size()));
+    ASSERT_TRUE(file->WriteAt(offset, hdr, 8).ok());
+    ASSERT_TRUE(file->WriteAt(offset + 8, payload.data(), payload.size()).ok());
+    offset += 8 + payload.size();
+  }
+}
+
+TEST(WalMigration, V2SingleFileLogMigratesToSegments) {
+  auto dir = std::make_shared<InMemoryWalDir>();
+  WriteLegacyV2Log(dir.get(),
+                   {MakeRecord(1, 10), MakeRecord(2, 20), MakeRecord(3, 30)});
+
+  auto wal = OpenWal(dir);
+  EXPECT_FALSE(dir->Exists(Wal::kLegacyName));
+  EXPECT_GE(wal->SegmentCount(), 1u);
+  EXPECT_EQ(ReplayTimestamps(wal.get()),
+            (std::vector<Timestamp>{10, 20, 30}));
+
+  // Appends extend the migrated log; a second open sees a pure segment
+  // chain.
+  ASSERT_TRUE(wal->Append(MakeRecord(4, 40)).ok());
+  auto reopened = OpenWal(dir);
+  EXPECT_EQ(ReplayTimestamps(reopened.get()),
+            (std::vector<Timestamp>{10, 20, 30, 40}));
+}
+
+TEST(WalMigration, V2MigrationSplitsIntoSmallSegments) {
+  auto dir = std::make_shared<InMemoryWalDir>();
+  std::vector<WalRecord> records;
+  std::vector<Timestamp> expect;
+  for (int i = 1; i <= 24; ++i) {
+    records.push_back(SmallRecord(i, i * 10));
+    expect.push_back(i * 10);
+  }
+  WriteLegacyV2Log(dir.get(), records);
+
+  auto wal = OpenWal(dir, TinySegments());
+  EXPECT_GT(wal->SegmentCount(), 1u);
+  EXPECT_EQ(ReplayTimestamps(wal.get()), expect);
+}
+
+TEST(WalMigration, HeaderlessV1LogMigratesOnOpen) {
   // Build a pre-header (v1) log by hand: raw frames from byte 0.
-  auto file = std::make_unique<InMemoryFile>();
-  InMemoryFile* raw = file.get();
+  auto dir = std::make_shared<InMemoryWalDir>();
+  std::unique_ptr<PagedFile> raw;
+  ASSERT_TRUE(dir->Open(Wal::kLegacyName, &raw).ok());
   uint64_t offset = 0;
   for (int i = 1; i <= 3; ++i) {
     std::string payload;
@@ -412,42 +783,31 @@ TEST(Wal, HeaderlessV1LogMigratesOnOpen) {
     ASSERT_TRUE(raw->WriteAt(offset + 8, payload.data(), payload.size()).ok());
     offset += 8 + payload.size();
   }
+  raw.reset();
 
-  Wal wal(std::move(file));
-  ASSERT_TRUE(wal.Open().ok());
-  std::vector<Timestamp> seen;
-  ASSERT_TRUE(wal.ReadAll([&](const WalRecord& record) {
-                   seen.push_back(record.commit_ts);
-                   return Status::OK();
-                 })
-                  .ok());
-  EXPECT_EQ(seen, (std::vector<Timestamp>{10, 20, 30}));
-
-  // Appends extend the migrated log; a second open sees the v2 form.
-  ASSERT_TRUE(wal.Append(MakeRecord(4, 40)).ok());
-  std::string bytes(raw->Size(), '\0');
-  ASSERT_TRUE(raw->ReadAt(0, bytes.size(), bytes.data()).ok());
-  auto file2 = std::make_unique<InMemoryFile>();
-  ASSERT_TRUE(file2->WriteAt(0, bytes.data(), bytes.size()).ok());
-  Wal reopened(std::move(file2));
-  ASSERT_TRUE(reopened.Open().ok());
-  seen.clear();
-  ASSERT_TRUE(reopened.ReadAll([&](const WalRecord& record) {
-                   seen.push_back(record.commit_ts);
-                   return Status::OK();
-                 })
-                  .ok());
-  EXPECT_EQ(seen, (std::vector<Timestamp>{10, 20, 30, 40}));
+  auto wal = OpenWal(dir);
+  EXPECT_FALSE(dir->Exists(Wal::kLegacyName));
+  EXPECT_EQ(ReplayTimestamps(wal.get()),
+            (std::vector<Timestamp>{10, 20, 30}));
+  ASSERT_TRUE(wal->Append(MakeRecord(4, 40)).ok());
+  auto reopened = OpenWal(dir);
+  EXPECT_EQ(ReplayTimestamps(reopened.get()),
+            (std::vector<Timestamp>{10, 20, 30, 40}));
 }
 
-TEST(Wal, ResetKeepsLsnsMonotonic) {
-  Wal wal(std::make_unique<InMemoryFile>());
-  ASSERT_TRUE(wal.Open().ok());
-  const Lsn before = *wal.Append(MakeRecord(1, 10));
-  ASSERT_TRUE(wal.Reset().ok());
-  EXPECT_EQ(wal.SizeBytes(), 0u);
-  const Lsn after = *wal.Append(MakeRecord(2, 20));
-  EXPECT_GT(after, before);
+TEST(WalMigration, CrashMidMigrationRestartsFromScratch) {
+  auto dir = std::make_shared<InMemoryWalDir>();
+  WriteLegacyV2Log(dir.get(), {MakeRecord(1, 10), MakeRecord(2, 20)});
+  // Simulate a crash mid-migration: a partial segment exists NEXT TO the
+  // legacy file (which is only removed once the copied chain is durable).
+  std::unique_ptr<PagedFile> partial;
+  ASSERT_TRUE(dir->Open(Wal::SegmentName(1), &partial).ok());
+  ASSERT_TRUE(partial->WriteAt(0, "partial-copy", 12).ok());
+  partial.reset();
+
+  auto wal = OpenWal(dir);
+  EXPECT_FALSE(dir->Exists(Wal::kLegacyName));
+  EXPECT_EQ(ReplayTimestamps(wal.get()), (std::vector<Timestamp>{10, 20}));
 }
 
 // ---------------------------------------------------------------------------
@@ -455,26 +815,46 @@ TEST(Wal, ResetKeepsLsnsMonotonic) {
 // ---------------------------------------------------------------------------
 
 TEST(WalPins, StableLsnTracksOldestPin) {
-  Wal wal(std::make_unique<InMemoryFile>());
-  ASSERT_TRUE(wal.Open().ok());
-  EXPECT_EQ(wal.StableLsn(), wal.NextLsn());
+  auto dir = std::make_shared<InMemoryWalDir>();
+  auto wal = OpenWal(dir);
+  EXPECT_EQ(wal->StableLsn(), wal->NextLsn());
 
-  const Lsn a = *wal.Append(MakeRecord(1, 10), /*pin=*/true);
-  const Lsn b = *wal.Append(MakeRecord(2, 20), /*pin=*/true);
-  ASSERT_TRUE(wal.Append(MakeRecord(3, 30)).ok());  // unpinned
-  EXPECT_EQ(wal.PinnedCount(), 2u);
-  EXPECT_EQ(wal.StableLsn(), a);
+  const Lsn a = *wal->Append(MakeRecord(1, 10), /*pin=*/true);
+  const Lsn b = *wal->Append(MakeRecord(2, 20), /*pin=*/true);
+  ASSERT_TRUE(wal->Append(MakeRecord(3, 30)).ok());  // unpinned
+  EXPECT_EQ(wal->PinnedCount(), 2u);
+  EXPECT_EQ(wal->StableLsn(), a);
 
-  wal.Unpin(a);
-  EXPECT_EQ(wal.StableLsn(), b);
-  wal.Unpin(b);
-  EXPECT_EQ(wal.PinnedCount(), 0u);
-  EXPECT_EQ(wal.StableLsn(), wal.NextLsn());
+  wal->Unpin(a);
+  EXPECT_EQ(wal->StableLsn(), b);
+  wal->Unpin(b);
+  EXPECT_EQ(wal->PinnedCount(), 0u);
+  EXPECT_EQ(wal->StableLsn(), wal->NextLsn());
+}
+
+TEST(WalPins, TruncationNeverPassesAPinAcrossSegments) {
+  auto dir = std::make_shared<InMemoryWalDir>();
+  auto wal = OpenWal(dir, TinySegments());
+  const Lsn pinned = *wal->Append(SmallRecord(1, 10), /*pin=*/true);
+  for (int i = 2; i <= 24; ++i) {
+    ASSERT_TRUE(wal->Append(SmallRecord(i, i * 10)).ok());
+  }
+  ASSERT_GT(wal->SegmentCount(), 2u);
+  // The stable lsn is held at the pin, so a checkpoint-driven truncation
+  // cannot retire the pin's segment even though the chain rolled past it.
+  ASSERT_TRUE(wal->TruncatePrefix(wal->StableLsn()).ok());
+  EXPECT_EQ(wal->HeadLsn(), pinned);
+  std::vector<Timestamp> replayed = ReplayTimestamps(wal.get());
+  ASSERT_EQ(replayed.size(), 24u);
+  EXPECT_EQ(replayed.front(), 10u);
+  wal->Unpin(pinned);
+  ASSERT_TRUE(wal->TruncatePrefix(wal->StableLsn()).ok());
+  EXPECT_EQ(wal->SegmentCount(), 1u);
 }
 
 TEST(WalPins, GroupCommitPinsEveryPinnedParticipant) {
-  Wal wal(std::make_unique<InMemoryFile>());
-  ASSERT_TRUE(wal.Open().ok());
+  auto dir = std::make_shared<InMemoryWalDir>();
+  auto wal = OpenWal(dir);
 
   constexpr int kThreads = 4;
   constexpr int kPerThread = 25;
@@ -484,26 +864,28 @@ TEST(WalPins, GroupCommitPinsEveryPinnedParticipant) {
     threads.emplace_back([&, t] {
       for (int i = 0; i < kPerThread; ++i) {
         const WalRecord record = MakeRecord(t * kPerThread + i + 1, 1);
-        auto lsn = wal.group().Commit(record, /*sync=*/true, /*pin=*/true);
+        auto lsn = wal->group().Commit(record, /*sync=*/true, /*pin=*/true);
         if (!lsn.ok()) {
           failures.fetch_add(1);
           continue;
         }
         // The record must be pin-protected until we release it.
-        if (wal.StableLsn() > *lsn) failures.fetch_add(1);
-        wal.Unpin(*lsn);
+        if (wal->StableLsn() > *lsn) failures.fetch_add(1);
+        wal->Unpin(*lsn);
       }
     });
   }
   for (auto& t : threads) t.join();
   EXPECT_EQ(failures.load(), 0);
-  EXPECT_EQ(wal.PinnedCount(), 0u);
-  EXPECT_EQ(wal.StableLsn(), wal.NextLsn());
+  EXPECT_EQ(wal->PinnedCount(), 0u);
+  EXPECT_EQ(wal->StableLsn(), wal->NextLsn());
 }
 
 TEST(GroupCommitter, ConcurrentSyncCommitsAllDurableAndDecodable) {
-  Wal wal(std::make_unique<InMemoryFile>());
-  ASSERT_TRUE(wal.Open().ok());
+  auto dir = std::make_shared<InMemoryWalDir>();
+  // Small segments: concurrent group-commit batches roll the chain many
+  // times mid-flight.
+  auto wal = OpenWal(dir, TinySegments(512));
 
   constexpr int kThreads = 8;
   constexpr int kPerThread = 50;
@@ -514,18 +896,19 @@ TEST(GroupCommitter, ConcurrentSyncCommitsAllDurableAndDecodable) {
       for (int i = 0; i < kPerThread; ++i) {
         const WalRecord record =
             MakeRecord(t * kPerThread + i + 1, (t * kPerThread + i + 1) * 10);
-        auto lsn = wal.group().Commit(record, /*sync=*/true);
+        auto lsn = wal->group().Commit(record, /*sync=*/true);
         if (!lsn.ok()) failures.fetch_add(1);
       }
     });
   }
   for (auto& t : threads) t.join();
   EXPECT_EQ(failures.load(), 0);
-  EXPECT_EQ(wal.group().records(), uint64_t{kThreads * kPerThread});
+  EXPECT_EQ(wal->group().records(), uint64_t{kThreads * kPerThread});
+  EXPECT_GT(wal->SegmentCount(), 1u);
 
   // Every record must decode, exactly once.
   std::vector<TxnId> seen;
-  ASSERT_TRUE(wal.ReadAll([&](const WalRecord& record) {
+  ASSERT_TRUE(wal->ReadAll([&](const WalRecord& record) {
                    seen.push_back(record.txn_id);
                    return Status::OK();
                  })
