@@ -1,4 +1,15 @@
 // Database-wide configuration.
+//
+// Documentation convention: every option states its UNITS, its DEFAULT, and
+// the daemon / trigger it paces (or the code path that consumes it), so an
+// operator can reason about a deployment from this file alone. The daemons:
+//
+//   GcDaemon          sharded version reclamation  (background_gc_interval_ms,
+//                     gc_backlog_threshold, gc_shards, snapshot_max_age_ms,
+//                     snapshot_expire_backlog)
+//   CheckpointDaemon  WAL bounding                 (checkpoint_interval_ms,
+//                     checkpoint_wal_threshold, wal_segment_size,
+//                     wal_recycle_segments)
 
 #ifndef NEOSI_COMMON_OPTIONS_H_
 #define NEOSI_COMMON_OPTIONS_H_
@@ -13,68 +24,131 @@ namespace neosi {
 
 /// Options controlling a GraphDatabase instance. Plain data; copyable.
 struct DatabaseOptions {
-  /// Directory for store files and the WAL. Ignored when in_memory is true.
+  // --- placement -----------------------------------------------------------
+
+  /// Directory for store files and the WAL segments. Created at Open() when
+  /// missing. Ignored when in_memory is true. No default: on-disk databases
+  /// must name one (Open() fails with InvalidArgument otherwise).
   std::string path;
 
-  /// When true, store files and WAL live in anonymous memory (no files are
-  /// created). Recovery tests and benches use on-disk mode.
+  /// When true (the DEFAULT), store files and WAL live in anonymous memory —
+  /// no files are created and nothing survives the process. Recovery tests
+  /// and the durability benches use on-disk mode.
   bool in_memory = true;
 
-  /// Default isolation level for BeginTransaction() without an explicit one.
+  // --- transaction semantics ----------------------------------------------
+
+  /// Isolation level for BeginTransaction() without an explicit one.
+  /// Default: kSnapshotIsolation (the paper's contribution);
+  /// kReadCommitted reproduces stock Neo4j.
   IsolationLevel default_isolation = IsolationLevel::kSnapshotIsolation;
 
-  /// Write-write conflict resolution policy under snapshot isolation.
+  /// Write-write conflict resolution policy under snapshot isolation
+  /// (paper §3). Default: kFirstUpdaterWinsWait (PostgreSQL-style: wait for
+  /// the holder, abort if it commits). Consumed on the write-lock path
+  /// (Transaction::AcquireWriteLock / CheckWriteConflict) and at commit
+  /// validation for kFirstCommitterWins.
   ConflictPolicy conflict_policy = ConflictPolicy::kFirstUpdaterWinsWait;
 
-  /// Page size for store files, bytes.
+  // --- storage -------------------------------------------------------------
+
+  /// Page size of the store files, in BYTES. Default: 8192. Fixed at
+  /// creation; reopening with a different value is rejected as corruption.
   size_t page_size = 8192;
 
-  /// Soft capacity of the object cache in cached objects; clean
-  /// single-version objects beyond this are evictable. 0 = unbounded.
+  /// Soft capacity of the object cache, in CACHED OBJECTS (nodes + rels).
+  /// Default: 1'048'576 (1 << 20). 0 = unbounded. Clean single-version
+  /// objects beyond this are evicted by the GC daemon's per-pass (and
+  /// idle-wakeup) eviction sweep — eviction never runs on the commit path.
   size_t object_cache_capacity = 1 << 20;
 
-  /// Pass interval of the background GC daemon in milliseconds. Reclamation
-  /// is fully asynchronous: no GC work ever runs on the commit path (0
-  /// disables the daemon entirely; callers invoke GraphDatabase::RunGc()).
+  // --- GC daemon (version reclamation) -------------------------------------
+
+  /// Pass interval of the background GC drain workers, in MILLISECONDS.
+  /// Default: 50. Reclamation is fully asynchronous: no GC work ever runs
+  /// on the commit path. 0 disables the daemon entirely (callers invoke
+  /// GraphDatabase::RunGc() manually — and the snapshot lifecycle policy
+  /// below is then NOT enforced, since the daemon runs its expiry sweep).
   uint64_t background_gc_interval_ms = 50;
 
-  /// Commit publication nudges the GC daemon for an immediate pass when the
-  /// GcList backlog reaches this many entries, without waiting for the
-  /// interval (0 disables nudging; the daemon paces on its interval alone).
+  /// GC backlog (obsolete versions queued across all shards, in ENTRIES)
+  /// at which commit publication nudges the GC drain workers for an
+  /// immediate pass instead of waiting out the interval. Default: 1024.
+  /// 0 disables nudging (interval pacing only). Also the trigger gauge for
+  /// snapshot_expire_backlog below.
   uint64_t gc_backlog_threshold = 1024;
 
-  /// Pass interval of the background checkpoint daemon in milliseconds.
-  /// Each pass runs a FUZZY incremental checkpoint (never blocks commits)
-  /// when the live WAL has outgrown checkpoint_wal_threshold, so
+  /// Number of entity-key shards of the GC list — and of background drain
+  /// worker threads (one per shard). Default: 4. Clamped to [1, 64]. Each
+  /// shard keeps the paper's timestamp-sorted list (near-sorted tail
+  /// insert, O(#reclaimed) drain); sharding removes the single-list mutex
+  /// and single drain thread as the bottleneck at high core counts. 1
+  /// reproduces the pre-sharding topology.
+  size_t gc_shards = 4;
+
+  // --- snapshot lifecycle (snapshot-too-old policy) ------------------------
+
+  /// Maximum age of a live snapshot, in MILLISECONDS, before the GC
+  /// daemon's expiry sweep marks it expired (PostgreSQL's
+  /// old_snapshot_threshold). Default: 0 = never expire (a long-lived
+  /// snapshot then pins the reclamation watermark and the version backlog
+  /// grows without bound). An expired snapshot-isolation transaction fails
+  /// its next read or commit with Status::SnapshotTooOld and rolls back
+  /// (releasing its locks); the reclamation watermark advances past it as
+  /// soon as it is marked, so the backlog drains without waiting for the
+  /// victim to notice. Enforced by the GC daemon: requires
+  /// background_gc_interval_ms > 0.
+  uint64_t snapshot_max_age_ms = 0;
+
+  /// GC backlog (ENTRIES, same gauge as gc_backlog_threshold) beyond which
+  /// the expiry sweep evicts the oldest watermark-pinning snapshot cohort
+  /// EARLY — before snapshot_max_age_ms — when the backlog head is not
+  /// reclaimable below the current watermark (i.e. a snapshot is actually
+  /// pinning it). Default: 0 = no backlog-pressure eviction. Victims get a
+  /// 10 ms grace period from Begin() so a fresh snapshot under a write
+  /// burst is never evicted. Enforced by the GC daemon.
+  uint64_t snapshot_expire_backlog = 0;
+
+  // --- checkpoint daemon (WAL bounding) ------------------------------------
+
+  /// Pass interval of the background checkpoint daemon, in MILLISECONDS.
+  /// Default: 200. Each pass runs a FUZZY incremental checkpoint (never
+  /// blocks commits) when the live WAL has outgrown
+  /// checkpoint_wal_threshold or the segment chain has rolled, so
   /// long-running write workloads never accumulate unbounded log. 0
   /// disables the daemon (callers checkpoint manually).
   uint64_t checkpoint_interval_ms = 200;
 
-  /// Live-WAL byte threshold that makes a checkpoint daemon pass actually
-  /// checkpoint (below it the wakeup is an idle skip). Commit publication
-  /// also nudges the daemon early when the live WAL crosses this many
-  /// bytes. 0 checkpoints on every interval pass.
+  /// Live-WAL BYTES that make a checkpoint daemon pass actually checkpoint
+  /// (below it the wakeup is an idle skip). Default: 4 MiB. Commit
+  /// publication also nudges the daemon early when the live WAL crosses
+  /// this. 0 checkpoints on every interval pass.
   uint64_t checkpoint_wal_threshold = 4ull << 20;  // 4 MiB
 
-  /// Size at which the WAL rolls to a fresh segment file. Checkpoints
-  /// reclaim disk by UNLINKING whole segments below the stable LSN, so this
-  /// bounds both the per-file size and (together with the live bytes) the
-  /// on-disk WAL footprint on every backend — no filesystem hole support
-  /// needed.
+  /// Size, in BYTES, at which the WAL rolls to a fresh segment file.
+  /// Default: 16 MiB. Checkpoints reclaim disk by UNLINKING whole segments
+  /// below the stable LSN, so this bounds both the per-file size and
+  /// (together with the live bytes) the on-disk WAL footprint on every
+  /// backend — no filesystem hole support needed.
   uint64_t wal_segment_size = 16ull << 20;  // 16 MiB
 
-  /// Retired WAL segments kept in a recycle pool and reused for new
-  /// segments instead of being unlinked (PostgreSQL-style xlog recycling;
-  /// 0 = always unlink).
+  /// Retired WAL segments kept in a recycle pool, in FILES, and reused for
+  /// new segments instead of being unlinked (PostgreSQL-style xlog
+  /// recycling: reuse skips the file-creation + directory-fsync cost on
+  /// the roll path). Default: 2. 0 = always unlink.
   uint64_t wal_recycle_segments = 2;
 
-  /// fsync the WAL on every commit. Off by default: the experiments measure
-  /// concurrency-control behaviour, not disk stalls.
+  /// fsync the WAL on every commit (grouped: concurrent committers share
+  /// one fsync per batch through the GroupCommitter). Default: false — the
+  /// experiments measure concurrency-control behaviour, not disk stalls.
   bool sync_commits = false;
 
-  /// Lock wait timeout (milliseconds) for the waiting conflict policies; a
-  /// wait longer than this aborts the waiter with Status::Deadlock. Backstop
-  /// only: wait-die breaks cycles well before this fires.
+  // --- locking -------------------------------------------------------------
+
+  /// Lock wait timeout, in MILLISECONDS, for the waiting conflict
+  /// policies; a wait longer than this aborts the waiter with
+  /// Status::Deadlock. Default: 10000. Backstop only: wait-die breaks
+  /// cycles well before this fires.
   uint64_t lock_timeout_ms = 10000;
 };
 

@@ -28,6 +28,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "NotSupported";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kSnapshotTooOld:
+      return "SnapshotTooOld";
   }
   return "Unknown";
 }

@@ -42,6 +42,11 @@ enum class StatusCode : int {
   kNotSupported = 10,
   /// Invariant violation inside the engine; always a bug.
   kInternal = 11,
+  /// The transaction's snapshot was expired by the snapshot lifecycle
+  /// policy (snapshot_max_age_ms / GC backlog pressure): versions it could
+  /// read may have been reclaimed, so the transaction must restart with a
+  /// fresh snapshot (PostgreSQL's "snapshot too old").
+  kSnapshotTooOld = 12,
 };
 
 /// Returns a short human-readable name ("NotFound", ...) for a code.
@@ -89,6 +94,9 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status SnapshotTooOld(std::string msg) {
+    return Status(StatusCode::kSnapshotTooOld, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
@@ -106,10 +114,17 @@ class Status {
   bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
   bool IsNotSupported() const { return code_ == StatusCode::kNotSupported; }
   bool IsInternal() const { return code_ == StatusCode::kInternal; }
+  bool IsSnapshotTooOld() const {
+    return code_ == StatusCode::kSnapshotTooOld;
+  }
 
-  /// True for the two transaction-retry outcomes (conflict abort / deadlock
-  /// victim); callers typically retry the whole transaction.
-  bool IsRetryable() const { return IsAborted() || IsDeadlock(); }
+  /// True for the transaction-retry outcomes (conflict abort, deadlock
+  /// victim, expired snapshot); callers typically retry the whole
+  /// transaction — a restarted transaction gets a fresh snapshot, which
+  /// clears all three conditions.
+  bool IsRetryable() const {
+    return IsAborted() || IsDeadlock() || IsSnapshotTooOld();
+  }
 
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }

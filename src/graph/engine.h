@@ -46,7 +46,8 @@ struct Engine {
   explicit Engine(const DatabaseOptions& opts)
       : options(opts),
         store(opts),
-        lock_manager(opts.lock_timeout_ms) {}
+        lock_manager(opts.lock_timeout_ms),
+        gc_list(opts.gc_shards) {}
 
   DatabaseOptions options;
 
@@ -54,7 +55,9 @@ struct Engine {
   TimestampOracle oracle;
   ActiveTxnTable active_txns;
   LockManager lock_manager;
-  GcList gc_list;
+  /// Entity-key-sharded reclamation queue (opts.gc_shards shards); each
+  /// shard is drained by its own GcDaemon worker.
+  ShardedGcList gc_list;
 
   // Constructed after store.Open() (needs the store pointer).
   std::unique_ptr<ObjectCache> cache;

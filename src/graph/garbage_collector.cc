@@ -60,6 +60,13 @@ uint64_t LogAndPurgeTombstones(Engine* engine, const std::vector<RelId>& rels,
   return purged;
 }
 
+GcEngine::GcEngine(Engine* engine) : engine_(engine) {
+  shard_mus_.reserve(engine_->gc_list.shard_count());
+  for (size_t i = 0; i < engine_->gc_list.shard_count(); ++i) {
+    shard_mus_.push_back(std::make_unique<std::mutex>());
+  }
+}
+
 void GcEngine::EvictCache() { engine_->cache->EvictIfNeeded(); }
 
 GcStats GcEngine::Collect() {
@@ -68,22 +75,16 @@ GcStats GcEngine::Collect() {
   return CollectUpTo(watermark);
 }
 
-GcStats GcEngine::CollectUpTo(Timestamp watermark) {
-  std::lock_guard<std::mutex> guard(mu_);
-  const auto t0 = std::chrono::steady_clock::now();
-
-  GcStats stats;
-  stats.watermark = watermark;
-
-  // Pop exactly the reclaimable prefix of the timestamp-sorted list: this is
-  // the whole point of §4's threading — cost proportional to the garbage.
-  std::vector<GcEntry> entries = engine_->gc_list.PopReclaimable(watermark);
-
+void GcEngine::DrainEntries(std::vector<GcEntry> entries, Timestamp watermark,
+                            GcStats* stats) {
   // Partition: superseded versions are pruned from their chains; tombstone
   // versions trigger physical purges (relationships strictly before nodes,
-  // so node purges always find an empty chain). Entries for the same entity
-  // are batched so a long backlog is pruned with ONE chain walk per entity
-  // (cost stays O(#reclaimed), the paper's complexity claim).
+  // so node purges find an empty chain — a node whose chain is still
+  // populated, because its rel tombstones hash to a shard that has not
+  // drained yet, is deferred below). Entries for the same entity are
+  // batched so a long backlog is pruned with ONE chain walk per entity
+  // (cost stays O(#reclaimed), the paper's complexity claim); an entity's
+  // entries always share a shard, so shard-local batching loses nothing.
   std::vector<GcEntry> purge_rels;
   std::vector<GcEntry> purge_nodes;
   std::unordered_map<EntityKey, std::vector<std::shared_ptr<Version>>>
@@ -114,36 +115,110 @@ GcStats GcEngine::CollectUpTo(Timestamp watermark) {
     if (versions.size() > 1) {
       // All these versions are superseded at or below the watermark; one
       // prune pass drops every version older than the newest survivor.
-      stats.versions_pruned += chain->PruneSupersededUpTo(watermark);
+      stats->versions_pruned += chain->PruneSupersededUpTo(watermark);
       // Any stragglers (e.g. a version whose superseding commit is above
       // the watermark cannot exist here by construction) fall through to
       // the precise removal below and count zero.
       for (const auto& version : versions) {
-        if (chain->Remove(version)) ++stats.versions_pruned;
+        if (chain->Remove(version)) ++stats->versions_pruned;
       }
     } else {
-      if (chain->Remove(versions[0])) ++stats.versions_pruned;
+      if (chain->Remove(versions[0])) ++stats->versions_pruned;
     }
   }
 
+  // Relationships purge first, in their own WAL record, so the node
+  // admission check below observes their chains already unlinked.
   std::vector<RelId> rel_ids;
   rel_ids.reserve(purge_rels.size());
   for (const GcEntry& entry : purge_rels) rel_ids.push_back(entry.key.id);
+  stats->tombstones_purged +=
+      LogAndPurgeTombstones(engine_, rel_ids, {}, watermark);
+
+  // Node purge admission: only nodes whose PHYSICAL rel chain is already
+  // empty enter the batch. Rel purges only ever shrink a tombstoned
+  // node's chain (attaching a rel needs a visible endpoint), so "empty" is
+  // stable once observed — but a chain still holding tombstoned rels that
+  // another shard's worker has yet to purge must wait. The skipped entry
+  // goes straight back onto its shard (same obsolete_since: reclaimable on
+  // the very next pass, by which time the rel shard has typically
+  // drained). Crucially the admission check runs BEFORE the WAL purge
+  // record is written: a logged-but-failed PurgeNode would fail-stop
+  // recovery when the replay hits the chained node.
   std::vector<NodeId> node_ids;
   node_ids.reserve(purge_nodes.size());
-  for (const GcEntry& entry : purge_nodes) node_ids.push_back(entry.key.id);
-  stats.tombstones_purged +=
-      LogAndPurgeTombstones(engine_, rel_ids, node_ids, watermark);
+  for (GcEntry& entry : purge_nodes) {
+    auto chained = engine_->store.NodeHasRelChain(entry.key.id);
+    // Fail CLOSED: a read error defers exactly like a populated chain — an
+    // unverified node admitted here would still get its PurgeNode WAL op
+    // logged, and if its chain turns out non-empty that logged-but-failed
+    // purge is the recovery fail-stop this check exists to prevent.
+    if (!chained.ok() || *chained) {
+      ++stats->purges_deferred;
+      engine_->gc_list.Append(std::move(entry));
+      continue;
+    }
+    node_ids.push_back(entry.key.id);
+  }
+  stats->tombstones_purged +=
+      LogAndPurgeTombstones(engine_, {}, node_ids, watermark);
+}
 
+void GcEngine::CompactIndexes(Timestamp watermark, GcStats* stats) {
   // Index compaction: drop entries whose removal interval closed below the
   // watermark.
-  stats.index_entries_dropped += engine_->label_index.Compact(watermark);
-  stats.index_entries_dropped += engine_->node_prop_index.Compact(watermark);
-  stats.index_entries_dropped += engine_->rel_prop_index.Compact(watermark);
+  stats->index_entries_dropped += engine_->label_index.Compact(watermark);
+  stats->index_entries_dropped += engine_->node_prop_index.Compact(watermark);
+  stats->index_entries_dropped += engine_->rel_prop_index.Compact(watermark);
+}
 
-  // Cache eviction rides the GC pass (it used to ride the retired
-  // foreground auto-GC): single-version clean objects beyond capacity go.
-  EvictCache();
+GcStats GcEngine::CollectUpTo(Timestamp watermark) {
+  // Global pass: exclusive on every shard, in order (the per-shard workers
+  // take exactly one, so ordered acquisition cannot deadlock with them).
+  std::vector<std::unique_lock<std::mutex>> guards;
+  guards.reserve(shard_mus_.size());
+  for (auto& mu : shard_mus_) guards.emplace_back(*mu);
+  const auto t0 = std::chrono::steady_clock::now();
+
+  GcStats stats;
+  stats.watermark = watermark;
+
+  // Pop exactly the reclaimable prefix of every shard FIRST, then reclaim:
+  // with all rel tombstones <= watermark popped into this one batch, the
+  // rels-before-nodes order inside DrainEntries leaves every node chain
+  // empty by the time its purge runs — the pre-sharding behaviour.
+  DrainEntries(engine_->gc_list.PopReclaimable(watermark), watermark, &stats);
+
+  {
+    std::lock_guard<std::mutex> extras(extras_mu_);
+    CompactIndexes(watermark, &stats);
+    // Cache eviction rides the GC pass (it used to ride the retired
+    // foreground auto-GC): single-version clean objects beyond capacity go.
+    EvictCache();
+  }
+
+  stats.nanos = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+  return stats;
+}
+
+GcStats GcEngine::CollectShardUpTo(size_t shard, Timestamp watermark,
+                                   bool run_global_extras) {
+  std::lock_guard<std::mutex> guard(*shard_mus_[shard]);
+  const auto t0 = std::chrono::steady_clock::now();
+
+  GcStats stats;
+  stats.watermark = watermark;
+  DrainEntries(engine_->gc_list.PopReclaimableFromShard(shard, watermark),
+               watermark, &stats);
+
+  if (run_global_extras) {
+    std::lock_guard<std::mutex> extras(extras_mu_);
+    CompactIndexes(watermark, &stats);
+    EvictCache();
+  }
 
   stats.nanos = static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(

@@ -1,11 +1,21 @@
-// The paper's garbage collector (§4): reclamation driven by the global
+// The paper's garbage collector (§4): reclamation driven by the
 // timestamp-sorted list of obsolete versions, so each pass touches only the
 // versions it reclaims — never the whole store (contrast: VacuumGc).
+//
+// Sharded drains: the list is entity-key-sharded (ShardedGcList) and each
+// shard is drained independently by its own GcDaemon worker
+// (CollectShardUpTo). Reclaimability is per-version, so shards need no
+// cross-coordination — with one exception: physical tombstone purges must
+// remove relationships before their endpoint nodes, and a node's rel
+// tombstones may hash to other shards. A node purge that still sees a
+// physical rel chain is therefore DEFERRED (re-appended to its shard) until
+// the rel shards have drained; see CollectShardUpTo.
 
 #ifndef NEOSI_GRAPH_GARBAGE_COLLECTOR_H_
 #define NEOSI_GRAPH_GARBAGE_COLLECTOR_H_
 
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <vector>
 
@@ -20,33 +30,60 @@ struct GcStats {
   uint64_t versions_pruned = 0;    ///< Superseded versions unlinked.
   uint64_t tombstones_purged = 0;  ///< Entities physically removed.
   uint64_t index_entries_dropped = 0;
+  /// Node purges pushed to a later pass because the node's physical rel
+  /// chain was non-empty (its rel tombstones live in a shard still
+  /// draining). Each deferral re-appends the entry, so nothing is lost.
+  uint64_t purges_deferred = 0;
   uint64_t nanos = 0;              ///< Wall time of the pass.
 };
 
-/// Engine-level GC executor over the mvcc::GcList.
+/// Engine-level GC executor over the mvcc::ShardedGcList.
 class GcEngine {
  public:
-  explicit GcEngine(Engine* engine) : engine_(engine) {}
+  explicit GcEngine(Engine* engine);
 
   GcEngine(const GcEngine&) = delete;
   GcEngine& operator=(const GcEngine&) = delete;
 
-  /// One pass: computes the watermark, pops reclaimable entries, prunes
-  /// chains, purges tombstoned entities (relationships before nodes), and
-  /// compacts the indexes. Safe to call concurrently with transactions.
+  /// One GLOBAL pass: computes the watermark, pops every shard's
+  /// reclaimable entries, prunes chains, purges tombstones (relationships
+  /// before nodes), and compacts the indexes. Safe to call concurrently
+  /// with transactions and with the per-shard drain workers.
   GcStats Collect();
 
-  /// Pass with an explicit watermark (tests).
+  /// Global pass with an explicit watermark (tests).
   GcStats CollectUpTo(Timestamp watermark);
 
-  /// Object-cache eviction sweep (EvictIfNeeded). Runs at the end of every
-  /// pass; the daemon also calls it on idle-skipped wakeups so eviction
-  /// never starves on garbage-free (e.g. insert-only) workloads.
+  /// One SHARD drain (the per-worker path): pops only `shard`'s
+  /// reclaimable entries and reclaims them. When `run_global_extras` is
+  /// set (exactly one worker per daemon cycle — the primary), the pass
+  /// also compacts the indexes and runs the cache-eviction sweep, which
+  /// are global structures that must not be swept once per shard.
+  GcStats CollectShardUpTo(size_t shard, Timestamp watermark,
+                           bool run_global_extras);
+
+  /// Object-cache eviction sweep (EvictIfNeeded). Runs with the global
+  /// extras of a pass; the daemon also calls it on idle-skipped wakeups so
+  /// eviction never starves on garbage-free (e.g. insert-only) workloads.
   void EvictCache();
 
  private:
+  /// Shared reclamation body: prunes superseded versions per entity and
+  /// purges tombstones (rels strictly before nodes within `entries`;
+  /// chained nodes deferred back onto the gc list).
+  void DrainEntries(std::vector<GcEntry> entries, Timestamp watermark,
+                    GcStats* stats);
+
+  void CompactIndexes(Timestamp watermark, GcStats* stats);
+
   Engine* const engine_;
-  std::mutex mu_;  // One pass at a time.
+  /// One drain at a time PER SHARD (a shard worker and a global pass may
+  /// target the same shard); global passes additionally serialize among
+  /// themselves and with every shard via ordered acquisition.
+  std::vector<std::unique_ptr<std::mutex>> shard_mus_;
+  /// Serializes the global extras (index compaction + eviction) between
+  /// the primary worker and manual Collect() calls.
+  std::mutex extras_mu_;
 };
 
 /// WAL-logs and physically purges tombstoned entities — relationships

@@ -49,7 +49,9 @@ Status GraphDatabase::OpenImpl() {
     gc_daemon_ = std::make_unique<GcDaemon>(
         gc_.get(), &engine_->oracle, &engine_->active_txns, &engine_->gc_list,
         engine_->options.background_gc_interval_ms,
-        engine_->options.gc_backlog_threshold);
+        engine_->options.gc_backlog_threshold,
+        engine_->options.snapshot_max_age_ms,
+        engine_->options.snapshot_expire_backlog);
     gc_daemon_->Start();
     engine_->gc_daemon.store(gc_daemon_.get(), std::memory_order_release);
   }
@@ -106,11 +108,13 @@ std::unique_ptr<Transaction> GraphDatabase::Begin(IsolationLevel isolation) {
   const TxnId id = engine_->oracle.NextTxnId();
   // Atomic w.r.t. watermark computation: the snapshot timestamp is taken
   // and published to the active table in one step, so GC can never reclaim
-  // a version this snapshot still needs.
-  const Timestamp start_ts = engine_->active_txns.RegisterAtomic(
+  // a version this snapshot still needs. The registration also hands back
+  // the expiry flag the GC daemon's snapshot-lifecycle sweep may set; the
+  // transaction polls it on every operation.
+  SnapshotRegistration reg = engine_->active_txns.RegisterAtomic(
       id, [this] { return engine_->oracle.ReadTs(); });
-  std::unique_ptr<Transaction> txn(
-      new Transaction(engine_.get(), isolation, id, start_ts));
+  std::unique_ptr<Transaction> txn(new Transaction(
+      engine_.get(), isolation, id, reg.start_ts, std::move(reg.expired)));
   return txn;
 }
 
@@ -136,11 +140,23 @@ DatabaseStats GraphDatabase::Stats() const {
   stats.gc_appended = engine_->gc_list.total_appended();
   stats.gc_reclaimed = engine_->gc_list.total_reclaimed();
   stats.gc_backlog_high_water = engine_->gc_list.backlog_high_water();
+  stats.gc_shards = engine_->gc_list.shard_count();
+  stats.gc_shard_backlogs.reserve(engine_->gc_list.shard_count());
+  for (size_t i = 0; i < engine_->gc_list.shard_count(); ++i) {
+    stats.gc_shard_backlogs.push_back(engine_->gc_list.shard_backlog(i));
+  }
   if (gc_daemon_) {
     stats.gc_daemon_passes = gc_daemon_->passes();
     stats.gc_daemon_nudge_passes = gc_daemon_->nudge_passes();
     stats.gc_daemon_interval_passes = gc_daemon_->interval_passes();
+    stats.gc_purges_deferred = gc_daemon_->purges_deferred();
   }
+  stats.snapshots_expired_age =
+      engine_->active_txns.snapshots_expired_age();
+  stats.snapshots_expired_backlog =
+      engine_->active_txns.snapshots_expired_backlog();
+  stats.snapshot_too_old_aborts =
+      engine_->active_txns.snapshot_too_old_aborts();
   if (checkpoint_daemon_) {
     stats.checkpoint_daemon_passes = checkpoint_daemon_->passes();
     stats.checkpoint_daemon_nudge_passes = checkpoint_daemon_->nudge_passes();

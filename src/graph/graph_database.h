@@ -14,6 +14,7 @@
 #define NEOSI_GRAPH_GRAPH_DATABASE_H_
 
 #include <memory>
+#include <vector>
 
 #include "common/options.h"
 #include "common/status.h"
@@ -37,12 +38,26 @@ struct DatabaseStats {
   uint64_t gc_queue = 0;
   uint64_t gc_appended = 0;
   uint64_t gc_reclaimed = 0;
-  /// Largest GcList backlog ever observed (reclamation pacing headroom).
+  /// Largest aggregate GcList backlog ever observed (reclamation pacing
+  /// headroom; the snapshot-too-old policy's backlog trigger reads the
+  /// live gauge behind this).
   uint64_t gc_backlog_high_water = 0;
-  /// Daemon pacing counters (all zero when the daemon is disabled).
+  /// GC list shard count and the per-shard live backlogs (one gauge per
+  /// entity-key shard; each shard has its own drain worker).
+  uint64_t gc_shards = 0;
+  std::vector<uint64_t> gc_shard_backlogs;
+  /// Daemon pacing counters (all zero when the daemon is disabled). A
+  /// "pass" is one worker draining one shard.
   uint64_t gc_daemon_passes = 0;
   uint64_t gc_daemon_nudge_passes = 0;     ///< Triggered by backlog nudges.
   uint64_t gc_daemon_interval_passes = 0;  ///< Triggered by the interval.
+  /// Node purges pushed to a later pass because the node's rel tombstones
+  /// were still draining in another shard.
+  uint64_t gc_purges_deferred = 0;
+  /// Snapshot lifecycle (snapshot-too-old policy) per-cause counters.
+  uint64_t snapshots_expired_age = 0;      ///< Victims of snapshot_max_age_ms.
+  uint64_t snapshots_expired_backlog = 0;  ///< Victims of backlog pressure.
+  uint64_t snapshot_too_old_aborts = 0;    ///< Ops failed with SnapshotTooOld.
   /// Checkpoint daemon pacing counters (zero when the daemon is disabled).
   /// Checkpoint outcome counters (markers, truncated bytes, dirty-store
   /// syncs) live in `store`.

@@ -11,8 +11,13 @@
 namespace neosi {
 
 Transaction::Transaction(Engine* engine, IsolationLevel isolation, TxnId id,
-                         Timestamp start_ts)
-    : engine_(engine), isolation_(isolation), id_(id), start_ts_(start_ts) {}
+                         Timestamp start_ts,
+                         std::shared_ptr<const std::atomic<bool>> expired)
+    : engine_(engine),
+      isolation_(isolation),
+      id_(id),
+      start_ts_(start_ts),
+      expired_(std::move(expired)) {}
 
 Transaction::~Transaction() {
   if (state_ == TxnState::kActive) {
@@ -25,6 +30,18 @@ Status Transaction::CheckActive() const {
   return Status::FailedPrecondition(
       state_ == TxnState::kCommitted ? "transaction already committed"
                                      : "transaction already aborted");
+}
+
+Status Transaction::FailIfSnapshotExpired() {
+  if (isolation_ != IsolationLevel::kSnapshotIsolation) return Status::OK();
+  if (!expired_ || !expired_->load(std::memory_order_acquire)) {
+    return Status::OK();
+  }
+  engine_->active_txns.NoteSnapshotTooOldAbort();
+  RollbackLocked();
+  return Status::SnapshotTooOld(
+      "snapshot expired by the lifecycle policy (snapshot_max_age_ms or GC "
+      "backlog pressure); restart the transaction for a fresh snapshot");
 }
 
 // ---------------------------------------------------------------------------
@@ -135,6 +152,7 @@ Result<NamedProperties> Transaction::NameProps(const PropertyMap& props) const {
 Result<std::shared_ptr<Version>> Transaction::PendingNodeVersion(
     NodeId id, std::shared_ptr<CachedNode>* node_out) {
   NEOSI_RETURN_IF_ERROR(CheckActive());
+  NEOSI_RETURN_IF_ERROR(FailIfSnapshotExpired());
   const EntityKey key = EntityKey::Node(id);
   auto it = writes_.find(key);
   if (it != writes_.end()) {
@@ -167,12 +185,18 @@ Result<std::shared_ptr<Version>> Transaction::PendingNodeVersion(
   record.created = false;
   writes_[key] = std::move(record);
   if (node_out) *node_out = *node;
+  // Post-walk expiry check: the pending version was based on the snapshot-
+  // visible version, which expiry-driven reclamation may have pruned
+  // mid-walk. Rolls the whole transaction back (including the record just
+  // installed) if so.
+  NEOSI_RETURN_IF_ERROR(FailIfSnapshotExpired());
   return *pending;
 }
 
 Result<std::shared_ptr<Version>> Transaction::PendingRelVersion(
     RelId id, std::shared_ptr<CachedRel>* rel_out) {
   NEOSI_RETURN_IF_ERROR(CheckActive());
+  NEOSI_RETURN_IF_ERROR(FailIfSnapshotExpired());
   const EntityKey key = EntityKey::Rel(id);
   auto it = writes_.find(key);
   if (it != writes_.end()) {
@@ -205,6 +229,8 @@ Result<std::shared_ptr<Version>> Transaction::PendingRelVersion(
   record.created = false;
   writes_[key] = std::move(record);
   if (rel_out) *rel_out = *rel;
+  // Post-walk expiry check (see PendingNodeVersion).
+  NEOSI_RETURN_IF_ERROR(FailIfSnapshotExpired());
   return *pending;
 }
 
@@ -215,6 +241,7 @@ Result<std::shared_ptr<Version>> Transaction::PendingRelVersion(
 Result<NodeId> Transaction::CreateNode(const std::vector<std::string>& labels,
                                        const NamedProperties& props) {
   NEOSI_RETURN_IF_ERROR(CheckActive());
+  NEOSI_RETURN_IF_ERROR(FailIfSnapshotExpired());
 
   std::vector<LabelId> label_ids;
   label_ids.reserve(labels.size());
@@ -597,6 +624,7 @@ Status Transaction::DeleteNode(NodeId id) {
 Result<std::shared_ptr<const Version>> Transaction::VisibleNodeVersion(
     NodeId id) {
   NEOSI_RETURN_IF_ERROR(CheckActive());
+  NEOSI_RETURN_IF_ERROR(FailIfSnapshotExpired());
   const EntityKey key = EntityKey::Node(id);
 
   // Stock Neo4j read committed: short shared read lock around the read.
@@ -622,6 +650,10 @@ Result<std::shared_ptr<const Version>> Transaction::VisibleNodeVersion(
                                                        : kMaxTimestamp,
       id_);
   release();
+  // Post-walk expiry check: if the sweep marked us DURING the walk, the
+  // version we resolved (or the NotFound we are about to report) may
+  // reflect reclaimed state — fail the read instead.
+  NEOSI_RETURN_IF_ERROR(FailIfSnapshotExpired());
   if (!version || version->data.deleted) {
     return Status::NotFound("node " + std::to_string(id) + " not visible");
   }
@@ -631,6 +663,7 @@ Result<std::shared_ptr<const Version>> Transaction::VisibleNodeVersion(
 Result<std::shared_ptr<const Version>> Transaction::VisibleRelVersion(
     RelId id) {
   NEOSI_RETURN_IF_ERROR(CheckActive());
+  NEOSI_RETURN_IF_ERROR(FailIfSnapshotExpired());
   const EntityKey key = EntityKey::Rel(id);
   const bool short_lock = isolation_ == IsolationLevel::kReadCommitted;
   if (short_lock) {
@@ -654,6 +687,8 @@ Result<std::shared_ptr<const Version>> Transaction::VisibleRelVersion(
                                                        : kMaxTimestamp,
       id_);
   release();
+  // Post-walk expiry check (see VisibleNodeVersion).
+  NEOSI_RETURN_IF_ERROR(FailIfSnapshotExpired());
   if (!version || version->data.deleted) {
     return Status::NotFound("relationship " + std::to_string(id) +
                             " not visible");
@@ -743,6 +778,7 @@ bool Transaction::RelExists(RelId id) { return VisibleRelVersion(id).ok(); }
 
 Result<std::vector<NodeId>> Transaction::AllNodes() {
   NEOSI_RETURN_IF_ERROR(CheckActive());
+  NEOSI_RETURN_IF_ERROR(FailIfSnapshotExpired());
   std::vector<NodeId> out;
   const Snapshot snap = ReadSnapshot();
 
@@ -767,6 +803,9 @@ Result<std::vector<NodeId>> Transaction::AllNodes() {
   }
   std::sort(out.begin(), out.end());
   out.erase(std::unique(out.begin(), out.end()), out.end());
+  // Post-scan expiry check: reclamation racing the scan could have pruned
+  // snapshot-visible versions from chains the scan already passed.
+  NEOSI_RETURN_IF_ERROR(FailIfSnapshotExpired());
   return out;
 }
 
@@ -781,6 +820,7 @@ Result<std::vector<NodeId>> Transaction::GetNodesByLabel(
   std::vector<NodeId> out = engine_->label_index.Lookup(*token,
                                                         ReadSnapshot());
   std::sort(out.begin(), out.end());
+  NEOSI_RETURN_IF_ERROR(FailIfSnapshotExpired());
   return out;
 }
 
@@ -795,6 +835,7 @@ Result<std::vector<NodeId>> Transaction::GetNodesByProperty(
   std::vector<NodeId> out =
       engine_->node_prop_index.Lookup(*token, value, ReadSnapshot());
   std::sort(out.begin(), out.end());
+  NEOSI_RETURN_IF_ERROR(FailIfSnapshotExpired());
   return out;
 }
 
@@ -809,6 +850,7 @@ Result<std::vector<NodeId>> Transaction::GetNodesByPropertyRange(
   }
   std::vector<NodeId> out =
       engine_->node_prop_index.Scan(*token, lo, hi, ReadSnapshot());
+  NEOSI_RETURN_IF_ERROR(FailIfSnapshotExpired());
   return out;
 }
 
@@ -823,6 +865,7 @@ Result<std::vector<RelId>> Transaction::GetRelsByProperty(
   std::vector<RelId> out =
       engine_->rel_prop_index.Lookup(*token, value, ReadSnapshot());
   std::sort(out.begin(), out.end());
+  NEOSI_RETURN_IF_ERROR(FailIfSnapshotExpired());
   return out;
 }
 
@@ -871,6 +914,8 @@ Result<std::vector<RelId>> Transaction::GetRelationships(
     if (type_token != kInvalidToken && (*rel)->type != type_token) continue;
     out.push_back(rel_id);
   }
+  // Post-scan expiry check (see AllNodes).
+  NEOSI_RETURN_IF_ERROR(FailIfSnapshotExpired());
   return out;
 }
 
@@ -901,6 +946,11 @@ Result<size_t> Transaction::Degree(NodeId node, Direction direction) {
 
 Status Transaction::Commit() {
   NEOSI_RETURN_IF_ERROR(CheckActive());
+  // Snapshot-too-old: an expired snapshot must not commit — its reads (and
+  // the write images based on them) may predate reclamation. Rolls back
+  // and releases every lock, so an expired writer cannot park a lock set
+  // behind a commit that is doomed anyway.
+  NEOSI_RETURN_IF_ERROR(FailIfSnapshotExpired());
 
   PruneAnnihilated();
   if (writes_.empty()) return CommitTokenOnly();
@@ -908,6 +958,11 @@ Status Transaction::Commit() {
   // Stage 1 — validate, then sequence. The oracle's timestamp allocation is
   // the ONLY global synchronization point of the whole commit.
   NEOSI_RETURN_IF_ERROR(ValidateCommit());
+  // Last expiry gate, immediately before the commit becomes irrevocable
+  // (sequencing). Past this point expiry cannot affect correctness: every
+  // read is done, validation pinned the write set under long locks, and
+  // the commit's own effects carry its fresh commit timestamp.
+  NEOSI_RETURN_IF_ERROR(FailIfSnapshotExpired());
   const Timestamp ts = engine_->oracle.NextCommitTs();
   // Timestamps are dense: every exit below must hand `ts` back to the
   // oracle via FinishCommit, or the publication watermark stalls.

@@ -12,6 +12,7 @@
 #ifndef NEOSI_GRAPH_TRANSACTION_H_
 #define NEOSI_GRAPH_TRANSACTION_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <optional>
@@ -147,7 +148,8 @@ class Transaction {
   friend class GraphDatabase;
 
   Transaction(Engine* engine, IsolationLevel isolation, TxnId id,
-              Timestamp start_ts);
+              Timestamp start_ts,
+              std::shared_ptr<const std::atomic<bool>> expired);
 
   /// One pending index mutation, replayed as commit/abort stamps.
   struct IndexOp {
@@ -181,6 +183,21 @@ class Transaction {
   }
 
   Status CheckActive() const;
+
+  /// Snapshot lifecycle enforcement (snapshot-too-old policy). Once the GC
+  /// daemon marks this snapshot expired, the reclamation watermark no
+  /// longer waits for it and versions it could read may be reclaimed —
+  /// so the transaction must fail before it can observe that. Called at
+  /// the START of every read/write/commit (cheap flag load) and AGAIN
+  /// after every chain walk / index scan: a read that overlapped its own
+  /// expiry is failed instead of returned, because the mark
+  /// happens-before any reclamation (shard mutex, then chain latch), so a
+  /// walk that could have seen reclaimed state always re-reads the flag as
+  /// set. On expiry: rolls back (releasing all locks) and returns
+  /// Status::SnapshotTooOld. No-op under read committed — RC reads the
+  /// newest committed state, which reclamation never removes (an RC
+  /// registration can still be marked so the watermark advances past it).
+  Status FailIfSnapshotExpired();
 
   /// Acquires the long write lock on `key` per the isolation level and
   /// conflict policy; on conflict rolls the transaction back and returns
@@ -260,6 +277,9 @@ class Transaction {
   const IsolationLevel isolation_;
   const TxnId id_;
   const Timestamp start_ts_;
+  /// Expiry flag shared with the ActiveTxnTable registration (set by the
+  /// GC daemon's expiry sweep; null only for recovery-internal handles).
+  const std::shared_ptr<const std::atomic<bool>> expired_;
   Timestamp commit_ts_ = kNoTimestamp;
   TxnState state_ = TxnState::kActive;
 

@@ -1,6 +1,8 @@
 #include "mvcc/gc_list.h"
 
+#include <algorithm>
 #include <cassert>
+#include <iterator>
 
 namespace neosi {
 
@@ -43,6 +45,76 @@ std::vector<GcEntry> GcList::PopReclaimable(Timestamp watermark,
 Timestamp GcList::OldestObsoleteSince() const {
   std::lock_guard<std::mutex> guard(mu_);
   return entries_.empty() ? kMaxTimestamp : entries_.front().obsolete_since;
+}
+
+// ---------------------------------------------------------------------------
+// ShardedGcList
+// ---------------------------------------------------------------------------
+
+ShardedGcList::ShardedGcList(size_t shards)
+    : shards_(std::min(std::max<size_t>(shards, 1), kMaxShards)) {}
+
+void ShardedGcList::Append(GcEntry entry) {
+  const size_t shard = ShardOf(entry.key);
+  // Aggregate gauge BEFORE the entry becomes poppable: the reverse order
+  // would let a racing drain's fetch_sub underflow the gauge, and a
+  // transiently huge backlog() reading could spuriously trip the
+  // backlog-pressure snapshot eviction. Over-reporting by one in-flight
+  // entry is harmless everywhere the gauge is read.
+  const size_t backlog = backlog_.fetch_add(1, std::memory_order_relaxed) + 1;
+  // Monotone max via CAS: unlike the per-shard gauge (updated under the
+  // shard mutex), concurrent appenders race here, and a plain
+  // load-compare-store could overwrite a higher peak with a stale low one.
+  uint64_t seen = backlog_high_water_.load(std::memory_order_relaxed);
+  while (backlog > seen &&
+         !backlog_high_water_.compare_exchange_weak(
+             seen, backlog, std::memory_order_relaxed)) {
+  }
+  shards_[shard].Append(std::move(entry));
+}
+
+std::vector<GcEntry> ShardedGcList::PopReclaimableFromShard(
+    size_t shard, Timestamp watermark, size_t max_batch) {
+  std::vector<GcEntry> out =
+      shards_[shard].PopReclaimable(watermark, max_batch);
+  if (!out.empty()) {
+    backlog_.fetch_sub(out.size(), std::memory_order_relaxed);
+  }
+  return out;
+}
+
+std::vector<GcEntry> ShardedGcList::PopReclaimable(Timestamp watermark,
+                                                   size_t max_batch) {
+  std::vector<GcEntry> out;
+  for (size_t shard = 0; shard < shards_.size(); ++shard) {
+    if (max_batch != 0 && out.size() >= max_batch) break;
+    const size_t remaining = max_batch == 0 ? 0 : max_batch - out.size();
+    std::vector<GcEntry> popped =
+        PopReclaimableFromShard(shard, watermark, remaining);
+    out.insert(out.end(), std::make_move_iterator(popped.begin()),
+               std::make_move_iterator(popped.end()));
+  }
+  return out;
+}
+
+Timestamp ShardedGcList::OldestObsoleteSince() const {
+  Timestamp min_ts = kMaxTimestamp;
+  for (const GcList& shard : shards_) {
+    min_ts = std::min(min_ts, shard.OldestObsoleteSince());
+  }
+  return min_ts;
+}
+
+uint64_t ShardedGcList::total_appended() const {
+  uint64_t total = 0;
+  for (const GcList& shard : shards_) total += shard.total_appended();
+  return total;
+}
+
+uint64_t ShardedGcList::total_reclaimed() const {
+  uint64_t total = 0;
+  for (const GcList& shard : shards_) total += shard.total_reclaimed();
+  return total;
 }
 
 }  // namespace neosi

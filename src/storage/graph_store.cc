@@ -412,6 +412,13 @@ Status GraphStore::PersistRelTombstone(RelId id, Timestamp ts) {
 // GC purge
 // ---------------------------------------------------------------------------
 
+Result<bool> GraphStore::NodeHasRelChain(NodeId id) const {
+  ReadGuard guard(NodeShard(id));
+  NodeRecord rec;
+  NEOSI_RETURN_IF_ERROR(ReadNodeRecord(id, &rec));
+  return rec.in_use && rec.first_rel != kInvalidRelId;
+}
+
 Status GraphStore::PurgeNode(NodeId id) {
   WriteGuard guard(NodeShard(id));
   NodeRecord rec;

@@ -171,6 +171,14 @@ class GraphStore {
   /// callers filter by visibility). Snapshot under the node's shared latch.
   Status RelChainOf(NodeId id, std::vector<RelId>* out) const;
 
+  /// True while the node's physical relationship chain is non-empty
+  /// (tombstoned rels awaiting purge included). Sharded GC reads this
+  /// before a node purge: the node's rel tombstones may live in other
+  /// shards still mid-drain, and PurgeNode on a chained node is an
+  /// invariant violation — the collector defers such nodes to a later pass
+  /// instead. Cheap: one record read under the shared latch.
+  Result<bool> NodeHasRelChain(NodeId id) const;
+
   /// Raw record reads (tests, vacuum baseline).
   Status ReadNodeRecord(NodeId id, NodeRecord* out) const;
   Status ReadRelRecord(RelId id, RelationshipRecord* out) const;

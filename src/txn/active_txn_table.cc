@@ -7,16 +7,21 @@ namespace neosi {
 void ActiveTxnTable::Register(TxnId txn, Timestamp start_ts) {
   Shard& shard = ShardFor(txn);
   std::lock_guard<std::mutex> guard(shard.mu);
-  shard.active[txn] = start_ts;
+  Entry& entry = shard.active[txn];
+  entry.start_ts = start_ts;
+  entry.registered_at = std::chrono::steady_clock::now();
+  entry.expired = std::make_shared<std::atomic<bool>>(false);
 }
 
-Timestamp ActiveTxnTable::RegisterAtomic(
+SnapshotRegistration ActiveTxnTable::RegisterAtomic(
     TxnId txn, const std::function<Timestamp()>& ts_source) {
   Shard& shard = ShardFor(txn);
   std::lock_guard<std::mutex> guard(shard.mu);
-  const Timestamp start_ts = ts_source();
-  shard.active[txn] = start_ts;
-  return start_ts;
+  Entry& entry = shard.active[txn];
+  entry.start_ts = ts_source();
+  entry.registered_at = std::chrono::steady_clock::now();
+  entry.expired = std::make_shared<std::atomic<bool>>(false);
+  return {entry.start_ts, entry.expired};
 }
 
 void ActiveTxnTable::Unregister(TxnId txn) {
@@ -33,14 +38,78 @@ Timestamp ActiveTxnTable::Watermark(Timestamp fallback) const {
   // the result is clamped to fallback as well: a mid-scan registration in an
   // already-scanned shard may hold a start timestamp below the minimum of
   // the transactions the scan did see.
+  //
+  // Expired registrations are skipped: the expiry flag is set under the
+  // shard mutex this scan also takes, so a scan either sees the mark (and
+  // advances past the victim) or ran wholly before it (and the next scan
+  // advances). Reclamation that follows an advanced watermark is ordered
+  // after the mark — the victim's post-read expiry check therefore cannot
+  // miss it (mutex + chain-latch release/acquire chain).
   Timestamp min_ts = kMaxTimestamp;
   for (const Shard& shard : shards_) {
     std::lock_guard<std::mutex> guard(shard.mu);
-    for (const auto& [txn, start_ts] : shard.active) {
-      min_ts = std::min(min_ts, start_ts);
+    for (const auto& [txn, entry] : shard.active) {
+      if (entry.expired->load(std::memory_order_relaxed)) continue;
+      min_ts = std::min(min_ts, entry.start_ts);
     }
   }
   return std::min(min_ts, fallback);
+}
+
+SnapshotExpiryOutcome ActiveTxnTable::ExpireSnapshots(uint64_t max_age_ms,
+                                                      bool backlog_pressure) {
+  SnapshotExpiryOutcome outcome;
+  const auto now = std::chrono::steady_clock::now();
+
+  // Pass 1 — age: any live snapshot past max_age_ms expires, full stop.
+  if (max_age_ms > 0) {
+    const auto max_age = std::chrono::milliseconds(max_age_ms);
+    for (Shard& shard : shards_) {
+      std::lock_guard<std::mutex> guard(shard.mu);
+      for (auto& [txn, entry] : shard.active) {
+        if (entry.expired->load(std::memory_order_relaxed)) continue;
+        if (now - entry.registered_at >= max_age) {
+          entry.expired->store(true, std::memory_order_release);
+          ++outcome.expired_by_age;
+        }
+      }
+    }
+  }
+
+  // Pass 2 — backlog pressure: evict the oldest-start-ts cohort of
+  // grace-aged snapshots (the ones actually pinning the watermark). Two
+  // scans (find the minimum, then mark it); a registration racing in
+  // between is younger than the grace period and cannot join the cohort,
+  // so the mark scan hits exactly the pinners the find scan chose — and a
+  // second sweep repairs any cohort the race split.
+  if (backlog_pressure) {
+    Timestamp victim_ts = kMaxTimestamp;
+    for (Shard& shard : shards_) {
+      std::lock_guard<std::mutex> guard(shard.mu);
+      for (const auto& [txn, entry] : shard.active) {
+        if (entry.expired->load(std::memory_order_relaxed)) continue;
+        if (now - entry.registered_at < kBacklogExpiryGrace) continue;
+        victim_ts = std::min(victim_ts, entry.start_ts);
+      }
+    }
+    if (victim_ts != kMaxTimestamp) {
+      for (Shard& shard : shards_) {
+        std::lock_guard<std::mutex> guard(shard.mu);
+        for (auto& [txn, entry] : shard.active) {
+          if (entry.start_ts != victim_ts) continue;
+          if (entry.expired->load(std::memory_order_relaxed)) continue;
+          if (now - entry.registered_at < kBacklogExpiryGrace) continue;
+          entry.expired->store(true, std::memory_order_release);
+          ++outcome.expired_by_backlog;
+        }
+      }
+    }
+  }
+
+  expired_age_.fetch_add(outcome.expired_by_age, std::memory_order_relaxed);
+  expired_backlog_.fetch_add(outcome.expired_by_backlog,
+                             std::memory_order_relaxed);
+  return outcome;
 }
 
 size_t ActiveTxnTable::ActiveCount() const {
@@ -56,7 +125,7 @@ std::vector<TxnId> ActiveTxnTable::ActiveTxnIds() const {
   std::vector<TxnId> out;
   for (const Shard& shard : shards_) {
     std::lock_guard<std::mutex> guard(shard.mu);
-    for (const auto& [txn, start_ts] : shard.active) out.push_back(txn);
+    for (const auto& [txn, entry] : shard.active) out.push_back(txn);
   }
   std::sort(out.begin(), out.end());
   return out;
@@ -66,6 +135,14 @@ bool ActiveTxnTable::IsActive(TxnId txn) const {
   const Shard& shard = ShardFor(txn);
   std::lock_guard<std::mutex> guard(shard.mu);
   return shard.active.count(txn) != 0;
+}
+
+bool ActiveTxnTable::IsExpired(TxnId txn) const {
+  const Shard& shard = ShardFor(txn);
+  std::lock_guard<std::mutex> guard(shard.mu);
+  auto it = shard.active.find(txn);
+  return it != shard.active.end() &&
+         it->second.expired->load(std::memory_order_acquire);
 }
 
 }  // namespace neosi

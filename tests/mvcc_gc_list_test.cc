@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <thread>
+#include <vector>
 
 #include "mvcc/gc_list.h"
 
@@ -58,6 +60,92 @@ TEST(GcList, CountersTrackTraffic) {
   list.PopReclaimable(3);
   EXPECT_EQ(list.total_appended(), 5u);
   EXPECT_EQ(list.total_reclaimed(), 3u);
+}
+
+TEST(ShardedGcList, RoutesByEntityKeyAndKeepsShardOrder) {
+  ShardedGcList list(4);
+  ASSERT_EQ(list.shard_count(), 4u);
+  // An entity's entries always land in the same shard, in timestamp order.
+  for (Timestamp ts : {30, 10, 20}) list.Append(Entry(7, ts));
+  const size_t shard = list.ShardOf(EntityKey::Node(7));
+  EXPECT_EQ(list.shard_backlog(shard), 3u);
+  EXPECT_EQ(list.backlog(), 3u);
+  auto popped = list.PopReclaimableFromShard(shard, 100);
+  ASSERT_EQ(popped.size(), 3u);
+  EXPECT_EQ(popped[0].obsolete_since, 10u);
+  EXPECT_EQ(popped[1].obsolete_since, 20u);
+  EXPECT_EQ(popped[2].obsolete_since, 30u);
+  EXPECT_EQ(list.backlog(), 0u);
+}
+
+TEST(ShardedGcList, AggregateGaugesSpanShards) {
+  ShardedGcList list(8);
+  for (uint64_t id = 0; id < 64; ++id) list.Append(Entry(id, id + 1));
+  EXPECT_EQ(list.backlog(), 64u);
+  EXPECT_GE(list.backlog_high_water(), 64u);
+  EXPECT_EQ(list.total_appended(), 64u);
+  EXPECT_EQ(list.OldestObsoleteSince(), 1u);
+  size_t summed = 0;
+  for (size_t s = 0; s < list.shard_count(); ++s) {
+    summed += list.shard_backlog(s);
+  }
+  EXPECT_EQ(summed, 64u);
+
+  // Global pop honours the watermark across every shard.
+  auto popped = list.PopReclaimable(32);
+  EXPECT_EQ(popped.size(), 32u);
+  EXPECT_EQ(list.backlog(), 32u);
+  EXPECT_EQ(list.total_reclaimed(), 32u);
+  EXPECT_EQ(list.OldestObsoleteSince(), 33u);
+  for (const GcEntry& e : popped) EXPECT_LE(e.obsolete_since, 32u);
+}
+
+TEST(ShardedGcList, ShardCountClampsToAtLeastOne) {
+  ShardedGcList list(0);
+  EXPECT_EQ(list.shard_count(), 1u);
+  list.Append(Entry(1, 1));
+  EXPECT_EQ(list.PopReclaimable(1).size(), 1u);
+  ShardedGcList capped(1 << 20);
+  EXPECT_EQ(capped.shard_count(), ShardedGcList::kMaxShards);
+}
+
+TEST(ShardedGcList, MaxBatchSpansShards) {
+  ShardedGcList list(4);
+  for (uint64_t id = 0; id < 16; ++id) list.Append(Entry(id, 1));
+  EXPECT_EQ(list.PopReclaimable(1, 5).size(), 5u);
+  EXPECT_EQ(list.backlog(), 11u);
+  EXPECT_EQ(list.PopReclaimable(1).size(), 11u);
+}
+
+TEST(ShardedGcList, ConcurrentShardDrainersStayConsistent) {
+  ShardedGcList list(4);
+  std::atomic<Timestamp> next_ts{1};
+  std::atomic<uint64_t> reclaimed{0};
+  std::atomic<bool> stop{false};
+
+  std::thread appender([&] {
+    for (uint64_t i = 0; i < 20000; ++i) {
+      const Timestamp ts = next_ts.fetch_add(1);
+      list.Append(Entry(/*id=*/i % 97, ts));
+    }
+    stop.store(true);
+  });
+  // One independent drainer per shard — the daemon's topology.
+  std::vector<std::thread> drainers;
+  for (size_t shard = 0; shard < list.shard_count(); ++shard) {
+    drainers.emplace_back([&, shard] {
+      while (!stop.load() || list.shard_backlog(shard) > 0) {
+        reclaimed.fetch_add(
+            list.PopReclaimableFromShard(shard, next_ts.load()).size());
+      }
+    });
+  }
+  appender.join();
+  for (auto& t : drainers) t.join();
+  EXPECT_EQ(reclaimed.load(), 20000u);
+  EXPECT_EQ(list.backlog(), 0u);
+  EXPECT_EQ(list.total_appended(), 20000u);
+  EXPECT_EQ(list.total_reclaimed(), 20000u);
 }
 
 TEST(GcList, ConcurrentAppendersAndCollector) {

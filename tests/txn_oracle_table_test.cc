@@ -189,10 +189,72 @@ TEST(ActiveTxnTable, WatermarkIsMinActiveStart) {
 
 TEST(ActiveTxnTable, RegisterAtomicUsesSource) {
   ActiveTxnTable table;
-  const Timestamp ts = table.RegisterAtomic(7, [] { return Timestamp{42}; });
-  EXPECT_EQ(ts, 42u);
+  const SnapshotRegistration reg =
+      table.RegisterAtomic(7, [] { return Timestamp{42}; });
+  EXPECT_EQ(reg.start_ts, 42u);
+  ASSERT_NE(reg.expired, nullptr);
+  EXPECT_FALSE(reg.expired->load());
   EXPECT_TRUE(table.IsActive(7));
   EXPECT_EQ(table.Watermark(100), 42u);
+}
+
+TEST(ActiveTxnTable, AgeExpiryAdvancesWatermarkAndSetsFlag) {
+  ActiveTxnTable table;
+  const SnapshotRegistration reg =
+      table.RegisterAtomic(1, [] { return Timestamp{10}; });
+  table.Register(2, 60);
+
+  // Nothing is old enough yet: expiry is a no-op.
+  auto outcome = table.ExpireSnapshots(/*max_age_ms=*/1000,
+                                       /*backlog_pressure=*/false);
+  EXPECT_EQ(outcome.expired_by_age, 0u);
+  EXPECT_EQ(table.Watermark(100), 10u);
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  outcome = table.ExpireSnapshots(/*max_age_ms=*/20,
+                                  /*backlog_pressure=*/false);
+  EXPECT_EQ(outcome.expired_by_age, 2u);
+  EXPECT_TRUE(reg.expired->load());
+  EXPECT_TRUE(table.IsExpired(1));
+  EXPECT_TRUE(table.IsExpired(2));
+  // Expired registrations no longer pin the watermark...
+  EXPECT_EQ(table.Watermark(100), 100u);
+  // ...but they still count as registered until the victim unregisters.
+  EXPECT_EQ(table.ActiveCount(), 2u);
+  EXPECT_EQ(table.snapshots_expired_age(), 2u);
+
+  // Idempotent: a second sweep finds no fresh victims.
+  outcome = table.ExpireSnapshots(20, false);
+  EXPECT_EQ(outcome.expired_by_age, 0u);
+  EXPECT_EQ(table.snapshots_expired_age(), 2u);
+}
+
+TEST(ActiveTxnTable, BacklogPressureEvictsOnlyOldestCohort) {
+  ActiveTxnTable table;
+  const SnapshotRegistration pinner =
+      table.RegisterAtomic(1, [] { return Timestamp{10}; });
+  table.Register(2, 10);  // Same cohort (same start ts).
+  table.Register(3, 60);  // Younger snapshot: must survive.
+
+  // Outside the grace period nothing is evicted.
+  auto outcome = table.ExpireSnapshots(/*max_age_ms=*/0,
+                                       /*backlog_pressure=*/true);
+  EXPECT_EQ(outcome.expired_by_backlog, 0u);
+
+  std::this_thread::sleep_for(ActiveTxnTable::kBacklogExpiryGrace +
+                              std::chrono::milliseconds(5));
+  outcome = table.ExpireSnapshots(0, true);
+  EXPECT_EQ(outcome.expired_by_backlog, 2u);
+  EXPECT_TRUE(pinner.expired->load());
+  EXPECT_TRUE(table.IsExpired(2));
+  EXPECT_FALSE(table.IsExpired(3));
+  EXPECT_EQ(table.Watermark(100), 60u);  // Advanced to the survivor.
+  EXPECT_EQ(table.snapshots_expired_backlog(), 2u);
+
+  // Without pressure, age disabled: the survivor is never touched.
+  outcome = table.ExpireSnapshots(0, false);
+  EXPECT_EQ(outcome.expired_by_backlog, 0u);
+  EXPECT_FALSE(table.IsExpired(3));
 }
 
 TEST(ActiveTxnTable, TracksActiveSet) {
