@@ -72,7 +72,13 @@ void MaybeWriteJson() {
     std::fprintf(stderr, "cannot open %s for JSON output\n", path);
     return;
   }
-  std::fprintf(f, "{\n  \"bench\": \"throughput\",\n  \"cells\": [\n");
+  std::fprintf(f, "{\n  \"bench\": \"throughput\",\n");
+  std::fprintf(f,
+               "  \"note\": \"latch_free_reads cells measured on a "
+               "single-core box unless stated otherwise: reader scaling "
+               "curves are flat by construction there, so judge the "
+               "epoch-vs-latched contrast on a multi-core runner\",\n");
+  std::fprintf(f, "  \"cells\": [\n");
   for (size_t i = 0; i < Cells().size(); ++i) {
     const JsonCell& c = Cells()[i];
     std::fprintf(f,
@@ -648,6 +654,71 @@ int main() {
                   static_cast<unsigned long long>(stats.gc_daemon_passes));
       Record("gc_shards", config, threads, r);
     }
+  }
+
+  Banner("E15: latch-free read path — epoch-based reclamation vs latched "
+         "chain walks",
+         "read-mostly SI throughput stops degrading with reader count once "
+         "committed-visibility walks acquire no latches: readers enter an "
+         "epoch (one CAS into a padded slot + one fence) and traverse raw "
+         "atomic links, so concurrent readers of a hot entity no longer "
+         "serialize on its chain SpinLatch; RC rides the same path and "
+         "stops pinning the GC watermark entirely");
+
+  {
+    std::printf("%-10s %-20s %7s %8s %10s %12s %10s %10s\n", "reads",
+                "isolation", "read%", "threads", "txn/s", "abort-rate",
+                "p50(us)", "p99(us)");
+    for (const bool latch_free : {false, true}) {
+      const char* mode = latch_free ? "epoch" : "latched";
+      for (double read_fraction : {0.95, 1.0}) {
+        // A fresh database per (mode, mix): comparable chain lengths, and
+        // the latched baseline must never share an engine with epoch cells.
+        DatabaseOptions options;
+        options.in_memory = true;
+        options.conflict_policy = ConflictPolicy::kFirstUpdaterWinsWait;
+        options.background_gc_interval_ms = 10;
+        options.latch_free_reads = latch_free;
+        auto opened = GraphDatabase::Open(options);
+        if (!opened.ok()) {
+          std::printf("skipped: %s\n", opened.status().ToString().c_str());
+          continue;
+        }
+        auto db = std::move(*opened);
+        SocialGraphSpec spec;
+        spec.people = Scaled(2000);
+        auto graph = *BuildSocialGraph(*db, spec);
+        for (IsolationLevel isolation : {IsolationLevel::kSnapshotIsolation,
+                                         IsolationLevel::kReadCommitted}) {
+          for (int threads : {1, 2, 4, 8}) {
+            const DriverResult r = RunCell(isolation, read_fraction, threads,
+                                           duration_ms, graph, *db);
+            std::printf(
+                "%-10s %-20s %6.0f%% %8d %10.0f %11.2f%% %10llu %10llu\n",
+                mode, std::string(IsolationLevelToString(isolation)).c_str(),
+                read_fraction * 100, threads, r.Throughput(),
+                100.0 * r.AbortRate(),
+                static_cast<unsigned long long>(r.latency_ns.Percentile(50) /
+                                                1000),
+                static_cast<unsigned long long>(r.latency_ns.Percentile(99) /
+                                                1000));
+            char config[64];
+            std::snprintf(
+                config, sizeof(config), "%s/%s/read%.0f", mode,
+                std::string(IsolationLevelToString(isolation)).c_str(),
+                read_fraction * 100);
+            Record("latch_free_reads", config, threads, r);
+          }
+        }
+      }
+    }
+    std::printf("\nexpected shape (multi-core): epoch SI/RC read-mostly "
+                "throughput is monotone non-degrading 1->8 threads while "
+                "latched throughput decays as readers contend on hot-chain "
+                "SpinLatches; at 1 thread the two modes are within noise "
+                "(the epoch guard costs one CAS + fence per walk). On a "
+                "single-core box all curves are flat and the contrast is "
+                "the per-walk overhead only.\n");
   }
 
   MaybeWriteJson();

@@ -17,9 +17,12 @@
 
 namespace neosi {
 
-/// A node resident in the object cache.
+/// A node resident in the object cache. `epochs` non-null puts the chain
+/// in latch-free read mode (see VersionChain); the ObjectCache passes the
+/// engine's manager through.
 struct CachedNode {
-  explicit CachedNode(NodeId id) : id(id) {}
+  explicit CachedNode(NodeId id, EpochManager* epochs = nullptr)
+      : id(id), chain(epochs) {}
 
   const NodeId id;
   VersionChain chain;
@@ -27,8 +30,9 @@ struct CachedNode {
 
 /// A relationship resident in the object cache.
 struct CachedRel {
-  CachedRel(RelId id, NodeId src, NodeId dst, RelTypeId type)
-      : id(id), src(src), dst(dst), type(type) {}
+  CachedRel(RelId id, NodeId src, NodeId dst, RelTypeId type,
+            EpochManager* epochs = nullptr)
+      : id(id), src(src), dst(dst), type(type), chain(epochs) {}
 
   const RelId id;
   const NodeId src;

@@ -4,8 +4,11 @@
 
 namespace neosi {
 
-ObjectCache::ObjectCache(GraphStore* store, size_t capacity)
-    : store_(store), capacity_(capacity == 0 ? SIZE_MAX : capacity) {}
+ObjectCache::ObjectCache(GraphStore* store, size_t capacity,
+                         EpochManager* epochs)
+    : store_(store),
+      capacity_(capacity == 0 ? SIZE_MAX : capacity),
+      epochs_(epochs) {}
 
 Result<std::shared_ptr<CachedNode>> ObjectCache::GetNode(NodeId id) {
   NodeShard& shard = NodeShardFor(id);
@@ -32,7 +35,7 @@ Result<std::shared_ptr<CachedNode>> ObjectCache::GetNode(NodeId id) {
   }
   NEOSI_RETURN_IF_ERROR(s);
 
-  auto node = std::make_shared<CachedNode>(id);
+  auto node = std::make_shared<CachedNode>(id, epochs_);
   VersionData data;
   data.deleted = state.deleted;
   data.labels = std::move(state.labels);
@@ -77,7 +80,8 @@ Result<std::shared_ptr<CachedRel>> ObjectCache::GetRel(RelId id) {
   }
   NEOSI_RETURN_IF_ERROR(s);
 
-  auto rel = std::make_shared<CachedRel>(id, state.src, state.dst, state.type);
+  auto rel = std::make_shared<CachedRel>(id, state.src, state.dst, state.type,
+                                         epochs_);
   VersionData data;
   data.deleted = state.deleted;
   data.props = std::move(state.props);
@@ -121,7 +125,7 @@ Result<std::shared_ptr<CachedNode>> ObjectCache::InsertNewNode(NodeId id) {
     }
     // Stale entry for the previous (purged) occupant of this record id.
   }
-  it->second = std::make_shared<CachedNode>(id);
+  it->second = std::make_shared<CachedNode>(id, epochs_);
   return it->second;
 }
 
@@ -139,7 +143,7 @@ Result<std::shared_ptr<CachedRel>> ObjectCache::InsertNewRel(RelId id,
           std::to_string(id));
     }
   }
-  it->second = std::make_shared<CachedRel>(id, src, dst, type);
+  it->second = std::make_shared<CachedRel>(id, src, dst, type, epochs_);
   return it->second;
 }
 
@@ -255,19 +259,17 @@ ObjectCacheStats ObjectCache::Stats() const {
   out.resident_rels = 0;
   out.resident_versions = 0;
   out.approx_bytes = 0;
+  // Footprint walks go through the chain (its own latch): a raw
+  // head/older walk here would race GC unlinks.
   ForEachNode([&](const std::shared_ptr<CachedNode>& node) {
     ++out.resident_nodes;
     out.resident_versions += node->chain.Length();
-    for (auto v = node->chain.Head(); v; v = v->older) {
-      out.approx_bytes += sizeof(Version) + v->data.ApproximateSize();
-    }
+    out.approx_bytes += node->chain.ApproximateBytes();
   });
   ForEachRel([&](const std::shared_ptr<CachedRel>& rel) {
     ++out.resident_rels;
     out.resident_versions += rel->chain.Length();
-    for (auto v = rel->chain.Head(); v; v = v->older) {
-      out.approx_bytes += sizeof(Version) + v->data.ApproximateSize();
-    }
+    out.approx_bytes += rel->chain.ApproximateBytes();
   });
   return out;
 }

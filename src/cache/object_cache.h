@@ -41,7 +41,11 @@ struct ObjectCacheStats {
 /// Sharded id -> cached-object maps for nodes and relationships.
 class ObjectCache {
  public:
-  ObjectCache(GraphStore* store, size_t capacity);
+  /// `epochs` non-null wires every cached entity's version chain into the
+  /// latch-free read mode (DatabaseOptions::latch_free_reads); null keeps
+  /// the latched baseline.
+  ObjectCache(GraphStore* store, size_t capacity,
+              EpochManager* epochs = nullptr);
 
   ObjectCache(const ObjectCache&) = delete;
   ObjectCache& operator=(const ObjectCache&) = delete;
@@ -95,6 +99,7 @@ class ObjectCache {
 
   GraphStore* const store_;
   const size_t capacity_;
+  EpochManager* const epochs_;
 
   mutable std::array<NodeShard, kShards> node_shards_;
   mutable std::array<RelShard, kShards> rel_shards_;

@@ -6,17 +6,25 @@
 //
 //   GcDaemon          sharded version reclamation  (background_gc_interval_ms,
 //                     gc_backlog_threshold, gc_shards, snapshot_max_age_ms,
-//                     snapshot_expire_backlog)
+//                     snapshot_expire_backlog) + epoch limbo drains
+//                     (latch_free_reads, epoch_slots)
 //   CheckpointDaemon  WAL bounding                 (checkpoint_interval_ms,
 //                     checkpoint_wal_threshold, wal_segment_size,
 //                     wal_recycle_segments)
+//
+// Auto-sized (0 = auto) options resolve from
+// std::thread::hardware_concurrency() at Open(): gc_shards,
+// txn_table_shards, epoch_slots. The Resolved*() helpers below are the
+// single source of truth for the resolution rules.
 
 #ifndef NEOSI_COMMON_OPTIONS_H_
 #define NEOSI_COMMON_OPTIONS_H_
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <thread>
 
 #include "common/types.h"
 
@@ -79,12 +87,40 @@ struct DatabaseOptions {
   uint64_t gc_backlog_threshold = 1024;
 
   /// Number of entity-key shards of the GC list — and of background drain
-  /// worker threads (one per shard). Default: 4. Clamped to [1, 64]. Each
-  /// shard keeps the paper's timestamp-sorted list (near-sorted tail
-  /// insert, O(#reclaimed) drain); sharding removes the single-list mutex
-  /// and single drain thread as the bottleneck at high core counts. 1
+  /// worker threads (one per shard). Default: 0 = AUTO (the machine's
+  /// hardware_concurrency, clamped to [1, 64]; 4 when the core count is
+  /// unknown). Explicit values are clamped to [1, 64]. Each shard keeps
+  /// the paper's timestamp-sorted list (near-sorted tail insert,
+  /// O(#reclaimed) drain); sharding removes the single-list mutex and
+  /// single drain thread as the bottleneck at high core counts. 1
   /// reproduces the pre-sharding topology.
-  size_t gc_shards = 4;
+  size_t gc_shards = 0;
+
+  // --- read path (epoch-based reclamation) ---------------------------------
+
+  /// When true (the DEFAULT), committed-read chain walks are LATCH-FREE:
+  /// readers traverse raw atomic version links under an epoch guard
+  /// (src/mvcc/epoch.h) and GC unlinks retire versions into an epoch limbo
+  /// list that the GC daemon drains once no reader can reach them. False
+  /// restores the fully latched read path (SpinLatch per chain walk,
+  /// immediate frees) — the pre-epoch behaviour, kept as the comparison
+  /// baseline for the E15 bench. Consumed once at Open() when the object
+  /// cache is wired.
+  bool latch_free_reads = true;
+
+  /// Epoch slot-array size, in SLOTS — the number of readers that can be
+  /// simultaneously inside a latch-free chain walk (excess readers
+  /// spin-probe until a slot frees). Default: 0 = AUTO
+  /// (max(64, 4 * hardware_concurrency)). Ignored when latch_free_reads is
+  /// false.
+  size_t epoch_slots = 0;
+
+  /// Shard count of the active-transaction table (Begin()'s registration
+  /// point, scanned by Watermark()). Default: 0 = AUTO
+  /// (max(16, 2 * hardware_concurrency), clamped to 64). More shards keep
+  /// concurrent Begin()s off each other's mutexes; fewer make the
+  /// watermark scan cheaper.
+  size_t txn_table_shards = 0;
 
   // --- snapshot lifecycle (snapshot-too-old policy) ------------------------
 
@@ -150,6 +186,30 @@ struct DatabaseOptions {
   /// Status::Deadlock. Default: 10000. Backstop only: wait-die breaks
   /// cycles well before this fires.
   uint64_t lock_timeout_ms = 10000;
+
+  // --- auto-size resolution (0 = auto options) -----------------------------
+
+  /// gc_shards with auto resolved: hardware_concurrency clamped to
+  /// [1, 64], 4 when the core count is unknown.
+  size_t ResolvedGcShards() const {
+    if (gc_shards != 0) return std::min<size_t>(gc_shards, 64);
+    const size_t hw = std::thread::hardware_concurrency();
+    return std::clamp<size_t>(hw == 0 ? 4 : hw, 1, 64);
+  }
+
+  /// txn_table_shards with auto resolved: max(16, 2 * cores), capped at 64.
+  size_t ResolvedTxnTableShards() const {
+    if (txn_table_shards != 0) return txn_table_shards;
+    const size_t hw = std::thread::hardware_concurrency();
+    return std::clamp<size_t>(2 * hw, 16, 64);
+  }
+
+  /// epoch_slots with auto resolved: max(64, 4 * cores).
+  size_t ResolvedEpochSlots() const {
+    if (epoch_slots != 0) return epoch_slots;
+    const size_t hw = std::thread::hardware_concurrency();
+    return std::max<size_t>(64, 4 * hw);
+  }
 };
 
 }  // namespace neosi

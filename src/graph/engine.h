@@ -13,6 +13,7 @@
 #include "common/options.h"
 #include "index/label_index.h"
 #include "index/property_index.h"
+#include "mvcc/epoch.h"
 #include "mvcc/gc_list.h"
 #include "storage/graph_store.h"
 #include "txn/active_txn_table.h"
@@ -46,8 +47,10 @@ struct Engine {
   explicit Engine(const DatabaseOptions& opts)
       : options(opts),
         store(opts),
+        active_txns(opts.ResolvedTxnTableShards()),
         lock_manager(opts.lock_timeout_ms),
-        gc_list(opts.gc_shards) {}
+        gc_list(opts.ResolvedGcShards()),
+        epochs(opts.ResolvedEpochSlots()) {}
 
   DatabaseOptions options;
 
@@ -55,9 +58,14 @@ struct Engine {
   TimestampOracle oracle;
   ActiveTxnTable active_txns;
   LockManager lock_manager;
-  /// Entity-key-sharded reclamation queue (opts.gc_shards shards); each
-  /// shard is drained by its own GcDaemon worker.
+  /// Entity-key-sharded reclamation queue (opts.gc_shards shards, auto =
+  /// core count); each shard is drained by its own GcDaemon worker.
   ShardedGcList gc_list;
+  /// Epoch-based-reclamation domain for the latch-free read path. Always
+  /// constructed; wired into the cache's version chains only when
+  /// opts.latch_free_reads is set. The GC daemon bumps + drains it once
+  /// per cycle.
+  EpochManager epochs;
 
   // Constructed after store.Open() (needs the store pointer).
   std::unique_ptr<ObjectCache> cache;

@@ -69,6 +69,11 @@ GcEngine::GcEngine(Engine* engine) : engine_(engine) {
 
 void GcEngine::EvictCache() { engine_->cache->EvictIfNeeded(); }
 
+void GcEngine::DrainEpochs() {
+  engine_->epochs.BumpEpoch();
+  engine_->epochs.Drain();
+}
+
 GcStats GcEngine::Collect() {
   const Timestamp watermark =
       engine_->active_txns.Watermark(engine_->oracle.ReadTs());
@@ -195,6 +200,10 @@ GcStats GcEngine::CollectUpTo(Timestamp watermark) {
     // Cache eviction rides the GC pass (it used to ride the retired
     // foreground auto-GC): single-version clean objects beyond capacity go.
     EvictCache();
+    // Versions the prune/purge above unlinked were retired into the epoch
+    // limbo (latch-free read path); bump + drain frees the reachable-free
+    // ones now, so a manual RunGc() pass reclaims memory end to end.
+    DrainEpochs();
   }
 
   stats.nanos = static_cast<uint64_t>(
@@ -218,6 +227,7 @@ GcStats GcEngine::CollectShardUpTo(size_t shard, Timestamp watermark,
     std::lock_guard<std::mutex> extras(extras_mu_);
     CompactIndexes(watermark, &stats);
     EvictCache();
+    DrainEpochs();
   }
 
   stats.nanos = static_cast<uint64_t>(

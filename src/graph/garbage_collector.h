@@ -67,6 +67,13 @@ class GcEngine {
   /// eviction never starves on garbage-free (e.g. insert-only) workloads.
   void EvictCache();
 
+  /// Epoch tick for the latch-free read path: bumps the global epoch, then
+  /// frees every limbo version no entered reader can still reach. Run by
+  /// the PRIMARY daemon worker once per cycle (pass or idle skip) and by
+  /// the manual/global pass, so retirees from cycle N are freed by cycle
+  /// N+1 at the latest. Cheap no-op when nothing was retired.
+  void DrainEpochs();
+
  private:
   /// Shared reclamation body: prunes superseded versions per entity and
   /// purges tombstones (rels strictly before nodes within `entries`;

@@ -142,8 +142,14 @@ void GcDaemon::Loop(size_t shard) {
                                : interval_ms_;
       // Cache eviction must not starve while reclamation is idle (this
       // used to ride the retired foreground auto-GC). Primary only: the
-      // sweep is global, N copies per cycle would be pure overhead.
-      if (primary) gc_->EvictCache();
+      // sweep is global, N copies per cycle would be pure overhead. The
+      // epoch tick rides along for the same reason: abort-path retirees
+      // and other shards' prunes must reach the limbo drain even when
+      // shard 0 itself has nothing reclaimable.
+      if (primary) {
+        gc_->EvictCache();
+        gc_->DrainEpochs();
+      }
       idle_skips_.fetch_add(1, std::memory_order_relaxed);
       continue;
     }

@@ -16,8 +16,11 @@
 // snapshot expiry sweep (ActiveTxnTable::ExpireSnapshots) on every wakeup —
 // age-based (snapshot_max_age_ms) plus backlog-pressure eviction of the
 // watermark-pinning cohort (snapshot_expire_backlog) — and carries the
-// global per-pass extras (index compaction, cache eviction) that must not
-// run once per shard.
+// global per-pass extras (index compaction, cache eviction, and the epoch
+// bump+drain tick that frees limbo versions retired by the latch-free
+// read path) that must not run once per shard. The epoch tick runs on
+// idle skips too, so abort-path retirees are freed even when nothing is
+// reclaimable.
 
 #ifndef NEOSI_GRAPH_GC_DAEMON_H_
 #define NEOSI_GRAPH_GC_DAEMON_H_

@@ -39,7 +39,8 @@ Status GraphDatabase::OpenImpl() {
   engine_->oracle.Restart(*max_ts);
 
   engine_->cache = std::make_unique<ObjectCache>(
-      &engine_->store, engine_->options.object_cache_capacity);
+      &engine_->store, engine_->options.object_cache_capacity,
+      engine_->options.latch_free_reads ? &engine_->epochs : nullptr);
 
   NEOSI_RETURN_IF_ERROR(RebuildIndexes());
 
@@ -111,8 +112,14 @@ std::unique_ptr<Transaction> GraphDatabase::Begin(IsolationLevel isolation) {
   // a version this snapshot still needs. The registration also hands back
   // the expiry flag the GC daemon's snapshot-lifecycle sweep may set; the
   // transaction polls it on every operation.
+  //
+  // Only snapshot-isolation transactions pin the watermark: a
+  // read-committed transaction reads latest-committed versions only (never
+  // reclaimable) with epoch protection covering its walks, so it neither
+  // holds reclamation back nor can it be a SnapshotTooOld victim.
+  const bool pins_watermark = isolation == IsolationLevel::kSnapshotIsolation;
   SnapshotRegistration reg = engine_->active_txns.RegisterAtomic(
-      id, [this] { return engine_->oracle.ReadTs(); });
+      id, [this] { return engine_->oracle.ReadTs(); }, pins_watermark);
   std::unique_ptr<Transaction> txn(new Transaction(
       engine_.get(), isolation, id, reg.start_ts, std::move(reg.expired)));
   return txn;
@@ -157,6 +164,10 @@ DatabaseStats GraphDatabase::Stats() const {
       engine_->active_txns.snapshots_expired_backlog();
   stats.snapshot_too_old_aborts =
       engine_->active_txns.snapshot_too_old_aborts();
+  stats.epoch_current = engine_->epochs.current_epoch();
+  stats.epoch_limbo = engine_->epochs.limbo_size();
+  stats.epoch_retired = engine_->epochs.total_retired();
+  stats.epoch_freed = engine_->epochs.total_freed();
   if (checkpoint_daemon_) {
     stats.checkpoint_daemon_passes = checkpoint_daemon_->passes();
     stats.checkpoint_daemon_nudge_passes = checkpoint_daemon_->nudge_passes();

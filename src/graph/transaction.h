@@ -191,12 +191,16 @@ class Transaction {
   /// the START of every read/write/commit (cheap flag load) and AGAIN
   /// after every chain walk / index scan: a read that overlapped its own
   /// expiry is failed instead of returned, because the mark
-  /// happens-before any reclamation (shard mutex, then chain latch), so a
-  /// walk that could have seen reclaimed state always re-reads the flag as
-  /// set. On expiry: rolls back (releasing all locks) and returns
-  /// Status::SnapshotTooOld. No-op under read committed — RC reads the
-  /// newest committed state, which reclamation never removes (an RC
-  /// registration can still be marked so the watermark advances past it).
+  /// happens-before any reclamation (shard mutex, then chain unlink), so
+  /// a walk that could have seen a pruned chain always re-reads the flag
+  /// as set. (Memory safety is separate and unconditional: walks run
+  /// inside an epoch guard, so even a version unlinked mid-walk stays
+  /// allocated until the reader exits — expiry only governs logical
+  /// staleness, never use-after-free; see mvcc/epoch.h.) On expiry: rolls
+  /// back (releasing all locks) and returns Status::SnapshotTooOld. No-op
+  /// under read committed — RC reads the newest committed state, which
+  /// reclamation never removes (and since PR 6 an RC registration never
+  /// pins the watermark in the first place; see ActiveTxnTable).
   Status FailIfSnapshotExpired();
 
   /// Acquires the long write lock on `key` per the isolation level and

@@ -8,6 +8,7 @@
 #ifndef NEOSI_MVCC_VERSION_H_
 #define NEOSI_MVCC_VERSION_H_
 
+#include <atomic>
 #include <memory>
 #include <vector>
 
@@ -41,21 +42,41 @@ struct VersionData {
 };
 
 /// One version in an entity's version list.
-struct Version {
+///
+/// Concurrency contract (latch-free read path): `commit_ts` is the
+/// publication point — CommitHead's release store of the timestamp makes
+/// `data` (written strictly before, by the same transaction thread)
+/// visible to any reader whose acquire load observes it. `writer` and the
+/// initial `data` are published by the chain-head release store at install
+/// time. `older` (the OWNING link) is mutated only under the chain latch;
+/// latch-free walks follow `older_raw`, a raw mirror maintained by the same
+/// latched mutators. `obsolete_since` is written under the chain latch and
+/// read only by GC/vacuum code — never on the latch-free path.
+///
+/// enable_shared_from_this lets a latch-free walk hand back an owning
+/// pointer from a raw one: any version reachable inside an epoch guard is
+/// owned by its chain predecessor or by the epoch limbo, so its control
+/// block is live.
+struct Version : std::enable_shared_from_this<Version> {
   /// Commit timestamp; kNoTimestamp while the writing transaction is active.
-  Timestamp commit_ts = kNoTimestamp;
+  std::atomic<Timestamp> commit_ts{kNoTimestamp};
   /// Writer transaction (used for read-your-own-writes while uncommitted).
   TxnId writer = kNoTxn;
   VersionData data;
-  /// Next-older version (newest-first chain).
+  /// Next-older version (newest-first chain). Owning link; chain-latched.
   std::shared_ptr<Version> older;
+  /// Raw mirror of `older` for latch-free traversal. Stays intact when this
+  /// version is retired, so a reader standing here mid-walk keeps going.
+  std::atomic<Version*> older_raw{nullptr};
 
   /// Commit timestamp of the version that superseded this one; set when the
   /// version is threaded onto the garbage-collection list (paper §4). For a
   /// tombstone this is its own commit timestamp.
   Timestamp obsolete_since = kNoTimestamp;
 
-  bool committed() const { return commit_ts != kNoTimestamp; }
+  bool committed() const {
+    return commit_ts.load(std::memory_order_acquire) != kNoTimestamp;
+  }
 };
 
 }  // namespace neosi

@@ -1,10 +1,15 @@
 #include "mvcc/version_chain.h"
 
+#include "mvcc/epoch.h"
+
 namespace neosi {
 
 VersionChain::~VersionChain() {
   // Unwind the chain iteratively; a long shared_ptr chain would otherwise
   // destruct recursively and can overflow the stack (E6 builds 1k+ chains).
+  // No retire needed even in epoch mode: anyone who can still walk this
+  // chain holds the owning CachedNode/CachedRel alive, so reaching the
+  // destructor means no reader can.
   std::shared_ptr<Version> cur = std::move(head_);
   while (cur) {
     std::shared_ptr<Version> next = std::move(cur->older);
@@ -22,7 +27,10 @@ Result<std::shared_ptr<Version>> VersionChain::InstallUncommitted(
   if (head_ && !head_->committed()) {
     if (head_->writer == writer) {
       // Same transaction writing again: collapse into one pending version
-      // (a transaction has exactly one private version per entity).
+      // (a transaction has exactly one private version per entity). Safe
+      // against latch-free readers: they skip uncommitted versions on the
+      // commit_ts check alone and never touch this data (the writer itself
+      // reads it from its own thread).
       head_->data = std::move(version->data);
       return head_;
     }
@@ -30,7 +38,10 @@ Result<std::shared_ptr<Version>> VersionChain::InstallUncommitted(
         "version chain: concurrent uncommitted writers (lock bug)");
   }
   version->older = head_;
+  version->older_raw.store(head_.get(), std::memory_order_relaxed);
   head_ = version;
+  // Publication point for `writer` and the initial `data`.
+  head_raw_.store(version.get(), std::memory_order_release);
   return version;
 }
 
@@ -40,7 +51,9 @@ Result<std::shared_ptr<Version>> VersionChain::CommitHead(TxnId writer,
   if (!head_ || head_->committed() || head_->writer != writer) {
     return Status::Internal("version chain: commit without pending version");
   }
-  head_->commit_ts = ts;
+  // Release: publishes the version's data to latch-free readers that
+  // acquire-load this timestamp.
+  head_->commit_ts.store(ts, std::memory_order_release);
   if (head_->data.deleted) head_->obsolete_since = ts;  // Tombstone.
   if (head_->older) head_->older->obsolete_since = ts;
   return head_->older;  // May be null (first version of the entity).
@@ -49,27 +62,58 @@ Result<std::shared_ptr<Version>> VersionChain::CommitHead(TxnId writer,
 void VersionChain::AbortHead(TxnId writer) {
   std::lock_guard<SpinLatch> guard(latch_);
   if (head_ && !head_->committed() && head_->writer == writer) {
-    head_ = head_->older;
+    std::shared_ptr<Version> victim = std::move(head_);
+    head_ = victim->older;
+    head_raw_.store(head_.get(), std::memory_order_release);
+    // victim->older / older_raw stay intact: a latch-free reader standing
+    // on the aborted head keeps walking into the surviving chain.
+    if (epochs_) epochs_->Retire(std::move(victim));
   }
 }
 
 std::shared_ptr<const Version> VersionChain::Visible(Timestamp start_ts,
                                                      TxnId self) const {
-  std::lock_guard<SpinLatch> guard(latch_);
-  for (std::shared_ptr<Version> v = head_; v; v = v->older) {
-    if (!v->committed()) {
-      if (self != kNoTxn && v->writer == self) return v;  // Own write.
+  if (epochs_ == nullptr) {
+    std::lock_guard<SpinLatch> guard(latch_);
+    for (std::shared_ptr<Version> v = head_; v; v = v->older) {
+      if (!v->committed()) {
+        if (self != kNoTxn && v->writer == self) return v;  // Own write.
+        continue;  // Private to another transaction.
+      }
+      if (v->commit_ts.load(std::memory_order_relaxed) <= start_ts) return v;
+    }
+    return nullptr;
+  }
+  // Latch-free walk: raw atomic links under an epoch guard. Every version
+  // reachable here is kept alive by its chain predecessor or by the epoch
+  // limbo, so promoting the raw pointer back to an owning one is safe.
+  EpochManager::Guard guard(epochs_);
+  for (const Version* v = head_raw_.load(std::memory_order_acquire); v;
+       v = v->older_raw.load(std::memory_order_acquire)) {
+    const Timestamp ts = v->commit_ts.load(std::memory_order_acquire);
+    if (ts == kNoTimestamp) {
+      if (self != kNoTxn && v->writer == self) {
+        return v->shared_from_this();  // Own write.
+      }
       continue;  // Private to another transaction.
     }
-    if (v->commit_ts <= start_ts) return v;
+    if (ts <= start_ts) return v->shared_from_this();
   }
   return nullptr;
 }
 
 std::shared_ptr<const Version> VersionChain::LatestCommitted() const {
-  std::lock_guard<SpinLatch> guard(latch_);
-  for (std::shared_ptr<Version> v = head_; v; v = v->older) {
-    if (v->committed()) return v;
+  if (epochs_ == nullptr) {
+    std::lock_guard<SpinLatch> guard(latch_);
+    for (std::shared_ptr<Version> v = head_; v; v = v->older) {
+      if (v->committed()) return v;
+    }
+    return nullptr;
+  }
+  EpochManager::Guard guard(epochs_);
+  for (const Version* v = head_raw_.load(std::memory_order_acquire); v;
+       v = v->older_raw.load(std::memory_order_acquire)) {
+    if (v->committed()) return v->shared_from_this();
   }
   return nullptr;
 }
@@ -85,9 +129,18 @@ bool VersionChain::HasUncommitted() const {
 }
 
 Timestamp VersionChain::NewestCommitTs() const {
-  std::lock_guard<SpinLatch> guard(latch_);
-  for (std::shared_ptr<Version> v = head_; v; v = v->older) {
-    if (v->committed()) return v->commit_ts;
+  if (epochs_ == nullptr) {
+    std::lock_guard<SpinLatch> guard(latch_);
+    for (std::shared_ptr<Version> v = head_; v; v = v->older) {
+      if (v->committed()) return v->commit_ts.load(std::memory_order_relaxed);
+    }
+    return kNoTimestamp;
+  }
+  EpochManager::Guard guard(epochs_);
+  for (const Version* v = head_raw_.load(std::memory_order_acquire); v;
+       v = v->older_raw.load(std::memory_order_acquire)) {
+    const Timestamp ts = v->commit_ts.load(std::memory_order_acquire);
+    if (ts != kNoTimestamp) return ts;
   }
   return kNoTimestamp;
 }
@@ -96,12 +149,25 @@ bool VersionChain::Remove(const std::shared_ptr<Version>& target) {
   std::lock_guard<SpinLatch> guard(latch_);
   if (!head_) return false;
   if (head_ == target) {
-    head_ = head_->older;
+    head_ = head_->older;  // Copy: target's own forward links stay intact.
+    head_raw_.store(head_.get(), std::memory_order_release);
+    // Retire LAST: the caller's `target` reference keeps the version alive
+    // through the splice, and the limbo push (under limbo_mu_) must
+    // happen-after every access to target's fields above so the drainer's
+    // FreeRetired — which mutates target->older — is ordered after them.
+    if (epochs_) epochs_->Retire(target);
     return true;
   }
   for (std::shared_ptr<Version> v = head_; v->older; v = v->older) {
     if (v->older == target) {
+      // Splice first (target's own forward links stay intact: a latch-free
+      // reader standing on target mid-walk keeps walking), retire LAST —
+      // the limbo push under limbo_mu_ orders these field accesses before
+      // the drainer's FreeRetired mutation of target->older. The caller's
+      // `target` reference keeps the version alive meanwhile.
       v->older = target->older;
+      v->older_raw.store(target->older.get(), std::memory_order_release);
+      if (epochs_) epochs_->Retire(target);
       return true;
     }
   }
@@ -111,15 +177,31 @@ bool VersionChain::Remove(const std::shared_ptr<Version>& target) {
 size_t VersionChain::PruneSupersededUpTo(Timestamp watermark) {
   std::lock_guard<SpinLatch> guard(latch_);
   // Find the newest committed version visible at the watermark; everything
-  // older is unreachable by any current or future snapshot.
+  // older is unreachable by any current or future snapshot. (A registered,
+  // non-expired snapshot has start_ts >= watermark, so its walk stops at
+  // `keep` or newer — it can never be standing INSIDE the severed suffix
+  // unless it is already expired, in which case its post-walk
+  // SnapshotTooOld check rejects whatever it read; see ARCHITECTURE.md.)
   std::shared_ptr<Version> keep;
   for (keep = head_; keep; keep = keep->older) {
-    if (keep->committed() && keep->commit_ts <= watermark) break;
+    if (keep->committed() &&
+        keep->commit_ts.load(std::memory_order_relaxed) <= watermark) {
+      break;
+    }
   }
   if (!keep) return 0;
   size_t dropped = 0;
   for (std::shared_ptr<Version> v = keep->older; v; v = v->older) ++dropped;
-  keep->older = nullptr;
+  if (dropped == 0) return 0;
+  // The whole suffix is retired as ONE limbo entry; its interior links stay
+  // intact for any reader still walking inside it. Sever first, retire
+  // LAST: the limbo push (under limbo_mu_) must happen-after every chain-
+  // side access to the suffix (the counting walk above, the unlink here) so
+  // the drainer's FreeRetired — which mutates the suffix's `older` links —
+  // is ordered after them.
+  std::shared_ptr<Version> suffix = std::move(keep->older);
+  keep->older_raw.store(nullptr, std::memory_order_release);
+  if (epochs_) epochs_->Retire(std::move(suffix));
   return dropped;
 }
 
@@ -127,6 +209,15 @@ size_t VersionChain::Length() const {
   std::lock_guard<SpinLatch> guard(latch_);
   size_t n = 0;
   for (std::shared_ptr<Version> v = head_; v; v = v->older) ++n;
+  return n;
+}
+
+size_t VersionChain::ApproximateBytes() const {
+  std::lock_guard<SpinLatch> guard(latch_);
+  size_t n = 0;
+  for (Version* v = head_.get(); v; v = v->older.get()) {
+    n += sizeof(Version) + v->data.ApproximateSize();
+  }
   return n;
 }
 

@@ -2,10 +2,26 @@
 // representing a node or relationship stores a list of versions ... the
 // right version for the reading transaction can be obtained by traversing
 // the list of versions").
+//
+// Two read-path modes, chosen at construction:
+//
+//   - LATCH-FREE (an EpochManager is wired in): committed-visibility walks
+//     (Visible / LatestCommitted / NewestCommitTs) traverse the raw atomic
+//     mirror links (`head_raw_` / `Version::older_raw`) under an epoch
+//     guard and acquire ZERO latches. Writers still take the chain latch,
+//     but only to install/commit/abort the head and to unlink for GC — and
+//     an unlink RETIRES the version into the epoch limbo (its own forward
+//     link intact) instead of freeing it, so a reader standing on it
+//     mid-walk keeps walking a valid chain.
+//   - LATCHED (null manager): the original SpinLatch-per-read behaviour,
+//     with immediate frees. The micro-benches keep this as the comparison
+//     baseline, and DatabaseOptions::latch_free_reads=false selects it
+//     engine-wide.
 
 #ifndef NEOSI_MVCC_VERSION_CHAIN_H_
 #define NEOSI_MVCC_VERSION_CHAIN_H_
 
+#include <atomic>
 #include <memory>
 
 #include "common/latch.h"
@@ -15,10 +31,14 @@
 
 namespace neosi {
 
+class EpochManager;
+
 /// Thread-safe newest-first list of versions for one entity.
 class VersionChain {
  public:
-  VersionChain() = default;
+  /// `epochs` non-null enables the latch-free read path; null keeps the
+  /// fully latched baseline (reads latch, unlinks free immediately).
+  explicit VersionChain(EpochManager* epochs = nullptr) : epochs_(epochs) {}
   ~VersionChain();
 
   VersionChain(const VersionChain&) = delete;
@@ -36,19 +56,25 @@ class VersionChain {
   /// (`obsolete_since` on the superseded version, and on the head itself
   /// when it is a tombstone) are applied under the chain latch, so commit
   /// stamping is safe with many writers committing concurrently and no
-  /// global commit lock.
+  /// global commit lock. The commit-timestamp store itself is a release:
+  /// it is the publication point for the version's data on the latch-free
+  /// read path.
   Result<std::shared_ptr<Version>> CommitHead(TxnId writer, Timestamp ts);
 
-  /// Removes the uncommitted head if owned by `writer` (abort path).
+  /// Removes the uncommitted head if owned by `writer` (abort path). In
+  /// epoch mode the popped head is retired, not freed: a latch-free reader
+  /// may be standing on it.
   void AbortHead(TxnId writer);
 
   /// Snapshot read (paper §3 read rule): the most recent version with
   /// commit_ts <= start_ts, or the uncommitted version when owned by `self`
-  /// (read-your-own-writes). Null when nothing is visible.
+  /// (read-your-own-writes). Null when nothing is visible. Latch-free in
+  /// epoch mode.
   std::shared_ptr<const Version> Visible(Timestamp start_ts,
                                          TxnId self = kNoTxn) const;
 
   /// Latest committed version regardless of snapshot (read-committed reads).
+  /// Latch-free in epoch mode.
   std::shared_ptr<const Version> LatestCommitted() const;
 
   /// The head version (committed or not); null when empty.
@@ -57,16 +83,20 @@ class VersionChain {
   /// True if any version is uncommitted (i.e. a writer is in flight).
   bool HasUncommitted() const;
 
-  /// Commit timestamp of the newest committed version (kNoTimestamp if none).
+  /// Commit timestamp of the newest committed version (kNoTimestamp if
+  /// none). Latch-free in epoch mode (used on the write-conflict path,
+  /// which holds the entity's write lock but races GC unlinks).
   Timestamp NewestCommitTs() const;
 
   /// Unlinks a specific version (GC). Returns true if found and removed.
+  /// Epoch mode retires the version into limbo instead of dropping the
+  /// last reference.
   bool Remove(const std::shared_ptr<Version>& target);
 
   /// Drops every version strictly older than the newest committed version
   /// with commit_ts <= watermark (those can never be read again). Returns
-  /// the number of versions dropped. Used by the vacuum-style baseline; the
-  /// threaded GC removes versions individually via the GC list.
+  /// the number of versions dropped. Epoch mode retires the severed suffix
+  /// as ONE limbo entry (interior links intact for readers inside it).
   size_t PruneSupersededUpTo(Timestamp watermark);
 
   /// Number of versions currently in the list.
@@ -74,9 +104,18 @@ class VersionChain {
 
   bool Empty() const { return Length() == 0; }
 
+  /// Approximate heap footprint of every resident version (cache
+  /// accounting / E9). Walks under the chain latch — the stats path must
+  /// not race GC unlinks with an unprotected raw walk.
+  size_t ApproximateBytes() const;
+
  private:
+  EpochManager* const epochs_;
   mutable SpinLatch latch_;
   std::shared_ptr<Version> head_;
+  /// Raw mirror of `head_` for latch-free traversal; every latched mutation
+  /// of `head_` release-stores it here.
+  std::atomic<Version*> head_raw_{nullptr};
 };
 
 }  // namespace neosi

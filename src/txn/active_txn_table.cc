@@ -1,8 +1,20 @@
 #include "txn/active_txn_table.h"
 
 #include <algorithm>
+#include <thread>
 
 namespace neosi {
+
+ActiveTxnTable::ActiveTxnTable(size_t shards) {
+  if (shards == 0) {
+    const size_t hw = std::thread::hardware_concurrency();
+    shards = std::clamp<size_t>(2 * hw, 16, 64);
+  }
+  shards_.reserve(shards);
+  for (size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
 
 void ActiveTxnTable::Register(TxnId txn, Timestamp start_ts) {
   Shard& shard = ShardFor(txn);
@@ -11,16 +23,19 @@ void ActiveTxnTable::Register(TxnId txn, Timestamp start_ts) {
   entry.start_ts = start_ts;
   entry.registered_at = std::chrono::steady_clock::now();
   entry.expired = std::make_shared<std::atomic<bool>>(false);
+  entry.pins_watermark = true;
 }
 
 SnapshotRegistration ActiveTxnTable::RegisterAtomic(
-    TxnId txn, const std::function<Timestamp()>& ts_source) {
+    TxnId txn, const std::function<Timestamp()>& ts_source,
+    bool pins_watermark) {
   Shard& shard = ShardFor(txn);
   std::lock_guard<std::mutex> guard(shard.mu);
   Entry& entry = shard.active[txn];
   entry.start_ts = ts_source();
   entry.registered_at = std::chrono::steady_clock::now();
   entry.expired = std::make_shared<std::atomic<bool>>(false);
+  entry.pins_watermark = pins_watermark;
   return {entry.start_ts, entry.expired};
 }
 
@@ -45,10 +60,14 @@ Timestamp ActiveTxnTable::Watermark(Timestamp fallback) const {
   // advances). Reclamation that follows an advanced watermark is ordered
   // after the mark — the victim's post-read expiry check therefore cannot
   // miss it (mutex + chain-latch release/acquire chain).
+  // Non-pinning (read-committed) registrations are skipped outright: they
+  // only read latest-committed versions, which reclamation never touches,
+  // and epoch protection covers their mid-walk memory safety.
   Timestamp min_ts = kMaxTimestamp;
-  for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> guard(shard.mu);
-    for (const auto& [txn, entry] : shard.active) {
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> guard(shard->mu);
+    for (const auto& [txn, entry] : shard->active) {
+      if (!entry.pins_watermark) continue;
       if (entry.expired->load(std::memory_order_relaxed)) continue;
       min_ts = std::min(min_ts, entry.start_ts);
     }
@@ -61,12 +80,15 @@ SnapshotExpiryOutcome ActiveTxnTable::ExpireSnapshots(uint64_t max_age_ms,
   SnapshotExpiryOutcome outcome;
   const auto now = std::chrono::steady_clock::now();
 
-  // Pass 1 — age: any live snapshot past max_age_ms expires, full stop.
+  // Pass 1 — age: any live PINNING snapshot past max_age_ms expires, full
+  // stop. Non-pinning (read-committed) registrations hold nothing back and
+  // are never SnapshotTooOld victims.
   if (max_age_ms > 0) {
     const auto max_age = std::chrono::milliseconds(max_age_ms);
-    for (Shard& shard : shards_) {
-      std::lock_guard<std::mutex> guard(shard.mu);
-      for (auto& [txn, entry] : shard.active) {
+    for (auto& shard : shards_) {
+      std::lock_guard<std::mutex> guard(shard->mu);
+      for (auto& [txn, entry] : shard->active) {
+        if (!entry.pins_watermark) continue;
         if (entry.expired->load(std::memory_order_relaxed)) continue;
         if (now - entry.registered_at >= max_age) {
           entry.expired->store(true, std::memory_order_release);
@@ -84,18 +106,20 @@ SnapshotExpiryOutcome ActiveTxnTable::ExpireSnapshots(uint64_t max_age_ms,
   // second sweep repairs any cohort the race split.
   if (backlog_pressure) {
     Timestamp victim_ts = kMaxTimestamp;
-    for (Shard& shard : shards_) {
-      std::lock_guard<std::mutex> guard(shard.mu);
-      for (const auto& [txn, entry] : shard.active) {
+    for (const auto& shard : shards_) {
+      std::lock_guard<std::mutex> guard(shard->mu);
+      for (const auto& [txn, entry] : shard->active) {
+        if (!entry.pins_watermark) continue;
         if (entry.expired->load(std::memory_order_relaxed)) continue;
         if (now - entry.registered_at < kBacklogExpiryGrace) continue;
         victim_ts = std::min(victim_ts, entry.start_ts);
       }
     }
     if (victim_ts != kMaxTimestamp) {
-      for (Shard& shard : shards_) {
-        std::lock_guard<std::mutex> guard(shard.mu);
-        for (auto& [txn, entry] : shard.active) {
+      for (auto& shard : shards_) {
+        std::lock_guard<std::mutex> guard(shard->mu);
+        for (auto& [txn, entry] : shard->active) {
+          if (!entry.pins_watermark) continue;
           if (entry.start_ts != victim_ts) continue;
           if (entry.expired->load(std::memory_order_relaxed)) continue;
           if (now - entry.registered_at < kBacklogExpiryGrace) continue;
@@ -114,18 +138,18 @@ SnapshotExpiryOutcome ActiveTxnTable::ExpireSnapshots(uint64_t max_age_ms,
 
 size_t ActiveTxnTable::ActiveCount() const {
   size_t n = 0;
-  for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> guard(shard.mu);
-    n += shard.active.size();
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> guard(shard->mu);
+    n += shard->active.size();
   }
   return n;
 }
 
 std::vector<TxnId> ActiveTxnTable::ActiveTxnIds() const {
   std::vector<TxnId> out;
-  for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> guard(shard.mu);
-    for (const auto& [txn, entry] : shard.active) out.push_back(txn);
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> guard(shard->mu);
+    for (const auto& [txn, entry] : shard->active) out.push_back(txn);
   }
   std::sort(out.begin(), out.end());
   return out;

@@ -15,11 +15,18 @@
 // commit with Status::SnapshotTooOld (checked before AND after each chain
 // walk: a read that overlaps its own expiry can never return state the
 // concurrent reclamation made inconsistent).
+//
+// Watermark pinning is OPT-IN per registration: read-committed
+// transactions register with pins_watermark=false — they only ever read
+// the LATEST committed version, which is never reclaimable, and their
+// mid-walk memory safety comes from the epoch-based read path, not from
+// holding reclamation back. Non-pinning registrations are invisible to
+// both Watermark() and the expiry sweep (they can never be a
+// SnapshotTooOld victim), but still count as active transactions.
 
 #ifndef NEOSI_TXN_ACTIVE_TXN_TABLE_H_
 #define NEOSI_TXN_ACTIVE_TXN_TABLE_H_
 
-#include <array>
 #include <atomic>
 #include <chrono>
 #include <cstddef>
@@ -50,6 +57,14 @@ struct SnapshotExpiryOutcome {
 /// Thread-safe sharded active-transaction table.
 class ActiveTxnTable {
  public:
+  /// `shards` sizes the shard array; 0 = AUTO
+  /// (max(16, 2 * hardware_concurrency), capped at 64 — see
+  /// DatabaseOptions::txn_table_shards).
+  explicit ActiveTxnTable(size_t shards = 0);
+
+  ActiveTxnTable(const ActiveTxnTable&) = delete;
+  ActiveTxnTable& operator=(const ActiveTxnTable&) = delete;
+
   /// Grace period from registration before a snapshot is eligible for
   /// BACKLOG-pressure eviction (age-based expiry uses snapshot_max_age_ms
   /// alone): a fresh snapshot under a write burst is never the victim.
@@ -63,8 +78,13 @@ class ActiveTxnTable {
   /// scanning the shards, and the oracle's read timestamp is monotone, so a
   /// registration this scan misses must have read a start timestamp >= the
   /// fallback — the watermark never exceeds a missed snapshot's timestamp.
+  ///
+  /// `pins_watermark=false` (read-committed) registers an active
+  /// transaction that neither holds Watermark() back nor participates in
+  /// the expiry sweep.
   SnapshotRegistration RegisterAtomic(
-      TxnId txn, const std::function<Timestamp()>& ts_source);
+      TxnId txn, const std::function<Timestamp()>& ts_source,
+      bool pins_watermark = true);
 
   void Unregister(TxnId txn);
 
@@ -92,6 +112,7 @@ class ActiveTxnTable {
                                         bool backlog_pressure);
 
   size_t ActiveCount() const;
+  size_t shard_count() const { return shards_.size(); }
   std::vector<TxnId> ActiveTxnIds() const;
   bool IsActive(TxnId txn) const;
   /// True if the transaction is registered AND marked expired (test hook).
@@ -115,12 +136,13 @@ class ActiveTxnTable {
   }
 
  private:
-  static constexpr size_t kShards = 16;
-
   struct Entry {
     Timestamp start_ts = kNoTimestamp;
     std::chrono::steady_clock::time_point registered_at;
     std::shared_ptr<std::atomic<bool>> expired;
+    /// False for read-committed registrations: ignored by Watermark() and
+    /// by the expiry sweep.
+    bool pins_watermark = true;
   };
 
   struct Shard {
@@ -128,10 +150,14 @@ class ActiveTxnTable {
     std::unordered_map<TxnId, Entry> active;
   };
 
-  Shard& ShardFor(TxnId txn) { return shards_[txn % kShards]; }
-  const Shard& ShardFor(TxnId txn) const { return shards_[txn % kShards]; }
+  Shard& ShardFor(TxnId txn) { return *shards_[txn % shards_.size()]; }
+  const Shard& ShardFor(TxnId txn) const {
+    return *shards_[txn % shards_.size()];
+  }
 
-  std::array<Shard, kShards> shards_;
+  /// unique_ptr indirection: Shard owns a mutex and cannot be moved into a
+  /// runtime-sized vector directly.
+  std::vector<std::unique_ptr<Shard>> shards_;
 
   std::atomic<uint64_t> expired_age_{0};
   std::atomic<uint64_t> expired_backlog_{0};

@@ -157,6 +157,55 @@ TEST(RcSemantics, WriteLocksStillExcludeWriters) {
   EXPECT_EQ(reader->GetNodeProperty(id, "v")->AsInt(), 2);
 }
 
+TEST(RcSemantics, RcReadersDoNotPinTheGcWatermark) {
+  // Since the epoch read path, RC registrations are exempt from watermark
+  // pinning: they read latest-committed versions (never reclaimable) under
+  // epoch protection, so reclamation need not wait for them. An open RC
+  // transaction must leave the watermark at the oracle, and GC must prune
+  // superseded versions right past it — while the reader keeps working.
+  auto db = OpenDb();
+  NodeId id;
+  {
+    auto txn = db->Begin();
+    id = *txn->CreateNode({}, {{"v", PropertyValue(int64_t{0})}});
+    ASSERT_TRUE(txn->Commit().ok());
+  }
+
+  auto rc = db->Begin(IsolationLevel::kReadCommitted);
+  ASSERT_EQ(rc->GetNodeProperty(id, "v")->AsInt(), 0);
+  // No pin: the watermark tracks the oracle exactly despite the open RC.
+  EXPECT_EQ(db->Watermark(), db->engine().oracle.ReadTs());
+
+  // An SI reader in the same position DOES pin the watermark.
+  {
+    auto si = db->Begin(IsolationLevel::kSnapshotIsolation);
+    const Timestamp pinned = db->Watermark();
+    auto w = db->Begin(IsolationLevel::kSnapshotIsolation);
+    ASSERT_TRUE(w->SetNodeProperty(id, "v", PropertyValue(int64_t{1})).ok());
+    ASSERT_TRUE(w->Commit().ok());
+    EXPECT_EQ(db->Watermark(), pinned) << "SI snapshot must hold the watermark";
+    ASSERT_TRUE(si->Commit().ok());
+  }
+
+  // Churn the entity, then collect: with only the RC transaction open, the
+  // whole superseded tail is reclaimable and the chain prunes to length 1.
+  for (int i = 2; i <= 9; ++i) {
+    auto w = db->Begin(IsolationLevel::kSnapshotIsolation);
+    ASSERT_TRUE(w->SetNodeProperty(id, "v", PropertyValue(int64_t{i})).ok());
+    ASSERT_TRUE(w->Commit().ok());
+  }
+  db->RunGc();
+  auto node = db->engine().cache->PeekNode(id);
+  ASSERT_NE(node, nullptr);
+  EXPECT_EQ(node->chain.Length(), 1u) << "open RC reader must not block GC";
+
+  // The RC reader is unharmed: it sees the newest committed value.
+  auto read = rc->GetNodeProperty(id, "v");
+  ASSERT_TRUE(read.ok()) << read.status();
+  EXPECT_EQ(read->AsInt(), 9);
+  EXPECT_TRUE(rc->Commit().ok());
+}
+
 TEST(RcSemantics, RcUpdateAfterConcurrentCommitSucceeds) {
   // The defining RC-vs-SI write difference: an RC transaction may update an
   // entity that a concurrent transaction changed since it began (no

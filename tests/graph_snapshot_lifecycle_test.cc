@@ -208,8 +208,11 @@ TEST(SnapshotLifecycle, ExpiredCommitAbortsAndReleasesLocks) {
 }
 
 // Read-committed transactions read the newest committed state, which
-// expiry-driven reclamation never removes — an expired RC registration
-// stops pinning the watermark but its operations keep working.
+// expiry-driven reclamation never removes. Since the epoch-read-path
+// change an RC registration never pins the watermark at all, so the
+// lifecycle sweep has nothing to expire: a long-lived RC transaction is
+// never marked, never aborted with SnapshotTooOld, and never holds the
+// watermark below the oracle.
 TEST(SnapshotLifecycle, ReadCommittedSurvivesExpiry) {
   DatabaseOptions options;
   options.background_gc_interval_ms = 5;
@@ -224,10 +227,61 @@ TEST(SnapshotLifecycle, ReadCommittedSurvivesExpiry) {
   }
   auto rc = db->Begin(IsolationLevel::kReadCommitted);
   std::this_thread::sleep_for(std::chrono::milliseconds(100));
-  ASSERT_TRUE(db->engine().active_txns.IsExpired(rc->id()));
+  // Not a victim: a non-pinning registration is invisible to the sweep.
+  EXPECT_FALSE(db->engine().active_txns.IsExpired(rc->id()));
+  // Not a pin: the watermark sits at the oracle's read timestamp even
+  // though this RC transaction started long ago and is still open.
+  EXPECT_EQ(db->Watermark(), db->engine().oracle.ReadTs());
   auto read = rc->GetNodeProperty(id, "v");
   ASSERT_TRUE(read.ok()) << read.status();
   EXPECT_EQ(read->AsInt(), 7);
+  EXPECT_TRUE(rc->Commit().ok());
+}
+
+// The lifecycle policy's backlog-pressure pass also ignores RC
+// registrations: with an RC reader as the only open transaction, a
+// threshold-crossing backlog drains on its own (the RC entry was never
+// the pin), and the reader keeps observing the newest committed value
+// throughout — never SnapshotTooOld.
+TEST(SnapshotLifecycle, ReadCommittedNeverPinsBacklogNorExpires) {
+  DatabaseOptions options;
+  options.background_gc_interval_ms = 2;
+  options.gc_backlog_threshold = 8;
+  options.snapshot_max_age_ms = 20;
+  options.snapshot_expire_backlog = 16;
+  auto db = OpenDb(options);
+
+  NodeId id;
+  {
+    auto txn = db->Begin();
+    id = *txn->CreateNode({}, {{"v", PropertyValue(int64_t{0})}});
+    ASSERT_TRUE(txn->Commit().ok());
+  }
+  auto rc = db->Begin(IsolationLevel::kReadCommitted);
+  int64_t last_seen = 0;
+  for (int i = 1; i <= 64; ++i) {
+    {
+      auto w = db->Begin(IsolationLevel::kSnapshotIsolation);
+      ASSERT_TRUE(w->SetNodeProperty(id, "v", PropertyValue(int64_t{i})).ok());
+      ASSERT_TRUE(w->Commit().ok());
+    }
+    auto read = rc->GetNodeProperty(id, "v");
+    ASSERT_TRUE(read.ok()) << read.status();  // never SnapshotTooOld
+    EXPECT_GE(read->AsInt(), last_seen);      // RC: monotone latest-committed
+    last_seen = read->AsInt();
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  EXPECT_FALSE(db->engine().active_txns.IsExpired(rc->id()));
+  EXPECT_EQ(db->engine().active_txns.snapshots_expired_age(), 0u);
+  EXPECT_EQ(db->engine().active_txns.snapshots_expired_backlog(), 0u);
+  // The backlog drained past the open RC reader.
+  Timestamp deadline_checks = 0;
+  while (db->engine().gc_list.backlog() > 0 && deadline_checks < 500) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    ++deadline_checks;
+  }
+  EXPECT_EQ(db->engine().gc_list.backlog(), 0u);
+  EXPECT_TRUE(rc->GetNodeProperty(id, "v").ok());
   EXPECT_TRUE(rc->Commit().ok());
 }
 

@@ -1,0 +1,257 @@
+// EpochManager: the reclamation domain behind the latch-free read path.
+// Covers enter/exit bookkeeping, min-epoch advance, deferred-free ordering
+// through a VersionChain in epoch mode, destructor cleanup, slot-exhaustion
+// progress, and a torn-reader stress that races latch-free walks against
+// prune/retire/drain cycles (the sanitizer jobs run this one hot).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "mvcc/epoch.h"
+#include "mvcc/version_chain.h"
+
+namespace neosi {
+namespace {
+
+VersionData Data(int64_t v) {
+  VersionData data;
+  data.props[1] = PropertyValue(v);
+  return data;
+}
+
+int64_t ValueOf(const std::shared_ptr<const Version>& v) {
+  return v->data.props.at(1).AsInt();
+}
+
+TEST(EpochManager, EnterExitPublishesAndClearsTheSlot) {
+  EpochManager epochs(4);
+  EXPECT_EQ(epochs.slot_count(), 4u);
+  EXPECT_EQ(epochs.MinActiveEpoch(), UINT64_MAX) << "no reader entered";
+  {
+    EpochManager::Guard guard(&epochs);
+    EXPECT_EQ(epochs.MinActiveEpoch(), epochs.current_epoch());
+  }
+  EXPECT_EQ(epochs.MinActiveEpoch(), UINT64_MAX) << "guard exit frees the slot";
+}
+
+TEST(EpochManager, NullManagerGuardIsANoOp) {
+  EpochManager::Guard guard(nullptr);  // latched-baseline call sites do this
+}
+
+TEST(EpochManager, MinActiveEpochTracksTheOldestEnteredReader) {
+  EpochManager epochs(4);
+  const uint64_t e0 = epochs.current_epoch();
+  EpochManager::Guard old_reader(&epochs);  // pinned at e0
+  epochs.BumpEpoch();
+  epochs.BumpEpoch();
+  EXPECT_EQ(epochs.current_epoch(), e0 + 2);
+  // The old reader holds the minimum down at its entry epoch.
+  EXPECT_EQ(epochs.MinActiveEpoch(), e0);
+  {
+    EpochManager::Guard young_reader(&epochs);  // enters at e0 + 2
+    EXPECT_EQ(epochs.MinActiveEpoch(), e0);
+  }
+  EXPECT_EQ(epochs.MinActiveEpoch(), e0);
+}
+
+TEST(EpochManager, DrainFreesOnlyEntriesNoEnteredReaderCanReach) {
+  EpochManager epochs(4);
+  VersionChain chain(&epochs);
+  ASSERT_TRUE(chain.InstallUncommitted(1, Data(10)).ok());
+  ASSERT_TRUE(chain.CommitHead(1, 10).ok());
+  ASSERT_TRUE(chain.InstallUncommitted(2, Data(20)).ok());
+  auto superseded = chain.CommitHead(2, 20);
+  ASSERT_TRUE(superseded.ok());
+  std::weak_ptr<Version> watch = *superseded;
+
+  auto reader = std::make_unique<EpochManager::Guard>(&epochs);
+  ASSERT_TRUE(chain.Remove(*superseded));  // retires into limbo
+  superseded->reset();  // limbo now holds the only strong reference
+  EXPECT_EQ(epochs.limbo_size(), 1u);
+  EXPECT_EQ(epochs.total_retired(), 1u);
+
+  // The reader entered BEFORE the retirement's epoch was surpassed, so no
+  // amount of bumping lets the drain free the version under it.
+  epochs.BumpEpoch();
+  EXPECT_EQ(epochs.Drain(), 0u);
+  EXPECT_FALSE(watch.expired());
+  EXPECT_EQ(epochs.limbo_size(), 1u);
+
+  // Reader exits; the next bump+drain reclaims it.
+  reader.reset();
+  epochs.BumpEpoch();
+  EXPECT_EQ(epochs.Drain(), 1u);
+  EXPECT_TRUE(watch.expired());
+  EXPECT_EQ(epochs.limbo_size(), 0u);
+  EXPECT_EQ(epochs.total_freed(), 1u);
+}
+
+TEST(EpochManager, RetireesStampedAtTheCurrentEpochSurviveSameEpochDrain) {
+  EpochManager epochs(2);
+  VersionChain chain(&epochs);
+  ASSERT_TRUE(chain.InstallUncommitted(1, Data(1)).ok());
+  ASSERT_TRUE(chain.CommitHead(1, 5).ok());
+  ASSERT_TRUE(chain.InstallUncommitted(2, Data(2)).ok());
+  auto superseded = chain.CommitHead(2, 6);
+  ASSERT_TRUE(superseded.ok());
+  std::weak_ptr<Version> watch = *superseded;
+  {
+    // A reader entered at the CURRENT epoch: a drain without a bump must
+    // not free anything retired at that same epoch (stamp < min fails).
+    EpochManager::Guard reader(&epochs);
+    ASSERT_TRUE(chain.Remove(*superseded));
+    superseded->reset();  // limbo holds the only strong reference
+    EXPECT_EQ(epochs.Drain(), 0u);
+    EXPECT_FALSE(watch.expired());
+  }
+  // No reader at all: everything in limbo is free game.
+  EXPECT_EQ(epochs.Drain(), 1u);
+  EXPECT_TRUE(watch.expired());
+}
+
+TEST(EpochManager, DestructorFreesOutstandingLimbo) {
+  std::weak_ptr<Version> watch;
+  {
+    EpochManager epochs(2);
+    VersionChain chain(&epochs);
+    ASSERT_TRUE(chain.InstallUncommitted(1, Data(1)).ok());
+    ASSERT_TRUE(chain.CommitHead(1, 5).ok());
+    ASSERT_TRUE(chain.InstallUncommitted(2, Data(2)).ok());
+    auto superseded = chain.CommitHead(2, 6);
+    ASSERT_TRUE(superseded.ok());
+    watch = *superseded;
+    ASSERT_TRUE(chain.Remove(*superseded));
+    EXPECT_FALSE(watch.expired());  // parked in limbo, never drained
+  }
+  EXPECT_TRUE(watch.expired()) << "manager teardown must free limbo";
+}
+
+TEST(EpochManager, PruneRetiresTheSuffixAsOneEntryWithLinksIntact) {
+  EpochManager epochs(4);
+  VersionChain chain(&epochs);
+  for (int i = 1; i <= 5; ++i) {
+    ASSERT_TRUE(chain.InstallUncommitted(i, Data(i * 10)).ok());
+    auto superseded = chain.CommitHead(i, i * 10);
+    ASSERT_TRUE(superseded.ok());
+  }
+  ASSERT_EQ(chain.Length(), 5u);
+
+  // A reader standing at the head BEFORE the prune: after the prune severs
+  // the suffix, the reader's walk down older_raw still traverses retired
+  // versions (interior links intact) — observable here as a snapshot read
+  // at ts 20 continuing to resolve.
+  EpochManager::Guard reader(&epochs);
+  auto old_visible = chain.Visible(20);
+  ASSERT_NE(old_visible, nullptr);
+  EXPECT_EQ(ValueOf(old_visible), 20);
+
+  EXPECT_EQ(chain.PruneSupersededUpTo(50), 4u);
+  EXPECT_EQ(chain.Length(), 1u);
+  // One limbo entry for the whole severed suffix.
+  EXPECT_EQ(epochs.limbo_size(), 1u);
+  // The retired suffix is still walkable from the retained reference.
+  const Version* v = old_visible.get();
+  int64_t expected = 20;
+  while (v != nullptr) {
+    EXPECT_EQ(v->data.props.at(1).AsInt(), expected);
+    expected -= 10;
+    v = v->older_raw.load(std::memory_order_acquire);
+  }
+  EXPECT_EQ(expected, 0) << "walked 20 -> 10 -> end";
+}
+
+TEST(EpochManager, SlotExhaustionStallsEntryButMakesProgress) {
+  // 2 slots, 4 threads: entry must spin-wait, not fail or crash.
+  EpochManager epochs(2);
+  std::atomic<int> completed{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 2000; ++i) {
+        EpochManager::Guard guard(&epochs);
+      }
+      completed.fetch_add(1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(completed.load(), 4);
+  EXPECT_EQ(epochs.MinActiveEpoch(), UINT64_MAX);
+}
+
+// The core memory-safety property, stressed: latch-free readers walk the
+// chain while a writer commits new versions, prunes superseded ones and
+// drives bump+drain cycles. ASan/TSan turn any reclaim-under-reader into a
+// hard failure; without sanitizers the value checks still catch torn state.
+TEST(EpochManager, TornReaderStressNeverObservesReclaimedMemory) {
+  EpochManager epochs;  // auto-sized
+  VersionChain chain(&epochs);
+  ASSERT_TRUE(chain.InstallUncommitted(1, Data(1)).ok());
+  ASSERT_TRUE(chain.CommitHead(1, 1).ok());
+
+  std::atomic<bool> stop{false};
+  std::atomic<Timestamp> newest_ts{1};
+  std::atomic<int> violations{0};
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        const Timestamp ts = newest_ts.load(std::memory_order_acquire);
+        auto v = chain.Visible(ts);
+        if (v == nullptr) {
+          // Legitimate: the writer may have pruned past this (stale) ts
+          // between our newest_ts load and the walk. Not a safety issue —
+          // engine-level reads re-check the expiry flag in that window.
+          continue;
+        }
+        // Data is immutable post-commit: value must equal its commit ts.
+        if (ValueOf(v) != static_cast<int64_t>(
+                              v->commit_ts.load(std::memory_order_acquire))) {
+          violations.fetch_add(1);
+        }
+        auto latest = chain.LatestCommitted();
+        if (latest == nullptr || ValueOf(latest) < ValueOf(v)) {
+          violations.fetch_add(1);
+        }
+      }
+    });
+  }
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(100);
+  TxnId txn = 2;
+  Timestamp ts = 2;
+  while (std::chrono::steady_clock::now() < deadline) {
+    ASSERT_TRUE(chain.InstallUncommitted(txn, Data(ts)).ok());
+    ASSERT_TRUE(chain.CommitHead(txn, ts).ok());
+    newest_ts.store(ts, std::memory_order_release);
+    ++txn;
+    ++ts;
+    if (ts % 8 == 0) {
+      // Everything older than the newest committed version is prunable
+      // (these readers read at newest_ts); retire + tick the epoch.
+      chain.PruneSupersededUpTo(ts);
+      epochs.BumpEpoch();
+      epochs.Drain();
+    }
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(violations.load(), 0);
+
+  // Quiesce: with readers gone, the backlog drains to nothing.
+  chain.PruneSupersededUpTo(ts);
+  epochs.BumpEpoch();
+  EXPECT_GT(epochs.total_retired(), 0u);
+  epochs.Drain();
+  EXPECT_EQ(epochs.limbo_size(), 0u);
+  EXPECT_EQ(epochs.total_freed(), epochs.total_retired());
+}
+
+}  // namespace
+}  // namespace neosi
