@@ -7,7 +7,10 @@
 // (b) TPC-C-like order/payment mix: the warehouse stock invariant holds
 //     under SI across every trial.
 
+#include <algorithm>
+#include <atomic>
 #include <thread>
+#include <vector>
 
 #include "bench/bench_common.h"
 #include "common/random.h"
@@ -59,6 +62,88 @@ bool WardTrial(GraphDatabase& db, const OnCallWard& ward, NodeId ward_token,
   t1.join();
   t2.join();
   return !*WardConstraintHolds(db, ward);
+}
+
+// One cell of table (c): `threads` racers, each with its own doctor, all
+// going off call at once from an all-on-call state. SI lets disjoint write
+// sets slide past each other (violations > 0); serializable mode pays
+// retryable SerializationFailure aborts instead and must never violate.
+struct SkewCell {
+  uint64_t commits = 0;
+  uint64_t ssi_aborts = 0;
+  uint64_t violations = 0;
+  double secs = 0;
+};
+
+SkewCell SkewRace(IsolationLevel iso, int threads, uint64_t trials) {
+  auto db = OpenDb();
+  const int doctor_count = std::max(2, threads);
+  std::vector<NodeId> doctors;
+  {
+    auto txn = db->Begin();
+    for (int i = 0; i < doctor_count; ++i) {
+      doctors.push_back(*txn->CreateNode(
+          {"Doctor"}, {{"on_call", PropertyValue(true)}}));
+    }
+    (void)txn->Commit();
+  }
+  SkewCell cell;
+  std::atomic<uint64_t> commits{0};
+  std::atomic<uint64_t> aborts{0};
+  Timer timer;
+  for (uint64_t t = 0; t < trials; ++t) {
+    {
+      auto reset = db->Begin();
+      for (NodeId d : doctors) {
+        (void)reset->SetNodeProperty(d, "on_call", PropertyValue(true));
+      }
+      (void)reset->Commit();
+    }
+    auto body = [&](int self) {
+      auto txn = db->Begin(iso);
+      bool other_on_call = false;
+      for (int i = 0; i < doctor_count; ++i) {
+        if (i == self) continue;
+        auto on = txn->GetNodeProperty(doctors[i], "on_call");
+        if (!on.ok()) {
+          if (on.status().IsSerializationFailure()) aborts.fetch_add(1);
+          return;
+        }
+        if (on->AsBool()) other_on_call = true;
+      }
+      if (other_on_call) {
+        Status w = txn->SetNodeProperty(doctors[self], "on_call",
+                                        PropertyValue(false));
+        if (!w.ok()) {
+          if (w.IsSerializationFailure()) aborts.fetch_add(1);
+          return;
+        }
+      }
+      Status c = txn->Commit();
+      if (c.ok()) {
+        commits.fetch_add(1);
+      } else if (c.IsSerializationFailure()) {
+        aborts.fetch_add(1);
+      }
+    };
+    std::vector<std::thread> racers;
+    racers.reserve(threads);
+    for (int i = 0; i < threads; ++i) racers.emplace_back(body, i);
+    for (auto& r : racers) r.join();
+    bool any_on_call = false;
+    auto audit = db->Begin();
+    for (NodeId d : doctors) {
+      if ((*audit->GetNodeProperty(d, "on_call")).AsBool()) {
+        any_on_call = true;
+      }
+    }
+    (void)audit->Commit();
+    if (!any_on_call) ++cell.violations;
+  }
+  cell.secs = timer.Seconds();
+  cell.commits = commits.load();
+  cell.ssi_aborts = aborts.load();
+  return cell;
 }
 
 }  // namespace
@@ -133,8 +218,30 @@ int main() {
                 static_cast<unsigned long long>(violations));
   }
 
+  std::printf("\n--- (c) SI vs serializable (SSI), N racing off-call txns "
+              "---\n");
+  std::printf("%-14s %8s %10s %10s %11s %11s\n", "mode", "threads", "commits",
+              "ssi-aborts", "violations", "commits/s");
+  const uint64_t skew_trials = Scaled(150);
+  for (IsolationLevel iso :
+       {IsolationLevel::kSnapshotIsolation, IsolationLevel::kSerializable}) {
+    for (int threads : {1, 2, 4, 8}) {
+      SkewCell cell = SkewRace(iso, threads, skew_trials);
+      std::printf("%-14s %8d %10llu %10llu %11llu %11.0f\n",
+                  iso == IsolationLevel::kSerializable ? "serializable"
+                                                       : "snapshot",
+                  threads, static_cast<unsigned long long>(cell.commits),
+                  static_cast<unsigned long long>(cell.ssi_aborts),
+                  static_cast<unsigned long long>(cell.violations),
+                  cell.secs > 0 ? cell.commits / cell.secs : 0.0);
+    }
+  }
+
   std::printf("\nexpected shape: plain SI violation rate > 0 (write skew "
               "exists); materialized-conflict rate identically 0; TPC-C "
-              "invariant violations identically 0.\n");
+              "invariant violations identically 0; serializable-mode "
+              "violations identically 0 at every thread count, paid for "
+              "with retryable ssi-aborts and the commit_mu_-serialized "
+              "commit decision.\n");
   return 0;
 }

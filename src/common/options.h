@@ -58,6 +58,29 @@ struct DatabaseOptions {
   /// validation for kFirstCommitterWins.
   ConflictPolicy conflict_policy = ConflictPolicy::kFirstUpdaterWinsWait;
 
+  // --- serializable mode (SSI; strictly opt-in per transaction) ------------
+
+  /// When true (the DEFAULT), a READ-ONLY kSerializable transaction whose
+  /// snapshot is taken while no read-write kSerializable transaction is
+  /// active gets a SAFE SNAPSHOT: it skips all SIREAD marking and
+  /// rw-antidependency tracking and is guaranteed to commit without a
+  /// SerializationFailure (the Ports/Grittner read-only optimization —
+  /// any later read-write serializable transaction starts after this
+  /// snapshot, so its conflicts-out can only point at commits this
+  /// snapshot cannot observe anyway). Consumed once per
+  /// Begin(kSerializable, {read_only}); counted in
+  /// DatabaseStats::ssi_safe_snapshots. False forces every serializable
+  /// transaction through full tracking (useful to exercise the tracker).
+  bool ssi_safe_snapshots = true;
+
+  /// Shard count of the SsiTracker's SIREAD-marker tables (entity, label,
+  /// property-range, adjacency markers). Default: 0 = AUTO (64, mirroring
+  /// the LockManager's shard fan-out). Explicit values are clamped to
+  /// [1, 64]. More shards keep concurrent serializable readers and writers
+  /// off each other's marker mutexes; the tables are touched only by
+  /// kSerializable transactions, so the setting is irrelevant otherwise.
+  size_t ssi_marker_shards = 0;
+
   // --- storage -------------------------------------------------------------
 
   /// Page size of the store files, in BYTES. Default: 8192. Fixed at
@@ -209,6 +232,13 @@ struct DatabaseOptions {
     if (epoch_slots != 0) return epoch_slots;
     const size_t hw = std::thread::hardware_concurrency();
     return std::max<size_t>(64, 4 * hw);
+  }
+
+  /// ssi_marker_shards with auto resolved: 64 (the LockManager fan-out),
+  /// explicit values clamped to [1, 64].
+  size_t ResolvedSsiMarkerShards() const {
+    if (ssi_marker_shards == 0) return 64;
+    return std::clamp<size_t>(ssi_marker_shards, 1, 64);
   }
 };
 

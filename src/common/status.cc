@@ -30,6 +30,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "Internal";
     case StatusCode::kSnapshotTooOld:
       return "SnapshotTooOld";
+    case StatusCode::kSerializationFailure:
+      return "SerializationFailure";
   }
   return "Unknown";
 }

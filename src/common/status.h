@@ -47,6 +47,11 @@ enum class StatusCode : int {
   /// read may have been reclaimed, so the transaction must restart with a
   /// fresh snapshot (PostgreSQL's "snapshot too old").
   kSnapshotTooOld = 12,
+  /// A kSerializable transaction was aborted by the SSI checker: it sat at
+  /// the centre of a dangerous rw-antidependency structure (or was doomed
+  /// by a committing peer). Retry the whole transaction; a fresh snapshot
+  /// re-runs it against the now-committed conflicting state.
+  kSerializationFailure = 13,
 };
 
 /// Returns a short human-readable name ("NotFound", ...) for a code.
@@ -97,6 +102,9 @@ class Status {
   static Status SnapshotTooOld(std::string msg) {
     return Status(StatusCode::kSnapshotTooOld, std::move(msg));
   }
+  static Status SerializationFailure(std::string msg) {
+    return Status(StatusCode::kSerializationFailure, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
@@ -117,13 +125,17 @@ class Status {
   bool IsSnapshotTooOld() const {
     return code_ == StatusCode::kSnapshotTooOld;
   }
+  bool IsSerializationFailure() const {
+    return code_ == StatusCode::kSerializationFailure;
+  }
 
   /// True for the transaction-retry outcomes (conflict abort, deadlock
-  /// victim, expired snapshot); callers typically retry the whole
-  /// transaction — a restarted transaction gets a fresh snapshot, which
-  /// clears all three conditions.
+  /// victim, expired snapshot, SSI dangerous-structure abort); callers
+  /// typically retry the whole transaction — a restarted transaction gets a
+  /// fresh snapshot, which clears all four conditions.
   bool IsRetryable() const {
-    return IsAborted() || IsDeadlock() || IsSnapshotTooOld();
+    return IsAborted() || IsDeadlock() || IsSnapshotTooOld() ||
+           IsSerializationFailure();
   }
 
   StatusCode code() const { return code_; }

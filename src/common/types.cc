@@ -38,6 +38,8 @@ std::string_view IsolationLevelToString(IsolationLevel level) {
       return "ReadCommitted";
     case IsolationLevel::kSnapshotIsolation:
       return "SnapshotIsolation";
+    case IsolationLevel::kSerializable:
+      return "Serializable";
   }
   return "Unknown";
 }

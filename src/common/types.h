@@ -67,9 +67,16 @@ enum class Direction : uint8_t {
 /// exclusive write locks, reads always see the latest committed state).
 /// kSnapshotIsolation is the paper's contribution (MVCC snapshot reads, no
 /// read locks, write-write conflict detection).
+/// kSerializable layers SSI (Cahill-style serializable snapshot isolation,
+/// as refined by PostgreSQL) on top of the SI machinery: snapshot reads
+/// additionally leave SIREAD markers, rw-antidependency edges are tracked,
+/// and a transaction at the centre of a dangerous structure aborts with
+/// Status::SerializationFailure. Serializability is guaranteed among
+/// kSerializable transactions only (the PostgreSQL stance).
 enum class IsolationLevel : uint8_t {
   kReadCommitted = 0,
   kSnapshotIsolation = 1,
+  kSerializable = 2,
 };
 
 /// Write-write conflict resolution policy under snapshot isolation (paper §3).

@@ -18,6 +18,7 @@
 #include "storage/graph_store.h"
 #include "txn/active_txn_table.h"
 #include "txn/lock_manager.h"
+#include "txn/ssi_tracker.h"
 #include "txn/timestamp_oracle.h"
 
 namespace neosi {
@@ -50,7 +51,8 @@ struct Engine {
         active_txns(opts.ResolvedTxnTableShards()),
         lock_manager(opts.lock_timeout_ms),
         gc_list(opts.ResolvedGcShards()),
-        epochs(opts.ResolvedEpochSlots()) {}
+        epochs(opts.ResolvedEpochSlots()),
+        ssi(opts.ResolvedSsiMarkerShards()) {}
 
   DatabaseOptions options;
 
@@ -66,6 +68,10 @@ struct Engine {
   /// opts.latch_free_reads is set. The GC daemon bumps + drains it once
   /// per cycle.
   EpochManager epochs;
+  /// SIREAD markers + rw-antidependency edges for kSerializable
+  /// transactions (opts.ssi_marker_shards shards, auto = 64). Touched only
+  /// by serializable transactions; SI/RC paths never enter it.
+  SsiTracker ssi;
 
   // Constructed after store.Open() (needs the store pointer).
   std::unique_ptr<ObjectCache> cache;

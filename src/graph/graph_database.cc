@@ -106,22 +106,56 @@ std::unique_ptr<Transaction> GraphDatabase::Begin() {
 }
 
 std::unique_ptr<Transaction> GraphDatabase::Begin(IsolationLevel isolation) {
+  return Begin(isolation, TransactionOptions{});
+}
+
+std::unique_ptr<Transaction> GraphDatabase::Begin(
+    IsolationLevel isolation, const TransactionOptions& options) {
   const TxnId id = engine_->oracle.NextTxnId();
+
+  // Serializable read-write transactions enter the SSI tracker BEFORE
+  // acquiring their snapshot: a read-only transaction's safe-snapshot probe
+  // below runs after its own snapshot is taken, so the two orders together
+  // guarantee the probe can never miss a read-write peer whose snapshot
+  // predates the read-only one.
+  std::shared_ptr<SsiTxnInfo> ssi;
+  const bool serializable = isolation == IsolationLevel::kSerializable;
+  if (serializable && !options.read_only) {
+    ssi = engine_->ssi.Register(id, /*read_only=*/false);
+  }
+
   // Atomic w.r.t. watermark computation: the snapshot timestamp is taken
   // and published to the active table in one step, so GC can never reclaim
   // a version this snapshot still needs. The registration also hands back
   // the expiry flag the GC daemon's snapshot-lifecycle sweep may set; the
   // transaction polls it on every operation.
   //
-  // Only snapshot-isolation transactions pin the watermark: a
-  // read-committed transaction reads latest-committed versions only (never
-  // reclaimable) with epoch protection covering its walks, so it neither
-  // holds reclamation back nor can it be a SnapshotTooOld victim.
-  const bool pins_watermark = isolation == IsolationLevel::kSnapshotIsolation;
+  // Only snapshot-based transactions pin the watermark: a read-committed
+  // transaction reads latest-committed versions only (never reclaimable)
+  // with epoch protection covering its walks, so it neither holds
+  // reclamation back nor can it be a SnapshotTooOld victim.
+  const bool pins_watermark = isolation != IsolationLevel::kReadCommitted;
   SnapshotRegistration reg = engine_->active_txns.RegisterAtomic(
       id, [this] { return engine_->oracle.ReadTs(); }, pins_watermark);
+
+  if (serializable) {
+    if (ssi) {
+      engine_->ssi.SetStartTs(ssi, reg.start_ts);
+    } else if (engine_->options.ssi_safe_snapshots &&
+               !engine_->ssi.HasActiveReadWrite()) {
+      // Safe snapshot: no read-write serializable peer was registered when
+      // this snapshot was taken, so nothing this transaction reads can sit
+      // on a rw-antidependency path back into its past — skip tracking.
+      engine_->ssi.RecordSafeSnapshot();
+    } else {
+      ssi = engine_->ssi.Register(id, /*read_only=*/true);
+      engine_->ssi.SetStartTs(ssi, reg.start_ts);
+    }
+  }
+
   std::unique_ptr<Transaction> txn(new Transaction(
-      engine_.get(), isolation, id, reg.start_ts, std::move(reg.expired)));
+      engine_.get(), isolation, id, reg.start_ts, std::move(reg.expired),
+      std::move(ssi), options.read_only));
   return txn;
 }
 
@@ -175,6 +209,11 @@ DatabaseStats GraphDatabase::Stats() const {
         checkpoint_daemon_->interval_passes();
     stats.checkpoint_daemon_idle_skips = checkpoint_daemon_->idle_skips();
   }
+  const SsiTrackerStats ssi = engine_->ssi.Stats();
+  stats.ssi_tracked_txns = ssi.tracked_txns;
+  stats.ssi_safe_snapshots = ssi.safe_snapshots;
+  stats.ssi_aborts_pivot = ssi.aborts_pivot;
+  stats.ssi_aborts_doomed = ssi.aborts_doomed;
   stats.active_txns = engine_->active_txns.ActiveCount();
   stats.last_committed = engine_->oracle.ReadTs();
   return stats;

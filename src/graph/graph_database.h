@@ -71,8 +71,25 @@ struct DatabaseStats {
   uint64_t checkpoint_daemon_nudge_passes = 0;  ///< WAL-threshold nudges.
   uint64_t checkpoint_daemon_interval_passes = 0;
   uint64_t checkpoint_daemon_idle_skips = 0;
+  /// SSI (kSerializable) per-cause counters. All zero until a serializable
+  /// transaction runs; SI/RC transactions never touch the tracker.
+  uint64_t ssi_tracked_txns = 0;    ///< Serializable txns fully tracked.
+  uint64_t ssi_safe_snapshots = 0;  ///< Read-only txns on safe snapshots.
+  uint64_t ssi_aborts_pivot = 0;    ///< Dangerous-structure aborts.
+  uint64_t ssi_aborts_doomed = 0;   ///< Victims doomed by a committing peer.
   uint64_t active_txns = 0;
   Timestamp last_committed = kNoTimestamp;
+};
+
+/// Per-transaction knobs for Begin() beyond the isolation level.
+struct TransactionOptions {
+  /// Declares the transaction read-only: every write operation fails with
+  /// FailedPrecondition. Under kSerializable this enables the safe-snapshot
+  /// optimization (DatabaseOptions::ssi_safe_snapshots): a read-only
+  /// serializable transaction whose snapshot sees no concurrent read-write
+  /// serializable transaction skips SSI tracking entirely and can never
+  /// abort with SerializationFailure.
+  bool read_only = false;
 };
 
 /// A single-process graph database instance. Thread-safe: any number of
@@ -93,6 +110,8 @@ class GraphDatabase {
   /// Starts a transaction at the configured default isolation level.
   std::unique_ptr<Transaction> Begin();
   std::unique_ptr<Transaction> Begin(IsolationLevel isolation);
+  std::unique_ptr<Transaction> Begin(IsolationLevel isolation,
+                                     const TransactionOptions& options);
 
   /// Runs one pass of the paper's threaded garbage collector (§4): pops the
   /// timestamp-sorted list up to the current watermark and reclaims exactly

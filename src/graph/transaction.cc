@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <mutex>
 #include <thread>
 
 #include "graph/checkpoint_daemon.h"
@@ -12,12 +13,15 @@ namespace neosi {
 
 Transaction::Transaction(Engine* engine, IsolationLevel isolation, TxnId id,
                          Timestamp start_ts,
-                         std::shared_ptr<const std::atomic<bool>> expired)
+                         std::shared_ptr<const std::atomic<bool>> expired,
+                         std::shared_ptr<SsiTxnInfo> ssi, bool read_only)
     : engine_(engine),
       isolation_(isolation),
       id_(id),
       start_ts_(start_ts),
-      expired_(std::move(expired)) {}
+      expired_(std::move(expired)),
+      ssi_(std::move(ssi)),
+      read_only_(read_only) {}
 
 Transaction::~Transaction() {
   if (state_ == TxnState::kActive) {
@@ -33,7 +37,7 @@ Status Transaction::CheckActive() const {
 }
 
 Status Transaction::FailIfSnapshotExpired() {
-  if (isolation_ != IsolationLevel::kSnapshotIsolation) return Status::OK();
+  if (!UsesSnapshotReads()) return Status::OK();
   if (!expired_ || !expired_->load(std::memory_order_acquire)) {
     return Status::OK();
   }
@@ -45,12 +49,65 @@ Status Transaction::FailIfSnapshotExpired() {
 }
 
 // ---------------------------------------------------------------------------
+// SSI hooks (no-ops unless this is a tracked kSerializable transaction)
+// ---------------------------------------------------------------------------
+
+Status Transaction::FailIfReadOnly() const {
+  if (!read_only_) return Status::OK();
+  return Status::FailedPrecondition(
+      "transaction was opened read-only (TransactionOptions::read_only)");
+}
+
+Status Transaction::FailIfDoomed() {
+  if (!ssi_) return Status::OK();
+  Status s = engine_->ssi.FailIfDoomed(ssi_);
+  if (!s.ok()) RollbackLocked();
+  return s;
+}
+
+Status Transaction::SsiOnWrite(SsiWriteFootprint fp) {
+  if (!ssi_) return Status::OK();
+  Status s = engine_->ssi.OnWrite(ssi_, fp);
+  if (!s.ok()) {
+    RollbackLocked();
+    return s;
+  }
+  ssi_footprints_.push_back(std::move(fp));
+  return Status::OK();
+}
+
+Status Transaction::SsiObserveNewer(
+    const std::vector<std::pair<TxnId, Timestamp>>& newer) {
+  if (!ssi_) return Status::OK();
+  for (const auto& [writer, ts] : newer) {
+    Status s = engine_->ssi.OnReadObservedCommit(ssi_, writer, ts);
+    if (!s.ok()) {
+      RollbackLocked();
+      return s;
+    }
+  }
+  return Status::OK();
+}
+
+Status Transaction::SsiObserveAnonymous(const std::vector<Timestamp>& commits) {
+  if (!ssi_) return Status::OK();
+  for (Timestamp ts : commits) {
+    Status s = engine_->ssi.OnReadObservedCommit(ssi_, kNoTxn, ts);
+    if (!s.ok()) {
+      RollbackLocked();
+      return s;
+    }
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
 // Locking & conflict detection
 // ---------------------------------------------------------------------------
 
 Status Transaction::AcquireWriteLock(const EntityKey& key) {
   bool wait = true;
-  if (isolation_ == IsolationLevel::kSnapshotIsolation &&
+  if (UsesSnapshotReads() &&
       engine_->options.conflict_policy ==
           ConflictPolicy::kFirstUpdaterWinsNoWait) {
     wait = false;
@@ -63,7 +120,7 @@ Status Transaction::AcquireWriteLock(const EntityKey& key) {
 }
 
 Status Transaction::CheckWriteConflict(const VersionChain& chain) {
-  if (isolation_ != IsolationLevel::kSnapshotIsolation) return Status::OK();
+  if (!UsesSnapshotReads()) return Status::OK();
   if (engine_->options.conflict_policy == ConflictPolicy::kFirstCommitterWins) {
     return Status::OK();  // Validated at commit instead.
   }
@@ -85,10 +142,7 @@ Status Transaction::CheckWriteConflict(const VersionChain& chain) {
 
 Result<LabelId> Transaction::LabelToken(const std::string& name, bool create) {
   if (!create) {
-    return engine_->store.labels().Lookup(
-        name, isolation_ == IsolationLevel::kSnapshotIsolation
-                  ? start_ts_
-                  : kMaxTimestamp);
+    return engine_->store.labels().Lookup(name, SnapshotTs());
   }
   auto existing = engine_->store.labels().Lookup(name);
   if (existing.ok()) return existing;
@@ -102,10 +156,7 @@ Result<LabelId> Transaction::LabelToken(const std::string& name, bool create) {
 Result<PropertyKeyId> Transaction::PropKeyToken(const std::string& name,
                                                 bool create) {
   if (!create) {
-    return engine_->store.prop_keys().Lookup(
-        name, isolation_ == IsolationLevel::kSnapshotIsolation
-                  ? start_ts_
-                  : kMaxTimestamp);
+    return engine_->store.prop_keys().Lookup(name, SnapshotTs());
   }
   auto existing = engine_->store.prop_keys().Lookup(name);
   if (existing.ok()) return existing;
@@ -120,10 +171,7 @@ Result<PropertyKeyId> Transaction::PropKeyToken(const std::string& name,
 Result<RelTypeId> Transaction::RelTypeToken(const std::string& name,
                                             bool create) {
   if (!create) {
-    return engine_->store.rel_types().Lookup(
-        name, isolation_ == IsolationLevel::kSnapshotIsolation
-                  ? start_ts_
-                  : kMaxTimestamp);
+    return engine_->store.rel_types().Lookup(name, SnapshotTs());
   }
   auto existing = engine_->store.rel_types().Lookup(name);
   if (existing.ok()) return existing;
@@ -152,7 +200,9 @@ Result<NamedProperties> Transaction::NameProps(const PropertyMap& props) const {
 Result<std::shared_ptr<Version>> Transaction::PendingNodeVersion(
     NodeId id, std::shared_ptr<CachedNode>* node_out) {
   NEOSI_RETURN_IF_ERROR(CheckActive());
+  NEOSI_RETURN_IF_ERROR(FailIfReadOnly());
   NEOSI_RETURN_IF_ERROR(FailIfSnapshotExpired());
+  NEOSI_RETURN_IF_ERROR(FailIfDoomed());
   const EntityKey key = EntityKey::Node(id);
   auto it = writes_.find(key);
   if (it != writes_.end()) {
@@ -166,10 +216,7 @@ Result<std::shared_ptr<Version>> Transaction::PendingNodeVersion(
   NEOSI_RETURN_IF_ERROR(AcquireWriteLock(key));
   NEOSI_RETURN_IF_ERROR(CheckWriteConflict((*node)->chain));
 
-  auto visible = (*node)->chain.Visible(
-      isolation_ == IsolationLevel::kSnapshotIsolation ? start_ts_
-                                                       : kMaxTimestamp,
-      id_);
+  auto visible = (*node)->chain.Visible(SnapshotTs(), id_);
   if (!visible || visible->data.deleted) {
     return Status::NotFound("node " + std::to_string(id) +
                             " is not visible to this transaction");
@@ -196,7 +243,9 @@ Result<std::shared_ptr<Version>> Transaction::PendingNodeVersion(
 Result<std::shared_ptr<Version>> Transaction::PendingRelVersion(
     RelId id, std::shared_ptr<CachedRel>* rel_out) {
   NEOSI_RETURN_IF_ERROR(CheckActive());
+  NEOSI_RETURN_IF_ERROR(FailIfReadOnly());
   NEOSI_RETURN_IF_ERROR(FailIfSnapshotExpired());
+  NEOSI_RETURN_IF_ERROR(FailIfDoomed());
   const EntityKey key = EntityKey::Rel(id);
   auto it = writes_.find(key);
   if (it != writes_.end()) {
@@ -210,10 +259,7 @@ Result<std::shared_ptr<Version>> Transaction::PendingRelVersion(
   NEOSI_RETURN_IF_ERROR(AcquireWriteLock(key));
   NEOSI_RETURN_IF_ERROR(CheckWriteConflict((*rel)->chain));
 
-  auto visible = (*rel)->chain.Visible(
-      isolation_ == IsolationLevel::kSnapshotIsolation ? start_ts_
-                                                       : kMaxTimestamp,
-      id_);
+  auto visible = (*rel)->chain.Visible(SnapshotTs(), id_);
   if (!visible || visible->data.deleted) {
     return Status::NotFound("relationship " + std::to_string(id) +
                             " is not visible to this transaction");
@@ -241,7 +287,9 @@ Result<std::shared_ptr<Version>> Transaction::PendingRelVersion(
 Result<NodeId> Transaction::CreateNode(const std::vector<std::string>& labels,
                                        const NamedProperties& props) {
   NEOSI_RETURN_IF_ERROR(CheckActive());
+  NEOSI_RETURN_IF_ERROR(FailIfReadOnly());
   NEOSI_RETURN_IF_ERROR(FailIfSnapshotExpired());
+  NEOSI_RETURN_IF_ERROR(FailIfDoomed());
 
   std::vector<LabelId> label_ids;
   label_ids.reserve(labels.size());
@@ -293,6 +341,18 @@ Result<NodeId> Transaction::CreateNode(const std::vector<std::string>& labels,
   }
 
   wal_ops_.push_back(WalOp::CreateNode(*id, label_ids, prop_map));
+
+  // SSI phantom protection: a fresh node invalidates full scans, label
+  // scans and property scans that predate it (no Entity footprint — the id
+  // was never visible, so no marker can exist on it).
+  NEOSI_RETURN_IF_ERROR(SsiOnWrite(SsiWriteFootprint::AllNodes()));
+  for (LabelId label : label_ids) {
+    NEOSI_RETURN_IF_ERROR(SsiOnWrite(SsiWriteFootprint::Label(label)));
+  }
+  for (const auto& [key, value] : prop_map) {
+    NEOSI_RETURN_IF_ERROR(
+        SsiOnWrite(SsiWriteFootprint::NodeProperty(key, value)));
+  }
   return *id;
 }
 
@@ -306,17 +366,25 @@ Status Transaction::SetNodeProperty(NodeId id, const std::string& key,
 
   auto& props = (*pending)->data.props;
   auto it = props.find(*token);
+  NEOSI_RETURN_IF_ERROR(
+      SsiOnWrite(SsiWriteFootprint::Entity(EntityKey::Node(id))));
   if (it != props.end()) {
     if (it->second == value) return Status::OK();  // No-op write.
+    NEOSI_RETURN_IF_ERROR(
+        SsiOnWrite(SsiWriteFootprint::NodeProperty(*token, it->second)));
     engine_->node_prop_index.RemovePending(*token, it->second, id, id_);
     index_ops_.push_back({IndexOp::Kind::kNodePropRemove, id, kInvalidToken,
                           *token, it->second});
   }
+  NEOSI_RETURN_IF_ERROR(
+      SsiOnWrite(SsiWriteFootprint::NodeProperty(*token, value)));
   engine_->node_prop_index.AddPending(*token, value, id, id_);
   index_ops_.push_back(
       {IndexOp::Kind::kNodePropAdd, id, kInvalidToken, *token, value});
-  props[*token] = value;
-  wal_ops_.push_back(WalOp::SetNodeProperty(id, *token, std::move(value)));
+  props[*token] = std::move(value);
+  // Full post-state, not a delta: replay must never need the (possibly
+  // torn) on-disk pre-state. See WalOpType::kNodeState.
+  wal_ops_.push_back(WalOp::NodeState(id, (*pending)->data.labels, props));
   return Status::OK();
 }
 
@@ -331,11 +399,15 @@ Status Transaction::RemoveNodeProperty(NodeId id, const std::string& key) {
   auto& props = (*pending)->data.props;
   auto it = props.find(*token);
   if (it == props.end()) return Status::OK();
+  NEOSI_RETURN_IF_ERROR(
+      SsiOnWrite(SsiWriteFootprint::Entity(EntityKey::Node(id))));
+  NEOSI_RETURN_IF_ERROR(
+      SsiOnWrite(SsiWriteFootprint::NodeProperty(*token, it->second)));
   engine_->node_prop_index.RemovePending(*token, it->second, id, id_);
   index_ops_.push_back({IndexOp::Kind::kNodePropRemove, id, kInvalidToken,
                         *token, it->second});
   props.erase(it);
-  wal_ops_.push_back(WalOp::RemoveNodeProperty(id, *token));
+  wal_ops_.push_back(WalOp::NodeState(id, (*pending)->data.labels, props));
   return Status::OK();
 }
 
@@ -350,11 +422,15 @@ Status Transaction::AddLabel(NodeId id, const std::string& label) {
   if (std::find(labels.begin(), labels.end(), *token) != labels.end()) {
     return Status::OK();
   }
+  NEOSI_RETURN_IF_ERROR(
+      SsiOnWrite(SsiWriteFootprint::Entity(EntityKey::Node(id))));
+  NEOSI_RETURN_IF_ERROR(SsiOnWrite(SsiWriteFootprint::Label(*token)));
   labels.push_back(*token);
   engine_->label_index.AddPending(*token, id, id_);
   index_ops_.push_back(
       {IndexOp::Kind::kLabelAdd, id, *token, kInvalidToken, {}});
-  wal_ops_.push_back(WalOp::AddLabel(id, *token));
+  wal_ops_.push_back(
+      WalOp::NodeState(id, labels, (*pending)->data.props));
   return Status::OK();
 }
 
@@ -369,11 +445,15 @@ Status Transaction::RemoveLabel(NodeId id, const std::string& label) {
   auto& labels = (*pending)->data.labels;
   auto it = std::find(labels.begin(), labels.end(), *token);
   if (it == labels.end()) return Status::OK();
+  NEOSI_RETURN_IF_ERROR(
+      SsiOnWrite(SsiWriteFootprint::Entity(EntityKey::Node(id))));
+  NEOSI_RETURN_IF_ERROR(SsiOnWrite(SsiWriteFootprint::Label(*token)));
   labels.erase(it);
   engine_->label_index.RemovePending(*token, id, id_);
   index_ops_.push_back(
       {IndexOp::Kind::kLabelRemove, id, *token, kInvalidToken, {}});
-  wal_ops_.push_back(WalOp::RemoveLabel(id, *token));
+  wal_ops_.push_back(
+      WalOp::NodeState(id, labels, (*pending)->data.props));
   return Status::OK();
 }
 
@@ -381,6 +461,8 @@ Result<RelId> Transaction::CreateRelationship(NodeId src, NodeId dst,
                                               const std::string& type,
                                               const NamedProperties& props) {
   NEOSI_RETURN_IF_ERROR(CheckActive());
+  NEOSI_RETURN_IF_ERROR(FailIfReadOnly());
+  NEOSI_RETURN_IF_ERROR(FailIfDoomed());
 
   auto type_token = RelTypeToken(type, /*create=*/true);
   if (!type_token.ok()) return type_token.status();
@@ -441,8 +523,8 @@ Result<RelId> Transaction::CreateRelationship(NodeId src, NodeId dst,
       return Status::Aborted(
           "endpoint node deleted by a concurrent transaction");
     }
-    if (isolation_ == IsolationLevel::kSnapshotIsolation &&
-        latest->commit_ts > start_ts_ && latest->data.deleted) {
+    if (UsesSnapshotReads() && latest->commit_ts > start_ts_ &&
+        latest->data.deleted) {
       RollbackLocked();
       return Status::Aborted("endpoint deleted after snapshot");
     }
@@ -478,6 +560,17 @@ Result<RelId> Transaction::CreateRelationship(NodeId src, NodeId dst,
 
   wal_ops_.push_back(
       WalOp::CreateRel(*rel_id, src, dst, *type_token, prop_map));
+
+  // SSI phantom protection: the new edge invalidates adjacency scans of
+  // both endpoints and rel-property scans covering its properties.
+  NEOSI_RETURN_IF_ERROR(SsiOnWrite(SsiWriteFootprint::Adjacency(src)));
+  if (dst != src) {
+    NEOSI_RETURN_IF_ERROR(SsiOnWrite(SsiWriteFootprint::Adjacency(dst)));
+  }
+  for (const auto& [key, value] : prop_map) {
+    NEOSI_RETURN_IF_ERROR(
+        SsiOnWrite(SsiWriteFootprint::RelProperty(key, value)));
+  }
   return *rel_id;
 }
 
@@ -507,7 +600,15 @@ Status Transaction::DeleteRelationship(RelId id) {
     }
   }
 
+  NEOSI_RETURN_IF_ERROR(
+      SsiOnWrite(SsiWriteFootprint::Entity(EntityKey::Rel(id))));
+  NEOSI_RETURN_IF_ERROR(SsiOnWrite(SsiWriteFootprint::Adjacency(rel->src)));
+  if (rel->dst != rel->src) {
+    NEOSI_RETURN_IF_ERROR(SsiOnWrite(SsiWriteFootprint::Adjacency(rel->dst)));
+  }
   for (const auto& [key, value] : (*pending)->data.props) {
+    NEOSI_RETURN_IF_ERROR(
+        SsiOnWrite(SsiWriteFootprint::RelProperty(key, value)));
     engine_->rel_prop_index.RemovePending(key, value, id, id_);
     index_ops_.push_back(
         {IndexOp::Kind::kRelPropRemove, id, kInvalidToken, key, value});
@@ -528,17 +629,23 @@ Status Transaction::SetRelProperty(RelId id, const std::string& key,
 
   auto& props = (*pending)->data.props;
   auto it = props.find(*token);
+  NEOSI_RETURN_IF_ERROR(
+      SsiOnWrite(SsiWriteFootprint::Entity(EntityKey::Rel(id))));
   if (it != props.end()) {
     if (it->second == value) return Status::OK();
+    NEOSI_RETURN_IF_ERROR(
+        SsiOnWrite(SsiWriteFootprint::RelProperty(*token, it->second)));
     engine_->rel_prop_index.RemovePending(*token, it->second, id, id_);
     index_ops_.push_back({IndexOp::Kind::kRelPropRemove, id, kInvalidToken,
                           *token, it->second});
   }
+  NEOSI_RETURN_IF_ERROR(
+      SsiOnWrite(SsiWriteFootprint::RelProperty(*token, value)));
   engine_->rel_prop_index.AddPending(*token, value, id, id_);
   index_ops_.push_back(
       {IndexOp::Kind::kRelPropAdd, id, kInvalidToken, *token, value});
-  props[*token] = value;
-  wal_ops_.push_back(WalOp::SetRelProperty(id, *token, std::move(value)));
+  props[*token] = std::move(value);
+  wal_ops_.push_back(WalOp::RelState(id, props));
   return Status::OK();
 }
 
@@ -553,16 +660,22 @@ Status Transaction::RemoveRelProperty(RelId id, const std::string& key) {
   auto& props = (*pending)->data.props;
   auto it = props.find(*token);
   if (it == props.end()) return Status::OK();
+  NEOSI_RETURN_IF_ERROR(
+      SsiOnWrite(SsiWriteFootprint::Entity(EntityKey::Rel(id))));
+  NEOSI_RETURN_IF_ERROR(
+      SsiOnWrite(SsiWriteFootprint::RelProperty(*token, it->second)));
   engine_->rel_prop_index.RemovePending(*token, it->second, id, id_);
   index_ops_.push_back({IndexOp::Kind::kRelPropRemove, id, kInvalidToken,
                         *token, it->second});
   props.erase(it);
-  wal_ops_.push_back(WalOp::RemoveRelProperty(id, *token));
+  wal_ops_.push_back(WalOp::RelState(id, props));
   return Status::OK();
 }
 
 Status Transaction::DeleteNode(NodeId id) {
   NEOSI_RETURN_IF_ERROR(CheckActive());
+  NEOSI_RETURN_IF_ERROR(FailIfReadOnly());
+  NEOSI_RETURN_IF_ERROR(FailIfDoomed());
 
   // Visible relationships must be removed first (Neo4j semantics).
   auto visible_rels = GetRelationships(id, Direction::kBoth);
@@ -600,12 +713,19 @@ Status Transaction::DeleteNode(NodeId id) {
     }
   }
 
+  NEOSI_RETURN_IF_ERROR(
+      SsiOnWrite(SsiWriteFootprint::Entity(EntityKey::Node(id))));
+  NEOSI_RETURN_IF_ERROR(SsiOnWrite(SsiWriteFootprint::AllNodes()));
+  NEOSI_RETURN_IF_ERROR(SsiOnWrite(SsiWriteFootprint::Adjacency(id)));
   for (LabelId label : (*pending)->data.labels) {
+    NEOSI_RETURN_IF_ERROR(SsiOnWrite(SsiWriteFootprint::Label(label)));
     engine_->label_index.RemovePending(label, id, id_);
     index_ops_.push_back(
         {IndexOp::Kind::kLabelRemove, id, label, kInvalidToken, {}});
   }
   for (const auto& [key, value] : (*pending)->data.props) {
+    NEOSI_RETURN_IF_ERROR(
+        SsiOnWrite(SsiWriteFootprint::NodeProperty(key, value)));
     engine_->node_prop_index.RemovePending(key, value, id, id_);
     index_ops_.push_back(
         {IndexOp::Kind::kNodePropRemove, id, kInvalidToken, key, value});
@@ -625,7 +745,14 @@ Result<std::shared_ptr<const Version>> Transaction::VisibleNodeVersion(
     NodeId id) {
   NEOSI_RETURN_IF_ERROR(CheckActive());
   NEOSI_RETURN_IF_ERROR(FailIfSnapshotExpired());
+  NEOSI_RETURN_IF_ERROR(FailIfDoomed());
   const EntityKey key = EntityKey::Node(id);
+
+  // SIREAD marker BEFORE the walk (a serializable writer stamps its commit
+  // before its post-stamp marker rescan, so one side always observes the
+  // other; see ssi_tracker.h). Inserted even when the read lands NotFound:
+  // the predicate "this id is invisible to me" is still a read.
+  if (ssi_) engine_->ssi.AddEntityRead(ssi_, key);
 
   // Stock Neo4j read committed: short shared read lock around the read.
   const bool short_lock = isolation_ == IsolationLevel::kReadCommitted;
@@ -645,11 +772,17 @@ Result<std::shared_ptr<const Version>> Transaction::VisibleNodeVersion(
     release();
     return node.status();
   }
-  auto version = (*node)->chain.Visible(
-      isolation_ == IsolationLevel::kSnapshotIsolation ? start_ts_
-                                                       : kMaxTimestamp,
-      id_);
-  release();
+  auto version = (*node)->chain.Visible(SnapshotTs(), id_);
+  // Read-time conflict-out: versions committed after our snapshot are
+  // rw-antidependencies this --rw--> writer (we read underneath them).
+  if (ssi_) {
+    std::vector<std::pair<TxnId, Timestamp>> newer;
+    (*node)->chain.CommittedNewerThan(start_ts_, &newer);
+    release();
+    NEOSI_RETURN_IF_ERROR(SsiObserveNewer(newer));
+  } else {
+    release();
+  }
   // Post-walk expiry check: if the sweep marked us DURING the walk, the
   // version we resolved (or the NotFound we are about to report) may
   // reflect reclaimed state — fail the read instead.
@@ -664,7 +797,12 @@ Result<std::shared_ptr<const Version>> Transaction::VisibleRelVersion(
     RelId id) {
   NEOSI_RETURN_IF_ERROR(CheckActive());
   NEOSI_RETURN_IF_ERROR(FailIfSnapshotExpired());
+  NEOSI_RETURN_IF_ERROR(FailIfDoomed());
   const EntityKey key = EntityKey::Rel(id);
+
+  // SIREAD marker BEFORE the walk (see VisibleNodeVersion).
+  if (ssi_) engine_->ssi.AddEntityRead(ssi_, key);
+
   const bool short_lock = isolation_ == IsolationLevel::kReadCommitted;
   if (short_lock) {
     Status s = engine_->lock_manager.AcquireShared(id_, key);
@@ -682,11 +820,15 @@ Result<std::shared_ptr<const Version>> Transaction::VisibleRelVersion(
     release();
     return rel.status();
   }
-  auto version = (*rel)->chain.Visible(
-      isolation_ == IsolationLevel::kSnapshotIsolation ? start_ts_
-                                                       : kMaxTimestamp,
-      id_);
-  release();
+  auto version = (*rel)->chain.Visible(SnapshotTs(), id_);
+  if (ssi_) {
+    std::vector<std::pair<TxnId, Timestamp>> newer;
+    (*rel)->chain.CommittedNewerThan(start_ts_, &newer);
+    release();
+    NEOSI_RETURN_IF_ERROR(SsiObserveNewer(newer));
+  } else {
+    release();
+  }
   // Post-walk expiry check (see VisibleNodeVersion).
   NEOSI_RETURN_IF_ERROR(FailIfSnapshotExpired());
   if (!version || version->data.deleted) {
@@ -779,8 +921,14 @@ bool Transaction::RelExists(RelId id) { return VisibleRelVersion(id).ok(); }
 Result<std::vector<NodeId>> Transaction::AllNodes() {
   NEOSI_RETURN_IF_ERROR(CheckActive());
   NEOSI_RETURN_IF_ERROR(FailIfSnapshotExpired());
+  NEOSI_RETURN_IF_ERROR(FailIfDoomed());
   std::vector<NodeId> out;
   const Snapshot snap = ReadSnapshot();
+
+  // Full-scan predicate read: the all-nodes SIREAD range marker makes any
+  // later node creation/deletion a rw-antidependency into this transaction.
+  if (ssi_) engine_->ssi.AddAllNodesRead(ssi_);
+  std::vector<std::pair<TxnId, Timestamp>> newer;
 
   // Persistent store scan merged with cached versions: the enriched
   // iterator of §4. Tombstoned records are still in the store; visibility
@@ -790,9 +938,11 @@ Result<std::vector<NodeId>> Transaction::AllNodes() {
     if (!node.ok()) return Status::OK();  // Purged between scan and resolve.
     auto version = (*node)->chain.Visible(snap.start_ts, snap.txn_id);
     if (version && !version->data.deleted) out.push_back(id);
+    if (ssi_) (*node)->chain.CommittedNewerThan(start_ts_, &newer);
     return Status::OK();
   });
   NEOSI_RETURN_IF_ERROR(s);
+  NEOSI_RETURN_IF_ERROR(SsiObserveNewer(newer));
 
   // Own created (still uncommitted) nodes are not in the store yet.
   for (NodeId id : created_nodes_) {
@@ -812,13 +962,23 @@ Result<std::vector<NodeId>> Transaction::AllNodes() {
 Result<std::vector<NodeId>> Transaction::GetNodesByLabel(
     const std::string& label) {
   NEOSI_RETURN_IF_ERROR(CheckActive());
+  NEOSI_RETURN_IF_ERROR(FailIfDoomed());
   auto token = LabelToken(label, /*create=*/false);
   if (!token.ok()) {
     if (token.status().IsNotFound()) return std::vector<NodeId>{};
     return token.status();
   }
+  // Label-range SIREAD marker before the lookup; anonymous conflict-out
+  // after it (index entries only carry commit timestamps, not writer ids —
+  // see SsiObserveAnonymous).
+  if (ssi_) engine_->ssi.AddLabelRead(ssi_, *token);
   std::vector<NodeId> out = engine_->label_index.Lookup(*token,
                                                         ReadSnapshot());
+  if (ssi_) {
+    std::vector<Timestamp> conflicts;
+    engine_->label_index.CollectConflictsOut(*token, start_ts_, &conflicts);
+    NEOSI_RETURN_IF_ERROR(SsiObserveAnonymous(conflicts));
+  }
   std::sort(out.begin(), out.end());
   NEOSI_RETURN_IF_ERROR(FailIfSnapshotExpired());
   return out;
@@ -827,13 +987,22 @@ Result<std::vector<NodeId>> Transaction::GetNodesByLabel(
 Result<std::vector<NodeId>> Transaction::GetNodesByProperty(
     const std::string& key, const PropertyValue& value) {
   NEOSI_RETURN_IF_ERROR(CheckActive());
+  NEOSI_RETURN_IF_ERROR(FailIfDoomed());
   auto token = PropKeyToken(key, /*create=*/false);
   if (!token.ok()) {
     if (token.status().IsNotFound()) return std::vector<NodeId>{};
     return token.status();
   }
+  if (ssi_) engine_->ssi.AddPropertyRead(ssi_, /*node=*/true, *token,
+                                         value, value);
   std::vector<NodeId> out =
       engine_->node_prop_index.Lookup(*token, value, ReadSnapshot());
+  if (ssi_) {
+    std::vector<Timestamp> conflicts;
+    engine_->node_prop_index.CollectConflictsOut(*token, value, value,
+                                                 start_ts_, &conflicts);
+    NEOSI_RETURN_IF_ERROR(SsiObserveAnonymous(conflicts));
+  }
   std::sort(out.begin(), out.end());
   NEOSI_RETURN_IF_ERROR(FailIfSnapshotExpired());
   return out;
@@ -843,13 +1012,21 @@ Result<std::vector<NodeId>> Transaction::GetNodesByPropertyRange(
     const std::string& key, const std::optional<PropertyValue>& lo,
     const std::optional<PropertyValue>& hi) {
   NEOSI_RETURN_IF_ERROR(CheckActive());
+  NEOSI_RETURN_IF_ERROR(FailIfDoomed());
   auto token = PropKeyToken(key, /*create=*/false);
   if (!token.ok()) {
     if (token.status().IsNotFound()) return std::vector<NodeId>{};
     return token.status();
   }
+  if (ssi_) engine_->ssi.AddPropertyRead(ssi_, /*node=*/true, *token, lo, hi);
   std::vector<NodeId> out =
       engine_->node_prop_index.Scan(*token, lo, hi, ReadSnapshot());
+  if (ssi_) {
+    std::vector<Timestamp> conflicts;
+    engine_->node_prop_index.CollectConflictsOut(*token, lo, hi, start_ts_,
+                                                 &conflicts);
+    NEOSI_RETURN_IF_ERROR(SsiObserveAnonymous(conflicts));
+  }
   NEOSI_RETURN_IF_ERROR(FailIfSnapshotExpired());
   return out;
 }
@@ -857,13 +1034,22 @@ Result<std::vector<NodeId>> Transaction::GetNodesByPropertyRange(
 Result<std::vector<RelId>> Transaction::GetRelsByProperty(
     const std::string& key, const PropertyValue& value) {
   NEOSI_RETURN_IF_ERROR(CheckActive());
+  NEOSI_RETURN_IF_ERROR(FailIfDoomed());
   auto token = PropKeyToken(key, /*create=*/false);
   if (!token.ok()) {
     if (token.status().IsNotFound()) return std::vector<RelId>{};
     return token.status();
   }
+  if (ssi_) engine_->ssi.AddPropertyRead(ssi_, /*node=*/false, *token,
+                                         value, value);
   std::vector<RelId> out =
       engine_->rel_prop_index.Lookup(*token, value, ReadSnapshot());
+  if (ssi_) {
+    std::vector<Timestamp> conflicts;
+    engine_->rel_prop_index.CollectConflictsOut(*token, value, value,
+                                                start_ts_, &conflicts);
+    NEOSI_RETURN_IF_ERROR(SsiObserveAnonymous(conflicts));
+  }
   std::sort(out.begin(), out.end());
   NEOSI_RETURN_IF_ERROR(FailIfSnapshotExpired());
   return out;
@@ -888,6 +1074,11 @@ Result<std::vector<RelId>> Transaction::GetRelationships(
     type_token = *token;
   }
 
+  // Adjacency-range SIREAD marker: later relationship creation/deletion
+  // touching this node is a rw-antidependency into this transaction (the
+  // anchor read above already left its own entity marker).
+  if (ssi_) engine_->ssi.AddAdjacencyRead(ssi_, node);
+
   // Enriched iterator (§4): persistent relationship chain merged with the
   // transaction's own in-cache, not-yet-committed relationships.
   std::vector<RelId> candidates;
@@ -901,10 +1092,12 @@ Result<std::vector<RelId>> Transaction::GetRelationships(
 
   const Snapshot snap = ReadSnapshot();
   std::vector<RelId> out;
+  std::vector<std::pair<TxnId, Timestamp>> newer;
   for (RelId rel_id : candidates) {
     auto rel = engine_->cache->GetRel(rel_id);
     if (!rel.ok()) continue;  // Purged concurrently: invisible regardless.
     auto version = (*rel)->chain.Visible(snap.start_ts, snap.txn_id);
+    if (ssi_) (*rel)->chain.CommittedNewerThan(start_ts_, &newer);
     if (!version || version->data.deleted) continue;
 
     const bool outgoing = (*rel)->src == node;
@@ -914,6 +1107,7 @@ Result<std::vector<RelId>> Transaction::GetRelationships(
     if (type_token != kInvalidToken && (*rel)->type != type_token) continue;
     out.push_back(rel_id);
   }
+  NEOSI_RETURN_IF_ERROR(SsiObserveNewer(newer));
   // Post-scan expiry check (see AllNodes).
   NEOSI_RETURN_IF_ERROR(FailIfSnapshotExpired());
   return out;
@@ -951,6 +1145,7 @@ Status Transaction::Commit() {
   // and releases every lock, so an expired writer cannot park a lock set
   // behind a commit that is doomed anyway.
   NEOSI_RETURN_IF_ERROR(FailIfSnapshotExpired());
+  NEOSI_RETURN_IF_ERROR(FailIfDoomed());
 
   PruneAnnihilated();
   if (writes_.empty()) return CommitTokenOnly();
@@ -963,6 +1158,22 @@ Status Transaction::Commit() {
   // read is done, validation pinned the write set under long locks, and
   // the commit's own effects carry its fresh commit timestamp.
   NEOSI_RETURN_IF_ERROR(FailIfSnapshotExpired());
+  // SSI dangerous-structure gate: serialized with every other serializable
+  // commit decision under the tracker's commit mutex, which stays held
+  // through the post-stamp rescan below — a concurrent serializable
+  // reader's own commit decision therefore cannot interleave into the
+  // window where our stamps and edges are only partially published. On
+  // success we are in kCommitting — any peer's later check treats us as
+  // committed.
+  std::unique_lock<std::mutex> ssi_commit_guard;
+  if (ssi_) {
+    Status ssi_s =
+        engine_->ssi.PreCommitCheck(ssi_, ssi_footprints_, &ssi_commit_guard);
+    if (!ssi_s.ok()) {
+      RollbackLocked();
+      return ssi_s;
+    }
+  }
   const Timestamp ts = engine_->oracle.NextCommitTs();
   // Timestamps are dense: every exit below must hand `ts` back to the
   // oracle via FinishCommit, or the publication watermark stalls.
@@ -1014,10 +1225,26 @@ Status Transaction::Commit() {
   }
   StampIndexes(ts);
 
+  // SSI finish BEFORE the oracle publishes ts — a reader that can observe
+  // this commit must find its SIREAD edges fully recorded — then the
+  // post-stamp rescan: any marker inserted by a reader that walked our
+  // chains before our stamps became visible is picked up here (the reader
+  // inserts its marker before walking; we stamp before rescanning; one
+  // side always sees the other).
+  if (ssi_) {
+    engine_->ssi.FinishCommit(ssi_, ts);
+    engine_->ssi.OnPostStamp(ssi_, ssi_footprints_);
+    ssi_commit_guard.unlock();
+  }
+
   // Stage 4 — ordered publication: the watermark advances past ts once
   // every lower timestamp has also finished, and only then can a new
   // snapshot observe this commit.
   engine_->oracle.FinishCommit(ts);
+  // Only now is the published read timestamp a lower bound on future
+  // snapshots — tell the tracker, so SIREAD/edge pruning can advance past
+  // the commits that are no longer observable.
+  engine_->ssi.AdvanceSnapshotFloor(engine_->oracle.ReadTs());
 
   engine_->lock_manager.ReleaseAll(id_);
   engine_->active_txns.Unregister(id_);
@@ -1127,6 +1354,19 @@ void Transaction::PruneAnnihilated() {
 }
 
 Status Transaction::CommitTokenOnly() {
+  NEOSI_RETURN_IF_ERROR(FailIfDoomed());
+  // Even a read-only serializable commit must pass the dangerous-structure
+  // gate: a committed reader can be the incoming side of a pivot (that is
+  // exactly the read-only-anomaly shape).
+  std::unique_lock<std::mutex> ssi_commit_guard;
+  if (ssi_) {
+    Status ssi_s =
+        engine_->ssi.PreCommitCheck(ssi_, ssi_footprints_, &ssi_commit_guard);
+    if (!ssi_s.ok()) {
+      RollbackLocked();
+      return ssi_s;
+    }
+  }
   // Read-only (or fully annihilated): nothing to apply or log, but token
   // creations (never rolled back) may still need to reach the WAL — and
   // must honour sync_commits like any other commit: the tokens are durable
@@ -1147,6 +1387,14 @@ Status Transaction::CommitTokenOnly() {
       return lsn.status();
     }
   }
+  // Commit timestamp for a writeless serializable txn: the newest read
+  // timestamp bounds everything it observed, which is what peers' danger
+  // checks compare against (critical for the read-only anomaly, where the
+  // reader's commit ORDER relative to the pivot's out-neighbour matters).
+  if (ssi_) {
+    engine_->ssi.FinishCommit(ssi_, engine_->oracle.ReadTs());
+    ssi_commit_guard.unlock();
+  }
   engine_->lock_manager.ReleaseAll(id_);
   engine_->active_txns.Unregister(id_);
   state_ = TxnState::kCommitted;
@@ -1154,7 +1402,7 @@ Status Transaction::CommitTokenOnly() {
 }
 
 Status Transaction::ValidateCommit() {
-  if (isolation_ != IsolationLevel::kSnapshotIsolation ||
+  if (!UsesSnapshotReads() ||
       engine_->options.conflict_policy != ConflictPolicy::kFirstCommitterWins) {
     return Status::OK();
   }
@@ -1313,6 +1561,10 @@ void Transaction::RollbackLocked() {
   }
   index_ops_.clear();
   wal_ops_.clear();
+
+  // SSI: drop out of the tracker (prunes our markers, breaks our edges).
+  // Idempotent and a no-op if we already reached kCommitted.
+  if (ssi_) engine_->ssi.Abort(ssi_);
 
   engine_->lock_manager.ReleaseAll(id_);
   engine_->active_txns.Unregister(id_);

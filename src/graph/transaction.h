@@ -134,6 +134,10 @@ class Transaction {
 
   // --- lifecycle -----------------------------------------------------------
 
+  /// True for transactions opened with TransactionOptions::read_only; every
+  /// write operation fails with FailedPrecondition.
+  bool read_only() const { return read_only_; }
+
   /// Commits; on any failure the transaction is rolled back and the error
   /// returned (Status::IsRetryable() distinguishes conflict aborts).
   Status Commit();
@@ -149,7 +153,9 @@ class Transaction {
 
   Transaction(Engine* engine, IsolationLevel isolation, TxnId id,
               Timestamp start_ts,
-              std::shared_ptr<const std::atomic<bool>> expired);
+              std::shared_ptr<const std::atomic<bool>> expired,
+              std::shared_ptr<SsiTxnInfo> ssi = nullptr,
+              bool read_only = false);
 
   /// One pending index mutation, replayed as commit/abort stamps.
   struct IndexOp {
@@ -176,10 +182,22 @@ class Transaction {
     bool created = false;
   };
 
+  /// True for the snapshot-based levels (kSnapshotIsolation and
+  /// kSerializable, which layers SSI on the same snapshot machinery);
+  /// false only for kReadCommitted.
+  bool UsesSnapshotReads() const {
+    return isolation_ != IsolationLevel::kReadCommitted;
+  }
+
+  /// The timestamp visibility walks read at: the snapshot for the
+  /// snapshot-based levels, latest-committed for read committed.
+  Timestamp SnapshotTs() const {
+    return UsesSnapshotReads() ? start_ts_ : kMaxTimestamp;
+  }
+
   Snapshot ReadSnapshot() const {
-    return isolation_ == IsolationLevel::kSnapshotIsolation
-               ? Snapshot{start_ts_, id_}
-               : Snapshot::Latest(id_);
+    return UsesSnapshotReads() ? Snapshot{start_ts_, id_}
+                               : Snapshot::Latest(id_);
   }
 
   Status CheckActive() const;
@@ -277,6 +295,31 @@ class Transaction {
   /// Abort internals shared by Abort() and failed Commit().
   void RollbackLocked();
 
+  // --- SSI hooks (all no-ops unless this is a tracked kSerializable
+  //     transaction; see txn/ssi_tracker.h for the protocol) ---------------
+
+  /// Rejects the write if the transaction was opened read-only.
+  Status FailIfReadOnly() const;
+
+  /// Doomed-flag poll (set by a committing peer whose dangerous structure
+  /// this transaction pivots). Rolls back and returns SerializationFailure
+  /// when set.
+  Status FailIfDoomed();
+
+  /// Write-time marker scan for one footprint; records the footprint for
+  /// the post-stamp rescan. Rolls back and returns SerializationFailure
+  /// when the write makes this transaction a dangerous pivot.
+  Status SsiOnWrite(SsiWriteFootprint fp);
+
+  /// Read-time conflict-out for tracked writers found on a version chain
+  /// (CommittedNewerThan output). Rolls back on SerializationFailure.
+  Status SsiObserveNewer(
+      const std::vector<std::pair<TxnId, Timestamp>>& newer);
+
+  /// Read-time conflict-out for anonymous index-entry commits
+  /// (CollectConflictsOut output). Rolls back on SerializationFailure.
+  Status SsiObserveAnonymous(const std::vector<Timestamp>& commits);
+
   Engine* const engine_;
   const IsolationLevel isolation_;
   const TxnId id_;
@@ -284,6 +327,12 @@ class Transaction {
   /// Expiry flag shared with the ActiveTxnTable registration (set by the
   /// GC daemon's expiry sweep; null only for recovery-internal handles).
   const std::shared_ptr<const std::atomic<bool>> expired_;
+  /// SSI record in the engine's tracker; null for SI/RC transactions and
+  /// for read-only serializable transactions on a safe snapshot.
+  const std::shared_ptr<SsiTxnInfo> ssi_;
+  /// TransactionOptions::read_only (writes rejected with
+  /// FailedPrecondition).
+  const bool read_only_;
   Timestamp commit_ts_ = kNoTimestamp;
   TxnState state_ = TxnState::kActive;
 
@@ -295,6 +344,8 @@ class Transaction {
   std::unordered_map<NodeId, std::vector<RelId>> created_rels_by_node_;
   /// Nodes created by this txn (merged into AllNodes()).
   std::vector<NodeId> created_nodes_;
+  /// Write footprints replayed for the SSI post-stamp marker rescan.
+  std::vector<SsiWriteFootprint> ssi_footprints_;
 };
 
 }  // namespace neosi

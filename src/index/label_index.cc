@@ -59,6 +59,12 @@ bool LabelIndex::Has(LabelId label, NodeId node, const Snapshot& snap) const {
   return set != nullptr && set->Contains(node, snap);
 }
 
+void LabelIndex::CollectConflictsOut(LabelId label, Timestamp start_ts,
+                                     std::vector<Timestamp>* out) const {
+  const VersionedEntrySet* set = FindSet(label);
+  if (set != nullptr) set->CollectConflictsOut(start_ts, out);
+}
+
 size_t LabelIndex::Compact(Timestamp watermark) {
   std::vector<VersionedEntrySet*> sets;
   {

@@ -42,6 +42,12 @@ class LabelIndex {
   /// True if `node` carries `label` in the snapshot.
   bool Has(LabelId label, NodeId node, const Snapshot& snap) const;
 
+  /// Commit timestamps of membership changes under `label` committed after
+  /// `start_ts` (anonymous SSI conflict-out edges for a label scan at that
+  /// snapshot; see VersionedEntrySet::CollectConflictsOut).
+  void CollectConflictsOut(LabelId label, Timestamp start_ts,
+                           std::vector<Timestamp>* out) const;
+
   /// GC hook: drops dead entries across all labels; returns entries dropped.
   size_t Compact(Timestamp watermark);
 

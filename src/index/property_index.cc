@@ -75,6 +75,21 @@ std::vector<uint64_t> PropertyIndex::Scan(
   return out;
 }
 
+void PropertyIndex::CollectConflictsOut(PropertyKeyId key,
+                                        const std::optional<PropertyValue>& lo,
+                                        const std::optional<PropertyValue>& hi,
+                                        Timestamp start_ts,
+                                        std::vector<Timestamp>* out) const {
+  ReadGuard guard(latch_);
+  auto it = lo.has_value() ? sets_.lower_bound({key, *lo})
+                           : sets_.lower_bound({key, PropertyValue()});
+  for (; it != sets_.end(); ++it) {
+    if (it->first.key != key) break;
+    if (hi.has_value() && *hi < it->first.value) break;
+    it->second->CollectConflictsOut(start_ts, out);
+  }
+}
+
 size_t PropertyIndex::Compact(Timestamp watermark) {
   std::vector<VersionedEntrySet*> sets;
   {

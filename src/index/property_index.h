@@ -67,6 +67,16 @@ class PropertyIndex {
                              const std::optional<PropertyValue>& hi,
                              const Snapshot& snap) const;
 
+  /// Commit timestamps of membership changes committed after `start_ts`
+  /// within the value range [lo, hi] of `key` (either bound optional,
+  /// inclusive) — anonymous SSI conflict-out edges for a scan of that range
+  /// at that snapshot; see VersionedEntrySet::CollectConflictsOut.
+  void CollectConflictsOut(PropertyKeyId key,
+                           const std::optional<PropertyValue>& lo,
+                           const std::optional<PropertyValue>& hi,
+                           Timestamp start_ts,
+                           std::vector<Timestamp>* out) const;
+
   size_t Compact(Timestamp watermark);
 
   PropertyIndexStats Stats() const;

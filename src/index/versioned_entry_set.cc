@@ -86,6 +86,20 @@ bool VersionedEntrySet::Contains(uint64_t entity, const Snapshot& snap) const {
   return false;
 }
 
+void VersionedEntrySet::CollectConflictsOut(Timestamp start_ts,
+                                            std::vector<Timestamp>* out) const {
+  std::lock_guard<SpinLatch> guard(latch_);
+  for (const IndexEntry& entry : entries_) {
+    if (entry.added_ts != kNoTimestamp && entry.added_ts > start_ts) {
+      out->push_back(entry.added_ts);
+    }
+    if (entry.removed_ts != kMaxTimestamp && entry.removed_by == kNoTxn &&
+        entry.removed_ts > start_ts) {
+      out->push_back(entry.removed_ts);
+    }
+  }
+}
+
 size_t VersionedEntrySet::Compact(Timestamp watermark) {
   std::lock_guard<SpinLatch> guard(latch_);
   const size_t before = entries_.size();

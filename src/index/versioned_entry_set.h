@@ -77,6 +77,15 @@ class VersionedEntrySet {
   /// True if `entity` is visible at `snap`.
   bool Contains(uint64_t entity, const Snapshot& snap) const;
 
+  /// Appends the commit timestamp of every membership change (add or
+  /// remove) committed after `start_ts` — the index mutations a scan at
+  /// `start_ts` could not observe. The SSI read path turns each into an
+  /// ANONYMOUS rw-antidependency conflict-out edge: CommitAdd/CommitRemove
+  /// clear the writer TxnId on commit, so the timestamp is all that
+  /// survives (granularity trade-off documented in ARCHITECTURE.md).
+  void CollectConflictsOut(Timestamp start_ts,
+                           std::vector<Timestamp>* out) const;
+
   /// Drops entries whose removal committed at or before the watermark, and
   /// fully-superseded duplicates. Returns the number of entries dropped.
   size_t Compact(Timestamp watermark);

@@ -145,6 +145,28 @@ Timestamp VersionChain::NewestCommitTs() const {
   return kNoTimestamp;
 }
 
+void VersionChain::CommittedNewerThan(
+    Timestamp start_ts, std::vector<std::pair<TxnId, Timestamp>>* out) const {
+  if (epochs_ == nullptr) {
+    std::lock_guard<SpinLatch> guard(latch_);
+    for (std::shared_ptr<Version> v = head_; v; v = v->older) {
+      if (!v->committed()) continue;  // Private to an in-flight writer.
+      const Timestamp ts = v->commit_ts.load(std::memory_order_relaxed);
+      if (ts <= start_ts) break;  // Newest-first: everything older is too.
+      out->emplace_back(v->writer, ts);
+    }
+    return;
+  }
+  EpochManager::Guard guard(epochs_);
+  for (const Version* v = head_raw_.load(std::memory_order_acquire); v;
+       v = v->older_raw.load(std::memory_order_acquire)) {
+    const Timestamp ts = v->commit_ts.load(std::memory_order_acquire);
+    if (ts == kNoTimestamp) continue;
+    if (ts <= start_ts) break;
+    out->emplace_back(v->writer, ts);
+  }
+}
+
 bool VersionChain::Remove(const std::shared_ptr<Version>& target) {
   std::lock_guard<SpinLatch> guard(latch_);
   if (!head_) return false;

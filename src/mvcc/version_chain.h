@@ -23,6 +23,8 @@
 
 #include <atomic>
 #include <memory>
+#include <utility>
+#include <vector>
 
 #include "common/latch.h"
 #include "common/status.h"
@@ -87,6 +89,15 @@ class VersionChain {
   /// none). Latch-free in epoch mode (used on the write-conflict path,
   /// which holds the entity's write lock but races GC unlinks).
   Timestamp NewestCommitTs() const;
+
+  /// Appends (writer, commit_ts) of every committed version with
+  /// commit_ts > start_ts — the versions a snapshot at start_ts cannot see
+  /// because their writers committed after it. The SSI read path turns each
+  /// into an rw-antidependency conflict-out edge. Stops at the first
+  /// committed version <= start_ts (the chain is newest-first). Latch-free
+  /// in epoch mode.
+  void CommittedNewerThan(Timestamp start_ts,
+                          std::vector<std::pair<TxnId, Timestamp>>* out) const;
 
   /// Unlinks a specific version (GC). Returns true if found and removed.
   /// Epoch mode retires the version into limbo instead of dropping the

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <map>
 #include <thread>
 #include <sys/stat.h>
@@ -11,6 +14,28 @@
 namespace neosi {
 
 namespace {
+
+/// Recovery event trace, enabled by NEOSI_RECOVER_TRACE=stderr|<path>.
+/// Recovery is single-threaded, so no lock is needed. Zero cost when the
+/// variable is unset (one getenv on first use).
+FILE* RecoverTraceFile() {
+  static FILE* f = [] {
+    const char* p = std::getenv("NEOSI_RECOVER_TRACE");
+    if (p == nullptr || *p == '\0') return static_cast<FILE*>(nullptr);
+    if (std::strcmp(p, "stderr") == 0) return stderr;
+    return std::fopen(p, "w");
+  }();
+  return f;
+}
+
+#define NEOSI_RECOVER_TRACE(...)                      \
+  do {                                                \
+    if (FILE* trace_f_ = RecoverTraceFile()) {        \
+      std::fprintf(trace_f_, __VA_ARGS__);            \
+      std::fputc('\n', trace_f_);                     \
+      std::fflush(trace_f_);                          \
+    }                                                 \
+  } while (0)
 
 /// Encodes a label id list as a dynamic-store blob.
 std::string EncodeLabelBlob(const std::vector<LabelId>& labels) {
@@ -267,10 +292,10 @@ Status GraphStore::PersistNodeState(NodeId id,
   DynId old_blob = kInvalidDynId;
   NEOSI_RETURN_IF_ERROR(StoreLabels(&rec, labels, &old_blob));
   NEOSI_RETURN_IF_ERROR(WriteNodeRecord(id, rec));
-  if (old_chain != kInvalidPropId) {
+  if (old_chain != kInvalidPropId && !recovering_) {
     NEOSI_RETURN_IF_ERROR(props_->FreeChain(old_chain));
   }
-  if (old_blob != kInvalidDynId) {
+  if (old_blob != kInvalidDynId && !recovering_) {
     NEOSI_RETURN_IF_ERROR(label_dyn_->FreeBlob(old_blob));
   }
   return Status::OK();
@@ -293,10 +318,10 @@ Status GraphStore::PersistNodeTombstone(NodeId id, Timestamp ts) {
   rec.deleted = true;
   rec.commit_ts = ts;
   NEOSI_RETURN_IF_ERROR(WriteNodeRecord(id, rec));
-  if (old_chain != kInvalidPropId) {
+  if (old_chain != kInvalidPropId && !recovering_) {
     NEOSI_RETURN_IF_ERROR(props_->FreeChain(old_chain));
   }
-  if (old_blob != kInvalidDynId) {
+  if (old_blob != kInvalidDynId && !recovering_) {
     NEOSI_RETURN_IF_ERROR(label_dyn_->FreeBlob(old_blob));
   }
   return Status::OK();
@@ -380,7 +405,7 @@ Status GraphStore::PersistRelState(RelId id, const PropertyMap& props,
   rec.deleted = false;
   rec.commit_ts = ts;
   NEOSI_RETURN_IF_ERROR(WriteRelRecord(id, rec));
-  if (old_chain != kInvalidPropId) {
+  if (old_chain != kInvalidPropId && !recovering_) {
     NEOSI_RETURN_IF_ERROR(props_->FreeChain(old_chain));
   }
   return Status::OK();
@@ -402,7 +427,7 @@ Status GraphStore::PersistRelTombstone(RelId id, Timestamp ts) {
   rec.deleted = true;
   rec.commit_ts = ts;
   NEOSI_RETURN_IF_ERROR(WriteRelRecord(id, rec));
-  if (old_chain != kInvalidPropId) {
+  if (old_chain != kInvalidPropId && !recovering_) {
     NEOSI_RETURN_IF_ERROR(props_->FreeChain(old_chain));
   }
   return Status::OK();
@@ -433,10 +458,10 @@ Status GraphStore::PurgeNode(NodeId id) {
   // replayed purge skips the already-free record), whereas the reverse
   // order would leave an in-use record pointing at freed chains.
   NEOSI_RETURN_IF_ERROR(nodes_->Free(id));
-  if (rec.first_prop != kInvalidPropId) {
+  if (rec.first_prop != kInvalidPropId && !recovering_) {
     NEOSI_RETURN_IF_ERROR(props_->FreeChain(rec.first_prop));
   }
-  if (rec.label_overflow != kInvalidDynId) {
+  if (rec.label_overflow != kInvalidDynId && !recovering_) {
     NEOSI_RETURN_IF_ERROR(label_dyn_->FreeBlob(rec.label_overflow));
   }
   return Status::OK();
@@ -508,7 +533,7 @@ Status GraphStore::PurgeRel(RelId id) {
   }
   // Record first, chain second (see PurgeNode).
   NEOSI_RETURN_IF_ERROR(rels_->Free(id));
-  if (rec.first_prop != kInvalidPropId) {
+  if (rec.first_prop != kInvalidPropId && !recovering_) {
     NEOSI_RETURN_IF_ERROR(props_->FreeChain(rec.first_prop));
   }
   return Status::OK();
@@ -676,8 +701,31 @@ Status GraphStore::ApplyWalOp(const WalOp& op, Timestamp commit_ts) {
       NEOSI_RETURN_IF_ERROR(nodes_->EnsureAllocated(op.id));
       NodeRecord rec;
       NEOSI_RETURN_IF_ERROR(ReadNodeRecord(op.id, &rec));
-      if (rec.in_use && rec.commit_ts >= commit_ts) return Status::OK();
+      if (rec.in_use && rec.commit_ts >= commit_ts) {
+        if (rec.commit_ts == commit_ts) {
+          // This op's own apply may be only partially on disk (record
+          // flushed, property chain not, or vice versa): rewrite the full
+          // state rather than trusting the chain the record points at.
+          return PersistNodeState(op.id, op.labels, op.props, commit_ts);
+        }
+        return Status::OK();
+      }
       return PersistNewNode(op.id, op.labels, op.props, commit_ts);
+    }
+
+    case WalOpType::kNodeState: {
+      // Full post-state: record-local replay, no pre-state read. Re-apply
+      // at ts equality (== means THIS op's apply may be the torn one). The
+      // record must exist: its create op either precedes this op in the
+      // replayed suffix or was persisted before the stable LSN. A free
+      // record means a later purge was already applied — the op is stale,
+      // and recreating the record would desync the recycled-id free list.
+      if (op.id >= nodes_->high_id()) return Status::OK();
+      NodeRecord rec;
+      NEOSI_RETURN_IF_ERROR(ReadNodeRecord(op.id, &rec));
+      if (!rec.in_use) return Status::OK();
+      if (rec.commit_ts > commit_ts) return Status::OK();
+      return PersistNodeState(op.id, op.labels, op.props, commit_ts);
     }
 
     case WalOpType::kDeleteNode: {
@@ -728,12 +776,30 @@ Status GraphStore::ApplyWalOp(const WalOp& op, Timestamp commit_ts) {
       RelationshipRecord rec;
       NEOSI_RETURN_IF_ERROR(ReadRelRecord(op.id, &rec));
       if (rec.in_use && rec.commit_ts >= commit_ts) {
+        if (rec.commit_ts == commit_ts) {
+          // The creating apply may be only partially on disk: rewrite the
+          // property chain before repairing the links (see kCreateNode).
+          NEOSI_RETURN_IF_ERROR(PersistRelState(op.id, op.props, commit_ts));
+        }
         // Record present; repair the chain links if the crash interrupted
         // the surgery between record write and chain rewiring.
         return EnsureRelLinked(op.id);
       }
       return PersistNewRel(op.id, op.src, op.dst, op.rel_type, op.props,
                            commit_ts);
+    }
+
+    case WalOpType::kRelState: {
+      // Full post-state (see kNodeState). The record must exist: its create
+      // op either precedes this op in the replayed suffix or was persisted
+      // before the stable LSN. A free record here means a later purge was
+      // already applied — the op is stale; skip it.
+      if (op.id >= rels_->high_id()) return Status::OK();
+      RelationshipRecord rec;
+      NEOSI_RETURN_IF_ERROR(ReadRelRecord(op.id, &rec));
+      if (!rec.in_use) return Status::OK();
+      if (rec.commit_ts > commit_ts) return Status::OK();
+      return PersistRelState(op.id, op.props, commit_ts);
     }
 
     case WalOpType::kDeleteRel: {
@@ -844,14 +910,69 @@ Result<Timestamp> GraphStore::Recover() {
   // Pass 2: replay the suffix at or above the last stable LSN. Replay stays
   // idempotent, so overlap with already-applied state is repaired, not
   // double-applied.
-  s = wal_->ReadFrom(replay_from, [&](Lsn, const WalRecord& record) {
+  NEOSI_RECOVER_TRACE("recover: max_persisted_ts=%llu replay_from=%llu",
+                      (unsigned long long)max_ts,
+                      (unsigned long long)replay_from);
+  // Suppress chain/blob frees for the whole replay: after a crash the store
+  // files can reflect different flush instants, so a record's old chain
+  // pointer may alias records owned by another live chain. Freeing through
+  // it would corrupt that chain mid-replay. The reachability sweep below
+  // reclaims whatever replay leaked.
+  recovering_ = true;
+  s = wal_->ReadFrom(replay_from, [&](Lsn lsn, const WalRecord& record) {
     for (const WalOp& op : record.ops) {
-      NEOSI_RETURN_IF_ERROR(ApplyWalOp(op, record.commit_ts));
+      NEOSI_RECOVER_TRACE("replay lsn=%llu ts=%llu op=%d id=%llu tok=%u",
+                          (unsigned long long)lsn,
+                          (unsigned long long)record.commit_ts,
+                          static_cast<int>(op.type), (unsigned long long)op.id,
+                          (unsigned)op.token);
+      Status apply = ApplyWalOp(op, record.commit_ts);
+      if (!apply.ok()) {
+        NodeRecord rec;
+        if (op.id < nodes_->high_id() && ReadNodeRecord(op.id, &rec).ok()) {
+          NEOSI_RECOVER_TRACE(
+              "replay FAIL node=%llu in_use=%d deleted=%d rec_ts=%llu "
+              "first_prop=%llu: %s",
+              (unsigned long long)op.id, rec.in_use ? 1 : 0,
+              rec.deleted ? 1 : 0, (unsigned long long)rec.commit_ts,
+              (unsigned long long)rec.first_prop,
+              apply.ToString().c_str());
+        } else {
+          NEOSI_RECOVER_TRACE("replay FAIL id=%llu: %s",
+                              (unsigned long long)op.id,
+                              apply.ToString().c_str());
+        }
+        return apply;
+      }
     }
     max_ts = std::max(max_ts, record.commit_ts);
     return Status::OK();
   });
+  recovering_ = false;
   if (!s.ok()) return s;
+
+  // Post-replay sweep: the authoritative reachability set is the first_prop
+  // of every live record; everything else in the property store is garbage
+  // left behind by the free-suppression above (or by the crash itself).
+  std::vector<PropId> roots;
+  s = ForEachNode([&](NodeId id) {
+    NodeRecord rec;
+    NEOSI_RETURN_IF_ERROR(ReadNodeRecord(id, &rec));
+    if (rec.first_prop != kInvalidPropId) roots.push_back(rec.first_prop);
+    return Status::OK();
+  });
+  if (!s.ok()) return s;
+  s = ForEachRel([&](RelId id) {
+    RelationshipRecord rec;
+    NEOSI_RETURN_IF_ERROR(ReadRelRecord(id, &rec));
+    if (rec.first_prop != kInvalidPropId) roots.push_back(rec.first_prop);
+    return Status::OK();
+  });
+  if (!s.ok()) return s;
+  uint64_t swept = 0;
+  NEOSI_RETURN_IF_ERROR(props_->SweepUnreachable(roots, &swept));
+  NEOSI_RECOVER_TRACE("recover: swept %llu orphan property records",
+                      (unsigned long long)swept);
   return max_ts;
 }
 

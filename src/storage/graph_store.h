@@ -295,6 +295,15 @@ class GraphStore {
   /// against commits.
   std::mutex checkpoint_mu_;
 
+  /// True while Recover() replays the WAL (single-threaded, before any
+  /// daemon or transaction runs). While set, the Persist*/Purge* paths do
+  /// NOT free old property chains or label blobs: after a crash the store
+  /// files reflect different flush instants, so a record's chain pointer
+  /// can alias records owned by another live chain — freeing through it
+  /// would destroy that chain. Recover() reclaims the leaked records with
+  /// PropertyStore::SweepUnreachable once replay completes.
+  bool recovering_ = false;
+
   std::unique_ptr<RecordStore> nodes_;
   std::unique_ptr<RecordStore> rels_;
   std::unique_ptr<PropertyStore> props_;

@@ -1,5 +1,6 @@
 #include "storage/property_store.h"
 
+#include <unordered_set>
 #include <vector>
 
 #include "storage/records.h"
@@ -110,6 +111,45 @@ Status PropertyStore::FreeChain(PropId head) {
     NEOSI_RETURN_IF_ERROR(props_.Free(id));
     id = rec.next;
   }
+  return Status::OK();
+}
+
+Status PropertyStore::SweepUnreachable(const std::vector<PropId>& roots,
+                                       uint64_t* freed) {
+  *freed = 0;
+  std::unordered_set<PropId> reachable;
+  std::string buf;
+  for (PropId root : roots) {
+    PropId id = root;
+    uint64_t steps = 0;
+    const uint64_t max_steps = props_.high_id() + 1;
+    while (id != kInvalidPropId) {
+      if (++steps > max_steps) {
+        return Status::Corruption("property chain cycle at record " +
+                                  std::to_string(id));
+      }
+      if (!reachable.insert(id).second) break;  // shared tail already walked
+      NEOSI_RETURN_IF_ERROR(props_.Read(id, &buf));
+      PropertyRecord rec;
+      NEOSI_RETURN_IF_ERROR(PropertyRecord::DecodeFrom(Slice(buf), &rec));
+      if (!rec.in_use) {
+        return Status::Corruption("property chain through free record " +
+                                  std::to_string(id));
+      }
+      id = rec.next;
+    }
+  }
+
+  std::vector<PropId> orphans;
+  Status s = props_.ForEach([&](uint64_t id, const std::string&) {
+    if (reachable.count(id) == 0) orphans.push_back(id);
+    return Status::OK();
+  });
+  if (!s.ok()) return s;
+  for (PropId id : orphans) {
+    NEOSI_RETURN_IF_ERROR(props_.Free(id));
+  }
+  *freed = orphans.size();
   return Status::OK();
 }
 

@@ -7,6 +7,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/property_value.h"
 #include "common/status.h"
@@ -37,6 +38,17 @@ class PropertyStore {
   /// Frees every record (and overflow blob) in the chain at `head`.
   /// kInvalidPropId is a no-op.
   Status FreeChain(PropId head);
+
+  /// Recovery sweep: frees every in-use record NOT reachable from `roots`
+  /// (the first_prop heads of all live node/rel records after replay).
+  /// Replay suppresses FreeChain — a stale record's chain pointer can alias
+  /// records owned by another live chain, so freeing through it would
+  /// corrupt that chain — and this sweep reclaims the leaked records
+  /// afterwards from the authoritative reachability set instead. Overflow
+  /// blobs are deliberately NOT freed here (a stale record's overflow id can
+  /// alias a live blob); crash recovery may leak dynamic-store bytes,
+  /// bounded per crash.
+  Status SweepUnreachable(const std::vector<PropId>& roots, uint64_t* freed);
 
   RecordStoreStats PropStats() const { return props_.Stats(); }
   RecordStoreStats DynStats() const { return dyn_.Stats(); }

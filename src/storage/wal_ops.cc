@@ -39,6 +39,24 @@ WalOp WalOp::RemoveNodeProperty(NodeId id, PropertyKeyId key) {
   return op;
 }
 
+WalOp WalOp::NodeState(NodeId id, std::vector<LabelId> labels,
+                       PropertyMap props) {
+  WalOp op;
+  op.type = WalOpType::kNodeState;
+  op.id = id;
+  op.labels = std::move(labels);
+  op.props = std::move(props);
+  return op;
+}
+
+WalOp WalOp::RelState(RelId id, PropertyMap props) {
+  WalOp op;
+  op.type = WalOpType::kRelState;
+  op.id = id;
+  op.props = std::move(props);
+  return op;
+}
+
 WalOp WalOp::AddLabel(NodeId id, LabelId label) {
   WalOp op;
   op.type = WalOpType::kAddLabel;
@@ -159,8 +177,12 @@ void WalOp::EncodeTo(std::string* dst) const {
   PutVarint64(dst, id);
   switch (type) {
     case WalOpType::kCreateNode:
+    case WalOpType::kNodeState:
       PutVarint64(dst, labels.size());
       for (LabelId label : labels) PutVarint32(dst, label);
+      PutProps(dst, props);
+      break;
+    case WalOpType::kRelState:
       PutProps(dst, props);
       break;
     case WalOpType::kDeleteNode:
@@ -207,7 +229,8 @@ Status WalOp::DecodeFrom(Slice* input, WalOp* out) {
   input->remove_prefix(1);
   if (!GetVarint64(input, &out->id)) return Status::Corruption("wal op: id");
   switch (out->type) {
-    case WalOpType::kCreateNode: {
+    case WalOpType::kCreateNode:
+    case WalOpType::kNodeState: {
       uint64_t n;
       if (!GetVarint64(input, &n)) return Status::Corruption("wal: labels");
       out->labels.resize(n);
@@ -218,6 +241,8 @@ Status WalOp::DecodeFrom(Slice* input, WalOp* out) {
       }
       return GetProps(input, &out->props);
     }
+    case WalOpType::kRelState:
+      return GetProps(input, &out->props);
     case WalOpType::kDeleteNode:
     case WalOpType::kDeleteRel:
       return Status::OK();

@@ -42,6 +42,17 @@ enum class WalOpType : uint8_t {
   /// so recovery replays only from the last marker's stable LSN onward.
   /// No-op on replay apply.
   kCheckpoint = 14,
+  /// Full node post-state (labels + props). Written instead of the delta
+  /// ops (kSetNodeProperty/kRemoveNodeProperty/kAddLabel/kRemoveLabel):
+  /// replay of a delta needs the pre-state from the store, but the fuzzy
+  /// checkpoint syncs nodes.store and props.store at different instants,
+  /// so after a crash the node record and its property chain can disagree
+  /// (unreadable or aliased chains). A full-state op is record-local —
+  /// replay never reads a chain it did not itself write. The delta kinds
+  /// above remain decodable for logs written before this change.
+  kNodeState = 15,
+  /// Full relationship post-state (props). Same rationale as kNodeState.
+  kRelState = 16,
 };
 
 /// Token family for kCreateToken ops.
@@ -83,6 +94,9 @@ struct WalOp {
   static WalOp SetNodeProperty(NodeId id, PropertyKeyId key,
                                PropertyValue value);
   static WalOp RemoveNodeProperty(NodeId id, PropertyKeyId key);
+  static WalOp NodeState(NodeId id, std::vector<LabelId> labels,
+                         PropertyMap props);
+  static WalOp RelState(RelId id, PropertyMap props);
   static WalOp AddLabel(NodeId id, LabelId label);
   static WalOp RemoveLabel(NodeId id, LabelId label);
   static WalOp CreateRel(RelId id, NodeId src, NodeId dst, RelTypeId type,

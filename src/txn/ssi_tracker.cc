@@ -1,0 +1,599 @@
+#include "txn/ssi_tracker.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace neosi {
+
+namespace {
+
+/// Env-gated event trace (NEOSI_SSI_TRACE=stderr|<path>) for debugging
+/// serializability holes: every marker insert, edge link, danger verdict
+/// and doom lands in one ordered stream.
+FILE* TraceFile() {
+  static FILE* f = [] {
+    const char* p = std::getenv("NEOSI_SSI_TRACE");
+    if (p == nullptr || *p == '\0') return static_cast<FILE*>(nullptr);
+    if (std::strcmp(p, "stderr") == 0) return stderr;
+    return std::fopen(p, "w");
+  }();
+  return f;
+}
+
+std::mutex& TraceMu() {
+  static std::mutex mu;
+  return mu;
+}
+
+#define NEOSI_SSI_TRACE(...)                          \
+  do {                                                \
+    if (FILE* trace_f_ = TraceFile()) {               \
+      std::lock_guard<std::mutex> trace_g_(TraceMu());\
+      std::fprintf(trace_f_, __VA_ARGS__);            \
+      std::fputc('\n', trace_f_);                     \
+      std::fflush(trace_f_);                          \
+    }                                                 \
+  } while (0)
+
+/// Out-neighbour view for the danger predicate: committed-or-committing
+/// plus the commit timestamp when known (kNoTimestamp = committing, i.e.
+/// unknown — treated as "could be first", the conservative direction).
+struct OutView {
+  bool done = false;
+  Timestamp ts = kNoTimestamp;
+};
+
+OutView ViewOut(const SsiTxnInfo::OutEdge& e) {
+  OutView v;
+  if (e.peer == nullptr) {
+    v.done = true;
+    v.ts = e.anon_commit_ts;
+    return v;
+  }
+  const SsiTxnState s = e.peer->state.load(std::memory_order_acquire);
+  if (s == SsiTxnState::kCommitted || s == SsiTxnState::kCommitting) {
+    v.done = true;
+    v.ts = e.peer->commit_ts.load(std::memory_order_acquire);
+  }
+  return v;
+}
+
+}  // namespace
+
+SsiTracker::SsiTracker(size_t shard_count)
+    : shard_count_(std::max<size_t>(1, shard_count)),
+      shards_(shard_count_) {}
+
+uint64_t SsiTracker::Mix(uint64_t x) {
+  // Splitmix finalizer (matches the EntityKey hash's diffusion).
+  x *= 0x9E3779B97F4A7C15ULL;
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ULL;
+  x ^= x >> 27;
+  return x;
+}
+
+SsiTracker::Shard& SsiTracker::ShardForEntity(const EntityKey& key) {
+  return shards_[std::hash<EntityKey>{}(key) % shard_count_];
+}
+
+SsiTracker::Shard& SsiTracker::ShardForKey(uint64_t key) {
+  return shards_[Mix(key) % shard_count_];
+}
+
+// ---------------------------------------------------------------------------
+// Registration / lifecycle
+// ---------------------------------------------------------------------------
+
+std::shared_ptr<SsiTxnInfo> SsiTracker::Register(TxnId id, bool read_only) {
+  auto info = std::make_shared<SsiTxnInfo>();
+  info->id = id;
+  info->read_only = read_only;
+  tracked_txns_.fetch_add(1, std::memory_order_relaxed);
+  if (!read_only) active_rw_.fetch_add(1, std::memory_order_acq_rel);
+  std::lock_guard<std::mutex> guard(registry_mu_);
+  registry_[id] = info;
+  // start_ts is still 0 ("older than everything"), which holds the
+  // retention horizon down until SetStartTs.
+  min_active_start_.store(kNoTimestamp, std::memory_order_release);
+  return info;
+}
+
+void SsiTracker::SetStartTs(const std::shared_ptr<SsiTxnInfo>& info,
+                            Timestamp start_ts) {
+  info->start_ts.store(start_ts, std::memory_order_release);
+  NEOSI_SSI_TRACE("ST t=%llu ts=%llu", (unsigned long long)info->id,
+                  (unsigned long long)start_ts);
+  std::lock_guard<std::mutex> guard(registry_mu_);
+  RecomputeRegistryLocked();
+}
+
+bool SsiTracker::HasActiveReadWrite() const {
+  return active_rw_.load(std::memory_order_acquire) != 0;
+}
+
+bool SsiTracker::Prunable(const SsiTxnInfo& info) const {
+  const SsiTxnState s = info.state.load(std::memory_order_acquire);
+  if (s == SsiTxnState::kAborted) return true;
+  if (s != SsiTxnState::kCommitted) return false;
+  const Timestamp ts = info.commit_ts.load(std::memory_order_acquire);
+  // Retention rule: a finished transaction's markers and edges matter while
+  // ANY snapshot older than its commit can still read — either a tracked
+  // unfinished transaction (min_active_start_) or a transaction yet to
+  // begin (snapshot_floor_: the tracker finishes BEFORE the oracle
+  // publishes, so until the floor catches up a newcomer can still acquire
+  // a snapshot that predates this commit and needs its rw-edges).
+  return ts != kNoTimestamp &&
+         ts <= min_active_start_.load(std::memory_order_acquire) &&
+         ts <= snapshot_floor_.load(std::memory_order_acquire);
+}
+
+void SsiTracker::AdvanceSnapshotFloor(Timestamp ts) {
+  Timestamp cur = snapshot_floor_.load(std::memory_order_relaxed);
+  while (cur < ts &&
+         !snapshot_floor_.compare_exchange_weak(cur, ts,
+                                                std::memory_order_release,
+                                                std::memory_order_relaxed)) {
+  }
+}
+
+void SsiTracker::RecomputeRegistryLocked() {
+  Timestamp min_start = kMaxTimestamp;
+  for (const auto& [id, info] : registry_) {
+    const SsiTxnState s = info->state.load(std::memory_order_acquire);
+    if (s == SsiTxnState::kActive || s == SsiTxnState::kCommitting) {
+      min_start = std::min(min_start,
+                           info->start_ts.load(std::memory_order_acquire));
+    }
+  }
+  min_active_start_.store(min_start, std::memory_order_release);
+  for (auto it = registry_.begin(); it != registry_.end();) {
+    if (Prunable(*it->second)) {
+      // Break the shared_ptr cycle (R.out_ holds W while W.in_ holds R) so
+      // the records actually free once the lazy marker pruning lets go.
+      {
+        std::lock_guard<std::mutex> info_guard(it->second->mu);
+        it->second->in_.clear();
+        it->second->out_.clear();
+      }
+      NEOSI_SSI_TRACE("PRUNE t=%llu", (unsigned long long)it->second->id);
+      it = registry_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void SsiTracker::NoteFinished(const std::shared_ptr<SsiTxnInfo>& info) {
+  if (!info->read_only) active_rw_.fetch_sub(1, std::memory_order_acq_rel);
+  std::lock_guard<std::mutex> guard(registry_mu_);
+  RecomputeRegistryLocked();
+}
+
+void SsiTracker::FinishCommit(const std::shared_ptr<SsiTxnInfo>& self,
+                              Timestamp ts) {
+  // Timestamp before state: an observer that sees kCommitted always reads a
+  // valid commit_ts; kCommitting observers treat the timestamp as unknown.
+  self->commit_ts.store(ts, std::memory_order_release);
+  self->state.store(SsiTxnState::kCommitted, std::memory_order_release);
+  NEOSI_SSI_TRACE("FC t=%llu ts=%llu", (unsigned long long)self->id,
+                  (unsigned long long)ts);
+  NoteFinished(self);
+}
+
+void SsiTracker::Abort(const std::shared_ptr<SsiTxnInfo>& self) {
+  SsiTxnState expected = self->state.load(std::memory_order_acquire);
+  do {
+    if (expected == SsiTxnState::kAborted ||
+        expected == SsiTxnState::kCommitted) {
+      return;  // Idempotent; a committed transaction cannot abort.
+    }
+  } while (!self->state.compare_exchange_weak(expected, SsiTxnState::kAborted,
+                                              std::memory_order_acq_rel));
+  NEOSI_SSI_TRACE("AB t=%llu", (unsigned long long)self->id);
+  NoteFinished(self);
+}
+
+Status SsiTracker::FailIfDoomed(const std::shared_ptr<SsiTxnInfo>& self) {
+  if (!self->doomed.load(std::memory_order_acquire)) return Status::OK();
+  aborts_doomed_.fetch_add(1, std::memory_order_relaxed);
+  return Status::SerializationFailure(
+      "serializable transaction doomed by a committing peer (pivot of a "
+      "dangerous rw-antidependency structure); retry the transaction");
+}
+
+// ---------------------------------------------------------------------------
+// Markers
+// ---------------------------------------------------------------------------
+
+void SsiTracker::InsertMarkerLocked(MarkerList* list,
+                                    const std::shared_ptr<SsiTxnInfo>& reader) {
+  list->erase(std::remove_if(list->begin(), list->end(),
+                             [&](const std::shared_ptr<SsiTxnInfo>& m) {
+                               return Prunable(*m);
+                             }),
+              list->end());
+  for (const auto& m : *list) {
+    if (m == reader) return;
+  }
+  list->push_back(reader);
+}
+
+void SsiTracker::AddEntityRead(const std::shared_ptr<SsiTxnInfo>& self,
+                               const EntityKey& key) {
+  Shard& shard = ShardForEntity(key);
+  {
+    std::lock_guard<std::mutex> guard(shard.mu);
+    InsertMarkerLocked(&shard.entities[key], self);
+  }
+  NEOSI_SSI_TRACE("M t=%llu k=%llu", (unsigned long long)self->id,
+                  (unsigned long long)key.id);
+}
+
+void SsiTracker::AddLabelRead(const std::shared_ptr<SsiTxnInfo>& self,
+                              LabelId label) {
+  Shard& shard = ShardForKey(label);
+  std::lock_guard<std::mutex> guard(shard.mu);
+  InsertMarkerLocked(&shard.labels[label], self);
+}
+
+void SsiTracker::AddAdjacencyRead(const std::shared_ptr<SsiTxnInfo>& self,
+                                  NodeId node) {
+  Shard& shard = ShardForKey(node);
+  std::lock_guard<std::mutex> guard(shard.mu);
+  InsertMarkerLocked(&shard.adjacency[node], self);
+}
+
+void SsiTracker::AddAllNodesRead(const std::shared_ptr<SsiTxnInfo>& self) {
+  std::lock_guard<std::mutex> guard(all_nodes_mu_);
+  InsertMarkerLocked(&all_nodes_, self);
+}
+
+void SsiTracker::AddPropertyRead(const std::shared_ptr<SsiTxnInfo>& self,
+                                 bool node_index, PropertyKeyId key,
+                                 const std::optional<PropertyValue>& lo,
+                                 const std::optional<PropertyValue>& hi) {
+  Shard& shard = ShardForKey(key);
+  std::lock_guard<std::mutex> guard(shard.mu);
+  auto& ranges = node_index ? shard.node_props[key] : shard.rel_props[key];
+  ranges.erase(std::remove_if(ranges.begin(), ranges.end(),
+                              [&](const RangeMarker& m) {
+                                return Prunable(*m.reader);
+                              }),
+               ranges.end());
+  for (const RangeMarker& m : ranges) {
+    if (m.reader == self && m.lo == lo && m.hi == hi) return;
+  }
+  ranges.push_back(RangeMarker{lo, hi, self});
+}
+
+std::vector<std::shared_ptr<SsiTxnInfo>> SsiTracker::CollectReaders(
+    const SsiWriteFootprint& fp) {
+  std::vector<std::shared_ptr<SsiTxnInfo>> out;
+  auto harvest = [&](MarkerList* list) {
+    list->erase(std::remove_if(list->begin(), list->end(),
+                               [&](const std::shared_ptr<SsiTxnInfo>& m) {
+                                 return Prunable(*m);
+                               }),
+                list->end());
+    out.insert(out.end(), list->begin(), list->end());
+  };
+  switch (fp.kind) {
+    case SsiWriteFootprint::Kind::kEntity: {
+      Shard& shard = ShardForEntity(fp.entity);
+      std::lock_guard<std::mutex> guard(shard.mu);
+      auto it = shard.entities.find(fp.entity);
+      if (it != shard.entities.end()) harvest(&it->second);
+      break;
+    }
+    case SsiWriteFootprint::Kind::kLabel: {
+      Shard& shard = ShardForKey(fp.label);
+      std::lock_guard<std::mutex> guard(shard.mu);
+      auto it = shard.labels.find(fp.label);
+      if (it != shard.labels.end()) harvest(&it->second);
+      break;
+    }
+    case SsiWriteFootprint::Kind::kAdjacency: {
+      Shard& shard = ShardForKey(fp.node);
+      std::lock_guard<std::mutex> guard(shard.mu);
+      auto it = shard.adjacency.find(fp.node);
+      if (it != shard.adjacency.end()) harvest(&it->second);
+      break;
+    }
+    case SsiWriteFootprint::Kind::kAllNodes: {
+      std::lock_guard<std::mutex> guard(all_nodes_mu_);
+      harvest(&all_nodes_);
+      break;
+    }
+    case SsiWriteFootprint::Kind::kNodeProperty:
+    case SsiWriteFootprint::Kind::kRelProperty: {
+      const bool node_index =
+          fp.kind == SsiWriteFootprint::Kind::kNodeProperty;
+      Shard& shard = ShardForKey(fp.prop_key);
+      std::lock_guard<std::mutex> guard(shard.mu);
+      auto& map = node_index ? shard.node_props : shard.rel_props;
+      auto it = map.find(fp.prop_key);
+      if (it == map.end()) break;
+      auto& ranges = it->second;
+      ranges.erase(std::remove_if(ranges.begin(), ranges.end(),
+                                  [&](const RangeMarker& m) {
+                                    return Prunable(*m.reader);
+                                  }),
+                   ranges.end());
+      for (const RangeMarker& m : ranges) {
+        if (m.lo.has_value() && fp.value < *m.lo) continue;
+        if (m.hi.has_value() && *m.hi < fp.value) continue;
+        out.push_back(m.reader);
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Edges & danger evaluation
+// ---------------------------------------------------------------------------
+
+void SsiTracker::LinkEdge(const std::shared_ptr<SsiTxnInfo>& reader,
+                          const std::shared_ptr<SsiTxnInfo>& writer) {
+  if (reader == writer) return;
+  SsiTxnInfo* first = reader.get();
+  SsiTxnInfo* second = writer.get();
+  if (second->id < first->id) std::swap(first, second);
+  std::lock_guard<std::mutex> g1(first->mu);
+  std::lock_guard<std::mutex> g2(second->mu);
+  for (const SsiTxnInfo::OutEdge& e : reader->out_) {
+    if (e.peer == writer) return;  // Already recorded.
+  }
+  reader->out_.push_back(SsiTxnInfo::OutEdge{writer, kNoTimestamp});
+  writer->in_.push_back(reader);
+  NEOSI_SSI_TRACE("E r=%llu w=%llu", (unsigned long long)reader->id,
+                  (unsigned long long)writer->id);
+}
+
+bool SsiTracker::DangerousPivot(const SsiTxnInfo& p) {
+  const SsiTxnState p_state = p.state.load(std::memory_order_acquire);
+  const Timestamp p_ts = p.commit_ts.load(std::memory_order_acquire);
+  for (const SsiTxnInfo::OutEdge& e : p.out_) {
+    const OutView o = ViewOut(e);
+    if (!o.done) continue;  // O unfinished: it did not commit first.
+    if (p_state == SsiTxnState::kCommitted && o.ts != kNoTimestamp &&
+        p_ts != kNoTimestamp && o.ts > p_ts) {
+      continue;  // p committed before this out-neighbour: not dangerous.
+    }
+    for (const std::shared_ptr<SsiTxnInfo>& in : p.in_) {
+      const SsiTxnState i_state = in->state.load(std::memory_order_acquire);
+      if (i_state == SsiTxnState::kAborted) continue;
+      if (i_state != SsiTxnState::kCommitted) return true;  // I unfinished.
+      const Timestamp i_ts = in->commit_ts.load(std::memory_order_acquire);
+      // I committed: dangerous when O's commit is not strictly after I's
+      // (O first — or its timestamp is unknown, the conservative case).
+      if (o.ts == kNoTimestamp || i_ts >= o.ts) return true;
+    }
+  }
+  return false;
+}
+
+size_t SsiTracker::DoomActiveInPeers(const std::shared_ptr<SsiTxnInfo>& p) {
+  std::vector<std::shared_ptr<SsiTxnInfo>> victims;
+  {
+    std::lock_guard<std::mutex> guard(p->mu);
+    victims = p->in_;
+  }
+  size_t doomed = 0;
+  for (const auto& v : victims) {
+    if (v->state.load(std::memory_order_acquire) == SsiTxnState::kActive) {
+      v->doomed.store(true, std::memory_order_release);
+      ++doomed;
+    }
+  }
+  return doomed;
+}
+
+Status SsiTracker::OnReadObservedCommit(
+    const std::shared_ptr<SsiTxnInfo>& self, TxnId writer,
+    Timestamp writer_commit_ts) {
+  std::shared_ptr<SsiTxnInfo> peer;
+  if (writer != kNoTxn && writer != self->id) {
+    std::lock_guard<std::mutex> guard(registry_mu_);
+    auto it = registry_.find(writer);
+    if (it != registry_.end()) peer = it->second;
+  }
+  if (peer) {
+    LinkEdge(self, peer);
+  } else {
+    std::lock_guard<std::mutex> guard(self->mu);
+    bool known = false;
+    for (const SsiTxnInfo::OutEdge& e : self->out_) {
+      if (e.peer == nullptr && e.anon_commit_ts == writer_commit_ts) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      self->out_.push_back(SsiTxnInfo::OutEdge{nullptr, writer_commit_ts});
+    }
+  }
+  NEOSI_SSI_TRACE("RO t=%llu w=%llu ts=%llu peer=%d",
+                  (unsigned long long)self->id, (unsigned long long)writer,
+                  (unsigned long long)writer_commit_ts, peer ? 1 : 0);
+
+  // Self as pivot: the new out-edge is committed, so any unfinished (or
+  // late-committed) in-neighbour completes the dangerous structure.
+  {
+    std::lock_guard<std::mutex> guard(self->mu);
+    if (DangerousPivot(*self)) {
+      aborts_pivot_.fetch_add(1, std::memory_order_relaxed);
+      NEOSI_SSI_TRACE("ROKILL t=%llu self-pivot",
+                      (unsigned long long)self->id);
+      return Status::SerializationFailure(
+          "serializable read observed a conflicting commit that makes this "
+          "transaction the pivot of a dangerous structure; retry");
+    }
+  }
+  // Committed-pivot rule: the writer already committed; if IT pivots a
+  // dangerous structure (an out-neighbour committed first), the only
+  // participant left to abort is self — the reader that just discovered
+  // the structure (this is how the read-only anomaly's detector dies).
+  if (peer &&
+      peer->state.load(std::memory_order_acquire) == SsiTxnState::kCommitted) {
+    std::lock_guard<std::mutex> guard(peer->mu);
+    if (DangerousPivot(*peer)) {
+      aborts_pivot_.fetch_add(1, std::memory_order_relaxed);
+      NEOSI_SSI_TRACE("ROKILL t=%llu committed-pivot w=%llu",
+                      (unsigned long long)self->id,
+                      (unsigned long long)writer);
+      return Status::SerializationFailure(
+          "serializable read observed the committed pivot of a dangerous "
+          "structure; retry");
+    }
+  }
+  return Status::OK();
+}
+
+Status SsiTracker::OnWrite(const std::shared_ptr<SsiTxnInfo>& self,
+                           const SsiWriteFootprint& fp) {
+  for (const auto& reader : CollectReaders(fp)) {
+    if (reader == self) continue;
+    LinkEdge(reader, self);
+  }
+  std::lock_guard<std::mutex> guard(self->mu);
+  if (DangerousPivot(*self)) {
+    aborts_pivot_.fetch_add(1, std::memory_order_relaxed);
+    return Status::SerializationFailure(
+        "serializable write overlaps a concurrent reader's SIREAD marker "
+        "and makes this transaction the pivot of a dangerous structure; "
+        "retry");
+  }
+  return Status::OK();
+}
+
+void SsiTracker::OnPostStamp(const std::shared_ptr<SsiTxnInfo>& self,
+                             const std::vector<SsiWriteFootprint>& footprints) {
+  for (const SsiWriteFootprint& fp : footprints) {
+    for (const auto& reader : CollectReaders(fp)) {
+      if (reader == self) continue;
+      LinkEdge(reader, self);
+      const SsiTxnState r_state =
+          reader->state.load(std::memory_order_acquire);
+      if (r_state == SsiTxnState::kActive ||
+          r_state == SsiTxnState::kCommitting) {
+        // The new edge may complete a dangerous structure in either
+        // direction. Reader as pivot: reader --rw--> self plus any in-edge
+        // of the reader. Self as pivot: reader --rw--> self --rw--> O with
+        // O committed before self — self is already committed, so the
+        // reader (the in-side, still abortable) is the participant that
+        // must die; without this rule a reader that walked our chains
+        // inside the unstamped window and only later acquires its own
+        // out-edges closes an undetectable cycle.
+        bool self_pivots;
+        {
+          std::lock_guard<std::mutex> guard(self->mu);
+          self_pivots = DangerousPivot(*self);
+        }
+        std::lock_guard<std::mutex> guard(reader->mu);
+        if (self_pivots || DangerousPivot(*reader)) {
+          reader->doomed.store(true, std::memory_order_release);
+          NEOSI_SSI_TRACE("PSDOOM t=%llu r=%llu selfpiv=%d",
+                          (unsigned long long)self->id,
+                          (unsigned long long)reader->id, self_pivots ? 1 : 0);
+        }
+      } else if (r_state == SsiTxnState::kCommitted) {
+        // The reader committed between its chain walk and this rescan and
+        // now pivots with self as its (already committed) out-neighbour:
+        // the participants left to kill are the reader's own unfinished
+        // in-neighbours.
+        bool dangerous;
+        {
+          std::lock_guard<std::mutex> guard(reader->mu);
+          dangerous = DangerousPivot(*reader);
+        }
+        if (dangerous) {
+          const size_t n = DoomActiveInPeers(reader);
+          NEOSI_SSI_TRACE("PSDOOMIN t=%llu r=%llu n=%zu",
+                          (unsigned long long)self->id,
+                          (unsigned long long)reader->id, n);
+        }
+      }
+    }
+  }
+}
+
+Status SsiTracker::PreCommitCheck(
+    const std::shared_ptr<SsiTxnInfo>& self,
+    const std::vector<SsiWriteFootprint>& footprints,
+    std::unique_lock<std::mutex>* commit_guard) {
+  *commit_guard = std::unique_lock<std::mutex>(commit_mu_);
+  NEOSI_SSI_TRACE("PCC t=%llu enter", (unsigned long long)self->id);
+  // Marker rescan: a reader may have inserted its marker (and even
+  // committed) since the write-time OnWrite scans; its edge must exist
+  // before the pivot evaluation below or self commits over a dangerous
+  // structure nobody can abort any more.
+  for (const SsiWriteFootprint& fp : footprints) {
+    for (const auto& reader : CollectReaders(fp)) {
+      if (reader == self) continue;
+      LinkEdge(reader, self);
+    }
+  }
+  if (self->doomed.load(std::memory_order_acquire)) {
+    NEOSI_SSI_TRACE("PCC t=%llu doomed", (unsigned long long)self->id);
+  }
+  NEOSI_RETURN_IF_ERROR(FailIfDoomed(self));
+  {
+    std::lock_guard<std::mutex> guard(self->mu);
+    if (DangerousPivot(*self)) {
+      aborts_pivot_.fetch_add(1, std::memory_order_relaxed);
+      NEOSI_SSI_TRACE("PCC t=%llu pivot-abort", (unsigned long long)self->id);
+      return Status::SerializationFailure(
+          "serializable commit would complete a dangerous rw-antidependency "
+          "structure with this transaction as the pivot; retry");
+    }
+  }
+  // Self is about to become a committed out-neighbour. Any unfinished
+  // in-neighbour that already has in-edges of its own turns into a pivot
+  // whose out-neighbour (self) commits first — doom it now, while
+  // commit_mu_ still serializes us against its own PreCommitCheck.
+  std::vector<std::shared_ptr<SsiTxnInfo>> in_peers;
+  {
+    std::lock_guard<std::mutex> guard(self->mu);
+    in_peers = self->in_;
+  }
+  for (const auto& p : in_peers) {
+    if (p->state.load(std::memory_order_acquire) != SsiTxnState::kActive) {
+      continue;
+    }
+    bool has_live_in = false;
+    {
+      std::lock_guard<std::mutex> guard(p->mu);
+      for (const auto& in : p->in_) {
+        if (in->state.load(std::memory_order_acquire) !=
+            SsiTxnState::kAborted) {
+          has_live_in = true;
+          break;
+        }
+      }
+    }
+    if (has_live_in) {
+      p->doomed.store(true, std::memory_order_release);
+      NEOSI_SSI_TRACE("PCCDOOM t=%llu victim=%llu",
+                      (unsigned long long)self->id, (unsigned long long)p->id);
+    }
+  }
+  self->state.store(SsiTxnState::kCommitting, std::memory_order_release);
+  NEOSI_SSI_TRACE("PCC t=%llu ok", (unsigned long long)self->id);
+  return Status::OK();
+}
+
+SsiTrackerStats SsiTracker::Stats() const {
+  SsiTrackerStats stats;
+  stats.tracked_txns = tracked_txns_.load(std::memory_order_relaxed);
+  stats.safe_snapshots = safe_snapshots_.load(std::memory_order_relaxed);
+  stats.aborts_pivot = aborts_pivot_.load(std::memory_order_relaxed);
+  stats.aborts_doomed = aborts_doomed_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace neosi

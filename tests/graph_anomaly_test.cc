@@ -223,6 +223,119 @@ TEST(Anomalies, SiReadsDoNotBlockOnWriteLocks) {
   ASSERT_TRUE(writer->Commit().ok());
 }
 
+// --- Write skew and the read-only anomaly, parameterized by level ----------
+//
+// The two anomalies SI admits BY DESIGN (§1 of the SSI paper) run under
+// both snapshot levels: under kSnapshotIsolation the anomaly must occur
+// (the engine would be over-restrictive otherwise), under kSerializable it
+// must be prevented with a retryable SerializationFailure.
+
+class SnapshotAnomalies : public ::testing::TestWithParam<IsolationLevel> {
+ protected:
+  static bool Serializable() {
+    return GetParam() == IsolationLevel::kSerializable;
+  }
+};
+
+TEST_P(SnapshotAnomalies, WriteSkew) {
+  auto db = OpenDb();
+  NodeId a, b;
+  {
+    auto txn = db->Begin();
+    a = *txn->CreateNode({}, {{"v", PropertyValue(int64_t{50})}});
+    b = *txn->CreateNode({}, {{"v", PropertyValue(int64_t{50})}});
+    ASSERT_TRUE(txn->Commit().ok());
+  }
+
+  // Each transaction checks the joint constraint (a + b >= 100), then
+  // withdraws from its own key — disjoint write sets, overlapping reads.
+  auto t1 = db->Begin(GetParam());
+  auto t2 = db->Begin(GetParam());
+  ASSERT_EQ(t1->GetNodeProperty(a, "v")->AsInt() +
+                t1->GetNodeProperty(b, "v")->AsInt(),
+            100);
+  ASSERT_EQ(t2->GetNodeProperty(a, "v")->AsInt() +
+                t2->GetNodeProperty(b, "v")->AsInt(),
+            100);
+  ASSERT_TRUE(t1->SetNodeProperty(a, "v", PropertyValue(int64_t{-50})).ok());
+  ASSERT_TRUE(t2->SetNodeProperty(b, "v", PropertyValue(int64_t{-50})).ok());
+
+  ASSERT_TRUE(t1->Commit().ok());
+  Status s2 = t2->Commit();
+
+  auto check = db->Begin();
+  const int64_t total = check->GetNodeProperty(a, "v")->AsInt() +
+                        check->GetNodeProperty(b, "v")->AsInt();
+  if (Serializable()) {
+    // Prevented: the second committer is the doomed side of the 2-cycle.
+    EXPECT_TRUE(s2.IsSerializationFailure()) << s2;
+    EXPECT_TRUE(s2.IsRetryable());
+    EXPECT_EQ(total, 0) << "only one withdrawal may land";
+  } else {
+    // SI admits it: both commit, the joint constraint is broken.
+    EXPECT_TRUE(s2.ok()) << s2;
+    EXPECT_EQ(total, -100);
+  }
+}
+
+TEST_P(SnapshotAnomalies, ReadOnlyTransactionAnomaly) {
+  auto db = OpenDb();
+  NodeId x, y;
+  {
+    auto txn = db->Begin();
+    x = *txn->CreateNode({}, {{"v", PropertyValue(int64_t{0})}});
+    y = *txn->CreateNode({}, {{"v", PropertyValue(int64_t{0})}});
+    ASSERT_TRUE(txn->Commit().ok());
+  }
+
+  // The ROAnom interleaving (serializable-parallel.spec permutation 2):
+  // s2 reads both, s1 updates Y and commits, read-only s3 observes s1's Y
+  // but (necessarily) not s2's later X write, s2 then writes X.
+  auto s2 = db->Begin(GetParam());
+  ASSERT_EQ(s2->GetNodeProperty(x, "v")->AsInt(), 0);
+  ASSERT_EQ(s2->GetNodeProperty(y, "v")->AsInt(), 0);
+
+  auto s1 = db->Begin(GetParam());
+  ASSERT_EQ(s1->GetNodeProperty(y, "v")->AsInt(), 0);
+  ASSERT_TRUE(s1->SetNodeProperty(y, "v", PropertyValue(int64_t{20})).ok());
+  ASSERT_TRUE(s1->Commit().ok());
+
+  auto s3 = db->Begin(GetParam());
+  const int64_t s3_x = s3->GetNodeProperty(x, "v")->AsInt();
+  const int64_t s3_y = s3->GetNodeProperty(y, "v")->AsInt();
+  ASSERT_TRUE(s3->Commit().ok());
+  EXPECT_EQ(s3_y, 20) << "s3 began after s1's commit";
+
+  Status wx = s2->SetNodeProperty(x, "v", PropertyValue(int64_t{-11}));
+  if (wx.ok()) wx = s2->Commit();
+
+  auto check = db->Begin();
+  if (Serializable()) {
+    // s3's observation {x=0, y=20} pins s3 after s1 and before s2 in any
+    // serial order — but s2 read y=0, so it must precede s1: a cycle.
+    // Exactly s2 aborts, and x was never written.
+    EXPECT_TRUE(wx.IsSerializationFailure()) << wx;
+    EXPECT_EQ(check->GetNodeProperty(x, "v")->AsInt(), 0);
+  } else {
+    // SI admits it: all three commit even though s3's observation is
+    // inconsistent with every serial order.
+    EXPECT_TRUE(wx.ok()) << wx;
+    EXPECT_EQ(s3_x, 0);
+    EXPECT_EQ(check->GetNodeProperty(x, "v")->AsInt(), -11);
+  }
+  EXPECT_EQ(check->GetNodeProperty(y, "v")->AsInt(), 20);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Levels, SnapshotAnomalies,
+    ::testing::Values(IsolationLevel::kSnapshotIsolation,
+                      IsolationLevel::kSerializable),
+    [](const ::testing::TestParamInfo<IsolationLevel>& info) {
+      return info.param == IsolationLevel::kSerializable
+                 ? "Serializable"
+                 : "SnapshotIsolation";
+    });
+
 TEST(Anomalies, NoDirtyReadsUnderEitherIsolation) {
   auto db = OpenDb();
   NodeId id;

@@ -301,10 +301,19 @@ TEST(Concurrency, EpochProtectedReadersNeverSeeReclaimedVersions) {
   for (auto& t : rc_readers) t.join();
 
   EXPECT_EQ(violations.load(), 0);
-  // The epoch machinery actually exercised: the churn left superseded
-  // versions behind, and pruning them (daemon or this manual pass — the
-  // daemon may not have caught up yet on a fast run) retires through limbo.
-  db->RunGc();
+  // The epoch machinery actually exercised: pruning a superseded version
+  // retires it through limbo. Under extreme load every churn commit above
+  // can expire before committing (a clean retryable abort each time),
+  // leaving nothing to reclaim — so guarantee a superseded version exists
+  // by writing until one has been retired (two committed writes suffice
+  // once the readers are gone and the watermark can advance).
+  for (int i = 0; db->Stats().epoch_retired == 0 && i < 1000; ++i) {
+    auto txn = db->Begin(IsolationLevel::kSnapshotIsolation);
+    Status s = txn->SetNodeProperty(id, "v", PropertyValue(int64_t{i}));
+    if (s.ok()) s = txn->Commit();
+    ASSERT_TRUE(s.ok() || s.IsRetryable()) << s;
+    db->RunGc();
+  }
   EXPECT_GT(db->Stats().epoch_retired, 0u);
 }
 
