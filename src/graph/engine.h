@@ -41,6 +41,13 @@ struct TestHooks {
   std::atomic<bool> stall_before_store_apply{false};
   /// Number of commits that have reached the stall point above.
   std::atomic<uint64_t> stalled_commits{0};
+  /// Commit parks after its effects are applied and its SSI bookkeeping is
+  /// finished, but before the oracle's ordered publication of the commit
+  /// timestamp — the window where a freshly begun transaction can still
+  /// acquire a snapshot predating the commit (safe-snapshot race tests).
+  std::atomic<bool> stall_before_publication{false};
+  /// Number of commits that have reached the publication stall point.
+  std::atomic<uint64_t> stalled_publications{0};
 };
 
 /// Everything the engine is made of, wired once at Open().

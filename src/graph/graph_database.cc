@@ -142,10 +142,13 @@ std::unique_ptr<Transaction> GraphDatabase::Begin(
     if (ssi) {
       engine_->ssi.SetStartTs(ssi, reg.start_ts);
     } else if (engine_->options.ssi_safe_snapshots &&
-               !engine_->ssi.HasActiveReadWrite()) {
+               engine_->ssi.IsSnapshotSafe(reg.start_ts)) {
       // Safe snapshot: no read-write serializable peer was registered when
-      // this snapshot was taken, so nothing this transaction reads can sit
-      // on a rw-antidependency path back into its past — skip tracking.
+      // this snapshot was taken AND every finished one committed at or
+      // below it (a peer that finished the tracker but whose commit the
+      // oracle has not yet published is still concurrent with this
+      // snapshot), so nothing this transaction reads can sit on a
+      // rw-antidependency path back into its past — skip tracking.
       engine_->ssi.RecordSafeSnapshot();
     } else {
       ssi = engine_->ssi.Register(id, /*read_only=*/true);

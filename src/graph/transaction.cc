@@ -366,10 +366,15 @@ Status Transaction::SetNodeProperty(NodeId id, const std::string& key,
 
   auto& props = (*pending)->data.props;
   auto it = props.find(*token);
+  if (it != props.end() && it->second == value) {
+    // No-op write: leaves no WAL, index, or SSI footprint — a write that
+    // changes nothing must not be able to fail a serializable transaction
+    // or doom concurrent readers.
+    return Status::OK();
+  }
   NEOSI_RETURN_IF_ERROR(
       SsiOnWrite(SsiWriteFootprint::Entity(EntityKey::Node(id))));
   if (it != props.end()) {
-    if (it->second == value) return Status::OK();  // No-op write.
     NEOSI_RETURN_IF_ERROR(
         SsiOnWrite(SsiWriteFootprint::NodeProperty(*token, it->second)));
     engine_->node_prop_index.RemovePending(*token, it->second, id, id_);
@@ -629,10 +634,12 @@ Status Transaction::SetRelProperty(RelId id, const std::string& key,
 
   auto& props = (*pending)->data.props;
   auto it = props.find(*token);
+  if (it != props.end() && it->second == value) {
+    return Status::OK();  // No-op write: no WAL, index, or SSI footprint.
+  }
   NEOSI_RETURN_IF_ERROR(
       SsiOnWrite(SsiWriteFootprint::Entity(EntityKey::Rel(id))));
   if (it != props.end()) {
-    if (it->second == value) return Status::OK();
     NEOSI_RETURN_IF_ERROR(
         SsiOnWrite(SsiWriteFootprint::RelProperty(*token, it->second)));
     engine_->rel_prop_index.RemovePending(*token, it->second, id, id_);
@@ -1194,6 +1201,11 @@ Status Transaction::Commit() {
   // is deliberately NOT released: like a real crash, the record must stay
   // replayable until recovery applies it.
   if (engine_->test_hooks.crash_before_store_apply.load()) {
+    // The commit record is durable — recovery will replay it — so the SSI
+    // record must read committed: peers' danger checks and marker pruning
+    // would otherwise treat a durable commit as aborted and commit over a
+    // dangerous structure whose effects exist after recovery.
+    if (ssi_) engine_->ssi.FinishCommit(ssi_, ts);
     engine_->oracle.FinishCommit(ts);
     return Status::IOError("simulated crash before store apply");
   }
@@ -1212,7 +1224,11 @@ Status Transaction::Commit() {
   if (!s.ok()) {
     // Pin retained: the WAL record is now the only complete copy of this
     // commit; truncating it before recovery replays it would lose the
-    // commit.
+    // commit. The SSI record still publishes as committed — the commit is
+    // durable and will be replayed, so serializable peers must not treat
+    // this writer as aborted (pruning its markers and edges would let them
+    // commit over a dangerous structure).
+    if (ssi_) engine_->ssi.FinishCommit(ssi_, ts);
     engine_->oracle.FinishCommit(ts);
     return s;  // Store apply failure: recovery will repair from the WAL.
   }
@@ -1220,6 +1236,16 @@ Status Transaction::Commit() {
 
   s = StampVersions(ts);
   if (!s.ok()) {
+    // Same as the store-apply failure above: the record is durable, so the
+    // SSI side must publish the commit. Stamps may have partially landed —
+    // run the post-stamp rescan too, so a reader that walked a stamped
+    // chain in the window is still picked up (dooming it is the
+    // conservative direction).
+    if (ssi_) {
+      engine_->ssi.FinishCommit(ssi_, ts);
+      engine_->ssi.OnPostStamp(ssi_, ssi_footprints_);
+      ssi_commit_guard.unlock();
+    }
     engine_->oracle.FinishCommit(ts);
     return s;
   }
@@ -1235,6 +1261,16 @@ Status Transaction::Commit() {
     engine_->ssi.FinishCommit(ssi_, ts);
     engine_->ssi.OnPostStamp(ssi_, ssi_footprints_);
     ssi_commit_guard.unlock();
+  }
+
+  // Failure injection: park between SSI finish and ordered publication —
+  // the window a freshly begun transaction's snapshot can still predate
+  // this commit (safe-snapshot race tests).
+  if (engine_->test_hooks.stall_before_publication.load()) {
+    engine_->test_hooks.stalled_publications.fetch_add(1);
+    while (engine_->test_hooks.stall_before_publication.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
   }
 
   // Stage 4 — ordered publication: the watermark advances past ts once
@@ -1333,13 +1369,14 @@ void Transaction::PruneAnnihilated() {
     // Drop its WAL ops.
     auto node_op = [](WalOpType t) {
       return t == WalOpType::kCreateNode || t == WalOpType::kDeleteNode ||
+             t == WalOpType::kNodeState ||
              t == WalOpType::kSetNodeProperty ||
              t == WalOpType::kRemoveNodeProperty ||
              t == WalOpType::kAddLabel || t == WalOpType::kRemoveLabel;
     };
     auto rel_op = [](WalOpType t) {
       return t == WalOpType::kCreateRel || t == WalOpType::kDeleteRel ||
-             t == WalOpType::kSetRelProperty ||
+             t == WalOpType::kRelState || t == WalOpType::kSetRelProperty ||
              t == WalOpType::kRemoveRelProperty;
     };
     wal_ops_.erase(

@@ -110,8 +110,16 @@ void SsiTracker::SetStartTs(const std::shared_ptr<SsiTxnInfo>& info,
   RecomputeRegistryLocked();
 }
 
-bool SsiTracker::HasActiveReadWrite() const {
-  return active_rw_.load(std::memory_order_acquire) != 0;
+bool SsiTracker::IsSnapshotSafe(Timestamp snapshot_ts) const {
+  // Read order matters and mirrors FinishCommit's write order: a finishing
+  // read-write peer raises last_rw_commit_ and only then decrements
+  // active_rw_, so observing zero active peers here happens-after every
+  // finished peer's high-water update. A snapshot below the high-water
+  // predates a read-write commit the oracle may not have published yet —
+  // that peer is still concurrent with this snapshot and could be the
+  // pivot of the read-only anomaly, so the snapshot is not safe.
+  if (active_rw_.load(std::memory_order_acquire) != 0) return false;
+  return snapshot_ts >= last_rw_commit_.load(std::memory_order_acquire);
 }
 
 bool SsiTracker::Prunable(const SsiTxnInfo& info) const {
@@ -178,6 +186,18 @@ void SsiTracker::FinishCommit(const std::shared_ptr<SsiTxnInfo>& self,
   // valid commit_ts; kCommitting observers treat the timestamp as unknown.
   self->commit_ts.store(ts, std::memory_order_release);
   self->state.store(SsiTxnState::kCommitted, std::memory_order_release);
+  if (!self->read_only) {
+    // Raise the read-write commit high-water BEFORE NoteFinished drops
+    // active_rw_: IsSnapshotSafe reads the counter first, so a probe that
+    // sees this transaction uncounted is guaranteed to see its commit
+    // timestamp and reject snapshots that predate it.
+    Timestamp cur = last_rw_commit_.load(std::memory_order_relaxed);
+    while (cur < ts &&
+           !last_rw_commit_.compare_exchange_weak(cur, ts,
+                                                  std::memory_order_release,
+                                                  std::memory_order_relaxed)) {
+    }
+  }
   NEOSI_SSI_TRACE("FC t=%llu ts=%llu", (unsigned long long)self->id,
                   (unsigned long long)ts);
   NoteFinished(self);

@@ -190,11 +190,16 @@ class SsiTracker {
   /// it become eligible for pruning (see Prunable).
   void AdvanceSnapshotFloor(Timestamp ts);
 
-  /// Safe-snapshot probe: true while any read-write serializable
-  /// transaction is registered and unfinished. A read-only transaction
-  /// probing AFTER acquiring its snapshot sees every read-write peer whose
-  /// snapshot could predate its own.
-  bool HasActiveReadWrite() const;
+  /// Safe-snapshot probe for a read-only transaction that acquired
+  /// `snapshot_ts` BEFORE probing. Safe means no read-write serializable
+  /// peer concurrent with the snapshot can still commit: (a) no read-write
+  /// transaction is registered and unfinished, and (b) every finished one
+  /// committed at or below `snapshot_ts`. Check (b) closes the ordered-
+  /// publication window — a peer finishes the tracker BEFORE the oracle
+  /// publishes its commit timestamp, so a snapshot acquired in between
+  /// predates a commit the active count no longer reflects; that peer can
+  /// be the pivot of the read-only anomaly, so the snapshot is NOT safe.
+  bool IsSnapshotSafe(Timestamp snapshot_ts) const;
 
   /// Counts a read-only transaction admitted on a safe snapshot (it never
   /// registers).
@@ -354,6 +359,13 @@ class SsiTracker {
   /// must find its markers, edges and registry record intact.
   std::atomic<Timestamp> snapshot_floor_{kNoTimestamp};
   std::atomic<uint64_t> active_rw_{0};
+  /// High-water commit timestamp over finished read-write serializable
+  /// transactions. FinishCommit raises it BEFORE NoteFinished drops
+  /// active_rw_, and IsSnapshotSafe reads active_rw_ first — so a probe
+  /// that observes zero active peers is guaranteed to observe the commit
+  /// timestamp of every peer that finished, and can reject snapshots that
+  /// predate one (the ordered-publication window).
+  std::atomic<Timestamp> last_rw_commit_{kNoTimestamp};
 
   /// Serializes PreCommitCheck: the danger evaluation and the transition
   /// to kCommitting must be atomic across committers, or two write-skew

@@ -513,5 +513,55 @@ TEST_F(RecoveryTest, TokensSurviveRecovery) {
   EXPECT_TRUE(db->engine().store.prop_keys().Lookup("key1").ok());
 }
 
+// A created-then-deleted entity is annihilated at commit: every one of its
+// WAL ops — including the full-state kNodeState/kRelState ops — must be
+// dropped from the commit record, because its id goes straight back to the
+// free list. A leaked state op would be replayed against whatever live
+// entity later recycled the id, resurrecting the dead entity's payload on
+// top of it.
+TEST_F(RecoveryTest, AnnihilatedEntityLeavesNoStateInWalReplay) {
+  NodeId keep, doomed, reused;
+  {
+    auto db = std::move(*GraphDatabase::Open(DiskOptions()));
+    {
+      auto txn = db->Begin();
+      keep = *txn->CreateNode({"Keep"}, {{"name", PropertyValue("keep")}});
+      doomed = *txn->CreateNode({});
+      // Pile full-state ops onto the doomed entities before killing them.
+      ASSERT_TRUE(
+          txn->SetNodeProperty(doomed, "secret", PropertyValue(int64_t{99}))
+              .ok());
+      ASSERT_TRUE(txn->AddLabel(doomed, "Dead").ok());
+      RelId tmp = *txn->CreateRelationship(keep, doomed, "TMP",
+                                           {{"w", PropertyValue(int64_t{1})}});
+      ASSERT_TRUE(
+          txn->SetRelProperty(tmp, "w", PropertyValue(int64_t{2})).ok());
+      ASSERT_TRUE(txn->DeleteRelationship(tmp).ok());
+      ASSERT_TRUE(txn->DeleteNode(doomed).ok());
+      ASSERT_TRUE(txn->Commit().ok());
+    }
+    {
+      // The annihilated node's id is back on the free list; the next
+      // creation recycles it. A surviving kNodeState op for the old id
+      // would now target this live node during replay.
+      auto txn = db->Begin();
+      reused = *txn->CreateNode({"Fresh"}, {{"name", PropertyValue("fresh")}});
+      ASSERT_TRUE(txn->Commit().ok());
+    }
+    EXPECT_EQ(reused, doomed);
+  }
+  // Reopen: full WAL replay (no checkpoint was ever taken).
+  auto db = std::move(*GraphDatabase::Open(DiskOptions()));
+  auto reader = db->Begin();
+  EXPECT_EQ(reader->GetNodeProperty(keep, "name")->AsString(), "keep");
+  EXPECT_EQ(reader->GetNodeProperty(reused, "name")->AsString(), "fresh");
+  // Nothing of the annihilated node leaked onto the recycled id.
+  EXPECT_TRUE(reader->GetNodeProperty(reused, "secret").status().IsNotFound());
+  EXPECT_TRUE(reader->GetNodesByLabel("Dead")->empty());
+  auto rels = reader->GetRelationships(keep, Direction::kOutgoing);
+  ASSERT_TRUE(rels.ok());
+  EXPECT_TRUE(rels->empty());
+}
+
 }  // namespace
 }  // namespace neosi

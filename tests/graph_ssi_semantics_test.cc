@@ -23,6 +23,9 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <thread>
+
 #include "graph/graph_database.h"
 
 namespace neosi {
@@ -335,6 +338,135 @@ TEST(SsiSemantics, LabelScanPredicateWriteSkewAborts) {
   // Someone is still on call.
   auto check = db->Begin();
   EXPECT_EQ(check->GetNodesByLabel("OnCall")->size(), 1u);
+}
+
+// --- Safe-snapshot / commit-publication race --------------------------------
+
+// A read-write serializable commit finishes the SSI tracker (dropping the
+// active-peer count) strictly before the oracle publishes its commit
+// timestamp. A read-only serializable transaction that Begins inside that
+// window gets a snapshot PREDATING the commit while seeing zero active
+// peers — its snapshot is concurrent with the commit and must NOT be
+// deemed safe. The stall hook parks the committer exactly in the window.
+TEST(SsiSemantics, ReadOnlyBeginningBeforeCommitPublicationIsNotSafe) {
+  auto db = OpenDb();
+  const Accounts acc = SetupBank(*db);
+  auto& hooks = db->engine().test_hooks;
+
+  hooks.stall_before_publication.store(true);
+  std::thread committer([&] {
+    auto w = db->Begin(IsolationLevel::kSerializable);
+    EXPECT_TRUE(
+        w->SetNodeProperty(acc.x, "balance", PropertyValue(int64_t{10})).ok());
+    EXPECT_TRUE(w->Commit().ok());  // Parks after tracker-finish,
+  });                               // before publication.
+  while (hooks.stalled_publications.load() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  const uint64_t safe_before = db->Stats().ssi_safe_snapshots;
+  TransactionOptions ro;
+  ro.read_only = true;
+  auto reader = db->Begin(IsolationLevel::kSerializable, ro);
+  // The snapshot predates the stalled commit...
+  EXPECT_EQ(Balance(*reader, acc.x), 0);
+  // ...so it was NOT taken on the safe-snapshot fast path: the reader is
+  // tracked and can still be the s3 of a read-only anomaly.
+  EXPECT_EQ(db->Stats().ssi_safe_snapshots, safe_before);
+
+  hooks.stall_before_publication.store(false);
+  committer.join();
+  ASSERT_TRUE(reader->Commit().ok());
+
+  // Once the commit is published, fresh read-only snapshots cover it and
+  // the fast path reopens.
+  auto reader2 = db->Begin(IsolationLevel::kSerializable, ro);
+  EXPECT_EQ(Balance(*reader2, acc.x), 10);
+  EXPECT_EQ(db->Stats().ssi_safe_snapshots, safe_before + 1);
+}
+
+// --- Durable commits that fail store-apply ----------------------------------
+
+// Once the WAL commit record is durable the transaction IS committed —
+// recovery will replay it — even if applying to the in-memory stores then
+// fails. Its SSI record must be published as committed too: peers that saw
+// its SIREAD markers would otherwise treat the rw-antidependency as gone
+// and commit over a dangerous structure.
+TEST(SsiSemantics, DurableCommitWithFailedStoreApplyStillGatesPeers) {
+  auto db = OpenDb();
+  const Accounts acc = SetupBank(*db);
+  NodeId z;
+  {
+    auto setup = db->Begin();
+    z = *setup->CreateNode({"Account"},
+                           {{"balance", PropertyValue(int64_t{0})}});
+    ASSERT_TRUE(setup->Commit().ok());
+  }
+
+  // w will be the pivot: snapshot predates both commits below.
+  auto w = db->Begin(IsolationLevel::kSerializable);
+
+  // p reads X (SIREAD marker) and writes Y.
+  auto p = db->Begin(IsolationLevel::kSerializable);
+  EXPECT_EQ(Balance(*p, acc.x), 0);
+  ASSERT_TRUE(
+      p->SetNodeProperty(acc.y, "balance", PropertyValue(int64_t{7})).ok());
+
+  // o writes Z and commits first (the out-neighbor of the pivot).
+  {
+    auto o = db->Begin(IsolationLevel::kSerializable);
+    ASSERT_TRUE(
+        o->SetNodeProperty(z, "balance", PropertyValue(int64_t{5})).ok());
+    ASSERT_TRUE(o->Commit().ok());
+  }
+
+  // p's commit record reaches the WAL, then store-apply "crashes". The
+  // commit is durable; Commit reports IOError but p is committed.
+  db->engine().test_hooks.crash_before_store_apply.store(true);
+  Status ps = p->Commit();
+  EXPECT_TRUE(ps.IsIOError()) << ps;
+  db->engine().test_hooks.crash_before_store_apply.store(false);
+  // Destroying p must not flip its SSI record to aborted.
+  p.reset();
+
+  // w reads Z under its old snapshot (rw out-edge w -> o, o committed
+  // first) and then overwrites X, which committed-p read (rw in-edge
+  // p -> w): w is a pivot between two committed peers and must fail.
+  EXPECT_EQ(Balance(*w, z), 0);
+  Status s = w->SetNodeProperty(acc.x, "balance", PropertyValue(int64_t{1}));
+  if (s.ok()) s = w->Commit();
+  EXPECT_TRUE(s.IsSerializationFailure()) << s;
+}
+
+// --- Equal-value no-op writes -----------------------------------------------
+
+// Setting a property to the value it already has leaves no WAL op, no new
+// version, and — critically — no SSI write footprint: a write that changes
+// nothing cannot create an rw-antidependency, so a "write skew" made of
+// two no-op writes must commit on both sides.
+TEST(SsiSemantics, EqualValueNoOpWritesLeaveNoSsiFootprint) {
+  auto db = OpenDb();
+  const Accounts acc = SetupBank(*db);
+
+  auto t1 = db->Begin(IsolationLevel::kSerializable);
+  auto t2 = db->Begin(IsolationLevel::kSerializable);
+  EXPECT_EQ(Balance(*t1, acc.x), 0);
+  EXPECT_EQ(Balance(*t1, acc.y), 0);
+  EXPECT_EQ(Balance(*t2, acc.x), 0);
+  EXPECT_EQ(Balance(*t2, acc.y), 0);
+  // The classic skew shape, except both writes re-store the present value.
+  ASSERT_TRUE(
+      t1->SetNodeProperty(acc.x, "balance", PropertyValue(int64_t{0})).ok());
+  ASSERT_TRUE(
+      t2->SetNodeProperty(acc.y, "balance", PropertyValue(int64_t{0})).ok());
+
+  ASSERT_TRUE(t1->Commit().ok());
+  Status s = t2->Commit();
+  EXPECT_TRUE(s.ok()) << s;
+
+  const DatabaseStats stats = db->Stats();
+  EXPECT_EQ(stats.ssi_aborts_pivot, 0u);
+  EXPECT_EQ(stats.ssi_aborts_doomed, 0u);
 }
 
 }  // namespace
