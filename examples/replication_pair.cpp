@@ -1,0 +1,114 @@
+// Replication pair: an on-disk primary plus a read replica tailing its WAL
+// segment directory, in one process. The same wiring works cross-process —
+// the replica only ever opens the primary's files read-only.
+//
+//   $ ./example_replication_pair [data-dir]
+//
+// docs/OPERATIONS.md walks through this topology knob by knob.
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "graph/graph_database.h"
+
+using namespace neosi;
+
+int main(int argc, char** argv) {
+  const std::string root = argc > 1
+                               ? argv[1]
+                               : (std::filesystem::temp_directory_path() /
+                                  "neosi_replication_pair")
+                                     .string();
+  std::filesystem::remove_all(root);
+  std::filesystem::create_directories(root + "/primary");
+  std::filesystem::create_directories(root + "/replica");
+
+  // 1. The primary: a normal on-disk database. wal_keep_segments retains
+  //    checkpointed segments so a lagging replica can still ship them.
+  DatabaseOptions primary_options;
+  primary_options.in_memory = false;
+  primary_options.path = root + "/primary";
+  primary_options.sync_commits = true;
+  primary_options.wal_keep_segments = 16;
+  auto primary_or = GraphDatabase::Open(primary_options);
+  if (!primary_or.ok()) {
+    std::fprintf(stderr, "primary open failed: %s\n",
+                 primary_or.status().ToString().c_str());
+    return 1;
+  }
+  auto primary = std::move(*primary_or);
+
+  // 2. The replica: points replica_of_path at the primary's directory and
+  //    gets its own directory for the re-logged WAL it recovers from.
+  DatabaseOptions replica_options;
+  replica_options.in_memory = false;
+  replica_options.path = root + "/replica";
+  replica_options.replica_of_path = root + "/primary";
+  replica_options.replica_poll_interval_ms = 1;
+  auto replica_or = GraphDatabase::Open(replica_options);
+  if (!replica_or.ok()) {
+    std::fprintf(stderr, "replica open failed: %s\n",
+                 replica_or.status().ToString().c_str());
+    return 1;
+  }
+  auto replica = std::move(*replica_or);
+
+  // 3. Write on the primary.
+  NodeId alice;
+  {
+    auto txn = primary->Begin();
+    alice = *txn->CreateNode({"Person"}, {{"name", PropertyValue("alice")}});
+    Status s = txn->Commit();
+    if (!s.ok()) {
+      std::fprintf(stderr, "commit failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
+
+  // 4. Wait for the applier daemon to ship and publish that commit, then
+  //    read it on the replica at its replay-watermark snapshot.
+  if (!replica->replica_applier()->WaitCaughtUp(/*timeout_ms=*/10'000)) {
+    std::fprintf(stderr, "replica never caught up: %s\n",
+                 replica->replica_applier()->last_error().ToString().c_str());
+    return 1;
+  }
+  {
+    auto reader = replica->Begin();  // Snapshot isolation, read-only host.
+    auto view = reader->GetNode(alice);
+    if (!view.ok()) {
+      std::fprintf(stderr, "replica read failed: %s\n",
+                   view.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("replica sees node %llu name=%s\n",
+                (unsigned long long)alice,
+                view->props.at("name").ToString().c_str());
+  }
+
+  // 5. Writes on the replica fail fast with a RETRYABLE routing status.
+  {
+    auto txn = replica->Begin();
+    Status s = txn->CreateNode({"Person"}).status();
+    std::printf("write on replica: %s (retryable=%s)\n",
+                s.ToString().c_str(), s.IsRetryable() ? "yes" : "no");
+    if (!s.IsReplicaReadOnly()) return 1;
+  }
+
+  // 6. Replication gauges: lag = primary watermark - replica watermark.
+  const DatabaseStats primary_stats = primary->Stats();
+  const DatabaseStats replica_stats = replica->Stats();
+  std::printf("primary last_committed=%llu replica applied_ts=%llu "
+              "(lag %llu commits), %llu records shipped\n",
+              (unsigned long long)primary_stats.last_committed,
+              (unsigned long long)replica_stats.replica_applied_ts,
+              (unsigned long long)(primary_stats.last_committed -
+                                   replica_stats.replica_applied_ts),
+              (unsigned long long)replica_stats.replica_records_applied);
+
+  replica.reset();  // Stop tailing before the primary goes away.
+  primary.reset();
+  std::filesystem::remove_all(root);
+  std::printf("ok\n");
+  return 0;
+}

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Docs lint: extract every fenced ```sh docs-lint block from the operator
+# docs and execute it from the repository root. Documentation that tells an
+# operator to run something must actually run — CI fails when a documented
+# command stops working.
+#
+#   $ scripts/docs_lint.sh [file...]       # default: README.md docs/OPERATIONS.md
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo_root"
+
+files=("$@")
+if [ ${#files[@]} -eq 0 ]; then
+  files=(README.md docs/OPERATIONS.md)
+fi
+
+total=0
+for file in "${files[@]}"; do
+  if [ ! -f "$file" ]; then
+    echo "docs_lint: missing $file" >&2
+    exit 1
+  fi
+  # Pull out the docs-lint blocks, in order, into one script per file.
+  script="$(awk '
+    /^```sh docs-lint[[:space:]]*$/ { in_block = 1; next }
+    /^```[[:space:]]*$/             { in_block = 0; next }
+    in_block                        { print }
+  ' "$file")"
+  if [ -z "$script" ]; then
+    echo "docs_lint: $file has no \`\`\`sh docs-lint blocks" >&2
+    continue
+  fi
+  blocks=$(grep -c '^```sh docs-lint[[:space:]]*$' "$file")
+  total=$((total + blocks))
+  echo "=== docs_lint: $file ($blocks block(s)) ==="
+  printf '%s\n' "$script" | sed 's/^/    /'
+  bash -euo pipefail -c "$script"
+  echo "=== docs_lint: $file OK ==="
+done
+
+if [ "$total" -eq 0 ]; then
+  echo "docs_lint: no runnable blocks found anywhere" >&2
+  exit 1
+fi
+echo "docs_lint: $total block(s) ran green"

@@ -23,12 +23,15 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <thread>
 
 #include "common/types.h"
 
 namespace neosi {
+
+class WalDir;  // storage/wal_dir.h; options only carries a handle
 
 /// Options controlling a GraphDatabase instance. Plain data; copyable.
 struct DatabaseOptions {
@@ -60,15 +63,17 @@ struct DatabaseOptions {
 
   // --- serializable mode (SSI; strictly opt-in per transaction) ------------
 
-  /// When true (the DEFAULT), a READ-ONLY kSerializable transaction whose
-  /// snapshot is taken while no read-write kSerializable transaction is
-  /// active gets a SAFE SNAPSHOT: it skips all SIREAD marking and
-  /// rw-antidependency tracking and is guaranteed to commit without a
-  /// SerializationFailure (the Ports/Grittner read-only optimization —
-  /// any later read-write serializable transaction starts after this
-  /// snapshot, so its conflicts-out can only point at commits this
-  /// snapshot cannot observe anyway). Consumed once per
-  /// Begin(kSerializable, {read_only}); counted in
+  /// When true (the DEFAULT), a READ-ONLY kSerializable transaction gets a
+  /// SAFE SNAPSHOT when the tracker's probe proves no concurrent
+  /// read-write serializable peer can still commit: (a) no read-write
+  /// serializable transaction is registered and unfinished, AND (b) every
+  /// finished one committed at or below the snapshot timestamp — (b)
+  /// closes the ordered-publication window, where a peer has left the
+  /// tracker but its commit timestamp is not yet readable, so the active
+  /// count alone would miss it. A safe snapshot skips all SIREAD marking
+  /// and rw-antidependency tracking and is guaranteed to commit without a
+  /// SerializationFailure (the Ports/Grittner read-only optimization).
+  /// Consumed once per Begin(kSerializable, {read_only}); counted in
   /// DatabaseStats::ssi_safe_snapshots. False forces every serializable
   /// transaction through full tracking (useful to exercise the tracker).
   bool ssi_safe_snapshots = true;
@@ -197,10 +202,53 @@ struct DatabaseOptions {
   /// the roll path). Default: 2. 0 = always unlink.
   uint64_t wal_recycle_segments = 2;
 
+  /// Fully-checkpointed WAL segments RETAINED (not retired) beyond the live
+  /// chain, in FILES, so a lagging replica can still ship them
+  /// (PostgreSQL's wal_keep_size). Default: 0 = retire eagerly. A replica
+  /// whose shipping cursor falls behind the oldest retained segment stops
+  /// with a Corruption status naming the gap and must be re-seeded.
+  /// Consumed by the checkpoint truncation path.
+  uint64_t wal_keep_segments = 0;
+
   /// fsync the WAL on every commit (grouped: concurrent committers share
   /// one fsync per batch through the GroupCommitter). Default: false — the
   /// experiments measure concurrency-control behaviour, not disk stalls.
   bool sync_commits = false;
+
+  // --- replication (read replicas) -----------------------------------------
+
+  /// Attach this database as a READ REPLICA of the primary whose WAL lives
+  /// in this directory handle (in-process / in-memory topologies: pass the
+  /// primary's own WalDir). Default: null. Mutually exclusive with
+  /// replica_of_path. A replica serves snapshot-isolation reads pinned at
+  /// its replay watermark; writes and serializable begins fail with
+  /// Status::ReplicaReadOnly. Consumed at Open(): wires a
+  /// WalDirReplicationSource into the ReplicaApplier daemon.
+  std::shared_ptr<WalDir> replica_of;
+
+  /// Attach as a read replica of the primary whose WAL segment directory is
+  /// at this filesystem path (cross-process topology; the replica only ever
+  /// opens existing files in it, never creates any). Default: empty.
+  std::string replica_of_path;
+
+  /// Poll interval of the replica applier daemon, in MILLISECONDS: how
+  /// often the replica re-lists the primary's WAL directory and tails the
+  /// newest segment when no new records arrived on the previous pass.
+  /// Default: 5. Bounds steady-state replication lag from below. Ignored
+  /// unless the database is a replica.
+  uint64_t replica_poll_interval_ms = 5;
+
+  /// Grace period, in MILLISECONDS, a shipped purge record waits for
+  /// conflicting replica snapshots (start_ts below the purge's commit ts)
+  /// to finish before the applier cancels them with SnapshotTooOld
+  /// (PostgreSQL's max_standby_streaming_delay, per conflict). Default:
+  /// 100. 0 cancels immediately. Ignored unless the database is a replica.
+  uint64_t replica_conflict_grace_ms = 100;
+
+  /// True when this instance was configured as a read replica.
+  bool IsReplica() const {
+    return replica_of != nullptr || !replica_of_path.empty();
+  }
 
   // --- locking -------------------------------------------------------------
 

@@ -32,6 +32,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "SnapshotTooOld";
     case StatusCode::kSerializationFailure:
       return "SerializationFailure";
+    case StatusCode::kReplicaReadOnly:
+      return "ReplicaReadOnly";
   }
   return "Unknown";
 }

@@ -52,6 +52,10 @@ enum class StatusCode : int {
   /// by a committing peer). Retry the whole transaction; a fresh snapshot
   /// re-runs it against the now-committed conflicting state.
   kSerializationFailure = 13,
+  /// The database was opened as a read replica: writes and serializable
+  /// begins are rejected. Retryable in the sense that the same request
+  /// succeeds when routed to the primary (or after the replica is promoted).
+  kReplicaReadOnly = 14,
 };
 
 /// Returns a short human-readable name ("NotFound", ...) for a code.
@@ -105,6 +109,9 @@ class Status {
   static Status SerializationFailure(std::string msg) {
     return Status(StatusCode::kSerializationFailure, std::move(msg));
   }
+  static Status ReplicaReadOnly(std::string msg) {
+    return Status(StatusCode::kReplicaReadOnly, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
@@ -128,14 +135,19 @@ class Status {
   bool IsSerializationFailure() const {
     return code_ == StatusCode::kSerializationFailure;
   }
+  bool IsReplicaReadOnly() const {
+    return code_ == StatusCode::kReplicaReadOnly;
+  }
 
   /// True for the transaction-retry outcomes (conflict abort, deadlock
-  /// victim, expired snapshot, SSI dangerous-structure abort); callers
-  /// typically retry the whole transaction — a restarted transaction gets a
-  /// fresh snapshot, which clears all four conditions.
+  /// victim, expired snapshot, SSI dangerous-structure abort, write on a
+  /// read replica); callers typically retry the whole transaction — a
+  /// restarted transaction gets a fresh snapshot, which clears the first
+  /// four conditions, and a replica-read-only rejection succeeds when the
+  /// retry is routed to the primary.
   bool IsRetryable() const {
     return IsAborted() || IsDeadlock() || IsSnapshotTooOld() ||
-           IsSerializationFailure();
+           IsSerializationFailure() || IsReplicaReadOnly();
   }
 
   StatusCode code() const { return code_; }

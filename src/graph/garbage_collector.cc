@@ -13,6 +13,12 @@ uint64_t LogAndPurgeTombstones(Engine* engine, const std::vector<RelId>& rels,
                                Timestamp watermark) {
   if (rels.empty() && nodes.empty()) return 0;
 
+  // On a replica, physical reclamation is DRIVEN BY THE PRIMARY: purge
+  // records ship through the applier like any other record, so every
+  // replica reclaims exactly what the primary reclaimed. Local GC still
+  // trims version chains (memory-only), but never purges or logs.
+  if (engine->options.IsReplica()) return 0;
+
   // Physical purges are WAL-logged (with the chain pointers observed at
   // purge time) so a crash mid-surgery is repaired by replay. The record's
   // LSN stays pinned from append until the surgery below has reached the
@@ -21,6 +27,9 @@ uint64_t LogAndPurgeTombstones(Engine* engine, const std::vector<RelId>& rels,
   WalRecord record;
   record.txn_id = kNoTxn;
   record.commit_ts = watermark;
+  // The GC watermark is <= the published watermark by construction, so it
+  // doubles as the record's publication hint for replica appliers.
+  record.publish_ts = watermark;
   for (RelId id : rels) {
     RelationshipRecord rec;
     if (!engine->store.ReadRelRecord(id, &rec).ok() || !rec.in_use) continue;

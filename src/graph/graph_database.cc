@@ -6,6 +6,9 @@ GraphDatabase::GraphDatabase(const DatabaseOptions& options)
     : engine_(std::make_unique<Engine>(options)) {}
 
 GraphDatabase::~GraphDatabase() {
+  // The applier mutates engine state through the same paths a committing
+  // transaction uses; stop it before the daemons it feeds (GC, checkpoint).
+  if (replica_applier_) replica_applier_->Stop();
   // API contract: transactions must not outlive their database — a commit
   // racing this destructor would use freed engine state regardless of the
   // daemon. Unpublishing the pointer before stopping is teardown hygiene
@@ -22,6 +25,17 @@ Result<std::unique_ptr<GraphDatabase>> GraphDatabase::Open(
   if (!options.in_memory && options.path.empty()) {
     return Status::InvalidArgument(
         "on-disk database requires options.path");
+  }
+  if (options.replica_of != nullptr && !options.replica_of_path.empty()) {
+    return Status::InvalidArgument(
+        "set replica_of (in-process) or replica_of_path (directory), not "
+        "both");
+  }
+  if (!options.replica_of_path.empty() &&
+      options.replica_of_path == options.path) {
+    return Status::InvalidArgument(
+        "a replica needs its own directory distinct from the primary's "
+        "(replica_of_path == path)");
   }
   std::unique_ptr<GraphDatabase> db(new GraphDatabase(options));
   Status s = db->OpenImpl();
@@ -63,6 +77,23 @@ Status GraphDatabase::OpenImpl() {
     checkpoint_daemon_->Start();
     engine_->checkpoint_daemon.store(checkpoint_daemon_.get(),
                                      std::memory_order_release);
+  }
+  if (engine_->options.IsReplica()) {
+    std::shared_ptr<WalDir> source_dir = engine_->options.replica_of;
+    if (source_dir == nullptr) {
+      source_dir =
+          std::make_shared<PosixWalDir>(engine_->options.replica_of_path);
+    }
+    replica_applier_ = std::make_unique<ReplicaApplier>(
+        engine_.get(),
+        std::make_unique<WalDirReplicationSource>(std::move(source_dir)),
+        engine_->options.replica_poll_interval_ms,
+        engine_->options.replica_conflict_grace_ms);
+    NEOSI_RETURN_IF_ERROR(replica_applier_->Bootstrap(*max_ts));
+    // Poll interval 0 = manual mode: tests drive RunOnce() deterministically.
+    if (engine_->options.replica_poll_interval_ms > 0) {
+      replica_applier_->Start();
+    }
   }
   return Status::OK();
 }
@@ -119,7 +150,10 @@ std::unique_ptr<Transaction> GraphDatabase::Begin(
   // guarantee the probe can never miss a read-write peer whose snapshot
   // predates the read-only one.
   std::shared_ptr<SsiTxnInfo> ssi;
-  const bool serializable = isolation == IsolationLevel::kSerializable;
+  // On a replica, serializable transactions are rejected at first use
+  // (Transaction::CheckActive) — never enter them into the SSI tracker.
+  const bool serializable = isolation == IsolationLevel::kSerializable &&
+                            !engine_->options.IsReplica();
   if (serializable && !options.read_only) {
     ssi = engine_->ssi.Register(id, /*read_only=*/false);
   }
@@ -219,6 +253,18 @@ DatabaseStats GraphDatabase::Stats() const {
   stats.ssi_aborts_doomed = ssi.aborts_doomed;
   stats.active_txns = engine_->active_txns.ActiveCount();
   stats.last_committed = engine_->oracle.ReadTs();
+  if (replica_applier_) {
+    stats.is_replica = true;
+    stats.replica_applied_ts = replica_applier_->applied_ts();
+    stats.replica_publish_ts = replica_applier_->primary_publish_ts();
+    stats.replica_shipped_lsn = replica_applier_->shipped_lsn();
+    stats.replica_polls = replica_applier_->polls();
+    stats.replica_records_applied = replica_applier_->records_applied();
+    stats.replica_records_skipped = replica_applier_->records_skipped();
+    stats.replica_purges_applied = replica_applier_->purges_applied();
+  }
+  stats.snapshots_expired_replication =
+      engine_->active_txns.snapshots_expired_replication();
   return stats;
 }
 

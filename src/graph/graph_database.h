@@ -22,6 +22,7 @@
 #include "graph/engine.h"
 #include "graph/garbage_collector.h"
 #include "graph/gc_daemon.h"
+#include "graph/replica_applier.h"
 #include "graph/transaction.h"
 #include "graph/vacuum_gc.h"
 
@@ -79,6 +80,20 @@ struct DatabaseStats {
   uint64_t ssi_aborts_doomed = 0;   ///< Victims doomed by a committing peer.
   uint64_t active_txns = 0;
   Timestamp last_committed = kNoTimestamp;
+  /// Replication gauges (all zero on a primary). replica_applied_ts is the
+  /// replay watermark replica snapshots pin to; replica_publish_ts is the
+  /// newest publication hint shipped from the primary — the difference is
+  /// the replication lag in commits.
+  bool is_replica = false;
+  Timestamp replica_applied_ts = kNoTimestamp;
+  Timestamp replica_publish_ts = kNoTimestamp;
+  Lsn replica_shipped_lsn = 0;
+  uint64_t replica_polls = 0;
+  uint64_t replica_records_applied = 0;
+  uint64_t replica_records_skipped = 0;
+  uint64_t replica_purges_applied = 0;
+  /// Snapshots expired to let a shipped purge through (standby conflicts).
+  uint64_t snapshots_expired_replication = 0;
 };
 
 /// Per-transaction knobs for Begin() beyond the isolation level.
@@ -143,6 +158,10 @@ class GraphDatabase {
   /// only when options.checkpoint_interval_ms == 0).
   CheckpointDaemon* checkpoint_daemon() { return checkpoint_daemon_.get(); }
 
+  /// Replica replay daemon (null on a primary). Non-null exactly when
+  /// options.IsReplica().
+  ReplicaApplier* replica_applier() { return replica_applier_.get(); }
+
  private:
   explicit GraphDatabase(const DatabaseOptions& options);
 
@@ -154,8 +173,51 @@ class GraphDatabase {
   std::unique_ptr<VacuumGc> vacuum_;
   std::unique_ptr<GcDaemon> gc_daemon_;
   std::unique_ptr<CheckpointDaemon> checkpoint_daemon_;
+  std::unique_ptr<ReplicaApplier> replica_applier_;
 
   friend class Transaction;
+};
+
+/// Session-scoped monotonic reads against a replica (or several).
+///
+/// A replica's watermark trails the primary, and different replicas trail
+/// by different amounts — two successive snapshots routed to different
+/// replicas could otherwise travel BACKWARDS in time. A session remembers
+/// the newest snapshot timestamp it has observed (its floor) and Begin()
+/// blocks until the target replica's published watermark reaches it, so
+/// reads within one session never regress. Feed timestamps observed out of
+/// band (e.g. a write acknowledged by the primary) through AdvanceFloor()
+/// to get read-your-writes on top.
+///
+/// Thread-safe; one instance may be shared by a session's threads.
+class ReplicaSession {
+ public:
+  ReplicaSession() = default;
+
+  /// Begins a read-only snapshot-isolation transaction on `db` whose
+  /// snapshot is at or above every snapshot this session has seen.
+  std::unique_ptr<Transaction> Begin(GraphDatabase* db) {
+    db->engine().oracle.WaitUntilPublished(
+        floor_.load(std::memory_order_acquire));
+    TransactionOptions opts;
+    opts.read_only = true;
+    auto txn = db->Begin(IsolationLevel::kSnapshotIsolation, opts);
+    AdvanceFloor(txn->start_ts());
+    return txn;
+  }
+
+  /// Raises the floor to `ts` (no-op if already above).
+  void AdvanceFloor(Timestamp ts) {
+    Timestamp cur = floor_.load(std::memory_order_relaxed);
+    while (cur < ts &&
+           !floor_.compare_exchange_weak(cur, ts, std::memory_order_acq_rel)) {
+    }
+  }
+
+  Timestamp floor() const { return floor_.load(std::memory_order_acquire); }
+
+ private:
+  std::atomic<Timestamp> floor_{0};
 };
 
 }  // namespace neosi

@@ -30,7 +30,19 @@ Transaction::~Transaction() {
 }
 
 Status Transaction::CheckActive() const {
-  if (state_ == TxnState::kActive) return Status::OK();
+  if (state_ == TxnState::kActive) {
+    // Serializable isolation needs SSI tracking across the whole commit
+    // graph, and a replica only ever sees the primary's committed history —
+    // it cannot validate rw-antidependencies. Fail with the retryable
+    // routing status instead of silently weakening the guarantee.
+    if (isolation_ == IsolationLevel::kSerializable &&
+        engine_->options.IsReplica()) {
+      return Status::ReplicaReadOnly(
+          "serializable transactions are not available on a read replica; "
+          "use snapshot isolation here or route to the primary");
+    }
+    return Status::OK();
+  }
   return Status::FailedPrecondition(
       state_ == TxnState::kCommitted ? "transaction already committed"
                                      : "transaction already aborted");
@@ -53,6 +65,11 @@ Status Transaction::FailIfSnapshotExpired() {
 // ---------------------------------------------------------------------------
 
 Status Transaction::FailIfReadOnly() const {
+  if (engine_->options.IsReplica()) {
+    return Status::ReplicaReadOnly(
+        "this database is a read replica (DatabaseOptions::replica_of); "
+        "route writes to the primary");
+  }
   if (!read_only_) return Status::OK();
   return Status::FailedPrecondition(
       "transaction was opened read-only (TransactionOptions::read_only)");
@@ -1412,6 +1429,7 @@ Status Transaction::CommitTokenOnly() {
     WalRecord record;
     record.txn_id = id_;
     record.commit_ts = engine_->oracle.ReadTs();
+    record.publish_ts = record.commit_ts;
     record.ops = std::move(wal_ops_);
     // No LSN pin needed: the token-store page writes happened at
     // GetOrCreate time (BEFORE this append), so a fuzzy checkpoint that
@@ -1461,6 +1479,10 @@ Result<Lsn> Transaction::WriteCommitRecord(Timestamp ts) {
   WalRecord record;
   record.txn_id = id_;
   record.commit_ts = ts;
+  // Publication hint for replica appliers: every commit with a timestamp at
+  // or below the CURRENT watermark already finished its append (appends
+  // happen before publication), so it sits at a lower LSN than this record.
+  record.publish_ts = engine_->oracle.ReadTs();
   record.ops = std::move(wal_ops_);
   // pin=true: the returned lsn stays checkpoint-proof until the caller has
   // applied this commit to the stores and unpins it.

@@ -131,6 +131,7 @@ Status GraphStore::Open() {
   WalOptions wal_options;
   wal_options.segment_size = options_.wal_segment_size;
   wal_options.recycle_segments = options_.wal_recycle_segments;
+  wal_options.keep_segments = options_.wal_keep_segments;
   wal_ = std::make_unique<Wal>(std::move(wal_dir), wal_options);
   return wal_->Open();
 }

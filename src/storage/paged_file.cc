@@ -74,6 +74,19 @@ Status PosixFile::Open(const std::string& path,
   return Status::OK();
 }
 
+Status PosixFile::OpenExisting(const std::string& path,
+                               std::unique_ptr<PagedFile>* out) {
+  int fd = ::open(path.c_str(), O_RDWR);
+  if (fd < 0) {
+    if (errno == ENOENT) {
+      return Status::NotFound("open " + path + ": no such file");
+    }
+    return Status::IOError("open " + path + ": " + strerror(errno));
+  }
+  out->reset(new PosixFile(fd, path));
+  return Status::OK();
+}
+
 Status PosixFile::ReadAt(uint64_t offset, size_t n, char* buf) const {
   size_t done = 0;
   while (done < n) {

@@ -99,6 +99,12 @@ class PosixFile final : public PagedFile {
   /// Opens (creating if needed) the file at path.
   static Status Open(const std::string& path, std::unique_ptr<PagedFile>* out);
 
+  /// Opens the file at path WITHOUT creating it; NotFound if absent.
+  /// Replica tailers use this so racing a primary's segment retirement can
+  /// never plant an empty file in the primary's directory.
+  static Status OpenExisting(const std::string& path,
+                             std::unique_ptr<PagedFile>* out);
+
   Status ReadAt(uint64_t offset, size_t n, char* buf) const override;
   Status WriteAt(uint64_t offset, const char* data, size_t n) override;
   Status Truncate(uint64_t size) override;

@@ -1,0 +1,79 @@
+// Record shipping for read replicas.
+//
+// A ReplicationSource hands a replica the primary's WAL records in LSN
+// order, from wherever the replica's shipping cursor stands. The first
+// implementation tails the primary's WalDir directly (file-copy shipping:
+// same machine or a shared / snapshotted filesystem); the interface is a
+// single pull call so a socket-streaming source can slot in later without
+// touching the applier.
+//
+// Safety against the live primary:
+//  - the source only ever opens EXISTING files (WalDir::OpenExisting), so
+//    losing a race against segment retirement can never create a stray file
+//    in the primary's directory;
+//  - a segment's frames are final once a successor segment exists (the Wal
+//    syncs the retiring segment before the new one enters the chain), so
+//    only the newest segment may have a growing / torn tail;
+//  - segment recycling truncates the file to zero FIRST, so a tailer that
+//    raced a recycle sees either a shrunk file, a missing file, or a header
+//    whose base changed — the source re-validates the header after reading
+//    frames and discards everything from a segment that changed identity
+//    mid-read (the next poll re-reads it from the fresh listing);
+//  - every frame carries a CRC, so a torn or in-flight write is detected
+//    and simply ends the poll (the tail is re-tried on the next pass).
+//
+// A cursor below the oldest retained segment is unrecoverable (the primary
+// checkpointed the history away) and reported as Corruption: the replica
+// must be re-seeded from a fresh copy of the primary. wal_keep_segments on
+// the primary widens the window.
+
+#ifndef NEOSI_STORAGE_REPLICATION_SOURCE_H_
+#define NEOSI_STORAGE_REPLICATION_SOURCE_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "storage/wal_dir.h"
+#include "storage/wal_ops.h"
+
+namespace neosi {
+
+/// One shipped record plus its primary LSN (the shipping-cursor unit).
+struct ShippedRecord {
+  Lsn lsn = 0;
+  WalRecord record;
+};
+
+/// Pull interface the ReplicaApplier drains.
+class ReplicationSource {
+ public:
+  virtual ~ReplicationSource() = default;
+
+  /// Appends every record with LSN >= `cursor` currently readable at the
+  /// source to *out, in LSN order, and sets *next_cursor one past the last
+  /// record shipped (== `cursor` when nothing new arrived). A clean "no new
+  /// records yet" is OK with an empty batch; Corruption means the cursor
+  /// fell behind the source's retained history and the replica must be
+  /// re-seeded.
+  virtual Status Poll(Lsn cursor, std::vector<ShippedRecord>* out,
+                      Lsn* next_cursor) = 0;
+};
+
+/// Tails a primary's WAL segment directory (file-copy shipping).
+class WalDirReplicationSource final : public ReplicationSource {
+ public:
+  explicit WalDirReplicationSource(std::shared_ptr<WalDir> dir)
+      : dir_(std::move(dir)) {}
+
+  Status Poll(Lsn cursor, std::vector<ShippedRecord>* out,
+              Lsn* next_cursor) override;
+
+ private:
+  std::shared_ptr<WalDir> dir_;
+};
+
+}  // namespace neosi
+
+#endif  // NEOSI_STORAGE_REPLICATION_SOURCE_H_

@@ -494,6 +494,10 @@ Status Wal::WriteFrameAtLocked(Lsn lsn, const char* data, size_t n) {
     NEOSI_RETURN_IF_ERROR(AddSegmentLocked(lsn));
     active = active_.load(std::memory_order_relaxed);
     phys = kSegmentHeaderSize;
+    // Post-roll write-failure crash point — same site the batched path
+    // exposes, so single-record appenders (the replica applier's re-log
+    // path) exercise the un-roll too.
+    NEOSI_RETURN_IF_ERROR(fault_hooks.Check("wal.append.fail_after_roll"));
   }
   return active->file->WriteAt(phys, data, n);
 }
@@ -727,8 +731,12 @@ Status Wal::TruncatePrefix(Lsn lsn) {
     {
       std::lock_guard<std::mutex> seg_guard(seg_mu_);
       // A segment's frames end where its successor begins; it is dead iff
-      // that end is at or below the new head.
-      if (segments_.size() <= 1 || segments_[1]->base > lsn) break;
+      // that end is at or below the new head. keep_segments retains that
+      // many extra dead segments for lagging replicas (wal_keep_segments).
+      if (segments_.size() <= 1 + options_.keep_segments ||
+          segments_[1]->base > lsn) {
+        break;
+      }
       index = segments_.front()->index;
       victim = SegmentName(index);
       segments_.pop_front();

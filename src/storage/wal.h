@@ -75,6 +75,10 @@ struct WalOptions {
   /// Retired segments kept in the recycle pool for reuse instead of being
   /// unlinked (0 = always unlink).
   uint64_t recycle_segments = 2;
+  /// Fully-checkpointed segments RETAINED in the chain beyond the live
+  /// prefix so a lagging replica can still read them (0 = retire eagerly).
+  /// TruncatePrefix keeps this many extra segments below the cut.
+  uint64_t keep_segments = 0;
 };
 
 /// Named crash-point hook (tests only; never set on production paths). When
@@ -174,6 +178,11 @@ class Wal {
 
   /// The commit batcher bound to this log.
   GroupCommitter& group() { return group_; }
+
+  /// The directory this log lives in. Replication hands this to a
+  /// WalDirReplicationSource so an in-process replica can tail the live
+  /// primary without going through the filesystem.
+  const std::shared_ptr<WalDir>& dir() const { return dir_; }
 
   /// Replays every live record in order (from the head). Stops cleanly at a
   /// torn tail in the newest segment (which is then truncated so later

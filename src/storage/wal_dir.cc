@@ -60,6 +60,11 @@ Status PosixWalDir::Open(const std::string& name,
   return PosixFile::Open(path_ + "/" + name, out);
 }
 
+Status PosixWalDir::OpenExisting(const std::string& name,
+                                 std::unique_ptr<PagedFile>* out) {
+  return PosixFile::OpenExisting(path_ + "/" + name, out);
+}
+
 bool PosixWalDir::Exists(const std::string& name) const {
   return ::access((path_ + "/" + name).c_str(), F_OK) == 0;
 }
@@ -109,6 +114,17 @@ Status InMemoryWalDir::Open(const std::string& name,
   auto& slot = files_[name];
   if (slot == nullptr) slot = std::make_shared<InMemoryFile>();
   out->reset(new SharedFileRef(slot));
+  return Status::OK();
+}
+
+Status InMemoryWalDir::OpenExisting(const std::string& name,
+                                    std::unique_ptr<PagedFile>* out) {
+  std::lock_guard<std::mutex> guard(mu_);
+  auto it = files_.find(name);
+  if (it == files_.end()) {
+    return Status::NotFound("in-memory wal dir: " + name);
+  }
+  out->reset(new SharedFileRef(it->second));
   return Status::OK();
 }
 

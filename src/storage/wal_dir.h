@@ -41,6 +41,13 @@ class WalDir {
   virtual Status Open(const std::string& name,
                       std::unique_ptr<PagedFile>* out) = 0;
 
+  /// Opens `name` only if it already exists; NotFound otherwise. The
+  /// replica tailer reads a primary's directory exclusively through this so
+  /// a lost race against segment retirement can never create a stray file
+  /// in the primary's WAL directory.
+  virtual Status OpenExisting(const std::string& name,
+                              std::unique_ptr<PagedFile>* out) = 0;
+
   virtual bool Exists(const std::string& name) const = 0;
 
   /// Unlinks `name`. Open handles keep working until closed (POSIX
@@ -63,6 +70,8 @@ class PosixWalDir final : public WalDir {
   Status List(std::vector<std::string>* names) const override;
   Status Open(const std::string& name,
               std::unique_ptr<PagedFile>* out) override;
+  Status OpenExisting(const std::string& name,
+                      std::unique_ptr<PagedFile>* out) override;
   bool Exists(const std::string& name) const override;
   Status Remove(const std::string& name) override;
   Status Rename(const std::string& from, const std::string& to) override;
@@ -80,6 +89,8 @@ class InMemoryWalDir final : public WalDir {
   Status List(std::vector<std::string>* names) const override;
   Status Open(const std::string& name,
               std::unique_ptr<PagedFile>* out) override;
+  Status OpenExisting(const std::string& name,
+                      std::unique_ptr<PagedFile>* out) override;
   bool Exists(const std::string& name) const override;
   Status Remove(const std::string& name) override;
   Status Rename(const std::string& from, const std::string& to) override;

@@ -307,6 +307,9 @@ void WalRecord::EncodeTo(std::string* dst) const {
   PutVarint64(dst, commit_ts);
   PutVarint64(dst, ops.size());
   for (const WalOp& op : ops) op.EncodeTo(dst);
+  // Optional trailer: present only when non-zero so records without a
+  // publication hint stay byte-identical to the pre-replication format.
+  if (publish_ts != kNoTimestamp) PutVarint64(dst, publish_ts);
 }
 
 Status WalRecord::DecodeFrom(Slice input, WalRecord* out) {
@@ -321,6 +324,10 @@ Status WalRecord::DecodeFrom(Slice input, WalRecord* out) {
   out->ops.resize(n);
   for (uint64_t i = 0; i < n; ++i) {
     NEOSI_RETURN_IF_ERROR(WalOp::DecodeFrom(&input, &out->ops[i]));
+  }
+  out->publish_ts = kNoTimestamp;
+  if (!input.empty() && !GetVarint64(&input, &out->publish_ts)) {
+    return Status::Corruption("wal record: publish ts");
   }
   if (!input.empty()) {
     return Status::Corruption("wal record: trailing bytes");

@@ -121,6 +121,16 @@ struct WalRecord {
   TxnId txn_id = kNoTxn;
   Timestamp commit_ts = kNoTimestamp;
   std::vector<WalOp> ops;
+  /// Publication hint for replicas: a commit timestamp the producer
+  /// observed as fully published (oracle ReadTs) at append time. Every
+  /// commit with commit_ts <= publish_ts was appended at a strictly lower
+  /// LSN, so a replica that has replayed all records below this one may
+  /// advance its replay watermark to publish_ts even if intermediate
+  /// timestamps were abandoned (commit I/O failure after timestamp
+  /// allocation). Zero means "no hint"; zero is also what pre-replication
+  /// records decode to, and records with a zero hint encode byte-identically
+  /// to the legacy format.
+  Timestamp publish_ts = kNoTimestamp;
 
   void EncodeTo(std::string* dst) const;
   static Status DecodeFrom(Slice input, WalRecord* out);

@@ -136,6 +136,22 @@ SnapshotExpiryOutcome ActiveTxnTable::ExpireSnapshots(uint64_t max_age_ms,
   return outcome;
 }
 
+uint64_t ActiveTxnTable::ExpireSnapshotsBelow(Timestamp ts) {
+  uint64_t marked = 0;
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> guard(shard->mu);
+    for (auto& [txn, entry] : shard->active) {
+      if (!entry.pins_watermark) continue;
+      if (entry.start_ts >= ts) continue;
+      if (entry.expired->load(std::memory_order_relaxed)) continue;
+      entry.expired->store(true, std::memory_order_release);
+      ++marked;
+    }
+  }
+  expired_replication_.fetch_add(marked, std::memory_order_relaxed);
+  return marked;
+}
+
 size_t ActiveTxnTable::ActiveCount() const {
   size_t n = 0;
   for (const auto& shard : shards_) {

@@ -111,6 +111,14 @@ class ActiveTxnTable {
   SnapshotExpiryOutcome ExpireSnapshots(uint64_t max_age_ms,
                                         bool backlog_pressure);
 
+  /// Replication-conflict expiry (the standby-query-conflict path): marks
+  /// every watermark-pinning registration with start_ts < `ts` expired, so
+  /// a replica applier can replay a shipped purge that would otherwise wait
+  /// on those snapshots forever. Victims fail their next read or commit
+  /// with SnapshotTooOld. Returns the number newly marked; the total
+  /// accumulates in snapshots_expired_replication().
+  uint64_t ExpireSnapshotsBelow(Timestamp ts);
+
   size_t ActiveCount() const;
   size_t shard_count() const { return shards_.size(); }
   std::vector<TxnId> ActiveTxnIds() const;
@@ -130,6 +138,9 @@ class ActiveTxnTable {
   }
   uint64_t snapshots_expired_backlog() const {
     return expired_backlog_.load(std::memory_order_relaxed);
+  }
+  uint64_t snapshots_expired_replication() const {
+    return expired_replication_.load(std::memory_order_relaxed);
   }
   uint64_t snapshot_too_old_aborts() const {
     return too_old_aborts_.load(std::memory_order_relaxed);
@@ -161,6 +172,7 @@ class ActiveTxnTable {
 
   std::atomic<uint64_t> expired_age_{0};
   std::atomic<uint64_t> expired_backlog_{0};
+  std::atomic<uint64_t> expired_replication_{0};
   std::atomic<uint64_t> too_old_aborts_{0};
 };
 

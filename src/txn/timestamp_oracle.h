@@ -92,6 +92,30 @@ class TimestampOracle {
     }
   }
 
+  /// Replica-side watermark advance: jumps the published watermark straight
+  /// to `ts` (no-op when already there) and wakes every publication waiter
+  /// it satisfies. A replica never allocates commit timestamps — its
+  /// applier replays the primary's commits and publishes each replayed
+  /// prefix with this — so the density contract of NextCommitTs /
+  /// FinishCommit is never mixed with jumps on the same oracle.
+  void AdvanceReadTs(Timestamp ts) {
+    std::vector<std::shared_ptr<WaitSlot>> satisfied;
+    {
+      std::lock_guard<std::mutex> guard(mu_);
+      if (ts <= last_committed_.load(std::memory_order_relaxed)) return;
+      last_committed_.store(ts, std::memory_order_release);
+      if (next_commit_.load(std::memory_order_relaxed) <= ts) {
+        next_commit_.store(ts + 1, std::memory_order_relaxed);
+      }
+      auto end = wait_slots_.upper_bound(ts);
+      for (auto it = wait_slots_.begin(); it != end; ++it) {
+        satisfied.push_back(std::move(it->second));
+      }
+      wait_slots_.erase(wait_slots_.begin(), end);
+    }
+    for (const auto& slot : satisfied) slot->cv.notify_all();
+  }
+
   /// Distinct timestamps with parked publication waiters (test hook).
   size_t WaitingSlotCount() const {
     std::lock_guard<std::mutex> guard(mu_);
