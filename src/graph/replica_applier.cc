@@ -550,6 +550,12 @@ Status ReplicaApplier::WriteCursorFile(Lsn cursor) {
   EncodeFixed64(buf + 4, cursor);
   EncodeFixed32(buf + 12, Crc32c(buf, 12));
   NEOSI_RETURN_IF_ERROR(file->WriteAt(0, buf, kCursorPayload));
+  // Named EIO point: a cursor-file fsync failure must fail the persist (the
+  // in-memory cursor stays ahead, replay just redoes work) — never get
+  // swallowed and let the durable cursor claim records the crashed kernel
+  // dropped.
+  NEOSI_RETURN_IF_ERROR(
+      engine_->store.fault_hooks.Check("replica.cursor.sync"));
   NEOSI_RETURN_IF_ERROR(file->Sync());
   file.reset();
   NEOSI_RETURN_IF_ERROR(dir->Rename(tmp, kCursorFileName));

@@ -75,6 +75,16 @@ struct GraphStoreStats {
   uint64_t wal_segments_deleted = 0;    ///< Dead segments unlinked outright.
   uint64_t wal_segments_recycled = 0;   ///< Dead segments parked for reuse.
   uint64_t wal_segments_reused = 0;     ///< Pool segments re-entering chain.
+  uint64_t wal_segments_preallocated = 0;  ///< Rolls that adopted a prebuilt file.
+  /// Commit I/O state: the flushed-LSN watermark acks wait on, and the
+  /// sticky-failure flag (true after any WAL fsync/dir-sync error — every
+  /// later commit fails until the store is reopened).
+  uint64_t wal_flushed_lsn = 0;
+  bool wal_poisoned = false;
+  /// Dynamic-store blocks in use but unreachable from any live property
+  /// chain, measured by the reopen-time blob audit (crash-recovery leak;
+  /// see docs/OPERATIONS.md).
+  uint64_t dyn_leaked_blocks = 0;
   /// Fuzzy checkpoint counters.
   uint64_t checkpoints = 0;
   uint64_t checkpoint_markers = 0;          ///< Markers written (fuzzy cuts).
@@ -303,6 +313,11 @@ class GraphStore {
   /// would destroy that chain. Recover() reclaims the leaked records with
   /// PropertyStore::SweepUnreachable once replay completes.
   bool recovering_ = false;
+
+  /// Result of the last reopen-time blob reachability audit (see
+  /// PropertyStore::AuditBlobReachability): dynamic-store blocks leaked by
+  /// crash recovery so far. Gauge, refreshed by every Recover().
+  std::atomic<uint64_t> dyn_leaked_blocks_{0};
 
   std::unique_ptr<RecordStore> nodes_;
   std::unique_ptr<RecordStore> rels_;

@@ -127,6 +127,24 @@ Status PosixFile::Truncate(uint64_t size) {
   return Status::OK();
 }
 
+Status PosixFile::Preallocate(uint64_t size) {
+  if (size == 0) return Status::OK();
+#if defined(__linux__) && defined(FALLOC_FL_KEEP_SIZE)
+  if (::fallocate(fd_, FALLOC_FL_KEEP_SIZE, 0,
+                  static_cast<off_t>(size)) != 0) {
+    // Advisory on filesystems without allocation support (tmpfs predates
+    // it on some kernels); a real out-of-space must surface, though — the
+    // caller falls back to an unreserved segment.
+    if (errno != EOPNOTSUPP && errno != ENOTSUP && errno != EINVAL) {
+      return Status::IOError("fallocate " + path_ + ": " + strerror(errno));
+    }
+  }
+#else
+  (void)size;
+#endif
+  return Status::OK();
+}
+
 Status PosixFile::PunchHole(uint64_t offset, uint64_t n) {
   if (n == 0) return Status::OK();
 #if defined(__linux__) && defined(FALLOC_FL_PUNCH_HOLE)

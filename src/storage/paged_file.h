@@ -33,6 +33,20 @@ class PagedFile {
   /// Flushes to stable storage (no-op for the in-memory backend).
   virtual Status Sync() = 0;
 
+  /// Underlying POSIX descriptor for io_uring submission; -1 for backends
+  /// without one (the caller then uses Sync()).
+  virtual int RawFd() const { return -1; }
+
+  /// Reserves physical storage for the first `size` bytes WITHOUT changing
+  /// the file size (fallocate KEEP_SIZE where supported), so later writes
+  /// into the range cannot fail with ENOSPC and extend cheaply. Advisory:
+  /// backends without allocation support return OK and do nothing. The WAL
+  /// flusher uses this to build the next segment off the append path.
+  virtual Status Preallocate(uint64_t size) {
+    (void)size;
+    return Status::OK();
+  }
+
   /// Releases the physical storage backing [offset, offset+n) without
   /// changing the file size; the range reads back as zeros where supported.
   /// Advisory: backends without hole support return OK and do nothing.
@@ -110,9 +124,14 @@ class PosixFile final : public PagedFile {
   Status Truncate(uint64_t size) override;
   uint64_t Size() const override;
   Status Sync() override;
+  /// fallocate(KEEP_SIZE) / posix_fallocate where supported; silently a
+  /// no-op on filesystems without allocation support.
+  Status Preallocate(uint64_t size) override;
   /// fallocate(PUNCH_HOLE) where the platform/filesystem supports it;
   /// silently a no-op otherwise.
   Status PunchHole(uint64_t offset, uint64_t n) override;
+
+  int RawFd() const override { return fd_; }
 
  private:
   explicit PosixFile(int fd, std::string path)

@@ -50,6 +50,17 @@ class PropertyStore {
   /// bounded per crash.
   Status SweepUnreachable(const std::vector<PropId>& roots, uint64_t* freed);
 
+  /// Reopen-time audit of the bounded leak documented above: walks every
+  /// overflow chain hanging off a reachable property record (Corruption if
+  /// any is broken — the reachability assert) and counts dynamic-store
+  /// blocks that are in use but reachable from NO live chain, i.e. the
+  /// blobs crash recovery has leaked so far. Read-only: the leak is
+  /// deliberately not repaired (see SweepUnreachable), only measured, so
+  /// growth shows up in stats/tests. Bound: each crash leaks at most the
+  /// overflow blocks of the chains whose frees that recovery suppressed.
+  Status AuditBlobReachability(const std::vector<PropId>& roots,
+                               uint64_t* leaked_blocks);
+
   RecordStoreStats PropStats() const { return props_.Stats(); }
   RecordStoreStats DynStats() const { return dyn_.Stats(); }
   Status Sync();

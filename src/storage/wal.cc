@@ -2,15 +2,62 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <vector>
 
 #include "common/coding.h"
+
+// io_uring slot for the flusher's fsync: opt-in at configure time
+// (-DNEOSI_IO_URING=ON) and compiled only where liburing is actually
+// installed — the worker-thread fsync below is the portable path.
+#if defined(NEOSI_HAVE_IO_URING)
+#if __has_include(<liburing.h>)
+#include <liburing.h>
+#else
+#undef NEOSI_HAVE_IO_URING
+#endif
+#endif
 
 namespace neosi {
 
 namespace {
 
 constexpr size_t kFrameHeader = 8;  // u32 length + u32 crc
+
+/// fsyncs `file` on behalf of a flush pass: through a per-thread io_uring
+/// when built with support and the backend exposes a descriptor, plain
+/// PagedFile::Sync() otherwise.
+Status SyncForFlush(PagedFile* file) {
+#if defined(NEOSI_HAVE_IO_URING)
+  const int fd = file->RawFd();
+  if (fd >= 0) {
+    thread_local struct io_uring ring;
+    thread_local int ring_state = 0;  // 0 = uninit, 1 = ok, -1 = unavailable
+    if (ring_state == 0) {
+      ring_state = io_uring_queue_init(8, &ring, 0) == 0 ? 1 : -1;
+    }
+    if (ring_state == 1) {
+      struct io_uring_sqe* sqe = io_uring_get_sqe(&ring);
+      if (sqe != nullptr) {
+        io_uring_prep_fsync(sqe, fd, 0);
+        if (io_uring_submit(&ring) == 1) {
+          struct io_uring_cqe* cqe = nullptr;
+          if (io_uring_wait_cqe(&ring, &cqe) == 0) {
+            const int res = cqe->res;
+            io_uring_cqe_seen(&ring, cqe);
+            if (res < 0) {
+              return Status::IOError(std::string("io_uring fsync: ") +
+                                     std::strerror(-res));
+            }
+            return Status::OK();
+          }
+        }
+      }
+    }
+  }
+#endif
+  return file->Sync();
+}
 
 // Segment header byte layout: magic(4) version(4) base(8) epoch(8) crc(4),
 // zero-padded to Wal::kSegmentHeaderSize. "NWS1".
@@ -86,11 +133,58 @@ std::string Wal::FreeName(uint64_t index) {
   return IndexedName("wal.free.", index);
 }
 
+std::string Wal::PrepName(uint64_t seq) {
+  return IndexedName("wal.prep.", seq);
+}
+
 Wal::Wal(std::shared_ptr<WalDir> dir, WalOptions options)
     : dir_(std::move(dir)), options_(options) {
   if (options_.segment_size < kSegmentHeaderSize + kFrameHeader) {
     options_.segment_size = kSegmentHeaderSize + kFrameHeader;
   }
+}
+
+Wal::~Wal() { StopFlusher(); }
+
+// --- sticky poison state --------------------------------------------------
+
+Status Wal::PoisonedStatusLocked() const {
+  return Status::IOError("wal poisoned by earlier sync failure (" +
+                         poison_cause_.ToString() +
+                         "); reopen the store to recover");
+}
+
+Status Wal::PoisonedStatus() const {
+  if (!poisoned_.load(std::memory_order_acquire)) return Status::OK();
+  std::lock_guard<std::mutex> guard(flush_mu_);
+  return PoisonedStatusLocked();
+}
+
+Status Wal::CheckPoisoned() const {
+  if (!poisoned_.load(std::memory_order_acquire)) return Status::OK();
+  std::lock_guard<std::mutex> guard(flush_mu_);
+  return PoisonedStatusLocked();
+}
+
+void Wal::Poison(const Status& cause) {
+  // Recovery-time failures stay fail-stop: Open() itself errors out and no
+  // state survives to need poisoning.
+  if (!open_complete_.load(std::memory_order_acquire)) return;
+  std::vector<std::shared_ptr<FlushWaiter>> wake;
+  {
+    std::lock_guard<std::mutex> guard(flush_mu_);
+    if (!poisoned_.load(std::memory_order_relaxed)) {
+      poison_cause_ = cause;
+      // RELEASE-publish after the cause is recorded: CheckPoisoned()'s
+      // acquire load then always finds the cause it is about to report.
+      poisoned_.store(true, std::memory_order_release);
+    }
+    // Fail every parked commit ack whose flush will now never happen.
+    for (auto& [lsn, waiter] : flush_waiters_) wake.push_back(waiter);
+    flush_waiters_.clear();
+  }
+  for (auto& waiter : wake) waiter->cv.notify_all();
+  flush_cv_.notify_all();
 }
 
 Status Wal::WriteSegmentHeader(PagedFile* file, Lsn base, uint64_t epoch) {
@@ -124,6 +218,14 @@ Status Wal::ReadSegmentHeader(PagedFile* file, Lsn* base, uint64_t* epoch,
 }
 
 Status Wal::AddSegmentLocked(Lsn base) {
+  {
+    std::unique_ptr<PreparedSegment> prep;
+    {
+      std::lock_guard<std::mutex> guard(seg_mu_);
+      prep = std::move(prepared_);
+    }
+    if (prep != nullptr) return AdoptPreparedLocked(base, std::move(prep));
+  }
   const uint64_t index = next_index_;
   const std::string name = SegmentName(index);
   std::string free_name;
@@ -145,11 +247,19 @@ Status Wal::AddSegmentLocked(Lsn base) {
     if (s.ok()) s = file->Truncate(0);
     if (s.ok()) s = WriteSegmentHeader(file.get(), base, epoch_);
     if (s.ok()) s = file->Sync();
-    if (!s.ok()) return s;  // Still free-named: ignored at any reopen.
+    if (!s.ok()) {
+      Poison(s);  // A failed fsync of the next chain link is sticky too.
+      return s;   // Still free-named: ignored at any reopen.
+    }
     s = dir_->Rename(free_name, name);
     if (!s.ok()) return s;
-    s = dir_->SyncDir();
-    if (s.ok()) segments_reused_.fetch_add(1, std::memory_order_relaxed);
+    s = fault_hooks.Check("wal.dirsync.rename");
+    if (s.ok()) s = dir_->SyncDir();
+    if (!s.ok()) {
+      Poison(s);
+      return s;
+    }
+    segments_reused_.fetch_add(1, std::memory_order_relaxed);
   } else {
     NEOSI_RETURN_IF_ERROR(dir_->Open(name, &file));
     // Truncate even the "fresh" file: a failed rollback Remove can leave a
@@ -158,8 +268,20 @@ Status Wal::AddSegmentLocked(Lsn base) {
     s = file->Truncate(0);
     if (s.ok()) s = WriteSegmentHeader(file.get(), base, epoch_);
     if (s.ok()) s = file->Sync();
-    if (s.ok()) s = dir_->SyncDir();
-    if (s.ok()) segments_created_.fetch_add(1, std::memory_order_relaxed);
+    if (s.ok()) {
+      s = fault_hooks.Check("wal.dirsync.create");
+      if (s.ok()) s = dir_->SyncDir();
+    }
+    if (!s.ok()) {
+      // Take the half-created file back out of the chain position (see the
+      // post_create cleanup below for why leaving it would be fatal).
+      file.reset();
+      (void)dir_->Remove(name);
+      (void)dir_->SyncDir();
+      Poison(s);
+      return s;
+    }
+    segments_created_.fetch_add(1, std::memory_order_relaxed);
   }
   // The segment file exists with a synced header but is not yet active: a
   // crash RIGHT HERE leaves a chain Open() accepts (a valid empty newest
@@ -192,6 +314,80 @@ Status Wal::AddSegmentLocked(Lsn base) {
   }
   next_index_ = index + 1;
   return Status::OK();
+}
+
+Status Wal::AdoptPreparedLocked(Lsn base,
+                                std::unique_ptr<PreparedSegment> prep) {
+  const uint64_t index = next_index_;
+  const std::string name = SegmentName(index);
+  Status s;
+  // At most ONE adoption rename may be un-dir-synced at a time: if the
+  // previous one is still pending, make it durable before renaming again —
+  // otherwise a crash could persist THIS rename but not the previous one
+  // and leave an index gap Open() rightly refuses.
+  if (dir_sync_pending_.exchange(false, std::memory_order_acq_rel)) {
+    s = fault_hooks.Check("wal.dirsync.rename");
+    if (s.ok()) s = dir_->SyncDir();
+    if (!s.ok()) {
+      dir_sync_pending_.store(true, std::memory_order_release);
+      Poison(s);
+      return s;
+    }
+  }
+  s = dir_->Rename(prep->name, name);
+  if (s.ok()) {
+    // BUFFERED header write — no fsync on the append path. Safe to defer:
+    // an ack requires a flush of this (about to be active) file, and that
+    // same fsync covers the header. A crash before any flush leaves an
+    // invalid header on the NEWEST segment, which Open() discards — and
+    // nothing acked can have lived there.
+    s = WriteSegmentHeader(prep->file.get(), base, epoch_);
+  }
+  if (s.ok()) s = fault_hooks.Check("wal.segment.post_create");
+  if (!s.ok()) {
+    // Same cleanup contract as the inline path: the file must not squat in
+    // the chain position while the process keeps running. If the rename
+    // itself failed the prep name survives instead — remove that.
+    prep->file.reset();
+    (void)dir_->Remove(name);
+    (void)dir_->Remove(prep->name);
+    (void)dir_->SyncDir();
+    NudgeFlusherPrep();
+    return s;
+  }
+  // The rename's dir entry rides the flusher's next pass (or the next
+  // roll, whichever comes first).
+  dir_sync_pending_.store(true, std::memory_order_release);
+
+  auto segment = std::make_unique<Segment>();
+  segment->index = index;
+  segment->base = base;
+  segment->epoch = epoch_;
+  segment->file = std::move(prep->file);
+  {
+    std::lock_guard<std::mutex> guard(seg_mu_);
+    segments_.push_back(std::move(segment));
+    active_.store(segments_.back().get(), std::memory_order_release);
+    segment_count_.store(segments_.size(), std::memory_order_release);
+  }
+  next_index_ = index + 1;
+  (prep->from_free_pool ? segments_reused_ : segments_created_)
+      .fetch_add(1, std::memory_order_relaxed);
+  segments_preallocated_.fetch_add(1, std::memory_order_relaxed);
+  NudgeFlusherPrep();
+  return Status::OK();
+}
+
+Status Wal::SyncRetiringLocked(Segment* retiring) {
+  Status fault = fault_hooks.Check("wal.sync.retiring");
+  if (!fault.ok()) {
+    SimulateSyncLoss(retiring->file, retiring->base);
+    Poison(fault);
+    return fault;
+  }
+  Status s = retiring->file->Sync();
+  if (!s.ok()) Poison(s);
+  return s;
 }
 
 Status Wal::MigrateLegacyLog() {
@@ -280,22 +476,48 @@ Status Wal::MigrateLegacyLog() {
 }
 
 Status Wal::Open() {
+  NEOSI_RETURN_IF_ERROR(OpenChain());
+  // Everything recovery kept was read back from the files themselves, so
+  // the watermark starts at the cursor.
+  flushed_lsn_.store(next_lsn_.load(std::memory_order_relaxed),
+                     std::memory_order_release);
+  // From here on sync failures poison instead of failing the open.
+  open_complete_.store(true, std::memory_order_release);
+  StartFlusher();
+  return Status::OK();
+}
+
+Status Wal::OpenChain() {
   std::vector<std::string> names;
   NEOSI_RETURN_IF_ERROR(dir_->List(&names));
 
   bool legacy = false;
   std::vector<std::pair<uint64_t, std::string>> chain_names;
   std::vector<std::pair<uint64_t, std::string>> free_names;
+  std::vector<std::string> prep_names;
   for (const std::string& name : names) {
     uint64_t index = 0;
     if (name == kLegacyName) {
       legacy = true;
     } else if (ParseIndexed(name, "wal.free.", &index)) {
       free_names.emplace_back(index, name);
+    } else if (ParseIndexed(name, "wal.prep.", &index)) {
+      prep_names.push_back(name);
     } else if (ParseIndexed(name, "wal.", &index)) {
       chain_names.emplace_back(index, name);
     }
     // Anything else in the directory (store files) is not ours.
+  }
+
+  // Stale pre-allocations from the previous life — headerless scratch, or
+  // an adoption whose rename never became durable (then the frames in it
+  // were never flushed-acked, see the adoption protocol). Either way: not
+  // part of the chain, remove.
+  for (const std::string& name : prep_names) {
+    NEOSI_RETURN_IF_ERROR(dir_->Remove(name));
+  }
+  if (!prep_names.empty()) {
+    NEOSI_RETURN_IF_ERROR(dir_->SyncDir());
   }
   std::sort(chain_names.begin(), chain_names.end());
   std::sort(free_names.begin(), free_names.end());
@@ -489,8 +711,10 @@ Status Wal::WriteFrameAtLocked(Lsn lsn, const char* data, size_t n) {
     // Roll: the retiring segment is synced BEFORE the new one enters the
     // chain, so a valid-prefix walk can stop early only in the newest
     // segment. (A frame larger than a whole segment gets one to itself —
-    // the roll happens, the oversized write below still succeeds.)
-    NEOSI_RETURN_IF_ERROR(active->file->Sync());
+    // the roll happens, the oversized write below still succeeds.) This
+    // sync stays on the append path even with a flusher: older segments
+    // must be fully durable before the chain grows past them.
+    NEOSI_RETURN_IF_ERROR(SyncRetiringLocked(active));
     NEOSI_RETURN_IF_ERROR(AddSegmentLocked(lsn));
     active = active_.load(std::memory_order_relaxed);
     phys = kSegmentHeaderSize;
@@ -514,6 +738,9 @@ Result<Lsn> Wal::Append(const WalRecord& record, bool pin, Lsn* end_lsn) {
 
   LockAppendLatch();
   std::lock_guard<SpinLatch> guard(latch_, std::adopt_lock);
+  // Sticky-poison check on the single-record path too — an appender must
+  // not grow a log whose durability is already unprovable.
+  NEOSI_RETURN_IF_ERROR(CheckPoisoned());
   const Lsn lsn = next_lsn_.load(std::memory_order_relaxed);
   {
     Status fault = fault_hooks.Check("wal.append.mid_frame");
@@ -572,6 +799,7 @@ Status Wal::AppendBatch(const std::vector<const WalRecord*>& records,
 
   LockAppendLatch();
   std::lock_guard<SpinLatch> guard(latch_, std::adopt_lock);
+  NEOSI_RETURN_IF_ERROR(CheckPoisoned());
   const Lsn first = next_lsn_.load(std::memory_order_relaxed);
   {
     Status fault = fault_hooks.Check("wal.append.mid_frame");
@@ -597,7 +825,7 @@ Status Wal::AppendBatch(const std::vector<const WalRecord*>& records,
     uint64_t phys = kSegmentHeaderSize + (lsn - active->base);
     if (lsn > active->base &&
         phys + frame_len(idx) > options_.segment_size) {
-      write_status = active->file->Sync();
+      write_status = SyncRetiringLocked(active);
       if (write_status.ok()) write_status = AddSegmentLocked(lsn);
       if (!write_status.ok()) break;
       rolled = true;
@@ -643,18 +871,238 @@ Status Wal::AppendBatch(const std::vector<const WalRecord*>& records,
 }
 
 Status Wal::Sync() {
-  // Snapshot the active file as a shared handle: an unpinned group-commit
-  // leader can be here while the legacy stop-the-world checkpoint Reset()s
-  // the chain (its pin drain does not cover pin-less batches), destroying
-  // Segment objects. The shared_ptr keeps the file alive; fsyncing an
-  // already-unlinked file is harmless.
+  NEOSI_RETURN_IF_ERROR(CheckPoisoned());
+  if (UseAsyncFlush()) {
+    const Lsn target = next_lsn_.load(std::memory_order_acquire);
+    NEOSI_RETURN_IF_ERROR(RequestFlush(target));
+    return WaitFlushed(target);
+  }
+  return FlushOnce();
+}
+
+void Wal::SimulateSyncLoss(const std::shared_ptr<PagedFile>& file, Lsn base) {
+  // After a failed fsync the kernel keeps the file's CLEAN pages (anything
+  // a previous successful fsync covered) but drops the dirty ones — a later
+  // fsync returning OK says nothing about them. Model that by truncating
+  // everything beyond the flushed watermark; when no flush ever covered
+  // this segment, even its header's durability is unknown (adoption writes
+  // it buffered), so the whole file goes.
+  const Lsn flushed = flushed_lsn_.load(std::memory_order_acquire);
+  const uint64_t keep =
+      flushed > base ? kSegmentHeaderSize + (flushed - base) : 0;
+  if (file->Size() > keep) (void)file->Truncate(keep);
+}
+
+Status Wal::FlushOnce() {
+  // Serialized: one syncer's fault-check → page-drop → poison-publish
+  // sequence is atomic against a peer's fsync, so no fsync can observe a
+  // healthy file, miss the poison flag, and report OK after a peer's EIO
+  // already dropped pages (the satellite race: two inline Sync()s, one
+  // injected).
+  std::lock_guard<std::mutex> sync_guard(sync_mu_);
+  NEOSI_RETURN_IF_ERROR(CheckPoisoned());
+  // Cursor FIRST, file snapshot second: any frame below the cursor read
+  // here is either in the file snapshotted next, or in an older segment a
+  // roll already retiring-synced — so fsyncing the snapshot really does
+  // make everything below `durable_upto` durable. (The reverse order could
+  // advance the watermark past frames that went into a segment created
+  // after the snapshot.)
+  const Lsn durable_upto = next_lsn_.load(std::memory_order_acquire);
+  // The shared handle keeps the file alive if the legacy stop-the-world
+  // checkpoint Reset()s the chain mid-sync (fsync of an unlinked file is
+  // harmless).
   std::shared_ptr<PagedFile> file;
+  Lsn base = 0;
   {
     std::lock_guard<std::mutex> guard(seg_mu_);
-    if (segments_.empty()) return Status::OK();
+    if (segments_.empty()) {
+      AdvanceFlushed(durable_upto);
+      return Status::OK();
+    }
     file = segments_.back()->file;
+    base = segments_.back()->base;
   }
-  return file->Sync();
+  Status fault = fault_hooks.Check("wal.sync.fail");
+  if (!fault.ok()) {
+    SimulateSyncLoss(file, base);
+    Poison(fault);
+    return fault;
+  }
+  Status s = SyncForFlush(file.get());
+  if (!s.ok()) {
+    Poison(s);
+    return s;
+  }
+  // File BEFORE directory: once the deferred dir-sync lands, the adopted
+  // segment's header is already durable, so a crash can never leave a
+  // durable dir entry pointing at a headerless file that is not the newest.
+  if (dir_sync_pending_.exchange(false, std::memory_order_acq_rel)) {
+    Status d = fault_hooks.Check("wal.dirsync.rename");
+    if (d.ok()) d = dir_->SyncDir();
+    if (!d.ok()) {
+      dir_sync_pending_.store(true, std::memory_order_release);
+      Poison(d);
+      return d;
+    }
+  }
+  AdvanceFlushed(durable_upto);
+  return Status::OK();
+}
+
+Status Wal::RequestFlush(Lsn target) {
+  NEOSI_RETURN_IF_ERROR(CheckPoisoned());
+  {
+    std::lock_guard<std::mutex> guard(flush_mu_);
+    if (target > flush_target_) flush_target_ = target;
+  }
+  flush_cv_.notify_all();
+  return Status::OK();
+}
+
+Status Wal::WaitFlushed(Lsn target) {
+  if (flushed_lsn_.load(std::memory_order_acquire) >= target) {
+    return Status::OK();
+  }
+  std::unique_lock<std::mutex> lock(flush_mu_);
+  for (;;) {
+    // Watermark first: data that made it to disk stays acked even if the
+    // log was poisoned a moment later.
+    if (flushed_lsn_.load(std::memory_order_acquire) >= target) {
+      return Status::OK();
+    }
+    if (poisoned_.load(std::memory_order_acquire)) {
+      return PoisonedStatusLocked();
+    }
+    auto& ref = flush_waiters_[target];
+    if (ref == nullptr) ref = std::make_shared<FlushWaiter>();
+    std::shared_ptr<FlushWaiter> slot = ref;  // Pin across the erase.
+    slot->cv.wait(lock);
+  }
+}
+
+void Wal::AdvanceFlushed(Lsn upto) {
+  std::vector<std::shared_ptr<FlushWaiter>> wake;
+  {
+    std::lock_guard<std::mutex> guard(flush_mu_);
+    if (upto <= flushed_lsn_.load(std::memory_order_relaxed)) return;
+    flushed_lsn_.store(upto, std::memory_order_release);
+    const auto end = flush_waiters_.upper_bound(upto);
+    for (auto it = flush_waiters_.begin(); it != end; ++it) {
+      wake.push_back(it->second);
+    }
+    flush_waiters_.erase(flush_waiters_.begin(), end);
+  }
+  for (auto& waiter : wake) waiter->cv.notify_all();
+}
+
+void Wal::NudgeFlusherPrep() {
+  if (!options_.preallocate ||
+      !flusher_running_.load(std::memory_order_acquire)) {
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> guard(flush_mu_);
+    prep_nudge_ = true;
+  }
+  flush_cv_.notify_all();
+}
+
+void Wal::PrepareSegmentOffPath() {
+  if (poisoned_.load(std::memory_order_acquire)) return;
+  auto prep = std::make_unique<PreparedSegment>();
+  {
+    std::lock_guard<std::mutex> guard(seg_mu_);
+    if (prepared_ != nullptr) return;
+    if (!free_pool_.empty()) {
+      prep->name = free_pool_.front();
+      free_pool_.pop_front();
+      prep->from_free_pool = true;
+    }
+  }
+  if (!prep->from_free_pool) prep->name = PrepName(prep_seq_++);
+  std::unique_ptr<PagedFile> file;
+  Status s = dir_->Open(prep->name, &file);
+  if (s.ok()) s = file->Truncate(0);
+  if (s.ok()) s = file->Preallocate(options_.segment_size);
+  if (!s.ok()) {
+    // Allocation-class failure (ENOSPC and friends): abandon the prep —
+    // the next roll falls back to the inline path, which may still succeed
+    // with a plain sparse file. Not a durability statement, so no poison.
+    file.reset();
+    std::lock_guard<std::mutex> guard(seg_mu_);
+    if (prep->from_free_pool) free_pool_.push_front(prep->name);
+    return;
+  }
+  s = file->Sync();
+  if (s.ok() && !prep->from_free_pool) {
+    // Fresh file: make its dir entry durable off-path so adoption's only
+    // directory work is the rename.
+    s = fault_hooks.Check("wal.dirsync.create");
+    if (s.ok()) s = dir_->SyncDir();
+  }
+  if (!s.ok()) {
+    // An fsync/dir-sync failure in the WAL directory IS a durability
+    // statement: fail sticky, same as on-path syncs.
+    file.reset();
+    (void)dir_->Remove(prep->name);
+    Poison(s);
+    return;
+  }
+  prep->file = std::move(file);
+  std::lock_guard<std::mutex> guard(seg_mu_);
+  prepared_ = std::move(prep);
+}
+
+void Wal::StartFlusher() {
+  if (!(options_.async_flush || options_.preallocate)) return;
+  if (flusher_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> guard(flush_mu_);
+    flusher_stop_ = false;
+    prep_nudge_ = options_.preallocate;
+  }
+  flusher_ = std::thread([this] { FlusherMain(); });
+  flusher_running_.store(true, std::memory_order_release);
+}
+
+void Wal::StopFlusher() {
+  if (!flusher_.joinable()) return;
+  flusher_running_.store(false, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> guard(flush_mu_);
+    flusher_stop_ = true;
+  }
+  flush_cv_.notify_all();
+  flusher_.join();
+}
+
+void Wal::FlusherMain() {
+  std::unique_lock<std::mutex> lock(flush_mu_);
+  for (;;) {
+    flush_cv_.wait(lock, [this] {
+      if (flusher_stop_) return true;
+      if (poisoned_.load(std::memory_order_relaxed)) return false;
+      if (flush_target_ > flushed_lsn_.load(std::memory_order_relaxed)) {
+        return true;
+      }
+      return options_.preallocate && prep_nudge_;
+    });
+    if (flusher_stop_) return;
+    if (flush_target_ > flushed_lsn_.load(std::memory_order_relaxed)) {
+      lock.unlock();
+      // Failure poisons inside FlushOnce, which also fails every waiter —
+      // nothing further to do here; the predicate goes quiet.
+      (void)FlushOnce();
+      lock.lock();
+      continue;
+    }
+    if (prep_nudge_) {
+      prep_nudge_ = false;
+      lock.unlock();
+      PrepareSegmentOffPath();
+      lock.lock();
+    }
+  }
 }
 
 void Wal::Unpin(Lsn lsn) {
@@ -707,6 +1155,7 @@ Status Wal::RetireSegmentFile(const std::string& name, uint64_t index) {
 
 Status Wal::TruncatePrefix(Lsn lsn) {
   std::lock_guard<std::mutex> guard(trunc_mu_);
+  NEOSI_RETURN_IF_ERROR(CheckPoisoned());
   const Lsn head = head_lsn_.load(std::memory_order_acquire);
   const Lsn next = next_lsn_.load(std::memory_order_acquire);
   if (lsn <= head) return Status::OK();  // Nothing below to drop.
@@ -748,14 +1197,38 @@ Status Wal::TruncatePrefix(Lsn lsn) {
     // unlink but not the first would leave an index gap Open() rightly
     // refuses to accept. Front-to-back with a sync per step, the survivors
     // are always a contiguous chain suffix.
-    NEOSI_RETURN_IF_ERROR(dir_->SyncDir());
+    Status d = fault_hooks.Check("wal.dirsync.unlink");
+    if (d.ok()) d = dir_->SyncDir();
+    if (!d.ok()) {
+      Poison(d);
+      return d;
+    }
   }
   head_lsn_.store(lsn, std::memory_order_release);
   return Status::OK();
 }
 
+Result<Lsn> GroupCommitter::Finish(const Request& req) {
+  if (!req.status.ok()) return req.status;
+  if (req.flush_target != 0) {
+    // Async hand-off: the leader only REQUESTED the flush — the ack waits
+    // out the watermark here, on the requester's own thread, while the
+    // next batch is already forming.
+    Status flushed = wal_->WaitFlushed(req.flush_target);
+    if (!flushed.ok()) {
+      // Same contract as the inline failure path below: the caller rolls
+      // back a commit that "didn't happen", so its pin must not freeze
+      // StableLsn() forever.
+      if (req.pin) wal_->Unpin(req.lsn);
+      return flushed;
+    }
+  }
+  return req.lsn;
+}
+
 Result<Lsn> GroupCommitter::Commit(const WalRecord& record, bool sync,
                                    bool pin) {
+  NEOSI_RETURN_IF_ERROR(wal_->CheckPoisoned());
   if (!sync) {
     // Nothing to amortize without an fsync; a plain latched append is
     // cheaper than parking behind a leader that may be mid-fsync.
@@ -771,14 +1244,18 @@ Result<Lsn> GroupCommitter::Commit(const WalRecord& record, bool sync,
   // Wait until a leader has handled us, or until the leader seat is free and
   // our request is still queued (then we take the seat ourselves).
   while (!req.done && leader_active_) cv_.wait(lock);
-  if (req.done) {
-    if (!req.status.ok()) return req.status;
-    return req.lsn;
-  }
+  if (req.done) return Finish(req);
 
   leader_active_ = true;
-  std::vector<Request*> batch(queue_.begin(), queue_.end());
-  queue_.clear();
+  // Fold at most max_batch queued requests into this write; the remainder
+  // elects the next leader as soon as the seat frees (which, in async-flush
+  // mode, is before this batch's fsync even completes).
+  size_t take = queue_.size();
+  const size_t cap = wal_->options_.group_commit_max_batch;
+  if (cap != 0 && cap < take) take = cap;
+  std::vector<Request*> batch(queue_.begin(),
+                              queue_.begin() + static_cast<long>(take));
+  queue_.erase(queue_.begin(), queue_.begin() + static_cast<long>(take));
   lock.unlock();
 
   std::vector<const WalRecord*> records;
@@ -793,8 +1270,19 @@ Result<Lsn> GroupCommitter::Commit(const WalRecord& record, bool sync,
   }
   std::vector<Lsn> lsns;
   Status write_status = wal_->AppendBatch(records, &lsns, &pins);
+  const bool async = wal_->UseAsyncFlush();
   Status sync_status;
-  if (write_status.ok() && want_sync) sync_status = wal_->Sync();
+  Lsn flush_target = 0;
+  if (write_status.ok() && want_sync) {
+    if (async) {
+      // Hand the fsync to the flusher and release the leader seat: the
+      // batch's acks wait on the watermark in Finish(), off this thread.
+      flush_target = wal_->NextLsn();
+      sync_status = wal_->RequestFlush(flush_target);
+    } else {
+      sync_status = wal_->Sync();
+    }
+  }
 
   if (batch.size() > 1) batches_.fetch_add(1, std::memory_order_relaxed);
   records_.fetch_add(batch.size(), std::memory_order_relaxed);
@@ -812,6 +1300,8 @@ Result<Lsn> GroupCommitter::Commit(const WalRecord& record, bool sync,
         // here or StableLsn() would be frozen at this lsn forever (the
         // caller never learns the lsn of a commit that "didn't happen").
         if (r->pin) wal_->Unpin(lsns[i]);
+      } else if (r->sync && flush_target != 0) {
+        r->flush_target = flush_target;
       }
     }
     r->done = true;
@@ -820,8 +1310,7 @@ Result<Lsn> GroupCommitter::Commit(const WalRecord& record, bool sync,
   lock.unlock();
   cv_.notify_all();
 
-  if (!req.status.ok()) return req.status;
-  return req.lsn;
+  return Finish(req);
 }
 
 Status Wal::ReadFrom(Lsn from,
@@ -881,6 +1370,12 @@ Status Wal::ReadFrom(Lsn from,
       }
       std::lock_guard<SpinLatch> guard(latch_);
       next_lsn_.store(end, std::memory_order_release);
+      // The shave may land below where Open() pegged the flushed
+      // watermark; a watermark above the cursor would let a later commit
+      // ack without any fsync at all.
+      if (flushed_lsn_.load(std::memory_order_relaxed) > end) {
+        flushed_lsn_.store(end, std::memory_order_release);
+      }
     }
   }
   return Status::OK();
@@ -894,6 +1389,7 @@ Status Wal::ReadAll(const std::function<Status(const WalRecord&)>& fn) {
 Status Wal::Reset() {
   std::lock_guard<SpinLatch> guard(latch_);
   std::lock_guard<std::mutex> trunc_guard(trunc_mu_);
+  NEOSI_RETURN_IF_ERROR(CheckPoisoned());
   // LSNs stay monotonic across the reset: every segment is retired and a
   // fresh one anchors the chain at the current cursor, so the next append
   // continues above everything ever handed out.

@@ -33,6 +33,7 @@
 #include <cstring>
 #include <filesystem>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <utility>
@@ -56,6 +57,23 @@ inline const std::vector<std::string>& AllCrashPoints() {
   return points;
 }
 
+/// Every named EIO point on the commit-I/O path: the fsync/dir-sync sites
+/// where the kernel can report a write-back error. Unlike the crash points
+/// above, the process SURVIVES an injected EIO — the sticky-poison contract
+/// (see Wal) is what keeps survival safe: the failed sync may have lost
+/// dirty pages (the harness's Wal simulates exactly that), so every later
+/// commit must fail until a reopen re-reads what is really on disk.
+inline const std::vector<std::string>& AllEioPoints() {
+  static const std::vector<std::string> points = {
+      "wal.sync.fail",        // fsync of the active segment.
+      "wal.sync.retiring",    // fsync of a full segment at roll.
+      "wal.dirsync.create",   // Directory sync publishing a fresh segment.
+      "wal.dirsync.rename",   // Directory sync publishing an adoption.
+      "wal.dirsync.unlink",   // Directory sync retiring dead segments.
+  };
+  return points;
+}
+
 /// Arms one named crash point on a database: the Nth time execution reaches
 /// it, the operation fails with IOError as if the process died there.
 /// Install immediately after open; the database must be discarded after the
@@ -63,27 +81,36 @@ inline const std::vector<std::string>& AllCrashPoints() {
 class CrashPoint {
  public:
   CrashPoint(GraphDatabase* db, std::string point, uint64_t fire_on_hit = 1)
-      : point_(std::move(point)), fire_on_hit_(fire_on_hit) {
-    auto fn = [this](const char* at) -> Status {
-      if (point_ != at) return Status::OK();
-      if (hits_.fetch_add(1, std::memory_order_acq_rel) + 1 != fire_on_hit_) {
+      : state_(std::make_shared<State>(std::move(point), fire_on_hit)) {
+    // The hook owns the state via shared_ptr: the WAL flusher thread may
+    // still be evaluating it after this CrashPoint object goes out of
+    // scope (the database outlives the arming object in every harness).
+    auto state = state_;
+    auto fn = [state](const char* at) -> Status {
+      if (state->point != at) return Status::OK();
+      if (state->hits.fetch_add(1, std::memory_order_acq_rel) + 1 !=
+          state->fire_on_hit) {
         return Status::OK();
       }
-      fired_.store(true, std::memory_order_release);
-      return Status::IOError("injected crash at " + point_);
+      state->fired.store(true, std::memory_order_release);
+      return Status::IOError("injected crash at " + state->point);
     };
-    db->engine().store.fault_hooks.fn = fn;
-    db->engine().store.wal().fault_hooks.fn = fn;
+    db->engine().store.fault_hooks.Set(fn);
+    db->engine().store.wal().fault_hooks.Set(fn);
   }
 
-  bool fired() const { return fired_.load(std::memory_order_acquire); }
-  uint64_t hits() const { return hits_.load(std::memory_order_acquire); }
+  bool fired() const { return state_->fired.load(std::memory_order_acquire); }
+  uint64_t hits() const { return state_->hits.load(std::memory_order_acquire); }
 
  private:
-  const std::string point_;
-  const uint64_t fire_on_hit_;
-  std::atomic<uint64_t> hits_{0};
-  std::atomic<bool> fired_{false};
+  struct State {
+    State(std::string p, uint64_t n) : point(std::move(p)), fire_on_hit(n) {}
+    const std::string point;
+    const uint64_t fire_on_hit;
+    std::atomic<uint64_t> hits{0};
+    std::atomic<bool> fired{false};
+  };
+  const std::shared_ptr<State> state_;
 };
 
 /// Kill-and-recover loop over an on-disk database with a shadow model.
@@ -100,6 +127,15 @@ class CrashLoopHarness {
     uint64_t wal_segment_size = 2048;
     uint64_t wal_recycle_segments = 1;
     bool sync_commits = true;
+    /// Isolation every harness transaction runs under (the EIO matrix runs
+    /// each point under both SI and Serializable — the SSI commit path
+    /// takes extra locks around the WAL append and must observe the same
+    /// fail-before-ack contract).
+    IsolationLevel isolation = IsolationLevel::kSnapshotIsolation;
+    /// Commit I/O mode (both combinations of flusher-owned fsync and
+    /// off-path pre-allocation are valid; EIO semantics must be identical).
+    bool wal_async_flush = true;
+    bool wal_preallocate = true;
   };
 
   explicit CrashLoopHarness(std::filesystem::path dir)
@@ -122,6 +158,9 @@ class CrashLoopHarness {
     options.sync_commits = options_.sync_commits;
     options.wal_segment_size = options_.wal_segment_size;
     options.wal_recycle_segments = options_.wal_recycle_segments;
+    options.default_isolation = options_.isolation;
+    options.wal_async_flush = options_.wal_async_flush;
+    options.wal_preallocate = options_.wal_preallocate;
     return options;
   }
 
@@ -168,6 +207,85 @@ class CrashLoopHarness {
       // destructor only joins daemons, which are disabled here).
     }
     // Final recovery after the last kill.
+    auto opened = GraphDatabase::Open(DbOptions());
+    ASSERT_TRUE(opened.ok()) << opened.status();
+    auto db = std::move(*opened);
+    SeedIfNeeded(db.get());
+    VerifyRecovered(db.get(), options_.rounds);
+  }
+
+  /// EIO mode: arms `point` to fail once with EIO, but the process keeps
+  /// running (the fsyncgate scenario — a kernel write-back error, not a
+  /// crash). Each round asserts the sticky-failure contract end to end:
+  ///
+  ///   1. the first operation through the armed point fails BEFORE acking
+  ///      (a commit that returns an error must be all-or-nothing, exactly
+  ///      like a crash, because the Wal drops the unsynced suffix);
+  ///   2. the WAL is poisoned from that moment on, and every subsequent
+  ///      commit fails with a non-retryable IOError — a later fsync
+  ///      returning success must never re-ack data the kernel dropped;
+  ///   3. kill + reopen recovers exactly the acked prefix (shadow model).
+  void RunEio(const std::string& point) {
+    for (int round = 0; round < options_.rounds; ++round) {
+      auto opened = GraphDatabase::Open(DbOptions());
+      ASSERT_TRUE(opened.ok()) << "round " << round << ": " << opened.status();
+      auto db = std::move(*opened);
+      SeedIfNeeded(db.get());
+      VerifyRecovered(db.get(), round);
+      if (::testing::Test::HasFatalFailure()) return;
+
+      CrashPoint eio(db.get(), point, /*fire_on_hit=*/1 + (round % 3));
+      bool failed = false;
+      for (int i = 0; i < options_.txns_per_round && !failed; ++i) {
+        const NodeId key = keys_[static_cast<size_t>(i) % keys_.size()];
+        const int64_t value = static_cast<int64_t>(next_value_++);
+        auto txn = db->Begin();
+        ASSERT_TRUE(
+            txn->SetNodeProperty(key, "v", PropertyValue(value)).ok());
+        Status s = txn->Commit();
+        if (s.ok()) {
+          shadow_[key] = value;
+        } else {
+          // Fail-before-ack: recovery decides all-or-nothing for this one
+          // commit, like any crash.
+          pending_ = {key, value};
+          failed = true;
+          break;
+        }
+        if (options_.checkpoint_every > 0 &&
+            (i + 1) % options_.checkpoint_every == 0) {
+          // Truncation / marker syncs can be the first to hit the point
+          // (e.g. wal.dirsync.unlink only exists on this path). A failed
+          // checkpoint acks nothing, so there is no pending entry — but it
+          // must poison all the same.
+          if (!db->Checkpoint().ok()) failed = true;
+        }
+      }
+
+      if (failed) {
+        // Sticky: the store object is now unusable for writes. Every
+        // retry must fail non-retryably until the store is reopened.
+        EXPECT_TRUE(db->engine().store.wal().poisoned())
+            << "round " << round << ": " << point
+            << " failed an operation without poisoning the WAL";
+        for (int attempt = 0; attempt < 4; ++attempt) {
+          const NodeId key = keys_[static_cast<size_t>(attempt) % keys_.size()];
+          const int64_t value = static_cast<int64_t>(next_value_++);
+          auto txn = db->Begin();
+          ASSERT_TRUE(
+              txn->SetNodeProperty(key, "v", PropertyValue(value)).ok());
+          Status s = txn->Commit();
+          EXPECT_TRUE(s.IsIOError())
+              << "round " << round << ", retry " << attempt << ": commit "
+              << (s.ok() ? "was ACKED" : "failed retryably") << " on a "
+              << "poisoned WAL (" << s.ToString() << ")";
+          ASSERT_FALSE(s.ok());  // An acked-on-poison commit would also
+                                 // corrupt the shadow model below.
+        }
+      }
+      // Kill: destroy without clean-shutdown work; reopen at the top of
+      // the next round verifies no acked commit was lost.
+    }
     auto opened = GraphDatabase::Open(DbOptions());
     ASSERT_TRUE(opened.ok()) << opened.status();
     auto db = std::move(*opened);

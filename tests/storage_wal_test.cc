@@ -307,12 +307,12 @@ TEST(WalSegments, FailedWriteAfterMidBatchRollIsRolledBack) {
   // roll: the fresh (empty) segment must be un-rolled, or the cursor would
   // sit BELOW the active base and every later append would underflow its
   // physical offset.
-  wal->fault_hooks.fn = [calls = 0](const char* point) mutable -> Status {
+  wal->fault_hooks.Set([calls = 0](const char* point) mutable -> Status {
     if (std::string(point) == "wal.append.fail_after_roll" && ++calls == 1) {
       return Status::IOError("injected write failure after roll");
     }
     return Status::OK();
-  };
+  });
   std::vector<WalRecord> records;
   std::vector<const WalRecord*> ptrs;
   for (int i = 2; i <= 17; ++i) records.push_back(SmallRecord(i, i * 10));
@@ -320,7 +320,7 @@ TEST(WalSegments, FailedWriteAfterMidBatchRollIsRolledBack) {
   std::vector<Lsn> lsns;
   EXPECT_TRUE(wal->AppendBatch(ptrs, &lsns, nullptr).IsIOError());
   EXPECT_EQ(wal->SegmentCount(), 1u);  // The fresh segment was un-rolled.
-  wal->fault_hooks.fn = nullptr;
+  wal->fault_hooks.Set(nullptr);
 
   // The log is fully usable: appends land at the cursor (overwriting the
   // partial batch) and everything replays.
@@ -918,6 +918,173 @@ TEST(GroupCommitter, ConcurrentSyncCommitsAllDurableAndDecodable) {
   for (size_t i = 0; i < seen.size(); ++i) {
     EXPECT_EQ(seen[i], static_cast<TxnId>(i + 1));
   }
+}
+
+// --- sticky poison & async commit I/O ----------------------------------------
+
+TEST(WalPoison, SyncEioPoisonsUntilReopen) {
+  auto dir = std::make_shared<InMemoryWalDir>();
+  auto wal = OpenWal(dir);  // Inline flush: the caller's thread fsyncs.
+  ASSERT_TRUE(wal->Append(SmallRecord(1, 10)).ok());
+  ASSERT_TRUE(wal->Sync().ok());
+  ASSERT_TRUE(wal->Append(SmallRecord(2, 20)).ok());
+
+  wal->fault_hooks.Set([](const char* point) -> Status {
+    if (std::string(point) == "wal.sync.fail") {
+      return Status::IOError("injected EIO");
+    }
+    return Status::OK();
+  });
+  EXPECT_TRUE(wal->Sync().IsIOError());
+  EXPECT_TRUE(wal->poisoned());
+  wal->fault_hooks.Set(nullptr);
+
+  // Sticky: the fault is gone, but the log stays wedged — after a failed
+  // fsync the kernel may have dropped the dirty pages, so a later clean
+  // fsync acking them would be fsyncgate.
+  EXPECT_TRUE(wal->Sync().IsIOError());
+  EXPECT_TRUE(wal->Append(SmallRecord(3, 30)).status().IsIOError());
+  WalRecord record = SmallRecord(4, 40);
+  std::vector<const WalRecord*> ptrs{&record};
+  std::vector<Lsn> lsns;
+  EXPECT_TRUE(wal->AppendBatch(ptrs, &lsns, nullptr).IsIOError());
+  EXPECT_TRUE(wal->group().Commit(SmallRecord(5, 50), true).status().IsIOError());
+  EXPECT_TRUE(wal->Reset().IsIOError());
+  EXPECT_TRUE(wal->PoisonedStatus().IsIOError());
+
+  // Reopen re-reads what is really durable: the synced record survives,
+  // the unsynced one was dropped with the failed write-back (the injected
+  // EIO simulates exactly the kernel's behavior) — never a torn state.
+  wal.reset();
+  auto reopened = OpenWal(dir);
+  EXPECT_FALSE(reopened->poisoned());
+  EXPECT_EQ(ReplayTimestamps(reopened.get()), (std::vector<Timestamp>{10}));
+  ASSERT_TRUE(reopened->Append(SmallRecord(6, 60)).ok());
+  ASSERT_TRUE(reopened->Sync().ok());
+}
+
+TEST(WalPoison, ConcurrentSyncersSeeStickyFailure) {
+  auto dir = std::make_shared<InMemoryWalDir>();
+  auto wal = OpenWal(dir);
+  // Fire on the 5th sync pass so several threads are mid-flight when the
+  // EIO lands. The poisoned-flag check-then-publish is what TSan is
+  // pointed at: a peer's fsync+watermark-advance must never interleave
+  // with the poisoning pass in a way that acks lost bytes.
+  wal->fault_hooks.Set([hits = 0](const char* point) mutable -> Status {
+    if (std::string(point) == "wal.sync.fail" && ++hits == 5) {
+      return Status::IOError("injected EIO");
+    }
+    return Status::OK();
+  });
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 40;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      bool failed = false;
+      for (int i = 0; i < kPerThread; ++i) {
+        const TxnId txn = static_cast<TxnId>(t * kPerThread + i + 1);
+        Status s = wal->Append(SmallRecord(txn, txn * 10)).status();
+        if (s.ok()) s = wal->Sync();
+        if (s.ok()) {
+          // Per-thread monotonicity: once this thread has seen the sticky
+          // failure, nothing it does may be acked again.
+          EXPECT_FALSE(failed) << "ack after poison on thread " << t;
+        } else {
+          EXPECT_TRUE(s.IsIOError()) << s.ToString();
+          failed = true;
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_TRUE(wal->poisoned());
+  EXPECT_GT(failures.load(), 0);
+  EXPECT_TRUE(wal->Sync().IsIOError());
+}
+
+TEST(WalAsyncFlush, WatermarkAcksExactlyTheSyncedPrefix) {
+  auto dir = std::make_shared<InMemoryWalDir>();
+  WalOptions options;
+  options.async_flush = true;
+  auto wal = OpenWal(dir, options);
+  for (int i = 1; i <= 8; ++i) {
+    ASSERT_TRUE(wal->Append(SmallRecord(i, i * 10)).ok());
+  }
+  // Sync() hands the cursor to the flusher and blocks on the watermark.
+  ASSERT_TRUE(wal->Sync().ok());
+  EXPECT_EQ(wal->FlushedLsn(), wal->NextLsn());
+
+  // Group commit through the async hand-off: the ack implies the record's
+  // LSN is at or below the watermark.
+  auto lsn = wal->group().Commit(SmallRecord(9, 90), /*sync=*/true);
+  ASSERT_TRUE(lsn.ok());
+  EXPECT_GT(wal->FlushedLsn(), *lsn);
+  EXPECT_EQ(wal->FlushedLsn(), wal->NextLsn());
+
+  wal.reset();
+  auto reopened = OpenWal(dir, options);
+  EXPECT_EQ(ReplayTimestamps(reopened.get()).size(), 9u);
+}
+
+TEST(WalAsyncFlush, PoisonFailsWaitersAndLaterCommits) {
+  auto dir = std::make_shared<InMemoryWalDir>();
+  WalOptions options;
+  options.async_flush = true;
+  auto wal = OpenWal(dir, options);
+  ASSERT_TRUE(wal->Append(SmallRecord(1, 10)).ok());
+  ASSERT_TRUE(wal->Sync().ok());
+
+  wal->fault_hooks.Set([](const char* point) -> Status {
+    if (std::string(point) == "wal.sync.fail") {
+      return Status::IOError("injected EIO");
+    }
+    return Status::OK();
+  });
+  ASSERT_TRUE(wal->Append(SmallRecord(2, 20)).ok());
+  // The flusher hits the EIO; the blocked waiter must be failed, not left
+  // hanging, and the already-durable watermark must not retreat.
+  EXPECT_TRUE(wal->Sync().IsIOError());
+  EXPECT_TRUE(wal->poisoned());
+  wal->fault_hooks.Set(nullptr);
+  EXPECT_TRUE(wal->group().Commit(SmallRecord(3, 30), true).status().IsIOError());
+
+  wal.reset();
+  auto reopened = OpenWal(dir, options);
+  EXPECT_EQ(ReplayTimestamps(reopened.get()), (std::vector<Timestamp>{10}));
+}
+
+TEST(WalPrealloc, RollsAdoptPreparedSegmentsAndReopenDiscardsPrepFiles) {
+  auto dir = std::make_shared<InMemoryWalDir>();
+  WalOptions options = TinySegments(192, /*recycle_segments=*/2);
+  options.async_flush = true;
+  options.preallocate = true;
+  auto wal = OpenWal(dir, options);
+  constexpr int kRecords = 120;
+  for (int i = 1; i <= kRecords; ++i) {
+    ASSERT_TRUE(wal->Append(SmallRecord(i, i * 10)).ok());
+    // Each sync parks this thread on the watermark, which hands the core
+    // to the flusher — its prep loop keeps the next segment ready, so
+    // nearly every roll below is a rename adoption.
+    ASSERT_TRUE(wal->Sync().ok());
+  }
+  EXPECT_GT(wal->SegmentCount(), 1u);
+  EXPECT_GT(wal->segments_preallocated(), 0u);
+
+  // The flusher may leave a prepared-but-unadopted wal.prep.* file behind
+  // at shutdown; reopen must discard it (its header was never written, so
+  // adopting it would be chain corruption) and replay everything.
+  wal.reset();
+  auto reopened = OpenWal(dir, options);
+  for (const std::string& name : ListNames(dir.get())) {
+    EXPECT_EQ(name.rfind("wal.prep.", 0), std::string::npos) << name;
+  }
+  EXPECT_EQ(ReplayTimestamps(reopened.get()).size(), size_t{kRecords});
+  ASSERT_TRUE(reopened->Append(SmallRecord(kRecords + 1, 9990)).ok());
+  ASSERT_TRUE(reopened->Sync().ok());
 }
 
 }  // namespace
