@@ -170,7 +170,11 @@ struct DatabaseOptions {
   /// reclaimable below the current watermark (i.e. a snapshot is actually
   /// pinning it). Default: 0 = no backlog-pressure eviction. Victims get a
   /// 10 ms grace period from Begin() so a fresh snapshot under a write
-  /// burst is never evicted. Enforced by the GC daemon.
+  /// burst is never evicted. Enforced by the GC daemon. The network session
+  /// front-end (src/server) reads the same gauge/threshold pair as its
+  /// admission signal: while the backlog sits above this value, NEW wire
+  /// Begins are delayed or shed with retryable Status::Busy — established
+  /// snapshots are never admission-aborted (see ServerOptions).
   uint64_t snapshot_expire_backlog = 0;
 
   // --- checkpoint daemon (WAL bounding) ------------------------------------

@@ -34,6 +34,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "SerializationFailure";
     case StatusCode::kReplicaReadOnly:
       return "ReplicaReadOnly";
+    case StatusCode::kBusy:
+      return "Busy";
   }
   return "Unknown";
 }

@@ -56,6 +56,12 @@ enum class StatusCode : int {
   /// begins are rejected. Retryable in the sense that the same request
   /// succeeds when routed to the primary (or after the replica is promoted).
   kReplicaReadOnly = 14,
+  /// The resource is transiently unavailable: the database directory is
+  /// flock-held by another process, or the network front-end's admission
+  /// control shed a new Begin under GC-backlog / session-count pressure.
+  /// Retryable: back off and resubmit; established transactions are never
+  /// aborted with this code.
+  kBusy = 15,
 };
 
 /// Returns a short human-readable name ("NotFound", ...) for a code.
@@ -112,6 +118,9 @@ class Status {
   static Status ReplicaReadOnly(std::string msg) {
     return Status(StatusCode::kReplicaReadOnly, std::move(msg));
   }
+  static Status Busy(std::string msg) {
+    return Status(StatusCode::kBusy, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
@@ -138,16 +147,18 @@ class Status {
   bool IsReplicaReadOnly() const {
     return code_ == StatusCode::kReplicaReadOnly;
   }
+  bool IsBusy() const { return code_ == StatusCode::kBusy; }
 
   /// True for the transaction-retry outcomes (conflict abort, deadlock
   /// victim, expired snapshot, SSI dangerous-structure abort, write on a
-  /// read replica); callers typically retry the whole transaction — a
-  /// restarted transaction gets a fresh snapshot, which clears the first
-  /// four conditions, and a replica-read-only rejection succeeds when the
-  /// retry is routed to the primary.
+  /// read replica, admission-control shed); callers typically retry the
+  /// whole transaction — a restarted transaction gets a fresh snapshot,
+  /// which clears the first four conditions, a replica-read-only rejection
+  /// succeeds when the retry is routed to the primary, and a Busy shed
+  /// succeeds once the pressure drains.
   bool IsRetryable() const {
     return IsAborted() || IsDeadlock() || IsSnapshotTooOld() ||
-           IsSerializationFailure() || IsReplicaReadOnly();
+           IsSerializationFailure() || IsReplicaReadOnly() || IsBusy();
   }
 
   StatusCode code() const { return code_; }

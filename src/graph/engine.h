@@ -50,6 +50,29 @@ struct TestHooks {
   std::atomic<uint64_t> stalled_publications{0};
 };
 
+/// Per-cause admission-control counters, incremented by the network session
+/// front-end (src/server) and surfaced through DatabaseStats. The engine
+/// itself never sheds anything — admission decisions live at the session
+/// boundary, where a retryable Busy costs the client one round-trip instead
+/// of an aborted established snapshot.
+struct AdmissionCounters {
+  /// Begin requests admitted (possibly after a bounded delay).
+  std::atomic<uint64_t> admitted{0};
+  /// Begin requests that waited at least one delay quantum for pressure to
+  /// clear before being admitted or shed.
+  std::atomic<uint64_t> delayed{0};
+  /// LIVE gauge: Begin requests currently parked in the admission delay
+  /// window (tests synchronize on this to drain pressure deterministically
+  /// while a Begin is provably waiting).
+  std::atomic<uint64_t> waiting{0};
+  /// Begin requests shed with Busy because the GC backlog gauge sat above
+  /// snapshot_expire_backlog for the whole admission window.
+  std::atomic<uint64_t> shed_backlog{0};
+  /// Begin requests shed with Busy because max_sessions transactions were
+  /// already open through the server.
+  std::atomic<uint64_t> shed_sessions{0};
+};
+
 /// Everything the engine is made of, wired once at Open().
 struct Engine {
   explicit Engine(const DatabaseOptions& opts)
@@ -103,6 +126,10 @@ struct Engine {
   /// live WAL outgrows checkpoint_wal_threshold; no checkpoint work ever
   /// runs on the commit path itself.
   std::atomic<CheckpointDaemon*> checkpoint_daemon{nullptr};
+
+  /// Admission-control counters written by the network front-end (zero in
+  /// purely in-process deployments).
+  AdmissionCounters admission;
 
   TestHooks test_hooks;
 };

@@ -265,6 +265,14 @@ DatabaseStats GraphDatabase::Stats() const {
   }
   stats.snapshots_expired_replication =
       engine_->active_txns.snapshots_expired_replication();
+  stats.admission_admitted =
+      engine_->admission.admitted.load(std::memory_order_relaxed);
+  stats.admission_delayed =
+      engine_->admission.delayed.load(std::memory_order_relaxed);
+  stats.admission_shed_backlog =
+      engine_->admission.shed_backlog.load(std::memory_order_relaxed);
+  stats.admission_shed_sessions =
+      engine_->admission.shed_sessions.load(std::memory_order_relaxed);
   return stats;
 }
 

@@ -94,6 +94,14 @@ struct DatabaseStats {
   uint64_t replica_purges_applied = 0;
   /// Snapshots expired to let a shipped purge through (standby conflicts).
   uint64_t snapshots_expired_replication = 0;
+  /// Network front-end admission control, per cause (all zero without a
+  /// server). Sheds apply to NEW wire Begins only — established snapshots
+  /// are never aborted by admission, so snapshots_expired_* stay unchanged
+  /// by these.
+  uint64_t admission_admitted = 0;
+  uint64_t admission_delayed = 0;       ///< Begins that waited for pressure.
+  uint64_t admission_shed_backlog = 0;  ///< Busy sheds: GC backlog gauge.
+  uint64_t admission_shed_sessions = 0; ///< Busy sheds: max_sessions cap.
 };
 
 /// Per-transaction knobs for Begin() beyond the isolation level.

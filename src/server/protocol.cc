@@ -1,0 +1,196 @@
+#include "server/protocol.h"
+
+namespace neosi {
+
+namespace {
+
+void PutMsgType(std::string* dst, MsgType type) {
+  dst->push_back(static_cast<char>(type));
+}
+
+void PutProps(std::string* dst, const NamedProperties& props) {
+  PutVarint32(dst, static_cast<uint32_t>(props.size()));
+  for (const auto& [key, value] : props) {
+    PutLengthPrefixedSlice(dst, key);
+    value.EncodeTo(dst);
+  }
+}
+
+}  // namespace
+
+std::string EncodeFrame(const Slice& payload) {
+  std::string frame;
+  frame.reserve(kFrameHeaderBytes + payload.size());
+  PutFixed32(&frame, static_cast<uint32_t>(payload.size()));
+  PutFixed32(&frame, Crc32c(payload));
+  frame.append(payload.data(), payload.size());
+  return frame;
+}
+
+FrameParse ParseFrame(const Slice& buf, size_t max_payload, Slice* payload,
+                      size_t* consumed) {
+  if (buf.size() < kFrameHeaderBytes) return FrameParse::kNeedMore;
+  const uint32_t len = DecodeFixed32(buf.data());
+  const uint32_t crc = DecodeFixed32(buf.data() + 4);
+  // Reject hostile lengths BEFORE waiting for that many bytes: an attacker
+  // declaring 4 GiB must not pin a 4 GiB buffer (or stall the session
+  // forever at kNeedMore).
+  if (len > max_payload) return FrameParse::kMalformed;
+  if (buf.size() < kFrameHeaderBytes + len) return FrameParse::kNeedMore;
+  Slice body(buf.data() + kFrameHeaderBytes, len);
+  if (Crc32c(body) != crc) return FrameParse::kMalformed;
+  // An empty payload has no MsgType byte — nothing legal encodes to it.
+  if (len == 0) return FrameParse::kMalformed;
+  *payload = body;
+  *consumed = kFrameHeaderBytes + len;
+  return FrameParse::kOk;
+}
+
+std::string EncodeBegin(IsolationLevel isolation, bool read_only) {
+  std::string p;
+  PutMsgType(&p, MsgType::kBegin);
+  p.push_back(static_cast<char>(isolation));
+  p.push_back(read_only ? 1 : 0);
+  return p;
+}
+
+std::string EncodeCommit() {
+  std::string p;
+  PutMsgType(&p, MsgType::kCommit);
+  return p;
+}
+
+std::string EncodeRollback() {
+  std::string p;
+  PutMsgType(&p, MsgType::kRollback);
+  return p;
+}
+
+std::string EncodePing() {
+  std::string p;
+  PutMsgType(&p, MsgType::kPing);
+  return p;
+}
+
+std::string EncodeCreateNode(const std::vector<std::string>& labels,
+                             const NamedProperties& props) {
+  std::string p;
+  PutMsgType(&p, MsgType::kCreateNode);
+  PutVarint32(&p, static_cast<uint32_t>(labels.size()));
+  for (const std::string& label : labels) PutLengthPrefixedSlice(&p, label);
+  PutProps(&p, props);
+  return p;
+}
+
+std::string EncodeSetNodeProperty(NodeId id, const std::string& key,
+                                  const PropertyValue& value) {
+  std::string p;
+  PutMsgType(&p, MsgType::kSetNodeProperty);
+  PutVarint64(&p, id);
+  PutLengthPrefixedSlice(&p, key);
+  value.EncodeTo(&p);
+  return p;
+}
+
+std::string EncodeGetNodeProperty(NodeId id, const std::string& key) {
+  std::string p;
+  PutMsgType(&p, MsgType::kGetNodeProperty);
+  PutVarint64(&p, id);
+  PutLengthPrefixedSlice(&p, key);
+  return p;
+}
+
+std::string EncodeGetNodesByLabel(const std::string& label) {
+  std::string p;
+  PutMsgType(&p, MsgType::kGetNodesByLabel);
+  PutLengthPrefixedSlice(&p, label);
+  return p;
+}
+
+std::string EncodeGetNodesByProperty(const std::string& key,
+                                     const PropertyValue& value) {
+  std::string p;
+  PutMsgType(&p, MsgType::kGetNodesByProperty);
+  PutLengthPrefixedSlice(&p, key);
+  value.EncodeTo(&p);
+  return p;
+}
+
+std::string EncodeCreateRelationship(NodeId src, NodeId dst,
+                                     const std::string& type,
+                                     const NamedProperties& props) {
+  std::string p;
+  PutMsgType(&p, MsgType::kCreateRelationship);
+  PutVarint64(&p, src);
+  PutVarint64(&p, dst);
+  PutLengthPrefixedSlice(&p, type);
+  PutProps(&p, props);
+  return p;
+}
+
+std::string EncodeReply(const Status& status, const Slice& body) {
+  std::string p;
+  PutMsgType(&p, MsgType::kReply);
+  p.push_back(static_cast<char>(static_cast<int>(status.code())));
+  PutLengthPrefixedSlice(&p, status.message());
+  p.append(body.data(), body.size());
+  return p;
+}
+
+Status DecodeReply(const Slice& payload, Status* status, Slice* body) {
+  Slice in = payload;
+  if (in.size() < 2 ||
+      static_cast<MsgType>(in[0]) != MsgType::kReply) {
+    return Status::Corruption("reply frame: bad header");
+  }
+  const uint8_t code = static_cast<uint8_t>(in[1]);
+  in.remove_prefix(2);
+  Slice message;
+  if (!GetLengthPrefixedSlice(&in, &message)) {
+    return Status::Corruption("reply frame: truncated message");
+  }
+  *status = StatusFromWire(code, message.ToString());
+  *body = in;
+  return Status::OK();
+}
+
+Status StatusFromWire(uint8_t code, std::string message) {
+  switch (static_cast<StatusCode>(code)) {
+    case StatusCode::kOk:
+      return Status::OK();
+    case StatusCode::kNotFound:
+      return Status::NotFound(std::move(message));
+    case StatusCode::kInvalidArgument:
+      return Status::InvalidArgument(std::move(message));
+    case StatusCode::kAborted:
+      return Status::Aborted(std::move(message));
+    case StatusCode::kDeadlock:
+      return Status::Deadlock(std::move(message));
+    case StatusCode::kCorruption:
+      return Status::Corruption(std::move(message));
+    case StatusCode::kIOError:
+      return Status::IOError(std::move(message));
+    case StatusCode::kFailedPrecondition:
+      return Status::FailedPrecondition(std::move(message));
+    case StatusCode::kAlreadyExists:
+      return Status::AlreadyExists(std::move(message));
+    case StatusCode::kOutOfRange:
+      return Status::OutOfRange(std::move(message));
+    case StatusCode::kNotSupported:
+      return Status::NotSupported(std::move(message));
+    case StatusCode::kInternal:
+      return Status::Internal(std::move(message));
+    case StatusCode::kSnapshotTooOld:
+      return Status::SnapshotTooOld(std::move(message));
+    case StatusCode::kSerializationFailure:
+      return Status::SerializationFailure(std::move(message));
+    case StatusCode::kReplicaReadOnly:
+      return Status::ReplicaReadOnly(std::move(message));
+    case StatusCode::kBusy:
+      return Status::Busy(std::move(message));
+  }
+  return Status::Corruption("unknown wire status code " +
+                            std::to_string(static_cast<int>(code)));
+}
+
+}  // namespace neosi

@@ -1,0 +1,108 @@
+// Wire protocol for the neosi network session front-end.
+//
+// Every message travels in a frame:
+//
+//   [u32 payload_len][u32 crc32c(payload)][payload]
+//
+// (both fixed fields little-endian, matching the WAL's record framing).
+// The payload is `[u8 MsgType][body]`; request bodies use the same varint /
+// length-prefixed / PropertyValue encodings as the store files, so the
+// protocol layer is purely compositional over common/coding.h.
+//
+// Replies are `[u8 kReply][u8 status_code][lp message][body]` where `body`
+// is present only on OK and is operation-specific (Begin returns the txn id
+// and start timestamp, Commit the commit timestamp — the wire-level SI
+// checker needs both to order histories). Error codes pass through the
+// engine's StatusCode values verbatim, so retryable outcomes
+// (SnapshotTooOld, SerializationFailure, ReplicaReadOnly, Busy) keep their
+// retryability on the client side.
+//
+// A frame that fails validation (oversized length, CRC mismatch, truncated
+// or malformed body) is never answered: the server drops the session,
+// aborting any open transaction. Clients observe EOF and must reconnect.
+
+#ifndef NEOSI_SERVER_PROTOCOL_H_
+#define NEOSI_SERVER_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/coding.h"
+#include "common/property_value.h"
+#include "common/slice.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "graph/views.h"
+
+namespace neosi {
+
+/// Frame header: u32 payload length + u32 crc32c of the payload.
+constexpr size_t kFrameHeaderBytes = 8;
+
+/// First payload byte.
+enum class MsgType : uint8_t {
+  kReply = 0,
+  kBegin = 1,             ///< body: u8 isolation, u8 read_only
+  kCommit = 2,            ///< body: empty
+  kRollback = 3,          ///< body: empty
+  kCreateNode = 4,        ///< body: vu32 nlabels, lp*, vu32 nprops, (lp,pv)*
+  kSetNodeProperty = 5,   ///< body: vu64 node, lp key, pv value
+  kGetNodeProperty = 6,   ///< body: vu64 node, lp key
+  kGetNodesByLabel = 7,   ///< body: lp label
+  kGetNodesByProperty = 8,///< body: lp key, pv value
+  kCreateRelationship = 9,///< body: vu64 src, vu64 dst, lp type, vu32, (lp,pv)*
+  kPing = 10,             ///< body: empty
+};
+
+/// Wraps a payload in a checksummed frame.
+std::string EncodeFrame(const Slice& payload);
+
+/// Outcome of scanning a byte buffer for one frame.
+enum class FrameParse {
+  kNeedMore,   ///< Fewer bytes than one complete frame; read again.
+  kOk,         ///< *payload points into `buf`; *consumed bytes were used.
+  kMalformed,  ///< Oversized declared length or CRC mismatch; drop session.
+};
+
+/// Tries to carve one frame off the front of `buf`. On kOk, `*payload` is
+/// the validated payload (a view into `buf`) and `*consumed` the total
+/// frame size to discard. `max_payload` bounds the declared length (defense
+/// against hostile 4 GiB allocations).
+FrameParse ParseFrame(const Slice& buf, size_t max_payload, Slice* payload,
+                      size_t* consumed);
+
+// --- Request encoders (client side) -------------------------------------
+
+std::string EncodeBegin(IsolationLevel isolation, bool read_only);
+std::string EncodeCommit();
+std::string EncodeRollback();
+std::string EncodePing();
+std::string EncodeCreateNode(const std::vector<std::string>& labels,
+                             const NamedProperties& props);
+std::string EncodeSetNodeProperty(NodeId id, const std::string& key,
+                                  const PropertyValue& value);
+std::string EncodeGetNodeProperty(NodeId id, const std::string& key);
+std::string EncodeGetNodesByLabel(const std::string& label);
+std::string EncodeGetNodesByProperty(const std::string& key,
+                                     const PropertyValue& value);
+std::string EncodeCreateRelationship(NodeId src, NodeId dst,
+                                     const std::string& type,
+                                     const NamedProperties& props);
+
+// --- Reply encoding/decoding ---------------------------------------------
+
+/// `[u8 kReply][u8 code][lp message]` + `body` (body only meaningful on OK).
+std::string EncodeReply(const Status& status, const Slice& body);
+
+/// Splits a reply payload into its Status and body. Fails with Corruption
+/// on a payload that is not a well-formed reply.
+Status DecodeReply(const Slice& payload, Status* status, Slice* body);
+
+/// Rebuilds a Status from its wire code (unknown codes map to Corruption —
+/// a mismatched peer version should read as a protocol error, not OK).
+Status StatusFromWire(uint8_t code, std::string message);
+
+}  // namespace neosi
+
+#endif  // NEOSI_SERVER_PROTOCOL_H_

@@ -1,0 +1,187 @@
+// Network session front-end: a socket server multiplexing client sessions
+// over an embedded GraphDatabase.
+//
+// Shape (PostgreSQL postmaster/backend split, scaled down): ONE epoll
+// thread owns every socket — it accepts, reads frames, writes replies, and
+// sweeps idle sessions — while a fixed pool of `workers` threads executes
+// requests against the engine. There is no thread-per-connection anywhere:
+// a thousand mostly-idle sessions cost a thousand fds, not a thousand
+// stacks. Sessions are handed between the epoll thread and a worker through
+// mutex-protected queues (an eventfd wakes the epoll thread for rearms), so
+// each Session object always has exactly one owner:
+//
+//   kReading    epoll thread owns it; fd armed EPOLLIN | EPOLLONESHOT
+//   kExecuting  a worker owns it; fd armed for NOTHING (oneshot fired)
+//   kWriting    epoll thread owns it; fd armed EPOLLOUT | EPOLLONESHOT
+//
+// Admission control gates NEW wire Begins only — established snapshots are
+// never aborted by admission (that stays the snapshot-lifecycle policy's
+// job). Two signals, each with its own DatabaseStats counter:
+//
+//   * GC backlog: while engine().gc_list.backlog() sits above the
+//     database's snapshot_expire_backlog threshold, a Begin first waits up
+//     to admission_delay_ms for the drain (admission_delayed); if the gauge
+//     is still over, the Begin is shed with retryable Status::Busy
+//     (admission_shed_backlog).
+//   * Session cap: with max_sessions wire transactions already open, a
+//     Begin is shed immediately (admission_shed_sessions) — open snapshots
+//     do not drain on a deadline the way a GC backlog does, so delaying
+//     would just burn a worker.
+//
+// Protocol violations (oversized frame, CRC mismatch, truncated or
+// malformed body) and idle timeouts drop the session: the open transaction
+// is aborted (locks released, snapshot unregistered) and the fd closed. The
+// server never replies to a frame it cannot trust.
+
+#ifndef NEOSI_SERVER_SERVER_H_
+#define NEOSI_SERVER_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/graph_database.h"
+#include "server/protocol.h"
+
+namespace neosi {
+
+struct ServerOptions {
+  /// Listen address. The default binds loopback only.
+  std::string host = "127.0.0.1";
+  /// TCP port; 0 picks an ephemeral port (read it back via port()).
+  uint16_t port = 0;
+  /// Worker threads executing requests; 0 = min(4, hardware_concurrency).
+  int workers = 0;
+  /// Cap on concurrently OPEN wire transactions (one per session); Begins
+  /// beyond it are shed with Status::Busy. 0 = unlimited.
+  uint32_t max_sessions = 0;
+  /// Sessions idle (no in-flight request) longer than this are dropped and
+  /// their transaction aborted. 0 = never.
+  uint64_t idle_timeout_ms = 0;
+  /// How long a Begin may wait for a GC-backlog drain before being shed.
+  uint64_t admission_delay_ms = 5;
+  /// Largest accepted frame payload; bigger declared lengths are a
+  /// protocol violation (session dropped before buffering anything).
+  uint32_t max_frame_bytes = 1 << 20;
+};
+
+/// One connected client. Internal, but visible for the session gauge.
+class Server {
+ public:
+  /// Binds, listens, and spins up the epoll + worker threads. The database
+  /// must outlive the Server; destroy (or Stop) the Server first.
+  static Result<std::unique_ptr<Server>> Start(GraphDatabase* db,
+                                               const ServerOptions& options);
+
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Idempotent; joins all threads and aborts every session's transaction.
+  void Stop();
+
+  /// The bound port (resolves port 0).
+  uint16_t port() const { return port_; }
+
+  /// Live connected-session gauge.
+  uint64_t sessions() const {
+    return session_gauge_.load(std::memory_order_relaxed);
+  }
+
+  /// Sessions dropped for protocol violations (lifetime counter).
+  uint64_t protocol_errors() const {
+    return protocol_errors_.load(std::memory_order_relaxed);
+  }
+
+  /// Sessions dropped by the idle sweep (lifetime counter).
+  uint64_t idle_drops() const {
+    return idle_drops_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Session {
+    int fd = -1;
+    enum class State { kReading, kExecuting, kWriting };
+    State state = State::kReading;
+    std::string inbuf;          ///< Raw bytes read; frames carved off front.
+    std::string request;        ///< Payload of the frame being executed.
+    std::string outbuf;         ///< Encoded reply frame being written.
+    size_t out_off = 0;
+    std::unique_ptr<Transaction> txn;
+    std::chrono::steady_clock::time_point last_active;
+  };
+
+  Server(GraphDatabase* db, const ServerOptions& options);
+
+  Status Listen();
+  void EpollLoop();
+  void WorkerLoop();
+
+  // Epoll-thread-only helpers.
+  void AcceptAll();
+  void OnReadable(Session* s);
+  void OnWritable(Session* s);
+  void DrainRearmQueue();
+  void SweepIdle();
+  /// Parses inbuf; dispatches to a worker, tears down on violation.
+  void PumpInput(Session* s);
+  void ArmRead(Session* s);
+  void ArmWrite(Session* s);
+  void Teardown(Session* s);
+  /// Stop()-only (all threads joined): best-effort bounded-blocking flush
+  /// of every session's pending reply, so a commit the engine already
+  /// acked never loses its reply to shutdown (the client would record an
+  /// abort for a transaction whose write is durable).
+  void FlushPendingRepliesOnStop();
+
+  // Worker-side execution.
+  void Execute(Session* s);
+  std::string ExecutePayload(Session* s, const Slice& payload);
+  std::string HandleBegin(Session* s, Slice body);
+
+  GraphDatabase* const db_;
+  const ServerOptions options_;
+  uint16_t port_ = 0;
+
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int event_fd_ = -1;
+
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> stopped_{false};
+  std::atomic<uint64_t> session_gauge_{0};
+  std::atomic<uint64_t> protocol_errors_{0};
+  std::atomic<uint64_t> idle_drops_{0};
+  /// Open wire transactions (the max_sessions admission gauge).
+  std::atomic<uint64_t> open_txns_{0};
+
+  /// All sessions, keyed by fd. Epoll thread only.
+  std::unordered_map<int, std::unique_ptr<Session>> sessions_;
+
+  /// Sessions with a validated request, waiting for a worker.
+  std::mutex work_mu_;
+  std::condition_variable work_cv_;
+  std::deque<Session*> work_queue_;  // nullptr = worker shutdown sentinel
+
+  /// Sessions a worker finished with, waiting for the epoll thread to
+  /// start writing the reply.
+  std::mutex rearm_mu_;
+  std::deque<Session*> rearm_queue_;
+
+  std::thread epoll_thread_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace neosi
+
+#endif  // NEOSI_SERVER_SERVER_H_

@@ -2,13 +2,17 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
 #include <thread>
+#include <fcntl.h>
+#include <sys/file.h>
 #include <sys/stat.h>
+#include <unistd.h>
 
 #include "common/coding.h"
 
@@ -72,12 +76,37 @@ bool LabelsFitInline(const std::vector<LabelId>& labels) {
 
 GraphStore::GraphStore(const DatabaseOptions& options) : options_(options) {}
 
+GraphStore::~GraphStore() {
+  if (lock_fd_ >= 0) {
+    ::flock(lock_fd_, LOCK_UN);
+    ::close(lock_fd_);
+  }
+}
+
 Status GraphStore::Open() {
   const bool mem = options_.in_memory;
   const std::string& dir = options_.path;
   if (!mem) {
     // Best-effort directory creation; Open of the files reports real errors.
     ::mkdir(dir.c_str(), 0755);
+    // Exclusive directory ownership, taken BEFORE any file is touched: a
+    // second opener must fail before its recovery replay can truncate the
+    // holder's live WAL. flock (not a pidfile) so a crash-left LOCK file is
+    // inert — the lock lives with the open file description and dies with
+    // the process.
+    const std::string lock_path = dir + "/LOCK";
+    const int fd = ::open(lock_path.c_str(), O_CREAT | O_RDWR | O_CLOEXEC,
+                          0644);
+    if (fd < 0) {
+      return Status::IOError("cannot open " + lock_path + ": " +
+                             std::strerror(errno));
+    }
+    if (::flock(fd, LOCK_EX | LOCK_NB) != 0) {
+      ::close(fd);
+      return Status::Busy("database directory " + dir +
+                          " is locked by another live opener (LOCK held)");
+    }
+    lock_fd_ = fd;
   }
   auto open_file = [&](const std::string& name,
                        std::unique_ptr<PagedFile>* out) {

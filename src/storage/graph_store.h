@@ -111,12 +111,17 @@ struct CheckpointTestHooks {
 class GraphStore {
  public:
   explicit GraphStore(const DatabaseOptions& options);
-  ~GraphStore() = default;
+  ~GraphStore();
 
   GraphStore(const GraphStore&) = delete;
   GraphStore& operator=(const GraphStore&) = delete;
 
-  /// Opens or creates every store file and the WAL.
+  /// Opens or creates every store file and the WAL. On-disk databases first
+  /// take an exclusive flock on a `LOCK` file in the directory: a second
+  /// process (or handle) opening the same directory fails fast with
+  /// Status::Busy instead of replaying and truncating the WAL out from
+  /// under the holder's live appends. The lock dies with the holder, so a
+  /// crash-left LOCK file is reclaimed by the next opener automatically.
   Status Open();
 
   /// fsyncs every store file unconditionally.
@@ -318,6 +323,11 @@ class GraphStore {
   /// PropertyStore::AuditBlobReachability): dynamic-store blocks leaked by
   /// crash recovery so far. Gauge, refreshed by every Recover().
   std::atomic<uint64_t> dyn_leaked_blocks_{0};
+
+  /// flock'd LOCK-file descriptor guarding exclusive directory ownership
+  /// (-1 when in-memory or not yet opened). Held for the store's lifetime;
+  /// the kernel drops the lock when the fd closes — including on crash.
+  int lock_fd_ = -1;
 
   std::unique_ptr<RecordStore> nodes_;
   std::unique_ptr<RecordStore> rels_;

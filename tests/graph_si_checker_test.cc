@@ -1,25 +1,15 @@
-// Black-box snapshot-isolation history checker (in the spirit of "Efficient
-// Black-box Checking of Snapshot Isolation in Databases"): record
-// multi-threaded read/write histories — txn id, snapshot timestamp, commit
-// timestamp, read set, write set — and verify the SI axioms from the
-// recorded history alone:
-//
-//   A1  Committed reads: every value read was written by a COMMITTED
-//       transaction's FINAL write (no aborted reads, no intermediate reads).
-//   A2  Snapshot reads: the value read for a key is the newest committed
-//       write with commit_ts <= the reader's snapshot timestamp (unless the
-//       reader overwrote it itself first).
-//   A3  No lost updates: two committed transactions writing the same key
-//       never have overlapping [snapshot_ts, commit_ts] intervals.
-//   A4  Commit order: commit timestamps are unique and a writer's commit is
-//       after its snapshot.
-//   A5  Write skew is PERMITTED: the one anomaly SI allows must survive the
-//       checker — a history exhibiting it passes A1..A4.
+// Black-box snapshot-isolation history checking over the EMBEDDED API:
+// record multi-threaded read/write histories — txn id, snapshot timestamp,
+// commit timestamp, read set, write set — and verify the SI axioms (and,
+// under kSerializable, DSG acyclicity) from the recorded history alone.
+// The checkers themselves live in si_checker.h, shared with the wire-level
+// suite (server_si_checker_test.cc) which records the same histories
+// through socket clients.
 //
 // With PR 1's staged commit pipeline (parallel application, out-of-order
-// completion, ordered publication) and this PR's asynchronous watermark-
-// paced GC racing the workload, these axioms are exactly the contract the
-// engine must keep.
+// completion, ordered publication) and the asynchronous watermark-paced GC
+// racing the workload, these axioms are exactly the contract the engine
+// must keep.
 
 #include <gtest/gtest.h>
 
@@ -39,202 +29,16 @@
 #include "common/random.h"
 #include "fault_injection.h"
 #include "graph/graph_database.h"
+#include "si_checker.h"
 
 namespace neosi {
 namespace {
 
-/// One recorded transaction: the checker sees nothing but this.
-struct TxnRecord {
-  TxnId id = kNoTxn;
-  Timestamp snapshot_ts = kNoTimestamp;
-  Timestamp commit_ts = kNoTimestamp;  // kNoTimestamp => aborted
-  bool committed = false;
-  /// key -> value observed by the FIRST read of the key (before any own
-  /// write to it).
-  std::map<NodeId, int64_t> reads;
-  /// key -> FINAL value written (intermediate writes recorded separately).
-  std::map<NodeId, int64_t> writes;
-  /// Values written and then overwritten inside the same transaction; must
-  /// never be observed by anyone (A1's "no intermediate reads").
-  std::vector<int64_t> intermediate_writes;
-};
+using sichecker::DsgChecker;
+using sichecker::MakeValue;
+using sichecker::SiHistoryChecker;
+using sichecker::TxnRecord;
 
-/// Per-key index of committed writes, value -> writer.
-struct CommittedWrite {
-  Timestamp commit_ts = kNoTimestamp;
-  int64_t value = 0;
-};
-
-class SiHistoryChecker {
- public:
-  explicit SiHistoryChecker(std::vector<TxnRecord> history)
-      : history_(std::move(history)) {}
-
-  /// Runs every axiom; collects human-readable violations.
-  std::vector<std::string> Check() {
-    IndexCommittedWrites();
-    CheckCommittedReads();     // A1
-    CheckSnapshotReads();      // A2
-    CheckNoLostUpdates();      // A3
-    CheckCommitOrder();        // A4
-    return violations_;
-  }
-
- private:
-  void Violation(const std::string& what) { violations_.push_back(what); }
-
-  void IndexCommittedWrites() {
-    for (const TxnRecord& txn : history_) {
-      if (!txn.committed) continue;
-      for (const auto& [key, value] : txn.writes) {
-        writes_by_key_[key].push_back({txn.commit_ts, value});
-        committed_values_[key].insert(value);
-      }
-      for (int64_t value : txn.intermediate_writes) {
-        intermediate_values_.insert(value);
-      }
-    }
-    for (const TxnRecord& txn : history_) {
-      if (txn.committed) continue;
-      for (const auto& [key, value] : txn.writes) {
-        aborted_values_.insert(value);
-      }
-      for (int64_t value : txn.intermediate_writes) {
-        aborted_values_.insert(value);
-      }
-    }
-    for (auto& [key, writes] : writes_by_key_) {
-      std::sort(writes.begin(), writes.end(),
-                [](const CommittedWrite& a, const CommittedWrite& b) {
-                  return a.commit_ts < b.commit_ts;
-                });
-    }
-  }
-
-  // A1: reads resolve to committed final writes only.
-  void CheckCommittedReads() {
-    for (const TxnRecord& txn : history_) {
-      for (const auto& [key, value] : txn.reads) {
-        if (aborted_values_.count(value)) {
-          Violation("txn " + std::to_string(txn.id) + " read value " +
-                    std::to_string(value) + " written by an ABORTED txn");
-        }
-        if (intermediate_values_.count(value)) {
-          Violation("txn " + std::to_string(txn.id) + " read INTERMEDIATE " +
-                    "value " + std::to_string(value));
-        }
-        auto it = committed_values_.find(key);
-        if (it == committed_values_.end() || !it->second.count(value)) {
-          if (!aborted_values_.count(value) &&
-              !intermediate_values_.count(value)) {
-            Violation("txn " + std::to_string(txn.id) + " read value " +
-                      std::to_string(value) + " of key " +
-                      std::to_string(key) + " that NOBODY committed");
-          }
-        }
-      }
-    }
-  }
-
-  // A2: each read returns the newest committed write at the snapshot.
-  void CheckSnapshotReads() {
-    for (const TxnRecord& txn : history_) {
-      for (const auto& [key, value] : txn.reads) {
-        auto it = writes_by_key_.find(key);
-        if (it == writes_by_key_.end()) continue;
-        const CommittedWrite* expected = nullptr;
-        for (const CommittedWrite& write : it->second) {
-          if (write.commit_ts <= txn.snapshot_ts) {
-            expected = &write;
-          } else {
-            break;  // Sorted by commit_ts.
-          }
-        }
-        if (expected == nullptr) continue;  // Initial state predates history.
-        if (expected->value != value) {
-          std::ostringstream msg;
-          msg << "txn " << txn.id << " (snapshot " << txn.snapshot_ts
-              << ") read key " << key << " = " << value
-              << " but the newest committed write at its snapshot was "
-              << expected->value << " (commit_ts " << expected->commit_ts
-              << ")";
-          Violation(msg.str());
-        }
-      }
-    }
-  }
-
-  // A3: committed writers of one key never overlap.
-  void CheckNoLostUpdates() {
-    std::map<NodeId, std::vector<const TxnRecord*>> writers;
-    for (const TxnRecord& txn : history_) {
-      if (!txn.committed) continue;
-      for (const auto& [key, value] : txn.writes) {
-        writers[key].push_back(&txn);
-      }
-    }
-    for (const auto& [key, txns] : writers) {
-      for (size_t i = 0; i < txns.size(); ++i) {
-        for (size_t j = i + 1; j < txns.size(); ++j) {
-          const TxnRecord& a = *txns[i];
-          const TxnRecord& b = *txns[j];
-          const bool disjoint = a.commit_ts <= b.snapshot_ts ||
-                                b.commit_ts <= a.snapshot_ts;
-          if (!disjoint) {
-            std::ostringstream msg;
-            msg << "LOST UPDATE on key " << key << ": txns " << a.id
-                << " [" << a.snapshot_ts << "," << a.commit_ts << "] and "
-                << b.id << " [" << b.snapshot_ts << "," << b.commit_ts
-                << "] overlap and both committed writes";
-            Violation(msg.str());
-          }
-        }
-      }
-    }
-  }
-
-  // A4: unique commit timestamps, commit after snapshot.
-  void CheckCommitOrder() {
-    std::map<Timestamp, TxnId> seen;
-    for (const TxnRecord& txn : history_) {
-      if (!txn.committed) continue;
-      if (txn.commit_ts == kNoTimestamp) {
-        Violation("committed txn " + std::to_string(txn.id) +
-                  " has no commit timestamp");
-        continue;
-      }
-      if (txn.commit_ts <= txn.snapshot_ts) {
-        Violation("txn " + std::to_string(txn.id) +
-                  " committed at or before its snapshot");
-      }
-      auto [it, inserted] = seen.emplace(txn.commit_ts, txn.id);
-      if (!inserted) {
-        Violation("txns " + std::to_string(it->second) + " and " +
-                  std::to_string(txn.id) + " share commit_ts " +
-                  std::to_string(txn.commit_ts));
-      }
-    }
-  }
-
-  std::vector<TxnRecord> history_;
-  std::vector<std::string> violations_;
-  std::map<NodeId, std::vector<CommittedWrite>> writes_by_key_;
-  std::map<NodeId, std::set<int64_t>> committed_values_;
-  std::set<int64_t> aborted_values_;
-  std::set<int64_t> intermediate_values_;
-};
-
-// ---------------------------------------------------------------------------
-// History recording workload
-// ---------------------------------------------------------------------------
-
-/// Unique value encoding so every read can be attributed to its writer.
-/// thread+1 keeps the result nonzero: 0 is the seed value and must never
-/// collide with a workload write.
-int64_t MakeValue(int thread, uint64_t seq, int salt = 0) {
-  return static_cast<int64_t>(thread + 1) * 100'000'000 +
-         static_cast<int64_t>(seq) * 100 + salt;
-}
 
 /// Runs `threads` workers for `txns_per_thread` transactions each over
 /// `keys`, recording complete histories. A fraction of transactions abort
@@ -620,160 +424,6 @@ TEST(SiChecker, CheckerRejectsFabricatedAbortedRead) {
   EXPECT_FALSE(checker.Check().empty());
 }
 
-// ---------------------------------------------------------------------------
-// Full-serializability checker: DSG cycle detection
-// ---------------------------------------------------------------------------
-//
-// The SI axioms above deliberately permit write skew and the read-only
-// transaction anomaly — under kSerializable those must be gone too. This
-// checker builds the Direct Serialization Graph over the COMMITTED
-// transactions of a recorded history and reports any cycle:
-//
-//   ww  Ti -> Tj : Tj installs the version of a key directly following
-//                  Ti's (version order = commit-timestamp order).
-//   wr  Ti -> Tj : Tj read the version Ti wrote.
-//   rw  Ti -> Tj : Ti read the version directly preceding the one Tj
-//                  wrote (anti-dependency — the edge SSI polices).
-//
-// A history is (conflict-)serializable iff this graph is acyclic, so a
-// cycle is a serializability violation regardless of which SI axioms hold.
-// Reads are attributed to writers through the unique MakeValue encoding,
-// exactly like SiHistoryChecker.
-class DsgChecker {
- public:
-  explicit DsgChecker(std::vector<TxnRecord> history)
-      : history_(std::move(history)) {}
-
-  /// Returns a human-readable description of one cycle, or nullopt if the
-  /// history is serializable.
-  std::optional<std::string> FindCycle() {
-    BuildEdges();
-    return DetectCycle();
-  }
-
- private:
-  struct Write {
-    Timestamp commit_ts;
-    size_t txn;  // Index into committed_.
-  };
-
-  void AddEdge(size_t from, size_t to, const char* kind, NodeId key) {
-    if (from == to) return;
-    edges_[from].insert(to);
-    labels_.emplace(std::make_pair(from, to),
-                    std::string(kind) + " key=" + std::to_string(key));
-  }
-
-  void BuildEdges() {
-    for (size_t i = 0; i < history_.size(); ++i) {
-      if (history_[i].committed) committed_.push_back(i);
-    }
-    edges_.assign(committed_.size(), {});
-
-    // Version order per key (ww edges between consecutive installers) and
-    // (key, value) -> installer attribution for wr/rw edges.
-    std::map<NodeId, std::vector<Write>> versions;
-    std::map<std::pair<NodeId, int64_t>, size_t> installer;
-    for (size_t c = 0; c < committed_.size(); ++c) {
-      const TxnRecord& txn = history_[committed_[c]];
-      for (const auto& [key, value] : txn.writes) {
-        versions[key].push_back({txn.commit_ts, c});
-        installer[{key, value}] = c;
-      }
-    }
-    for (auto& [key, writes] : versions) {
-      std::sort(writes.begin(), writes.end(),
-                [](const Write& a, const Write& b) {
-                  return a.commit_ts < b.commit_ts;
-                });
-      for (size_t i = 0; i + 1 < writes.size(); ++i) {
-        AddEdge(writes[i].txn, writes[i + 1].txn, "ww", key);
-      }
-    }
-
-    for (size_t c = 0; c < committed_.size(); ++c) {
-      const TxnRecord& txn = history_[committed_[c]];
-      for (const auto& [key, value] : txn.reads) {
-        auto vs = versions.find(key);
-        auto it = installer.find({key, value});
-        if (it != installer.end()) {
-          AddEdge(it->second, c, "wr", key);
-          // rw: reader -> installer of the NEXT version of this key.
-          if (vs != versions.end()) {
-            const Timestamp read_ts =
-                history_[committed_[it->second]].commit_ts;
-            for (const Write& w : vs->second) {
-              if (w.commit_ts > read_ts) {
-                AddEdge(c, w.txn, "rw", key);
-                break;
-              }
-            }
-          }
-        } else if (vs != versions.end() && !vs->second.empty()) {
-          // Read of the initial state (no writer in the history): the
-          // first installer overwrote what this transaction read.
-          AddEdge(c, vs->second.front().txn, "rw", key);
-        }
-      }
-    }
-  }
-
-  std::optional<std::string> DetectCycle() {
-    // Iterative colored DFS; on finding a back edge, reconstruct the cycle
-    // from the DFS stack.
-    enum class Color { kWhite, kGray, kBlack };
-    std::vector<Color> color(committed_.size(), Color::kWhite);
-    std::vector<size_t> stack;        // Current DFS path.
-    for (size_t root = 0; root < committed_.size(); ++root) {
-      if (color[root] != Color::kWhite) continue;
-      std::vector<std::pair<size_t, std::set<size_t>::const_iterator>> frames;
-      color[root] = Color::kGray;
-      stack.push_back(root);
-      frames.emplace_back(root, edges_[root].begin());
-      while (!frames.empty()) {
-        auto& [node, it] = frames.back();
-        if (it == edges_[node].end()) {
-          color[node] = Color::kBlack;
-          stack.pop_back();
-          frames.pop_back();
-          continue;
-        }
-        const size_t next = *it++;
-        if (color[next] == Color::kGray) {
-          std::ostringstream msg;
-          msg << "serializability cycle:";
-          auto at = std::find(stack.begin(), stack.end(), next);
-          std::vector<size_t> cycle(at, stack.end());
-          cycle.push_back(next);
-          for (size_t i = 0; i < cycle.size(); ++i) {
-            const TxnRecord& t = history_[committed_[cycle[i]]];
-            msg << "\n  txn " << t.id << " [snap=" << t.snapshot_ts
-                << " commit=" << t.commit_ts << "]";
-            if (i + 1 < cycle.size()) {
-              auto lbl = labels_.find({cycle[i], cycle[i + 1]});
-              msg << " --"
-                  << (lbl == labels_.end() ? std::string("?") : lbl->second)
-                  << "--> ";
-            }
-          }
-          return msg.str();
-        }
-        if (color[next] == Color::kWhite) {
-          color[next] = Color::kGray;
-          stack.push_back(next);
-          frames.emplace_back(next, edges_[next].begin());
-        }
-      }
-    }
-    return std::nullopt;
-  }
-
-  std::vector<TxnRecord> history_;
-  std::vector<size_t> committed_;           // Indices into history_.
-  std::vector<std::set<size_t>> edges_;     // Adjacency over committed_.
-  /// (from, to) -> "kind key=N", for cycle diagnostics.
-  std::map<std::pair<size_t, size_t>, std::string> labels_;
-};
 
 // Recorded kSerializable histories must be FULLY serializable (DSG acyclic)
 // on top of satisfying every SI axiom — with the GC daemon racing the
